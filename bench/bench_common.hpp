@@ -1,0 +1,74 @@
+// dnsctx — shared scaffolding for the reproduction benches.
+//
+// Every bench binary simulates the default neighborhood scenario at a
+// shape-preserving reduced scale (the paper's corpus is 7 days × ~100
+// houses; the default here is 12 hours × 80 houses) and prints the
+// paper's rows next to the measured ones. Override the scale with:
+//
+//   bench_tableX [houses] [hours] [seed]
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/export.hpp"
+#include "analysis/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dnsctx::bench {
+
+struct BenchScale {
+  std::size_t houses = 80;
+  int hours = 12;
+  std::uint64_t seed = 42;
+  std::string csv_dir;  ///< when non-empty, figure series are exported here
+};
+
+[[nodiscard]] inline BenchScale parse_scale(int argc, char** argv) {
+  BenchScale s;
+  if (argc > 1) s.houses = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (argc > 2) s.hours = std::atoi(argv[2]);
+  if (argc > 3) s.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  if (argc > 4) s.csv_dir = argv[4];
+  return s;
+}
+
+[[nodiscard]] inline scenario::ScenarioConfig scenario_for(const BenchScale& s) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = s.houses;
+  cfg.duration = SimDuration::hours(s.hours);
+  cfg.seed = s.seed;
+  return cfg;
+}
+
+struct BenchRun {
+  std::unique_ptr<scenario::Town> town_ptr;
+  analysis::Study study;
+
+  [[nodiscard]] scenario::Town& town() const { return *town_ptr; }
+};
+
+/// Simulate + analyze, with a banner describing the run.
+[[nodiscard]] inline BenchRun run_default(const char* bench_name, int argc, char** argv) {
+  const BenchScale scale = parse_scale(argc, argv);
+  std::printf("== %s — dnsctx reproduction of \"Putting DNS in Context\" (IMC'20) ==\n",
+              bench_name);
+  std::printf("scenario: %zu houses, %d h of traffic, seed %llu "
+              "(paper: ~100 houses, 7 days)\n",
+              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed));
+  BenchRun run;
+  run.town_ptr = std::make_unique<scenario::Town>(scenario_for(scale));
+  run.town().run();
+  std::printf("captured: %zu connections, %zu DNS transactions\n\n",
+              run.town().dataset().conns.size(), run.town().dataset().dns.size());
+  run.study = analysis::run_study(run.town().dataset());
+  const BenchScale scale2 = parse_scale(argc, argv);
+  if (!scale2.csv_dir.empty()) {
+    const auto files = analysis::export_study_csv(run.study, scale2.csv_dir);
+    std::printf("exported %zu CSV series to %s\n\n", files, scale2.csv_dir.c_str());
+  }
+  return run;
+}
+
+}  // namespace dnsctx::bench

@@ -1,0 +1,35 @@
+// Reproduces Figure 1: the distribution of the gap between a DNS
+// response and the start of the connection that uses it, plus the
+// knee/threshold discussion of §4.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  const auto run = bench::run_default("Figure 1", argc, argv);
+  std::printf("%s\n", analysis::format_fig1(run.study).c_str());
+
+  // The paper's two-region justification, at several probe points.
+  const auto& pairing = run.study.pairing;
+  const auto& ds = run.town().dataset();
+  std::printf("first-use fraction by gap band:\n");
+  const double bands[] = {5.0, 20.0, 100.0, 1'000.0, 60'000.0};
+  double prev = 0.0;
+  for (const double hi : bands) {
+    std::uint64_t total = 0, first = 0;
+    for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+      const auto& pc = pairing.conns[i];
+      if (pc.dns_idx < 0) continue;
+      const double gap = pc.gap.to_ms();
+      if (gap <= prev || gap > hi) continue;
+      ++total;
+      first += pc.first_use ? 1 : 0;
+    }
+    if (total > 0) {
+      std::printf("  gap in (%8.0f, %8.0f] ms: %6.1f%% first use  (%llu conns)\n", prev, hi,
+                  100.0 * static_cast<double>(first) / static_cast<double>(total),
+                  static_cast<unsigned long long>(total));
+    }
+    prev = hi;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Figure 2 (DNS lookup delays and DNS' contribution to the
+// transaction time for SC ∪ R) and the §6 significance quadrants.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  const auto run = bench::run_default("Figure 2 + §6", argc, argv);
+  std::printf("%s\n", analysis::format_fig2(run.study).c_str());
+
+  const auto& p = run.study.performance;
+  if (!p.lookup_ms_sc.empty() && !p.lookup_ms_r.empty()) {
+    std::printf("per-class lookup delay series:\n");
+    std::printf("%s", render_ascii_cdf(p.lookup_ms_sc, "SC lookups", "ms").c_str());
+    std::printf("%s", render_ascii_cdf(p.lookup_ms_r, "R lookups", "ms").c_str());
+  }
+  if (!p.contrib_all.empty()) {
+    std::printf("DNS %%-contribution series (SC ∪ R):\n");
+    std::printf("%s", render_ascii_cdf(p.contrib_all, "100*D/T", "%").c_str());
+  }
+  return 0;
+}

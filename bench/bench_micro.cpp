@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// building blocks: DNS wire codec, cache operations, event dispatch,
+// monitor packet handling and DN-Hunter pairing throughput.
+#include <benchmark/benchmark.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/pairing.hpp"
+#include "resolver/zonedb.hpp"
+#include "capture/monitor.hpp"
+#include "dns/cache.hpp"
+#include "dns/codec.hpp"
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnsctx;
+
+dns::DnsMessage sample_response() {
+  auto q = dns::DnsMessage::query(0x1234, dns::DomainName::must("www.example.com"));
+  return dns::DnsMessage::response(
+      q, {dns::ResourceRecord::a(dns::DomainName::must("www.example.com"),
+                                 Ipv4Addr{93, 184, 216, 34}, 300),
+          dns::ResourceRecord::a(dns::DomainName::must("www.example.com"),
+                                 Ipv4Addr{93, 184, 216, 35}, 300)});
+}
+
+void BM_DnsEncode(benchmark::State& state) {
+  const auto msg = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(msg));
+  }
+}
+BENCHMARK(BM_DnsEncode);
+
+void BM_DnsDecode(benchmark::State& state) {
+  const auto wire = dns::encode(sample_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecode);
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  dns::DnsCache cache{dns::CacheConfig{.capacity = 10'000}};
+  const auto answers = sample_response().answers;
+  std::vector<dns::DomainName> names;
+  for (int i = 0; i < 1'000; ++i) {
+    names.push_back(dns::DomainName::must("host" + std::to_string(i) + ".example.com"));
+  }
+  SimTime now = SimTime::origin();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& name = names[i % names.size()];
+    cache.insert(name, dns::RrType::kA, answers, dns::Rcode::kNoError, now);
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RrType::kA, now));
+    now += SimDuration::us(10);
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheInsertLookup);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::Simulator sim;
+    for (int i = 0; i < 1'000; ++i) {
+      sim.at(SimTime::from_us(i), [] {});
+    }
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(sim.dispatched());
+  }
+}
+BENCHMARK(BM_SimulatorDispatch)->Unit(benchmark::kMicrosecond);
+
+void BM_MonitorTcpConn(benchmark::State& state) {
+  capture::Monitor monitor;
+  const Ipv4Addr house{100, 66, 1, 1};
+  const Ipv4Addr server{34, 1, 1, 1};
+  std::int64_t t = 0;
+  std::uint16_t port = 10'000;
+  for (auto _ : state) {
+    netsim::Packet syn;
+    syn.src_ip = house;
+    syn.dst_ip = server;
+    syn.src_port = port;
+    syn.dst_port = 443;
+    syn.proto = Proto::kTcp;
+    syn.tcp = netsim::TcpFlags{.syn = true};
+    monitor.observe(SimTime::from_us(t), syn);
+    netsim::Packet fin = syn;
+    fin.tcp = netsim::TcpFlags{.ack = true, .fin = true};
+    std::swap(fin.src_ip, fin.dst_ip);
+    std::swap(fin.src_port, fin.dst_port);
+    monitor.observe(SimTime::from_us(t + 10), fin);
+    netsim::Packet fin2 = syn;
+    fin2.tcp = netsim::TcpFlags{.ack = true, .fin = true};
+    monitor.observe(SimTime::from_us(t + 20), fin2);
+    t += 100;
+    port = port == 60'000 ? std::uint16_t{10'000} : static_cast<std::uint16_t>(port + 1);
+  }
+  benchmark::DoNotOptimize(monitor.packets_seen());
+}
+BENCHMARK(BM_MonitorTcpConn);
+
+void BM_PairingThroughput(benchmark::State& state) {
+  // Build a dataset of `n` lookups + conns once; measure full pairing.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  capture::Dataset ds;
+  Rng rng{7};
+  const Ipv4Addr house{100, 66, 1, 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ipv4Addr server{34, 1, static_cast<std::uint8_t>((i / 200) % 200),
+                          static_cast<std::uint8_t>(1 + i % 200)};
+    capture::DnsRecord d;
+    d.ts = SimTime::from_us(static_cast<std::int64_t>(i) * 50'000);
+    d.duration = SimDuration::ms(2);
+    d.client_ip = house;
+    d.resolver_ip = Ipv4Addr{100, 66, 250, 1};
+    d.query = "h" + std::to_string(i % 500) + ".com";
+    d.answered = true;
+    d.answers = {{server, 300}};
+    ds.dns.push_back(d);
+    capture::ConnRecord c;
+    c.start = d.response_time() + SimDuration::ms(static_cast<std::int64_t>(rng.bounded(200)));
+    c.duration = SimDuration::sec(1);
+    c.orig_ip = house;
+    c.resp_ip = server;
+    c.orig_port = 10'000;
+    c.resp_port = 443;
+    ds.conns.push_back(c);
+  }
+  std::sort(ds.conns.begin(), ds.conns.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::pair_connections(ds));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PairingThroughput)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_ZoneDbBuild(benchmark::State& state) {
+  resolver::ZoneDbConfig cfg;
+  cfg.seed = 3;
+  for (auto _ : state) {
+    resolver::ZoneDb db{cfg};
+    benchmark::DoNotOptimize(db.size());
+  }
+}
+BENCHMARK(BM_ZoneDbBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyThroughput(benchmark::State& state) {
+  // Reuse the pairing-bench dataset shape.
+  const std::size_t n = 10'000;
+  capture::Dataset ds;
+  Rng rng{13};
+  const Ipv4Addr house{100, 66, 1, 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ipv4Addr server{34, 1, static_cast<std::uint8_t>((i / 200) % 200),
+                          static_cast<std::uint8_t>(1 + i % 200)};
+    capture::DnsRecord d;
+    d.ts = SimTime::from_us(static_cast<std::int64_t>(i) * 50'000);
+    d.duration = SimDuration::from_ms(rng.uniform(1.0, 60.0));
+    d.client_ip = house;
+    d.resolver_ip = Ipv4Addr{100, 66, 250, 1};
+    d.query = "h" + std::to_string(i % 500) + ".com";
+    d.answered = true;
+    d.answers = {{server, 300}};
+    ds.dns.push_back(d);
+    capture::ConnRecord c;
+    c.start = d.response_time() + SimDuration::ms(static_cast<std::int64_t>(rng.bounded(200)));
+    c.duration = SimDuration::sec(1);
+    c.orig_ip = house;
+    c.resp_ip = server;
+    c.orig_port = 10'000;
+    c.resp_port = 443;
+    ds.conns.push_back(c);
+  }
+  std::sort(ds.conns.begin(), ds.conns.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  const auto pairing = analysis::pair_connections(ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classify_connections(ds, pairing));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ClassifyThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf{10'000, 0.95};
+  Rng rng{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

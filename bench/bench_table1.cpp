@@ -1,0 +1,15 @@
+// Reproduces Table 1: use of resolver platforms in the dataset.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  const auto run = bench::run_default("Table 1", argc, argv);
+  std::printf("%s\n", analysis::format_table1(run.study).c_str());
+
+  std::printf("raw lookup counts:\n");
+  for (const auto& row : run.study.table1) {
+    std::printf("  %-11s %9llu lookups\n", row.platform.c_str(),
+                static_cast<unsigned long long>(row.lookups));
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Beyond the paper: validate the passive-inference heuristics against
+// simulation ground truth — the experiment the original vantage point
+// could never run. For each §4/§5 inference, print the monitor-side
+// estimate next to the simulator's internal truth.
+#include "analysis/perhouse.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  const auto run = bench::run_default("Heuristic validation vs ground truth", argc, argv);
+  const auto& truth = run.town().ground_truth();
+  const auto& study = run.study;
+  const auto& c = study.classified.counts;
+
+  auto row = [](const char* what, double inferred, double actual) {
+    const double err = actual > 0.0 ? 100.0 * (inferred - actual) / actual : 0.0;
+    std::printf("  %-44s %12.0f %12.0f %+7.1f%%\n", what, inferred, actual, err);
+  };
+
+  std::printf("%-46s %12s %12s %8s\n", "inference (counts)", "inferred", "truth", "error");
+  row("blocked connections (SC+R vs blocked fetches)",
+      static_cast<double>(c.blocked()), static_cast<double>(truth.fetch_blocked));
+  row("locally-served connections (LC+P vs cache hits)",
+      static_cast<double>(c.lc + c.p), static_cast<double>(truth.fetch_cache_hits));
+  row("expired-record use (LC+P expired vs stale hits)",
+      static_cast<double>(study.classified.lc_expired + study.classified.p_expired),
+      static_cast<double>(truth.fetch_cache_expired));
+  row("DNS-less flows (N vs no-DNS opens)", static_cast<double>(c.n),
+      static_cast<double>(truth.no_dns_conns));
+
+  std::printf("\nshared-cache hit rate:\n");
+  double hits = 0, queries = 0;
+  for (const auto& p : run.town().platforms()) {
+    const auto& s = p->stats();
+    std::printf("  %-11s inferred n/a per-platform | truth %5.1f%% (%llu queries)\n",
+                p->config().name.c_str(), 100.0 * s.cache_hit_rate(),
+                static_cast<unsigned long long>(s.queries));
+    hits += static_cast<double>(s.shard_hits + s.ambient_hits);
+    queries += static_cast<double>(s.queries);
+  }
+  std::printf("  %-11s inferred %5.1f%% | truth %5.1f%%\n", "aggregate",
+              100.0 * c.shared_cache_hit_rate(), queries > 0 ? 100.0 * hits / queries : 0.0);
+
+  std::printf("\nnote: the truth column counts EVERY query a platform served —\n"
+              "including AAAA races and speculative prefetches that the SC/R\n"
+              "inference never sees, which is why the aggregate truth sits below\n"
+              "the blocked-lookup-only estimate.\n");
+  std::printf("\ninterpretation: the paper's §4 blocking heuristic and §5.3 SC/R\n"
+              "threshold are approximations; the error columns quantify how far the\n"
+              "passive vantage point can drift from reality on this workload.\n");
+
+  const auto per_house =
+      analysis::analyze_per_house(run.town().dataset(), run.study.classified);
+  std::printf("\nper-household variation (one sample per house):\n");
+  if (!per_house.blocked_share.empty()) {
+    std::printf("  blocked share:    p10 %5.1f%%  p50 %5.1f%%  p90 %5.1f%%\n",
+                100.0 * per_house.blocked_share.quantile(0.1),
+                100.0 * per_house.blocked_share.median(),
+                100.0 * per_house.blocked_share.quantile(0.9));
+    std::printf("  lookups/conn:     p10 %5.2f   p50 %5.2f   p90 %5.2f\n",
+                per_house.lookups_per_conn.quantile(0.1),
+                per_house.lookups_per_conn.median(),
+                per_house.lookups_per_conn.quantile(0.9));
+    std::printf("  busiest 10%% of houses carry %.0f%% of connections\n",
+                100.0 * per_house.top_decile_conn_share());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Example: the paper's closing warning made concrete. §3 notes that
+// "widespread use of encrypted DNS would render the study we conduct in
+// this paper impossible". Here we sweep encrypted-DNS adoption and watch
+// the passive methodology fall apart: lookups vanish from the DNS log,
+// connections lose their pairings, and the N class inflates with
+// traffic that is anything but peer-to-peer.
+//
+// Usage: encrypted_dns_future [houses] [hours] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/nclass.hpp"
+#include "analysis/study.hpp"
+#include "scenario/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  scenario::ScenarioConfig base;
+  base.houses = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 25;
+  base.duration = SimDuration::hours(argc > 2 ? std::atoi(argv[2]) : 5);
+  base.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 42;
+
+  std::printf("encrypted-DNS adoption sweep (%zu houses, %s)\n\n", base.houses,
+              to_string(base.duration).c_str());
+  std::printf("%9s %12s %12s %10s %12s %14s\n", "adoption", "dns txns", "paired %",
+              "N share", "port-853", "hi-port N %");
+
+  for (const double adoption : {0.0, 0.25, 0.5, 0.9}) {
+    auto cfg = base;
+    cfg.encrypted_dns_device_frac = adoption;
+    scenario::Town town{cfg};
+    town.run();
+    const auto& ds = town.dataset();
+    const auto study = analysis::run_study(ds);
+    const auto nclass = analysis::analyze_n_class(ds, study.classified);
+
+    std::uint64_t port853 = 0;
+    for (const auto& c : ds.conns) port853 += c.resp_port == 853 ? 1 : 0;
+
+    const double paired = ds.conns.empty()
+                              ? 0.0
+                              : 100.0 * static_cast<double>(study.pairing.paired) /
+                                    static_cast<double>(ds.conns.size());
+    std::printf("%8.0f%% %12zu %11.1f%% %9.1f%% %12llu %13.1f%%\n", 100.0 * adoption,
+                ds.dns.size(), paired,
+                100.0 * study.classified.counts.share(study.classified.counts.n),
+                static_cast<unsigned long long>(port853),
+                100.0 * nclass.high_port_frac());
+  }
+
+  std::printf("\nreading the table: as adoption grows the visible DNS log shrinks, the\n"
+              "share of unpaired (N) connections explodes, and the §5.1 sanity checks\n"
+              "fire — port-853 flows appear and the N set stops looking like P2P.\n"
+              "Future DNS-in-context studies must move to the end hosts, as the paper\n"
+              "predicts.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example: deploy the §8 whole-house caching forwarder LIVE (not just in
+// trace replay) and compare the resulting class mix against a baseline
+// neighborhood — the deployment experiment the paper could only simulate.
+//
+// Usage: whole_house_cache [houses] [hours] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/study.hpp"
+#include "cachesim/whole_house.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+dnsctx::analysis::Study run_variant(const dnsctx::scenario::ScenarioConfig& cfg,
+                                    const char* label, std::size_t* out_conns) {
+  using namespace dnsctx;
+  scenario::Town town{cfg};
+  town.run();
+  *out_conns = town.dataset().conns.size();
+  std::printf("  [%s] %zu conns, %zu lookups\n", label, town.dataset().conns.size(),
+              town.dataset().dns.size());
+  return analysis::run_study(town.dataset());
+}
+
+void print_classes(const char* label, const dnsctx::analysis::ClassCounts& c) {
+  std::printf("  %-18s N %5.1f%%  LC %5.1f%%  P %5.1f%%  SC %5.1f%%  R %5.1f%%  "
+              "(blocked %5.1f%%)\n",
+              label, 100.0 * c.share(c.n), 100.0 * c.share(c.lc), 100.0 * c.share(c.p),
+              100.0 * c.share(c.sc), 100.0 * c.share(c.r), 100.0 * c.share(c.blocked()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dnsctx;
+  scenario::ScenarioConfig cfg;
+  cfg.houses = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 30;
+  cfg.duration = SimDuration::hours(argc > 2 ? std::atoi(argv[2]) : 6);
+  cfg.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 42;
+
+  std::printf("whole-house cache deployment study (%zu houses, %s)\n\n", cfg.houses,
+              to_string(cfg.duration).c_str());
+
+  std::size_t baseline_conns = 0, cached_conns = 0;
+  std::printf("running baseline (no router caches, the CCZ configuration):\n");
+  const auto baseline = run_variant(cfg, "baseline", &baseline_conns);
+
+  auto cached_cfg = cfg;
+  cached_cfg.whole_house_cache_frac = 1.0;  // every router becomes a caching forwarder
+  std::printf("running deployment (every router caches DNS):\n");
+  const auto cached = run_variant(cached_cfg, "cached", &cached_conns);
+
+  std::printf("\nconnection class mix:\n");
+  print_classes("baseline", baseline.classified.counts);
+  print_classes("with router cache", cached.classified.counts);
+
+  const double baseline_blocked =
+      baseline.classified.counts.share(baseline.classified.counts.blocked());
+  const double cached_blocked =
+      cached.classified.counts.share(cached.classified.counts.blocked());
+  std::printf("\nblocked share %5.1f%% → %5.1f%% (the paper's trace-driven estimate\n"
+              "predicted ~9.8%% of conns moving out of SC/R — §8)\n",
+              100.0 * baseline_blocked, 100.0 * cached_blocked);
+
+  std::printf("\nnote: with a forwarder, the monitor sees the *router's* queries, so\n"
+              "per-device lookups collapse into house-level ones — the visible DNS\n"
+              "transaction count also changes, exactly as §8 anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/blocking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsctx::analysis {
+
+BlockingAnalysis analyze_blocking(const capture::Dataset& ds, const PairingResult& pairing,
+                                  double knee_probe_ms) {
+  BlockingAnalysis out;
+  std::uint64_t below = 0, below_first = 0, above = 0, above_first = 0;
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const PairedConn& pc = pairing.conns[i];
+    if (pc.dns_idx < 0) continue;
+    const double gap_ms = pc.gap.to_ms();
+    out.gap_ms.add(gap_ms);
+    if (gap_ms <= knee_probe_ms) {
+      ++below;
+      if (pc.first_use) ++below_first;
+    } else {
+      ++above;
+      if (pc.first_use) ++above_first;
+    }
+  }
+  out.first_use_frac_below =
+      below ? static_cast<double>(below_first) / static_cast<double>(below) : 0.0;
+  out.first_use_frac_above =
+      above ? static_cast<double>(above_first) / static_cast<double>(above) : 0.0;
+
+  // Knee detection: histogram the gaps in log10(ms) space and find the
+  // emptiest bin between the sub-second mode and the minutes mode.
+  if (!out.gap_ms.empty()) {
+    Histogram h{-1.0, 7.0, 64};  // 0.1 ms .. ~3 hours
+    for (const double g : out.gap_ms.sorted()) {
+      h.add(std::log10(std::max(g, 0.11)));
+    }
+    // The knee is where the blocked mode dies out: find the low-end
+    // (sub-second) density peak and walk right until the density falls
+    // below a small fraction of it.
+    std::size_t mode_bin = 0;
+    std::uint64_t mode_count = 0;
+    for (std::size_t b = 0; b < h.bin_count(); ++b) {
+      if (h.bin_low(b) > 2.0) break;  // only consider the sub-100 ms region
+      if (h.count_in(b) > mode_count) {
+        mode_count = h.count_in(b);
+        mode_bin = b;
+      }
+    }
+    std::size_t knee_bin = mode_bin;
+    for (std::size_t b = mode_bin; b < h.bin_count(); ++b) {
+      knee_bin = b;
+      if (h.count_in(b) <
+          static_cast<std::uint64_t>(0.12 * static_cast<double>(mode_count))) {
+        break;
+      }
+    }
+    out.knee_ms = std::pow(10.0, h.bin_low(knee_bin) + h.bin_width() / 2.0);
+  }
+  return out;
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,38 @@
+// dnsctx — the blocking heuristic (§4, Figure 1).
+//
+// The gap between a DNS response and the start of the connection that
+// uses it is bimodal: connections blocked on the lookup start within
+// milliseconds; connections using already-cached information start much
+// later. The paper reads a knee near 20 ms off the CDF and adopts a
+// conservative 100 ms classification threshold.
+#pragma once
+
+#include "analysis/pairing.hpp"
+#include "util/stats.hpp"
+
+namespace dnsctx::analysis {
+
+struct BlockingAnalysis {
+  Cdf gap_ms;        ///< Fig 1: gap for every paired connection, in ms
+  double knee_ms = 0.0;  ///< detected density valley between the modes
+
+  /// Fraction of paired connections whose gap is ≤ ms that were the
+  /// first to use their lookup (91% below / 21% above the knee in the
+  /// paper).
+  double first_use_frac_below = 0.0;
+  double first_use_frac_above = 0.0;
+
+  [[nodiscard]] double frac_within_ms(double ms) const {
+    return gap_ms.fraction_at_or_below(ms);
+  }
+};
+
+/// The threshold the paper settles on (§4).
+inline constexpr SimDuration kBlockedThreshold = SimDuration::ms(100);
+
+/// Compute the Fig 1 distribution and knee diagnostics.
+[[nodiscard]] BlockingAnalysis analyze_blocking(const capture::Dataset& ds,
+                                                const PairingResult& pairing,
+                                                double knee_probe_ms = 20.0);
+
+}  // namespace dnsctx::analysis

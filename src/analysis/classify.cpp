@@ -1,0 +1,96 @@
+#include "analysis/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace dnsctx::analysis {
+
+std::string to_string(ConnClass c) {
+  switch (c) {
+    case ConnClass::kN: return "N";
+    case ConnClass::kLC: return "LC";
+    case ConnClass::kP: return "P";
+    case ConnClass::kSC: return "SC";
+    case ConnClass::kR: return "R";
+  }
+  return "?";
+}
+
+std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
+    const capture::Dataset& ds, const ClassifyConfig& cfg) {
+  // Collect per-resolver answered-lookup durations.
+  std::unordered_map<Ipv4Addr, Cdf, Ipv4Hash> durations;
+  for (const auto& d : ds.dns) {
+    if (!d.answered) continue;
+    durations[d.resolver_ip].add(d.duration.to_ms());
+  }
+  std::unordered_map<Ipv4Addr, double, Ipv4Hash> out;
+  for (auto& [resolver, cdf] : durations) {
+    if (cdf.count() < cfg.per_resolver_min_lookups) continue;
+    // The cache-hit mode sits at the network RTT: histogram the low end
+    // of the distribution and take the most populated 0.5 ms bin.
+    const double lo = cdf.min();
+    Histogram h{lo, lo + 40.0, 80};
+    for (const double v : cdf.sorted()) {
+      if (v < lo + 40.0) h.add(v);
+    }
+    const double mode_ms = h.bin_low(h.mode_bin()) + h.bin_width() / 2.0;
+    // Threshold just above the mode, with the paper's "small amount of
+    // rounding" (2 ms RTT → 5 ms threshold).
+    const double threshold = std::ceil(mode_ms + std::max(2.0, 0.55 * mode_ms));
+    out[resolver] = threshold;
+  }
+  return out;
+}
+
+Classified classify_connections(const capture::Dataset& ds, const PairingResult& pairing,
+                                const ClassifyConfig& cfg) {
+  Classified out;
+  out.classes.resize(ds.conns.size(), ConnClass::kN);
+  out.resolver_threshold_ms = derive_resolver_thresholds(ds, cfg);
+
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const PairedConn& pc = pairing.conns[i];
+    if (pc.dns_idx < 0) {
+      out.classes[i] = ConnClass::kN;
+      ++out.counts.n;
+      continue;
+    }
+    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+    if (pc.gap > cfg.blocked_threshold) {
+      // Not blocked: local information was on hand.
+      if (pc.first_use) {
+        out.classes[i] = ConnClass::kP;
+        ++out.counts.p;
+        if (pc.expired_pairing) ++out.p_expired;
+        out.p_gap_sec.add(pc.gap.to_sec());
+      } else {
+        out.classes[i] = ConnClass::kLC;
+        ++out.counts.lc;
+        if (pc.expired_pairing) {
+          ++out.lc_expired;
+          const SimDuration late = pc.gap - (dns.expires_at() - dns.response_time());
+          out.lc_violation_late_sec.add(std::max(late.to_sec(), 0.0));
+        }
+        out.lc_gap_sec.add(pc.gap.to_sec());
+      }
+      continue;
+    }
+    // Blocked: split by lookup duration against the resolver threshold.
+    const auto it = out.resolver_threshold_ms.find(dns.resolver_ip);
+    const double threshold =
+        it != out.resolver_threshold_ms.end() ? it->second : cfg.default_threshold_ms;
+    if (dns.duration.to_ms() <= threshold) {
+      out.classes[i] = ConnClass::kSC;
+      ++out.counts.sc;
+    } else {
+      out.classes[i] = ConnClass::kR;
+      ++out.counts.r;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsctx::analysis

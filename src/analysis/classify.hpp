@@ -1,0 +1,82 @@
+// dnsctx — the paper's five-way connection taxonomy (Table 2, §5).
+//
+//   N  — no DNS pairing at all,
+//   LC — local cache: gap > threshold, lookup previously used,
+//   P  — prefetched: gap > threshold, first use of the lookup,
+//   SC — blocked, answered from the shared resolver's cache (lookup
+//        duration within the per-resolver RTT-derived threshold),
+//   R  — blocked, required authoritative resolution.
+//
+// The SC/R split uses §5.3's procedure: for every resolver handling
+// enough lookups, read the cache-hit mode off the lookup-duration
+// distribution (≈ the network RTT) and set the cutoff just above it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/pairing.hpp"
+#include "util/stats.hpp"
+
+namespace dnsctx::analysis {
+
+enum class ConnClass : std::uint8_t { kN, kLC, kP, kSC, kR };
+
+[[nodiscard]] std::string to_string(ConnClass c);
+
+struct ClassifyConfig {
+  SimDuration blocked_threshold = SimDuration::ms(100);  ///< §4's conservative cut
+  /// Resolvers with at least this many answered lookups get their own
+  /// SC/R threshold; the rest use `default_threshold_ms` (§5.3 uses
+  /// 1000 lookups and 5 ms at paper scale).
+  std::uint64_t per_resolver_min_lookups = 1'000;
+  double default_threshold_ms = 5.0;
+};
+
+struct ClassCounts {
+  std::uint64_t n = 0, lc = 0, p = 0, sc = 0, r = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return n + lc + p + sc + r; }
+  [[nodiscard]] std::uint64_t blocked() const { return sc + r; }
+  [[nodiscard]] double share(std::uint64_t part) const {
+    return total() ? static_cast<double>(part) / static_cast<double>(total()) : 0.0;
+  }
+  /// §5.3's shared-cache hit rate: SC / (SC + R).
+  [[nodiscard]] double shared_cache_hit_rate() const {
+    return blocked() ? static_cast<double>(sc) / static_cast<double>(blocked()) : 0.0;
+  }
+};
+
+struct Classified {
+  std::vector<ConnClass> classes;  ///< parallel to Dataset::conns
+  ClassCounts counts;
+  std::unordered_map<Ipv4Addr, double, Ipv4Hash> resolver_threshold_ms;
+
+  // §5.2 companion statistics.
+  std::uint64_t lc_expired = 0;      ///< LC connections using expired records
+  std::uint64_t p_expired = 0;       ///< P connections using expired records
+  Cdf lc_gap_sec;                    ///< lookup→use gap for LC (median 1033 s in paper)
+  Cdf p_gap_sec;                     ///< ... for P (median 310 s in paper)
+  Cdf lc_violation_late_sec;         ///< how long past expiry LC records are used
+
+  [[nodiscard]] double lc_expired_frac() const {
+    return counts.lc ? static_cast<double>(lc_expired) / static_cast<double>(counts.lc) : 0.0;
+  }
+  [[nodiscard]] double p_expired_frac() const {
+    return counts.p ? static_cast<double>(p_expired) / static_cast<double>(counts.p) : 0.0;
+  }
+};
+
+/// Derive per-resolver SC/R duration thresholds from the DNS log alone
+/// (exposed separately for tests and the ablation bench).
+[[nodiscard]] std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
+    const capture::Dataset& ds, const ClassifyConfig& cfg);
+
+/// Classify every connection.
+[[nodiscard]] Classified classify_connections(const capture::Dataset& ds,
+                                              const PairingResult& pairing,
+                                              const ClassifyConfig& cfg = {});
+
+}  // namespace dnsctx::analysis

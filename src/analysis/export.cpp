@@ -1,0 +1,121 @@
+#include "analysis/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::analysis {
+
+void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label,
+                   std::size_t points) {
+  os << x_label << ",cdf\n";
+  if (cdf.empty()) return;
+  const std::size_t n = std::max<std::size_t>(points, 2);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n);
+    os << strfmt("%.6g,%.6g\n", cdf.quantile(q), q);
+  }
+}
+
+void write_table1_csv(std::ostream& os, const Study& study) {
+  os << "platform,pct_houses,pct_lookups,pct_conns,pct_bytes,lookups\n";
+  for (const auto& row : study.table1) {
+    os << strfmt("%s,%.2f,%.2f,%.2f,%.2f,%llu\n", row.platform.c_str(), row.pct_houses,
+                 row.pct_lookups, row.pct_conns, row.pct_bytes,
+                 static_cast<unsigned long long>(row.lookups));
+  }
+}
+
+void write_table2_csv(std::ostream& os, const Study& study) {
+  const ClassCounts& c = study.classified.counts;
+  os << "class,conns,share\n";
+  const std::pair<const char*, std::uint64_t> rows[] = {
+      {"N", c.n}, {"LC", c.lc}, {"P", c.p}, {"SC", c.sc}, {"R", c.r}};
+  for (const auto& [name, count] : rows) {
+    os << strfmt("%s,%llu,%.6g\n", name, static_cast<unsigned long long>(count),
+                 c.share(count));
+  }
+}
+
+namespace {
+
+[[nodiscard]] std::string slug(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(ch))
+                      ? static_cast<char>(std::tolower(static_cast<unsigned char>(ch)))
+                      : '_');
+  }
+  return out;
+}
+
+void to_file(const std::string& path, const std::function<void(std::ostream&)>& writer,
+             std::size_t& written) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"export_study_csv: cannot open " + path};
+  writer(os);
+  ++written;
+}
+
+}  // namespace
+
+std::size_t export_study_csv(const Study& study, const std::string& dir) {
+  std::size_t written = 0;
+  const std::string base = dir.empty() ? "." : dir;
+
+  to_file(base + "/fig1_gap_cdf.csv",
+          [&](std::ostream& os) { write_cdf_csv(os, study.blocking.gap_ms, "gap_ms"); },
+          written);
+
+  const PerformanceAnalysis& p = study.performance;
+  const std::pair<const char*, const Cdf*> perf_series[] = {
+      {"fig2_lookup_all", &p.lookup_ms_all}, {"fig2_lookup_sc", &p.lookup_ms_sc},
+      {"fig2_lookup_r", &p.lookup_ms_r},     {"fig2_contrib_all", &p.contrib_all},
+      {"fig2_contrib_sc", &p.contrib_sc},    {"fig2_contrib_r", &p.contrib_r},
+  };
+  for (const auto& [name, cdf] : perf_series) {
+    const bool is_contrib = std::string{name}.find("contrib") != std::string::npos;
+    to_file(base + "/" + name + ".csv",
+            [&](std::ostream& os) {
+              write_cdf_csv(os, *cdf, is_contrib ? "contribution_pct" : "lookup_ms");
+            },
+            written);
+  }
+
+  for (const auto& platform : study.platforms) {
+    const std::string tag = slug(platform.platform);
+    if (!platform.r_lookup_ms.empty()) {
+      to_file(base + "/fig3_rlookup_" + tag + ".csv",
+              [&](std::ostream& os) {
+                write_cdf_csv(os, platform.r_lookup_ms, "lookup_ms");
+              },
+              written);
+    }
+    if (!platform.throughput_bps.empty()) {
+      to_file(base + "/fig3_throughput_" + tag + ".csv",
+              [&](std::ostream& os) {
+                write_cdf_csv(os, platform.throughput_bps, "throughput_bps");
+              },
+              written);
+    }
+    if (platform.platform == "Google" && !platform.throughput_bps_filtered.empty()) {
+      to_file(base + "/fig3_throughput_google_filtered.csv",
+              [&](std::ostream& os) {
+                write_cdf_csv(os, platform.throughput_bps_filtered, "throughput_bps");
+              },
+              written);
+    }
+  }
+
+  to_file(base + "/table1.csv", [&](std::ostream& os) { write_table1_csv(os, study); },
+          written);
+  to_file(base + "/table2.csv", [&](std::ostream& os) { write_table2_csv(os, study); },
+          written);
+  return written;
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,33 @@
+// dnsctx — CSV export of every figure/table series, for plotting the
+// reproduced results next to the paper's (gnuplot/matplotlib-ready).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/study.hpp"
+
+namespace dnsctx::analysis {
+
+/// Write a CDF as "x,cdf" rows, downsampled to at most `points` evenly
+/// spaced quantiles (plus the exact min and max).
+void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label,
+                   std::size_t points = 200);
+
+/// Write Table 1 as CSV (platform, pct_houses, pct_lookups, pct_conns,
+/// pct_bytes).
+void write_table1_csv(std::ostream& os, const Study& study);
+
+/// Write Table 2 class shares as CSV (class, conns, share).
+void write_table2_csv(std::ostream& os, const Study& study);
+
+/// Write every figure series of a study into `dir`:
+///   fig1_gap_cdf.csv
+///   fig2_lookup_{all,sc,r}.csv, fig2_contrib_{all,sc,r}.csv
+///   fig3_rlookup_<platform>.csv, fig3_throughput_<platform>.csv
+///   (plus fig3_throughput_google_filtered.csv)
+///   table1.csv, table2.csv
+/// Returns the number of files written. Throws on IO failure.
+std::size_t export_study_csv(const Study& study, const std::string& dir);
+
+}  // namespace dnsctx::analysis

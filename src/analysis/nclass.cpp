@@ -1,0 +1,46 @@
+#include "analysis/nclass.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dnsctx::analysis {
+
+NClassBreakdown analyze_n_class(const capture::Dataset& ds, const Classified& classified,
+                                std::size_t top_destinations) {
+  NClassBreakdown out;
+  std::unordered_map<Ipv4Addr, std::uint64_t, Ipv4Hash> reserved_dests;
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    if (classified.classes[i] != ConnClass::kN) continue;
+    const auto& c = ds.conns[i];
+    ++out.n_total;
+    if (c.both_high_ports()) {
+      ++out.high_port;
+      continue;
+    }
+    ++reserved_dests[c.resp_ip];
+    switch (c.resp_port) {
+      case 443: ++out.port_443; break;
+      case 123:
+        ++out.port_123;
+        if (c.resp_bytes == 0) ++out.failed_ntp;
+        break;
+      case 80: ++out.port_80; break;
+      case 853: ++out.port_853; break;
+      default: break;
+    }
+  }
+  if (!ds.conns.empty()) {
+    out.unexplained_share_of_all =
+        static_cast<double>(out.n_total - out.high_port) /
+        static_cast<double>(ds.conns.size());
+  }
+  std::vector<std::pair<Ipv4Addr, std::uint64_t>> dests{reserved_dests.begin(),
+                                                        reserved_dests.end()};
+  std::sort(dests.begin(), dests.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (dests.size() > top_destinations) dests.resize(top_destinations);
+  out.top_reserved_destinations = std::move(dests);
+  return out;
+}
+
+}  // namespace dnsctx::analysis

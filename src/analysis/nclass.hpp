@@ -1,0 +1,42 @@
+// dnsctx — §5.1 analysis: what the no-DNS (N) connections are made of.
+//
+// The paper finds 81.6% of N connections have both ports outside the
+// reserved range (the P2P signature) and traces the remainder to
+// hard-coded service addresses (NTP, alarm heartbeats). It also checks
+// for encrypted DNS (DoT port 853) and bounds the share of unexplained
+// unpaired traffic.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/classify.hpp"
+
+namespace dnsctx::analysis {
+
+struct NClassBreakdown {
+  std::uint64_t n_total = 0;
+  std::uint64_t high_port = 0;        ///< both ports non-reserved (P2P-like)
+  std::uint64_t port_443 = 0;
+  std::uint64_t port_123 = 0;         ///< NTP
+  std::uint64_t port_80 = 0;
+  std::uint64_t port_853 = 0;         ///< DoT — should be zero (§5.1)
+  std::uint64_t failed_ntp = 0;       ///< NTP attempts with no response bytes
+  /// Busiest reserved-port destinations: (address, count), descending.
+  std::vector<std::pair<Ipv4Addr, std::uint64_t>> top_reserved_destinations;
+
+  /// Connections that are unpaired yet not P2P-like, as a share of ALL
+  /// connections (paper: 1.3% — the encrypted-DNS upper bound).
+  double unexplained_share_of_all = 0.0;
+
+  [[nodiscard]] double high_port_frac() const {
+    return n_total ? static_cast<double>(high_port) / static_cast<double>(n_total) : 0.0;
+  }
+};
+
+[[nodiscard]] NClassBreakdown analyze_n_class(const capture::Dataset& ds,
+                                              const Classified& classified,
+                                              std::size_t top_destinations = 5);
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,125 @@
+#include "analysis/pairing.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dnsctx::analysis {
+
+namespace {
+
+struct HouseAddrKey {
+  Ipv4Addr client;
+  Ipv4Addr answer;
+  bool operator==(const HouseAddrKey&) const = default;
+};
+struct HouseAddrKeyHash {
+  [[nodiscard]] std::size_t operator()(const HouseAddrKey& k) const noexcept {
+    return Ipv4Hash{}(k.client) * 1000003 ^ Ipv4Hash{}(k.answer);
+  }
+};
+
+/// One DNS transaction's relevance to an address, ordered by response
+/// time (the instant the answer became available to the house).
+struct Candidate {
+  SimTime response;
+  SimTime expires;
+  std::uint64_t dns_idx;
+};
+
+}  // namespace
+
+PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
+                               std::uint64_t seed) {
+  PairingResult out;
+  out.conns.resize(ds.conns.size());
+  out.dns_use_count.assign(ds.dns.size(), 0);
+  Rng rng{derive_seed(seed, "pairing-random")};
+
+  // Index: (house, answered address) → candidates sorted by response time.
+  std::unordered_map<HouseAddrKey, std::vector<Candidate>, HouseAddrKeyHash> index;
+  for (std::size_t i = 0; i < ds.dns.size(); ++i) {
+    const auto& d = ds.dns[i];
+    if (!d.answered) continue;
+    for (const auto& a : d.answers) {
+      index[HouseAddrKey{d.client_ip, a.addr}].push_back(
+          Candidate{d.response_time(), d.response_time() + SimDuration::sec(a.ttl), i});
+    }
+  }
+  for (auto& [key, vec] : index) {
+    std::sort(vec.begin(), vec.end(),
+              [](const Candidate& a, const Candidate& b) { return a.response < b.response; });
+  }
+
+  // Connections are start-sorted, so first-use flags are assigned in
+  // chronological order exactly as an online DN-Hunter would.
+  for (std::size_t ci = 0; ci < ds.conns.size(); ++ci) {
+    const auto& conn = ds.conns[ci];
+    PairedConn& pc = out.conns[ci];
+    const auto it = index.find(HouseAddrKey{conn.orig_ip, conn.resp_ip});
+    if (it == index.end()) {
+      ++out.unpaired;
+      continue;
+    }
+    const auto& cands = it->second;
+    // Last candidate whose response precedes (or equals) the conn start.
+    const auto upper = std::upper_bound(
+        cands.begin(), cands.end(), conn.start,
+        [](SimTime t, const Candidate& c) { return t < c.response; });
+    if (upper == cands.begin()) {
+      ++out.unpaired;  // the answer arrived only after this connection
+      continue;
+    }
+
+    // Collect non-expired candidates at conn start.
+    std::uint32_t live = 0;
+    std::int64_t chosen = -1;
+    std::int64_t most_recent_live = -1;
+    std::vector<std::uint64_t> live_set;  // only filled for kRandom
+    for (auto iter = upper; iter != cands.begin();) {
+      --iter;
+      if (iter->expires > conn.start) {
+        ++live;
+        if (most_recent_live < 0) most_recent_live = static_cast<std::int64_t>(iter->dns_idx);
+        if (policy == PairingPolicy::kRandom) live_set.push_back(iter->dns_idx);
+      }
+    }
+    if (live > 0) {
+      chosen = policy == PairingPolicy::kRandom
+                   ? static_cast<std::int64_t>(live_set[rng.bounded(live_set.size())])
+                   : most_recent_live;
+      pc.expired_pairing = false;
+    } else {
+      chosen = static_cast<std::int64_t>(std::prev(upper)->dns_idx);  // most recent, expired
+      pc.expired_pairing = true;
+    }
+
+    pc.dns_idx = chosen;
+    pc.live_candidates = live;
+    pc.gap = conn.start - ds.dns[static_cast<std::size_t>(chosen)].response_time();
+    pc.first_use = out.dns_use_count[static_cast<std::size_t>(chosen)] == 0;
+    ++out.dns_use_count[static_cast<std::size_t>(chosen)];
+
+    ++out.paired;
+    if (pc.expired_pairing) ++out.paired_expired;
+    if (live <= 1) {
+      ++out.unique_candidate;  // paper counts "only a single non-expired" (incl. expired fallback)
+    } else {
+      ++out.multiple_candidates;
+    }
+  }
+  return out;
+}
+
+double PairingResult::unused_lookup_frac(const capture::Dataset& ds) const {
+  std::uint64_t eligible = 0;
+  std::uint64_t unused = 0;
+  for (std::size_t i = 0; i < ds.dns.size(); ++i) {
+    const auto& d = ds.dns[i];
+    if (!d.answered || d.answers.empty()) continue;
+    ++eligible;
+    if (dns_use_count[i] == 0) ++unused;
+  }
+  return eligible ? static_cast<double>(unused) / static_cast<double>(eligible) : 0.0;
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,59 @@
+// dnsctx — DN-Hunter connection↔DNS pairing (§4, after Bermudez et al.).
+//
+// Every application connection from local address L to remote address R
+// is paired with the most recent non-expired DNS transaction by L whose
+// answer contains R; if every candidate is expired, the most recent
+// expired one is used. The paper's footnoted robustness check — pairing
+// with a *random* non-expired candidate instead — is a first-class
+// policy here (the bench_ablation binary exercises it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capture/records.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::analysis {
+
+enum class PairingPolicy {
+  kMostRecent,  ///< the paper's primary analysis
+  kRandom,      ///< §4's robustness variant
+};
+
+/// Pairing outcome for one connection (parallel to Dataset::conns).
+struct PairedConn {
+  std::int64_t dns_idx = -1;    ///< into Dataset::dns; -1 = no pairing (class N)
+  bool expired_pairing = false; ///< paired record was past its TTL at conn start
+  bool first_use = false;       ///< first connection to use this DNS transaction
+  SimDuration gap;              ///< conn start − DNS response (valid when paired)
+  std::uint32_t live_candidates = 0;  ///< non-expired answers containing the address
+};
+
+struct PairingResult {
+  std::vector<PairedConn> conns;            ///< same order as Dataset::conns
+  std::vector<std::uint32_t> dns_use_count; ///< per DNS record: connections paired to it
+
+  std::uint64_t paired = 0;
+  std::uint64_t unpaired = 0;
+  std::uint64_t paired_expired = 0;
+  /// §4 ambiguity accounting over paired connections.
+  std::uint64_t unique_candidate = 0;
+  std::uint64_t multiple_candidates = 0;
+
+  [[nodiscard]] double unique_candidate_frac() const {
+    const auto total = unique_candidate + multiple_candidates;
+    return total ? static_cast<double>(unique_candidate) / static_cast<double>(total) : 0.0;
+  }
+  /// Fraction of answered, A-bearing DNS transactions never paired with
+  /// any connection (§5.2's "unused lookups").
+  [[nodiscard]] double unused_lookup_frac(const capture::Dataset& ds) const;
+};
+
+/// Run the pairing over a dataset (logs must be timestamp-sorted, as the
+/// Monitor produces them). `seed` only matters for PairingPolicy::kRandom.
+[[nodiscard]] PairingResult pair_connections(const capture::Dataset& ds,
+                                             PairingPolicy policy = PairingPolicy::kMostRecent,
+                                             std::uint64_t seed = 0);
+
+}  // namespace dnsctx::analysis

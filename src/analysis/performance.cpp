@@ -1,0 +1,61 @@
+#include "analysis/performance.hpp"
+
+namespace dnsctx::analysis {
+
+PerformanceAnalysis analyze_performance(const capture::Dataset& ds,
+                                        const PairingResult& pairing,
+                                        const Classified& classified, double abs_ms,
+                                        double rel_pct) {
+  PerformanceAnalysis out;
+  std::uint64_t blocked = 0;
+  std::uint64_t q_ins = 0, q_rel = 0, q_abs = 0, q_sig = 0;
+
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const ConnClass cls = classified.classes[i];
+    if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
+    const PairedConn& pc = pairing.conns[i];
+    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+
+    const double d_ms = dns.duration.to_ms();
+    const double a_ms = ds.conns[i].duration.to_ms();
+    const double t_ms = d_ms + a_ms;
+    const double contrib = t_ms > 0.0 ? 100.0 * d_ms / t_ms : 100.0;
+
+    out.lookup_ms_all.add(d_ms);
+    out.contrib_all.add(contrib);
+    if (cls == ConnClass::kSC) {
+      out.lookup_ms_sc.add(d_ms);
+      out.contrib_sc.add(contrib);
+    } else {
+      out.lookup_ms_r.add(d_ms);
+      out.contrib_r.add(contrib);
+    }
+
+    ++blocked;
+    const bool abs_ok = d_ms <= abs_ms;
+    const bool rel_ok = contrib <= rel_pct;
+    if (abs_ok && rel_ok) {
+      ++q_ins;
+    } else if (abs_ok) {
+      ++q_rel;  // relatively significant only
+    } else if (rel_ok) {
+      ++q_abs;  // absolutely significant only
+    } else {
+      ++q_sig;
+    }
+  }
+
+  if (blocked) {
+    const auto div = static_cast<double>(blocked);
+    out.insignificant_both = static_cast<double>(q_ins) / div;
+    out.relative_only = static_cast<double>(q_rel) / div;
+    out.absolute_only = static_cast<double>(q_abs) / div;
+    out.significant_both = static_cast<double>(q_sig) / div;
+  }
+  if (!ds.conns.empty()) {
+    out.significant_overall = static_cast<double>(q_sig) / static_cast<double>(ds.conns.size());
+  }
+  return out;
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,66 @@
+// dnsctx — per-household views of the study.
+//
+// The paper aggregates over the neighborhood (its vantage point only
+// resolves houses, §3); this module asks how much the picture varies
+// *between* households — class mixes, DNS dependence, and lookup rates
+// per house.
+#pragma once
+
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "util/stats.hpp"
+
+namespace dnsctx::analysis {
+
+struct HouseSummary {
+  Ipv4Addr house;
+  std::uint64_t conns = 0;
+  std::uint64_t lookups = 0;
+  ClassCounts counts;
+
+  [[nodiscard]] double blocked_share() const { return counts.share(counts.blocked()); }
+  [[nodiscard]] double no_dns_share() const { return counts.share(counts.n); }
+  [[nodiscard]] double lookups_per_conn() const {
+    return conns ? static_cast<double>(lookups) / static_cast<double>(conns) : 0.0;
+  }
+};
+
+struct PerHouseAnalysis {
+  std::vector<HouseSummary> houses;  ///< sorted by connection count, descending
+
+  // Across-house distributions (one sample per house).
+  Cdf blocked_share;
+  Cdf no_dns_share;
+  Cdf lookups_per_conn;
+  Cdf conns_per_house;
+
+  /// Share of total connections produced by the busiest 10% of houses —
+  /// how head-heavy the neighborhood is.
+  [[nodiscard]] double top_decile_conn_share() const;
+};
+
+[[nodiscard]] PerHouseAnalysis analyze_per_house(const capture::Dataset& ds,
+                                                 const Classified& classified);
+
+/// A two-sided confidence interval on a share.
+struct ShareCi {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Cluster-bootstrap confidence intervals for the Table 2 class shares:
+/// houses are the sampling unit (connections within a house are
+/// correlated, so resampling connections would understate uncertainty).
+struct Table2Ci {
+  ShareCi n, lc, p, sc, r;
+  std::size_t replicates = 0;
+  double confidence = 0.95;
+};
+
+[[nodiscard]] Table2Ci bootstrap_table2_ci(const PerHouseAnalysis& per_house,
+                                           std::size_t replicates = 500,
+                                           double confidence = 0.95,
+                                           std::uint64_t seed = 1);
+
+}  // namespace dnsctx::analysis

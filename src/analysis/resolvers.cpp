@@ -1,0 +1,51 @@
+#include "analysis/resolvers.hpp"
+
+#include <unordered_map>
+
+namespace dnsctx::analysis {
+
+std::vector<PlatformPerf> analyze_platforms(const capture::Dataset& ds,
+                                            const PairingResult& pairing,
+                                            const Classified& classified,
+                                            const PlatformDirectory& dir,
+                                            const std::string& conncheck_name) {
+  std::unordered_map<std::string, PlatformPerf> perf;
+
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const PairedConn& pc = pairing.conns[i];
+    if (pc.dns_idx < 0) continue;
+    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+    const std::string& platform = dir.label(dns.resolver_ip);
+    PlatformPerf& p = perf[platform];
+    p.platform = platform;
+    ++p.total_conns;
+    const bool is_conncheck = dns.query == conncheck_name;
+    if (is_conncheck) ++p.conncheck_conns;
+
+    const ConnClass cls = classified.classes[i];
+    if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
+    if (cls == ConnClass::kSC) {
+      ++p.sc;
+    } else {
+      ++p.r;
+      p.r_lookup_ms.add(dns.duration.to_ms());
+    }
+    const double tput = ds.conns[i].throughput_bps();
+    if (tput > 0.0) {
+      p.throughput_bps.add(tput);
+      if (!is_conncheck) p.throughput_bps_filtered.add(tput);
+    }
+  }
+
+  std::vector<PlatformPerf> out;
+  for (const auto& platform : dir.platforms()) {
+    const auto it = perf.find(platform);
+    if (it != perf.end()) out.push_back(std::move(it->second));
+  }
+  if (const auto it = perf.find("other"); it != perf.end()) {
+    out.push_back(std::move(it->second));
+  }
+  return out;
+}
+
+}  // namespace dnsctx::analysis

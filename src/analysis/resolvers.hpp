@@ -1,0 +1,45 @@
+// dnsctx — performance versus resolver platform (§7, Figure 3).
+//
+// Per platform: the shared-cache hit rate (SC over SC∪R), the lookup
+// delay distribution for R connections (Fig 3 top), and the application
+// throughput distribution for blocked connections (Fig 3 bottom) —
+// including the Android connectivity-check artifact the paper isolates
+// for Google (23.5% of Google-paired connections).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/tables.hpp"
+
+namespace dnsctx::analysis {
+
+struct PlatformPerf {
+  std::string platform;
+  std::uint64_t sc = 0;
+  std::uint64_t r = 0;
+  Cdf r_lookup_ms;                ///< Fig 3 top: R lookup delays
+  Cdf throughput_bps;             ///< Fig 3 bottom: SC∪R connection throughput
+  Cdf throughput_bps_filtered;    ///< same, minus connectivity-check connections
+  std::uint64_t conncheck_conns = 0;
+  std::uint64_t total_conns = 0;  ///< all paired conns attributed to the platform
+
+  [[nodiscard]] double hit_rate() const {
+    const auto blocked = sc + r;
+    return blocked ? static_cast<double>(sc) / static_cast<double>(blocked) : 0.0;
+  }
+  [[nodiscard]] double conncheck_frac() const {
+    return total_conns ? static_cast<double>(conncheck_conns) /
+                             static_cast<double>(total_conns)
+                       : 0.0;
+  }
+};
+
+/// Per-platform §7 metrics, in directory order.
+[[nodiscard]] std::vector<PlatformPerf> analyze_platforms(
+    const capture::Dataset& ds, const PairingResult& pairing, const Classified& classified,
+    const PlatformDirectory& dir,
+    const std::string& conncheck_name = "connectivitycheck.gstatic.com");
+
+}  // namespace dnsctx::analysis

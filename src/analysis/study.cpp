@@ -1,0 +1,18 @@
+#include "analysis/study.hpp"
+
+namespace dnsctx::analysis {
+
+Study run_study(const capture::Dataset& ds, const StudyConfig& cfg) {
+  Study s;
+  s.pairing = pair_connections(ds, cfg.pairing_policy, cfg.pairing_seed);
+  s.blocking = analyze_blocking(ds, s.pairing);
+  s.classified = classify_connections(ds, s.pairing, cfg.classify);
+  s.table1 = build_table1(ds, s.pairing, cfg.directory);
+  s.isp_only_houses = isp_only_house_frac(ds, cfg.directory);
+  s.performance = analyze_performance(ds, s.pairing, s.classified, cfg.abs_significance_ms,
+                                      cfg.rel_significance_pct);
+  s.platforms = analyze_platforms(ds, s.pairing, s.classified, cfg.directory);
+  return s;
+}
+
+}  // namespace dnsctx::analysis

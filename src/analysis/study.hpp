@@ -1,0 +1,35 @@
+// dnsctx — one-call pipeline: pairing → blocking → classification →
+// performance → per-platform metrics. This is the programmatic face of
+// the whole paper; examples and benches build on it.
+#pragma once
+
+#include "analysis/blocking.hpp"
+#include "analysis/performance.hpp"
+#include "analysis/resolvers.hpp"
+#include "analysis/tables.hpp"
+
+namespace dnsctx::analysis {
+
+struct StudyConfig {
+  PairingPolicy pairing_policy = PairingPolicy::kMostRecent;
+  std::uint64_t pairing_seed = 0;
+  ClassifyConfig classify;
+  double abs_significance_ms = 20.0;  ///< §6 absolute criterion
+  double rel_significance_pct = 1.0;  ///< §6 relative criterion
+  PlatformDirectory directory = PlatformDirectory::standard();
+};
+
+/// Every derived result of the paper for one dataset.
+struct Study {
+  PairingResult pairing;
+  BlockingAnalysis blocking;
+  Classified classified;
+  std::vector<Table1Row> table1;
+  double isp_only_houses = 0.0;
+  PerformanceAnalysis performance;
+  std::vector<PlatformPerf> platforms;
+};
+
+[[nodiscard]] Study run_study(const capture::Dataset& ds, const StudyConfig& cfg = {});
+
+}  // namespace dnsctx::analysis

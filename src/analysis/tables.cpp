@@ -1,0 +1,114 @@
+#include "analysis/tables.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "resolver/recursive.hpp"
+
+namespace dnsctx::analysis {
+
+PlatformDirectory PlatformDirectory::standard() {
+  using namespace resolver::well_known;
+  PlatformDirectory dir;
+  dir.add(kIspResolver1, "Local");
+  dir.add(kIspResolver2, "Local");
+  dir.add(kGoogle1, "Google");
+  dir.add(kGoogle2, "Google");
+  dir.add(kOpenDns1, "OpenDNS");
+  dir.add(kOpenDns2, "OpenDNS");
+  dir.add(kCloudflare1, "Cloudflare");
+  dir.add(kCloudflare2, "Cloudflare");
+  return dir;
+}
+
+void PlatformDirectory::add(Ipv4Addr addr, std::string platform) {
+  if (std::find(order_.begin(), order_.end(), platform) == order_.end()) {
+    order_.push_back(platform);
+  }
+  map_[addr] = std::move(platform);
+}
+
+const std::string& PlatformDirectory::label(Ipv4Addr addr) const {
+  const auto it = map_.find(addr);
+  return it == map_.end() ? other_ : it->second;
+}
+
+std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingResult& pairing,
+                                    const PlatformDirectory& dir, double min_lookup_share) {
+  struct Tally {
+    std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+    std::uint64_t lookups = 0;
+    std::uint64_t conns = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::unordered_map<std::string, Tally> tallies;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses;
+  std::uint64_t total_lookups = 0;
+
+  for (const auto& d : ds.dns) {
+    auto& t = tallies[dir.label(d.resolver_ip)];
+    ++t.lookups;
+    t.houses.insert(d.client_ip);
+    all_houses.insert(d.client_ip);
+    ++total_lookups;
+  }
+
+  std::uint64_t paired_conns = 0;
+  std::uint64_t paired_bytes = 0;
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const auto& pc = pairing.conns[i];
+    if (pc.dns_idx < 0) continue;
+    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+    auto& t = tallies[dir.label(dns.resolver_ip)];
+    ++t.conns;
+    const std::uint64_t bytes = ds.conns[i].orig_bytes + ds.conns[i].resp_bytes;
+    t.bytes += bytes;
+    ++paired_conns;
+    paired_bytes += bytes;
+  }
+
+  std::vector<Table1Row> rows;
+  auto emit = [&](const std::string& platform) {
+    const auto it = tallies.find(platform);
+    if (it == tallies.end()) return;
+    const Tally& t = it->second;
+    const double lookup_share =
+        total_lookups ? static_cast<double>(t.lookups) / static_cast<double>(total_lookups) : 0.0;
+    if (platform != "other" && lookup_share < min_lookup_share) return;
+    Table1Row row;
+    row.platform = platform;
+    row.lookups = t.lookups;
+    row.pct_houses = all_houses.empty() ? 0.0
+                                        : 100.0 * static_cast<double>(t.houses.size()) /
+                                              static_cast<double>(all_houses.size());
+    row.pct_lookups = 100.0 * lookup_share;
+    row.pct_conns = paired_conns ? 100.0 * static_cast<double>(t.conns) /
+                                       static_cast<double>(paired_conns)
+                                 : 0.0;
+    row.pct_bytes = paired_bytes ? 100.0 * static_cast<double>(t.bytes) /
+                                       static_cast<double>(paired_bytes)
+                                 : 0.0;
+    rows.push_back(std::move(row));
+  };
+  for (const auto& platform : dir.platforms()) emit(platform);
+  emit("other");
+  return rows;
+}
+
+double isp_only_house_frac(const capture::Dataset& ds, const PlatformDirectory& dir) {
+  std::unordered_map<Ipv4Addr, bool, Ipv4Hash> only_local;  // house → still local-only
+  for (const auto& d : ds.dns) {
+    const bool is_local = dir.label(d.resolver_ip) == "Local";
+    const auto [it, inserted] = only_local.try_emplace(d.client_ip, is_local);
+    if (!inserted) it->second = it->second && is_local;
+  }
+  if (only_local.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const auto& [house, local] : only_local) {
+    if (local) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(only_local.size());
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,55 @@
+// dnsctx — Table 1: resolver platform usage (houses, lookups, paired
+// connections, traffic volume per platform).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/pairing.hpp"
+
+namespace dnsctx::analysis {
+
+/// Maps resolver service addresses to platform labels. The default
+/// directory covers the paper's four platforms; unknown resolvers group
+/// under "other".
+class PlatformDirectory {
+ public:
+  /// Local / Google / OpenDNS / Cloudflare with their well-known
+  /// addresses (and our simulated ISP resolver addresses).
+  [[nodiscard]] static PlatformDirectory standard();
+
+  void add(Ipv4Addr addr, std::string platform);
+
+  [[nodiscard]] const std::string& label(Ipv4Addr addr) const;
+  /// Display order (insertion order of first appearance, then "other").
+  [[nodiscard]] const std::vector<std::string>& platforms() const { return order_; }
+
+ private:
+  std::unordered_map<Ipv4Addr, std::string, Ipv4Hash> map_;
+  std::vector<std::string> order_;
+  std::string other_ = "other";
+};
+
+struct Table1Row {
+  std::string platform;
+  double pct_houses = 0.0;   ///< houses with ≥1 lookup to the platform
+  double pct_lookups = 0.0;
+  double pct_conns = 0.0;    ///< of paired connections
+  double pct_bytes = 0.0;    ///< of paired connections' bytes
+  std::uint64_t lookups = 0;
+};
+
+/// Build Table 1. Rows follow the directory's platform order; platforms
+/// below `min_lookup_share` (1% in the paper) are folded into "other".
+[[nodiscard]] std::vector<Table1Row> build_table1(const capture::Dataset& ds,
+                                                  const PairingResult& pairing,
+                                                  const PlatformDirectory& dir,
+                                                  double min_lookup_share = 0.01);
+
+/// Fraction of houses whose every lookup goes to the "Local" platform
+/// (the paper's ~16% forwarder-style households).
+[[nodiscard]] double isp_only_house_frac(const capture::Dataset& ds,
+                                         const PlatformDirectory& dir);
+
+}  // namespace dnsctx::analysis

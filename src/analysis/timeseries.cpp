@@ -1,0 +1,90 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::analysis {
+
+double TimeSeries::lookups_per_sec_per_house(std::size_t bucket) const {
+  if (bucket >= buckets.size() || houses == 0) return 0.0;
+  const double secs = bucket_width.to_sec();
+  return secs > 0.0 ? static_cast<double>(buckets[bucket].lookups) / secs /
+                          static_cast<double>(houses)
+                    : 0.0;
+}
+
+double TimeSeries::diurnal_swing() const {
+  std::uint64_t lo = ~0ULL, hi = 0;
+  for (const auto& b : buckets) {
+    lo = std::min(lo, b.conns);
+    hi = std::max(hi, b.conns);
+  }
+  if (buckets.empty() || lo == 0) return 0.0;
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+TimeSeries build_time_series(const capture::Dataset& ds, const Classified* classified,
+                             SimDuration bucket_width) {
+  TimeSeries out;
+  out.bucket_width = bucket_width;
+  if (ds.conns.empty() && ds.dns.empty()) return out;
+
+  SimTime begin = SimTime::max();
+  SimTime end = SimTime::origin();
+  std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+  for (const auto& c : ds.conns) {
+    begin = std::min(begin, c.start);
+    end = std::max(end, c.start);
+    houses.insert(c.orig_ip);
+  }
+  for (const auto& d : ds.dns) {
+    begin = std::min(begin, d.ts);
+    end = std::max(end, d.ts);
+    houses.insert(d.client_ip);
+  }
+  out.houses = houses.size();
+  const auto width_us = bucket_width.count_us();
+  if (width_us <= 0) return out;
+  const auto n_buckets =
+      static_cast<std::size_t>((end - begin).count_us() / width_us) + 1;
+  out.buckets.resize(n_buckets);
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    out.buckets[i].start = begin + bucket_width * static_cast<std::int64_t>(i);
+  }
+  auto bucket_of = [&](SimTime t) {
+    return static_cast<std::size_t>((t - begin).count_us() / width_us);
+  };
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const auto& c = ds.conns[i];
+    TimeBucket& b = out.buckets[bucket_of(c.start)];
+    ++b.conns;
+    b.bytes += c.orig_bytes + c.resp_bytes;
+    if (classified != nullptr && i < classified->classes.size()) {
+      const ConnClass cls = classified->classes[i];
+      if (cls == ConnClass::kSC || cls == ConnClass::kR) ++b.blocked_conns;
+    }
+  }
+  for (const auto& d : ds.dns) {
+    ++out.buckets[bucket_of(d.ts)].lookups;
+  }
+  return out;
+}
+
+std::string format_time_series(const TimeSeries& ts) {
+  std::string out = strfmt("time series (%zu houses, %s buckets):\n", ts.houses,
+                           to_string(ts.bucket_width).c_str());
+  out += strfmt("  %-10s %9s %9s %9s %12s %14s\n", "t_start", "conns", "lookups", "blocked%",
+                "MB", "lookups/s/house");
+  for (std::size_t i = 0; i < ts.buckets.size(); ++i) {
+    const auto& b = ts.buckets[i];
+    out += strfmt("  %-10s %9llu %9llu %8.1f%% %12.1f %14.3f\n",
+                  to_string(b.start).c_str(), static_cast<unsigned long long>(b.conns),
+                  static_cast<unsigned long long>(b.lookups), 100.0 * b.blocked_share(),
+                  static_cast<double>(b.bytes) / 1e6, ts.lookups_per_sec_per_house(i));
+  }
+  return out;
+}
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,52 @@
+// dnsctx — time-series views of the passive datasets.
+//
+// The paper reports aggregates over its week; operators usually also
+// want rates over time (the diurnal shape, per-class trends, query-rate
+// sanity checks like §8's lookups/sec/house). This module buckets the
+// logs into fixed windows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+
+namespace dnsctx::analysis {
+
+/// Per-bucket activity counters.
+struct TimeBucket {
+  SimTime start;
+  std::uint64_t conns = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t blocked_conns = 0;  ///< SC + R
+  std::uint64_t bytes = 0;          ///< orig + resp
+
+  [[nodiscard]] double blocked_share() const {
+    return conns ? static_cast<double>(blocked_conns) / static_cast<double>(conns) : 0.0;
+  }
+};
+
+struct TimeSeries {
+  SimDuration bucket_width;
+  std::vector<TimeBucket> buckets;
+  std::size_t houses = 0;
+
+  /// Average DNS lookups per second per house in a bucket (cf. Table 3's
+  /// lookups/sec/house row).
+  [[nodiscard]] double lookups_per_sec_per_house(std::size_t bucket) const;
+
+  /// Peak-to-trough conn-rate ratio — the diurnal swing.
+  [[nodiscard]] double diurnal_swing() const;
+};
+
+/// Bucket a dataset (optionally with classification for blocked counts;
+/// pass nullptr to skip). Buckets span [first event, last event].
+[[nodiscard]] TimeSeries build_time_series(const capture::Dataset& ds,
+                                           const Classified* classified,
+                                           SimDuration bucket_width = SimDuration::hours(1));
+
+/// Render as an aligned text table for reports.
+[[nodiscard]] std::string format_time_series(const TimeSeries& ts);
+
+}  // namespace dnsctx::analysis

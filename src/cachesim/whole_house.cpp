@@ -1,0 +1,62 @@
+#include "cachesim/whole_house.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace dnsctx::cachesim {
+
+using analysis::ConnClass;
+
+WholeHouseResult simulate_whole_house(const capture::Dataset& ds,
+                                      const analysis::PairingResult& pairing,
+                                      const analysis::Classified& classified) {
+  WholeHouseResult out;
+  out.total_conns = ds.conns.size();
+
+  // Per house: name → would-be cache expiry, built by replaying the DNS
+  // log in time order (the log is ts-sorted by construction).
+  struct HouseCache {
+    std::unordered_map<std::string, SimTime> expiry;
+  };
+  std::unordered_map<Ipv4Addr, HouseCache, Ipv4Hash> houses;
+
+  // For every DNS transaction: was the name already cached in the house
+  // when the device asked?
+  std::vector<bool> lookup_was_house_hit(ds.dns.size(), false);
+  for (std::size_t i = 0; i < ds.dns.size(); ++i) {
+    const auto& d = ds.dns[i];
+    if (!d.answered || d.answers.empty()) continue;
+    HouseCache& hc = houses[d.client_ip];
+    if (const auto it = hc.expiry.find(d.query);
+        it != hc.expiry.end() && it->second > d.ts) {
+      lookup_was_house_hit[i] = true;
+      // A shared cache would also refresh nothing here; keep the longer
+      // of the existing entry and this response's lifetime (devices that
+      // bypassed the cache still warm it in this what-if).
+      it->second = std::max(it->second, d.expires_at());
+    } else {
+      hc.expiry[d.query] = d.expires_at();
+    }
+  }
+
+  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
+    const ConnClass cls = classified.classes[i];
+    if (cls == ConnClass::kSC) {
+      ++out.sc_total;
+    } else if (cls == ConnClass::kR) {
+      ++out.r_total;
+    } else {
+      continue;
+    }
+    const auto dns_idx = static_cast<std::size_t>(pairing.conns[i].dns_idx);
+    if (!lookup_was_house_hit[dns_idx]) continue;
+    if (cls == ConnClass::kSC) {
+      ++out.sc_moved;
+    } else {
+      ++out.r_moved;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsctx::cachesim

@@ -1,0 +1,163 @@
+#include "capture/logio.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::capture {
+
+namespace {
+
+constexpr char kConnHeader[] =
+    "#fields\tstart_us\tduration_us\torig_ip\torig_port\tresp_ip\tresp_port\tproto\t"
+    "orig_bytes\tresp_bytes\tstate";
+constexpr char kDnsHeader[] =
+    "#fields\tts_us\tduration_us\tclient_ip\tclient_port\tresolver_ip\tquery\tqtype\t"
+    "rcode\tanswered\tanswers";
+
+[[nodiscard]] ConnState parse_state(std::string_view s) {
+  if (s == "S0") return ConnState::kS0;
+  if (s == "SF") return ConnState::kSf;
+  if (s == "REJ") return ConnState::kRej;
+  if (s == "RST") return ConnState::kRst;
+  return ConnState::kOth;
+}
+
+template <typename T>
+[[nodiscard]] T parse_num(std::string_view s, std::size_t line_no, const char* what) {
+  T v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error{strfmt("log line %zu: bad %s '%.*s'", line_no, what,
+                                    static_cast<int>(s.size()), s.data())};
+  }
+  return v;
+}
+
+[[nodiscard]] Ipv4Addr parse_ip(std::string_view s, std::size_t line_no) {
+  const auto ip = Ipv4Addr::parse(s);
+  if (!ip) {
+    throw std::runtime_error{
+        strfmt("log line %zu: bad ip '%.*s'", line_no, static_cast<int>(s.size()), s.data())};
+  }
+  return *ip;
+}
+
+}  // namespace
+
+void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns) {
+  os << kConnHeader << '\n';
+  for (const auto& c : conns) {
+    os << c.start.count_us() << '\t' << c.duration.count_us() << '\t'
+       << c.orig_ip.to_string() << '\t' << c.orig_port << '\t' << c.resp_ip.to_string() << '\t'
+       << c.resp_port << '\t' << to_string(c.proto) << '\t' << c.orig_bytes << '\t'
+       << c.resp_bytes << '\t' << to_string(c.state) << '\n';
+  }
+}
+
+void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns) {
+  os << kDnsHeader << '\n';
+  for (const auto& d : dns) {
+    os << d.ts.count_us() << '\t' << d.duration.count_us() << '\t'
+       << d.client_ip.to_string() << '\t' << d.client_port << '\t'
+       << d.resolver_ip.to_string() << '\t' << (d.query.empty() ? "-" : d.query) << '\t'
+       << static_cast<std::uint16_t>(d.qtype) << '\t' << static_cast<int>(d.rcode) << '\t'
+       << (d.answered ? 1 : 0) << '\t';
+    if (d.answers.empty()) {
+      os << '-';
+    } else {
+      for (std::size_t i = 0; i < d.answers.size(); ++i) {
+        if (i) os << ',';
+        os << d.answers[i].addr.to_string() << ':' << d.answers[i].ttl;
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::vector<ConnRecord> read_conn_log(std::istream& is) {
+  std::vector<ConnRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split(line, '\t');
+    if (f.size() != 10) throw std::runtime_error{strfmt("conn log line %zu: bad field count", line_no)};
+    ConnRecord c;
+    c.start = SimTime::from_us(parse_num<std::int64_t>(f[0], line_no, "start"));
+    c.duration = SimDuration::us(parse_num<std::int64_t>(f[1], line_no, "duration"));
+    c.orig_ip = parse_ip(f[2], line_no);
+    c.orig_port = parse_num<std::uint16_t>(f[3], line_no, "orig_port");
+    c.resp_ip = parse_ip(f[4], line_no);
+    c.resp_port = parse_num<std::uint16_t>(f[5], line_no, "resp_port");
+    c.proto = f[6] == "udp" ? Proto::kUdp : Proto::kTcp;
+    c.orig_bytes = parse_num<std::uint64_t>(f[7], line_no, "orig_bytes");
+    c.resp_bytes = parse_num<std::uint64_t>(f[8], line_no, "resp_bytes");
+    c.state = parse_state(f[9]);
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<DnsRecord> read_dns_log(std::istream& is) {
+  std::vector<DnsRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split(line, '\t');
+    if (f.size() != 10) throw std::runtime_error{strfmt("dns log line %zu: bad field count", line_no)};
+    DnsRecord d;
+    d.ts = SimTime::from_us(parse_num<std::int64_t>(f[0], line_no, "ts"));
+    d.duration = SimDuration::us(parse_num<std::int64_t>(f[1], line_no, "duration"));
+    d.client_ip = parse_ip(f[2], line_no);
+    d.client_port = parse_num<std::uint16_t>(f[3], line_no, "client_port");
+    d.resolver_ip = parse_ip(f[4], line_no);
+    d.query = f[5] == "-" ? std::string{} : std::string{f[5]};
+    d.qtype = static_cast<dns::RrType>(parse_num<std::uint16_t>(f[6], line_no, "qtype"));
+    d.rcode = static_cast<dns::Rcode>(parse_num<int>(f[7], line_no, "rcode"));
+    d.answered = parse_num<int>(f[8], line_no, "answered") != 0;
+    if (f[9] != "-") {
+      for (const auto part : split(f[9], ',')) {
+        const auto colon = part.rfind(':');
+        if (colon == std::string_view::npos) {
+          throw std::runtime_error{strfmt("dns log line %zu: bad answer", line_no)};
+        }
+        DnsAnswer a;
+        a.addr = parse_ip(part.substr(0, colon), line_no);
+        a.ttl = parse_num<std::uint32_t>(part.substr(colon + 1), line_no, "ttl");
+        d.answers.push_back(a);
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void save_dataset(const Dataset& ds, const std::string& conn_path, const std::string& dns_path) {
+  std::ofstream conn_os{conn_path};
+  if (!conn_os) throw std::runtime_error{"cannot open " + conn_path};
+  write_conn_log(conn_os, ds.conns);
+  std::ofstream dns_os{dns_path};
+  if (!dns_os) throw std::runtime_error{"cannot open " + dns_path};
+  write_dns_log(dns_os, ds.dns);
+}
+
+Dataset load_dataset(const std::string& conn_path, const std::string& dns_path) {
+  std::ifstream conn_is{conn_path};
+  if (!conn_is) throw std::runtime_error{"cannot open " + conn_path};
+  std::ifstream dns_is{dns_path};
+  if (!dns_is) throw std::runtime_error{"cannot open " + dns_path};
+  Dataset ds;
+  ds.conns = read_conn_log(conn_is);
+  ds.dns = read_dns_log(dns_is);
+  return ds;
+}
+
+}  // namespace dnsctx::capture

@@ -1,0 +1,32 @@
+// dnsctx — TSV log persistence for the passive datasets.
+//
+// The formats are Bro-flavoured (tab-separated, one header line, stable
+// column order) so the analysis pipeline can run either on in-memory
+// datasets or on logs written by a previous run — mirroring how the
+// paper's pipeline consumed week-old capture files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "capture/records.hpp"
+
+namespace dnsctx::capture {
+
+/// Write conn records, one per line, with a `#fields` header.
+void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns);
+
+/// Write DNS records; answers serialise as comma-joined addr:ttl pairs.
+void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns);
+
+/// Parse logs written by the functions above. Throws std::runtime_error
+/// with a line number on malformed input.
+[[nodiscard]] std::vector<ConnRecord> read_conn_log(std::istream& is);
+[[nodiscard]] std::vector<DnsRecord> read_dns_log(std::istream& is);
+
+/// File-path conveniences.
+void save_dataset(const Dataset& ds, const std::string& conn_path,
+                  const std::string& dns_path);
+[[nodiscard]] Dataset load_dataset(const std::string& conn_path, const std::string& dns_path);
+
+}  // namespace dnsctx::capture

@@ -1,0 +1,237 @@
+#include "capture/monitor.hpp"
+
+#include <algorithm>
+
+#include "dns/codec.hpp"
+
+namespace dnsctx::capture {
+
+std::string to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kS0: return "S0";
+    case ConnState::kSf: return "SF";
+    case ConnState::kRej: return "REJ";
+    case ConnState::kRst: return "RST";
+    case ConnState::kOth: return "OTH";
+  }
+  return "?";
+}
+
+Monitor::Monitor(MonitorConfig cfg) : cfg_{cfg} {}
+
+void Monitor::observe(SimTime at_tap, const netsim::Packet& p) {
+  ++stats_.packets;
+  expire_state(at_tap);
+  if (p.dst_port == 53 || p.src_port == 53) {
+    // Both UDP and (truncation-fallback) TCP DNS are summarised in the
+    // DNS log; port-53 flows never become conn records (see header).
+    handle_dns(at_tap, p);
+    return;
+  }
+  handle_conn(at_tap, p);
+}
+
+void Monitor::handle_dns(SimTime at_tap, const netsim::Packet& p) {
+  if (!p.dns_wire) return;
+  std::string err;
+  const auto msg = dns::decode(*p.dns_wire, &err);
+  if (!msg) {
+    ++stats_.malformed_dns;
+    return;
+  }
+  if (!msg->flags.qr && p.dst_port == 53) {
+    // Query house → resolver.
+    const DnsKey key{p.src_ip, p.src_port, p.dst_ip, msg->id};
+    if (pending_dns_.contains(key)) {
+      ++stats_.dns_retransmissions;  // keep the first timestamp
+      return;
+    }
+    PendingDns pd;
+    pd.rec.ts = at_tap;
+    pd.rec.client_ip = p.src_ip;
+    pd.rec.client_port = p.src_port;
+    pd.rec.resolver_ip = p.dst_ip;
+    if (!msg->questions.empty()) {
+      pd.rec.query = msg->questions.front().qname.text();
+      pd.rec.qtype = msg->questions.front().qtype;
+    }
+    pd.txid = msg->id;
+    pd.generation = next_generation_++;
+    expiries_.push(
+        Expiry{at_tap + cfg_.dns_query_timeout, FiveTuple{}, key, true, pd.generation});
+    pending_dns_.emplace(key, std::move(pd));
+    return;
+  }
+  if (msg->flags.qr && p.src_port == 53) {
+    // Response resolver → house.
+    const DnsKey key{p.dst_ip, p.dst_port, p.src_ip, msg->id};
+    const auto it = pending_dns_.find(key);
+    if (it == pending_dns_.end()) {
+      ++stats_.unsolicited_dns;  // late duplicate or spoof attempt
+      return;
+    }
+    DnsRecord rec = std::move(it->second.rec);
+    pending_dns_.erase(it);
+    rec.duration = at_tap - rec.ts;
+    rec.answered = true;
+    rec.rcode = msg->flags.rcode;
+    for (const auto& rr : msg->answers) {
+      if (rr.type == dns::RrType::kA) {
+        rec.answers.push_back(DnsAnswer{std::get<Ipv4Addr>(rr.rdata), rr.ttl});
+      }
+    }
+    out_.dns.push_back(std::move(rec));
+  }
+}
+
+void Monitor::handle_conn(SimTime at_tap, const netsim::Packet& p) {
+  const FiveTuple forward = p.tuple();
+  const FiveTuple reverse = forward.reversed();
+
+  auto it = flows_.find(forward);
+  bool is_orig = true;
+  if (it == flows_.end()) {
+    it = flows_.find(reverse);
+    is_orig = false;
+  }
+  if (it == flows_.end()) {
+    // New flow. For TCP we require a SYN: stray RSTs/FINs/data for
+    // already-forgotten connections must not fabricate flows with an
+    // inverted originator.
+    if (p.proto == Proto::kTcp && !p.tcp.syn) {
+      ++stats_.midstream_tcp;
+      return;
+    }
+    Flow flow;
+    flow.rec.start = at_tap;
+    flow.rec.orig_ip = p.src_ip;
+    flow.rec.resp_ip = p.dst_ip;
+    flow.rec.orig_port = p.src_port;
+    flow.rec.resp_port = p.dst_port;
+    flow.rec.proto = p.proto;
+    flow.last_packet = at_tap;
+    flow.generation = next_generation_++;
+    it = flows_.emplace(forward, std::move(flow)).first;
+    is_orig = true;
+    expiries_.push(Expiry{at_tap + flow_timeout(it->second), it->first, DnsKey{}, false,
+                          it->second.generation});
+  }
+
+  Flow& flow = it->second;
+  flow.last_packet = at_tap;
+  if (is_orig) {
+    flow.rec.orig_bytes += p.payload_bytes;
+  } else {
+    flow.rec.resp_bytes += p.payload_bytes;
+  }
+
+  if (p.proto == Proto::kTcp) {
+    if (p.tcp.syn && !p.tcp.ack && is_orig) flow.saw_syn = true;
+    if (p.tcp.syn && p.tcp.ack && !is_orig) flow.saw_syn_ack = true;
+    if (p.tcp.fin) ++flow.fin_halves;
+    if (p.tcp.rst) flow.saw_rst = true;
+    if (flow.saw_rst || flow.fin_halves >= 2) {
+      ++stats_.conns_closed;
+      finalize_flow(flow, at_tap);
+      flows_.erase(it);
+      return;
+    }
+  }
+  // Refresh the expiry for long-lived flows.
+  flow.generation = next_generation_++;
+  expiries_.push(
+      Expiry{at_tap + flow_timeout(flow), it->first, DnsKey{}, false, flow.generation});
+}
+
+SimDuration Monitor::flow_timeout(const Flow& flow) const {
+  if (flow.rec.proto == Proto::kUdp) return cfg_.udp_timeout;
+  if (!flow.saw_syn_ack) return cfg_.tcp_attempt_timeout;
+  return cfg_.tcp_idle_timeout;
+}
+
+void Monitor::finalize_flow(Flow& flow, SimTime now) {
+  if (flow.closed) return;
+  flow.closed = true;
+  flow.rec.duration = flow.last_packet - flow.rec.start;
+  if (flow.rec.proto == Proto::kUdp) {
+    flow.rec.state = ConnState::kOth;
+  } else if (flow.saw_rst && !flow.saw_syn_ack) {
+    flow.rec.state = ConnState::kRej;
+  } else if (flow.saw_rst) {
+    flow.rec.state = ConnState::kRst;
+  } else if (flow.saw_syn && !flow.saw_syn_ack) {
+    flow.rec.state = ConnState::kS0;
+  } else if (flow.saw_syn_ack && flow.fin_halves >= 2) {
+    flow.rec.state = ConnState::kSf;
+  } else {
+    flow.rec.state = ConnState::kOth;
+  }
+  (void)now;
+  out_.conns.push_back(flow.rec);
+}
+
+void Monitor::expire_state(SimTime now) {
+  while (!expiries_.empty() && expiries_.top().when <= now) {
+    const Expiry e = expiries_.top();
+    expiries_.pop();
+    if (e.is_dns) {
+      const auto it = pending_dns_.find(e.dns_key);
+      if (it != pending_dns_.end() && it->second.generation == e.generation) {
+        ++stats_.dns_unanswered;
+        DnsRecord rec = std::move(it->second.rec);
+        pending_dns_.erase(it);
+        rec.answered = false;
+        rec.duration = SimDuration::zero();
+        out_.dns.push_back(std::move(rec));
+      }
+    } else {
+      const auto it = flows_.find(e.tuple);
+      if (it != flows_.end() && it->second.generation == e.generation) {
+        ++stats_.conns_timed_out;
+        finalize_flow(it->second, now);
+        flows_.erase(it);
+      }
+    }
+  }
+}
+
+Dataset Monitor::harvest(SimTime end) {
+  expire_state(end);
+  for (auto& [tuple, flow] : flows_) {
+    ++stats_.conns_flushed_at_harvest;
+    finalize_flow(flow, end);
+  }
+  flows_.clear();
+  for (auto& [key, pd] : pending_dns_) {
+    ++stats_.dns_unanswered;
+    DnsRecord rec = std::move(pd.rec);
+    rec.answered = false;
+    out_.dns.push_back(std::move(rec));
+  }
+  pending_dns_.clear();
+  while (!expiries_.empty()) expiries_.pop();
+
+  // Keep only locally-originated connections, matching the paper's
+  // corpus definition (§3).
+  if (cfg_.keep_only_local_orig) {
+    const std::uint32_t mask =
+        cfg_.local_prefix_bits == 0
+            ? 0
+            : ~std::uint32_t{0} << (32 - cfg_.local_prefix_bits);
+    std::erase_if(out_.conns, [&](const ConnRecord& c) {
+      return (c.orig_ip.to_u32() & mask) != (cfg_.local_net.to_u32() & mask);
+    });
+  }
+
+  // Timestamp-sort the logs: finalisation order (timeouts, harvest) is
+  // not emission order, and the analysis pipeline assumes sorted logs.
+  std::sort(out_.conns.begin(), out_.conns.end(),
+            [](const ConnRecord& a, const ConnRecord& b) { return a.start < b.start; });
+  std::sort(out_.dns.begin(), out_.dns.end(),
+            [](const DnsRecord& a, const DnsRecord& b) { return a.ts < b.ts; });
+  Dataset result = std::move(out_);
+  out_ = Dataset{};
+  return result;
+}
+
+}  // namespace dnsctx::capture

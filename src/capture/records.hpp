@@ -1,0 +1,108 @@
+// dnsctx — the two passive datasets the paper's analysis consumes,
+// mirroring Bro/Zeek's conn.log and dns.log summaries (§3).
+//
+// These records contain ONLY information observable at the ISP
+// aggregation point: post-NAT house addresses, ports, timestamps, byte
+// counts, and DNS payload summaries. No device identity, no ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/rr.hpp"
+#include "util/ip.hpp"
+#include "util/time.hpp"
+
+namespace dnsctx::capture {
+
+/// Bro-style connection terminal state (subset we model).
+enum class ConnState : std::uint8_t {
+  kS0,   ///< attempt: originator SYN, no reply
+  kSf,   ///< normal establish + close
+  kRej,  ///< rejected (SYN answered by RST)
+  kRst,  ///< established then reset
+  kOth,  ///< anything else (mid-stream, timeout, UDP without close)
+};
+
+[[nodiscard]] std::string to_string(ConnState s);
+
+/// One application "connection" (TCP connection or UDP flow).
+struct ConnRecord {
+  SimTime start;              ///< first packet at the tap
+  SimDuration duration;       ///< last packet − first packet
+  Ipv4Addr orig_ip;           ///< initiator (always the house side here)
+  Ipv4Addr resp_ip;
+  std::uint16_t orig_port = 0;
+  std::uint16_t resp_port = 0;
+  Proto proto = Proto::kTcp;
+  std::uint64_t orig_bytes = 0;  ///< payload bytes house → remote
+  std::uint64_t resp_bytes = 0;  ///< payload bytes remote → house
+  ConnState state = ConnState::kOth;
+
+  /// §5.1 heuristic: both ports outside the reserved range.
+  [[nodiscard]] bool both_high_ports() const {
+    return orig_port >= kReservedPortLimit && resp_port >= kReservedPortLimit;
+  }
+
+  /// Application throughput (resp bytes over duration), B/s; 0 for
+  /// instantaneous or empty flows. §7/Fig 3 bottom metric.
+  [[nodiscard]] double throughput_bps() const {
+    const double secs = duration.to_sec();
+    return secs > 0.0 ? static_cast<double>(resp_bytes) / secs : 0.0;
+  }
+};
+
+/// One A-record answer within a DNS transaction.
+struct DnsAnswer {
+  Ipv4Addr addr;
+  std::uint32_t ttl = 0;
+  bool operator==(const DnsAnswer&) const = default;
+};
+
+/// One DNS transaction (query + matched response) seen at the tap.
+struct DnsRecord {
+  SimTime ts;                ///< query crossing time
+  SimDuration duration;      ///< response − query; 0 when unanswered
+  Ipv4Addr client_ip;        ///< house external address
+  std::uint16_t client_port = 0;
+  Ipv4Addr resolver_ip;
+  std::string query;         ///< qname presentation form
+  dns::RrType qtype = dns::RrType::kA;
+  dns::Rcode rcode = dns::Rcode::kNoError;
+  bool answered = false;
+  std::vector<DnsAnswer> answers;
+
+  [[nodiscard]] SimTime response_time() const { return ts + duration; }
+
+  /// Effective TTL of the answer set (minimum across answers).
+  [[nodiscard]] std::uint32_t min_ttl() const {
+    std::uint32_t ttl = 0;
+    bool first = true;
+    for (const auto& a : answers) {
+      if (first || a.ttl < ttl) ttl = a.ttl;
+      first = false;
+    }
+    return first ? 0 : ttl;
+  }
+
+  /// Expiry instant of the answer set per the served TTL.
+  [[nodiscard]] SimTime expires_at() const {
+    return response_time() + SimDuration::sec(min_ttl());
+  }
+
+  [[nodiscard]] bool contains(Ipv4Addr addr) const {
+    for (const auto& a : answers) {
+      if (a.addr == addr) return true;
+    }
+    return false;
+  }
+};
+
+/// The paired passive datasets for one monitoring run.
+struct Dataset {
+  std::vector<ConnRecord> conns;
+  std::vector<DnsRecord> dns;
+};
+
+}  // namespace dnsctx::capture

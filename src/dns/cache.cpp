@@ -1,0 +1,115 @@
+#include "dns/cache.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::dns {
+
+DnsCache::DnsCache(CacheConfig cfg) : cfg_{cfg} {}
+
+void DnsCache::insert(const DomainName& qname, RrType qtype,
+                      std::vector<ResourceRecord> answers, Rcode rcode, SimTime now,
+                      SimDuration extra_hold) {
+  std::uint32_t ttl = 0;
+  bool first = true;
+  for (const auto& rr : answers) {
+    if (first || rr.ttl < ttl) ttl = rr.ttl;
+    first = false;
+  }
+  if (cfg_.min_ttl_sec) ttl = std::max(ttl, cfg_.min_ttl_sec);
+  if (cfg_.max_ttl_sec) ttl = std::min(ttl, cfg_.max_ttl_sec);
+
+  const Key key{qname, qtype};
+  if (const auto it = map_.find(key); it != map_.end()) {
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+  }
+  if (map_.size() >= cfg_.capacity && cfg_.capacity > 0) evict_lru();
+
+  Entry e;
+  e.answers = std::move(answers);
+  e.rcode = rcode;
+  e.inserted_at = now;
+  e.expires_at = now + SimDuration::sec(ttl);
+  e.servable_until = e.expires_at + extra_hold + cfg_.max_stale;
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  map_.emplace(key, std::move(e));
+  ++stats_.insertions;
+}
+
+std::optional<CacheHit> DnsCache::lookup(const DomainName& qname, RrType qtype, SimTime now) {
+  const Key key{qname, qtype};
+  const auto it = map_.find(key);
+  if (it == map_.end() || now >= it->second.servable_until) {
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& e = it->second;
+  touch(e, key);
+  ++stats_.hits;
+  CacheHit hit;
+  hit.answers = e.answers;
+  hit.rcode = e.rcode;
+  hit.inserted_at = e.inserted_at;
+  hit.expires_at = e.expires_at;
+  hit.expired = now >= e.expires_at;
+  if (hit.expired) ++stats_.expired_hits;
+  return hit;
+}
+
+std::optional<CacheHit> DnsCache::peek(const DomainName& qname, RrType qtype,
+                                       SimTime now) const {
+  const auto it = map_.find(Key{qname, qtype});
+  if (it == map_.end() || now >= it->second.servable_until) return std::nullopt;
+  const Entry& e = it->second;
+  CacheHit hit;
+  hit.answers = e.answers;
+  hit.rcode = e.rcode;
+  hit.inserted_at = e.inserted_at;
+  hit.expires_at = e.expires_at;
+  hit.expired = now >= e.expires_at;
+  return hit;
+}
+
+void DnsCache::purge_expired(SimTime now) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (now >= it->second.servable_until) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DnsCache::erase(const DomainName& qname, RrType qtype) {
+  const auto it = map_.find(Key{qname, qtype});
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void DnsCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+void DnsCache::touch(Entry& e, const Key& k) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(k);
+  e.lru_it = lru_.begin();
+}
+
+void DnsCache::evict_lru() {
+  if (lru_.empty()) return;
+  const Key victim = lru_.back();
+  lru_.pop_back();
+  map_.erase(victim);
+  ++stats_.evictions;
+}
+
+}  // namespace dnsctx::dns

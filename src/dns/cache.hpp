@@ -1,0 +1,126 @@
+// dnsctx — TTL-aware DNS cache used by stub resolvers (per device), the
+// §8 whole-house forwarder, and recursive resolver platforms.
+//
+// The cache supports the behaviours the paper observes in the wild:
+//   * strict RFC 1035 TTL expiry,
+//   * TTL *violations* — entries held past expiry (§5.2 finds 22.2% of
+//     local-cache connections use expired records, median 890 s late),
+//     modelled as a per-entry extra hold time assigned at insert,
+//   * TTL clamping (public resolvers cap or floor TTLs),
+//   * bounded capacity with LRU eviction,
+//   * negative caching (RFC 2308) keyed by rcode.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "util/time.hpp"
+
+namespace dnsctx::dns {
+
+/// Cache configuration knobs.
+struct CacheConfig {
+  std::size_t capacity = 10'000;       ///< max entries before LRU eviction
+  std::uint32_t min_ttl_sec = 0;       ///< clamp floor applied at insert
+  std::uint32_t max_ttl_sec = 0;       ///< clamp ceiling (0 = none)
+  /// If > 0, entries remain servable for this long past TTL expiry
+  /// ("serve stale"); the lookup result is flagged `expired`.
+  SimDuration max_stale = SimDuration::zero();
+};
+
+/// Result of a successful cache lookup.
+struct CacheHit {
+  std::vector<ResourceRecord> answers;  ///< empty for negative entries
+  Rcode rcode = Rcode::kNoError;
+  SimTime inserted_at;
+  SimTime expires_at;   ///< TTL expiry (not including stale window)
+  bool expired = false; ///< true when served from the stale window
+};
+
+/// Running hit/miss counters (for Table 3-style accounting).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t expired_hits = 0;  ///< subset of hits served stale
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// The cache proper. Not thread-safe (the simulation is single-threaded
+/// by design; determinism requires a single event order).
+class DnsCache {
+ public:
+  explicit DnsCache(CacheConfig cfg = {});
+
+  /// Insert/replace the entry for (qname, qtype). `extra_hold` extends
+  /// the servable lifetime beyond the TTL for this entry only — the
+  /// mechanism behind modelled TTL violations. Records the min answer
+  /// TTL as the entry TTL, clamped per config.
+  void insert(const DomainName& qname, RrType qtype, std::vector<ResourceRecord> answers,
+              Rcode rcode, SimTime now, SimDuration extra_hold = SimDuration::zero());
+
+  /// Look up (qname, qtype). Counts a hit or miss. Entries past their
+  /// servable lifetime are treated as absent (and dropped lazily).
+  [[nodiscard]] std::optional<CacheHit> lookup(const DomainName& qname, RrType qtype,
+                                               SimTime now);
+
+  /// Non-counting, non-mutating probe (used by analysis/simulators).
+  [[nodiscard]] std::optional<CacheHit> peek(const DomainName& qname, RrType qtype,
+                                             SimTime now) const;
+
+  /// Drop every entry whose servable lifetime has passed.
+  void purge_expired(SimTime now);
+
+  /// Remove a single entry if present.
+  void erase(const DomainName& qname, RrType qtype);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Visit every live entry: fn(qname, qtype, expires_at). Used by the
+  /// refresh simulator to find entries nearing expiry.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, entry] : map_) {
+      fn(key.first, key.second, entry.expires_at);
+    }
+  }
+
+ private:
+  using Key = std::pair<DomainName, RrType>;
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      return DomainNameHash{}(k.first) * 31 ^ static_cast<std::size_t>(k.second);
+    }
+  };
+  struct Entry {
+    std::vector<ResourceRecord> answers;
+    Rcode rcode = Rcode::kNoError;
+    SimTime inserted_at;
+    SimTime expires_at;      ///< TTL boundary
+    SimTime servable_until;  ///< TTL + per-entry hold + config stale window
+    std::list<Key>::iterator lru_it;
+  };
+
+  void touch(Entry& e, const Key& k);
+  void evict_lru();
+
+  CacheConfig cfg_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  // front = most recently used
+  CacheStats stats_;
+};
+
+}  // namespace dnsctx::dns

@@ -1,0 +1,388 @@
+#include "dns/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dnsctx::dns {
+
+namespace {
+
+// ---------------------------------------------------------------- encode
+
+class Encoder {
+ public:
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+  }
+  void bytes(std::span<const std::uint8_t> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Patch a previously written u16 (used for RDLENGTH back-fill).
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    buf_[at] = static_cast<std::uint8_t>(v >> 8);
+    buf_[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  /// Write a domain name with RFC 1035 §4.1.4 compression: each suffix of
+  /// each written name is remembered; a match emits a 2-byte pointer.
+  void name(const DomainName& n) {
+    std::string remaining = n.text();
+    while (!remaining.empty()) {
+      if (const auto it = suffix_offsets_.find(remaining); it != suffix_offsets_.end()) {
+        u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (size() <= 0x3fff) {
+        suffix_offsets_.emplace(remaining, static_cast<std::uint16_t>(size()));
+      }
+      const auto dot = remaining.find('.');
+      const std::string label = remaining.substr(0, dot);
+      if (label.size() > kMaxLabelLen) throw std::invalid_argument{"label too long"};
+      u8(static_cast<std::uint8_t>(label.size()));
+      bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+      remaining = dot == std::string::npos ? std::string{} : remaining.substr(dot + 1);
+    }
+    u8(0);  // root terminator
+  }
+
+  /// Write a name without registering/using compression (inside RDATA of
+  /// types where compression is prohibited by RFC 3597).
+  void name_uncompressed(const DomainName& n) {
+    for (const auto label : n.labels()) {
+      u8(static_cast<std::uint8_t>(label.size()));
+      bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+    }
+    u8(0);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+};
+
+void encode_rdata(Encoder& enc, const ResourceRecord& rr) {
+  const std::size_t len_at = enc.size();
+  enc.u16(0);  // RDLENGTH placeholder
+  const std::size_t start = enc.size();
+  switch (rr.type) {
+    case RrType::kA: {
+      const auto& addr = std::get<Ipv4Addr>(rr.rdata);
+      enc.u32(addr.to_u32());
+      break;
+    }
+    case RrType::kNs:
+    case RrType::kCname:
+    case RrType::kPtr:
+      // Compression is legal for these well-known types (RFC 1035 §3.3).
+      enc.name(std::get<DomainName>(rr.rdata));
+      break;
+    case RrType::kSoa: {
+      const auto& soa = std::get<SoaData>(rr.rdata);
+      enc.name(soa.mname);
+      enc.name(soa.rname);
+      enc.u32(soa.serial);
+      enc.u32(soa.refresh);
+      enc.u32(soa.retry);
+      enc.u32(soa.expire);
+      enc.u32(soa.minimum);
+      break;
+    }
+    case RrType::kMx: {
+      const auto& mx = std::get<MxData>(rr.rdata);
+      enc.u16(mx.preference);
+      enc.name(mx.exchange);
+      break;
+    }
+    case RrType::kTxt: {
+      const auto& txt = std::get<std::string>(rr.rdata);
+      // character-string chunks of <=255 octets
+      std::size_t off = 0;
+      do {
+        const std::size_t chunk = std::min<std::size_t>(txt.size() - off, 255);
+        enc.u8(static_cast<std::uint8_t>(chunk));
+        enc.bytes({reinterpret_cast<const std::uint8_t*>(txt.data()) + off, chunk});
+        off += chunk;
+      } while (off < txt.size());
+      break;
+    }
+    default: {
+      const auto& raw = std::get<std::vector<std::uint8_t>>(rr.rdata);
+      enc.bytes(raw);
+      break;
+    }
+  }
+  const std::size_t rdlen = enc.size() - start;
+  if (rdlen > 0xffff) throw std::invalid_argument{"rdata too long"};
+  enc.patch_u16(len_at, static_cast<std::uint16_t>(rdlen));
+}
+
+void encode_rr(Encoder& enc, const ResourceRecord& rr) {
+  enc.name(rr.name);
+  enc.u16(static_cast<std::uint16_t>(rr.type));
+  enc.u16(static_cast<std::uint16_t>(rr.klass));
+  enc.u32(rr.ttl);
+  encode_rdata(enc, rr);
+}
+
+[[nodiscard]] std::uint16_t pack_flags(const DnsFlags& f) {
+  std::uint16_t w = 0;
+  if (f.qr) w |= 0x8000;
+  w |= static_cast<std::uint16_t>((f.opcode & 0xf) << 11);
+  if (f.aa) w |= 0x0400;
+  if (f.tc) w |= 0x0200;
+  if (f.rd) w |= 0x0100;
+  if (f.ra) w |= 0x0080;
+  w |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(f.rcode) & 0xf);
+  return w;
+}
+
+[[nodiscard]] DnsFlags unpack_flags(std::uint16_t w) {
+  DnsFlags f;
+  f.qr = (w & 0x8000) != 0;
+  f.opcode = static_cast<std::uint8_t>((w >> 11) & 0xf);
+  f.aa = (w & 0x0400) != 0;
+  f.tc = (w & 0x0200) != 0;
+  f.rd = (w & 0x0100) != 0;
+  f.ra = (w & 0x0080) != 0;
+  f.rcode = static_cast<Rcode>(w & 0xf);
+  return f;
+}
+
+// ---------------------------------------------------------------- decode
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> wire) : wire_{wire} {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > wire_.size()) return false;
+    v = wire_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > wire_.size()) return false;
+    v = static_cast<std::uint16_t>((wire_[pos_] << 8) | wire_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    std::uint16_t hi = 0, lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+  [[nodiscard]] bool bytes(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (pos_ + n > wire_.size()) return false;
+    out.assign(wire_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               wire_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return wire_.size() - pos_; }
+
+  /// Decode a (possibly compressed) name starting at the cursor; the
+  /// cursor advances past the in-place portion only.
+  [[nodiscard]] bool name(DomainName& out) {
+    std::string text;
+    std::size_t cursor = pos_;
+    std::size_t followed = 0;
+    bool jumped = false;
+    for (;;) {
+      if (cursor >= wire_.size()) return false;
+      const std::uint8_t len = wire_[cursor];
+      if ((len & 0xc0) == 0xc0) {
+        if (cursor + 2 > wire_.size()) return false;
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[cursor + 1];
+        if (!jumped) {
+          pos_ = cursor + 2;
+          jumped = true;
+        }
+        if (target >= cursor || ++followed > 64) return false;  // forbid forward/looping jumps
+        cursor = target;
+        continue;
+      }
+      if ((len & 0xc0) != 0) return false;  // 0x40/0x80 label types are obsolete
+      if (len == 0) {
+        if (!jumped) pos_ = cursor + 1;
+        break;
+      }
+      if (cursor + 1 + len > wire_.size()) return false;
+      if (!text.empty()) text.push_back('.');
+      text.append(reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
+      if (text.size() > kMaxNameLen) return false;
+      cursor += 1 + static_cast<std::size_t>(len);
+    }
+    auto parsed = DomainName::parse(text);
+    if (!parsed) return false;
+    out = *std::move(parsed);
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] bool decode_rr(Decoder& dec, ResourceRecord& rr, std::string* error) {
+  auto fail = [error](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (!dec.name(rr.name)) return fail("bad rr name");
+  std::uint16_t type = 0, klass = 0, rdlen = 0;
+  if (!dec.u16(type) || !dec.u16(klass) || !dec.u32(rr.ttl) || !dec.u16(rdlen)) {
+    return fail("truncated rr header");
+  }
+  rr.type = static_cast<RrType>(type);
+  rr.klass = static_cast<RrClass>(klass);
+  if (rdlen > dec.remaining()) return fail("rdlength beyond message");
+  const std::size_t rdata_end = dec.pos() + rdlen;
+
+  switch (rr.type) {
+    case RrType::kA: {
+      std::uint32_t v = 0;
+      if (rdlen != 4 || !dec.u32(v)) return fail("bad A rdata");
+      rr.rdata = Ipv4Addr::from_u32(v);
+      break;
+    }
+    case RrType::kNs:
+    case RrType::kCname:
+    case RrType::kPtr: {
+      DomainName n;
+      if (!dec.name(n) || dec.pos() != rdata_end) return fail("bad name rdata");
+      rr.rdata = std::move(n);
+      break;
+    }
+    case RrType::kSoa: {
+      SoaData soa;
+      if (!dec.name(soa.mname) || !dec.name(soa.rname) || !dec.u32(soa.serial) ||
+          !dec.u32(soa.refresh) || !dec.u32(soa.retry) || !dec.u32(soa.expire) ||
+          !dec.u32(soa.minimum) || dec.pos() != rdata_end) {
+        return fail("bad SOA rdata");
+      }
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case RrType::kMx: {
+      MxData mx;
+      if (!dec.u16(mx.preference) || !dec.name(mx.exchange) || dec.pos() != rdata_end) {
+        return fail("bad MX rdata");
+      }
+      rr.rdata = std::move(mx);
+      break;
+    }
+    case RrType::kTxt: {
+      std::string txt;
+      while (dec.pos() < rdata_end) {
+        std::uint8_t len = 0;
+        if (!dec.u8(len) || dec.pos() + len > rdata_end) return fail("bad TXT rdata");
+        std::vector<std::uint8_t> chunk;
+        if (!dec.bytes(len, chunk)) return fail("bad TXT rdata");
+        txt.append(chunk.begin(), chunk.end());
+      }
+      rr.rdata = std::move(txt);
+      break;
+    }
+    default: {
+      std::vector<std::uint8_t> raw;
+      if (!dec.bytes(rdlen, raw)) return fail("truncated rdata");
+      rr.rdata = std::move(raw);
+      break;
+    }
+  }
+  if (dec.pos() != rdata_end) return fail("rdata length mismatch");
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const DnsMessage& msg) {
+  if (msg.questions.size() > 0xffff || msg.answers.size() > 0xffff ||
+      msg.authorities.size() > 0xffff || msg.additionals.size() > 0xffff) {
+    throw std::invalid_argument{"dns section too large"};
+  }
+  Encoder enc;
+  enc.u16(msg.id);
+  enc.u16(pack_flags(msg.flags));
+  enc.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.authorities.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.additionals.size()));
+  for (const auto& q : msg.questions) {
+    enc.name(q.qname);
+    enc.u16(static_cast<std::uint16_t>(q.qtype));
+    enc.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : msg.answers) encode_rr(enc, rr);
+  for (const auto& rr : msg.authorities) encode_rr(enc, rr);
+  for (const auto& rr : msg.additionals) encode_rr(enc, rr);
+  return enc.take();
+}
+
+std::optional<DnsMessage> decode(std::span<const std::uint8_t> wire, std::string* error) {
+  auto fail = [error](const char* why) -> std::optional<DnsMessage> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  Decoder dec{wire};
+  DnsMessage msg;
+  std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
+  if (!dec.u16(msg.id) || !dec.u16(flags) || !dec.u16(qd) || !dec.u16(an) || !dec.u16(ns) ||
+      !dec.u16(ar)) {
+    return fail("truncated header");
+  }
+  msg.flags = unpack_flags(flags);
+  msg.questions.reserve(qd);
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    std::uint16_t qtype = 0, qclass = 0;
+    if (!dec.name(q.qname) || !dec.u16(qtype) || !dec.u16(qclass)) {
+      return fail("bad question");
+    }
+    q.qtype = static_cast<RrType>(qtype);
+    q.qclass = static_cast<RrClass>(qclass);
+    msg.questions.push_back(std::move(q));
+  }
+  auto decode_section = [&](std::uint16_t count, std::vector<ResourceRecord>& out) {
+    out.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!decode_rr(dec, rr, error)) return false;
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!decode_section(an, msg.answers) || !decode_section(ns, msg.authorities) ||
+      !decode_section(ar, msg.additionals)) {
+    return std::nullopt;
+  }
+  if (dec.remaining() != 0) return fail("trailing bytes");
+  return msg;
+}
+
+std::size_t encoded_size(const DnsMessage& msg) { return encode(msg).size(); }
+
+DnsMessage truncate_for_udp(const DnsMessage& msg, std::size_t limit) {
+  if (encoded_size(msg) <= limit) return msg;
+  DnsMessage out;
+  out.id = msg.id;
+  out.flags = msg.flags;
+  out.flags.tc = true;
+  out.questions = msg.questions;
+  return out;
+}
+
+}  // namespace dnsctx::dns

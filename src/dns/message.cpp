@@ -1,0 +1,49 @@
+#include "dns/message.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::dns {
+
+DnsMessage DnsMessage::query(std::uint16_t id, DomainName qname, RrType qtype) {
+  DnsMessage m;
+  m.id = id;
+  m.flags.qr = false;
+  m.flags.rd = true;
+  m.questions.push_back(Question{std::move(qname), qtype, RrClass::kIn});
+  return m;
+}
+
+DnsMessage DnsMessage::response(const DnsMessage& q, std::vector<ResourceRecord> answers,
+                                Rcode rcode) {
+  DnsMessage m;
+  m.id = q.id;
+  m.flags = q.flags;
+  m.flags.qr = true;
+  m.flags.ra = true;
+  m.flags.rcode = rcode;
+  m.questions = q.questions;
+  m.answers = std::move(answers);
+  return m;
+}
+
+std::vector<Ipv4Addr> DnsMessage::answer_addresses() const {
+  std::vector<Ipv4Addr> out;
+  for (const auto& rr : answers) {
+    if (rr.type == RrType::kA) {
+      if (const auto* addr = std::get_if<Ipv4Addr>(&rr.rdata)) out.push_back(*addr);
+    }
+  }
+  return out;
+}
+
+std::uint32_t DnsMessage::min_answer_ttl() const {
+  std::uint32_t ttl = 0;
+  bool first = true;
+  for (const auto& rr : answers) {
+    if (first || rr.ttl < ttl) ttl = rr.ttl;
+    first = false;
+  }
+  return first ? 0 : ttl;
+}
+
+}  // namespace dnsctx::dns

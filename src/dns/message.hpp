@@ -1,0 +1,64 @@
+// dnsctx — DNS message model (RFC 1035 §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+
+namespace dnsctx::dns {
+
+/// Header flags, unpacked from the 16-bit flag word.
+struct DnsFlags {
+  bool qr = false;             ///< response (vs query)
+  std::uint8_t opcode = 0;     ///< 0 = standard QUERY
+  bool aa = false;             ///< authoritative answer
+  bool tc = false;             ///< truncated
+  bool rd = true;              ///< recursion desired
+  bool ra = false;             ///< recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  bool operator==(const DnsFlags&) const = default;
+};
+
+/// Question section entry.
+struct Question {
+  DomainName qname;
+  RrType qtype = RrType::kA;
+  RrClass qclass = RrClass::kIn;
+
+  bool operator==(const Question&) const = default;
+};
+
+/// A full DNS message. Sections are plain vectors; the codec enforces
+/// count limits on encode/decode.
+struct DnsMessage {
+  std::uint16_t id = 0;
+  DnsFlags flags;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  bool operator==(const DnsMessage&) const = default;
+
+  /// Build a standard recursive A query.
+  [[nodiscard]] static DnsMessage query(std::uint16_t id, DomainName qname,
+                                        RrType qtype = RrType::kA);
+
+  /// Build a response to `q` with the given answer section.
+  [[nodiscard]] static DnsMessage response(const DnsMessage& q,
+                                           std::vector<ResourceRecord> answers,
+                                           Rcode rcode = Rcode::kNoError);
+
+  /// All IPv4 addresses in the answer section (following the paper: the
+  /// connection pairing considers every A record an answer "contains").
+  [[nodiscard]] std::vector<Ipv4Addr> answer_addresses() const;
+
+  /// Minimum TTL across answer records (the effective cache lifetime of
+  /// the answer set); 0 when there are no answers.
+  [[nodiscard]] std::uint32_t min_answer_ttl() const;
+};
+
+}  // namespace dnsctx::dns

@@ -1,0 +1,109 @@
+#include "dns/name.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dnsctx::dns {
+
+namespace {
+
+[[nodiscard]] bool valid_label_char(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '-' || c == '_';
+}
+
+[[nodiscard]] bool valid_label(std::string_view label) {
+  if (label.empty() || label.size() > kMaxLabelLen) return false;
+  for (char c : label) {
+    if (!valid_label_char(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DomainName> DomainName::parse(std::string_view presentation) {
+  if (!presentation.empty() && presentation.back() == '.') {
+    presentation.remove_suffix(1);  // accept FQDN spelling
+  }
+  if (presentation.empty()) return DomainName{""};  // the root
+  if (presentation.size() > kMaxNameLen) return std::nullopt;
+
+  std::string normalized;
+  normalized.reserve(presentation.size());
+  std::size_t label_start = 0;
+  for (std::size_t i = 0; i <= presentation.size(); ++i) {
+    if (i == presentation.size() || presentation[i] == '.') {
+      if (!valid_label(presentation.substr(label_start, i - label_start))) return std::nullopt;
+      label_start = i + 1;
+    }
+  }
+  for (char c : presentation) {
+    normalized.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return DomainName{std::move(normalized)};
+}
+
+DomainName DomainName::must(std::string_view presentation) {
+  auto n = parse(presentation);
+  if (!n) throw std::invalid_argument{"invalid domain name: " + std::string{presentation}};
+  return *std::move(n);
+}
+
+std::optional<DomainName> DomainName::from_labels(std::span<const std::string_view> labels) {
+  std::string joined;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) joined.push_back('.');
+    joined.append(labels[i]);
+  }
+  return parse(joined);
+}
+
+std::size_t DomainName::label_count() const {
+  if (text_.empty()) return 0;
+  std::size_t n = 1;
+  for (char c : text_) {
+    if (c == '.') ++n;
+  }
+  return n;
+}
+
+std::vector<std::string_view> DomainName::labels() const {
+  std::vector<std::string_view> out;
+  if (text_.empty()) return out;
+  std::string_view sv{text_};
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= sv.size(); ++i) {
+    if (i == sv.size() || sv[i] == '.') {
+      out.push_back(sv.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+DomainName DomainName::parent() const {
+  const auto dot = text_.find('.');
+  if (dot == std::string::npos) return DomainName{""};
+  return DomainName{text_.substr(dot + 1)};
+}
+
+bool DomainName::is_within(const DomainName& zone) const {
+  if (zone.is_root()) return true;
+  if (text_.size() < zone.text_.size()) return false;
+  if (text_.size() == zone.text_.size()) return text_ == zone.text_;
+  if (text_.compare(text_.size() - zone.text_.size(), zone.text_.size(), zone.text_) != 0) {
+    return false;
+  }
+  return text_[text_.size() - zone.text_.size() - 1] == '.';
+}
+
+DomainName DomainName::registrable() const {
+  const auto n = label_count();
+  if (n <= 2) return *this;
+  DomainName cur = *this;
+  for (std::size_t i = 0; i < n - 2; ++i) cur = cur.parent();
+  return cur;
+}
+
+}  // namespace dnsctx::dns

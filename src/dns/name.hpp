@@ -1,0 +1,72 @@
+// dnsctx — DNS domain names (RFC 1034 §3.1, RFC 1035 §2.3.1).
+//
+// Names are stored normalised to ASCII lowercase since DNS name matching
+// is case-insensitive; the original spelling is not preserved (Bro logs
+// normalise the same way).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsctx::dns {
+
+/// A fully-qualified domain name without the trailing root dot
+/// ("www.example.com"). The empty name represents the DNS root.
+class DomainName {
+ public:
+  DomainName() = default;
+
+  /// Parse from presentation format. Enforces RFC limits: labels 1..63
+  /// octets, total name <= 253 presentation octets, LDH + underscore
+  /// charset (underscore occurs in real traffic: _dmarc, DNS-SD, ...).
+  /// Returns nullopt on violation.
+  [[nodiscard]] static std::optional<DomainName> parse(std::string_view presentation);
+
+  /// Parse or throw std::invalid_argument — for literals known valid.
+  [[nodiscard]] static DomainName must(std::string_view presentation);
+
+  /// Build from already-validated labels (used by the wire decoder).
+  [[nodiscard]] static std::optional<DomainName> from_labels(
+      std::span<const std::string_view> labels);
+
+  [[nodiscard]] bool is_root() const { return text_.empty(); }
+  [[nodiscard]] std::size_t label_count() const;
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// Labels left-to-right ("www", "example", "com").
+  [[nodiscard]] std::vector<std::string_view> labels() const;
+
+  /// The name with the leftmost label removed; root stays root.
+  [[nodiscard]] DomainName parent() const;
+
+  /// True if this name equals `zone` or is below it.
+  [[nodiscard]] bool is_within(const DomainName& zone) const;
+
+  /// Registrable-domain approximation: the last two labels (our simulated
+  /// universe only uses two-label public suffixes like ".com", ".net").
+  [[nodiscard]] DomainName registrable() const;
+
+  auto operator<=>(const DomainName&) const = default;
+
+ private:
+  explicit DomainName(std::string normalized) : text_{std::move(normalized)} {}
+  std::string text_;  // normalized lowercase, no trailing dot
+};
+
+struct DomainNameHash {
+  [[nodiscard]] std::size_t operator()(const DomainName& n) const noexcept {
+    return std::hash<std::string>{}(n.text());
+  }
+};
+
+/// Maximum label length in octets (RFC 1035 §2.3.4).
+inline constexpr std::size_t kMaxLabelLen = 63;
+/// Maximum presentation-format name length we accept.
+inline constexpr std::size_t kMaxNameLen = 253;
+
+}  // namespace dnsctx::dns

@@ -1,0 +1,34 @@
+#include "dns/rr.hpp"
+
+namespace dnsctx::dns {
+
+std::string to_string(RrType t) {
+  switch (t) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kPtr: return "PTR";
+    case RrType::kMx: return "MX";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kSrv: return "SRV";
+    case RrType::kOpt: return "OPT";
+    case RrType::kHttps: return "HTTPS";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+std::string to_string(Rcode r) {
+  switch (r) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(r));
+}
+
+}  // namespace dnsctx::dns

@@ -1,0 +1,99 @@
+// dnsctx — DNS resource records (RFC 1035 §3.2, §4.1.3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/ip.hpp"
+#include "util/time.hpp"
+
+namespace dnsctx::dns {
+
+/// RR TYPE codes we model. Values are the IANA wire values.
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kSrv = 33,
+  kOpt = 41,
+  kHttps = 65,
+};
+
+[[nodiscard]] std::string to_string(RrType t);
+
+/// CLASS codes (we only ever emit IN, but the codec round-trips others).
+enum class RrClass : std::uint16_t { kIn = 1, kCh = 3, kAny = 255 };
+
+/// Response codes (RFC 1035 §4.1.1).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+[[nodiscard]] std::string to_string(Rcode r);
+
+/// SOA RDATA — needed for negative caching (RFC 2308 uses SOA MINIMUM).
+struct SoaData {
+  DomainName mname;
+  DomainName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  auto operator<=>(const SoaData&) const = default;
+};
+
+/// MX RDATA.
+struct MxData {
+  std::uint16_t preference = 0;
+  DomainName exchange;
+  auto operator<=>(const MxData&) const = default;
+};
+
+/// RDATA payload: typed where the analysis needs semantics, raw bytes
+/// otherwise (the codec preserves unknown types losslessly).
+using Rdata = std::variant<Ipv4Addr,               // A
+                           DomainName,             // NS / CNAME / PTR
+                           std::string,            // TXT (single string form)
+                           SoaData,                // SOA
+                           MxData,                 // MX
+                           std::vector<std::uint8_t>>;  // anything else
+
+/// A single resource record as it appears in a DNS message section.
+struct ResourceRecord {
+  DomainName name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+  std::uint32_t ttl = 0;  ///< seconds, as carried on the wire
+  Rdata rdata;
+
+  [[nodiscard]] SimDuration ttl_duration() const { return SimDuration::sec(ttl); }
+
+  /// Convenience for the common case.
+  [[nodiscard]] static ResourceRecord a(DomainName n, Ipv4Addr addr, std::uint32_t ttl_sec) {
+    return ResourceRecord{std::move(n), RrType::kA, RrClass::kIn, ttl_sec, addr};
+  }
+  [[nodiscard]] static ResourceRecord cname(DomainName n, DomainName target,
+                                            std::uint32_t ttl_sec) {
+    return ResourceRecord{std::move(n), RrType::kCname, RrClass::kIn, ttl_sec,
+                          std::move(target)};
+  }
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+}  // namespace dnsctx::dns

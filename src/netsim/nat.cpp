@@ -1,0 +1,84 @@
+#include "netsim/nat.hpp"
+
+#include <stdexcept>
+
+namespace dnsctx::netsim {
+
+HouseGateway::HouseGateway(Simulator& sim, Network& wan, Ipv4Addr external_ip,
+                           std::uint64_t seed, SimDuration lan_delay)
+    : sim_{sim}, wan_{wan}, external_ip_{external_ip}, lan_delay_{lan_delay}, rng_{seed} {
+  wan_.attach(external_ip_, this);
+  wan_.register_access_ip(external_ip_);
+}
+
+void HouseGateway::attach_device(Ipv4Addr internal_ip, Host* device) {
+  devices_[internal_ip] = device;
+}
+
+std::uint16_t HouseGateway::map_outbound(const InternalKey& key) {
+  if (const auto it = by_internal_.find(key); it != by_internal_.end()) {
+    auto& mapping = by_external_[ExternalKey{it->second, key.proto}];
+    mapping.last_used = sim_.now();
+    return it->second;
+  }
+  // Allocate the next free (or reclaimable) external port; one full scan
+  // of the port space before declaring exhaustion.
+  for (std::uint32_t attempts = 0; attempts < 64'512; ++attempts) {
+    const std::uint16_t candidate = next_port_;
+    next_port_ = next_port_ == 65'535 ? std::uint16_t{1024} : static_cast<std::uint16_t>(next_port_ + 1);
+    const ExternalKey ext{candidate, key.proto};
+    const auto it = by_external_.find(ext);
+    if (it != by_external_.end()) {
+      if (sim_.now() - it->second.last_used < kMappingIdleLimit) continue;
+      by_internal_.erase(it->second.internal);
+      by_external_.erase(it);
+    }
+    by_internal_[key] = candidate;
+    by_external_[ext] = Mapping{key, candidate, sim_.now()};
+    return candidate;
+  }
+  throw std::runtime_error{"HouseGateway: NAT port space exhausted"};
+}
+
+void HouseGateway::from_device(Packet p) {
+  if (dns_intercept_ && p.proto == Proto::kUdp && p.dst_port == 53) {
+    if (dns_intercept_(p)) return;
+  }
+  const InternalKey key{p.src_ip, p.src_port, p.proto};
+  const std::uint16_t ext_port = map_outbound(key);
+  // The LAN hop, then the translated packet leaves on the WAN.
+  const double lan_jitter_ms = rng_.exponential(0.1);
+  sim_.after(lan_delay_ + SimDuration::from_ms(lan_jitter_ms),
+             [this, p = std::move(p), ext_port]() mutable {
+               p.src_ip = external_ip_;
+               p.src_port = ext_port;
+               wan_.send(std::move(p));
+             });
+}
+
+void HouseGateway::deliver_to_device(Packet p) {
+  const auto dev = devices_.find(p.dst_ip);
+  if (dev == devices_.end()) return;
+  const double lan_jitter_ms = rng_.exponential(0.1);
+  sim_.after(lan_delay_ + SimDuration::from_ms(lan_jitter_ms),
+             [host = dev->second, p = std::move(p)]() { host->receive(p); });
+}
+
+void HouseGateway::receive(const Packet& p) {
+  const auto it = by_external_.find(ExternalKey{p.dst_port, p.proto});
+  if (it == by_external_.end()) return;  // unsolicited inbound: dropped, like real NAT
+  it->second.last_used = sim_.now();
+  const InternalKey target = it->second.internal;
+  const auto dev = devices_.find(target.ip);
+  if (dev == devices_.end()) return;
+  Packet translated = p;
+  translated.dst_ip = target.ip;
+  translated.dst_port = target.port;
+  const double lan_jitter_ms = rng_.exponential(0.1);
+  sim_.after(lan_delay_ + SimDuration::from_ms(lan_jitter_ms),
+             [host = dev->second, translated = std::move(translated)]() {
+               host->receive(translated);
+             });
+}
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,100 @@
+// dnsctx — the per-house gateway: NAT between the in-home network and the
+// WAN, matching the CCZ deployment (§3 of the paper: supplied routers do
+// NAT but do NOT act as DNS forwarders — the monitor therefore sees one
+// address per house and real device-issued DNS queries).
+//
+// An optional DNS intercept hook lets the §8 "whole-house cache" studies
+// turn the same gateway into a caching forwarder without touching the
+// rest of the stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "netsim/network.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::netsim {
+
+/// NAT + in-home LAN for one house.
+class HouseGateway : public Host {
+ public:
+  /// `lan_delay` is the one-way device↔gateway delay (WiFi/Ethernet).
+  HouseGateway(Simulator& sim, Network& wan, Ipv4Addr external_ip, std::uint64_t seed,
+               SimDuration lan_delay = SimDuration::from_ms(0.5));
+
+  /// Attach a device at its in-home (RFC 1918) address.
+  void attach_device(Ipv4Addr internal_ip, Host* device);
+
+  /// Device-side entry point: translate source and forward to the WAN.
+  void from_device(Packet p);
+
+  /// WAN-side entry point (Host): translate destination and deliver to
+  /// the owning device.
+  void receive(const Packet& p) override;
+
+  /// Optional intercept for outbound UDP/53. Returning true means the
+  /// hook consumed the packet (the §8 forwarder answers from its cache);
+  /// false forwards normally. The hook sees the *pre-NAT* packet.
+  using DnsIntercept = std::function<bool(const Packet&)>;
+  void set_dns_intercept(DnsIntercept hook) { dns_intercept_ = std::move(hook); }
+
+  /// Deliver a packet straight to the device owning `p.dst_ip` after the
+  /// in-home LAN delay (used by the DNS forwarder to answer locally).
+  void deliver_to_device(Packet p);
+
+  [[nodiscard]] Ipv4Addr external_ip() const { return external_ip_; }
+  [[nodiscard]] std::size_t active_mappings() const { return by_external_.size(); }
+
+ private:
+  struct InternalKey {
+    Ipv4Addr ip;
+    std::uint16_t port;
+    Proto proto;
+    bool operator==(const InternalKey&) const = default;
+  };
+  struct InternalKeyHash {
+    [[nodiscard]] std::size_t operator()(const InternalKey& k) const noexcept {
+      return Ipv4Hash{}(k.ip) ^ (static_cast<std::size_t>(k.port) << 8) ^
+             static_cast<std::size_t>(k.proto);
+    }
+  };
+  struct ExternalKey {
+    std::uint16_t port;
+    Proto proto;
+    bool operator==(const ExternalKey&) const = default;
+  };
+  struct ExternalKeyHash {
+    [[nodiscard]] std::size_t operator()(const ExternalKey& k) const noexcept {
+      return (static_cast<std::size_t>(k.port) << 1) ^ static_cast<std::size_t>(k.proto);
+    }
+  };
+  struct Mapping {
+    InternalKey internal;
+    std::uint16_t external_port;
+    SimTime last_used;
+  };
+
+  [[nodiscard]] std::uint16_t map_outbound(const InternalKey& key);
+  void expire_if_stale(ExternalKey ext);
+
+  Simulator& sim_;
+  Network& wan_;
+  Ipv4Addr external_ip_;
+  SimDuration lan_delay_;
+  Rng rng_;
+  DnsIntercept dns_intercept_;
+
+  std::unordered_map<Ipv4Addr, Host*, Ipv4Hash> devices_;
+  std::unordered_map<InternalKey, std::uint16_t, InternalKeyHash> by_internal_;
+  std::unordered_map<ExternalKey, Mapping, ExternalKeyHash> by_external_;
+  std::uint16_t next_port_ = 1024;
+
+  /// Mappings idle longer than this are reclaimable.
+  static constexpr SimDuration kMappingIdleLimit = SimDuration::min(15);
+};
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,108 @@
+// dnsctx — the simulated WAN: host attachment, latency model, delivery,
+// and the ISP aggregation-point tap where the passive monitor sits.
+//
+// Topology mirrors the paper's: ~100 access-side houses hang off one
+// aggregation point; everything else (resolvers, servers, peers) is on
+// the core side. A packet is observable iff it crosses the aggregation
+// point, i.e. exactly one endpoint is an access-side (house) address.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::netsim {
+
+/// Anything that can terminate packets.
+class Host {
+ public:
+  virtual ~Host() = default;
+  virtual void receive(const Packet& p) = 0;
+};
+
+/// Passive observer at the aggregation point (the Bro monitor implements
+/// this). Observes the packet plus the instant it crossed the tap.
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+  virtual void observe(SimTime at_tap, const Packet& p) = 0;
+};
+
+/// Per-endpoint propagation parameters: base one-way delay from the
+/// aggregation point plus per-packet jitter drawn at send time.
+struct SiteProfile {
+  SimDuration base_one_way = SimDuration::ms(10);
+  double jitter_ms_mean = 0.3;  ///< mean of an exponential jitter term
+};
+
+/// Delay model: one_way(src→dst) = src.base + dst.base + jitter.
+/// Unregistered addresses get a deterministic profile derived from the
+/// address hash, covering the generic-internet-server population.
+class LatencyModel {
+ public:
+  LatencyModel();
+
+  void set_site(Ipv4Addr addr, SiteProfile profile);
+
+  /// Delay range for unregistered remotes (defaults ~4–35 ms one-way,
+  /// i.e. typical 10–70 ms server RTTs from a US residential eyeball).
+  void set_remote_range(SimDuration lo, SimDuration hi) {
+    remote_lo_ = lo;
+    remote_hi_ = hi;
+  }
+
+  [[nodiscard]] SiteProfile site(Ipv4Addr addr) const;
+  [[nodiscard]] SimDuration one_way(Ipv4Addr src, Ipv4Addr dst, Rng& rng) const;
+
+ private:
+  std::unordered_map<Ipv4Addr, SiteProfile, Ipv4Hash> sites_;
+  SimDuration remote_lo_ = SimDuration::from_ms(4.0);
+  SimDuration remote_hi_ = SimDuration::from_ms(35.0);
+};
+
+/// The network fabric. Non-owning over hosts; single-threaded.
+class Network {
+ public:
+  Network(Simulator& sim, LatencyModel latency, std::uint64_t seed);
+
+  /// Attach a host at a specific address (resolvers, gateways, named
+  /// servers). Last attachment at an address wins.
+  void attach(Ipv4Addr addr, Host* host);
+
+  /// Handler for packets to any unattached address (the server farm).
+  void set_default_host(Host* host) { default_host_ = host; }
+
+  /// Install the aggregation-point tap.
+  void set_tap(PacketTap* tap) { tap_ = tap; }
+
+  /// Declare an address as access-side (a house external IP).
+  void register_access_ip(Ipv4Addr addr) { access_.insert(addr); }
+  [[nodiscard]] bool is_access_ip(Ipv4Addr addr) const { return access_.contains(addr); }
+
+  /// Inject a packet; it is delivered after the modelled one-way delay
+  /// and observed at the tap if it crosses the aggregation point.
+  void send(Packet p);
+
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  /// Mutable access for topology construction (register sites before
+  /// traffic flows; changing profiles mid-run is allowed but unusual).
+  [[nodiscard]] LatencyModel& latency_mut() { return latency_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Simulator& sim_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<Ipv4Addr, Host*, Ipv4Hash> hosts_;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> access_;
+  Host* default_host_ = nullptr;
+  PacketTap* tap_ = nullptr;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dnsctx::netsim

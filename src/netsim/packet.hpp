@@ -1,0 +1,79 @@
+// dnsctx — the packet record exchanged between simulated hosts.
+//
+// Packets are abstract transport events, not byte-accurate frames, with
+// one exception: DNS payloads are real RFC 1035 wire bytes so the passive
+// monitor parses them exactly as Bro/Zeek would.
+//
+// VANTAGE-POINT RULE: the `intent` field is simulation-internal routing
+// metadata (the client tells the generic server farm how to animate the
+// transfer). The passive monitor MUST NOT read it; monitors only consume
+// the observable header fields, payload sizes and DNS bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/ip.hpp"
+#include "util/time.hpp"
+
+namespace dnsctx::netsim {
+
+/// TCP control flags relevant to Bro-style connection tracking.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  bool operator==(const TcpFlags&) const = default;
+};
+
+/// How the generic server farm should animate a client-initiated
+/// transfer: sizes, how long the response takes, and whether the server
+/// answers at all (dead IPs yield Bro "S0" attempts).
+struct TransferIntent {
+  std::uint64_t request_bytes = 300;
+  std::uint64_t response_bytes = 10'000;
+  /// Application transfer time A: first request byte to last response
+  /// byte, as the paper's §6 defines the non-DNS part of a transaction.
+  SimDuration transfer_time = SimDuration::ms(100);
+  /// Server-side think time before the first response byte.
+  SimDuration server_delay = SimDuration::ms(5);
+};
+
+/// A packet in flight. `src`/`dst` are the on-the-wire addresses at the
+/// observation point the packet currently traverses (the NAT rewrites
+/// them at the home gateway, exactly like real address translation).
+struct Packet {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::kTcp;
+
+  TcpFlags tcp;                      ///< meaningful only when proto == kTcp
+  std::uint64_t payload_bytes = 0;   ///< application payload size this packet carries
+
+  /// Raw DNS message bytes when this packet is a DNS query/response.
+  /// shared_ptr: fan-out through gateway/tap without copies.
+  std::shared_ptr<const std::vector<std::uint8_t>> dns_wire;
+
+  /// Sim-internal, invisible to monitors (see file header).
+  std::optional<TransferIntent> intent;
+
+  [[nodiscard]] FiveTuple tuple() const {
+    return FiveTuple{src_ip, dst_ip, src_port, dst_port, proto};
+  }
+
+  /// Approximate on-the-wire size for volume accounting: header estimate
+  /// plus payload/DNS bytes.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    const std::uint64_t header = proto == Proto::kTcp ? 54 : 42;
+    const std::uint64_t dns = dns_wire ? dns_wire->size() : 0;
+    return header + payload_bytes + dns;
+  }
+};
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,65 @@
+// dnsctx — deterministic discrete-event simulation engine.
+//
+// A single priority queue orders (time, sequence) pairs; the sequence
+// number breaks ties in insertion order so runs are bit-reproducible.
+// There is no wall clock anywhere: SimTime only advances when an event
+// is dispatched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dnsctx::netsim {
+
+/// The event loop. Components schedule closures; `run_until` dispatches
+/// them in timestamp order, advancing the simulated clock.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (time of the event being dispatched, or the
+  /// last dispatched event between runs).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time; must not be in the past.
+  void at(SimTime when, Action action);
+
+  /// Schedule `delay` after now (delay may be zero).
+  void after(SimDuration delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  /// Dispatch events with time <= `end`, then set the clock to `end`.
+  void run_until(SimTime end);
+
+  /// Dispatch every remaining event.
+  void run_to_completion();
+
+  /// Dispatch a single event; false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dnsctx::netsim

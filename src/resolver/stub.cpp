@@ -1,0 +1,230 @@
+#include "resolver/stub.hpp"
+
+#include <utility>
+
+namespace dnsctx::resolver {
+
+StubResolver::StubResolver(netsim::Simulator& sim, Ipv4Addr device_ip, StubConfig cfg,
+                           std::uint64_t seed, SendFn send)
+    : sim_{sim},
+      device_ip_{device_ip},
+      cfg_{std::move(cfg)},
+      rng_{seed},
+      send_{std::move(send)},
+      cache_{cfg_.cache} {}
+
+void StubResolver::resolve(const dns::DomainName& name, Callback cb, bool speculative) {
+  // 1. Device cache — including TTL-violating stale entries.
+  if (auto hit = cache_.lookup(name, dns::RrType::kA, sim_.now())) {
+    ResolveResult res;
+    res.success = !hit->answers.empty();
+    for (const auto& rr : hit->answers) {
+      if (rr.type == dns::RrType::kA) res.addrs.push_back(std::get<Ipv4Addr>(rr.rdata));
+    }
+    res.from_cache = true;
+    res.used_expired = hit->expired;
+    // A cache probe is not free but is far below network scale.
+    sim_.after(SimDuration::us(50),
+               [cb = std::move(cb), res = std::move(res)]() { cb(res); });
+    return;
+  }
+
+  // 2. Join an in-flight query for the same name.
+  if (const auto it = inflight_.find(InflightKey{name, dns::RrType::kA});
+      it != inflight_.end()) {
+    it->second->callbacks.push_back(std::move(cb));
+    return;
+  }
+
+  // 3. New query.
+  if (cfg_.resolver_addrs.empty()) {
+    ResolveResult res;  // no resolver configured: immediate failure
+    ++failures_;
+    sim_.after(SimDuration::us(50),
+               [cb = std::move(cb), res = std::move(res)]() { cb(res); });
+    return;
+  }
+  auto pending = start_query(name, dns::RrType::kA, speculative);
+  pending->callbacks.push_back(std::move(cb));
+
+  // Happy eyeballs: dual-stack hosts race an AAAA query too.
+  if (cfg_.aaaa_prob > 0.0 && rng_.bernoulli(cfg_.aaaa_prob) &&
+      !inflight_.contains(InflightKey{name, dns::RrType::kAaaa}) &&
+      !cache_.peek(name, dns::RrType::kAaaa, sim_.now())) {
+    (void)start_query(name, dns::RrType::kAaaa, speculative);
+  }
+}
+
+std::shared_ptr<StubResolver::Pending> StubResolver::start_query(const dns::DomainName& name,
+                                                                 dns::RrType qtype,
+                                                                 bool speculative) {
+  auto pending = std::make_shared<Pending>();
+  pending->name = name;
+  pending->qtype = qtype;
+  pending->speculative = speculative;
+  pending->txid = next_txid_ == 0 ? ++next_txid_ : next_txid_;
+  ++next_txid_;
+  pending->src_port = next_port_;
+  next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
+                                    : static_cast<std::uint16_t>(next_port_ + 1);
+  pending->first_sent = sim_.now();
+  inflight_.emplace(InflightKey{name, qtype}, pending);
+  by_txid_.emplace(pending->txid, pending);
+  send_query(pending);
+  return pending;
+}
+
+void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
+  const Ipv4Addr resolver = cfg_.resolver_addrs[pending->resolver_idx];
+  dns::DnsMessage q = dns::DnsMessage::query(pending->txid, pending->name, pending->qtype);
+  netsim::Packet p;
+  p.src_ip = device_ip_;
+  p.dst_ip = resolver;
+  p.src_port = pending->src_port;
+  p.dst_port = cfg_.dns_port;
+  p.proto = Proto::kUdp;
+  p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(q));
+  ++queries_sent_;
+  send_(std::move(p));
+  arm_timeout(pending);
+}
+
+void StubResolver::arm_timeout(const std::shared_ptr<Pending>& pending) {
+  sim_.after(cfg_.query_timeout, [this, pending]() {
+    if (pending->done) return;
+    if (pending->via_tcp) {
+      // The TCP retry itself stalled: give up (terminal failure).
+      tcp_by_port_.erase(pending->tcp_port);
+      ++failures_;
+      finish(pending, ResolveResult{});
+      return;
+    }
+    if (pending->attempts_on_resolver < cfg_.retries_per_resolver) {
+      ++pending->attempts_on_resolver;
+      send_query(pending);
+      return;
+    }
+    if (pending->resolver_idx + 1 < cfg_.resolver_addrs.size()) {
+      ++pending->resolver_idx;
+      pending->attempts_on_resolver = 0;
+      send_query(pending);
+      return;
+    }
+    ++failures_;
+    finish(pending, ResolveResult{});  // terminal failure
+  });
+}
+
+void StubResolver::on_response(const netsim::Packet& p) {
+  if (!p.dns_wire) return;
+  const auto msg = dns::decode(*p.dns_wire);
+  if (!msg || !msg->flags.qr) return;
+  const auto it = by_txid_.find(msg->id);
+  if (it == by_txid_.end()) return;
+  const auto pending = it->second;
+  if (pending->done) return;
+  // Anti-spoofing checks a real stub performs: source and port match.
+  if (p.src_ip != cfg_.resolver_addrs[pending->resolver_idx] ||
+      p.dst_port != pending->src_port) {
+    return;
+  }
+
+  if (msg->flags.tc && cfg_.tcp_fallback && !pending->via_tcp) {
+    // Truncated: the answer did not fit in a 512-byte UDP payload.
+    // Re-ask the same resolver over TCP (RFC 1035 §4.2.2).
+    begin_tcp_fallback(pending);
+    return;
+  }
+  deliver_response(pending, *msg);
+}
+
+void StubResolver::deliver_response(const std::shared_ptr<Pending>& pending,
+                                    const dns::DnsMessage& msg) {
+  ResolveResult res;
+  res.resolver = cfg_.resolver_addrs[pending->resolver_idx];
+  res.lookup_time = sim_.now() - pending->first_sent;
+  res.success = msg.flags.rcode == dns::Rcode::kNoError && !msg.answers.empty();
+  res.addrs = msg.answer_addresses();
+
+  // Cache the outcome. Some entries get a TTL-violating extra hold —
+  // applications and OS caches holding bindings past expiry.
+  SimDuration extra = SimDuration::zero();
+  if (rng_.bernoulli(cfg_.ttl_violation_prob)) {
+    extra = SimDuration::from_sec(rng_.lognormal(cfg_.hold_mu, cfg_.hold_sigma));
+  }
+  if (pending->speculative) {
+    const auto browser_hold = SimDuration::from_sec(
+        rng_.uniform(cfg_.speculative_hold_min_sec, cfg_.speculative_hold_max_sec));
+    extra = std::max(extra, browser_hold);
+  }
+  if (res.success || pending->qtype != dns::RrType::kA) {
+    cache_.insert(pending->name, pending->qtype, msg.answers, msg.flags.rcode, sim_.now(),
+                  extra);
+  } else {
+    // Negative caching (RFC 2308): hold NXDOMAIN/NODATA for a few
+    // minutes so repeated misses don't re-query immediately.
+    cache_.insert(pending->name, dns::RrType::kA, {}, msg.flags.rcode, sim_.now(),
+                  SimDuration::sec(300));
+  }
+  if (!res.success && pending->qtype == dns::RrType::kA) ++failures_;
+  finish(pending, std::move(res));
+}
+
+void StubResolver::send_tcp(const std::shared_ptr<Pending>& pending, netsim::TcpFlags flags,
+                            std::shared_ptr<const std::vector<std::uint8_t>> wire) {
+  netsim::Packet p;
+  p.src_ip = device_ip_;
+  p.dst_ip = cfg_.resolver_addrs[pending->resolver_idx];
+  p.src_port = pending->tcp_port;
+  p.dst_port = 53;
+  p.proto = Proto::kTcp;
+  p.tcp = flags;
+  p.dns_wire = std::move(wire);
+  send_(std::move(p));
+}
+
+void StubResolver::begin_tcp_fallback(const std::shared_ptr<Pending>& pending) {
+  ++tcp_fallbacks_;
+  pending->via_tcp = true;
+  pending->tcp_port = next_port_;
+  next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
+                                    : static_cast<std::uint16_t>(next_port_ + 1);
+  tcp_by_port_[pending->tcp_port] = pending;
+  send_tcp(pending, netsim::TcpFlags{.syn = true});
+  arm_timeout(pending);  // TCP retries time out through the same machinery
+}
+
+void StubResolver::on_tcp(const netsim::Packet& p) {
+  const auto it = tcp_by_port_.find(p.dst_port);
+  if (it == tcp_by_port_.end()) return;  // late segment for a done exchange
+  const auto pending = it->second;
+  if (pending->done) {
+    tcp_by_port_.erase(it);
+    return;
+  }
+  if (p.tcp.rst) return;
+  if (p.tcp.syn && p.tcp.ack) {
+    // Connection up: ship the query bytes.
+    dns::DnsMessage q = dns::DnsMessage::query(pending->txid, pending->name, pending->qtype);
+    send_tcp(pending, netsim::TcpFlags{.ack = true},
+             std::make_shared<const std::vector<std::uint8_t>>(dns::encode(q)));
+    return;
+  }
+  if (p.dns_wire) {
+    const auto msg = dns::decode(*p.dns_wire);
+    if (!msg || !msg->flags.qr || msg->id != pending->txid) return;
+    send_tcp(pending, netsim::TcpFlags{.ack = true, .fin = true});  // close our half
+    tcp_by_port_.erase(pending->tcp_port);
+    deliver_response(pending, *msg);
+  }
+}
+
+void StubResolver::finish(const std::shared_ptr<Pending>& pending, ResolveResult result) {
+  pending->done = true;
+  by_txid_.erase(pending->txid);
+  inflight_.erase(InflightKey{pending->name, pending->qtype});
+  for (auto& cb : pending->callbacks) cb(result);
+  pending->callbacks.clear();
+}
+
+}  // namespace dnsctx::resolver

@@ -1,0 +1,151 @@
+// dnsctx — the per-device stub resolver.
+//
+// Models what the OS + applications do on a real device in the monitored
+// neighborhood: an on-device cache (whose entries are the "local cache"
+// the paper's LC class leverages), TTL-violating retention (§5.2: 22.2%
+// of LC connections use expired records, median 890 s past expiry),
+// query de-duplication, retransmission timeouts, and multi-resolver
+// failover. The stub does NOT see the network directly — it emits
+// packets through the device, which sits behind the house NAT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/cache.hpp"
+#include "dns/codec.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::resolver {
+
+struct StubConfig {
+  /// Resolvers in preference order; retries exhaust one before failover.
+  std::vector<Ipv4Addr> resolver_addrs;
+  dns::CacheConfig cache{.capacity = 2'000};
+  /// Probability a cached entry is retained (servable) past its TTL —
+  /// the mechanism behind observed TTL violations.
+  double ttl_violation_prob = 0.2; 
+  /// Lognormal parameters (seconds) of the extra hold beyond the TTL.
+  /// Defaults give a median ≈ 900 s and a long tail, matching §5.2.
+  double hold_mu = 6.3;
+  double hold_sigma = 2.1;
+  /// Minimum extra hold (seconds, uniform up to max) applied to
+  /// speculative lookups' cache entries.
+  double speculative_hold_min_sec = 60.0;
+  double speculative_hold_max_sec = 600.0;
+  SimDuration query_timeout = SimDuration::sec(3);
+  int retries_per_resolver = 1;
+  /// 53 = plain DNS. 853 models encrypted DNS (DoT/DoQ): resolution
+  /// still works, but the aggregation-point monitor can no longer parse
+  /// the transactions (§3/§5.1's "future efforts..." observation).
+  std::uint16_t dns_port = 53;
+  /// Dual-stack hosts fire a parallel AAAA query alongside fresh A
+  /// queries (happy eyeballs). The result is cached but never drives a
+  /// connection in this v4-only study — it thickens the visible DNS
+  /// transaction stream exactly as real captures show.
+  double aaaa_prob = 0.0;
+  /// Retry truncated (TC) UDP responses over TCP (RFC 1035 §4.2.2).
+  bool tcp_fallback = true;
+};
+
+/// Outcome of a resolve() call.
+struct ResolveResult {
+  bool success = false;
+  std::vector<Ipv4Addr> addrs;
+  bool from_cache = false;    ///< answered from the device cache
+  bool used_expired = false;  ///< the cache entry had outlived its TTL
+  Ipv4Addr resolver;          ///< resolver that answered (unset for cache hits)
+  SimDuration lookup_time = SimDuration::zero();  ///< request→response, 0 for cache
+};
+
+/// The stub resolver. One per device; single-threaded like the rest of
+/// the simulation.
+class StubResolver {
+ public:
+  using SendFn = std::function<void(netsim::Packet)>;
+  using Callback = std::function<void(const ResolveResult&)>;
+
+  StubResolver(netsim::Simulator& sim, Ipv4Addr device_ip, StubConfig cfg, std::uint64_t seed,
+               SendFn send);
+
+  /// Resolve a name to addresses. The callback fires exactly once — from
+  /// cache after a negligible delay, or when a response/terminal timeout
+  /// arrives. Concurrent resolves of the same name share one query.
+  /// `speculative` marks browser-prefetch-style lookups: browsers hold
+  /// those results for a while regardless of TTL (Chrome's host cache),
+  /// so the entry gets a minimum extra hold beyond its TTL.
+  void resolve(const dns::DomainName& name, Callback cb, bool speculative = false);
+
+  /// Feed an inbound UDP/53 response (the device demuxes to us).
+  void on_response(const netsim::Packet& p);
+
+  /// Feed an inbound TCP segment from a resolver (truncation fallback).
+  void on_tcp(const netsim::Packet& p);
+
+  [[nodiscard]] std::uint64_t tcp_fallbacks() const { return tcp_fallbacks_; }
+
+  /// Force-expire the device cache (used by tests).
+  void flush_cache() { cache_.clear(); }
+
+  [[nodiscard]] const dns::DnsCache& cache() const { return cache_; }
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+ private:
+  struct Pending {
+    dns::DomainName name;
+    dns::RrType qtype = dns::RrType::kA;
+    bool speculative = false;
+    bool via_tcp = false;        ///< fallback in progress
+    std::uint16_t tcp_port = 0;  ///< local port of the TCP retry
+    std::vector<Callback> callbacks;
+    std::uint16_t txid = 0;
+    std::uint16_t src_port = 0;
+    std::size_t resolver_idx = 0;
+    int attempts_on_resolver = 0;
+    SimTime first_sent;
+    bool done = false;
+  };
+
+  void send_query(const std::shared_ptr<Pending>& pending);
+  void arm_timeout(const std::shared_ptr<Pending>& pending);
+  void finish(const std::shared_ptr<Pending>& pending, ResolveResult result);
+  [[nodiscard]] std::shared_ptr<Pending> start_query(const dns::DomainName& name,
+                                                     dns::RrType qtype, bool speculative);
+  void begin_tcp_fallback(const std::shared_ptr<Pending>& pending);
+  void deliver_response(const std::shared_ptr<Pending>& pending, const dns::DnsMessage& msg);
+  void send_tcp(const std::shared_ptr<Pending>& pending, netsim::TcpFlags flags,
+                std::shared_ptr<const std::vector<std::uint8_t>> wire = nullptr);
+
+  netsim::Simulator& sim_;
+  Ipv4Addr device_ip_;
+  StubConfig cfg_;
+  Rng rng_;
+  SendFn send_;
+  dns::DnsCache cache_;
+  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> by_txid_;
+  struct InflightKey {
+    dns::DomainName name;
+    dns::RrType qtype;
+    bool operator==(const InflightKey&) const = default;
+  };
+  struct InflightKeyHash {
+    [[nodiscard]] std::size_t operator()(const InflightKey& k) const noexcept {
+      return dns::DomainNameHash{}(k.name) * 31 ^ static_cast<std::size_t>(k.qtype);
+    }
+  };
+  std::unordered_map<InflightKey, std::shared_ptr<Pending>, InflightKeyHash> inflight_;
+  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> tcp_by_port_;
+  std::uint64_t tcp_fallbacks_ = 0;
+  std::uint16_t next_txid_ = 1;
+  std::uint16_t next_port_ = 20'000;
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace dnsctx::resolver

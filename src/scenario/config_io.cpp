@@ -1,0 +1,148 @@
+#include "scenario/config_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::scenario {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+template <typename T>
+[[nodiscard]] T parse_number(std::string_view v, std::size_t line_no) {
+  T out{};
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw std::runtime_error{strfmt("config line %zu: bad number '%.*s'", line_no,
+                                    static_cast<int>(v.size()), v.data())};
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_config(std::ostream& os, const ScenarioConfig& cfg) {
+  os << "# dnsctx scenario configuration\n";
+  os << "seed = " << cfg.seed << "\n";
+  os << "houses = " << cfg.houses << "\n";
+  os << "duration_hours = " << cfg.duration.count_us() / 3'600'000'000LL << "\n";
+  os << "start_hour = " << cfg.start_hour << "\n";
+  os << strfmt("activity_scale = %g\n", cfg.activity_scale);
+  os << strfmt("ttl_violation_prob = %g\n", cfg.ttl_violation_prob);
+  os << strfmt("dead_ntp_frac = %g\n", cfg.dead_ntp_frac);
+  os << strfmt("p2p_house_frac = %g\n", cfg.p2p_house_frac);
+  os << strfmt("encrypted_dns_device_frac = %g\n", cfg.encrypted_dns_device_frac);
+  os << strfmt("whole_house_cache_frac = %g\n", cfg.whole_house_cache_frac);
+  os << strfmt("mix.isp_only = %g\n", cfg.mix.isp_only);
+  os << strfmt("mix.cloudflare = %g\n", cfg.mix.cloudflare);
+  os << strfmt("mix.no_isp = %g\n", cfg.mix.no_isp);
+  os << strfmt("mix.opendns_in_mixed = %g\n", cfg.mix.opendns_in_mixed);
+  os << "zones.web_sites = " << cfg.zones.web_sites << "\n";
+  os << "zones.cdn_domains = " << cfg.zones.cdn_domains << "\n";
+  os << "zones.ad_domains = " << cfg.zones.ad_domains << "\n";
+  os << "zones.tracker_domains = " << cfg.zones.tracker_domains << "\n";
+  os << "zones.api_domains = " << cfg.zones.api_domains << "\n";
+  os << "zones.video_sites = " << cfg.zones.video_sites << "\n";
+  os << "zones.other_names = " << cfg.zones.other_names << "\n";
+  os << strfmt("zones.zipf_exponent = %g\n", cfg.zones.zipf_exponent);
+  os << "zones.edges_per_cdn = " << cfg.zones.edges_per_cdn << "\n";
+  os << "zones.hosting_pool_ips = " << cfg.zones.hosting_pool_ips << "\n";
+}
+
+void save_config_file(const std::string& path, const ScenarioConfig& cfg) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"save_config_file: cannot open " + path};
+  save_config(os, cfg);
+}
+
+ScenarioConfig load_config(std::istream& is) {
+  ScenarioConfig cfg;
+  using Setter = std::function<void(std::string_view, std::size_t)>;
+  const std::unordered_map<std::string, Setter> setters = {
+      {"seed", [&](auto v, auto n) { cfg.seed = parse_number<std::uint64_t>(v, n); }},
+      {"houses", [&](auto v, auto n) { cfg.houses = parse_number<std::size_t>(v, n); }},
+      {"duration_hours",
+       [&](auto v, auto n) { cfg.duration = SimDuration::hours(parse_number<int>(v, n)); }},
+      {"start_hour", [&](auto v, auto n) { cfg.start_hour = parse_number<int>(v, n); }},
+      {"activity_scale",
+       [&](auto v, auto n) { cfg.activity_scale = parse_number<double>(v, n); }},
+      {"ttl_violation_prob",
+       [&](auto v, auto n) { cfg.ttl_violation_prob = parse_number<double>(v, n); }},
+      {"dead_ntp_frac",
+       [&](auto v, auto n) { cfg.dead_ntp_frac = parse_number<double>(v, n); }},
+      {"p2p_house_frac",
+       [&](auto v, auto n) { cfg.p2p_house_frac = parse_number<double>(v, n); }},
+      {"encrypted_dns_device_frac",
+       [&](auto v, auto n) { cfg.encrypted_dns_device_frac = parse_number<double>(v, n); }},
+      {"whole_house_cache_frac",
+       [&](auto v, auto n) { cfg.whole_house_cache_frac = parse_number<double>(v, n); }},
+      {"mix.isp_only", [&](auto v, auto n) { cfg.mix.isp_only = parse_number<double>(v, n); }},
+      {"mix.cloudflare",
+       [&](auto v, auto n) { cfg.mix.cloudflare = parse_number<double>(v, n); }},
+      {"mix.no_isp", [&](auto v, auto n) { cfg.mix.no_isp = parse_number<double>(v, n); }},
+      {"mix.opendns_in_mixed",
+       [&](auto v, auto n) { cfg.mix.opendns_in_mixed = parse_number<double>(v, n); }},
+      {"zones.web_sites",
+       [&](auto v, auto n) { cfg.zones.web_sites = parse_number<std::size_t>(v, n); }},
+      {"zones.cdn_domains",
+       [&](auto v, auto n) { cfg.zones.cdn_domains = parse_number<std::size_t>(v, n); }},
+      {"zones.ad_domains",
+       [&](auto v, auto n) { cfg.zones.ad_domains = parse_number<std::size_t>(v, n); }},
+      {"zones.tracker_domains",
+       [&](auto v, auto n) { cfg.zones.tracker_domains = parse_number<std::size_t>(v, n); }},
+      {"zones.api_domains",
+       [&](auto v, auto n) { cfg.zones.api_domains = parse_number<std::size_t>(v, n); }},
+      {"zones.video_sites",
+       [&](auto v, auto n) { cfg.zones.video_sites = parse_number<std::size_t>(v, n); }},
+      {"zones.other_names",
+       [&](auto v, auto n) { cfg.zones.other_names = parse_number<std::size_t>(v, n); }},
+      {"zones.zipf_exponent",
+       [&](auto v, auto n) { cfg.zones.zipf_exponent = parse_number<double>(v, n); }},
+      {"zones.edges_per_cdn",
+       [&](auto v, auto n) { cfg.zones.edges_per_cdn = parse_number<std::size_t>(v, n); }},
+      {"zones.hosting_pool_ips",
+       [&](auto v, auto n) { cfg.zones.hosting_pool_ips = parse_number<std::size_t>(v, n); }},
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error{strfmt("config line %zu: expected key = value", line_no)};
+    }
+    const std::string key{trim(stripped.substr(0, eq))};
+    const std::string_view value = trim(stripped.substr(eq + 1));
+    const auto it = setters.find(key);
+    if (it == setters.end()) {
+      throw std::runtime_error{strfmt("config line %zu: unknown key '%s'", line_no,
+                                      key.c_str())};
+    }
+    it->second(value, line_no);
+  }
+  return cfg;
+}
+
+ScenarioConfig load_config_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) throw std::runtime_error{"load_config_file: cannot open " + path};
+  return load_config(is);
+}
+
+}  // namespace dnsctx::scenario

@@ -1,0 +1,25 @@
+// dnsctx — plain-text scenario configuration files.
+//
+// A minimal `key = value` format (with `#` comments) covering every
+// ScenarioConfig knob, so experiments can be defined, versioned and
+// shared without recompiling. See examples/scenarios/*.conf.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace dnsctx::scenario {
+
+/// Serialise a config as key = value lines (stable order, all knobs).
+void save_config(std::ostream& os, const ScenarioConfig& cfg);
+void save_config_file(const std::string& path, const ScenarioConfig& cfg);
+
+/// Parse a config. Unknown keys and malformed values throw
+/// std::runtime_error with the offending line number. Keys not present
+/// keep their defaults.
+[[nodiscard]] ScenarioConfig load_config(std::istream& is);
+[[nodiscard]] ScenarioConfig load_config_file(const std::string& path);
+
+}  // namespace dnsctx::scenario

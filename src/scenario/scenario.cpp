@@ -1,0 +1,351 @@
+#include "scenario/scenario.hpp"
+
+#include "resolver/forwarder.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::scenario {
+
+namespace {
+
+using resolver::well_known::kCloudflare1;
+using resolver::well_known::kCloudflare2;
+using resolver::well_known::kGoogle1;
+using resolver::well_known::kGoogle2;
+using resolver::well_known::kIspResolver1;
+using resolver::well_known::kIspResolver2;
+using resolver::well_known::kOpenDns1;
+
+/// §5.1's hard-coded service addresses.
+constexpr Ipv4Addr kDeadNtp{128, 138, 141, 172};          // retired public NTP
+constexpr Ipv4Addr kLiveNtp[] = {{129, 6, 15, 28}, {216, 239, 35, 0}};
+constexpr Ipv4Addr kOomaNtp[] = {{76, 8, 228, 10}, {76, 8, 228, 11}};
+constexpr Ipv4Addr kAlarmNet[] = {{204, 141, 57, 10}, {204, 141, 57, 11}};
+
+enum class DeviceKind { kComputer, kAndroid, kAppleMobile, kTv, kIot };
+
+}  // namespace
+
+struct Town::House {
+  std::unique_ptr<netsim::HouseGateway> gateway;
+  std::unique_ptr<resolver::WholeHouseForwarder> forwarder;
+  std::vector<std::unique_ptr<traffic::Device>> devices;
+  std::vector<std::unique_ptr<traffic::App>> apps;
+};
+
+Town::Town(const ScenarioConfig& cfg)
+    : cfg_{cfg}, rng_{derive_seed(cfg.seed, "town")} {
+  sim_ = std::make_unique<netsim::Simulator>();
+
+  netsim::LatencyModel latency;
+  net_ = std::make_unique<netsim::Network>(*sim_, latency,
+                                           derive_seed(cfg_.seed, "network"));
+
+  resolver::ZoneDbConfig zone_cfg = cfg_.zones;
+  if (zone_cfg.seed == resolver::ZoneDbConfig{}.seed) zone_cfg.seed = cfg_.seed;
+  zones_ = std::make_unique<resolver::ZoneDb>(zone_cfg);
+  web_ = std::make_unique<traffic::WebModel>(*zones_, cfg_.seed);
+  world_ = std::make_unique<traffic::AppWorld>(traffic::AppWorld{
+      *zones_, *web_,
+      traffic::DiurnalProfile::residential().with_start_hour(cfg_.start_hour)});
+
+  for (auto& platform_cfg : resolver::default_platforms()) {
+    for (const auto addr : platform_cfg.addrs) {
+      net_->latency_mut().set_site(addr, platform_cfg.site);
+    }
+    platforms_.push_back(std::make_unique<resolver::RecursiveResolverPlatform>(
+        *sim_, *net_, *zones_, platform_cfg,
+        derive_seed(cfg_.seed, "platform", platforms_.size())));
+  }
+
+  // Endpoints every device polls (push hubs, vendor clouds): the three
+  // most popular API names.
+  {
+    const auto& apis = zones_->ids_of(resolver::ServiceClass::kApi);
+    auto universal = std::make_shared<std::vector<resolver::NameId>>();
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, apis.size()); ++i) {
+      universal->push_back(apis[i]);
+    }
+    universal_services_ = std::move(universal);
+  }
+
+  farm_ = std::make_unique<traffic::ServerFarm>(*sim_, *net_,
+                                                derive_seed(cfg_.seed, "farm"));
+  farm_->add_dead_ip(kDeadNtp);
+
+  monitor_ = std::make_unique<capture::Monitor>();
+  net_->set_tap(monitor_.get());
+
+  houses_.reserve(cfg_.houses);
+  const auto profiles = assign_profiles();
+  const auto p2p = assign_p2p();
+  for (std::size_t i = 0; i < cfg_.houses; ++i) build_house(i, profiles[i], p2p[i]);
+}
+
+std::vector<bool> Town::assign_p2p() const {
+  // Stratified like the profiles: the P2P-house share holds exactly.
+  std::vector<bool> out(cfg_.houses, false);
+  const auto quota = static_cast<std::size_t>(
+      cfg_.p2p_house_frac * static_cast<double>(cfg_.houses) + 0.5);
+  for (std::size_t i = 0; i < std::min(quota, out.size()); ++i) out[i] = true;
+  Rng shuffle_rng{derive_seed(cfg_.seed, "p2p-houses")};
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j = shuffle_rng.bounded(i);
+    const bool tmp = out[i - 1];
+    out[i - 1] = out[j];
+    out[j] = tmp;
+  }
+  return out;
+}
+
+std::vector<std::string> Town::assign_profiles() const {
+  // Stratified assignment: the profile mix holds exactly (up to
+  // rounding) at any neighborhood size, then the order is shuffled.
+  std::vector<std::string> out;
+  const HouseProfileMix& mix = cfg_.mix;
+  const auto quota = [&](double frac) {
+    return static_cast<std::size_t>(frac * static_cast<double>(cfg_.houses) + 0.5);
+  };
+  for (std::size_t i = 0; i < quota(mix.isp_only); ++i) out.emplace_back("isp_only");
+  for (std::size_t i = 0; i < quota(mix.cloudflare); ++i) out.emplace_back("cloudflare");
+  for (std::size_t i = 0; i < quota(mix.no_isp); ++i) out.emplace_back("no_isp");
+  while (out.size() < cfg_.houses) out.emplace_back("mixed");
+  out.resize(cfg_.houses);
+  Rng shuffle_rng{derive_seed(cfg_.seed, "profiles")};
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[shuffle_rng.bounded(i)]);
+  }
+  return out;
+}
+
+Town::~Town() = default;
+
+void Town::build_house(std::size_t index, const std::string& profile, bool p2p_house) {
+  Rng house_rng{derive_seed(cfg_.seed, "house", index)};
+  auto house = std::make_unique<House>();
+
+  const Ipv4Addr house_ip{100, 66, static_cast<std::uint8_t>(1 + index / 250),
+                          static_cast<std::uint8_t>(1 + index % 250)};
+  net_->latency_mut().set_site(
+      house_ip, {SimDuration::from_ms(house_rng.uniform(0.3, 0.8)), 0.1});
+  house->gateway = std::make_unique<netsim::HouseGateway>(
+      *sim_, *net_, house_ip, derive_seed(cfg_.seed, "gateway", index));
+  if (house_rng.bernoulli(cfg_.whole_house_cache_frac)) {
+    house->forwarder = std::make_unique<resolver::WholeHouseForwarder>(
+        *sim_, *house->gateway, Ipv4Addr{192, 168, 1, 253}, dns::CacheConfig{},
+        derive_seed(cfg_.seed, "forwarder", index));
+  }
+
+  // ----- profile ----------------------------------------------------------
+  HouseInfo info;
+  info.external_ip = house_ip;
+  info.profile = profile;
+
+  const Ipv4Addr isp_a = house_rng.bernoulli(0.5) ? kIspResolver1 : kIspResolver2;
+  const Ipv4Addr isp_b = isp_a == kIspResolver1 ? kIspResolver2 : kIspResolver1;
+
+  auto resolvers_for = [&](DeviceKind kind, bool opendns_device) -> std::vector<Ipv4Addr> {
+    if (opendns_device) return {kOpenDns1, isp_a};
+    if (info.profile == "isp_only") return {isp_a, isp_b};
+    if (info.profile == "cloudflare") {
+      return kind == DeviceKind::kAndroid ? std::vector<Ipv4Addr>{kGoogle1, kCloudflare1}
+                                          : std::vector<Ipv4Addr>{kCloudflare1, kCloudflare2};
+    }
+    if (info.profile == "no_isp") return {kGoogle1, kGoogle2};
+    // mixed
+    if (kind == DeviceKind::kAndroid) return {kGoogle1, isp_a};
+    return {isp_a, isp_b};
+  };
+
+  // ----- device inventory -------------------------------------------------
+  struct Plan {
+    DeviceKind kind;
+    bool opendns = false;
+    bool p2p = false;
+    bool alarm = false;
+    bool dead_ntp = false;
+  };
+  std::vector<Plan> plans;
+  // Public-DNS-only households skew light and phone-centric; everyone
+  // else gets the full inventory.
+  const bool light = info.profile == "no_isp";
+  const std::size_t computers = light ? 1 : 1 + house_rng.bounded(2);
+  for (std::size_t i = 0; i < computers; ++i) plans.push_back({DeviceKind::kComputer});
+  if (info.profile != "isp_only") {
+    const std::size_t androids = 1 + (house_rng.bernoulli(0.25) ? 1 : 0);
+    for (std::size_t i = 0; i < androids; ++i) plans.push_back({DeviceKind::kAndroid});
+    info.has_android = true;
+  }
+  if (house_rng.bernoulli(light ? 0.3 : 0.5)) plans.push_back({DeviceKind::kAppleMobile});
+  if (house_rng.bernoulli(light ? 0.5 : 0.65)) plans.push_back({DeviceKind::kTv});
+  const std::size_t iots = house_rng.bounded(2);
+  for (std::size_t i = 0; i < iots; ++i) {
+    Plan p{DeviceKind::kIot};
+    p.dead_ntp = house_rng.bernoulli(cfg_.dead_ntp_frac);
+    plans.push_back(p);
+  }
+  if (house_rng.bernoulli(0.25)) {
+    Plan p{DeviceKind::kIot};
+    p.alarm = true;
+    plans.push_back(p);
+  }
+  if (info.profile == "mixed" && house_rng.bernoulli(cfg_.mix.opendns_in_mixed)) {
+    info.has_opendns = true;
+    // OpenDNS households point one configured machine and usually the
+    // streaming box at it (drives OpenDNS's conn/byte share exceeding
+    // its lookup share, Table 1) — but another machine still uses the
+    // ISP resolvers (§3: nearly every house touches them).
+    if (computers < 2) plans.push_back({DeviceKind::kComputer});
+    plans.front().opendns = true;
+    for (auto& p : plans) {
+      if (p.kind == DeviceKind::kTv && house_rng.bernoulli(0.75)) p.opendns = true;
+    }
+  }
+  if (p2p_house) {
+    plans.front().p2p = true;
+    info.has_p2p = true;
+  }
+  info.devices = plans.size();
+
+  // ----- build devices + apps --------------------------------------------
+  // The household's shared favourites: every browser in the house draws
+  // a share of its sessions from these (drives §8's whole-house wins).
+  auto household_sites = std::make_shared<std::vector<resolver::NameId>>();
+  const std::size_t n_favorites = 8 + house_rng.bounded(8);
+  const auto& all_webs = zones_->ids_of(resolver::ServiceClass::kWebOrigin);
+  for (std::size_t i = 0; i < n_favorites; ++i) {
+    // Half the family favourites follow global popularity, half are the
+    // household's own niche (the local school, a hobby forum): tail
+    // names whose lookups miss even the shared resolver cache, which is
+    // what gives a whole-house cache its R-class wins (§8).
+    if (house_rng.bernoulli(0.5) || all_webs.empty()) {
+      household_sites->push_back(zones_->sample_web_site(house_rng));
+    } else {
+      household_sites->push_back(all_webs[house_rng.bounded(all_webs.size())]);
+    }
+  }
+  const double scale = std::max(cfg_.activity_scale, 1e-6);
+  std::size_t dev_idx = 0;
+  for (const Plan& plan : plans) {
+    const Ipv4Addr internal{192, 168, 1, static_cast<std::uint8_t>(10 + dev_idx)};
+    resolver::StubConfig stub_cfg;
+    stub_cfg.resolver_addrs = resolvers_for(plan.kind, plan.opendns);
+    stub_cfg.ttl_violation_prob = cfg_.ttl_violation_prob;
+    stub_cfg.cache.capacity = plan.kind == DeviceKind::kIot ? 64 : 3'000;
+    const bool can_encrypt = plan.kind == DeviceKind::kComputer ||
+                             plan.kind == DeviceKind::kAndroid ||
+                             plan.kind == DeviceKind::kAppleMobile;
+    if (can_encrypt && house_rng.bernoulli(cfg_.encrypted_dns_device_frac)) {
+      stub_cfg.dns_port = 853;
+    }
+    // Dual-stack OSes race AAAA lookups next to A (IoT gear mostly not).
+    if (plan.kind != DeviceKind::kIot) stub_cfg.aaaa_prob = 0.55;
+    const std::uint64_t dev_seed = derive_seed(cfg_.seed, "device", index * 64 + dev_idx);
+    auto device = std::make_unique<traffic::Device>(*sim_, *house->gateway, internal,
+                                                    stub_cfg, dev_seed);
+    device->set_ground_truth(&truth_);
+
+    auto add_app = [&](std::unique_ptr<traffic::App> app) {
+      app->start();
+      house->apps.push_back(std::move(app));
+    };
+    switch (plan.kind) {
+      case DeviceKind::kComputer: {
+        traffic::BrowserConfig bc;
+        bc.household_sites = household_sites;
+        bc.session_gap_mean_sec /= scale;
+        // OpenDNS-configured machines belong to privacy-minded users who
+        // commonly disable speculative prefetching.
+        if (plan.opendns) bc.prefetch_prob = 0.2;
+        add_app(std::make_unique<traffic::BrowserApp>(*device, *world_, bc,
+                                                      derive_seed(dev_seed, "browser")));
+        traffic::BackgroundConfig bg;
+        bg.universal_services = universal_services_;
+        add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
+                                                         derive_seed(dev_seed, "bg")));
+        if (plan.p2p) {
+          add_app(std::make_unique<traffic::P2pApp>(*device, *world_, traffic::P2pConfig{},
+                                                    derive_seed(dev_seed, "p2p")));
+        }
+        break;
+      }
+      case DeviceKind::kAndroid:
+      case DeviceKind::kAppleMobile: {
+        traffic::BrowserConfig bc;
+        bc.household_sites = household_sites;
+        bc.session_gap_mean_sec = bc.session_gap_mean_sec * 5.0 / scale;
+        bc.pages_per_session_mean = 3.0;
+        add_app(std::make_unique<traffic::BrowserApp>(*device, *world_, bc,
+                                                      derive_seed(dev_seed, "browser")));
+        traffic::BackgroundConfig bg;
+        bg.universal_services = universal_services_;
+        bg.services_min = 1;
+        bg.services_max = 2;
+        bg.period_min_sec = 400;
+        bg.period_max_sec = 2'400;
+        add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
+                                                         derive_seed(dev_seed, "bg")));
+        if (plan.kind == DeviceKind::kAndroid) {
+          add_app(std::make_unique<traffic::ConnCheckApp>(*device, *world_,
+                                                          traffic::ConnCheckConfig{},
+                                                          derive_seed(dev_seed, "cc")));
+        }
+        break;
+      }
+      case DeviceKind::kTv: {
+        traffic::VideoConfig vc;
+        vc.session_gap_mean_sec /= scale;
+        add_app(std::make_unique<traffic::VideoApp>(*device, *world_, vc,
+                                                    derive_seed(dev_seed, "video")));
+        traffic::BackgroundConfig bg;
+        bg.universal_services = universal_services_;
+        bg.services_min = 1;
+        bg.services_max = 2;
+        bg.period_min_sec = 600;
+        add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
+                                                         derive_seed(dev_seed, "bg")));
+        break;
+      }
+      case DeviceKind::kIot: {
+        traffic::IotConfig ic;
+        ic.ntp = true;
+        if (plan.dead_ntp) {
+          ic.ntp_server = kDeadNtp;
+          ic.ntp_dead = true;
+        } else if (house_rng.bernoulli(0.3)) {
+          ic.ntp_server = kOomaNtp[house_rng.bounded(std::size(kOomaNtp))];
+        } else {
+          ic.ntp_server = kLiveNtp[house_rng.bounded(std::size(kLiveNtp))];
+        }
+        ic.alarm = plan.alarm;
+        if (plan.alarm) {
+          ic.alarm_server = kAlarmNet[house_rng.bounded(std::size(kAlarmNet))];
+        }
+        add_app(std::make_unique<traffic::IotApp>(*device, *world_, ic,
+                                                  derive_seed(dev_seed, "iot")));
+        break;
+      }
+    }
+    house->devices.push_back(std::move(device));
+    ++dev_idx;
+  }
+
+  house_info_.push_back(info);
+  houses_.push_back(std::move(house));
+}
+
+void Town::run() {
+  run_for(cfg_.duration);
+  dataset_ = harvest();
+}
+
+void Town::run_for(SimDuration amount) {
+  sim_->run_until(sim_->now() + amount);
+}
+
+capture::Dataset Town::harvest() {
+  harvested_ = true;
+  return monitor_->harvest(sim_->now());
+}
+
+}  // namespace dnsctx::scenario

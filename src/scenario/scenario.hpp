@@ -1,0 +1,126 @@
+// dnsctx — scenario assembly: the simulated Case-Connection-Zone-like
+// neighborhood, end to end.
+//
+// A Town owns the event loop, the WAN, the resolver platforms, the
+// authoritative universe, the server farm, every house (gateway +
+// devices + apps) and the passive monitor at the aggregation point.
+// run() produces the paper's two datasets; ground-truth counters stay
+// available for validating the analysis heuristics.
+//
+// House profiles follow §3's population: most houses use the ISP's
+// resolvers, most also have Android devices defaulting to Google DNS,
+// a quarter have an OpenDNS-configured machine, a few percent route
+// everything to Cloudflare, and ~16% are ISP-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "capture/monitor.hpp"
+#include "resolver/recursive.hpp"
+#include "traffic/apps.hpp"
+#include "traffic/farm.hpp"
+
+namespace dnsctx::scenario {
+
+struct HouseProfileMix {
+  double isp_only = 0.12;    ///< forwarder-style households (§3)
+  double cloudflare = 0.045;  ///< whole-house Cloudflare users
+  double no_isp = 0.05;      ///< public-DNS-only households
+  /// Probability a mixed house has an OpenDNS-configured computer.
+  double opendns_in_mixed = 0.38;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  std::size_t houses = 40;
+  SimDuration duration = SimDuration::hours(8);
+  resolver::ZoneDbConfig zones;
+  HouseProfileMix mix;
+  /// Multiplies all app activity rates (1.0 = calibrated default).
+  double activity_scale = 1.0;
+  /// Per-device-cache TTL violation probability (§5.2 behaviour).
+  double ttl_violation_prob = 0.2; 
+  /// Fraction of IoT NTP clients hard-coded to a dead server (§5.1).
+  double dead_ntp_frac = 0.35;
+  /// Fraction of houses with an active P2P box.
+  double p2p_house_frac = 0.24;
+  /// Local hour at simulation start (short runs should begin in the
+  /// afternoon so they see representative diurnal activity).
+  int start_hour = 15;
+  /// Fraction of computers/phones resolving over an encrypted transport
+  /// (port 853). 0 matches the paper's Feb 2019 dataset; raising it
+  /// shows how the passive methodology degrades (§3, §5.1).
+  double encrypted_dns_device_frac = 0.0;
+  /// Fraction of houses whose router runs a live caching DNS forwarder
+  /// (the §8 what-if, deployed rather than trace-simulated).
+  double whole_house_cache_frac = 0.0;
+};
+
+/// Ground truth the monitor cannot see (defined beside Device, which
+/// maintains it).
+using GroundTruth = traffic::GroundTruth;
+
+struct HouseInfo {
+  Ipv4Addr external_ip;
+  std::size_t devices = 0;
+  bool has_android = false;
+  bool has_opendns = false;
+  bool has_p2p = false;
+  std::string profile;  ///< "isp_only" | "mixed" | "no_isp" | "cloudflare"
+};
+
+class Town {
+ public:
+  explicit Town(const ScenarioConfig& cfg);
+  ~Town();
+  Town(const Town&) = delete;
+  Town& operator=(const Town&) = delete;
+
+  /// Run the full configured duration and harvest the datasets.
+  void run();
+
+  /// Run incrementally (callable repeatedly); harvest() when done.
+  void run_for(SimDuration amount);
+  [[nodiscard]] capture::Dataset harvest();
+
+  [[nodiscard]] const capture::Dataset& dataset() const { return dataset_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] const GroundTruth& ground_truth() const { return truth_; }
+  [[nodiscard]] const std::vector<HouseInfo>& houses() const { return house_info_; }
+  [[nodiscard]] const resolver::ZoneDb& zones() const { return *zones_; }
+  [[nodiscard]] netsim::Simulator& sim() { return *sim_; }
+
+  /// Resolver platforms in Table 1 order: Local, Google, OpenDNS,
+  /// Cloudflare.
+  [[nodiscard]] const std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>>&
+  platforms() const {
+    return platforms_;
+  }
+
+ private:
+  struct House;
+  void build_house(std::size_t index, const std::string& profile, bool p2p_house);
+  [[nodiscard]] std::vector<std::string> assign_profiles() const;
+  [[nodiscard]] std::vector<bool> assign_p2p() const;
+
+  ScenarioConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<netsim::Simulator> sim_;
+  std::unique_ptr<netsim::Network> net_;
+  std::unique_ptr<resolver::ZoneDb> zones_;
+  std::unique_ptr<traffic::WebModel> web_;
+  std::unique_ptr<traffic::ServerFarm> farm_;
+  std::unique_ptr<capture::Monitor> monitor_;
+  std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms_;
+  std::unique_ptr<traffic::AppWorld> world_;
+  std::shared_ptr<const std::vector<resolver::NameId>> universal_services_;
+  std::vector<std::unique_ptr<House>> houses_;
+  std::vector<HouseInfo> house_info_;
+  GroundTruth truth_;
+  capture::Dataset dataset_;
+  bool harvested_ = false;
+};
+
+}  // namespace dnsctx::scenario

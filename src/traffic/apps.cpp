@@ -1,0 +1,402 @@
+#include "traffic/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsctx::traffic {
+
+using resolver::NameId;
+using resolver::ServiceClass;
+
+namespace {
+
+/// Effective delivery rates in bytes/sec before the edge-quality factor.
+[[nodiscard]] double base_rate_bps(ServiceClass s) {
+  switch (s) {
+    case ServiceClass::kCdnAsset: return 5.0e6;   // ~40 Mbit/s from a near edge
+    case ServiceClass::kVideo: return 0.6e6;      // rate-limited ABR streaming (~5 Mbit/s)
+    case ServiceClass::kWebOrigin: return 1.5e6;  // origin servers, slow start
+    default: return 1.0e6;
+  }
+}
+
+}  // namespace
+
+netsim::TransferIntent sample_intent(ServiceClass service, double tput_factor, Rng& rng) {
+  netsim::TransferIntent intent;
+  const double rate = base_rate_bps(service) * std::max(tput_factor, 0.05);
+  auto active_for = [&](double bytes, double server_delay_sec) {
+    return server_delay_sec + bytes / rate;
+  };
+  switch (service) {
+    case ServiceClass::kWebOrigin: {
+      intent.request_bytes = 300 + static_cast<std::uint64_t>(rng.bounded(700));
+      intent.response_bytes = static_cast<std::uint64_t>(rng.lognormal(10.4, 1.1));  // ~33 KB
+      const double sd = rng.uniform(0.03, 0.2);
+      intent.server_delay = SimDuration::from_sec(sd);
+      double total = active_for(static_cast<double>(intent.response_bytes), sd);
+      if (rng.bernoulli(0.85)) total += rng.uniform(20.0, 240.0);  // keep-alive idle
+      intent.transfer_time = SimDuration::from_sec(total);
+      break;
+    }
+    case ServiceClass::kCdnAsset: {
+      intent.request_bytes = 250 + static_cast<std::uint64_t>(rng.bounded(400));
+      intent.response_bytes = static_cast<std::uint64_t>(rng.lognormal(11.3, 1.4));  // ~80 KB
+      const double sd = rng.uniform(0.005, 0.05);
+      intent.server_delay = SimDuration::from_sec(sd);
+      double total = active_for(static_cast<double>(intent.response_bytes), sd);
+      if (rng.bernoulli(0.8)) total += rng.uniform(15.0, 180.0);
+      intent.transfer_time = SimDuration::from_sec(total);
+      break;
+    }
+    case ServiceClass::kAdNetwork: {
+      intent.request_bytes = 400 + static_cast<std::uint64_t>(rng.bounded(800));
+      intent.response_bytes = static_cast<std::uint64_t>(rng.lognormal(8.9, 1.0));  // ~7 KB
+      const double sd = rng.uniform(0.02, 0.15);  // auction latency
+      intent.server_delay = SimDuration::from_sec(sd);
+      intent.transfer_time =
+          SimDuration::from_sec(active_for(static_cast<double>(intent.response_bytes), sd) +
+                                (rng.bernoulli(0.7) ? rng.uniform(10.0, 90.0) : 0.0));
+      break;
+    }
+    case ServiceClass::kTracker: {
+      intent.request_bytes = 300 + static_cast<std::uint64_t>(rng.bounded(1'200));
+      intent.response_bytes = 40 + static_cast<std::uint64_t>(rng.bounded(2'000));
+      const double sd = rng.uniform(0.01, 0.08);
+      intent.server_delay = SimDuration::from_sec(sd);
+      intent.transfer_time =
+          SimDuration::from_sec(active_for(static_cast<double>(intent.response_bytes), sd) +
+                                (rng.bernoulli(0.65) ? rng.uniform(10.0, 90.0) : 0.0));
+      break;
+    }
+    case ServiceClass::kApi: {
+      intent.request_bytes = 250 + static_cast<std::uint64_t>(rng.bounded(1'500));
+      intent.response_bytes = static_cast<std::uint64_t>(rng.lognormal(8.2, 1.2));  // ~3.6 KB
+      const double sd = rng.uniform(0.02, 0.2);
+      intent.server_delay = SimDuration::from_sec(sd);
+      double total = active_for(static_cast<double>(intent.response_bytes), sd);
+      if (rng.bernoulli(0.7)) total += rng.uniform(15.0, 300.0);  // long-poll / reuse idle
+      intent.transfer_time = SimDuration::from_sec(total);
+      break;
+    }
+    case ServiceClass::kVideo: {
+      intent.request_bytes = 400;
+      const double minutes = rng.uniform(1.5, 8.0);
+      const double bytes = rate * minutes * 60.0;
+      intent.response_bytes = static_cast<std::uint64_t>(bytes);
+      intent.server_delay = SimDuration::from_sec(rng.uniform(0.05, 0.3));
+      intent.transfer_time = SimDuration::from_sec(minutes * 60.0);
+      break;
+    }
+    case ServiceClass::kConnCheck: {
+      // A 204-No-Content probe: almost no bytes, but the socket lingers a
+      // few seconds — which is exactly why these connections drag down
+      // Google's throughput distribution in Fig 3 (bottom).
+      intent.request_bytes = 180;
+      intent.response_bytes = 120;
+      intent.server_delay = SimDuration::from_sec(rng.uniform(0.04, 0.15));
+      intent.transfer_time = intent.server_delay + SimDuration::from_sec(rng.uniform(1.0, 8.0));
+      break;
+    }
+    case ServiceClass::kOther: {
+      intent.request_bytes = 200 + static_cast<std::uint64_t>(rng.bounded(2'000));
+      intent.response_bytes = static_cast<std::uint64_t>(rng.lognormal(8.5, 1.5));
+      const double sd = rng.uniform(0.02, 0.2);
+      intent.server_delay = SimDuration::from_sec(sd);
+      intent.transfer_time =
+          SimDuration::from_sec(active_for(static_cast<double>(intent.response_bytes), sd));
+      break;
+    }
+  }
+  return intent;
+}
+
+void App::schedule_next(double mean_gap_sec, std::function<void()> fn) {
+  const double factor = std::max(world_.diurnal.factor(device_.sim().now()), 0.05);
+  const double gap = rng_.exponential(mean_gap_sec / factor);
+  device_.sim().after(SimDuration::from_sec(gap), std::move(fn));
+}
+
+// ------------------------------------------------------------- BrowserApp
+
+void BrowserApp::start() {
+  schedule_next(cfg_.session_gap_mean_sec * 0.5, [this]() { begin_session(); });
+}
+
+void BrowserApp::begin_session() {
+  session_hosts_.clear();
+  prefetched_.clear();
+  if (rng_.bernoulli(cfg_.junk_probe_prob)) {
+    // Chromium probes three random hostnames on startup to detect DNS
+    // interception; every one is an NXDOMAIN at the resolver.
+    for (int i = 0; i < 3; ++i) {
+      std::string junk;
+      for (int c = 0; c < 10; ++c) {
+        junk.push_back(static_cast<char>('a' + rng_.bounded(26)));
+      }
+      device_.stub().resolve(dns::DomainName::must(junk),
+                             [](const resolver::ResolveResult&) {});
+    }
+  }
+  const int pages =
+      1 + static_cast<int>(rng_.exponential(std::max(cfg_.pages_per_session_mean - 1.0, 0.1)));
+  NameId site;
+  if (cfg_.household_sites && !cfg_.household_sites->empty() &&
+      rng_.bernoulli(cfg_.household_site_prob)) {
+    site = (*cfg_.household_sites)[rng_.bounded(cfg_.household_sites->size())];
+  } else {
+    site = world_.zones.sample_web_site(rng_);
+  }
+  visit_page(site, pages);
+  schedule_next(cfg_.session_gap_mean_sec, [this]() { begin_session(); });
+}
+
+void BrowserApp::visit_page(NameId site, int pages_left) {
+  const auto& origin_rec = world_.zones.record(site);
+
+  const bool origin_alive =
+      std::find(session_hosts_.begin(), session_hosts_.end(), site) != session_hosts_.end();
+  if (!origin_alive || !rng_.bernoulli(cfg_.reuse_conn_prob)) {
+    const double factor = world_.zones.throughput_factor(
+        origin_rec.addrs.empty() ? Ipv4Addr{} : origin_rec.addrs.front());
+    device_.fetch(origin_rec.name, 443, sample_intent(ServiceClass::kWebOrigin, factor, rng_));
+    session_hosts_.push_back(site);
+    // Browsers open extra parallel connections: some immediately (they
+    // land inside the blocked window as repeat users of the same fresh
+    // lookup — the non-first-use mass below Fig 1's knee), some once the
+    // first response arrives (which classifies as LC).
+    if (rng_.bernoulli(cfg_.extra_origin_conn_prob)) {
+      const SimDuration extra_delay =
+          rng_.bernoulli(0.45) ? SimDuration::from_ms(2.0 + rng_.exponential(8.0))
+                               : SimDuration::from_ms(rng_.uniform(150.0, 600.0));
+      device_.fetch(origin_rec.name, 443,
+                    sample_intent(ServiceClass::kWebOrigin, factor, rng_), {}, extra_delay);
+    }
+  }
+
+  // Assets start once the HTML begins arriving and the parser finds them.
+  const double parse_delay = rng_.uniform(0.15, 0.8);
+  device_.sim().after(SimDuration::from_sec(parse_delay), [this, site]() {
+    load_assets(world_.web.page(site));
+  });
+  device_.sim().after(SimDuration::from_sec(parse_delay + rng_.uniform(0.2, 1.0)),
+                      [this, site]() { maybe_prefetch_links(world_.web.page(site)); });
+
+  if (pages_left <= 1) return;
+  // Dwell, then either follow a link (possibly prefetched) or stay.
+  double dwell = rng_.lognormal(cfg_.think_mu, cfg_.think_sigma);
+  if (rng_.bernoulli(0.22)) dwell *= 12.0;  // parked tab, clicked much later
+  device_.sim().after(SimDuration::from_sec(dwell), [this, site, pages_left]() {
+    const PageProfile& cur = world_.web.page(site);
+    NameId next_site = site;
+    if (!cur.links.empty() && rng_.bernoulli(cfg_.follow_link_prob)) {
+      // Prefer something prefetched earlier this session — users come
+      // back to links they noticed pages (minutes) ago, which is what
+      // stretches the paper's P-class lookup→use gap to minutes.
+      if (!prefetched_.empty() && rng_.bernoulli(0.8)) {
+        next_site = prefetched_[rng_.bounded(prefetched_.size())];
+      } else {
+        next_site = cur.links[rng_.bounded(cur.links.size())];
+      }
+    }
+    visit_page(next_site, pages_left - 1);
+  });
+}
+
+void BrowserApp::load_assets(const PageProfile& prof) {
+  double stagger = 0.0;
+  for (const NameId asset : prof.asset_hosts) {
+    if (!rng_.bernoulli(cfg_.asset_fetch_prob)) continue;
+    const bool alive =
+        std::find(session_hosts_.begin(), session_hosts_.end(), asset) != session_hosts_.end();
+    if (alive && rng_.bernoulli(cfg_.reuse_conn_prob)) continue;  // keep-alive reuse
+    session_hosts_.push_back(asset);
+    stagger += rng_.uniform(0.005, 0.12);
+    device_.sim().after(SimDuration::from_sec(stagger), [this, asset]() {
+      const auto& rec = world_.zones.record(asset);
+      const double factor =
+          world_.zones.throughput_factor(rec.addrs.empty() ? Ipv4Addr{} : rec.addrs.front());
+      device_.fetch(rec.name, 443, sample_intent(rec.service, factor, rng_));
+      // Browsers sometimes open a second immediate connection to the
+      // same asset host (HTTP/1.1 parallelism) — repeat users of the
+      // same fresh lookup inside Fig 1's blocked region.
+      if (rng_.bernoulli(0.12)) {
+        device_.fetch(rec.name, 443, sample_intent(rec.service, factor, rng_), {},
+                      SimDuration::from_ms(5.0 + rng_.exponential(10.0)));
+      }
+    });
+  }
+}
+
+void BrowserApp::maybe_prefetch_links(const PageProfile& prof) {
+  std::size_t prefetched = 0;
+  for (const NameId link : prof.links) {
+    if (prefetched >= cfg_.prefetch_links_max) break;
+    if (!rng_.bernoulli(cfg_.prefetch_prob)) continue;
+    device_.prefetch(world_.zones.record(link).name);
+    prefetched_.push_back(link);
+    ++prefetched;
+  }
+}
+
+// --------------------------------------------------------------- VideoApp
+
+void VideoApp::start() {
+  schedule_next(cfg_.session_gap_mean_sec * 0.5, [this]() { begin_session(); });
+}
+
+void VideoApp::begin_session() {
+  const NameId site = world_.zones.sample_video_site(rng_);
+  const double minutes = std::max(2.0, rng_.exponential(cfg_.watch_minutes_mean));
+  next_segment(site, minutes);
+  schedule_next(cfg_.session_gap_mean_sec, [this]() { begin_session(); });
+}
+
+void VideoApp::next_segment(NameId site, double minutes_left) {
+  if (minutes_left <= 0.0) return;
+  const auto& rec = world_.zones.record(site);
+  const double factor =
+      world_.zones.throughput_factor(rec.addrs.empty() ? Ipv4Addr{} : rec.addrs.front());
+  // Each segment re-resolves (players routinely do) — short video TTLs
+  // mean this often crosses an expiry boundary.
+  device_.fetch(rec.name, 443, sample_intent(ServiceClass::kVideo, factor, rng_));
+  const double seg_minutes = std::max(0.5, rng_.exponential(cfg_.segment_minutes_mean));
+  device_.sim().after(SimDuration::from_sec(seg_minutes * 60.0), [this, site, minutes_left,
+                                                                  seg_minutes]() {
+    next_segment(site, minutes_left - seg_minutes);
+  });
+}
+
+// ----------------------------------------------------------- BackgroundApp
+
+BackgroundApp::BackgroundApp(Device& device, const AppWorld& world, BackgroundConfig cfg,
+                             std::uint64_t seed)
+    : App{device, world, seed}, cfg_{cfg} {
+  const auto& apis = world_.zones.ids_of(ServiceClass::kApi);
+  const ZipfSampler pick{std::max<std::size_t>(apis.size(), 1), 0.8};
+  const std::size_t n = cfg_.services_min +
+                        rng_.bounded(cfg_.services_max - cfg_.services_min + 1);
+  for (std::size_t i = 0; i < n && !apis.empty(); ++i) {
+    services_.push_back(Service{apis[pick.sample(rng_)],
+                                rng_.uniform(cfg_.period_min_sec, cfg_.period_max_sec)});
+  }
+  if (cfg_.universal_services) {
+    for (const NameId id : *cfg_.universal_services) {
+      services_.push_back(Service{
+          id, rng_.uniform(cfg_.universal_period_min_sec, cfg_.universal_period_max_sec)});
+    }
+  }
+}
+
+void BackgroundApp::start() {
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    device_.sim().after(SimDuration::from_sec(rng_.uniform(0.0, services_[i].period_sec)),
+                        [this, i]() { poll(i); });
+  }
+}
+
+void BackgroundApp::poll(std::size_t service_idx) {
+  const Service& svc = services_[service_idx];
+  const auto& rec = world_.zones.record(svc.name);
+  std::optional<SimDuration> connect_delay;
+  if (rng_.bernoulli(cfg_.deferred_connect_prob)) {
+    connect_delay = SimDuration::from_sec(
+        rng_.uniform(cfg_.deferred_delay_min_sec, cfg_.deferred_delay_max_sec));
+  }
+  device_.fetch(rec.name, 443, sample_intent(ServiceClass::kApi, 1.0, rng_), {},
+                connect_delay);
+  const double jittered = svc.period_sec * rng_.uniform(0.85, 1.15);
+  device_.sim().after(SimDuration::from_sec(jittered),
+                      [this, service_idx]() { poll(service_idx); });
+}
+
+// ------------------------------------------------------------ ConnCheckApp
+
+void ConnCheckApp::start() {
+  schedule_next(cfg_.period_mean_sec * 0.3, [this]() { check(); });
+}
+
+void ConnCheckApp::check() {
+  const auto& rec = world_.zones.record(world_.zones.conn_check_id());
+  device_.fetch(rec.name, 443, sample_intent(ServiceClass::kConnCheck, 1.0, rng_));
+  schedule_next(cfg_.period_mean_sec, [this]() { check(); });
+}
+
+// ----------------------------------------------------------------- P2pApp
+
+void P2pApp::start() {
+  schedule_next(cfg_.churn_gap_mean_sec, [this]() { churn(); });
+}
+
+Ipv4Addr P2pApp::random_peer() {
+  // Public-ish address; peers obtained from trackers/DHT, never from DNS.
+  return Ipv4Addr{static_cast<std::uint8_t>(60 + rng_.bounded(120)),
+                  static_cast<std::uint8_t>(rng_.bounded(256)),
+                  static_cast<std::uint8_t>(rng_.bounded(256)),
+                  static_cast<std::uint8_t>(1 + rng_.bounded(254))};
+}
+
+void P2pApp::churn() {
+  const std::size_t peers = 1 + rng_.bounded(cfg_.peers_per_round_max);
+  for (std::size_t i = 0; i < peers; ++i) contact_peer();
+  schedule_next(cfg_.churn_gap_mean_sec, [this]() { churn(); });
+}
+
+void P2pApp::contact_peer() {
+  const Ipv4Addr peer = random_peer();
+  const auto peer_port = static_cast<std::uint16_t>(1'025 + rng_.bounded(60'000));
+  if (rng_.bernoulli(cfg_.dead_peer_prob)) {
+    // Stale DHT entry: a lone probe nobody answers (intent-less
+    // datagrams get no reply from the departed peer's address).
+    device_.send_udp(peer, peer_port, cfg_.local_port, 120 + rng_.bounded(400));
+    return;
+  }
+  netsim::TransferIntent intent;
+  intent.request_bytes = 300 + rng_.bounded(4'000);
+  intent.response_bytes = static_cast<std::uint64_t>(rng_.pareto(1.15, 4'096, 4.0e7));
+  intent.server_delay = SimDuration::from_ms(rng_.uniform(5, 120));
+  intent.transfer_time =
+      SimDuration::from_sec(std::max(15.0, rng_.exponential(cfg_.flow_minutes_mean * 60.0)));
+  if (rng_.bernoulli(cfg_.tcp_peer_prob)) {
+    device_.open_tcp(peer, peer_port, intent);
+  } else {
+    device_.send_udp(peer, peer_port, cfg_.local_port, intent.request_bytes, intent);
+  }
+}
+
+// ----------------------------------------------------------------- IotApp
+
+void IotApp::start() {
+  if (cfg_.ntp) {
+    device_.sim().after(SimDuration::from_sec(rng_.uniform(0.0, cfg_.ntp_period_sec)),
+                        [this]() { ntp_tick(); });
+  }
+  if (cfg_.alarm) {
+    device_.sim().after(SimDuration::from_sec(rng_.uniform(0.0, cfg_.alarm_period_sec)),
+                        [this]() { alarm_tick(); });
+  }
+}
+
+void IotApp::ntp_tick() {
+  netsim::TransferIntent intent;
+  intent.request_bytes = 48;
+  intent.response_bytes = 48;
+  intent.server_delay = SimDuration::from_ms(rng_.uniform(1, 10));
+  intent.transfer_time = intent.server_delay;
+  device_.send_udp(cfg_.ntp_server, 123, 123, 48, intent);
+  device_.sim().after(SimDuration::from_sec(cfg_.ntp_period_sec * rng_.uniform(0.9, 1.1)),
+                      [this]() { ntp_tick(); });
+}
+
+void IotApp::alarm_tick() {
+  netsim::TransferIntent intent;
+  intent.request_bytes = 500 + rng_.bounded(700);
+  intent.response_bytes = 300 + rng_.bounded(500);
+  intent.server_delay = SimDuration::from_ms(rng_.uniform(20, 90));
+  intent.transfer_time = intent.server_delay + SimDuration::from_ms(rng_.uniform(50, 400));
+  device_.open_tcp(cfg_.alarm_server, 443, intent);
+  device_.sim().after(SimDuration::from_sec(cfg_.alarm_period_sec * rng_.uniform(0.9, 1.1)),
+                      [this]() { alarm_tick(); });
+}
+
+}  // namespace dnsctx::traffic

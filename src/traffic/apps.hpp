@@ -1,0 +1,229 @@
+// dnsctx — application behaviour models.
+//
+// Each app drives one Device with a workload whose DNS footprint matches
+// the behaviours the paper measures:
+//   * BrowserApp    — sessions of multi-host page loads with speculative
+//                     DNS prefetching of links (P class, unused lookups)
+//                     and keep-alive connection reuse,
+//   * VideoApp      — streaming sessions: short-TTL CDN names re-resolved
+//                     across long segment fetches,
+//   * BackgroundApp — periodic API/telemetry polls (blocked lookups when
+//                     the poll period exceeds the TTL),
+//   * ConnCheckApp  — Android connectivity checks against
+//                     connectivitycheck.gstatic.com (the §7 artifact),
+//   * P2pApp        — swarm traffic on high ports with NO DNS (N class),
+//   * IotApp        — NTP and alarm heartbeats to hard-coded addresses,
+//                     including a dead NTP server (§5.1's 23K failures).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "traffic/device.hpp"
+#include "traffic/diurnal.hpp"
+#include "traffic/webmodel.hpp"
+
+namespace dnsctx::traffic {
+
+/// Shared world context every app reads.
+struct AppWorld {
+  const resolver::ZoneDb& zones;
+  const WebModel& web;
+  DiurnalProfile diurnal = DiurnalProfile::residential();
+};
+
+/// Sample a transfer script for a connection to a host of the given
+/// service class; `tput_factor` scales delivery rate (CDN edge quality).
+[[nodiscard]] netsim::TransferIntent sample_intent(resolver::ServiceClass service,
+                                                   double tput_factor, Rng& rng);
+
+/// Base class: the periodic-activity skeleton all apps share.
+class App {
+ public:
+  App(Device& device, const AppWorld& world, std::uint64_t seed)
+      : device_{device}, world_{world}, rng_{seed} {}
+  virtual ~App() = default;
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  /// Begin scheduling activity (first event after a randomised offset).
+  virtual void start() = 0;
+
+ protected:
+  /// Schedule `fn` after an exponential gap with the given diurnally
+  /// modulated mean.
+  void schedule_next(double mean_gap_sec, std::function<void()> fn);
+
+  Device& device_;
+  const AppWorld& world_;
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct BrowserConfig {
+  double session_gap_mean_sec = 1'150;  ///< between browsing sessions (diurnal-scaled)
+  /// Sites everyone in the household frequents (shared interests). When
+  /// set, sessions start from this list with `household_site_prob` —
+  /// this intra-house correlation is what makes a whole-house cache
+  /// worthwhile in §8.
+  std::shared_ptr<const std::vector<resolver::NameId>> household_sites;
+  double household_site_prob = 0.4;
+  double pages_per_session_mean = 6.0;
+  double asset_fetch_prob = 0.85;       ///< per embedded asset host per page
+  double prefetch_prob = 0.9;           ///< per candidate link on a page
+  std::size_t prefetch_links_max = 8;
+  double follow_link_prob = 0.65;       ///< next page navigates to a linked site
+  double extra_origin_conn_prob = 0.45; ///< parallel connections to the origin
+  double reuse_conn_prob = 0.55;        ///< keep-alive: repeat host ⇒ no new connection
+  double think_mu = 3.1;                ///< lognormal page dwell (ln seconds)
+  double think_sigma = 0.9;
+  /// Chromium-style random-hostname probes at session start (the
+  /// browser's DNS-interception check) — guaranteed NXDOMAIN traffic.
+  double junk_probe_prob = 0.35;
+};
+
+class BrowserApp : public App {
+ public:
+  BrowserApp(Device& device, const AppWorld& world, BrowserConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void begin_session();
+  void visit_page(resolver::NameId site, int pages_left);
+  void load_assets(const PageProfile& prof);
+  void maybe_prefetch_links(const PageProfile& prof);
+
+  BrowserConfig cfg_;
+  std::vector<resolver::NameId> session_hosts_;  ///< hosts with live keep-alive conns
+  std::vector<resolver::NameId> prefetched_;     ///< links prefetched this session
+};
+
+// ---------------------------------------------------------------------------
+
+struct VideoConfig {
+  double session_gap_mean_sec = 6'500;
+  double watch_minutes_mean = 22.0;
+  double segment_minutes_mean = 2.5;
+};
+
+class VideoApp : public App {
+ public:
+  VideoApp(Device& device, const AppWorld& world, VideoConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void begin_session();
+  void next_segment(resolver::NameId site, double minutes_left);
+  VideoConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct BackgroundConfig {
+  /// Endpoints every device in the population polls (push notification
+  /// hubs, vendor clouds). Their lookups repeat across devices of the
+  /// same house within the TTL — prime §8 whole-house cache material.
+  std::shared_ptr<const std::vector<resolver::NameId>> universal_services;
+  double universal_period_min_sec = 500;
+  double universal_period_max_sec = 1'500;
+  std::size_t services_min = 2;   ///< API names this device polls
+  std::size_t services_max = 5;
+  double period_min_sec = 50;
+  double period_max_sec = 700;
+  /// Chance a poll resolves first and connects noticeably later (app
+  /// wake-up patterns) — produces first-use-after-a-gap (P) connections.
+  double deferred_connect_prob = 0.45;
+  double deferred_delay_min_sec = 0.5;
+  double deferred_delay_max_sec = 120.0;
+};
+
+class BackgroundApp : public App {
+ public:
+  BackgroundApp(Device& device, const AppWorld& world, BackgroundConfig cfg,
+                std::uint64_t seed);
+  void start() override;
+
+ private:
+  void poll(std::size_t service_idx);
+  BackgroundConfig cfg_;
+  struct Service {
+    resolver::NameId name;
+    double period_sec;
+  };
+  std::vector<Service> services_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct ConnCheckConfig {
+  double period_mean_sec = 450;  ///< screen-wake / network-event cadence
+};
+
+class ConnCheckApp : public App {
+ public:
+  ConnCheckApp(Device& device, const AppWorld& world, ConnCheckConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void check();
+  ConnCheckConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct P2pConfig {
+  /// Mean seconds between peer-churn rounds (a seeding/leeching client
+  /// keeps rotating peers around the clock).
+  double churn_gap_mean_sec = 50.0;
+  std::size_t peers_per_round_max = 2;
+  double flow_minutes_mean = 4.0;     ///< per-peer exchange length
+  std::uint16_t local_port = 51'413;
+  double tcp_peer_prob = 0.35;        ///< balance of peers contacted over TCP
+  double dead_peer_prob = 0.2;        ///< stale peers from the DHT never answer
+};
+
+class P2pApp : public App {
+ public:
+  P2pApp(Device& device, const AppWorld& world, P2pConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void churn();
+  void contact_peer();
+  [[nodiscard]] Ipv4Addr random_peer();
+  P2pConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct IotConfig {
+  bool ntp = true;
+  double ntp_period_sec = 1'200;
+  /// Hard-coded NTP server; when `ntp_dead` the address never answers
+  /// (the retired-public-NTP story from §5.1).
+  Ipv4Addr ntp_server{132, 163, 96, 1};
+  bool ntp_dead = false;
+  bool alarm = false;  ///< AlarmNet-style HTTPS heartbeats
+  double alarm_period_sec = 900;
+  Ipv4Addr alarm_server{204, 141, 57, 10};
+};
+
+class IotApp : public App {
+ public:
+  IotApp(Device& device, const AppWorld& world, IotConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void ntp_tick();
+  void alarm_tick();
+  IotConfig cfg_;
+};
+
+}  // namespace dnsctx::traffic

@@ -1,0 +1,53 @@
+// dnsctx — diurnal activity modulation.
+//
+// Residential traffic follows a strong daily rhythm (quiet overnight,
+// peak in the evening). Apps divide their mean inter-arrival gaps by the
+// current factor, so a factor of 2 doubles the session rate.
+#pragma once
+
+#include <array>
+
+#include "util/time.hpp"
+
+namespace dnsctx::traffic {
+
+class DiurnalProfile {
+ public:
+  /// Residential default: trough ~04:00, peak 19:00–22:00.
+  [[nodiscard]] static DiurnalProfile residential() {
+    return DiurnalProfile{{0.35, 0.25, 0.2, 0.15, 0.15, 0.2, 0.35, 0.55,
+                           0.7, 0.75, 0.8, 0.85, 0.9, 0.9, 0.9, 0.95,
+                           1.1, 1.3, 1.6, 1.8, 1.8, 1.6, 1.2, 0.7}};
+  }
+
+  /// Flat profile (IoT heartbeats do not sleep).
+  [[nodiscard]] static DiurnalProfile flat() {
+    DiurnalProfile p;
+    p.hours_.fill(1.0);
+    return p;
+  }
+
+  /// Activity multiplier at a simulated instant. t = 0 corresponds to
+  /// local `start_hour` o'clock (set via with_start_hour).
+  [[nodiscard]] double factor(SimTime t) const {
+    const auto hour = static_cast<std::size_t>(
+        (start_hour_ + t.count_us() / 3'600'000'000LL) % 24);
+    return hours_[hour];
+  }
+
+  /// Shift the phase: simulations usually start mid-afternoon so short
+  /// runs see representative traffic.
+  [[nodiscard]] DiurnalProfile with_start_hour(int hour) const {
+    DiurnalProfile p = *this;
+    p.start_hour_ = ((hour % 24) + 24) % 24;
+    return p;
+  }
+
+ private:
+  DiurnalProfile() = default;
+  explicit DiurnalProfile(std::array<double, 24> hours) : hours_{hours} {}
+  std::array<double, 24> hours_{};
+  int start_hour_ = 0;
+};
+
+}  // namespace dnsctx::traffic

@@ -1,0 +1,57 @@
+// dnsctx — the generic remote-server population ("the internet").
+//
+// One Host instance terminates every address that is not a resolver or
+// another registered endpoint. Client packets carry a TransferIntent
+// (sim-internal metadata, invisible to the monitor) telling the farm how
+// to animate the server side: response size, response timing, and
+// connection close. Dead addresses (retired NTP servers and the like,
+// §5.1) never answer, yielding Bro "S0" attempts; reject addresses
+// answer SYNs with RST.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netsim/network.hpp"
+
+namespace dnsctx::traffic {
+
+class ServerFarm : public netsim::Host {
+ public:
+  ServerFarm(netsim::Simulator& sim, netsim::Network& net, std::uint64_t seed);
+
+  /// Addresses that silently drop everything (hard-coded dead services).
+  void add_dead_ip(Ipv4Addr addr) { dead_.insert(addr); }
+  /// Addresses that actively refuse TCP.
+  void add_reject_ip(Ipv4Addr addr) { reject_.insert(addr); }
+
+  void receive(const netsim::Packet& p) override;
+
+  [[nodiscard]] std::uint64_t tcp_conns_served() const { return tcp_served_; }
+  [[nodiscard]] std::uint64_t udp_flows_served() const { return udp_served_; }
+
+ private:
+  void handle_tcp(const netsim::Packet& p);
+  void handle_udp(const netsim::Packet& p);
+  void send_to_client(const netsim::Packet& req_like, std::uint64_t payload,
+                      netsim::TcpFlags flags);
+
+  netsim::Simulator& sim_;
+  netsim::Network& net_;
+  Rng rng_;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> dead_;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> reject_;
+
+  struct ServerConn {
+    netsim::TransferIntent intent;
+    bool got_request = false;
+    bool fin_sent = false;
+  };
+  /// Keyed by the client-side tuple (as carried on inbound packets).
+  std::unordered_map<FiveTuple, ServerConn, FiveTupleHash> conns_;
+  std::uint64_t tcp_served_ = 0;
+  std::uint64_t udp_served_ = 0;
+};
+
+}  // namespace dnsctx::traffic

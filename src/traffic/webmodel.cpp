@@ -1,0 +1,65 @@
+#include "traffic/webmodel.hpp"
+
+#include <stdexcept>
+
+namespace dnsctx::traffic {
+
+using resolver::NameId;
+using resolver::ServiceClass;
+
+WebModel::WebModel(const resolver::ZoneDb& zones, std::uint64_t seed) : zones_{zones} {
+  Rng rng{derive_seed(seed, "webmodel")};
+  const auto& webs = zones.ids_of(ServiceClass::kWebOrigin);
+  const auto& cdns = zones.ids_of(ServiceClass::kCdnAsset);
+  const auto& ads = zones.ids_of(ServiceClass::kAdNetwork);
+  const auto& trackers = zones.ids_of(ServiceClass::kTracker);
+  const auto& apis = zones.ids_of(ServiceClass::kApi);
+
+  // Popularity-skewed samplers: popular infrastructure is embedded by
+  // more sites (one tag manager is everywhere, most are niche).
+  const ZipfSampler cdn_pick{std::max<std::size_t>(cdns.size(), 1), 0.8};
+  const ZipfSampler ad_pick{std::max<std::size_t>(ads.size(), 1), 0.8};
+  const ZipfSampler tracker_pick{std::max<std::size_t>(trackers.size(), 1), 0.8};
+  const ZipfSampler api_pick{std::max<std::size_t>(apis.size(), 1), 0.8};
+
+  origin_to_profile_.assign(zones.size(), 0);
+  profiles_.reserve(webs.size());
+  for (const NameId origin : webs) {
+    PageProfile prof;
+    prof.origin = origin;
+    auto add_from = [&](const std::vector<NameId>& pool, const ZipfSampler& pick,
+                        std::size_t count) {
+      for (std::size_t i = 0; i < count && !pool.empty(); ++i) {
+        const NameId candidate = pool[pick.sample(rng)];
+        bool dup = false;
+        for (const NameId existing : prof.asset_hosts) dup = dup || existing == candidate;
+        if (!dup) prof.asset_hosts.push_back(candidate);
+      }
+    };
+    add_from(cdns, cdn_pick, 2 + rng.bounded(4));       // 2–5 CDN hosts
+    add_from(ads, ad_pick, 1 + rng.bounded(3));         // 1–3 ad networks
+    add_from(trackers, tracker_pick, 1 + rng.bounded(2)); // 1–2 trackers
+    add_from(apis, api_pick, rng.bounded(3));           // 0–2 APIs
+
+    const std::size_t n_links = 4 + rng.bounded(7);     // 4–10 outbound links
+    for (std::size_t i = 0; i < n_links; ++i) {
+      // Half the links follow global popularity, half are arbitrary —
+      // pages link to the long tail too, which is what makes so many
+      // speculative prefetch lookups go unused (§5.2's 37.8%).
+      const NameId link = rng.bernoulli(0.4)
+                              ? zones.sample_web_site(rng)
+                              : webs[rng.bounded(webs.size())];
+      if (link != origin) prof.links.push_back(link);
+    }
+    origin_to_profile_[origin] = static_cast<std::uint32_t>(profiles_.size()) + 1;
+    profiles_.push_back(std::move(prof));
+  }
+}
+
+const PageProfile& WebModel::page(resolver::NameId origin) const {
+  const std::uint32_t idx = origin_to_profile_.at(origin);
+  if (idx == 0) throw std::invalid_argument{"WebModel::page: not a web origin"};
+  return profiles_[idx - 1];
+}
+
+}  // namespace dnsctx::traffic

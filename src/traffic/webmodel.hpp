@@ -1,0 +1,36 @@
+// dnsctx — static web-page structure on top of the ZoneDb.
+//
+// Each web site gets a deterministic page profile: which shared asset
+// hosts (CDN, ads, trackers, APIs) its pages embed, and which other
+// sites it links to. Embedded assets drive multi-host page loads (the
+// bulk of residential DNS traffic); links drive browser prefetching and
+// cross-site navigation (§5.2's P class).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "resolver/zonedb.hpp"
+
+namespace dnsctx::traffic {
+
+struct PageProfile {
+  resolver::NameId origin = 0;
+  std::vector<resolver::NameId> asset_hosts;  ///< embedded third-party hosts
+  std::vector<resolver::NameId> links;        ///< linked sites (prefetch targets)
+};
+
+class WebModel {
+ public:
+  WebModel(const resolver::ZoneDb& zones, std::uint64_t seed);
+
+  /// Profile for a web-site NameId (must come from the kWebOrigin set).
+  [[nodiscard]] const PageProfile& page(resolver::NameId origin) const;
+
+ private:
+  const resolver::ZoneDb& zones_;
+  std::vector<PageProfile> profiles_;                 // indexed by position in web set
+  std::vector<std::uint32_t> origin_to_profile_;      // NameId → profile index + 1 (0 = none)
+};
+
+}  // namespace dnsctx::traffic

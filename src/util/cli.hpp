@@ -1,0 +1,47 @@
+// dnsctx — minimal command-line argument parsing for the tools.
+//
+// Grammar: positional tokens, `--key value`, `--key=value`, and bare
+// `--flag`. A `--key` followed by another `--token` (or nothing) parses
+// as a flag. No registration step: callers query what they need and can
+// reject leftovers explicitly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnsctx {
+
+struct CliArgs {
+  std::vector<std::string> positionals;
+  std::map<std::string, std::string> options;  ///< --key value / --key=value
+  std::set<std::string> flags;                 ///< bare --key
+
+  [[nodiscard]] bool has_flag(const std::string& name) const { return flags.contains(name); }
+
+  [[nodiscard]] std::optional<std::string> option(const std::string& name) const {
+    const auto it = options.find(name);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string option_or(const std::string& name, std::string fallback) const {
+    return option(name).value_or(std::move(fallback));
+  }
+
+  /// Numeric option with default; throws std::runtime_error naming the
+  /// option on malformed input.
+  [[nodiscard]] long long int_option_or(const std::string& name, long long fallback) const;
+  [[nodiscard]] double double_option_or(const std::string& name, double fallback) const;
+
+  /// Names of options/flags not in `known` (for strict validation).
+  [[nodiscard]] std::vector<std::string> unknown_keys(const std::set<std::string>& known) const;
+};
+
+/// Parse argv[1..]; never throws.
+[[nodiscard]] CliArgs parse_cli(std::span<const char* const> argv);
+
+}  // namespace dnsctx

@@ -1,0 +1,34 @@
+#include "util/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dnsctx {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t octets[4] = {};
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p >= end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    std::uint32_t v = 0;
+    auto [ptr, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || ptr == p || v > 255) return std::nullopt;
+    octets[i] = v;
+    p = ptr;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr::from_u32((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v_ >> 24) & 0xff, (v_ >> 16) & 0xff,
+                (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+}  // namespace dnsctx

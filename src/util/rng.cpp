@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dnsctx {
+
+namespace {
+// FNV-1a over the label; mixed into the master via SplitMix64 rounds.
+[[nodiscard]] std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view label) {
+  std::uint64_t state = master ^ hash_label(label);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view label, std::uint64_t index) {
+  std::uint64_t state = derive_seed(master, label) ^ (index * 0x9e3779b97f4a7c15ULL + 1);
+  return splitmix64(state);
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (weights.empty() || total <= 0.0) {
+    throw std::invalid_argument{"pick_weighted: empty or non-positive weights"};
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be > 0"};
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::pmf(std::size_t r) const {
+  if (r >= cdf_.size()) return 0.0;
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace dnsctx

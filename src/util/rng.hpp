@@ -1,0 +1,144 @@
+// dnsctx — deterministic random number generation.
+//
+// Reproducibility rule: a single master seed fans out to independent
+// per-component streams via `derive_seed` (SplitMix64 over a label hash),
+// so adding a consumer never perturbs the draws of existing ones. The
+// engine is xoshiro256++, a small, fast generator suitable for simulation
+// (not cryptography).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dnsctx {
+
+/// SplitMix64 step — used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive an independent stream seed from a master seed and a label
+/// (e.g. "house42/browser"). Stable across runs and platforms.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view label);
+
+/// Derive with a numeric component (per-house, per-device indices).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::string_view label,
+                                        std::uint64_t index);
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform in [0, n). Requires n > 0. Debiased via rejection.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t n) {
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (single draw; the pair is not cached
+  /// to keep the stream state trivially explainable).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal given the *underlying* normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (> 0). Heavy-tailed
+  /// sizes/durations throughout the traffic model.
+  [[nodiscard]] double pareto(double alpha, double lo, double hi) {
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  /// Pick an index from unnormalised non-negative weights. Requires a
+  /// non-empty span with positive total weight.
+  [[nodiscard]] std::size_t pick_weighted(std::span<const double> weights);
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+/// Zipf(s) sampler over ranks 1..n using a precomputed CDF table.
+/// Used for domain-name popularity, which is famously Zipf-like.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Sample a 0-based rank (0 = most popular).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank r (0-based).
+  [[nodiscard]] double pmf(std::size_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dnsctx

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dnsctx {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void Cdf::add_all(std::span<const double> xs) {
+  xs_.insert(xs_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double q) const {
+  if (xs_.empty()) throw std::logic_error{"Cdf::quantile on empty distribution"};
+  ensure_sorted();
+  if (q <= 0.0) return xs_.front();
+  if (q >= 1.0) return xs_.back();
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(std::distance(xs_.begin(), it)) /
+         static_cast<double>(xs_.size());
+}
+
+std::span<const double> Cdf::sorted() const {
+  ensure_sorted();
+  return xs_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo} {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument{"Histogram: bad range/bins"};
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::distance(counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+std::vector<CdfPoint> sample_cdf(const Cdf& cdf, std::size_t points) {
+  std::vector<CdfPoint> out;
+  if (cdf.empty() || points == 0) return out;
+  out.reserve(points + 1);
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.push_back(CdfPoint{cdf.quantile(q), q});
+  }
+  return out;
+}
+
+std::string render_ascii_cdf(const Cdf& cdf, const std::string& label, const std::string& unit,
+                             std::size_t rows) {
+  std::string out = "  CDF: " + label + "\n";
+  if (cdf.empty()) return out + "    (empty)\n";
+  char buf[128];
+  for (std::size_t i = 0; i <= rows; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(rows);
+    const double x = cdf.quantile(q);
+    const auto bar = static_cast<int>(q * 40);
+    std::snprintf(buf, sizeof buf, "    p%-3.0f %12.4g %-4s |%.*s\n", q * 100.0, x, unit.c_str(),
+                  bar, "########################################");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dnsctx

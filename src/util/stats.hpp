@@ -1,0 +1,113 @@
+// dnsctx — small statistics toolkit used by the analysis pipeline and the
+// benchmark tables: streaming moments, empirical CDFs with quantiles, and
+// fixed-bin histograms for mode detection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnsctx {
+
+/// Count/mean/variance/min/max without storing samples (Welford).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Empirical distribution over stored samples. Samples are sorted lazily
+/// on first query; adding after a query re-marks the container dirty.
+class Cdf {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(std::span<const double> xs);
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+
+  /// Quantile in [0,1]; linear interpolation between order statistics.
+  /// Requires a non-empty distribution.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  /// Fraction of samples <= x (the CDF evaluated at x). 0 when empty.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// Fraction of samples strictly greater than x.
+  [[nodiscard]] double fraction_above(double x) const {
+    return empty() ? 0.0 : 1.0 - fraction_at_or_below(x);
+  }
+
+  /// Sorted view of the samples (forces the sort).
+  [[nodiscard]] std::span<const double> sorted() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into
+/// the edge bins. Used for delay-mode detection (§5.3 thresholds).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_in(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Index of the most populated bin (ties -> lowest index).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One row of a printed CDF series: (x, F(x)).
+struct CdfPoint {
+  double x;
+  double f;
+};
+
+/// Sample a CDF at `points` evenly spaced quantiles for table output.
+[[nodiscard]] std::vector<CdfPoint> sample_cdf(const Cdf& cdf, std::size_t points);
+
+/// Render an ASCII CDF plot (x ascending) for bench output; `label` is the
+/// series name, `unit` annotates the x axis.
+[[nodiscard]] std::string render_ascii_cdf(const Cdf& cdf, const std::string& label,
+                                           const std::string& unit, std::size_t rows = 10);
+
+}  // namespace dnsctx

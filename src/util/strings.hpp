@@ -1,0 +1,25 @@
+// dnsctx — small string helpers shared across modules (log IO, DNS names,
+// report formatting). Nothing here allocates beyond the obvious.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsctx {
+
+/// ASCII lowercase copy (DNS names compare case-insensitively).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split on a single-character delimiter; keeps empty fields (TSV logs
+/// must round-trip exactly).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if `s` ends with `suffix` at a label boundary — "a.b.example.com"
+/// is within "example.com", but "notexample.com" is not.
+[[nodiscard]] bool is_subdomain_of(std::string_view name, std::string_view zone);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dnsctx

@@ -1,0 +1,26 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace dnsctx {
+
+std::string to_string(SimDuration d) {
+  char buf[64];
+  const double ms = d.to_ms();
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d.count_us()));
+  } else if (ms < 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3gms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4gs", d.to_sec());
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", t.to_sec());
+  return buf;
+}
+
+}  // namespace dnsctx

@@ -1,0 +1,95 @@
+// dnsctx — time types for the discrete-event simulation and analysis.
+//
+// All simulation and log timestamps are integral microseconds carried in
+// strong types so that durations and instants cannot be mixed up and so
+// that no floating-point drift enters the event ordering. Floating-point
+// milliseconds/seconds appear only at presentation boundaries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace dnsctx {
+
+/// A span of simulated time with microsecond resolution.
+///
+/// Construct via the named factories (`SimDuration::us/ms/sec/...`) rather
+/// than a raw count so call sites document their unit.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  [[nodiscard]] static constexpr SimDuration us(std::int64_t v) { return SimDuration{v}; }
+  [[nodiscard]] static constexpr SimDuration ms(std::int64_t v) { return SimDuration{v * 1000}; }
+  [[nodiscard]] static constexpr SimDuration sec(std::int64_t v) { return SimDuration{v * 1'000'000}; }
+  [[nodiscard]] static constexpr SimDuration min(std::int64_t v) { return sec(v * 60); }
+  [[nodiscard]] static constexpr SimDuration hours(std::int64_t v) { return sec(v * 3600); }
+  [[nodiscard]] static constexpr SimDuration days(std::int64_t v) { return sec(v * 86'400); }
+
+  /// Fractional factories for model parameters expressed in real units.
+  [[nodiscard]] static constexpr SimDuration from_ms(double v) {
+    return SimDuration{static_cast<std::int64_t>(v * 1000.0)};
+  }
+  [[nodiscard]] static constexpr SimDuration from_sec(double v) {
+    return SimDuration{static_cast<std::int64_t>(v * 1'000'000.0)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(us_) / 1000.0; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(us_) / 1'000'000.0; }
+
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration{0}; }
+  [[nodiscard]] static constexpr SimDuration max() {
+    return SimDuration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration{us_ + o.us_}; }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration{us_ - o.us_}; }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration{us_ * k}; }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration{us_ / k}; }
+  constexpr SimDuration& operator+=(SimDuration o) { us_ += o.us_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { us_ -= o.us_; return *this; }
+
+ private:
+  constexpr explicit SimDuration(std::int64_t v) : us_{v} {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant on the simulated timeline (microseconds since simulation
+/// start). Instants subtract to durations; durations shift instants.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime origin() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(us_) / 1'000'000.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime{us_ + d.count_us()}; }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime{us_ - d.count_us()}; }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration::us(us_ - o.us_); }
+  constexpr SimTime& operator+=(SimDuration d) { us_ += d.count_us(); return *this; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : us_{v} {}
+  std::int64_t us_ = 0;
+};
+
+/// Render a duration as a compact human string ("12.3ms", "4.5s").
+[[nodiscard]] std::string to_string(SimDuration d);
+
+/// Render an instant as seconds since simulation start ("t=123.456s").
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace dnsctx

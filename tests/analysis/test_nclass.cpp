@@ -1,0 +1,102 @@
+// Unit tests for the §5.1 N-class breakdown.
+#include <gtest/gtest.h>
+
+#include "analysis/nclass.hpp"
+
+namespace dnsctx::analysis {
+namespace {
+
+constexpr Ipv4Addr kHouse{100, 66, 1, 1};
+constexpr Ipv4Addr kNtpServer{128, 138, 141, 172};
+constexpr Ipv4Addr kAlarm{204, 141, 57, 10};
+
+struct Builder {
+  capture::Dataset ds;
+  Classified classified;
+
+  void n_conn(std::uint16_t orig_port, std::uint16_t resp_port, Ipv4Addr resp,
+              std::uint64_t resp_bytes = 100) {
+    capture::ConnRecord c;
+    c.start = SimTime::from_us(static_cast<std::int64_t>(ds.conns.size()) * 1'000);
+    c.orig_ip = kHouse;
+    c.resp_ip = resp;
+    c.orig_port = orig_port;
+    c.resp_port = resp_port;
+    c.resp_bytes = resp_bytes;
+    c.proto = resp_port == 123 ? Proto::kUdp : Proto::kTcp;
+    ds.conns.push_back(c);
+    classified.classes.push_back(ConnClass::kN);
+  }
+
+  void paired_conn() {
+    capture::ConnRecord c;
+    c.start = SimTime::from_us(static_cast<std::int64_t>(ds.conns.size()) * 1'000);
+    c.orig_ip = kHouse;
+    c.resp_ip = Ipv4Addr{34, 1, 1, 1};
+    c.orig_port = 10'000;
+    c.resp_port = 443;
+    ds.conns.push_back(c);
+    classified.classes.push_back(ConnClass::kSC);
+  }
+};
+
+TEST(NClass, HighPortFraction) {
+  Builder b;
+  b.n_conn(51'413, 38'112, Ipv4Addr{60, 1, 1, 1});  // P2P
+  b.n_conn(51'413, 42'001, Ipv4Addr{61, 1, 1, 1});  // P2P
+  b.n_conn(123, 123, kNtpServer, 0);                // reserved
+  const auto out = analyze_n_class(b.ds, b.classified);
+  EXPECT_EQ(out.n_total, 3u);
+  EXPECT_EQ(out.high_port, 2u);
+  EXPECT_NEAR(out.high_port_frac(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(NClass, PortTallies) {
+  Builder b;
+  b.n_conn(10'000, 443, kAlarm);
+  b.n_conn(10'001, 443, kAlarm);
+  b.n_conn(123, 123, kNtpServer, 0);   // failed NTP (no response bytes)
+  b.n_conn(123, 123, kNtpServer, 48);  // answered NTP
+  b.n_conn(10'002, 80, Ipv4Addr{34, 2, 2, 2});
+  b.n_conn(10'003, 853, Ipv4Addr{1, 1, 1, 1});
+  const auto out = analyze_n_class(b.ds, b.classified);
+  EXPECT_EQ(out.port_443, 2u);
+  EXPECT_EQ(out.port_123, 2u);
+  EXPECT_EQ(out.failed_ntp, 1u);
+  EXPECT_EQ(out.port_80, 1u);
+  EXPECT_EQ(out.port_853, 1u);
+}
+
+TEST(NClass, TopDestinationsRanked) {
+  Builder b;
+  for (int i = 0; i < 5; ++i) b.n_conn(10'000, 443, kAlarm);
+  for (int i = 0; i < 3; ++i) b.n_conn(123, 123, kNtpServer, 0);
+  const auto out = analyze_n_class(b.ds, b.classified, 2);
+  ASSERT_EQ(out.top_reserved_destinations.size(), 2u);
+  EXPECT_EQ(out.top_reserved_destinations[0].first, kAlarm);
+  EXPECT_EQ(out.top_reserved_destinations[0].second, 5u);
+  EXPECT_EQ(out.top_reserved_destinations[1].first, kNtpServer);
+}
+
+TEST(NClass, UnexplainedShareExcludesP2p) {
+  Builder b;
+  b.n_conn(51'413, 38'112, Ipv4Addr{60, 1, 1, 1});  // P2P: explained
+  b.n_conn(10'000, 443, kAlarm);                    // reserved: the DoH-suspect share
+  b.paired_conn();
+  b.paired_conn();
+  const auto out = analyze_n_class(b.ds, b.classified);
+  EXPECT_DOUBLE_EQ(out.unexplained_share_of_all, 0.25);  // 1 of 4 conns
+}
+
+TEST(NClass, NonNConnectionsIgnored) {
+  Builder b;
+  b.paired_conn();
+  b.paired_conn();
+  const auto out = analyze_n_class(b.ds, b.classified);
+  EXPECT_EQ(out.n_total, 0u);
+  EXPECT_EQ(out.high_port_frac(), 0.0);
+  EXPECT_EQ(out.unexplained_share_of_all, 0.0);
+}
+
+}  // namespace
+}  // namespace dnsctx::analysis

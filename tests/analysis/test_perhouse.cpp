@@ -1,0 +1,154 @@
+// Unit tests for per-household analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/perhouse.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::analysis {
+namespace {
+
+constexpr Ipv4Addr kHouseA{100, 66, 1, 1};
+constexpr Ipv4Addr kHouseB{100, 66, 1, 2};
+constexpr Ipv4Addr kResolver{100, 66, 250, 1};
+
+struct Builder {
+  capture::Dataset ds;
+  Classified classified;
+
+  void conn(Ipv4Addr house, ConnClass cls) {
+    capture::ConnRecord c;
+    c.start = SimTime::from_us(static_cast<std::int64_t>(ds.conns.size()) * 1'000);
+    c.orig_ip = house;
+    c.resp_ip = Ipv4Addr{34, 1, 1, 1};
+    c.orig_port = 10'000;
+    c.resp_port = 443;
+    ds.conns.push_back(c);
+    classified.classes.push_back(cls);
+  }
+  void lookup(Ipv4Addr house) {
+    capture::DnsRecord d;
+    d.ts = SimTime::from_us(static_cast<std::int64_t>(ds.dns.size()) * 1'000);
+    d.client_ip = house;
+    d.resolver_ip = kResolver;
+    d.answered = true;
+    ds.dns.push_back(d);
+  }
+};
+
+TEST(PerHouse, AggregatesPerHousehold) {
+  Builder b;
+  b.conn(kHouseA, ConnClass::kSC);
+  b.conn(kHouseA, ConnClass::kLC);
+  b.conn(kHouseA, ConnClass::kN);
+  b.conn(kHouseB, ConnClass::kR);
+  b.lookup(kHouseA);
+  b.lookup(kHouseA);
+  b.lookup(kHouseB);
+  const auto out = analyze_per_house(b.ds, b.classified);
+  ASSERT_EQ(out.houses.size(), 2u);
+  // Sorted by conns: house A first.
+  EXPECT_EQ(out.houses[0].house, kHouseA);
+  EXPECT_EQ(out.houses[0].conns, 3u);
+  EXPECT_EQ(out.houses[0].lookups, 2u);
+  EXPECT_EQ(out.houses[0].counts.sc, 1u);
+  EXPECT_EQ(out.houses[0].counts.n, 1u);
+  EXPECT_NEAR(out.houses[0].blocked_share(), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(out.houses[0].lookups_per_conn(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(out.houses[1].house, kHouseB);
+  EXPECT_DOUBLE_EQ(out.houses[1].blocked_share(), 1.0);
+}
+
+TEST(PerHouse, DistributionsHaveOneSamplePerHouse) {
+  Builder b;
+  b.conn(kHouseA, ConnClass::kSC);
+  b.conn(kHouseB, ConnClass::kLC);
+  const auto out = analyze_per_house(b.ds, b.classified);
+  EXPECT_EQ(out.blocked_share.count(), 2u);
+  EXPECT_EQ(out.conns_per_house.count(), 2u);
+  EXPECT_DOUBLE_EQ(out.blocked_share.min(), 0.0);
+  EXPECT_DOUBLE_EQ(out.blocked_share.max(), 1.0);
+}
+
+TEST(PerHouse, TopDecileShare) {
+  Builder b;
+  for (int h = 0; h < 10; ++h) {
+    const Ipv4Addr house{100, 66, 1, static_cast<std::uint8_t>(1 + h)};
+    const int conns = h == 0 ? 91 : 1;  // one whale, nine minnows
+    for (int i = 0; i < conns; ++i) b.conn(house, ConnClass::kLC);
+  }
+  const auto out = analyze_per_house(b.ds, b.classified);
+  EXPECT_NEAR(out.top_decile_conn_share(), 0.91, 1e-9);
+}
+
+TEST(Bootstrap, CiContainsPointEstimateForHomogeneousHouses) {
+  Builder b;
+  // 10 identical houses: 6 LC + 4 SC each → share(LC) = 0.6 exactly,
+  // zero between-house variance → the CI collapses onto the estimate.
+  for (int h = 0; h < 10; ++h) {
+    const Ipv4Addr house{100, 66, 1, static_cast<std::uint8_t>(1 + h)};
+    for (int i = 0; i < 6; ++i) b.conn(house, ConnClass::kLC);
+    for (int i = 0; i < 4; ++i) b.conn(house, ConnClass::kSC);
+  }
+  const auto per_house = analyze_per_house(b.ds, b.classified);
+  const auto ci = bootstrap_table2_ci(per_house, 200, 0.95, 7);
+  EXPECT_NEAR(ci.lc.lo, 0.6, 1e-9);
+  EXPECT_NEAR(ci.lc.hi, 0.6, 1e-9);
+  EXPECT_NEAR(ci.sc.lo, 0.4, 1e-9);
+}
+
+TEST(Bootstrap, HeterogeneousHousesWidenTheCi) {
+  Builder b;
+  // Half the houses are all-LC, half all-SC → wide between-house spread.
+  for (int h = 0; h < 10; ++h) {
+    const Ipv4Addr house{100, 66, 1, static_cast<std::uint8_t>(1 + h)};
+    for (int i = 0; i < 10; ++i) b.conn(house, h % 2 ? ConnClass::kLC : ConnClass::kSC);
+  }
+  const auto per_house = analyze_per_house(b.ds, b.classified);
+  const auto ci = bootstrap_table2_ci(per_house, 400, 0.95, 7);
+  EXPECT_LT(ci.lc.lo, 0.35);
+  EXPECT_GT(ci.lc.hi, 0.65);
+  EXPECT_LE(ci.lc.lo, ci.lc.hi);
+}
+
+TEST(Bootstrap, Deterministic) {
+  Builder b;
+  Rng rng{3};
+  for (int h = 0; h < 8; ++h) {
+    const Ipv4Addr house{100, 66, 1, static_cast<std::uint8_t>(1 + h)};
+    for (int i = 0; i < 20; ++i) {
+      b.conn(house, rng.bernoulli(0.5) ? ConnClass::kLC : ConnClass::kSC);
+    }
+  }
+  const auto per_house = analyze_per_house(b.ds, b.classified);
+  const auto a = bootstrap_table2_ci(per_house, 100, 0.9, 11);
+  const auto c = bootstrap_table2_ci(per_house, 100, 0.9, 11);
+  EXPECT_DOUBLE_EQ(a.lc.lo, c.lc.lo);
+  EXPECT_DOUBLE_EQ(a.lc.hi, c.lc.hi);
+}
+
+TEST(Bootstrap, EmptyInputsAreSafe) {
+  const PerHouseAnalysis empty;
+  const auto ci = bootstrap_table2_ci(empty);
+  EXPECT_EQ(ci.n.lo, 0.0);
+  EXPECT_EQ(ci.n.hi, 0.0);
+}
+
+TEST(PerHouse, EmptyDataset) {
+  const capture::Dataset ds;
+  const Classified classified;
+  const auto out = analyze_per_house(ds, classified);
+  EXPECT_TRUE(out.houses.empty());
+  EXPECT_EQ(out.top_decile_conn_share(), 0.0);
+}
+
+TEST(PerHouse, DnsOnlyHouseListedWithoutShares) {
+  Builder b;
+  b.conn(kHouseA, ConnClass::kSC);
+  b.lookup(kHouseB);  // a house that resolved but never connected
+  const auto out = analyze_per_house(b.ds, b.classified);
+  EXPECT_EQ(out.houses.size(), 2u);
+  EXPECT_EQ(out.blocked_share.count(), 1u);  // only conn-bearing houses sampled
+}
+
+}  // namespace
+}  // namespace dnsctx::analysis

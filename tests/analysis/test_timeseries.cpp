@@ -1,0 +1,99 @@
+// Unit tests for the time-series bucketing.
+#include <gtest/gtest.h>
+
+#include "analysis/timeseries.hpp"
+
+namespace dnsctx::analysis {
+namespace {
+
+constexpr Ipv4Addr kHouseA{100, 66, 1, 1};
+constexpr Ipv4Addr kHouseB{100, 66, 1, 2};
+constexpr Ipv4Addr kResolver{100, 66, 250, 1};
+
+[[nodiscard]] capture::ConnRecord conn_at(std::int64_t sec, Ipv4Addr house = kHouseA,
+                                          std::uint64_t bytes = 1'000) {
+  capture::ConnRecord c;
+  c.start = SimTime::origin() + SimDuration::sec(sec);
+  c.orig_ip = house;
+  c.resp_ip = Ipv4Addr{34, 1, 1, 1};
+  c.orig_port = 10'000;
+  c.resp_port = 443;
+  c.resp_bytes = bytes;
+  return c;
+}
+
+[[nodiscard]] capture::DnsRecord dns_at(std::int64_t sec, Ipv4Addr house = kHouseA) {
+  capture::DnsRecord d;
+  d.ts = SimTime::origin() + SimDuration::sec(sec);
+  d.client_ip = house;
+  d.resolver_ip = kResolver;
+  d.answered = true;
+  return d;
+}
+
+TEST(TimeSeries, BucketsByWindow) {
+  capture::Dataset ds;
+  ds.conns = {conn_at(10), conn_at(20), conn_at(3'700)};
+  ds.dns = {dns_at(15), dns_at(3'800), dns_at(3'900)};
+  const auto ts = build_time_series(ds, nullptr, SimDuration::hours(1));
+  ASSERT_EQ(ts.buckets.size(), 2u);
+  EXPECT_EQ(ts.buckets[0].conns, 2u);
+  EXPECT_EQ(ts.buckets[0].lookups, 1u);
+  EXPECT_EQ(ts.buckets[1].conns, 1u);
+  EXPECT_EQ(ts.buckets[1].lookups, 2u);
+}
+
+TEST(TimeSeries, CountsHousesAndBytes) {
+  capture::Dataset ds;
+  ds.conns = {conn_at(0, kHouseA, 1'000), conn_at(1, kHouseB, 2'000)};
+  const auto ts = build_time_series(ds, nullptr, SimDuration::min(10));
+  EXPECT_EQ(ts.houses, 2u);
+  EXPECT_EQ(ts.buckets[0].bytes, 3'000u);
+}
+
+TEST(TimeSeries, BlockedCountsUseClassification) {
+  capture::Dataset ds;
+  ds.conns = {conn_at(0), conn_at(1), conn_at(2)};
+  Classified classified;
+  classified.classes = {ConnClass::kSC, ConnClass::kLC, ConnClass::kR};
+  const auto ts = build_time_series(ds, &classified, SimDuration::min(1));
+  EXPECT_EQ(ts.buckets[0].blocked_conns, 2u);
+  EXPECT_NEAR(ts.buckets[0].blocked_share(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TimeSeries, LookupRatePerHouse) {
+  capture::Dataset ds;
+  for (int i = 0; i < 120; ++i) ds.dns.push_back(dns_at(i, i % 2 ? kHouseA : kHouseB));
+  const auto ts = build_time_series(ds, nullptr, SimDuration::min(1));
+  // 60 lookups per 60-second bucket across 2 houses → 0.5/s/house.
+  EXPECT_NEAR(ts.lookups_per_sec_per_house(0), 0.5, 1e-9);
+}
+
+TEST(TimeSeries, DiurnalSwing) {
+  capture::Dataset ds;
+  for (int i = 0; i < 10; ++i) ds.conns.push_back(conn_at(i));       // busy bucket
+  ds.conns.push_back(conn_at(3'700));                                // quiet bucket
+  const auto ts = build_time_series(ds, nullptr, SimDuration::hours(1));
+  EXPECT_DOUBLE_EQ(ts.diurnal_swing(), 10.0);
+}
+
+TEST(TimeSeries, EmptyDataset) {
+  const capture::Dataset ds;
+  const auto ts = build_time_series(ds, nullptr);
+  EXPECT_TRUE(ts.buckets.empty());
+  EXPECT_EQ(ts.diurnal_swing(), 0.0);
+  EXPECT_EQ(ts.lookups_per_sec_per_house(0), 0.0);
+}
+
+TEST(TimeSeries, FormatRendersOneRowPerBucket) {
+  capture::Dataset ds;
+  ds.conns = {conn_at(0), conn_at(3'700)};
+  const auto ts = build_time_series(ds, nullptr, SimDuration::hours(1));
+  const auto text = format_time_series(ts);
+  EXPECT_NE(text.find("lookups/s/house"), std::string::npos);
+  // header + column header + 2 bucket rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace dnsctx::analysis

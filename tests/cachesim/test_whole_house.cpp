@@ -1,0 +1,127 @@
+// Unit tests for the §8 whole-house cache what-if simulator.
+#include <gtest/gtest.h>
+
+#include "cachesim/whole_house.hpp"
+
+namespace dnsctx::cachesim {
+namespace {
+
+constexpr Ipv4Addr kHouse{100, 66, 1, 1};
+constexpr Ipv4Addr kHouse2{100, 66, 1, 2};
+constexpr Ipv4Addr kResolver{100, 66, 250, 1};
+
+struct Builder {
+  capture::Dataset ds;
+  int idx = 0;
+
+  /// A blocked lookup+conn for (house, name). Returns the conn index.
+  std::size_t blocked(Ipv4Addr house, const char* name, std::int64_t at_ms,
+                      std::uint32_t ttl = 300, double lookup_ms = 2.0) {
+    const Ipv4Addr server{34, 2, static_cast<std::uint8_t>(idx / 200),
+                          static_cast<std::uint8_t>(1 + idx % 200)};
+    ++idx;
+    capture::DnsRecord d;
+    d.ts = SimTime::origin() + SimDuration::ms(at_ms);
+    d.duration = SimDuration::from_ms(lookup_ms);
+    d.client_ip = house;
+    d.resolver_ip = kResolver;
+    d.query = name;
+    d.answered = true;
+    d.answers = {{server, ttl}};
+    ds.dns.push_back(d);
+    capture::ConnRecord c;
+    c.start = d.response_time() + SimDuration::ms(5);
+    c.duration = SimDuration::sec(1);
+    c.orig_ip = house;
+    c.resp_ip = server;
+    c.orig_port = 10'000;
+    c.resp_port = 443;
+    ds.conns.push_back(c);
+    return ds.conns.size() - 1;
+  }
+
+  struct Outputs {
+    analysis::PairingResult pairing;
+    analysis::Classified classified;
+    WholeHouseResult result;
+  };
+
+  [[nodiscard]] Outputs run() {
+    std::sort(ds.dns.begin(), ds.dns.end(),
+              [](const auto& a, const auto& b) { return a.ts < b.ts; });
+    std::sort(ds.conns.begin(), ds.conns.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    Outputs out;
+    out.pairing = analysis::pair_connections(ds);
+    analysis::ClassifyConfig cfg;
+    cfg.per_resolver_min_lookups = 1'000'000;
+    out.classified = analysis::classify_connections(ds, out.pairing, cfg);
+    out.result = simulate_whole_house(ds, out.pairing, out.classified);
+    return out;
+  }
+};
+
+TEST(WholeHouse, SecondDeviceLookupWithinTtlMoves) {
+  Builder b;
+  b.blocked(kHouse, "shared.com", 0, 300);
+  // Same house asks again 60 s later (another device): would be a house
+  // cache hit → that conn moves to LC.
+  b.blocked(kHouse, "shared.com", 60'000, 300);
+  const auto out = b.run();
+  EXPECT_EQ(out.result.sc_total, 2u);
+  EXPECT_EQ(out.result.moved(), 1u);
+  EXPECT_DOUBLE_EQ(out.result.moved_frac_of_all(), 0.5);
+}
+
+TEST(WholeHouse, ExpiredEntryDoesNotMove) {
+  Builder b;
+  b.blocked(kHouse, "shared.com", 0, 30);
+  b.blocked(kHouse, "shared.com", 60'000, 30);  // 60 s later, TTL was 30 s
+  const auto out = b.run();
+  EXPECT_EQ(out.result.moved(), 0u);
+}
+
+TEST(WholeHouse, CacheIsPerHouse) {
+  Builder b;
+  b.blocked(kHouse, "shared.com", 0, 3'600);
+  b.blocked(kHouse2, "shared.com", 60'000, 3'600);  // different house: no benefit
+  const auto out = b.run();
+  EXPECT_EQ(out.result.moved(), 0u);
+}
+
+TEST(WholeHouse, MovesSplitBetweenScAndR) {
+  Builder b;
+  b.blocked(kHouse, "fast.com", 0, 3'600, 2.0);
+  b.blocked(kHouse, "fast.com", 30'000, 3'600, 2.0);    // SC move
+  b.blocked(kHouse, "slow.com", 60'000, 3'600, 80.0);
+  b.blocked(kHouse, "slow.com", 90'000, 3'600, 80.0);   // R move
+  const auto out = b.run();
+  EXPECT_EQ(out.result.sc_moved, 1u);
+  EXPECT_EQ(out.result.r_moved, 1u);
+  EXPECT_DOUBLE_EQ(out.result.sc_moved_frac(), 0.5);
+  EXPECT_DOUBLE_EQ(out.result.r_moved_frac(), 0.5);
+}
+
+TEST(WholeHouse, NonBlockedClassesUntouched) {
+  Builder b;
+  const auto first = b.blocked(kHouse, "a.com", 0, 3'600);
+  // A later LC-style conn to the same server (same pairing, gap > 100 ms).
+  capture::ConnRecord lc = b.ds.conns[first];
+  lc.start = lc.start + SimDuration::sec(30);
+  b.ds.conns.push_back(lc);
+  const auto out = b.run();
+  EXPECT_EQ(out.result.total_conns, 2u);
+  EXPECT_EQ(out.result.sc_total, 1u);  // only the blocked one counts
+}
+
+TEST(WholeHouse, EmptyDataset) {
+  const capture::Dataset ds;
+  const auto pairing = analysis::pair_connections(ds);
+  const auto classified = analysis::classify_connections(ds, pairing);
+  const auto result = simulate_whole_house(ds, pairing, classified);
+  EXPECT_EQ(result.moved(), 0u);
+  EXPECT_EQ(result.moved_frac_of_all(), 0.0);
+}
+
+}  // namespace
+}  // namespace dnsctx::cachesim

@@ -1,0 +1,208 @@
+// Unit + property tests for the TTL-aware DNS cache.
+#include <gtest/gtest.h>
+
+#include "dns/cache.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::dns {
+namespace {
+
+[[nodiscard]] std::vector<ResourceRecord> answer(const char* name, std::uint32_t ttl) {
+  return {ResourceRecord::a(DomainName::must(name), Ipv4Addr{1, 2, 3, 4}, ttl)};
+}
+
+[[nodiscard]] SimTime at(std::int64_t sec) {
+  return SimTime::origin() + SimDuration::sec(sec);
+}
+
+TEST(DnsCache, HitWithinTtl) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 60), Rcode::kNoError,
+               at(0));
+  const auto hit = cache.lookup(DomainName::must("a.com"), RrType::kA, at(59));
+  ASSERT_TRUE(hit);
+  EXPECT_FALSE(hit->expired);
+  EXPECT_EQ(hit->answers.size(), 1u);
+  EXPECT_EQ(hit->expires_at, at(60));
+}
+
+TEST(DnsCache, MissAfterTtl) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 60), Rcode::kNoError,
+               at(0));
+  EXPECT_FALSE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(60)));
+  EXPECT_EQ(cache.size(), 0u);  // dropped lazily
+}
+
+TEST(DnsCache, MissOnUnknownName) {
+  DnsCache cache;
+  EXPECT_FALSE(cache.lookup(DomainName::must("nope.com"), RrType::kA, at(0)));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DnsCache, TypeIsPartOfTheKey) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 60), Rcode::kNoError,
+               at(0));
+  EXPECT_FALSE(cache.lookup(DomainName::must("a.com"), RrType::kAaaa, at(1)));
+  EXPECT_TRUE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(1)));
+}
+
+TEST(DnsCache, ExtraHoldServesStaleAndFlagsIt) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 60), Rcode::kNoError,
+               at(0), SimDuration::sec(100));
+  const auto hit = cache.lookup(DomainName::must("a.com"), RrType::kA, at(100));
+  ASSERT_TRUE(hit);
+  EXPECT_TRUE(hit->expired);
+  EXPECT_EQ(cache.stats().expired_hits, 1u);
+  EXPECT_FALSE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(161)));
+}
+
+TEST(DnsCache, ConfigStaleWindowAppliesToAllEntries) {
+  DnsCache cache{CacheConfig{.max_stale = SimDuration::sec(30)}};
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 10), Rcode::kNoError,
+               at(0));
+  const auto hit = cache.lookup(DomainName::must("a.com"), RrType::kA, at(20));
+  ASSERT_TRUE(hit);
+  EXPECT_TRUE(hit->expired);
+  EXPECT_FALSE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(41)));
+}
+
+TEST(DnsCache, TtlClamping) {
+  DnsCache cache{CacheConfig{.min_ttl_sec = 30, .max_ttl_sec = 600}};
+  cache.insert(DomainName::must("low.com"), RrType::kA, answer("low.com", 5), Rcode::kNoError,
+               at(0));
+  EXPECT_TRUE(cache.lookup(DomainName::must("low.com"), RrType::kA, at(29)));
+  cache.insert(DomainName::must("high.com"), RrType::kA, answer("high.com", 86'400),
+               Rcode::kNoError, at(0));
+  EXPECT_FALSE(cache.lookup(DomainName::must("high.com"), RrType::kA, at(601)));
+}
+
+TEST(DnsCache, MinTtlAcrossAnswerSet) {
+  DnsCache cache;
+  std::vector<ResourceRecord> answers = answer("a.com", 300);
+  answers.push_back(ResourceRecord::a(DomainName::must("a.com"), Ipv4Addr{5, 6, 7, 8}, 60));
+  cache.insert(DomainName::must("a.com"), RrType::kA, std::move(answers), Rcode::kNoError,
+               at(0));
+  EXPECT_TRUE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(59)));
+  EXPECT_FALSE(cache.lookup(DomainName::must("a.com"), RrType::kA, at(61)));
+}
+
+TEST(DnsCache, ReinsertReplaces) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 10), Rcode::kNoError,
+               at(0));
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 100), Rcode::kNoError,
+               at(5));
+  const auto hit = cache.lookup(DomainName::must("a.com"), RrType::kA, at(50));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->inserted_at, at(5));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, LruEvictionPrefersLeastRecentlyUsed) {
+  DnsCache cache{CacheConfig{.capacity = 2}};
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 600), Rcode::kNoError,
+               at(0));
+  cache.insert(DomainName::must("b.com"), RrType::kA, answer("b.com", 600), Rcode::kNoError,
+               at(1));
+  (void)cache.lookup(DomainName::must("a.com"), RrType::kA, at(2));  // touch a
+  cache.insert(DomainName::must("c.com"), RrType::kA, answer("c.com", 600), Rcode::kNoError,
+               at(3));  // evicts b
+  EXPECT_TRUE(cache.peek(DomainName::must("a.com"), RrType::kA, at(4)));
+  EXPECT_FALSE(cache.peek(DomainName::must("b.com"), RrType::kA, at(4)));
+  EXPECT_TRUE(cache.peek(DomainName::must("c.com"), RrType::kA, at(4)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(DnsCache, NegativeEntryKeepsRcode) {
+  DnsCache cache{CacheConfig{.min_ttl_sec = 30}};
+  cache.insert(DomainName::must("nx.com"), RrType::kA, {}, Rcode::kNxDomain, at(0));
+  const auto hit = cache.lookup(DomainName::must("nx.com"), RrType::kA, at(10));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(hit->answers.empty());
+}
+
+TEST(DnsCache, PeekDoesNotCountOrTouch) {
+  DnsCache cache{CacheConfig{.capacity = 2}};
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 600), Rcode::kNoError,
+               at(0));
+  (void)cache.peek(DomainName::must("a.com"), RrType::kA, at(1));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(DnsCache, PurgeExpiredDropsOnlyDeadEntries) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 10), Rcode::kNoError,
+               at(0));
+  cache.insert(DomainName::must("b.com"), RrType::kA, answer("b.com", 600), Rcode::kNoError,
+               at(0));
+  cache.purge_expired(at(20));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.peek(DomainName::must("b.com"), RrType::kA, at(20)));
+}
+
+TEST(DnsCache, EraseAndClear) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 600), Rcode::kNoError,
+               at(0));
+  cache.insert(DomainName::must("b.com"), RrType::kA, answer("b.com", 600), Rcode::kNoError,
+               at(0));
+  cache.erase(DomainName::must("a.com"), RrType::kA);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.erase(DomainName::must("a.com"), RrType::kA);  // idempotent
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, ForEachVisitsLiveEntries) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 600), Rcode::kNoError,
+               at(0));
+  cache.insert(DomainName::must("b.com"), RrType::kA, answer("b.com", 60), Rcode::kNoError,
+               at(0));
+  int visited = 0;
+  cache.for_each([&](const DomainName&, RrType, SimTime) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(DnsCache, StatsHitRate) {
+  DnsCache cache;
+  cache.insert(DomainName::must("a.com"), RrType::kA, answer("a.com", 600), Rcode::kNoError,
+               at(0));
+  (void)cache.lookup(DomainName::must("a.com"), RrType::kA, at(1));
+  (void)cache.lookup(DomainName::must("zzz.com"), RrType::kA, at(1));
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+// Property: under heavy churn the cache never exceeds capacity and never
+// serves an entry beyond its servable lifetime.
+class CacheChurnTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheChurnTest, CapacityAndLifetimeInvariants) {
+  const std::size_t capacity = GetParam();
+  DnsCache cache{CacheConfig{.capacity = capacity}};
+  Rng rng{GetParam()};
+  SimTime now = SimTime::origin();
+  for (int step = 0; step < 5'000; ++step) {
+    now += SimDuration::sec(static_cast<std::int64_t>(rng.bounded(20)));
+    const auto name =
+        DomainName::must("host" + std::to_string(rng.bounded(capacity * 3)) + ".com");
+    if (rng.bernoulli(0.5)) {
+      cache.insert(name, RrType::kA, answer(name.text().c_str(), 30 + static_cast<std::uint32_t>(rng.bounded(300))),
+                   Rcode::kNoError, now);
+    } else if (const auto hit = cache.lookup(name, RrType::kA, now)) {
+      EXPECT_FALSE(hit->expired);  // no stale window configured
+      EXPECT_GT(hit->expires_at, now);
+    }
+    EXPECT_LE(cache.size(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheChurnTest, ::testing::Values(4u, 16u, 64u));
+
+}  // namespace
+}  // namespace dnsctx::dns

@@ -1,0 +1,217 @@
+// Unit + robustness tests for the RFC 1035 wire codec.
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::dns {
+namespace {
+
+[[nodiscard]] DnsMessage sample_query() {
+  return DnsMessage::query(0x1234, DomainName::must("www.example.com"));
+}
+
+[[nodiscard]] DnsMessage sample_response() {
+  DnsMessage q = sample_query();
+  std::vector<ResourceRecord> answers;
+  answers.push_back(ResourceRecord::a(DomainName::must("www.example.com"),
+                                      Ipv4Addr{93, 184, 216, 34}, 300));
+  answers.push_back(ResourceRecord::a(DomainName::must("www.example.com"),
+                                      Ipv4Addr{93, 184, 216, 35}, 300));
+  return DnsMessage::response(q, std::move(answers));
+}
+
+TEST(Codec, QueryRoundTrip) {
+  const DnsMessage msg = sample_query();
+  const auto wire = encode(msg);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, ResponseRoundTrip) {
+  const DnsMessage msg = sample_response();
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, HeaderFlagsRoundTrip) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  msg.flags.aa = true;
+  msg.flags.tc = true;
+  msg.flags.rd = false;
+  msg.flags.ra = true;
+  msg.flags.opcode = 2;
+  msg.flags.rcode = Rcode::kServFail;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->flags, msg.flags);
+}
+
+TEST(Codec, CompressionShrinksRepeatedNames) {
+  DnsMessage msg = sample_response();
+  // Same owner name three times: compression should pay off.
+  const auto wire = encode(msg);
+  std::size_t uncompressed_estimate = 12;
+  uncompressed_estimate += (1 + 3 + 1 + 7 + 1 + 3 + 1) + 4;  // question
+  uncompressed_estimate += 2 * ((17) + 10 + 4);              // answers w/o compression
+  EXPECT_LT(wire.size(), uncompressed_estimate);
+}
+
+TEST(Codec, CnameRdataRoundTrip) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  msg.answers.push_back(ResourceRecord::cname(DomainName::must("www.example.com"),
+                                              DomainName::must("edge7.cdn.example.net"), 60));
+  msg.answers.push_back(ResourceRecord::a(DomainName::must("edge7.cdn.example.net"),
+                                          Ipv4Addr{104, 16, 1, 1}, 60));
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, SoaRoundTrip) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  msg.flags.rcode = Rcode::kNxDomain;
+  SoaData soa;
+  soa.mname = DomainName::must("ns1.example.com");
+  soa.rname = DomainName::must("hostmaster.example.com");
+  soa.serial = 2020102700;
+  soa.refresh = 7'200;
+  soa.retry = 900;
+  soa.expire = 1'209'600;
+  soa.minimum = 300;
+  msg.authorities.push_back(
+      ResourceRecord{DomainName::must("example.com"), RrType::kSoa, RrClass::kIn, 300, soa});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, MxRoundTrip) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  msg.answers.push_back(ResourceRecord{DomainName::must("example.com"), RrType::kMx,
+                                       RrClass::kIn, 3'600,
+                                       MxData{10, DomainName::must("mail.example.com")}});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, TxtRoundTripIncludingLong) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  const std::string long_txt(600, 'v');  // forces multiple 255-byte chunks
+  msg.answers.push_back(ResourceRecord{DomainName::must("example.com"), RrType::kTxt,
+                                       RrClass::kIn, 60, long_txt});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::get<std::string>(decoded->answers[0].rdata), long_txt);
+}
+
+TEST(Codec, UnknownTypePreservedAsRawBytes) {
+  DnsMessage msg = sample_query();
+  msg.flags.qr = true;
+  const std::vector<std::uint8_t> blob{0xde, 0xad, 0xbe, 0xef};
+  msg.answers.push_back(ResourceRecord{DomainName::must("example.com"),
+                                       static_cast<RrType>(99), RrClass::kIn, 60, blob});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::get<std::vector<std::uint8_t>>(decoded->answers[0].rdata), blob);
+}
+
+TEST(Codec, EmptyMessageRoundTrip) {
+  DnsMessage msg;
+  msg.id = 7;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Codec, RootNameRoundTrip) {
+  DnsMessage msg = DnsMessage::query(1, DomainName::must("."), RrType::kNs);
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->questions[0].qname.is_root());
+}
+
+// ------------------------------------------------------ robustness tests
+
+TEST(CodecRobustness, TruncationAtEveryByteNeverCrashes) {
+  const auto wire = encode(sample_response());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::string err;
+    const auto decoded = decode(std::span{wire.data(), len}, &err);
+    EXPECT_FALSE(decoded) << "decoded a truncated message at len " << len;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(CodecRobustness, TrailingGarbageRejected) {
+  auto wire = encode(sample_query());
+  wire.push_back(0x00);
+  std::string err;
+  EXPECT_FALSE(decode(wire, &err));
+  EXPECT_EQ(err, "trailing bytes");
+}
+
+TEST(CodecRobustness, CompressionLoopRejected) {
+  // Header + a name that is a pointer to itself at offset 12.
+  std::vector<std::uint8_t> wire{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                 0xc0, 12,  // qname: pointer to itself
+                                 0, 1, 0, 1};
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(CodecRobustness, ForwardPointerRejected) {
+  std::vector<std::uint8_t> wire{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                 0xc0, 20,  // points past itself
+                                 0, 1, 0, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(CodecRobustness, BadRdlengthRejected) {
+  auto wire = encode(sample_response());
+  // Find the first A RDLENGTH (=4) and corrupt it upward.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    if (wire[i] == 0 && wire[i + 1] == 4) {
+      wire[i + 1] = 200;
+      break;
+    }
+  }
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(CodecRobustness, RandomMutationsNeverCrash) {
+  const auto base = encode(sample_response());
+  Rng rng{99};
+  for (int trial = 0; trial < 2'000; ++trial) {
+    auto wire = base;
+    const int flips = 1 + static_cast<int>(rng.bounded(4));
+    for (int f = 0; f < flips; ++f) {
+      wire[rng.bounded(wire.size())] = static_cast<std::uint8_t>(rng.bounded(256));
+    }
+    (void)decode(wire);  // must not crash or hang; result may be anything
+  }
+}
+
+TEST(CodecRobustness, RandomBytesNeverCrash) {
+  Rng rng{123};
+  for (int trial = 0; trial < 2'000; ++trial) {
+    std::vector<std::uint8_t> wire(rng.bounded(64));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.bounded(256));
+    (void)decode(wire);
+  }
+}
+
+TEST(Codec, EncodedSizeMatchesEncoding) {
+  const auto msg = sample_response();
+  EXPECT_EQ(encoded_size(msg), encode(msg).size());
+}
+
+}  // namespace
+}  // namespace dnsctx::dns

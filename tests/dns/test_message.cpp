@@ -1,0 +1,70 @@
+// Unit tests for the DNS message model.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+
+namespace dnsctx::dns {
+namespace {
+
+TEST(DnsMessage, QueryDefaults) {
+  const auto q = DnsMessage::query(42, DomainName::must("a.com"));
+  EXPECT_EQ(q.id, 42);
+  EXPECT_FALSE(q.flags.qr);
+  EXPECT_TRUE(q.flags.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].qtype, RrType::kA);
+  EXPECT_EQ(q.questions[0].qclass, RrClass::kIn);
+}
+
+TEST(DnsMessage, ResponseEchoesQuestionAndId) {
+  const auto q = DnsMessage::query(7, DomainName::must("a.com"));
+  const auto r = DnsMessage::response(
+      q, {ResourceRecord::a(DomainName::must("a.com"), Ipv4Addr{1, 1, 1, 1}, 60)});
+  EXPECT_EQ(r.id, 7);
+  EXPECT_TRUE(r.flags.qr);
+  EXPECT_TRUE(r.flags.ra);
+  EXPECT_EQ(r.questions, q.questions);
+  EXPECT_EQ(r.flags.rcode, Rcode::kNoError);
+}
+
+TEST(DnsMessage, ResponseWithRcode) {
+  const auto q = DnsMessage::query(7, DomainName::must("nx.com"));
+  const auto r = DnsMessage::response(q, {}, Rcode::kNxDomain);
+  EXPECT_EQ(r.flags.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST(DnsMessage, AnswerAddressesPicksOnlyARecords) {
+  auto q = DnsMessage::query(1, DomainName::must("a.com"));
+  DnsMessage r = DnsMessage::response(
+      q, {ResourceRecord::cname(DomainName::must("a.com"), DomainName::must("b.com"), 60),
+          ResourceRecord::a(DomainName::must("b.com"), Ipv4Addr{9, 9, 9, 9}, 60),
+          ResourceRecord::a(DomainName::must("b.com"), Ipv4Addr{9, 9, 9, 10}, 60)});
+  const auto addrs = r.answer_addresses();
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], Ipv4Addr(9, 9, 9, 9));
+}
+
+TEST(DnsMessage, MinAnswerTtl) {
+  auto q = DnsMessage::query(1, DomainName::must("a.com"));
+  DnsMessage r = DnsMessage::response(
+      q, {ResourceRecord::a(DomainName::must("a.com"), Ipv4Addr{1, 1, 1, 1}, 300),
+          ResourceRecord::a(DomainName::must("a.com"), Ipv4Addr{1, 1, 1, 2}, 60)});
+  EXPECT_EQ(r.min_answer_ttl(), 60u);
+  EXPECT_EQ(DnsMessage{}.min_answer_ttl(), 0u);
+}
+
+TEST(RrToString, CoversKnownAndUnknown) {
+  EXPECT_EQ(to_string(RrType::kA), "A");
+  EXPECT_EQ(to_string(RrType::kHttps), "HTTPS");
+  EXPECT_EQ(to_string(static_cast<RrType>(4'242)), "TYPE4242");
+  EXPECT_EQ(to_string(Rcode::kNxDomain), "NXDOMAIN");
+}
+
+TEST(ResourceRecord, TtlDuration) {
+  const auto rr = ResourceRecord::a(DomainName::must("a.com"), Ipv4Addr{1, 1, 1, 1}, 90);
+  EXPECT_EQ(rr.ttl_duration(), SimDuration::sec(90));
+}
+
+}  // namespace
+}  // namespace dnsctx::dns

@@ -1,0 +1,98 @@
+// Unit tests for scenario config files.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/config_io.hpp"
+
+namespace dnsctx::scenario {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEveryKnob) {
+  ScenarioConfig cfg;
+  cfg.seed = 1'234;
+  cfg.houses = 77;
+  cfg.duration = SimDuration::hours(36);
+  cfg.start_hour = 9;
+  cfg.activity_scale = 1.5;
+  cfg.ttl_violation_prob = 0.33;
+  cfg.dead_ntp_frac = 0.1;
+  cfg.p2p_house_frac = 0.42;
+  cfg.encrypted_dns_device_frac = 0.25;
+  cfg.whole_house_cache_frac = 0.6;
+  cfg.mix.isp_only = 0.2;
+  cfg.mix.cloudflare = 0.07;
+  cfg.mix.no_isp = 0.03;
+  cfg.mix.opendns_in_mixed = 0.5;
+  cfg.zones.web_sites = 999;
+  cfg.zones.zipf_exponent = 1.1;
+  cfg.zones.hosting_pool_ips = 321;
+
+  std::stringstream ss;
+  save_config(ss, cfg);
+  const ScenarioConfig back = load_config(ss);
+
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.houses, cfg.houses);
+  EXPECT_EQ(back.duration, cfg.duration);
+  EXPECT_EQ(back.start_hour, cfg.start_hour);
+  EXPECT_DOUBLE_EQ(back.activity_scale, cfg.activity_scale);
+  EXPECT_DOUBLE_EQ(back.ttl_violation_prob, cfg.ttl_violation_prob);
+  EXPECT_DOUBLE_EQ(back.dead_ntp_frac, cfg.dead_ntp_frac);
+  EXPECT_DOUBLE_EQ(back.p2p_house_frac, cfg.p2p_house_frac);
+  EXPECT_DOUBLE_EQ(back.encrypted_dns_device_frac, cfg.encrypted_dns_device_frac);
+  EXPECT_DOUBLE_EQ(back.whole_house_cache_frac, cfg.whole_house_cache_frac);
+  EXPECT_DOUBLE_EQ(back.mix.isp_only, cfg.mix.isp_only);
+  EXPECT_DOUBLE_EQ(back.mix.cloudflare, cfg.mix.cloudflare);
+  EXPECT_DOUBLE_EQ(back.mix.no_isp, cfg.mix.no_isp);
+  EXPECT_DOUBLE_EQ(back.mix.opendns_in_mixed, cfg.mix.opendns_in_mixed);
+  EXPECT_EQ(back.zones.web_sites, cfg.zones.web_sites);
+  EXPECT_DOUBLE_EQ(back.zones.zipf_exponent, cfg.zones.zipf_exponent);
+  EXPECT_EQ(back.zones.hosting_pool_ips, cfg.zones.hosting_pool_ips);
+}
+
+TEST(ConfigIo, MissingKeysKeepDefaults) {
+  std::stringstream ss{"houses = 5\n"};
+  const ScenarioConfig cfg = load_config(ss);
+  EXPECT_EQ(cfg.houses, 5u);
+  EXPECT_EQ(cfg.seed, ScenarioConfig{}.seed);
+  EXPECT_EQ(cfg.duration, ScenarioConfig{}.duration);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored) {
+  std::stringstream ss{"# a comment\n\n  houses = 9  \n   # another\n"};
+  EXPECT_EQ(load_config(ss).houses, 9u);
+}
+
+TEST(ConfigIo, UnknownKeyReportsLine) {
+  std::stringstream ss{"houses = 5\nnot_a_knob = 1\n"};
+  try {
+    (void)load_config(ss);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("not_a_knob"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, MalformedValueReportsLine) {
+  std::stringstream ss{"houses = lots\n"};
+  EXPECT_THROW((void)load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, MissingEqualsRejected) {
+  std::stringstream ss{"houses 5\n"};
+  EXPECT_THROW((void)load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  ScenarioConfig cfg;
+  cfg.houses = 13;
+  const std::string path = "/tmp/dnsctx_config_test.conf";
+  save_config_file(path, cfg);
+  EXPECT_EQ(load_config_file(path).houses, 13u);
+  EXPECT_THROW((void)load_config_file("/no/such/file.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dnsctx::scenario

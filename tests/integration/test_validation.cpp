@@ -1,0 +1,134 @@
+// Validation of the paper's inference heuristics against simulation
+// ground truth — the check the paper itself could never run.
+#include <gtest/gtest.h>
+
+#include "analysis/study.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dnsctx::scenario {
+namespace {
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.seed = 123;
+    cfg.houses = 12;
+    cfg.duration = SimDuration::hours(3);
+    cfg.zones.web_sites = 150;
+    town = new Town{cfg};
+    town->run();
+    study = new analysis::Study{analysis::run_study(town->dataset())};
+  }
+  static void TearDownTestSuite() {
+    delete study;
+    delete town;
+    town = nullptr;
+    study = nullptr;
+  }
+  static Town* town;
+  static analysis::Study* study;
+};
+
+Town* ValidationTest::town = nullptr;
+analysis::Study* ValidationTest::study = nullptr;
+
+TEST_F(ValidationTest, BlockedInferenceMatchesGroundTruth) {
+  // The monitor's "blocked" classification (SC+R) should track the true
+  // number of fetches that waited on a network lookup.
+  const auto& truth = town->ground_truth();
+  const double inferred = static_cast<double>(study->classified.counts.blocked());
+  const double actual = static_cast<double>(truth.fetch_blocked);
+  EXPECT_NEAR(inferred / actual, 1.0, 0.25);
+}
+
+TEST_F(ValidationTest, NoDnsInferenceMatchesGroundTruth) {
+  const auto& truth = town->ground_truth();
+  const double inferred = static_cast<double>(study->classified.counts.n);
+  // UDP flows can be split by the monitor's 60 s timeout, so inferred N
+  // is an overestimate bounded by a factor; it must never undercount by
+  // much.
+  EXPECT_GT(inferred, 0.5 * static_cast<double>(truth.no_dns_conns));
+  EXPECT_LT(inferred, 3.0 * static_cast<double>(truth.no_dns_conns));
+}
+
+TEST_F(ValidationTest, LocalCacheInferenceTracksStubHits) {
+  const auto& truth = town->ground_truth();
+  // LC + P ≈ connections served by device caches (cache hits).
+  const double inferred =
+      static_cast<double>(study->classified.counts.lc + study->classified.counts.p);
+  const double actual = static_cast<double>(truth.fetch_cache_hits);
+  EXPECT_NEAR(inferred / actual, 1.0, 0.35);
+}
+
+TEST_F(ValidationTest, ExpiredUsageInferenceTracksTruth) {
+  const auto& truth = town->ground_truth();
+  const double inferred =
+      static_cast<double>(study->classified.lc_expired + study->classified.p_expired);
+  const double actual = static_cast<double>(truth.fetch_cache_expired);
+  ASSERT_GT(actual, 0.0);
+  EXPECT_NEAR(inferred / actual, 1.0, 0.45);
+}
+
+TEST_F(ValidationTest, BimodalGapStructureExists) {
+  const auto& b = study->blocking;
+  ASSERT_FALSE(b.gap_ms.empty());
+  // Substantial mass both below 20 ms and above 1 s — the two regimes.
+  EXPECT_GT(b.gap_ms.fraction_at_or_below(20.0), 0.15);
+  EXPECT_GT(b.gap_ms.fraction_above(1'000.0), 0.25);
+  // Valley exists: the knee lands between the modes.
+  EXPECT_GT(b.knee_ms, 5.0);
+  EXPECT_LT(b.knee_ms, 5'000.0);
+}
+
+TEST_F(ValidationTest, BlockedConnsAreOverwhelminglyFirstUsers) {
+  EXPECT_GT(study->blocking.first_use_frac_below, 0.8);   // paper: 91%
+  EXPECT_LT(study->blocking.first_use_frac_above, 0.45);  // paper: 21%
+}
+
+TEST_F(ValidationTest, ResolverThresholdsReflectPlatformRtts) {
+  const auto& thresholds = study->classified.resolver_threshold_ms;
+  using namespace resolver::well_known;
+  ASSERT_TRUE(thresholds.contains(kIspResolver1));
+  // ISP resolvers sit ~2 ms away; threshold must be single-digit ms.
+  EXPECT_LT(thresholds.at(kIspResolver1), 10.0);
+  if (thresholds.contains(kGoogle1)) {
+    EXPECT_GT(thresholds.at(kGoogle1), thresholds.at(kIspResolver1));
+  }
+}
+
+TEST_F(ValidationTest, SharedCacheHitRateMatchesPlatformTruth) {
+  // The monitor-side SC/(SC+R) estimate should track the platforms' own
+  // cache counters (aggregated, weighted by their blocked-lookup share).
+  double truth_hits = 0, truth_queries = 0;
+  for (const auto& p : town->platforms()) {
+    truth_hits += static_cast<double>(p->stats().shard_hits + p->stats().ambient_hits);
+    truth_queries += static_cast<double>(p->stats().queries);
+  }
+  ASSERT_GT(truth_queries, 0.0);
+  const double truth_rate = truth_hits / truth_queries;
+  const double inferred = study->classified.counts.shared_cache_hit_rate();
+  EXPECT_NEAR(inferred, truth_rate, 0.15);
+}
+
+TEST_F(ValidationTest, PairingAmbiguityIsBounded) {
+  // §4: the bulk of connections should have a unique live candidate.
+  EXPECT_GT(study->pairing.unique_candidate_frac(), 0.6);
+}
+
+TEST_F(ValidationTest, RandomPairingPolicyPreservesHighLevelShares) {
+  // The paper's robustness check: re-pair randomly and compare class
+  // shares; the qualitative picture must not change.
+  analysis::StudyConfig cfg;
+  cfg.pairing_policy = analysis::PairingPolicy::kRandom;
+  cfg.pairing_seed = 99;
+  const auto alt = analysis::run_study(town->dataset(), cfg);
+  const auto& a = study->classified.counts;
+  const auto& b = alt.classified.counts;
+  EXPECT_EQ(a.n, b.n);  // pairing policy cannot change N
+  EXPECT_NEAR(a.share(a.lc), b.share(b.lc), 0.05);
+  EXPECT_NEAR(a.share(a.sc + a.r), b.share(b.sc + b.r), 0.05);
+}
+
+}  // namespace
+}  // namespace dnsctx::scenario

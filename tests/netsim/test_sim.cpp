@@ -1,0 +1,100 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include "netsim/sim.hpp"
+
+namespace dnsctx::netsim {
+namespace {
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(SimTime::from_us(30), [&] { order.push_back(3); });
+  sim.at(SimTime::from_us(10), [&] { order.push_back(1); });
+  sim.at(SimTime::from_us(20), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.dispatched(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(SimTime::from_us(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.at(SimTime::from_us(123), [&] { seen = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, SimTime::from_us(123));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::from_us(10), [&] { ++fired; });
+  sim.at(SimTime::from_us(20), [&] { ++fired; });
+  sim.at(SimTime::from_us(30), [&] { ++fired; });
+  sim.run_until(SimTime::from_us(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_us(20));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(SimTime::from_us(100));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), SimTime::from_us(100));  // clock reaches the horizon
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime when;
+  sim.at(SimTime::from_us(50), [&] {
+    sim.after(SimDuration::us(25), [&] { when = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(when, SimTime::from_us(75));
+}
+
+TEST(Simulator, ZeroDelaySelfSchedulingProgresses) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(SimDuration::zero(), recurse);
+  };
+  sim.after(SimDuration::zero(), recurse);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.at(SimTime::from_us(100), [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.at(SimTime::from_us(50), [] {}), std::logic_error);
+}
+
+TEST(Simulator, EventsScheduledDuringDispatchRun) {
+  Simulator sim;
+  bool inner = false;
+  sim.at(SimTime::from_us(10), [&] {
+    sim.after(SimDuration::us(5), [&] { inner = true; });
+  });
+  sim.run_until(SimTime::from_us(15));
+  EXPECT_TRUE(inner);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.at(SimTime::from_us(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace dnsctx::netsim

@@ -1,0 +1,257 @@
+// Unit tests for the recursive resolver platforms, exercised over a tiny
+// live network with a probe host.
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "resolver/recursive.hpp"
+
+namespace dnsctx::resolver {
+namespace {
+
+constexpr Ipv4Addr kClient{100, 66, 1, 1};
+constexpr Ipv4Addr kService{9, 9, 9, 9};
+constexpr Ipv4Addr kService2{9, 9, 9, 10};
+
+struct Probe : netsim::Host {
+  std::vector<std::pair<SimTime, dns::DnsMessage>> responses;
+  netsim::Simulator* sim = nullptr;
+  void receive(const netsim::Packet& p) override {
+    if (!p.dns_wire) return;
+    const auto msg = dns::decode(*p.dns_wire);
+    ASSERT_TRUE(msg);
+    responses.emplace_back(sim->now(), *msg);
+  }
+};
+
+class RecursiveTest : public ::testing::Test {
+ protected:
+  RecursiveTest() : net{sim, make_latency(), 3}, zones{make_zone_config()} {
+    probe.sim = &sim;
+    net.attach(kClient, &probe);
+  }
+
+  static netsim::LatencyModel make_latency() {
+    netsim::LatencyModel lat;
+    lat.set_site(kClient, {SimDuration::from_ms(0.5), 0.0});
+    lat.set_site(kService, {SimDuration::from_ms(0.5), 0.0});
+    lat.set_site(kService2, {SimDuration::from_ms(0.5), 0.0});
+    return lat;
+  }
+
+  static ZoneDbConfig make_zone_config() {
+    ZoneDbConfig cfg;
+    cfg.seed = 4;
+    cfg.web_sites = 30;
+    cfg.cdn_domains = 5;
+    cfg.ad_domains = 5;
+    cfg.tracker_domains = 5;
+    cfg.api_domains = 5;
+    cfg.video_sites = 3;
+    cfg.other_names = 5;
+    return cfg;
+  }
+
+  [[nodiscard]] PlatformConfig base_config() {
+    PlatformConfig cfg;
+    cfg.name = "Test";
+    cfg.addrs = {kService, kService2};
+    cfg.site = {SimDuration::from_ms(0.5), 0.0};
+    cfg.proc_ms = 0.1;
+    cfg.auth_rtt_ms_mean = 20.0;
+    cfg.slow_tail_prob = 0.0;
+    cfg.ambient_warmth = 0.0;
+    return cfg;
+  }
+
+  void query(const dns::DomainName& name, Ipv4Addr service = kService,
+             std::uint16_t txid = 1) {
+    netsim::Packet p;
+    p.src_ip = kClient;
+    p.dst_ip = service;
+    p.src_port = 40'000;
+    p.dst_port = 53;
+    p.proto = Proto::kUdp;
+    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(
+        dns::encode(dns::DnsMessage::query(txid, name)));
+    net.send(std::move(p));
+  }
+
+  [[nodiscard]] const dns::DomainName& some_name() {
+    return zones.record(zones.ids_of(ServiceClass::kWebOrigin)[0]).name;
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net;
+  ZoneDb zones;
+  Probe probe;
+};
+
+TEST_F(RecursiveTest, MissThenHitIsFaster) {
+  RecursiveResolverPlatform platform{sim, net, zones, base_config(), 5};
+  const SimTime t0 = sim.now();
+  query(some_name(), kService, 1);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.responses.size(), 1u);
+  const SimDuration miss_rtt = probe.responses[0].first - t0;
+
+  const SimTime t1 = sim.now();
+  query(some_name(), kService, 2);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.responses.size(), 2u);
+  const SimDuration hit_rtt = probe.responses[1].first - t1;
+
+  EXPECT_LT(hit_rtt, miss_rtt);
+  EXPECT_LT(hit_rtt, SimDuration::ms(5));   // ~RTT + proc
+  EXPECT_GT(miss_rtt, SimDuration::ms(10)); // includes authoritative work
+  EXPECT_EQ(platform.stats().queries, 2u);
+  EXPECT_EQ(platform.stats().shard_hits, 1u);
+  EXPECT_EQ(platform.stats().auth_resolutions, 1u);
+}
+
+TEST_F(RecursiveTest, ResponseEchoesTxidAndQuestion) {
+  RecursiveResolverPlatform platform{sim, net, zones, base_config(), 5};
+  query(some_name(), kService, 777);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.responses.size(), 1u);
+  const auto& msg = probe.responses[0].second;
+  EXPECT_EQ(msg.id, 777);
+  EXPECT_TRUE(msg.flags.qr);
+  EXPECT_EQ(msg.questions[0].qname, some_name());
+  EXPECT_FALSE(msg.answers.empty());
+}
+
+TEST_F(RecursiveTest, UnknownNameYieldsNxDomain) {
+  RecursiveResolverPlatform platform{sim, net, zones, base_config(), 5};
+  query(dns::DomainName::must("definitely.not.in.zonedb"), kService, 3);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.responses.size(), 1u);
+  EXPECT_EQ(probe.responses[0].second.flags.rcode, dns::Rcode::kNxDomain);
+  EXPECT_TRUE(probe.responses[0].second.answers.empty());
+  EXPECT_EQ(platform.stats().nxdomain, 1u);
+}
+
+TEST_F(RecursiveTest, CachedTtlCountsDown) {
+  RecursiveResolverPlatform platform{sim, net, zones, base_config(), 5};
+  query(some_name(), kService, 1);
+  sim.run_to_completion();
+  const auto first_ttl = probe.responses[0].second.answers[0].ttl;
+
+  sim.run_until(sim.now() + SimDuration::sec(10));
+  query(some_name(), kService, 2);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.responses.size(), 2u);
+  const auto second_ttl = probe.responses[1].second.answers[0].ttl;
+  EXPECT_LE(second_ttl, first_ttl - 9);
+}
+
+TEST_F(RecursiveTest, ShardByAddrSeparatesServiceAddresses) {
+  auto cfg = base_config();
+  cfg.frontends = 2;
+  cfg.shard_by_addr = true;
+  RecursiveResolverPlatform platform{sim, net, zones, cfg, 5};
+  query(some_name(), kService, 1);
+  sim.run_to_completion();
+  query(some_name(), kService2, 2);  // other box: cold cache
+  sim.run_to_completion();
+  EXPECT_EQ(platform.stats().auth_resolutions, 2u);
+  query(some_name(), kService, 3);  // first box: warm
+  sim.run_to_completion();
+  EXPECT_EQ(platform.stats().shard_hits, 1u);
+}
+
+TEST_F(RecursiveTest, ShardByNameActsAsOneCache) {
+  auto cfg = base_config();
+  cfg.frontends = 8;
+  cfg.shard_by_name = true;
+  RecursiveResolverPlatform platform{sim, net, zones, cfg, 5};
+  query(some_name(), kService, 1);
+  sim.run_to_completion();
+  for (std::uint16_t i = 2; i < 12; ++i) {
+    query(some_name(), i % 2 ? kService : kService2, i);
+    sim.run_to_completion();
+  }
+  EXPECT_EQ(platform.stats().auth_resolutions, 1u);
+  EXPECT_EQ(platform.stats().shard_hits, 10u);
+}
+
+TEST_F(RecursiveTest, RandomShardingFragmentsTheCache) {
+  auto cfg = base_config();
+  cfg.frontends = 16;
+  RecursiveResolverPlatform platform{sim, net, zones, cfg, 5};
+  for (std::uint16_t i = 0; i < 24; ++i) {
+    query(some_name(), kService, static_cast<std::uint16_t>(i + 1));
+    sim.run_to_completion();
+  }
+  // With 16 random shards the hit rate must be far below shard_by_name's.
+  EXPECT_LT(platform.stats().shard_hits, 18u);
+  EXPECT_GT(platform.stats().auth_resolutions, 4u);
+}
+
+TEST_F(RecursiveTest, AmbientWarmthServesPopularNamesFast) {
+  auto cfg = base_config();
+  cfg.ambient_warmth = 1.0;
+  cfg.ambient_pop_exp = 0.0;  // popularity-independent for the test
+  RecursiveResolverPlatform platform{sim, net, zones, cfg, 5};
+  query(some_name(), kService, 1);
+  sim.run_to_completion();
+  EXPECT_EQ(platform.stats().ambient_hits, 1u);
+  EXPECT_EQ(platform.stats().auth_resolutions, 0u);
+  // Ambient answers carry decayed TTLs.
+  EXPECT_LT(probe.responses[0].second.answers[0].ttl,
+            zones.record(zones.ids_of(ServiceClass::kWebOrigin)[0]).ttl_sec);
+}
+
+TEST_F(RecursiveTest, TtlCapClampsAnswers) {
+  auto cfg = base_config();
+  cfg.cache.max_ttl_sec = 60;
+  RecursiveResolverPlatform platform{sim, net, zones, cfg, 5};
+  // Pick a name whose authoritative TTL exceeds the cap.
+  const dns::DomainName* name = nullptr;
+  for (const auto id : zones.ids_of(ServiceClass::kWebOrigin)) {
+    if (zones.record(id).ttl_sec > 120) {
+      name = &zones.record(id).name;
+      break;
+    }
+  }
+  ASSERT_NE(name, nullptr);
+  query(*name, kService, 1);
+  sim.run_to_completion();
+  sim.run_until(sim.now() + SimDuration::sec(61));
+  query(*name, kService, 2);  // past cap: must re-resolve
+  sim.run_to_completion();
+  EXPECT_EQ(platform.stats().auth_resolutions, 2u);
+}
+
+TEST_F(RecursiveTest, IgnoresNonQueryTraffic) {
+  RecursiveResolverPlatform platform{sim, net, zones, base_config(), 5};
+  netsim::Packet junk;
+  junk.src_ip = kClient;
+  junk.dst_ip = kService;
+  junk.src_port = 40'000;
+  junk.dst_port = 53;
+  junk.proto = Proto::kUdp;  // no dns payload
+  net.send(junk);
+  sim.run_to_completion();
+  EXPECT_EQ(platform.stats().queries, 0u);
+  EXPECT_TRUE(probe.responses.empty());
+}
+
+TEST_F(RecursiveTest, DefaultPlatformsAreWellFormed) {
+  const auto platforms = default_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].name, "Local");
+  EXPECT_EQ(platforms[1].name, "Google");
+  EXPECT_EQ(platforms[2].name, "OpenDNS");
+  EXPECT_EQ(platforms[3].name, "Cloudflare");
+  for (const auto& p : platforms) {
+    EXPECT_FALSE(p.addrs.empty());
+    EXPECT_GT(p.frontends, 0u);
+    EXPECT_GT(p.cache.capacity, 0u);
+  }
+  // The calibrated RTT ordering the paper reports: Local < CF < Google/OpenDNS.
+  EXPECT_LT(platforms[0].site.base_one_way, platforms[3].site.base_one_way);
+  EXPECT_LT(platforms[3].site.base_one_way, platforms[1].site.base_one_way);
+}
+
+}  // namespace
+}  // namespace dnsctx::resolver

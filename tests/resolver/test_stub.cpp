@@ -1,0 +1,257 @@
+// Unit tests for the stub resolver, driven through a packet-capturing
+// harness (no network needed).
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "resolver/stub.hpp"
+
+namespace dnsctx::resolver {
+namespace {
+
+constexpr Ipv4Addr kDevice{192, 168, 1, 10};
+constexpr Ipv4Addr kResolverA{100, 66, 250, 1};
+constexpr Ipv4Addr kResolverB{8, 8, 8, 8};
+
+class StubTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] StubResolver make_stub(StubConfig cfg = {}) {
+    if (cfg.resolver_addrs.empty()) cfg.resolver_addrs = {kResolverA, kResolverB};
+    return StubResolver{sim, kDevice, std::move(cfg), 77,
+                        [this](netsim::Packet p) { sent.push_back(std::move(p)); }};
+  }
+
+  /// Craft a response to the most recent captured query.
+  [[nodiscard]] netsim::Packet respond(const netsim::Packet& query,
+                                       std::vector<dns::ResourceRecord> answers,
+                                       dns::Rcode rcode = dns::Rcode::kNoError) {
+    const auto q = dns::decode(*query.dns_wire);
+    EXPECT_TRUE(q);
+    dns::DnsMessage resp = dns::DnsMessage::response(*q, std::move(answers), rcode);
+    netsim::Packet p;
+    p.src_ip = query.dst_ip;
+    p.dst_ip = query.src_ip;
+    p.src_port = 53;
+    p.dst_port = query.src_port;
+    p.proto = Proto::kUdp;
+    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+    return p;
+  }
+
+  [[nodiscard]] static std::vector<dns::ResourceRecord> a_record(const char* name,
+                                                                 std::uint32_t ttl = 300) {
+    return {dns::ResourceRecord::a(dns::DomainName::must(name), Ipv4Addr{1, 2, 3, 4}, ttl)};
+  }
+
+  netsim::Simulator sim;
+  std::vector<netsim::Packet> sent;
+};
+
+TEST_F(StubTest, QuerySentToPrimaryResolver) {
+  auto stub = make_stub();
+  bool called = false;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { called = true; });
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].dst_ip, kResolverA);
+  EXPECT_EQ(sent[0].dst_port, 53);
+  EXPECT_EQ(sent[0].proto, Proto::kUdp);
+  const auto q = dns::decode(*sent[0].dns_wire);
+  ASSERT_TRUE(q);
+  EXPECT_EQ(q->questions[0].qname.text(), "a.com");
+  EXPECT_FALSE(called);  // no response yet
+}
+
+TEST_F(StubTest, ResponseCompletesResolutionAndCaches) {
+  auto stub = make_stub();
+  ResolveResult result;
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) {
+    result = r;
+    ++calls;
+  });
+  stub.on_response(respond(sent[0], a_record("a.com")));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.from_cache);
+  EXPECT_EQ(result.resolver, kResolverA);
+  ASSERT_EQ(result.addrs.size(), 1u);
+
+  // Second resolve: cache hit, no new packet, small scheduled delay.
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) {
+    result = r;
+    ++calls;
+  });
+  EXPECT_EQ(sent.size(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(result.from_cache);
+  EXPECT_FALSE(result.used_expired);
+}
+
+TEST_F(StubTest, ConcurrentResolvesShareOneQuery) {
+  auto stub = make_stub();
+  int calls = 0;
+  for (int i = 0; i < 5; ++i) {
+    stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  }
+  EXPECT_EQ(sent.size(), 1u);
+  stub.on_response(respond(sent[0], a_record("a.com")));
+  EXPECT_EQ(calls, 5);
+}
+
+TEST_F(StubTest, TimeoutRetriesSameResolverThenFailsOver) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA, kResolverB};
+  cfg.retries_per_resolver = 1;
+  auto stub = make_stub(cfg);
+  stub.resolve(dns::DomainName::must("slow.com"), [](const ResolveResult&) {});
+  EXPECT_EQ(sent.size(), 1u);
+  sim.run_until(sim.now() + cfg.query_timeout + SimDuration::ms(1));
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].dst_ip, kResolverA);  // retry on the same resolver
+  sim.run_until(sim.now() + cfg.query_timeout + SimDuration::ms(1));
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_EQ(sent[2].dst_ip, kResolverB);  // failover
+}
+
+TEST_F(StubTest, TerminalTimeoutReportsFailure) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.retries_per_resolver = 0;
+  auto stub = make_stub(cfg);
+  ResolveResult result;
+  result.success = true;
+  stub.resolve(dns::DomainName::must("dead.com"),
+               [&](const ResolveResult& r) { result = r; });
+  sim.run_until(sim.now() + SimDuration::sec(10));
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(stub.failures(), 1u);
+}
+
+TEST_F(StubTest, LateResponseAfterFailoverIsIgnored) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA, kResolverB};
+  cfg.retries_per_resolver = 0;
+  auto stub = make_stub(cfg);
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  sim.run_until(sim.now() + cfg.query_timeout + SimDuration::ms(1));  // now on resolver B
+  ASSERT_EQ(sent.size(), 2u);
+  // Response arriving from resolver A is rejected by the source check.
+  stub.on_response(respond(sent[0], a_record("a.com")));
+  EXPECT_EQ(calls, 0);
+  stub.on_response(respond(sent[1], a_record("a.com")));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(StubTest, SpoofedSourceRejected) {
+  auto stub = make_stub();
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  auto spoofed = respond(sent[0], a_record("a.com"));
+  spoofed.src_ip = Ipv4Addr{6, 6, 6, 6};
+  stub.on_response(spoofed);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(StubTest, WrongPortRejected) {
+  auto stub = make_stub();
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  auto wrong = respond(sent[0], a_record("a.com"));
+  wrong.dst_port = static_cast<std::uint16_t>(wrong.dst_port + 1);
+  stub.on_response(wrong);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(StubTest, NxDomainIsNegativelyCached) {
+  auto stub = make_stub();
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("nx.com"), [&](const ResolveResult& r) { result = r; });
+  stub.on_response(respond(sent[0], {}, dns::Rcode::kNxDomain));
+  EXPECT_FALSE(result.success);
+  // Within the negative-caching window: answered from cache, still a
+  // failure, no new query (RFC 2308 behaviour).
+  ResolveResult again;
+  again.success = true;
+  stub.resolve(dns::DomainName::must("nx.com"), [&](const ResolveResult& r) { again = r; });
+  sim.run_to_completion();
+  EXPECT_FALSE(again.success);
+  EXPECT_EQ(sent.size(), 1u);
+  // After the window expires the stub asks the network again.
+  sim.at(sim.now() + SimDuration::sec(400), [] {});
+  sim.run_to_completion();
+  stub.resolve(dns::DomainName::must("nx.com"), [](const ResolveResult&) {});
+  EXPECT_EQ(sent.size(), 2u);
+}
+
+TEST_F(StubTest, ExpiredEntryIsFlaggedWhenHeldPastTtl) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.ttl_violation_prob = 1.0;  // always hold
+  cfg.hold_mu = 8.0;             // hold for hours
+  cfg.hold_sigma = 0.1;
+  auto stub = make_stub(cfg);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  stub.on_response(respond(sent[0], a_record("a.com", 60)));
+
+  sim.run_until(sim.now() + SimDuration::sec(120));  // past TTL, within hold
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) { result = r; });
+  sim.run_to_completion();
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.from_cache);
+  EXPECT_TRUE(result.used_expired);
+  EXPECT_EQ(sent.size(), 1u);  // served stale, no new query
+}
+
+TEST_F(StubTest, StrictModeRequeriesAfterTtl) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.ttl_violation_prob = 0.0;
+  auto stub = make_stub(cfg);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  stub.on_response(respond(sent[0], a_record("a.com", 60)));
+  sim.run_until(sim.now() + SimDuration::sec(61));
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  EXPECT_EQ(sent.size(), 2u);
+}
+
+TEST_F(StubTest, SpeculativeResolvesGetMinimumHold) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.ttl_violation_prob = 0.0;
+  cfg.speculative_hold_min_sec = 120.0;
+  cfg.speculative_hold_max_sec = 120.0;
+  auto stub = make_stub(cfg);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {},
+               /*speculative=*/true);
+  stub.on_response(respond(sent[0], a_record("a.com", 10)));
+  sim.run_until(sim.now() + SimDuration::sec(60));  // TTL long gone, hold active
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) { result = r; });
+  sim.run_to_completion();
+  EXPECT_TRUE(result.from_cache);
+  EXPECT_TRUE(result.used_expired);
+}
+
+TEST_F(StubTest, NoResolversConfiguredFailsImmediately) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {};
+  StubResolver stub{sim, kDevice, cfg, 1, [this](netsim::Packet p) { sent.push_back(p); }};
+  ResolveResult result;
+  result.success = true;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) { result = r; });
+  sim.run_to_completion();
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST_F(StubTest, QueriesCountersTrack) {
+  auto stub = make_stub();
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  stub.resolve(dns::DomainName::must("b.com"), [](const ResolveResult&) {});
+  EXPECT_EQ(stub.queries_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace dnsctx::resolver

@@ -1,0 +1,212 @@
+// Unit tests for the authoritative universe.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "resolver/zonedb.hpp"
+
+namespace dnsctx::resolver {
+namespace {
+
+[[nodiscard]] ZoneDbConfig small_config(std::uint64_t seed = 5) {
+  ZoneDbConfig cfg;
+  cfg.seed = seed;
+  cfg.web_sites = 50;
+  cfg.cdn_domains = 10;
+  cfg.ad_domains = 10;
+  cfg.tracker_domains = 8;
+  cfg.api_domains = 12;
+  cfg.video_sites = 5;
+  cfg.other_names = 10;
+  return cfg;
+}
+
+TEST(ZoneDb, SizeMatchesConfig) {
+  const ZoneDb db{small_config()};
+  // 50+10+10+8+12+5+1(conncheck)+10
+  EXPECT_EQ(db.size(), 106u);
+}
+
+TEST(ZoneDb, DeterministicForSeed) {
+  const ZoneDb a{small_config(9)};
+  const ZoneDb b{small_config(9)};
+  ASSERT_EQ(a.size(), b.size());
+  for (NameId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.record(id).name, b.record(id).name);
+    EXPECT_EQ(a.record(id).addrs, b.record(id).addrs);
+    EXPECT_EQ(a.record(id).ttl_sec, b.record(id).ttl_sec);
+  }
+}
+
+TEST(ZoneDb, DifferentSeedsDiffer) {
+  const ZoneDb a{small_config(1)};
+  const ZoneDb b{small_config(2)};
+  bool any_diff = false;
+  for (NameId id = 0; id < std::min(a.size(), b.size()); ++id) {
+    any_diff = any_diff || a.record(id).addrs != b.record(id).addrs;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ZoneDb, FindByName) {
+  const ZoneDb db{small_config()};
+  for (NameId id = 0; id < db.size(); ++id) {
+    const auto found = db.find(db.record(id).name);
+    ASSERT_TRUE(found);
+    EXPECT_EQ(*found, id);
+  }
+  EXPECT_FALSE(db.find(dns::DomainName::must("not-a-real-name.example")));
+}
+
+TEST(ZoneDb, EveryRecordHasAddressesAndTtl) {
+  const ZoneDb db{small_config()};
+  for (NameId id = 0; id < db.size(); ++id) {
+    const auto& rec = db.record(id);
+    EXPECT_FALSE(rec.addrs.empty()) << rec.name.text();
+    EXPECT_GT(rec.ttl_sec, 0u);
+    EXPECT_GT(rec.popularity, 0.0);
+    EXPECT_LE(rec.popularity, 1.0);
+  }
+}
+
+TEST(ZoneDb, ServiceIndexCoversEverything) {
+  const ZoneDb db{small_config()};
+  std::size_t total = 0;
+  for (const auto s :
+       {ServiceClass::kWebOrigin, ServiceClass::kCdnAsset, ServiceClass::kAdNetwork,
+        ServiceClass::kTracker, ServiceClass::kApi, ServiceClass::kVideo,
+        ServiceClass::kConnCheck, ServiceClass::kOther}) {
+    total += db.ids_of(s).size();
+  }
+  EXPECT_EQ(total, db.size());
+  EXPECT_EQ(db.ids_of(ServiceClass::kWebOrigin).size(), 50u);
+}
+
+TEST(ZoneDb, ConnCheckSingleton) {
+  const ZoneDb db{small_config()};
+  const auto& rec = db.record(db.conn_check_id());
+  EXPECT_EQ(rec.name.text(), "connectivitycheck.gstatic.com");
+  EXPECT_EQ(rec.service, ServiceClass::kConnCheck);
+  EXPECT_DOUBLE_EQ(rec.popularity, 1.0);
+}
+
+TEST(ZoneDb, WebPopularityIsZipfRanked) {
+  const ZoneDb db{small_config()};
+  const auto& webs = db.ids_of(ServiceClass::kWebOrigin);
+  for (std::size_t i = 1; i < webs.size(); ++i) {
+    EXPECT_GE(db.record(webs[i - 1]).popularity, db.record(webs[i]).popularity);
+  }
+  EXPECT_DOUBLE_EQ(db.record(webs[0]).popularity, 1.0);
+}
+
+TEST(ZoneDb, SampleWebSiteFavoursHead) {
+  const ZoneDb db{small_config()};
+  Rng rng{11};
+  const auto& webs = db.ids_of(ServiceClass::kWebOrigin);
+  std::size_t head = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (db.sample_web_site(rng) == webs[0]) ++head;
+  }
+  // Zipf(0.95) over 50 ranks: head probability is ~22%.
+  EXPECT_GT(head, static_cast<std::size_t>(n) / 10);
+}
+
+TEST(ZoneDb, AuthoritativeAnswerForKnownName) {
+  const ZoneDb db{small_config()};
+  Rng rng{13};
+  const auto& rec = db.record(db.ids_of(ServiceClass::kWebOrigin)[0]);
+  const auto answers = db.authoritative_answer(rec.name, GeoQuality{0.9}, rng);
+  ASSERT_FALSE(answers.empty());
+  for (const auto& rr : answers) {
+    EXPECT_EQ(rr.name, rec.name);
+    EXPECT_EQ(rr.ttl, rec.ttl_sec);
+    const auto addr = std::get<Ipv4Addr>(rr.rdata);
+    EXPECT_NE(std::find(rec.addrs.begin(), rec.addrs.end(), addr), rec.addrs.end());
+  }
+}
+
+TEST(ZoneDb, AuthoritativeAnswerForUnknownNameIsEmpty) {
+  const ZoneDb db{small_config()};
+  Rng rng{13};
+  EXPECT_TRUE(
+      db.authoritative_answer(dns::DomainName::must("zzz.unknown.test"), GeoQuality{}, rng)
+          .empty());
+}
+
+TEST(ZoneDb, CdnGeoQualityControlsBestEdgeShare) {
+  const ZoneDb db{small_config()};
+  const auto& cdns = db.ids_of(ServiceClass::kCdnAsset);
+  // Find a CDN-flagged record.
+  const HostRecord* cdn = nullptr;
+  for (const auto id : cdns) {
+    if (db.record(id).cdn) {
+      cdn = &db.record(id);
+      break;
+    }
+  }
+  ASSERT_NE(cdn, nullptr);
+  Rng rng{17};
+  auto best_edge_share = [&](double geo_prob) {
+    int best = 0;
+    const int n = 4'000;
+    for (int i = 0; i < n; ++i) {
+      const auto ans = db.authoritative_answer(cdn->name, GeoQuality{geo_prob}, rng);
+      // The edge A record is the last element (a CNAME may precede it).
+      if (std::get<Ipv4Addr>(ans.back().rdata) == cdn->addrs[0]) ++best;
+    }
+    return static_cast<double>(best) / n;
+  };
+  EXPECT_NEAR(best_edge_share(0.95), 0.95, 0.03);
+  EXPECT_NEAR(best_edge_share(0.4), 0.4, 0.04);
+}
+
+TEST(ZoneDb, CdnCnameChainsWellFormed) {
+  const ZoneDb db{small_config()};
+  Rng rng{21};
+  bool saw_chain = false;
+  for (const auto id : db.ids_of(ServiceClass::kCdnAsset)) {
+    const auto& rec = db.record(id);
+    if (!rec.cdn || rec.cname_target.is_root()) continue;
+    saw_chain = true;
+    const auto ans = db.authoritative_answer(rec.name, GeoQuality{0.9}, rng);
+    ASSERT_EQ(ans.size(), 2u);
+    EXPECT_EQ(ans[0].type, dns::RrType::kCname);
+    EXPECT_EQ(ans[0].name, rec.name);
+    EXPECT_EQ(std::get<dns::DomainName>(ans[0].rdata), rec.cname_target);
+    EXPECT_EQ(ans[1].type, dns::RrType::kA);
+    EXPECT_EQ(ans[1].name, rec.cname_target);  // A record owned by the target
+  }
+  EXPECT_TRUE(saw_chain);
+}
+
+TEST(ZoneDb, CdnEdgesHaveDecayingThroughput) {
+  const ZoneDb db{small_config()};
+  for (const auto id : db.ids_of(ServiceClass::kVideo)) {
+    const auto& rec = db.record(id);
+    ASSERT_TRUE(rec.cdn);
+    EXPECT_GT(db.throughput_factor(rec.addrs.front()),
+              db.throughput_factor(rec.addrs.back()));
+  }
+}
+
+TEST(ZoneDb, UnknownAddressHasUnitThroughput) {
+  const ZoneDb db{small_config()};
+  EXPECT_DOUBLE_EQ(db.throughput_factor(Ipv4Addr{9, 9, 9, 9}), 1.0);
+}
+
+TEST(ZoneDb, SharedHostingCreatesAddressCollisions) {
+  const ZoneDb db{small_config()};
+  std::map<std::uint32_t, int> names_per_ip;
+  for (const auto id : db.ids_of(ServiceClass::kWebOrigin)) {
+    for (const auto addr : db.record(id).addrs) ++names_per_ip[addr.to_u32()];
+  }
+  int shared = 0;
+  for (const auto& [ip, count] : names_per_ip) {
+    if (count > 1) ++shared;
+  }
+  EXPECT_GT(shared, 0);  // DN-Hunter ambiguity exists by construction
+}
+
+}  // namespace
+}  // namespace dnsctx::resolver

@@ -1,0 +1,178 @@
+// Unit tests for the client device: TCP state machine, fetch plumbing,
+// ground-truth accounting — against a live farm + resolver.
+#include <gtest/gtest.h>
+
+#include "resolver/recursive.hpp"
+#include "traffic/device.hpp"
+#include "traffic/farm.hpp"
+
+namespace dnsctx::traffic {
+namespace {
+
+constexpr Ipv4Addr kHouse{100, 66, 1, 1};
+constexpr Ipv4Addr kDeviceIp{192, 168, 1, 10};
+constexpr Ipv4Addr kResolver{100, 66, 250, 1};
+constexpr Ipv4Addr kServer{34, 1, 1, 1};
+constexpr Ipv4Addr kDeadServer{127, 9, 9, 9};
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : net{sim, make_latency(), 3},
+        gateway{sim, net, kHouse, 5, SimDuration::from_ms(0.2)},
+        zones{make_zone_config()},
+        platform{sim, net, zones, platform_config(), 7},
+        farm{sim, net, 9},
+        device{sim, gateway, kDeviceIp, stub_config(), 11} {
+    farm.add_dead_ip(kDeadServer);
+    device.set_ground_truth(&truth);
+  }
+
+  static netsim::LatencyModel make_latency() {
+    netsim::LatencyModel lat;
+    lat.set_site(kHouse, {SimDuration::from_ms(0.5), 0.0});
+    lat.set_site(kResolver, {SimDuration::from_ms(0.5), 0.0});
+    lat.set_site(kServer, {SimDuration::ms(5), 0.0});
+    lat.set_site(kDeadServer, {SimDuration::ms(5), 0.0});
+    return lat;
+  }
+  static resolver::ZoneDbConfig make_zone_config() {
+    resolver::ZoneDbConfig cfg;
+    cfg.seed = 4;
+    cfg.web_sites = 10;
+    cfg.cdn_domains = 2;
+    cfg.ad_domains = 2;
+    cfg.tracker_domains = 2;
+    cfg.api_domains = 2;
+    cfg.video_sites = 2;
+    cfg.other_names = 2;
+    return cfg;
+  }
+  static resolver::PlatformConfig platform_config() {
+    resolver::PlatformConfig cfg;
+    cfg.addrs = {kResolver};
+    cfg.site = {SimDuration::from_ms(0.5), 0.0};
+    cfg.slow_tail_prob = 0.0;
+    return cfg;
+  }
+  static resolver::StubConfig stub_config() {
+    resolver::StubConfig cfg;
+    cfg.resolver_addrs = {kResolver};
+    cfg.ttl_violation_prob = 0.0;
+    return cfg;
+  }
+
+  [[nodiscard]] const dns::DomainName& a_name() {
+    return zones.record(zones.ids_of(resolver::ServiceClass::kWebOrigin)[0]).name;
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net;
+  netsim::HouseGateway gateway;
+  resolver::ZoneDb zones;
+  resolver::RecursiveResolverPlatform platform;
+  ServerFarm farm;
+  GroundTruth truth;
+  Device device;
+};
+
+TEST_F(DeviceTest, OpenTcpEstablishes) {
+  bool established = false;
+  netsim::TransferIntent intent;
+  device.open_tcp(kServer, 443, intent, [&](bool ok) { established = ok; });
+  sim.run_until(sim.now() + SimDuration::sec(1));
+  EXPECT_TRUE(established);
+  EXPECT_EQ(device.tcp_opened(), 1u);
+  EXPECT_EQ(device.tcp_failed(), 0u);
+  EXPECT_EQ(truth.no_dns_conns, 1u);  // direct open = no DNS
+}
+
+TEST_F(DeviceTest, SynRetransmitsThenGivesUpOnDeadServer) {
+  bool result = true;
+  device.open_tcp(kDeadServer, 443, netsim::TransferIntent{}, [&](bool ok) { result = ok; });
+  sim.run_until(sim.now() + SimDuration::sec(15));
+  EXPECT_FALSE(result);
+  EXPECT_EQ(device.tcp_failed(), 1u);
+}
+
+TEST_F(DeviceTest, FetchResolvesThenConnects) {
+  FetchResult out;
+  device.fetch(a_name(), 443, netsim::TransferIntent{},
+               [&](const FetchResult& r) { out = r; });
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  EXPECT_TRUE(out.connected);
+  EXPECT_TRUE(out.dns.success);
+  EXPECT_FALSE(out.dns.from_cache);
+  EXPECT_EQ(truth.fetches, 1u);
+  EXPECT_EQ(truth.fetch_blocked, 1u);
+  EXPECT_EQ(truth.no_dns_conns, 0u);  // name-driven connect is not "no DNS"
+}
+
+TEST_F(DeviceTest, SecondFetchUsesDeviceCache) {
+  device.fetch(a_name(), 443, netsim::TransferIntent{});
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  FetchResult out;
+  device.fetch(a_name(), 443, netsim::TransferIntent{},
+               [&](const FetchResult& r) { out = r; });
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  EXPECT_TRUE(out.connected);
+  EXPECT_TRUE(out.dns.from_cache);
+  EXPECT_EQ(truth.fetch_cache_hits, 1u);
+}
+
+TEST_F(DeviceTest, FetchWithConnectDelayWaits) {
+  FetchResult out;
+  const SimTime t0 = sim.now();
+  SimTime connected_at;
+  device.fetch(a_name(), 443, netsim::TransferIntent{},
+               [&](const FetchResult& r) {
+                 out = r;
+                 connected_at = sim.now();
+               },
+               SimDuration::sec(5));
+  sim.run_until(sim.now() + SimDuration::sec(10));
+  EXPECT_TRUE(out.connected);
+  EXPECT_GT(connected_at - t0, SimDuration::sec(5));
+}
+
+TEST_F(DeviceTest, FetchOfUnknownNameFails) {
+  FetchResult out;
+  out.connected = true;
+  device.fetch(dns::DomainName::must("no.such.name.example"), 443, netsim::TransferIntent{},
+               [&](const FetchResult& r) { out = r; });
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  EXPECT_FALSE(out.connected);
+  EXPECT_FALSE(out.dns.success);
+}
+
+TEST_F(DeviceTest, PrefetchCountsAndWarmsCache) {
+  device.prefetch(a_name());
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  EXPECT_EQ(truth.prefetches, 1u);
+  FetchResult out;
+  device.fetch(a_name(), 443, netsim::TransferIntent{},
+               [&](const FetchResult& r) { out = r; });
+  sim.run_until(sim.now() + SimDuration::sec(2));
+  EXPECT_TRUE(out.dns.from_cache);
+}
+
+TEST_F(DeviceTest, ConcurrentConnectionsUseDistinctPorts) {
+  for (int i = 0; i < 5; ++i) device.open_tcp(kServer, 443, netsim::TransferIntent{});
+  sim.run_until(sim.now() + SimDuration::sec(1));
+  EXPECT_EQ(device.tcp_opened(), 5u);
+  EXPECT_EQ(farm.tcp_conns_served(), 5u);
+}
+
+TEST_F(DeviceTest, ServerCloseCompletesLifecycle) {
+  netsim::TransferIntent intent;
+  intent.transfer_time = SimDuration::ms(200);
+  device.open_tcp(kServer, 443, intent);
+  // The device responds to the farm's FIN with its own FIN; run long
+  // enough for the whole exchange and assert the farm forgot the conn
+  // (a second stray segment would elicit an RST, not crash).
+  sim.run_until(sim.now() + SimDuration::sec(5));
+  EXPECT_EQ(farm.tcp_conns_served(), 1u);
+}
+
+}  // namespace
+}  // namespace dnsctx::traffic

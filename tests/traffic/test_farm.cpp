@@ -1,0 +1,188 @@
+// Unit tests for the generic server farm.
+#include <gtest/gtest.h>
+
+#include "traffic/farm.hpp"
+
+namespace dnsctx::traffic {
+namespace {
+
+constexpr Ipv4Addr kClient{100, 66, 1, 1};
+constexpr Ipv4Addr kServer{34, 1, 1, 1};
+constexpr Ipv4Addr kDeadServer{128, 138, 141, 172};
+
+struct ClientProbe : netsim::Host {
+  std::vector<std::pair<SimTime, netsim::Packet>> received;
+  netsim::Simulator* sim = nullptr;
+  void receive(const netsim::Packet& p) override { received.emplace_back(sim->now(), p); }
+};
+
+class FarmTest : public ::testing::Test {
+ protected:
+  FarmTest() : net{sim, make_latency(), 1}, farm{sim, net, 2} {
+    probe.sim = &sim;
+    net.attach(kClient, &probe);
+  }
+
+  static netsim::LatencyModel make_latency() {
+    netsim::LatencyModel lat;
+    lat.set_site(kClient, {SimDuration::ms(1), 0.0});
+    lat.set_site(kServer, {SimDuration::ms(1), 0.0});
+    lat.set_site(kDeadServer, {SimDuration::ms(1), 0.0});
+    return lat;
+  }
+
+  [[nodiscard]] static netsim::Packet syn(Ipv4Addr dst, netsim::TransferIntent intent) {
+    netsim::Packet p;
+    p.src_ip = kClient;
+    p.dst_ip = dst;
+    p.src_port = 10'000;
+    p.dst_port = 443;
+    p.proto = Proto::kTcp;
+    p.tcp = netsim::TcpFlags{.syn = true};
+    p.intent = intent;
+    return p;
+  }
+
+  [[nodiscard]] static netsim::Packet request(std::uint64_t bytes) {
+    netsim::Packet p;
+    p.src_ip = kClient;
+    p.dst_ip = kServer;
+    p.src_port = 10'000;
+    p.dst_port = 443;
+    p.proto = Proto::kTcp;
+    p.tcp = netsim::TcpFlags{.ack = true};
+    p.payload_bytes = bytes;
+    return p;
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net;
+  ServerFarm farm;
+  ClientProbe probe;
+};
+
+TEST_F(FarmTest, AnswersSynWithSynAck) {
+  netsim::TransferIntent intent;
+  net.send(syn(kServer, intent));
+  sim.run_to_completion();
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_TRUE(probe.received[0].second.tcp.syn);
+  EXPECT_TRUE(probe.received[0].second.tcp.ack);
+  EXPECT_EQ(farm.tcp_conns_served(), 1u);
+}
+
+TEST_F(FarmTest, PlaysBackTransferIntent) {
+  netsim::TransferIntent intent;
+  intent.response_bytes = 50'000;
+  intent.server_delay = SimDuration::ms(100);
+  intent.transfer_time = SimDuration::sec(2);
+  net.send(syn(kServer, intent));
+  sim.run_until(sim.now() + SimDuration::ms(10));
+  net.send(request(500));
+  sim.run_to_completion();
+  // SYN-ACK + first response data + FIN with the remaining bytes.
+  ASSERT_EQ(probe.received.size(), 3u);
+  const auto& data = probe.received[1];
+  const auto& fin = probe.received[2];
+  EXPECT_EQ(data.second.payload_bytes, 16'384u);
+  EXPECT_TRUE(fin.second.tcp.fin);
+  EXPECT_EQ(fin.second.payload_bytes, 50'000u - 16'384u);
+  // FIN lands ~transfer_time after the request arrived.
+  EXPECT_GT(fin.first, SimTime::origin() + SimDuration::sec(2));
+  EXPECT_LT(fin.first, SimTime::origin() + SimDuration::from_sec(2.3));
+}
+
+TEST_F(FarmTest, DeadAddressesNeverAnswer) {
+  farm.add_dead_ip(kDeadServer);
+  net.send(syn(kDeadServer, netsim::TransferIntent{}));
+  sim.run_to_completion();
+  EXPECT_TRUE(probe.received.empty());
+  EXPECT_EQ(farm.tcp_conns_served(), 0u);
+}
+
+TEST_F(FarmTest, RejectAddressesSendRst) {
+  farm.add_reject_ip(kServer);
+  net.send(syn(kServer, netsim::TransferIntent{}));
+  sim.run_to_completion();
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_TRUE(probe.received[0].second.tcp.rst);
+}
+
+TEST_F(FarmTest, StraySegmentGetsRst) {
+  net.send(request(100));  // no SYN ever happened
+  sim.run_to_completion();
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_TRUE(probe.received[0].second.tcp.rst);
+}
+
+TEST_F(FarmTest, ClientFinTearsDownState) {
+  net.send(syn(kServer, netsim::TransferIntent{}));
+  sim.run_to_completion();
+  netsim::Packet fin = request(0);
+  fin.tcp = netsim::TcpFlags{.ack = true, .fin = true};
+  net.send(fin);
+  sim.run_to_completion();
+  // SYN-ACK then the FIN-ACK completing the close.
+  ASSERT_EQ(probe.received.size(), 2u);
+  EXPECT_TRUE(probe.received[1].second.tcp.fin);
+}
+
+TEST_F(FarmTest, UdpIntentAnsweredOnce) {
+  netsim::Packet dgram;
+  dgram.src_ip = kClient;
+  dgram.dst_ip = kServer;
+  dgram.src_port = 123;
+  dgram.dst_port = 123;
+  dgram.proto = Proto::kUdp;
+  dgram.payload_bytes = 48;
+  netsim::TransferIntent intent;
+  intent.response_bytes = 48;
+  intent.server_delay = SimDuration::ms(3);
+  intent.transfer_time = intent.server_delay;
+  dgram.intent = intent;
+  net.send(dgram);
+  sim.run_to_completion();
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_EQ(probe.received[0].second.payload_bytes, 48u);
+  EXPECT_EQ(farm.udp_flows_served(), 1u);
+}
+
+TEST_F(FarmTest, UdpStreamingSpreadsChunksUnderMonitorTimeout) {
+  netsim::Packet dgram;
+  dgram.src_ip = kClient;
+  dgram.dst_ip = kServer;
+  dgram.src_port = 50'000;
+  dgram.dst_port = 51'413;
+  dgram.proto = Proto::kUdp;
+  netsim::TransferIntent intent;
+  intent.response_bytes = 1'000'000;
+  intent.server_delay = SimDuration::ms(10);
+  intent.transfer_time = SimDuration::sec(300);
+  dgram.intent = intent;
+  net.send(dgram);
+  sim.run_to_completion();
+  ASSERT_GT(probe.received.size(), 2u);
+  // Gaps between chunks must stay below Bro's 60 s UDP flow timeout.
+  for (std::size_t i = 1; i < probe.received.size(); ++i) {
+    EXPECT_LT(probe.received[i].first - probe.received[i - 1].first, SimDuration::sec(60));
+  }
+  std::uint64_t total = 0;
+  for (const auto& [t, p] : probe.received) total += p.payload_bytes;
+  EXPECT_GE(total, intent.response_bytes * 9 / 10);
+}
+
+TEST_F(FarmTest, IntentLessUdpIsIgnored) {
+  netsim::Packet dgram;
+  dgram.src_ip = kClient;
+  dgram.dst_ip = kServer;
+  dgram.src_port = 50'000;
+  dgram.dst_port = 51'413;
+  dgram.proto = Proto::kUdp;
+  dgram.payload_bytes = 200;
+  net.send(dgram);
+  sim.run_to_completion();
+  EXPECT_TRUE(probe.received.empty());
+}
+
+}  // namespace
+}  // namespace dnsctx::traffic

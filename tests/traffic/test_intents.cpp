@@ -1,0 +1,96 @@
+// Property tests for the transfer-intent sampler: the distributions the
+// §6/§7 analyses depend on.
+#include <gtest/gtest.h>
+
+#include "traffic/apps.hpp"
+
+namespace dnsctx::traffic {
+namespace {
+
+using resolver::ServiceClass;
+
+class IntentTest : public ::testing::TestWithParam<ServiceClass> {};
+
+TEST_P(IntentTest, IntentsAreWellFormed) {
+  Rng rng{17};
+  for (int i = 0; i < 2'000; ++i) {
+    const auto intent = sample_intent(GetParam(), 1.0, rng);
+    EXPECT_GT(intent.request_bytes, 0u);
+    EXPECT_GT(intent.response_bytes, 0u);
+    EXPECT_GT(intent.server_delay, SimDuration::zero());
+    EXPECT_GE(intent.transfer_time, intent.server_delay);
+    EXPECT_LT(intent.transfer_time, SimDuration::min(30));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Services, IntentTest,
+                         ::testing::Values(ServiceClass::kWebOrigin, ServiceClass::kCdnAsset,
+                                           ServiceClass::kAdNetwork, ServiceClass::kTracker,
+                                           ServiceClass::kApi, ServiceClass::kVideo,
+                                           ServiceClass::kConnCheck, ServiceClass::kOther));
+
+TEST(IntentShapes, ThroughputFactorSlowsTransfers) {
+  Rng rng_fast{5}, rng_slow{5};  // identical streams: paired comparison
+  double fast_sum = 0.0, slow_sum = 0.0;
+  for (int i = 0; i < 1'000; ++i) {
+    fast_sum += sample_intent(ServiceClass::kCdnAsset, 1.0, rng_fast).transfer_time.to_sec();
+    slow_sum += sample_intent(ServiceClass::kCdnAsset, 0.2, rng_slow).transfer_time.to_sec();
+  }
+  EXPECT_GT(slow_sum, fast_sum);
+}
+
+TEST(IntentShapes, VideoMovesTheMostBytes) {
+  Rng rng{7};
+  auto mean_bytes = [&rng](ServiceClass s) {
+    double sum = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      sum += static_cast<double>(sample_intent(s, 1.0, rng).response_bytes);
+    }
+    return sum / 500.0;
+  };
+  const double video = mean_bytes(ServiceClass::kVideo);
+  EXPECT_GT(video, 10.0 * mean_bytes(ServiceClass::kCdnAsset));
+  EXPECT_GT(video, 100.0 * mean_bytes(ServiceClass::kTracker));
+}
+
+TEST(IntentShapes, ConnCheckIsTinyButLingers) {
+  Rng rng{9};
+  for (int i = 0; i < 200; ++i) {
+    const auto intent = sample_intent(ServiceClass::kConnCheck, 1.0, rng);
+    EXPECT_LE(intent.response_bytes, 200u);
+    // The lingering socket is what drags Google's Fig 3 throughput down.
+    EXPECT_GT(intent.transfer_time, SimDuration::sec(1));
+  }
+}
+
+TEST(IntentShapes, TrackersAreShortLivedOftenEnough) {
+  Rng rng{11};
+  int short_lived = 0;
+  const int n = 2'000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_intent(ServiceClass::kTracker, 1.0, rng).transfer_time < SimDuration::sec(2)) {
+      ++short_lived;
+    }
+  }
+  // A meaningful share of beacons must be short — they are the §6
+  // "DNS contributes >10%" population.
+  EXPECT_GT(short_lived, n / 5);
+}
+
+TEST(IntentShapes, KeepAliveTailExists) {
+  Rng rng{13};
+  int long_lived = 0;
+  const int n = 2'000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_intent(ServiceClass::kWebOrigin, 1.0, rng).transfer_time >
+        SimDuration::sec(20)) {
+      ++long_lived;
+    }
+  }
+  // Keep-alive idle keeps most web conns open for tens of seconds —
+  // which keeps DNS' relative contribution small (§6).
+  EXPECT_GT(long_lived, n / 2);
+}
+
+}  // namespace
+}  // namespace dnsctx::traffic

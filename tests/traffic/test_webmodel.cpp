@@ -1,0 +1,137 @@
+// Unit tests for the web page structure model and diurnal profile.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "traffic/diurnal.hpp"
+#include "traffic/webmodel.hpp"
+
+namespace dnsctx::traffic {
+namespace {
+
+[[nodiscard]] resolver::ZoneDbConfig zone_config() {
+  resolver::ZoneDbConfig cfg;
+  cfg.seed = 6;
+  cfg.web_sites = 40;
+  cfg.cdn_domains = 8;
+  cfg.ad_domains = 8;
+  cfg.tracker_domains = 6;
+  cfg.api_domains = 8;
+  cfg.video_sites = 4;
+  cfg.other_names = 5;
+  return cfg;
+}
+
+TEST(WebModel, EveryOriginHasAProfile) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    const PageProfile& prof = web.page(origin);
+    EXPECT_EQ(prof.origin, origin);
+    EXPECT_GE(prof.asset_hosts.size(), 3u);   // ≥2 CDN + ≥1 ad/tracker
+    EXPECT_LE(prof.asset_hosts.size(), 12u);
+    EXPECT_GE(prof.links.size(), 2u);
+  }
+}
+
+TEST(WebModel, AssetHostsAreInfrastructureNames) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    for (const auto asset : web.page(origin).asset_hosts) {
+      const auto service = zones.record(asset).service;
+      EXPECT_TRUE(service == resolver::ServiceClass::kCdnAsset ||
+                  service == resolver::ServiceClass::kAdNetwork ||
+                  service == resolver::ServiceClass::kTracker ||
+                  service == resolver::ServiceClass::kApi);
+    }
+  }
+}
+
+TEST(WebModel, LinksAreOtherWebOrigins) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    for (const auto link : web.page(origin).links) {
+      EXPECT_NE(link, origin);
+      EXPECT_EQ(zones.record(link).service, resolver::ServiceClass::kWebOrigin);
+    }
+  }
+}
+
+TEST(WebModel, AssetHostsAreUniquePerPage) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    const auto& assets = web.page(origin).asset_hosts;
+    const std::set<resolver::NameId> uniq{assets.begin(), assets.end()};
+    EXPECT_EQ(uniq.size(), assets.size());
+  }
+}
+
+TEST(WebModel, PopularInfrastructureIsShared) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  // Some asset host must appear on many sites (the single tag manager
+  // effect), driving cross-site cache hits.
+  std::map<resolver::NameId, int> embed_counts;
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    for (const auto asset : web.page(origin).asset_hosts) ++embed_counts[asset];
+  }
+  int max_count = 0;
+  for (const auto& [id, count] : embed_counts) max_count = std::max(max_count, count);
+  EXPECT_GE(max_count, 10);
+}
+
+TEST(WebModel, DeterministicForSeed) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel a{zones, 5};
+  const WebModel b{zones, 5};
+  for (const auto origin : zones.ids_of(resolver::ServiceClass::kWebOrigin)) {
+    EXPECT_EQ(a.page(origin).asset_hosts, b.page(origin).asset_hosts);
+    EXPECT_EQ(a.page(origin).links, b.page(origin).links);
+  }
+}
+
+TEST(WebModel, NonOriginLookupThrows) {
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel web{zones, 3};
+  const auto cdn = zones.ids_of(resolver::ServiceClass::kCdnAsset)[0];
+  EXPECT_THROW((void)web.page(cdn), std::invalid_argument);
+}
+
+TEST(Diurnal, ResidentialPeaksInTheEvening) {
+  const auto prof = DiurnalProfile::residential();
+  const auto at_hour = [&](int h) {
+    return prof.factor(SimTime::origin() + SimDuration::hours(h));
+  };
+  EXPECT_GT(at_hour(20), at_hour(4));  // evening >> overnight
+  EXPECT_GT(at_hour(20), at_hour(10));
+  EXPECT_LT(at_hour(3), 0.5);
+  EXPECT_GT(at_hour(19), 1.4);
+}
+
+TEST(Diurnal, WrapsAfterMidnight) {
+  const auto prof = DiurnalProfile::residential();
+  EXPECT_DOUBLE_EQ(prof.factor(SimTime::origin()),
+                   prof.factor(SimTime::origin() + SimDuration::hours(24)));
+  EXPECT_DOUBLE_EQ(prof.factor(SimTime::origin() + SimDuration::hours(3)),
+                   prof.factor(SimTime::origin() + SimDuration::hours(27)));
+}
+
+TEST(Diurnal, StartHourShiftsPhase) {
+  const auto base = DiurnalProfile::residential();
+  const auto shifted = base.with_start_hour(20);
+  EXPECT_DOUBLE_EQ(shifted.factor(SimTime::origin()),
+                   base.factor(SimTime::origin() + SimDuration::hours(20)));
+}
+
+TEST(Diurnal, FlatIsFlat) {
+  const auto flat = DiurnalProfile::flat();
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(flat.factor(SimTime::origin() + SimDuration::hours(h)), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dnsctx::traffic

@@ -1,0 +1,85 @@
+// Unit tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace dnsctx {
+namespace {
+
+[[nodiscard]] CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> v{tokens};
+  return parse_cli(std::span<const char* const>{v.data(), v.size()});
+}
+
+TEST(Cli, PositionalsKeptInOrder) {
+  const auto args = parse({"simulate", "extra"});
+  ASSERT_EQ(args.positionals.size(), 2u);
+  EXPECT_EQ(args.positionals[0], "simulate");
+  EXPECT_EQ(args.positionals[1], "extra");
+}
+
+TEST(Cli, OptionWithSeparateValue) {
+  const auto args = parse({"--houses", "40"});
+  EXPECT_EQ(args.option("houses"), "40");
+  EXPECT_TRUE(args.positionals.empty());
+}
+
+TEST(Cli, OptionWithEqualsValue) {
+  const auto args = parse({"--seed=99"});
+  EXPECT_EQ(args.option("seed"), "99");
+}
+
+TEST(Cli, BareFlagAndTrailingFlag) {
+  const auto args = parse({"--verbose", "--csv", "--quiet"});
+  EXPECT_TRUE(args.has_flag("verbose"));  // next token is an option → flag
+  EXPECT_TRUE(args.has_flag("csv"));
+  EXPECT_TRUE(args.has_flag("quiet"));    // nothing after → flag
+}
+
+TEST(Cli, FlagFollowedByPositionalConsumesIt) {
+  const auto args = parse({"--out", "/tmp/x", "analyze"});
+  EXPECT_EQ(args.option("out"), "/tmp/x");
+  ASSERT_EQ(args.positionals.size(), 1u);
+  EXPECT_EQ(args.positionals[0], "analyze");
+}
+
+TEST(Cli, EmptyValueViaEquals) {
+  const auto args = parse({"--name="});
+  EXPECT_EQ(args.option("name"), "");
+}
+
+TEST(Cli, DoubleDashAloneIsPositional) {
+  const auto args = parse({"--"});
+  ASSERT_EQ(args.positionals.size(), 1u);
+  EXPECT_EQ(args.positionals[0], "--");
+}
+
+TEST(Cli, IntOptionParsing) {
+  const auto args = parse({"--houses", "40"});
+  EXPECT_EQ(args.int_option_or("houses", 7), 40);
+  EXPECT_EQ(args.int_option_or("missing", 7), 7);
+  const auto bad = parse({"--houses", "many"});
+  EXPECT_THROW((void)bad.int_option_or("houses", 0), std::runtime_error);
+}
+
+TEST(Cli, DoubleOptionParsing) {
+  const auto args = parse({"--scale", "1.5"});
+  EXPECT_DOUBLE_EQ(args.double_option_or("scale", 1.0), 1.5);
+  EXPECT_DOUBLE_EQ(args.double_option_or("missing", 2.0), 2.0);
+}
+
+TEST(Cli, UnknownKeyDetection) {
+  const auto args = parse({"--houses", "40", "--tpyo", "--out=x"});
+  const auto unknown = args.unknown_keys({"houses", "out"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(Cli, OptionOrFallback) {
+  const auto args = parse({});
+  EXPECT_EQ(args.option_or("x", "fallback"), "fallback");
+  EXPECT_FALSE(args.option("x").has_value());
+}
+
+}  // namespace
+}  // namespace dnsctx

@@ -1,0 +1,194 @@
+// Unit + statistical tests for the deterministic RNG and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dnsctx {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng{7};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, BoundedCoversRangeUniformly) {
+  Rng rng{11};
+  std::array<int, 8> counts{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{13};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values reachable
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{17};
+  int hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{19};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{23};
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng{29};
+  std::vector<double> xs;
+  for (int i = 0; i < 20'001; ++i) xs.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 10'000, xs.end());
+  EXPECT_NEAR(xs[10'000], std::exp(2.0), 0.3);
+}
+
+TEST(Rng, ParetoWithinBounds) {
+  Rng rng{31};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.pareto(1.2, 10.0, 1'000.0);
+    EXPECT_GE(x, 10.0 * 0.999);
+    EXPECT_LE(x, 1'000.0 * 1.001);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng{37};
+  int small = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.2, 1.0, 1e6) < 10.0) ++small;
+  }
+  // Most mass near the low end is the defining property.
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng{41};
+  const double weights[] = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_NEAR(counts[0], n / 10, n / 50);
+  EXPECT_NEAR(counts[1], 3 * n / 10, n / 50);
+  EXPECT_NEAR(counts[2], 6 * n / 10, n / 50);
+}
+
+TEST(Rng, PickWeightedRejectsEmpty) {
+  Rng rng{43};
+  EXPECT_THROW((void)rng.pick_weighted({}), std::invalid_argument);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW((void)rng.pick_weighted(zeros), std::invalid_argument);
+}
+
+TEST(DeriveSeed, LabelsAreIndependent) {
+  const auto a = derive_seed(42, "alpha");
+  const auto b = derive_seed(42, "beta");
+  const auto c = derive_seed(43, "alpha");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(42, "alpha"));  // stable
+}
+
+TEST(DeriveSeed, IndexedVariantsDiffer) {
+  const auto a = derive_seed(42, "house", 0);
+  const auto b = derive_seed(42, "house", 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, derive_seed(42, "house", 0));
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfParamTest, PmfSumsToOneAndDecreases) {
+  const ZipfSampler z{100, GetParam()};
+  double sum = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    sum += z.pmf(r);
+    if (r > 0) {
+      EXPECT_LE(z.pmf(r), z.pmf(r - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfParamTest, SampleFrequencyTracksPmf) {
+  const ZipfSampler z{50, GetParam()};
+  Rng rng{47};
+  std::array<int, 50> counts{};
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  // Head rank should match its pmf closely.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, z.pmf(1), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfParamTest, ::testing::Values(0.5, 0.8, 1.0, 1.2));
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  const ZipfSampler z{10, 1.0};
+  EXPECT_EQ(z.pmf(10), 0.0);
+}
+
+}  // namespace
+}  // namespace dnsctx

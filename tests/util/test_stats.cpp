@@ -1,0 +1,144 @@
+// Unit tests for the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace dnsctx {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, MatchesDirectComputation) {
+  StreamingStats s;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  // Population variance of {1,2,4,8}.
+  EXPECT_NEAR(s.variance(), 7.1875, 1e-12);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(-3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Cdf, QuantilesInterpolate) {
+  Cdf c;
+  for (int i = 1; i <= 5; ++i) c.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.median(), 3.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(Cdf, QuantileOnEmptyThrows) {
+  const Cdf c;
+  EXPECT_THROW((void)c.quantile(0.5), std::logic_error);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  Cdf c;
+  for (int i = 1; i <= 10; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_above(5.0), 0.5);
+}
+
+TEST(Cdf, EmptyFractions) {
+  const Cdf c;
+  EXPECT_EQ(c.fraction_at_or_below(1.0), 0.0);
+  EXPECT_EQ(c.fraction_above(1.0), 0.0);
+}
+
+TEST(Cdf, AddAfterQueryResorts) {
+  Cdf c;
+  c.add(10.0);
+  c.add(1.0);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  c.add(0.5);  // after a query
+  EXPECT_DOUBLE_EQ(c.min(), 0.5);
+  EXPECT_DOUBLE_EQ(c.max(), 10.0);
+}
+
+TEST(Cdf, AddAllAndSortedView) {
+  Cdf c;
+  const double xs[] = {3.0, 1.0, 2.0};
+  c.add_all(xs);
+  const auto sorted = c.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0], 1.0);
+  EXPECT_DOUBLE_EQ(sorted[2], 3.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 9
+  EXPECT_EQ(h.count_in(0), 2u);
+  EXPECT_EQ(h.count_in(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h{0.0, 3.0, 3};
+  h.add(1.5);
+  h.add(1.6);
+  h.add(0.2);
+  EXPECT_EQ(h.mode_bin(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(SampleCdf, ProducesMonotoneSeries) {
+  Cdf c;
+  for (int i = 0; i < 100; ++i) c.add(i * i);
+  const auto pts = sample_cdf(c, 10);
+  ASSERT_EQ(pts.size(), 11u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GT(pts[i].f, pts[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(pts.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+TEST(SampleCdf, EmptyInputs) {
+  const Cdf c;
+  EXPECT_TRUE(sample_cdf(c, 10).empty());
+  Cdf c2;
+  c2.add(1.0);
+  EXPECT_TRUE(sample_cdf(c2, 0).empty());
+}
+
+TEST(RenderAsciiCdf, ContainsLabelAndRows) {
+  Cdf c;
+  for (int i = 0; i < 50; ++i) c.add(i);
+  const auto out = render_ascii_cdf(c, "delay", "ms", 4);
+  EXPECT_NE(out.find("delay"), std::string::npos);
+  EXPECT_NE(out.find("p100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsctx

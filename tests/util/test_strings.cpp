@@ -1,0 +1,54 @@
+// Unit tests for string helpers.
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace dnsctx {
+namespace {
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, TrailingDelimiterYieldsEmptyTail) {
+  const auto parts = split("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, EmptyStringIsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(IsSubdomainOf, LabelBoundaries) {
+  EXPECT_TRUE(is_subdomain_of("a.b.example.com", "example.com"));
+  EXPECT_TRUE(is_subdomain_of("example.com", "example.com"));
+  EXPECT_FALSE(is_subdomain_of("notexample.com", "example.com"));
+  EXPECT_FALSE(is_subdomain_of("example.com", "a.example.com"));
+  EXPECT_FALSE(is_subdomain_of("example.com", ""));
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 1.005), "1.00");
+  EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, LongOutput) {
+  const std::string long_str(500, 'z');
+  EXPECT_EQ(strfmt("%s", long_str.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace dnsctx

@@ -1,0 +1,83 @@
+// Unit tests for SimTime / SimDuration.
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace dnsctx {
+namespace {
+
+TEST(SimDuration, FactoriesAgree) {
+  EXPECT_EQ(SimDuration::ms(1).count_us(), 1'000);
+  EXPECT_EQ(SimDuration::sec(1).count_us(), 1'000'000);
+  EXPECT_EQ(SimDuration::min(2).count_us(), 120'000'000);
+  EXPECT_EQ(SimDuration::hours(1), SimDuration::min(60));
+  EXPECT_EQ(SimDuration::days(1), SimDuration::hours(24));
+}
+
+TEST(SimDuration, FractionalFactories) {
+  EXPECT_EQ(SimDuration::from_ms(1.5).count_us(), 1'500);
+  EXPECT_EQ(SimDuration::from_sec(0.25).count_us(), 250'000);
+  EXPECT_EQ(SimDuration::from_ms(0.001).count_us(), 1);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::ms(10);
+  const auto b = SimDuration::ms(3);
+  EXPECT_EQ((a + b).count_us(), 13'000);
+  EXPECT_EQ((a - b).count_us(), 7'000);
+  EXPECT_EQ((a * 3).count_us(), 30'000);
+  EXPECT_EQ((a / 2).count_us(), 5'000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimDuration::ms(13));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimDuration, Comparisons) {
+  EXPECT_LT(SimDuration::ms(1), SimDuration::ms(2));
+  EXPECT_GE(SimDuration::sec(1), SimDuration::ms(1'000));
+  EXPECT_EQ(SimDuration::zero().count_us(), 0);
+  EXPECT_GT(SimDuration::max(), SimDuration::days(10'000));
+}
+
+TEST(SimDuration, Conversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::ms(1'500).to_sec(), 1.5);
+  EXPECT_DOUBLE_EQ(SimDuration::us(1'500).to_ms(), 1.5);
+}
+
+TEST(SimDuration, NegativeValuesSupported) {
+  const auto d = SimDuration::ms(1) - SimDuration::ms(5);
+  EXPECT_EQ(d.count_us(), -4'000);
+  EXPECT_LT(d, SimDuration::zero());
+}
+
+TEST(SimTime, OriginAndOffsets) {
+  const auto t0 = SimTime::origin();
+  EXPECT_EQ(t0.count_us(), 0);
+  const auto t1 = t0 + SimDuration::sec(5);
+  EXPECT_EQ(t1.count_us(), 5'000'000);
+  EXPECT_EQ(t1 - t0, SimDuration::sec(5));
+  EXPECT_EQ(t1 - SimDuration::sec(5), t0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  auto t = SimTime::from_us(100);
+  t += SimDuration::us(23);
+  EXPECT_EQ(t.count_us(), 123);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::origin(), SimTime::from_us(1));
+  EXPECT_LT(SimTime::from_us(1), SimTime::max());
+}
+
+TEST(TimeFormatting, HumanReadable) {
+  EXPECT_EQ(to_string(SimDuration::us(500)), "500us");
+  EXPECT_EQ(to_string(SimDuration::ms(12)), "12ms");
+  EXPECT_EQ(to_string(SimDuration::sec(3)), "3s");
+  EXPECT_NE(to_string(SimTime::from_us(1'500'000)).find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsctx

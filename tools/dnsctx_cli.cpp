@@ -1,0 +1,217 @@
+// dnsctx — the command-line frontend.
+//
+//   dnsctx simulate --out DIR [--config FILE] [--houses N] [--hours H]
+//                   [--seed S] [--start-hour H]
+//       Simulate a neighborhood and write conn.log / dns.log (plus a
+//       scenario.conf snapshot) into DIR.
+//
+//   dnsctx analyze --dir DIR | (--conn FILE --dns FILE)
+//                  [--section all|table1|table2|fig1|fig2|fig3|timeseries|perhouse]
+//                  [--csv DIR]
+//       Run the paper's pipeline over captured logs.
+//
+//   dnsctx sweep --key KEY --values a,b,c [--config FILE] [--out DIR]
+//       Re-simulate with KEY overridden per value; print headline shares.
+//
+//   dnsctx validate [--config FILE] [--houses N] [--hours H] [--seed S]
+//       Simulate and compare the passive inferences against ground truth.
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/export.hpp"
+#include "analysis/perhouse.hpp"
+#include "analysis/report.hpp"
+#include "analysis/timeseries.hpp"
+#include "capture/logio.hpp"
+#include "scenario/config_io.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dnsctx;
+
+[[nodiscard]] scenario::ScenarioConfig config_from_args(const CliArgs& args) {
+  scenario::ScenarioConfig cfg;
+  if (const auto file = args.option("config")) {
+    cfg = scenario::load_config_file(*file);
+  }
+  cfg.houses = static_cast<std::size_t>(
+      args.int_option_or("houses", static_cast<long long>(cfg.houses)));
+  cfg.duration = SimDuration::hours(
+      args.int_option_or("hours", cfg.duration.count_us() / 3'600'000'000LL));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.int_option_or("seed", static_cast<long long>(cfg.seed)));
+  cfg.start_hour = static_cast<int>(args.int_option_or("start-hour", cfg.start_hour));
+  return cfg;
+}
+
+int cmd_simulate(const CliArgs& args) {
+  const auto out_dir = args.option("out");
+  if (!out_dir) {
+    std::fprintf(stderr, "simulate: --out DIR is required\n");
+    return 2;
+  }
+  const auto cfg = config_from_args(args);
+  std::filesystem::create_directories(*out_dir);
+
+  std::printf("simulating %zu houses for %s (seed %llu)...\n", cfg.houses,
+              to_string(cfg.duration).c_str(), static_cast<unsigned long long>(cfg.seed));
+  scenario::Town town{cfg};
+  town.run();
+
+  const std::string conn_path = *out_dir + "/conn.log";
+  const std::string dns_path = *out_dir + "/dns.log";
+  capture::save_dataset(town.dataset(), conn_path, dns_path);
+  scenario::save_config_file(*out_dir + "/scenario.conf", cfg);
+  std::printf("wrote %zu conns → %s\n", town.dataset().conns.size(), conn_path.c_str());
+  std::printf("wrote %zu DNS transactions → %s\n", town.dataset().dns.size(),
+              dns_path.c_str());
+  std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
+  return 0;
+}
+
+int cmd_analyze(const CliArgs& args) {
+  std::string conn_path, dns_path;
+  if (const auto dir = args.option("dir")) {
+    conn_path = *dir + "/conn.log";
+    dns_path = *dir + "/dns.log";
+  } else {
+    const auto conn = args.option("conn");
+    const auto dns = args.option("dns");
+    if (!conn || !dns) {
+      std::fprintf(stderr, "analyze: need --dir DIR or both --conn FILE and --dns FILE\n");
+      return 2;
+    }
+    conn_path = *conn;
+    dns_path = *dns;
+  }
+  const capture::Dataset ds = capture::load_dataset(conn_path, dns_path);
+  std::printf("loaded %zu conns, %zu DNS transactions\n\n", ds.conns.size(), ds.dns.size());
+
+  const analysis::Study study = analysis::run_study(ds);
+  const std::string section = args.option_or("section", "all");
+  const bool all = section == "all";
+  if (all || section == "table1") std::printf("%s\n", analysis::format_table1(study).c_str());
+  if (all || section == "table2") {
+    std::printf("%s\n", analysis::format_table2(study, ds).c_str());
+  }
+  if (all || section == "fig1") std::printf("%s\n", analysis::format_fig1(study).c_str());
+  if (all || section == "fig2") std::printf("%s\n", analysis::format_fig2(study).c_str());
+  if (all || section == "fig3") std::printf("%s\n", analysis::format_fig3(study).c_str());
+  if (all || section == "timeseries") {
+    const auto ts = analysis::build_time_series(ds, &study.classified);
+    std::printf("%s\n", analysis::format_time_series(ts).c_str());
+  }
+  if (all || section == "perhouse") {
+    const auto ph = analysis::analyze_per_house(ds, study.classified);
+    const auto ci = analysis::bootstrap_table2_ci(ph);
+    std::printf("per-house blocked share: p10 %.1f%%  p50 %.1f%%  p90 %.1f%%\n",
+                ph.blocked_share.empty() ? 0.0 : 100.0 * ph.blocked_share.quantile(0.1),
+                ph.blocked_share.empty() ? 0.0 : 100.0 * ph.blocked_share.median(),
+                ph.blocked_share.empty() ? 0.0 : 100.0 * ph.blocked_share.quantile(0.9));
+    std::printf("95%% bootstrap CI for LC share: [%.1f%%, %.1f%%]\n\n", 100.0 * ci.lc.lo,
+                100.0 * ci.lc.hi);
+  }
+  if (const auto csv = args.option("csv")) {
+    std::filesystem::create_directories(*csv);
+    const auto files = analysis::export_study_csv(study, *csv);
+    std::printf("exported %zu CSV series to %s\n", files, csv->c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const auto key = args.option("key");
+  const auto values = args.option("values");
+  if (!key || !values) {
+    std::fprintf(stderr, "sweep: --key KEY and --values a,b,c are required\n");
+    return 2;
+  }
+  std::string base_text;
+  if (const auto file = args.option("config")) {
+    std::stringstream ss;
+    scenario::save_config(ss, scenario::load_config_file(*file));
+    base_text = ss.str();
+  } else {
+    std::stringstream ss;
+    scenario::save_config(ss, config_from_args(args));
+    base_text = ss.str();
+  }
+
+  std::printf("%-14s %10s %8s %7s %7s %7s %7s %7s %13s\n", key->c_str(), "conns", "N%",
+              "LC%", "P%", "SC%", "R%", "block%", "significant%");
+  for (const auto value : split(*values, ',')) {
+    std::stringstream cfg_text;
+    cfg_text << base_text << "\n" << *key << " = " << value << "\n";
+    const auto cfg = scenario::load_config(cfg_text);
+    scenario::Town town{cfg};
+    town.run();
+    const auto study = analysis::run_study(town.dataset());
+    const auto& c = study.classified.counts;
+    std::printf("%-14.*s %10zu %7.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %12.1f%%\n",
+                static_cast<int>(value.size()), value.data(), town.dataset().conns.size(),
+                100.0 * c.share(c.n), 100.0 * c.share(c.lc), 100.0 * c.share(c.p),
+                100.0 * c.share(c.sc), 100.0 * c.share(c.r), 100.0 * c.share(c.blocked()),
+                100.0 * study.performance.significant_overall);
+  }
+  return 0;
+}
+
+int cmd_validate(const CliArgs& args) {
+  const auto cfg = config_from_args(args);
+  std::printf("simulating %zu houses for %s...\n", cfg.houses,
+              to_string(cfg.duration).c_str());
+  scenario::Town town{cfg};
+  town.run();
+  const auto study = analysis::run_study(town.dataset());
+  const auto& truth = town.ground_truth();
+  const auto& c = study.classified.counts;
+  auto row = [](const char* what, double inferred, double actual) {
+    const double err = actual > 0.0 ? 100.0 * (inferred - actual) / actual : 0.0;
+    std::printf("  %-40s %12.0f %12.0f %+7.1f%%\n", what, inferred, actual, err);
+  };
+  std::printf("%-42s %12s %12s %8s\n", "inference", "inferred", "truth", "error");
+  row("blocked connections (SC+R)", static_cast<double>(c.blocked()),
+      static_cast<double>(truth.fetch_blocked));
+  row("locally-served connections (LC+P)", static_cast<double>(c.lc + c.p),
+      static_cast<double>(truth.fetch_cache_hits));
+  row("DNS-less flows (N)", static_cast<double>(c.n),
+      static_cast<double>(truth.no_dns_conns));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dnsctx <simulate|analyze|sweep|validate> [options]\n"
+               "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
+               "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
+               "  sweep    --key K --values a,b,c [--config F | sim options]\n"
+               "  validate [--config F] [--houses N] [--hours H] [--seed S]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const CliArgs args =
+      parse_cli(std::span<const char* const>{const_cast<const char* const*>(argv) + 2,
+                                             static_cast<std::size_t>(argc - 2)});
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "validate") return cmd_validate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  usage();
+  return 2;
+}
