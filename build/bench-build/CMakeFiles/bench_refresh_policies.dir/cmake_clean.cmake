@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_refresh_policies"
+  "../bench/bench_refresh_policies.pdb"
+  "CMakeFiles/bench_refresh_policies.dir/bench_refresh_policies.cpp.o"
+  "CMakeFiles/bench_refresh_policies.dir/bench_refresh_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

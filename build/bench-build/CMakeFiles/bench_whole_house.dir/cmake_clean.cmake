@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whole_house"
+  "../bench/bench_whole_house.pdb"
+  "CMakeFiles/bench_whole_house.dir/bench_whole_house.cpp.o"
+  "CMakeFiles/bench_whole_house.dir/bench_whole_house.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whole_house.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

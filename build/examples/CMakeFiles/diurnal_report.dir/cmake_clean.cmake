@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_report.dir/diurnal_report.cpp.o"
+  "CMakeFiles/diurnal_report.dir/diurnal_report.cpp.o.d"
+  "diurnal_report"
+  "diurnal_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_dns_future.dir/encrypted_dns_future.cpp.o"
+  "CMakeFiles/encrypted_dns_future.dir/encrypted_dns_future.cpp.o.d"
+  "encrypted_dns_future"
+  "encrypted_dns_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_dns_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

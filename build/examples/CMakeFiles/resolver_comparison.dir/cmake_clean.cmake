@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_comparison.dir/resolver_comparison.cpp.o"
+  "CMakeFiles/resolver_comparison.dir/resolver_comparison.cpp.o.d"
+  "resolver_comparison"
+  "resolver_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_house_cache.dir/whole_house_cache.cpp.o"
+  "CMakeFiles/whole_house_cache.dir/whole_house_cache.cpp.o.d"
+  "whole_house_cache"
+  "whole_house_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_house_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocking.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/blocking.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/blocking.cpp.o.d"
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/nclass.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/nclass.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/nclass.cpp.o.d"
+  "/root/repo/src/analysis/pairing.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/pairing.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/pairing.cpp.o.d"
+  "/root/repo/src/analysis/performance.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/performance.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/performance.cpp.o.d"
+  "/root/repo/src/analysis/perhouse.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/perhouse.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/perhouse.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/resolvers.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/resolvers.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/resolvers.cpp.o.d"
+  "/root/repo/src/analysis/study.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/study.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/study.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/tables.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/dnsctx_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsctx_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/dnsctx_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsctx_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsctx_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dnsctx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsctx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_analysis.dir/blocking.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/blocking.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/classify.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/export.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/nclass.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/nclass.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/pairing.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/pairing.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/performance.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/performance.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/perhouse.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/perhouse.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/report.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/resolvers.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/resolvers.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/study.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/study.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/tables.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/dnsctx_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/dnsctx_analysis.dir/timeseries.cpp.o.d"
+  "libdnsctx_analysis.a"
+  "libdnsctx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

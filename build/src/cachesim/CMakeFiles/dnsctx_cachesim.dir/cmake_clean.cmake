@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_cachesim.dir/refresh.cpp.o"
+  "CMakeFiles/dnsctx_cachesim.dir/refresh.cpp.o.d"
+  "CMakeFiles/dnsctx_cachesim.dir/whole_house.cpp.o"
+  "CMakeFiles/dnsctx_cachesim.dir/whole_house.cpp.o.d"
+  "libdnsctx_cachesim.a"
+  "libdnsctx_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_capture.dir/logio.cpp.o"
+  "CMakeFiles/dnsctx_capture.dir/logio.cpp.o.d"
+  "CMakeFiles/dnsctx_capture.dir/monitor.cpp.o"
+  "CMakeFiles/dnsctx_capture.dir/monitor.cpp.o.d"
+  "libdnsctx_capture.a"
+  "libdnsctx_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsctx_capture.a"
+)

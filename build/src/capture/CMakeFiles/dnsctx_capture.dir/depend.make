@@ -1,0 +1,2 @@
+# Empty dependencies file for dnsctx_capture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_dns.dir/cache.cpp.o"
+  "CMakeFiles/dnsctx_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/dnsctx_dns.dir/codec.cpp.o"
+  "CMakeFiles/dnsctx_dns.dir/codec.cpp.o.d"
+  "CMakeFiles/dnsctx_dns.dir/message.cpp.o"
+  "CMakeFiles/dnsctx_dns.dir/message.cpp.o.d"
+  "CMakeFiles/dnsctx_dns.dir/name.cpp.o"
+  "CMakeFiles/dnsctx_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dnsctx_dns.dir/rr.cpp.o"
+  "CMakeFiles/dnsctx_dns.dir/rr.cpp.o.d"
+  "libdnsctx_dns.a"
+  "libdnsctx_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_netsim.dir/nat.cpp.o"
+  "CMakeFiles/dnsctx_netsim.dir/nat.cpp.o.d"
+  "CMakeFiles/dnsctx_netsim.dir/network.cpp.o"
+  "CMakeFiles/dnsctx_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/dnsctx_netsim.dir/sim.cpp.o"
+  "CMakeFiles/dnsctx_netsim.dir/sim.cpp.o.d"
+  "libdnsctx_netsim.a"
+  "libdnsctx_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

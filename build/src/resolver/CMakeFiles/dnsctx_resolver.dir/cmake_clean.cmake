@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_resolver.dir/forwarder.cpp.o"
+  "CMakeFiles/dnsctx_resolver.dir/forwarder.cpp.o.d"
+  "CMakeFiles/dnsctx_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/dnsctx_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/dnsctx_resolver.dir/stub.cpp.o"
+  "CMakeFiles/dnsctx_resolver.dir/stub.cpp.o.d"
+  "CMakeFiles/dnsctx_resolver.dir/zonedb.cpp.o"
+  "CMakeFiles/dnsctx_resolver.dir/zonedb.cpp.o.d"
+  "libdnsctx_resolver.a"
+  "libdnsctx_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_scenario.dir/config_io.cpp.o"
+  "CMakeFiles/dnsctx_scenario.dir/config_io.cpp.o.d"
+  "CMakeFiles/dnsctx_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/dnsctx_scenario.dir/scenario.cpp.o.d"
+  "libdnsctx_scenario.a"
+  "libdnsctx_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/apps.cpp" "src/traffic/CMakeFiles/dnsctx_traffic.dir/apps.cpp.o" "gcc" "src/traffic/CMakeFiles/dnsctx_traffic.dir/apps.cpp.o.d"
+  "/root/repo/src/traffic/device.cpp" "src/traffic/CMakeFiles/dnsctx_traffic.dir/device.cpp.o" "gcc" "src/traffic/CMakeFiles/dnsctx_traffic.dir/device.cpp.o.d"
+  "/root/repo/src/traffic/farm.cpp" "src/traffic/CMakeFiles/dnsctx_traffic.dir/farm.cpp.o" "gcc" "src/traffic/CMakeFiles/dnsctx_traffic.dir/farm.cpp.o.d"
+  "/root/repo/src/traffic/webmodel.cpp" "src/traffic/CMakeFiles/dnsctx_traffic.dir/webmodel.cpp.o" "gcc" "src/traffic/CMakeFiles/dnsctx_traffic.dir/webmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resolver/CMakeFiles/dnsctx_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dnsctx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsctx_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsctx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

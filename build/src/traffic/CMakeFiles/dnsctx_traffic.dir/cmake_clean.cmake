@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_traffic.dir/apps.cpp.o"
+  "CMakeFiles/dnsctx_traffic.dir/apps.cpp.o.d"
+  "CMakeFiles/dnsctx_traffic.dir/device.cpp.o"
+  "CMakeFiles/dnsctx_traffic.dir/device.cpp.o.d"
+  "CMakeFiles/dnsctx_traffic.dir/farm.cpp.o"
+  "CMakeFiles/dnsctx_traffic.dir/farm.cpp.o.d"
+  "CMakeFiles/dnsctx_traffic.dir/webmodel.cpp.o"
+  "CMakeFiles/dnsctx_traffic.dir/webmodel.cpp.o.d"
+  "libdnsctx_traffic.a"
+  "libdnsctx_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx_util.dir/cli.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dnsctx_util.dir/ip.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/ip.cpp.o.d"
+  "CMakeFiles/dnsctx_util.dir/rng.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dnsctx_util.dir/stats.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dnsctx_util.dir/strings.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dnsctx_util.dir/time.cpp.o"
+  "CMakeFiles/dnsctx_util.dir/time.cpp.o.d"
+  "libdnsctx_util.a"
+  "libdnsctx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_blocking.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o.d"
+  "/root/repo/tests/analysis/test_classify.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o.d"
+  "/root/repo/tests/analysis/test_export.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o.d"
+  "/root/repo/tests/analysis/test_nclass.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_nclass.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_nclass.cpp.o.d"
+  "/root/repo/tests/analysis/test_pairing.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_pairing.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_pairing.cpp.o.d"
+  "/root/repo/tests/analysis/test_performance.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_performance.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_performance.cpp.o.d"
+  "/root/repo/tests/analysis/test_perhouse.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_perhouse.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_perhouse.cpp.o.d"
+  "/root/repo/tests/analysis/test_study.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_study.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_study.cpp.o.d"
+  "/root/repo/tests/analysis/test_tables.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_tables.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_tables.cpp.o.d"
+  "/root/repo/tests/analysis/test_timeseries.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/dnsctx_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dnsctx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/dnsctx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/dnsctx_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/dnsctx_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsctx_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dnsctx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsctx_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsctx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

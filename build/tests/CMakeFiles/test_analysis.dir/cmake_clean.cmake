@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_nclass.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_nclass.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_pairing.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_pairing.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_performance.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_performance.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_perhouse.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_perhouse.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_study.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_study.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_tables.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_tables.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeseries.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeseries.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capture.dir/capture/test_logio.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_logio.cpp.o.d"
+  "CMakeFiles/test_capture.dir/capture/test_monitor.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_monitor.cpp.o.d"
+  "test_capture"
+  "test_capture.pdb"
+  "test_capture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

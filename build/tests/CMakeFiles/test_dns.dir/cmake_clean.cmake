@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/dns/test_cache.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_cache.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_codec.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_codec.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_message.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_message.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_name.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_name.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

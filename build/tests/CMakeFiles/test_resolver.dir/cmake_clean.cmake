@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver.dir/resolver/test_forwarder.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/test_forwarder.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/test_recursive.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/test_recursive.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/test_stub.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/test_stub.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/test_tcp_fallback.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/test_tcp_fallback.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/test_zonedb.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/test_zonedb.cpp.o.d"
+  "test_resolver"
+  "test_resolver.pdb"
+  "test_resolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

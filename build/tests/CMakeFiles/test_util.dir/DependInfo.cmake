@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_ip.cpp" "tests/CMakeFiles/test_util.dir/util/test_ip.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_ip.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_time.cpp" "tests/CMakeFiles/test_util.dir/util/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/dnsctx_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dnsctx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/dnsctx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/dnsctx_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/dnsctx_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsctx_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dnsctx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsctx_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsctx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

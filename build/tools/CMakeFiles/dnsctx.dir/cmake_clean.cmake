@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsctx.dir/dnsctx_cli.cpp.o"
+  "CMakeFiles/dnsctx.dir/dnsctx_cli.cpp.o.d"
+  "dnsctx"
+  "dnsctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

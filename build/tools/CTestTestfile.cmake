@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_simulate "/root/repo/build/tools/dnsctx" "simulate" "--out" "/root/repo/build/cli_smoke" "--houses" "4" "--hours" "1")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/dnsctx" "analyze" "--dir" "/root/repo/build/cli_smoke" "--section" "table2")
+set_tests_properties(cli_analyze PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_csv "/root/repo/build/tools/dnsctx" "analyze" "--dir" "/root/repo/build/cli_smoke" "--section" "fig2" "--csv" "/root/repo/build/cli_smoke/csv")
+set_tests_properties(cli_analyze_csv PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/dnsctx" "validate" "--houses" "4" "--hours" "1")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/dnsctx" "sweep" "--key" "p2p_house_frac" "--values" "0,0.5" "--houses" "4" "--hours" "1")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/dnsctx")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build/tools/dnsctx" "frobnicate")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_config "/root/repo/build/tools/dnsctx" "simulate" "--out" "/tmp" "--config" "/nonexistent.conf")
+set_tests_properties(cli_bad_config PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
