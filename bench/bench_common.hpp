@@ -5,11 +5,20 @@
 // houses; the default here is 12 hours × 80 houses) and prints the
 // paper's rows next to the measured ones. Override the scale with:
 //
-//   bench_tableX [houses] [hours] [seed]
+//   bench_tableX [houses] [hours] [seed] [csv_dir]
+//               [--shards N] [--threads N] [--json PATH]
+//
+// `--threads N` runs both the simulation shards and the analysis
+// map-reduce on N workers (0 = hardware concurrency); results are
+// identical for any N. `--json PATH` (or the DNSCTX_BENCH_JSON
+// environment variable) appends a one-line JSON timing record per run.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "analysis/export.hpp"
@@ -22,15 +31,47 @@ struct BenchScale {
   std::size_t houses = 80;
   int hours = 12;
   std::uint64_t seed = 42;
-  std::string csv_dir;  ///< when non-empty, figure series are exported here
+  std::string csv_dir;    ///< when non-empty, figure series are exported here
+  unsigned threads = 1;   ///< workers for simulation and analysis (0 = hardware)
+  std::size_t shards = 1; ///< simulation shards (a scenario knob, see scenario.hpp)
+  std::string json_path;  ///< when non-empty, append a one-line JSON timing record
 };
 
 [[nodiscard]] inline BenchScale parse_scale(int argc, char** argv) {
   BenchScale s;
-  if (argc > 1) s.houses = static_cast<std::size_t>(std::atoi(argv[1]));
-  if (argc > 2) s.hours = std::atoi(argv[2]);
-  if (argc > 3) s.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
-  if (argc > 4) s.csv_dir = argv[4];
+  if (const char* env = std::getenv("DNSCTX_BENCH_JSON"); env && *env) s.json_path = env;
+  bool threads_given = false, shards_given = false;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      s.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      threads_given = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      s.shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+      shards_given = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      s.json_path = argv[++i];
+      continue;
+    }
+    switch (++pos) {
+      case 1: s.houses = static_cast<std::size_t>(std::atoi(argv[i])); break;
+      case 2: s.hours = std::atoi(argv[i]); break;
+      case 3: s.seed = static_cast<std::uint64_t>(std::atoll(argv[i])); break;
+      case 4: s.csv_dir = argv[i]; break;
+      default: break;
+    }
+  }
+  // --threads without --shards: shard for simulation parallelism, by a
+  // rule that depends on the house count only — never on the thread
+  // count — so every --threads value produces the same scenario. Without
+  // --threads the default stays shards = 1, whose platform-cache sharing
+  // (one set of resolver platforms for the whole town) is what the
+  // paper-fidelity numbers in EXPERIMENTS.md are calibrated against.
+  if (threads_given && !shards_given) s.shards = std::min<std::size_t>(s.houses, 16);
   return s;
 }
 
@@ -39,35 +80,79 @@ struct BenchScale {
   cfg.houses = s.houses;
   cfg.duration = SimDuration::hours(s.hours);
   cfg.seed = s.seed;
+  cfg.shards = s.shards;
+  cfg.threads = s.threads;
   return cfg;
 }
 
 struct BenchRun {
   std::unique_ptr<scenario::Town> town_ptr;
   analysis::Study study;
+  double gen_sec = 0.0;    ///< Town construction + simulation + harvest
+  double study_sec = 0.0;  ///< run_study wall time
 
   [[nodiscard]] scenario::Town& town() const { return *town_ptr; }
 };
 
-/// Simulate + analyze, with a banner describing the run.
+inline void append_json_record(const std::string& path, const char* bench_name,
+                               const BenchScale& s, const BenchRun& run) {
+  std::ofstream os{path, std::ios::app};
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot open bench JSON file %s\n", path.c_str());
+    return;
+  }
+  const std::size_t conns = run.town().dataset().conns.size();
+  const std::size_t dns = run.town().dataset().dns.size();
+  const double total_sec = run.gen_sec + run.study_sec;
+  const double records_per_sec =
+      total_sec > 0.0 ? static_cast<double>(conns + dns) / total_sec : 0.0;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"%s\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
+                "\"threads\":%u,\"shards\":%zu,\"gen_sec\":%.3f,\"study_sec\":%.3f,"
+                "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f}",
+                bench_name, s.houses, s.hours, static_cast<unsigned long long>(s.seed),
+                s.threads, s.shards, run.gen_sec, run.study_sec,
+                total_sec, conns, dns, records_per_sec);
+  os << buf << '\n';
+}
+
+/// Simulate + analyze, with a banner describing the run and wall-clock
+/// timing for the generation and study halves.
 [[nodiscard]] inline BenchRun run_default(const char* bench_name, int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
   const BenchScale scale = parse_scale(argc, argv);
   std::printf("== %s — dnsctx reproduction of \"Putting DNS in Context\" (IMC'20) ==\n",
               bench_name);
-  std::printf("scenario: %zu houses, %d h of traffic, seed %llu "
+  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %u thread(s) "
               "(paper: ~100 houses, 7 days)\n",
-              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed));
+              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
+              scale.threads);
   BenchRun run;
+  const auto t0 = Clock::now();
   run.town_ptr = std::make_unique<scenario::Town>(scenario_for(scale));
   run.town().run();
-  std::printf("captured: %zu connections, %zu DNS transactions\n\n",
-              run.town().dataset().conns.size(), run.town().dataset().dns.size());
-  run.study = analysis::run_study(run.town().dataset());
-  const BenchScale scale2 = parse_scale(argc, argv);
-  if (!scale2.csv_dir.empty()) {
-    const auto files = analysis::export_study_csv(run.study, scale2.csv_dir);
-    std::printf("exported %zu CSV series to %s\n\n", files, scale2.csv_dir.c_str());
+  const auto t1 = Clock::now();
+  run.gen_sec = std::chrono::duration<double>(t1 - t0).count();
+  const std::size_t conns = run.town().dataset().conns.size();
+  const std::size_t dns = run.town().dataset().dns.size();
+  std::printf("captured: %zu connections, %zu DNS transactions in %.2f s\n",
+              conns, dns, run.gen_sec);
+
+  analysis::StudyConfig study_cfg;
+  study_cfg.threads = scale.threads;
+  run.study = analysis::run_study(run.town().dataset(), study_cfg);
+  const auto t2 = Clock::now();
+  run.study_sec = std::chrono::duration<double>(t2 - t1).count();
+  const double total_sec = run.gen_sec + run.study_sec;
+  std::printf("analyzed in %.2f s — %.0f records/s end to end\n\n", run.study_sec,
+              total_sec > 0.0 ? static_cast<double>(conns + dns) / total_sec : 0.0);
+
+  if (!scale.csv_dir.empty()) {
+    const auto files = analysis::export_study_csv(run.study, scale.csv_dir);
+    std::printf("exported %zu CSV series to %s\n\n", files, scale.csv_dir.c_str());
   }
+  if (!scale.json_path.empty()) append_json_record(scale.json_path, bench_name, scale, run);
   return run;
 }
 

@@ -3,29 +3,53 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace dnsctx::analysis {
 
-BlockingAnalysis analyze_blocking(const capture::Dataset& ds, const PairingResult& pairing,
-                                  double knee_probe_ms) {
-  BlockingAnalysis out;
+namespace {
+
+struct BlockingAcc {
+  Cdf gap_ms;
   std::uint64_t below = 0, below_first = 0, above = 0, above_first = 0;
-  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    const PairedConn& pc = pairing.conns[i];
-    if (pc.dns_idx < 0) continue;
-    const double gap_ms = pc.gap.to_ms();
-    out.gap_ms.add(gap_ms);
-    if (gap_ms <= knee_probe_ms) {
-      ++below;
-      if (pc.first_use) ++below_first;
-    } else {
-      ++above;
-      if (pc.first_use) ++above_first;
-    }
-  }
+};
+
+}  // namespace
+
+BlockingAnalysis analyze_blocking(const capture::Dataset& ds, const PairingResult& pairing,
+                                  double knee_probe_ms, unsigned threads) {
+  BlockingAnalysis out;
+  BlockingAcc acc = util::parallel_map_reduce<BlockingAcc>(
+      threads, ds.conns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        BlockingAcc part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PairedConn& pc = pairing.conns[i];
+          if (pc.dns_idx < 0) continue;
+          const double gap_ms = pc.gap.to_ms();
+          part.gap_ms.add(gap_ms);
+          if (gap_ms <= knee_probe_ms) {
+            ++part.below;
+            if (pc.first_use) ++part.below_first;
+          } else {
+            ++part.above;
+            if (pc.first_use) ++part.above_first;
+          }
+        }
+        return part;
+      },
+      [](BlockingAcc& into, BlockingAcc&& part) {
+        into.gap_ms.absorb(part.gap_ms);
+        into.below += part.below;
+        into.below_first += part.below_first;
+        into.above += part.above;
+        into.above_first += part.above_first;
+      });
+  out.gap_ms = std::move(acc.gap_ms);
   out.first_use_frac_below =
-      below ? static_cast<double>(below_first) / static_cast<double>(below) : 0.0;
+      acc.below ? static_cast<double>(acc.below_first) / static_cast<double>(acc.below) : 0.0;
   out.first_use_frac_above =
-      above ? static_cast<double>(above_first) / static_cast<double>(above) : 0.0;
+      acc.above ? static_cast<double>(acc.above_first) / static_cast<double>(acc.above) : 0.0;
 
   // Knee detection: histogram the gaps in log10(ms) space and find the
   // emptiest bin between the sub-second mode and the minutes mode.

@@ -30,9 +30,11 @@ struct BlockingAnalysis {
 /// The threshold the paper settles on (§4).
 inline constexpr SimDuration kBlockedThreshold = SimDuration::ms(100);
 
-/// Compute the Fig 1 distribution and knee diagnostics.
+/// Compute the Fig 1 distribution and knee diagnostics. Map-reduce over
+/// fixed connection chunks: identical output for any `threads`.
 [[nodiscard]] BlockingAnalysis analyze_blocking(const capture::Dataset& ds,
                                                 const PairingResult& pairing,
-                                                double knee_probe_ms = 20.0);
+                                                double knee_probe_ms = 20.0,
+                                                unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

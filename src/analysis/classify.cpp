@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace dnsctx::analysis {
+
+namespace {
+
+/// Per-chunk accumulator for classify_connections. Counts are exact
+/// integer sums and the Cdfs concatenate in chunk order, so the merged
+/// result is identical for any thread count.
+struct ClassifyAcc {
+  ClassCounts counts;
+  std::uint64_t lc_expired = 0;
+  std::uint64_t p_expired = 0;
+  Cdf lc_gap_sec;
+  Cdf p_gap_sec;
+  Cdf lc_violation_late_sec;
+};
+
+}  // namespace
 
 std::string to_string(ConnClass c) {
   switch (c) {
@@ -19,15 +36,28 @@ std::string to_string(ConnClass c) {
 }
 
 std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
-    const capture::Dataset& ds, const ClassifyConfig& cfg) {
-  // Collect per-resolver answered-lookup durations.
-  std::unordered_map<Ipv4Addr, Cdf, Ipv4Hash> durations;
-  for (const auto& d : ds.dns) {
-    if (!d.answered) continue;
-    durations[d.resolver_ip].add(d.duration.to_ms());
-  }
+    const capture::Dataset& ds, const ClassifyConfig& cfg, unsigned threads) {
+  // Collect per-resolver answered-lookup durations: map chunks of the
+  // DNS log to per-resolver Cdfs, merge in chunk order. Each resolver's
+  // sample multiset matches the sequential scan exactly.
+  using Durations = std::unordered_map<Ipv4Addr, Cdf, Ipv4Hash>;
+  const Durations durations = util::parallel_map_reduce<Durations>(
+      threads, ds.dns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        Durations part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& d = ds.dns[i];
+          if (!d.answered) continue;
+          part[d.resolver_ip].add(d.duration.to_ms());
+        }
+        return part;
+      },
+      [](Durations& into, Durations&& part) {
+        for (auto& [resolver, cdf] : part) into[resolver].absorb(cdf);
+      });
+
   std::unordered_map<Ipv4Addr, double, Ipv4Hash> out;
-  for (auto& [resolver, cdf] : durations) {
+  for (const auto& [resolver, cdf] : durations) {
     if (cdf.count() < cfg.per_resolver_min_lookups) continue;
     // The cache-hit mode sits at the network RTT: histogram the low end
     // of the distribution and take the most populated 0.5 ms bin.
@@ -46,50 +76,75 @@ std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
 }
 
 Classified classify_connections(const capture::Dataset& ds, const PairingResult& pairing,
-                                const ClassifyConfig& cfg) {
+                                const ClassifyConfig& cfg, unsigned threads) {
   Classified out;
   out.classes.resize(ds.conns.size(), ConnClass::kN);
-  out.resolver_threshold_ms = derive_resolver_thresholds(ds, cfg);
+  out.resolver_threshold_ms = derive_resolver_thresholds(ds, cfg, threads);
 
-  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    const PairedConn& pc = pairing.conns[i];
-    if (pc.dns_idx < 0) {
-      out.classes[i] = ConnClass::kN;
-      ++out.counts.n;
-      continue;
-    }
-    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-    if (pc.gap > cfg.blocked_threshold) {
-      // Not blocked: local information was on hand.
-      if (pc.first_use) {
-        out.classes[i] = ConnClass::kP;
-        ++out.counts.p;
-        if (pc.expired_pairing) ++out.p_expired;
-        out.p_gap_sec.add(pc.gap.to_sec());
-      } else {
-        out.classes[i] = ConnClass::kLC;
-        ++out.counts.lc;
-        if (pc.expired_pairing) {
-          ++out.lc_expired;
-          const SimDuration late = pc.gap - (dns.expires_at() - dns.response_time());
-          out.lc_violation_late_sec.add(std::max(late.to_sec(), 0.0));
+  ClassifyAcc acc = util::parallel_map_reduce<ClassifyAcc>(
+      threads, ds.conns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        ClassifyAcc part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PairedConn& pc = pairing.conns[i];
+          if (pc.dns_idx < 0) {
+            out.classes[i] = ConnClass::kN;
+            ++part.counts.n;
+            continue;
+          }
+          const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+          if (pc.gap > cfg.blocked_threshold) {
+            // Not blocked: local information was on hand.
+            if (pc.first_use) {
+              out.classes[i] = ConnClass::kP;
+              ++part.counts.p;
+              if (pc.expired_pairing) ++part.p_expired;
+              part.p_gap_sec.add(pc.gap.to_sec());
+            } else {
+              out.classes[i] = ConnClass::kLC;
+              ++part.counts.lc;
+              if (pc.expired_pairing) {
+                ++part.lc_expired;
+                const SimDuration late = pc.gap - (dns.expires_at() - dns.response_time());
+                part.lc_violation_late_sec.add(std::max(late.to_sec(), 0.0));
+              }
+              part.lc_gap_sec.add(pc.gap.to_sec());
+            }
+            continue;
+          }
+          // Blocked: split by lookup duration against the resolver threshold.
+          const auto it = out.resolver_threshold_ms.find(dns.resolver_ip);
+          const double threshold =
+              it != out.resolver_threshold_ms.end() ? it->second : cfg.default_threshold_ms;
+          if (dns.duration.to_ms() <= threshold) {
+            out.classes[i] = ConnClass::kSC;
+            ++part.counts.sc;
+          } else {
+            out.classes[i] = ConnClass::kR;
+            ++part.counts.r;
+          }
         }
-        out.lc_gap_sec.add(pc.gap.to_sec());
-      }
-      continue;
-    }
-    // Blocked: split by lookup duration against the resolver threshold.
-    const auto it = out.resolver_threshold_ms.find(dns.resolver_ip);
-    const double threshold =
-        it != out.resolver_threshold_ms.end() ? it->second : cfg.default_threshold_ms;
-    if (dns.duration.to_ms() <= threshold) {
-      out.classes[i] = ConnClass::kSC;
-      ++out.counts.sc;
-    } else {
-      out.classes[i] = ConnClass::kR;
-      ++out.counts.r;
-    }
-  }
+        return part;
+      },
+      [](ClassifyAcc& into, ClassifyAcc&& part) {
+        into.counts.n += part.counts.n;
+        into.counts.lc += part.counts.lc;
+        into.counts.p += part.counts.p;
+        into.counts.sc += part.counts.sc;
+        into.counts.r += part.counts.r;
+        into.lc_expired += part.lc_expired;
+        into.p_expired += part.p_expired;
+        into.lc_gap_sec.absorb(part.lc_gap_sec);
+        into.p_gap_sec.absorb(part.p_gap_sec);
+        into.lc_violation_late_sec.absorb(part.lc_violation_late_sec);
+      });
+
+  out.counts = acc.counts;
+  out.lc_expired = acc.lc_expired;
+  out.p_expired = acc.p_expired;
+  out.lc_gap_sec = std::move(acc.lc_gap_sec);
+  out.p_gap_sec = std::move(acc.p_gap_sec);
+  out.lc_violation_late_sec = std::move(acc.lc_violation_late_sec);
   return out;
 }
 

@@ -72,11 +72,13 @@ struct Classified {
 /// Derive per-resolver SC/R duration thresholds from the DNS log alone
 /// (exposed separately for tests and the ablation bench).
 [[nodiscard]] std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
-    const capture::Dataset& ds, const ClassifyConfig& cfg);
+    const capture::Dataset& ds, const ClassifyConfig& cfg, unsigned threads = 1);
 
-/// Classify every connection.
+/// Classify every connection. Map-reduce over fixed connection chunks:
+/// identical output for any `threads`.
 [[nodiscard]] Classified classify_connections(const capture::Dataset& ds,
                                               const PairingResult& pairing,
-                                              const ClassifyConfig& cfg = {});
+                                              const ClassifyConfig& cfg = {},
+                                              unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

@@ -3,20 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/parallel.hpp"
+
 namespace dnsctx::analysis {
 
 namespace {
-
-struct HouseAddrKey {
-  Ipv4Addr client;
-  Ipv4Addr answer;
-  bool operator==(const HouseAddrKey&) const = default;
-};
-struct HouseAddrKeyHash {
-  [[nodiscard]] std::size_t operator()(const HouseAddrKey& k) const noexcept {
-    return Ipv4Hash{}(k.client) * 1000003 ^ Ipv4Hash{}(k.answer);
-  }
-};
 
 /// One DNS transaction's relevance to an address, ordered by response
 /// time (the instant the answer became available to the house).
@@ -26,86 +17,150 @@ struct Candidate {
   std::uint64_t dns_idx;
 };
 
+/// Pairing counters accumulated per house and summed in house-slot
+/// order (integer sums — the reduce is exact, so any thread count
+/// produces identical totals).
+struct HouseCounters {
+  std::uint64_t paired = 0;
+  std::uint64_t unpaired = 0;
+  std::uint64_t paired_expired = 0;
+  std::uint64_t unique_candidate = 0;
+  std::uint64_t multiple_candidates = 0;
+};
+
 }  // namespace
 
 PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, unsigned threads) {
   PairingResult out;
   out.conns.resize(ds.conns.size());
   out.dns_use_count.assign(ds.dns.size(), 0);
-  Rng rng{derive_seed(seed, "pairing-random")};
 
-  // Index: (house, answered address) → candidates sorted by response time.
-  std::unordered_map<HouseAddrKey, std::vector<Candidate>, HouseAddrKeyHash> index;
+  // ---- partition by house ------------------------------------------------
+  // A connection can only pair with DNS from the same client address (the
+  // house behind the NAT), so the work decomposes exactly per house:
+  // every house's candidate index, use counts, and first-use flags are
+  // disjoint from every other house's.
+  std::unordered_map<Ipv4Addr, std::uint32_t, Ipv4Hash> slot_of;
+  std::vector<Ipv4Addr> slot_ip;
+  const auto slot_for = [&](Ipv4Addr ip) {
+    const auto [it, inserted] =
+        slot_of.try_emplace(ip, static_cast<std::uint32_t>(slot_ip.size()));
+    if (inserted) slot_ip.push_back(ip);
+    return it->second;
+  };
+  std::vector<std::vector<std::uint64_t>> house_dns;
+  std::vector<std::vector<std::uint64_t>> house_conns;
+  const auto bucket = [](std::vector<std::vector<std::uint64_t>>& per_house,
+                         std::uint32_t slot, std::uint64_t idx) {
+    if (per_house.size() <= slot) per_house.resize(slot + 1);
+    per_house[slot].push_back(idx);
+  };
   for (std::size_t i = 0; i < ds.dns.size(); ++i) {
     const auto& d = ds.dns[i];
-    if (!d.answered) continue;
-    for (const auto& a : d.answers) {
-      index[HouseAddrKey{d.client_ip, a.addr}].push_back(
-          Candidate{d.response_time(), d.response_time() + SimDuration::sec(a.ttl), i});
-    }
+    if (!d.answered || d.answers.empty()) continue;
+    bucket(house_dns, slot_for(d.client_ip), i);
   }
-  for (auto& [key, vec] : index) {
-    std::sort(vec.begin(), vec.end(),
-              [](const Candidate& a, const Candidate& b) { return a.response < b.response; });
-  }
-
-  // Connections are start-sorted, so first-use flags are assigned in
-  // chronological order exactly as an online DN-Hunter would.
   for (std::size_t ci = 0; ci < ds.conns.size(); ++ci) {
-    const auto& conn = ds.conns[ci];
-    PairedConn& pc = out.conns[ci];
-    const auto it = index.find(HouseAddrKey{conn.orig_ip, conn.resp_ip});
-    if (it == index.end()) {
-      ++out.unpaired;
-      continue;
-    }
-    const auto& cands = it->second;
-    // Last candidate whose response precedes (or equals) the conn start.
-    const auto upper = std::upper_bound(
-        cands.begin(), cands.end(), conn.start,
-        [](SimTime t, const Candidate& c) { return t < c.response; });
-    if (upper == cands.begin()) {
-      ++out.unpaired;  // the answer arrived only after this connection
-      continue;
-    }
+    bucket(house_conns, slot_for(ds.conns[ci].orig_ip), ci);
+  }
+  const std::size_t slots = slot_ip.size();
+  house_dns.resize(slots);
+  house_conns.resize(slots);
 
-    // Collect non-expired candidates at conn start.
-    std::uint32_t live = 0;
-    std::int64_t chosen = -1;
-    std::int64_t most_recent_live = -1;
-    std::vector<std::uint64_t> live_set;  // only filled for kRandom
-    for (auto iter = upper; iter != cands.begin();) {
-      --iter;
-      if (iter->expires > conn.start) {
-        ++live;
-        if (most_recent_live < 0) most_recent_live = static_cast<std::int64_t>(iter->dns_idx);
-        if (policy == PairingPolicy::kRandom) live_set.push_back(iter->dns_idx);
+  // ---- pair each house independently -------------------------------------
+  // kRandom derives one stream per house from (seed, house address), so
+  // draws never depend on how houses are scheduled across threads.
+  const std::uint64_t random_base = derive_seed(seed, "pairing-random");
+  std::vector<HouseCounters> counters(slots);
+
+  util::parallel_for_each(threads, slots, [&](std::size_t h) {
+    HouseCounters& hc = counters[h];
+    // Candidate index keyed by answered address only — the house is
+    // implicit, which keeps the per-house tables small and cache-warm.
+    std::unordered_map<Ipv4Addr, std::vector<Candidate>, Ipv4Hash> index;
+    for (const std::uint64_t i : house_dns[h]) {
+      const auto& d = ds.dns[i];
+      for (const auto& a : d.answers) {
+        index[a.addr].push_back(
+            Candidate{d.response_time(), d.response_time() + SimDuration::sec(a.ttl), i});
       }
     }
-    if (live > 0) {
-      chosen = policy == PairingPolicy::kRandom
-                   ? static_cast<std::int64_t>(live_set[rng.bounded(live_set.size())])
-                   : most_recent_live;
-      pc.expired_pairing = false;
-    } else {
-      chosen = static_cast<std::int64_t>(std::prev(upper)->dns_idx);  // most recent, expired
-      pc.expired_pairing = true;
+    for (auto& [addr, vec] : index) {
+      std::sort(vec.begin(), vec.end(), [](const Candidate& a, const Candidate& b) {
+        return a.response < b.response;
+      });
     }
 
-    pc.dns_idx = chosen;
-    pc.live_candidates = live;
-    pc.gap = conn.start - ds.dns[static_cast<std::size_t>(chosen)].response_time();
-    pc.first_use = out.dns_use_count[static_cast<std::size_t>(chosen)] == 0;
-    ++out.dns_use_count[static_cast<std::size_t>(chosen)];
+    Rng rng{derive_seed(random_base, "house", slot_ip[h].to_u32())};
+    std::vector<std::uint64_t> live_set;  // reused across connections (kRandom)
 
-    ++out.paired;
-    if (pc.expired_pairing) ++out.paired_expired;
-    if (live <= 1) {
-      ++out.unique_candidate;  // paper counts "only a single non-expired" (incl. expired fallback)
-    } else {
-      ++out.multiple_candidates;
+    // The per-house connection list preserves global start order, so
+    // first-use flags land chronologically, exactly as an online
+    // DN-Hunter at the aggregation point would assign them.
+    for (const std::uint64_t ci : house_conns[h]) {
+      const auto& conn = ds.conns[ci];
+      PairedConn& pc = out.conns[ci];
+      const auto it = index.find(conn.resp_ip);
+      if (it == index.end()) {
+        ++hc.unpaired;
+        continue;
+      }
+      const auto& cands = it->second;
+      // Last candidate whose response precedes (or equals) the conn start.
+      const auto upper = std::upper_bound(
+          cands.begin(), cands.end(), conn.start,
+          [](SimTime t, const Candidate& c) { return t < c.response; });
+      if (upper == cands.begin()) {
+        ++hc.unpaired;  // the answer arrived only after this connection
+        continue;
+      }
+
+      // Collect non-expired candidates at conn start.
+      std::uint32_t live = 0;
+      std::int64_t chosen = -1;
+      std::int64_t most_recent_live = -1;
+      live_set.clear();
+      for (auto iter = upper; iter != cands.begin();) {
+        --iter;
+        if (iter->expires > conn.start) {
+          ++live;
+          if (most_recent_live < 0) most_recent_live = static_cast<std::int64_t>(iter->dns_idx);
+          if (policy == PairingPolicy::kRandom) live_set.push_back(iter->dns_idx);
+        }
+      }
+      if (live > 0) {
+        chosen = policy == PairingPolicy::kRandom
+                     ? static_cast<std::int64_t>(live_set[rng.bounded(live_set.size())])
+                     : most_recent_live;
+        pc.expired_pairing = false;
+      } else {
+        chosen = static_cast<std::int64_t>(std::prev(upper)->dns_idx);  // most recent, expired
+        pc.expired_pairing = true;
+      }
+
+      pc.dns_idx = chosen;
+      pc.live_candidates = live;
+      pc.gap = conn.start - ds.dns[static_cast<std::size_t>(chosen)].response_time();
+      pc.first_use = out.dns_use_count[static_cast<std::size_t>(chosen)] == 0;
+      ++out.dns_use_count[static_cast<std::size_t>(chosen)];
+
+      ++hc.paired;
+      if (pc.expired_pairing) ++hc.paired_expired;
+      if (live <= 1) {
+        ++hc.unique_candidate;  // paper counts "only a single non-expired" (incl. expired fallback)
+      } else {
+        ++hc.multiple_candidates;
+      }
     }
+  });
+
+  for (const HouseCounters& hc : counters) {
+    out.paired += hc.paired;
+    out.unpaired += hc.unpaired;
+    out.paired_expired += hc.paired_expired;
+    out.unique_candidate += hc.unique_candidate;
+    out.multiple_candidates += hc.multiple_candidates;
   }
   return out;
 }

@@ -52,8 +52,12 @@ struct PairingResult {
 
 /// Run the pairing over a dataset (logs must be timestamp-sorted, as the
 /// Monitor produces them). `seed` only matters for PairingPolicy::kRandom.
+/// Work partitions per house (a connection only pairs with its own
+/// house's lookups), so `threads` workers pair houses concurrently with
+/// results identical to the sequential run; kRandom draws come from one
+/// stream per house derived from (seed, house address).
 [[nodiscard]] PairingResult pair_connections(const capture::Dataset& ds,
                                              PairingPolicy policy = PairingPolicy::kMostRecent,
-                                             std::uint64_t seed = 0);
+                                             std::uint64_t seed = 0, unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

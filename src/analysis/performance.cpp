@@ -1,59 +1,96 @@
 #include "analysis/performance.hpp"
 
+#include "util/parallel.hpp"
+
 namespace dnsctx::analysis {
+
+namespace {
+
+struct PerfAcc {
+  Cdf lookup_ms_all, lookup_ms_sc, lookup_ms_r;
+  Cdf contrib_all, contrib_sc, contrib_r;
+  std::uint64_t blocked = 0;
+  std::uint64_t q_ins = 0, q_rel = 0, q_abs = 0, q_sig = 0;
+};
+
+}  // namespace
 
 PerformanceAnalysis analyze_performance(const capture::Dataset& ds,
                                         const PairingResult& pairing,
                                         const Classified& classified, double abs_ms,
-                                        double rel_pct) {
+                                        double rel_pct, unsigned threads) {
   PerformanceAnalysis out;
-  std::uint64_t blocked = 0;
-  std::uint64_t q_ins = 0, q_rel = 0, q_abs = 0, q_sig = 0;
+  PerfAcc acc = util::parallel_map_reduce<PerfAcc>(
+      threads, ds.conns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        PerfAcc part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const ConnClass cls = classified.classes[i];
+          if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
+          const PairedConn& pc = pairing.conns[i];
+          const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
 
-  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    const ConnClass cls = classified.classes[i];
-    if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
-    const PairedConn& pc = pairing.conns[i];
-    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+          const double d_ms = dns.duration.to_ms();
+          const double a_ms = ds.conns[i].duration.to_ms();
+          const double t_ms = d_ms + a_ms;
+          const double contrib = t_ms > 0.0 ? 100.0 * d_ms / t_ms : 100.0;
 
-    const double d_ms = dns.duration.to_ms();
-    const double a_ms = ds.conns[i].duration.to_ms();
-    const double t_ms = d_ms + a_ms;
-    const double contrib = t_ms > 0.0 ? 100.0 * d_ms / t_ms : 100.0;
+          part.lookup_ms_all.add(d_ms);
+          part.contrib_all.add(contrib);
+          if (cls == ConnClass::kSC) {
+            part.lookup_ms_sc.add(d_ms);
+            part.contrib_sc.add(contrib);
+          } else {
+            part.lookup_ms_r.add(d_ms);
+            part.contrib_r.add(contrib);
+          }
 
-    out.lookup_ms_all.add(d_ms);
-    out.contrib_all.add(contrib);
-    if (cls == ConnClass::kSC) {
-      out.lookup_ms_sc.add(d_ms);
-      out.contrib_sc.add(contrib);
-    } else {
-      out.lookup_ms_r.add(d_ms);
-      out.contrib_r.add(contrib);
-    }
+          ++part.blocked;
+          const bool abs_ok = d_ms <= abs_ms;
+          const bool rel_ok = contrib <= rel_pct;
+          if (abs_ok && rel_ok) {
+            ++part.q_ins;
+          } else if (abs_ok) {
+            ++part.q_rel;  // relatively significant only
+          } else if (rel_ok) {
+            ++part.q_abs;  // absolutely significant only
+          } else {
+            ++part.q_sig;
+          }
+        }
+        return part;
+      },
+      [](PerfAcc& into, PerfAcc&& part) {
+        into.lookup_ms_all.absorb(part.lookup_ms_all);
+        into.lookup_ms_sc.absorb(part.lookup_ms_sc);
+        into.lookup_ms_r.absorb(part.lookup_ms_r);
+        into.contrib_all.absorb(part.contrib_all);
+        into.contrib_sc.absorb(part.contrib_sc);
+        into.contrib_r.absorb(part.contrib_r);
+        into.blocked += part.blocked;
+        into.q_ins += part.q_ins;
+        into.q_rel += part.q_rel;
+        into.q_abs += part.q_abs;
+        into.q_sig += part.q_sig;
+      });
 
-    ++blocked;
-    const bool abs_ok = d_ms <= abs_ms;
-    const bool rel_ok = contrib <= rel_pct;
-    if (abs_ok && rel_ok) {
-      ++q_ins;
-    } else if (abs_ok) {
-      ++q_rel;  // relatively significant only
-    } else if (rel_ok) {
-      ++q_abs;  // absolutely significant only
-    } else {
-      ++q_sig;
-    }
-  }
+  out.lookup_ms_all = std::move(acc.lookup_ms_all);
+  out.lookup_ms_sc = std::move(acc.lookup_ms_sc);
+  out.lookup_ms_r = std::move(acc.lookup_ms_r);
+  out.contrib_all = std::move(acc.contrib_all);
+  out.contrib_sc = std::move(acc.contrib_sc);
+  out.contrib_r = std::move(acc.contrib_r);
 
-  if (blocked) {
-    const auto div = static_cast<double>(blocked);
-    out.insignificant_both = static_cast<double>(q_ins) / div;
-    out.relative_only = static_cast<double>(q_rel) / div;
-    out.absolute_only = static_cast<double>(q_abs) / div;
-    out.significant_both = static_cast<double>(q_sig) / div;
+  if (acc.blocked) {
+    const auto div = static_cast<double>(acc.blocked);
+    out.insignificant_both = static_cast<double>(acc.q_ins) / div;
+    out.relative_only = static_cast<double>(acc.q_rel) / div;
+    out.absolute_only = static_cast<double>(acc.q_abs) / div;
+    out.significant_both = static_cast<double>(acc.q_sig) / div;
   }
   if (!ds.conns.empty()) {
-    out.significant_overall = static_cast<double>(q_sig) / static_cast<double>(ds.conns.size());
+    out.significant_overall =
+        static_cast<double>(acc.q_sig) / static_cast<double>(ds.conns.size());
   }
   return out;
 }

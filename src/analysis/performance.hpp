@@ -41,11 +41,13 @@ struct PerformanceAnalysis {
 
 /// Compute §6 over the classified dataset. `abs_ms` and `rel_pct` are
 /// the paper's 20 ms / 1% significance criteria (the ablation bench
-/// sweeps them, cf. footnote 7).
+/// sweeps them, cf. footnote 7). Map-reduce over fixed connection
+/// chunks: identical output for any `threads`.
 [[nodiscard]] PerformanceAnalysis analyze_performance(const capture::Dataset& ds,
                                                       const PairingResult& pairing,
                                                       const Classified& classified,
                                                       double abs_ms = 20.0,
-                                                      double rel_pct = 1.0);
+                                                      double rel_pct = 1.0,
+                                                      unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

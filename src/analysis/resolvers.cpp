@@ -2,40 +2,69 @@
 
 #include <unordered_map>
 
+#include "util/parallel.hpp"
+
 namespace dnsctx::analysis {
+
+namespace {
+
+using PerfMap = std::unordered_map<std::string, PlatformPerf>;
+
+void merge_perf(PerfMap& into, PerfMap&& part) {
+  for (auto& [platform, p] : part) {
+    const auto [it, inserted] = into.try_emplace(platform, std::move(p));
+    if (inserted) continue;
+    PlatformPerf& dst = it->second;
+    dst.sc += p.sc;
+    dst.r += p.r;
+    dst.conncheck_conns += p.conncheck_conns;
+    dst.total_conns += p.total_conns;
+    dst.r_lookup_ms.absorb(p.r_lookup_ms);
+    dst.throughput_bps.absorb(p.throughput_bps);
+    dst.throughput_bps_filtered.absorb(p.throughput_bps_filtered);
+  }
+}
+
+}  // namespace
 
 std::vector<PlatformPerf> analyze_platforms(const capture::Dataset& ds,
                                             const PairingResult& pairing,
                                             const Classified& classified,
                                             const PlatformDirectory& dir,
-                                            const std::string& conncheck_name) {
-  std::unordered_map<std::string, PlatformPerf> perf;
+                                            const std::string& conncheck_name,
+                                            unsigned threads) {
+  PerfMap perf = util::parallel_map_reduce<PerfMap>(
+      threads, ds.conns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        PerfMap part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PairedConn& pc = pairing.conns[i];
+          if (pc.dns_idx < 0) continue;
+          const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+          const std::string& platform = dir.label(dns.resolver_ip);
+          PlatformPerf& p = part[platform];
+          p.platform = platform;
+          ++p.total_conns;
+          const bool is_conncheck = dns.query == conncheck_name;
+          if (is_conncheck) ++p.conncheck_conns;
 
-  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    const PairedConn& pc = pairing.conns[i];
-    if (pc.dns_idx < 0) continue;
-    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-    const std::string& platform = dir.label(dns.resolver_ip);
-    PlatformPerf& p = perf[platform];
-    p.platform = platform;
-    ++p.total_conns;
-    const bool is_conncheck = dns.query == conncheck_name;
-    if (is_conncheck) ++p.conncheck_conns;
-
-    const ConnClass cls = classified.classes[i];
-    if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
-    if (cls == ConnClass::kSC) {
-      ++p.sc;
-    } else {
-      ++p.r;
-      p.r_lookup_ms.add(dns.duration.to_ms());
-    }
-    const double tput = ds.conns[i].throughput_bps();
-    if (tput > 0.0) {
-      p.throughput_bps.add(tput);
-      if (!is_conncheck) p.throughput_bps_filtered.add(tput);
-    }
-  }
+          const ConnClass cls = classified.classes[i];
+          if (cls != ConnClass::kSC && cls != ConnClass::kR) continue;
+          if (cls == ConnClass::kSC) {
+            ++p.sc;
+          } else {
+            ++p.r;
+            p.r_lookup_ms.add(dns.duration.to_ms());
+          }
+          const double tput = ds.conns[i].throughput_bps();
+          if (tput > 0.0) {
+            p.throughput_bps.add(tput);
+            if (!is_conncheck) p.throughput_bps_filtered.add(tput);
+          }
+        }
+        return part;
+      },
+      merge_perf);
 
   std::vector<PlatformPerf> out;
   for (const auto& platform : dir.platforms()) {

@@ -36,10 +36,12 @@ struct PlatformPerf {
   }
 };
 
-/// Per-platform §7 metrics, in directory order.
+/// Per-platform §7 metrics, in directory order. Map-reduce over fixed
+/// connection chunks: identical output for any `threads`.
 [[nodiscard]] std::vector<PlatformPerf> analyze_platforms(
     const capture::Dataset& ds, const PairingResult& pairing, const Classified& classified,
     const PlatformDirectory& dir,
-    const std::string& conncheck_name = "connectivitycheck.gstatic.com");
+    const std::string& conncheck_name = "connectivitycheck.gstatic.com",
+    unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

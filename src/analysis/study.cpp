@@ -4,14 +4,15 @@ namespace dnsctx::analysis {
 
 Study run_study(const capture::Dataset& ds, const StudyConfig& cfg) {
   Study s;
-  s.pairing = pair_connections(ds, cfg.pairing_policy, cfg.pairing_seed);
-  s.blocking = analyze_blocking(ds, s.pairing);
-  s.classified = classify_connections(ds, s.pairing, cfg.classify);
-  s.table1 = build_table1(ds, s.pairing, cfg.directory);
-  s.isp_only_houses = isp_only_house_frac(ds, cfg.directory);
+  s.pairing = pair_connections(ds, cfg.pairing_policy, cfg.pairing_seed, cfg.threads);
+  s.blocking = analyze_blocking(ds, s.pairing, 20.0, cfg.threads);
+  s.classified = classify_connections(ds, s.pairing, cfg.classify, cfg.threads);
+  s.table1 = build_table1(ds, s.pairing, cfg.directory, 0.01, cfg.threads);
+  s.isp_only_houses = isp_only_house_frac(ds, cfg.directory, cfg.threads);
   s.performance = analyze_performance(ds, s.pairing, s.classified, cfg.abs_significance_ms,
-                                      cfg.rel_significance_pct);
-  s.platforms = analyze_platforms(ds, s.pairing, s.classified, cfg.directory);
+                                      cfg.rel_significance_pct, cfg.threads);
+  s.platforms = analyze_platforms(ds, s.pairing, s.classified, cfg.directory,
+                                  "connectivitycheck.gstatic.com", cfg.threads);
   return s;
 }
 

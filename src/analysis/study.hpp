@@ -17,6 +17,9 @@ struct StudyConfig {
   double abs_significance_ms = 20.0;  ///< §6 absolute criterion
   double rel_significance_pct = 1.0;  ///< §6 relative criterion
   PlatformDirectory directory = PlatformDirectory::standard();
+  /// Worker threads for every stage (0 = hardware concurrency). Results
+  /// are identical for any value; 1 runs fully inline.
+  unsigned threads = 1;
 };
 
 /// Every derived result of the paper for one dataset.

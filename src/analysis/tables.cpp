@@ -5,8 +5,50 @@
 #include <unordered_set>
 
 #include "resolver/recursive.hpp"
+#include "util/parallel.hpp"
 
 namespace dnsctx::analysis {
+
+namespace {
+
+struct Tally {
+  std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+  std::uint64_t lookups = 0;
+  std::uint64_t conns = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// DNS-pass accumulator: per-platform tallies plus the global house set
+/// and lookup count. Merges are set unions and integer sums, so the
+/// result is independent of chunk assignment.
+struct DnsAcc {
+  std::unordered_map<std::string, Tally> tallies;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses;
+  std::uint64_t total_lookups = 0;
+};
+
+struct ConnAcc {
+  std::unordered_map<std::string, Tally> tallies;
+  std::uint64_t paired_conns = 0;
+  std::uint64_t paired_bytes = 0;
+};
+
+void merge_tallies(std::unordered_map<std::string, Tally>& into,
+                   std::unordered_map<std::string, Tally>&& part) {
+  for (auto& [platform, t] : part) {
+    Tally& dst = into[platform];
+    dst.lookups += t.lookups;
+    dst.conns += t.conns;
+    dst.bytes += t.bytes;
+    if (dst.houses.empty()) {
+      dst.houses = std::move(t.houses);
+    } else {
+      dst.houses.insert(t.houses.begin(), t.houses.end());
+    }
+  }
+}
+
+}  // namespace
 
 PlatformDirectory PlatformDirectory::standard() {
   using namespace resolver::well_known;
@@ -35,38 +77,56 @@ const std::string& PlatformDirectory::label(Ipv4Addr addr) const {
 }
 
 std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingResult& pairing,
-                                    const PlatformDirectory& dir, double min_lookup_share) {
-  struct Tally {
-    std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
-    std::uint64_t lookups = 0;
-    std::uint64_t conns = 0;
-    std::uint64_t bytes = 0;
-  };
-  std::unordered_map<std::string, Tally> tallies;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses;
-  std::uint64_t total_lookups = 0;
+                                    const PlatformDirectory& dir, double min_lookup_share,
+                                    unsigned threads) {
+  DnsAcc dns_acc = util::parallel_map_reduce<DnsAcc>(
+      threads, ds.dns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        DnsAcc part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& d = ds.dns[i];
+          auto& t = part.tallies[dir.label(d.resolver_ip)];
+          ++t.lookups;
+          t.houses.insert(d.client_ip);
+          part.all_houses.insert(d.client_ip);
+          ++part.total_lookups;
+        }
+        return part;
+      },
+      [](DnsAcc& into, DnsAcc&& part) {
+        merge_tallies(into.tallies, std::move(part.tallies));
+        into.all_houses.insert(part.all_houses.begin(), part.all_houses.end());
+        into.total_lookups += part.total_lookups;
+      });
 
-  for (const auto& d : ds.dns) {
-    auto& t = tallies[dir.label(d.resolver_ip)];
-    ++t.lookups;
-    t.houses.insert(d.client_ip);
-    all_houses.insert(d.client_ip);
-    ++total_lookups;
-  }
+  ConnAcc conn_acc = util::parallel_map_reduce<ConnAcc>(
+      threads, ds.conns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        ConnAcc part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pc = pairing.conns[i];
+          if (pc.dns_idx < 0) continue;
+          const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
+          auto& t = part.tallies[dir.label(dns.resolver_ip)];
+          ++t.conns;
+          const std::uint64_t bytes = ds.conns[i].orig_bytes + ds.conns[i].resp_bytes;
+          t.bytes += bytes;
+          ++part.paired_conns;
+          part.paired_bytes += bytes;
+        }
+        return part;
+      },
+      [](ConnAcc& into, ConnAcc&& part) {
+        merge_tallies(into.tallies, std::move(part.tallies));
+        into.paired_conns += part.paired_conns;
+        into.paired_bytes += part.paired_bytes;
+      });
 
-  std::uint64_t paired_conns = 0;
-  std::uint64_t paired_bytes = 0;
-  for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    const auto& pc = pairing.conns[i];
-    if (pc.dns_idx < 0) continue;
-    const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-    auto& t = tallies[dir.label(dns.resolver_ip)];
-    ++t.conns;
-    const std::uint64_t bytes = ds.conns[i].orig_bytes + ds.conns[i].resp_bytes;
-    t.bytes += bytes;
-    ++paired_conns;
-    paired_bytes += bytes;
-  }
+  merge_tallies(dns_acc.tallies, std::move(conn_acc.tallies));
+  const auto& tallies = dns_acc.tallies;
+  const std::uint64_t total_lookups = dns_acc.total_lookups;
+  const std::uint64_t paired_conns = conn_acc.paired_conns;
+  const std::uint64_t paired_bytes = conn_acc.paired_bytes;
 
   std::vector<Table1Row> rows;
   auto emit = [&](const std::string& platform) {
@@ -79,9 +139,10 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
     Table1Row row;
     row.platform = platform;
     row.lookups = t.lookups;
-    row.pct_houses = all_houses.empty() ? 0.0
-                                        : 100.0 * static_cast<double>(t.houses.size()) /
-                                              static_cast<double>(all_houses.size());
+    row.pct_houses = dns_acc.all_houses.empty()
+                         ? 0.0
+                         : 100.0 * static_cast<double>(t.houses.size()) /
+                               static_cast<double>(dns_acc.all_houses.size());
     row.pct_lookups = 100.0 * lookup_share;
     row.pct_conns = paired_conns ? 100.0 * static_cast<double>(t.conns) /
                                        static_cast<double>(paired_conns)
@@ -96,13 +157,27 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
   return rows;
 }
 
-double isp_only_house_frac(const capture::Dataset& ds, const PlatformDirectory& dir) {
-  std::unordered_map<Ipv4Addr, bool, Ipv4Hash> only_local;  // house → still local-only
-  for (const auto& d : ds.dns) {
-    const bool is_local = dir.label(d.resolver_ip) == "Local";
-    const auto [it, inserted] = only_local.try_emplace(d.client_ip, is_local);
-    if (!inserted) it->second = it->second && is_local;
-  }
+double isp_only_house_frac(const capture::Dataset& ds, const PlatformDirectory& dir,
+                           unsigned threads) {
+  using LocalMap = std::unordered_map<Ipv4Addr, bool, Ipv4Hash>;  // house → still local-only
+  const LocalMap only_local = util::parallel_map_reduce<LocalMap>(
+      threads, ds.dns.size(), util::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        LocalMap part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& d = ds.dns[i];
+          const bool is_local = dir.label(d.resolver_ip) == "Local";
+          const auto [it, inserted] = part.try_emplace(d.client_ip, is_local);
+          if (!inserted) it->second = it->second && is_local;
+        }
+        return part;
+      },
+      [](LocalMap& into, LocalMap&& part) {
+        for (const auto& [house, local] : part) {
+          const auto [it, inserted] = into.try_emplace(house, local);
+          if (!inserted) it->second = it->second && local;
+        }
+      });
   if (only_local.empty()) return 0.0;
   std::size_t count = 0;
   for (const auto& [house, local] : only_local) {

@@ -42,14 +42,18 @@ struct Table1Row {
 
 /// Build Table 1. Rows follow the directory's platform order; platforms
 /// below `min_lookup_share` (1% in the paper) are folded into "other".
+/// Both log passes are map-reduce over fixed chunks: identical output
+/// for any `threads`.
 [[nodiscard]] std::vector<Table1Row> build_table1(const capture::Dataset& ds,
                                                   const PairingResult& pairing,
                                                   const PlatformDirectory& dir,
-                                                  double min_lookup_share = 0.01);
+                                                  double min_lookup_share = 0.01,
+                                                  unsigned threads = 1);
 
 /// Fraction of houses whose every lookup goes to the "Local" platform
 /// (the paper's ~16% forwarder-style households).
 [[nodiscard]] double isp_only_house_frac(const capture::Dataset& ds,
-                                         const PlatformDirectory& dir);
+                                         const PlatformDirectory& dir,
+                                         unsigned threads = 1);
 
 }  // namespace dnsctx::analysis

@@ -1,5 +1,7 @@
 #include "capture/logio.hpp"
 
+#include <algorithm>
+#include <array>
 #include <charconv>
 #include <fstream>
 #include <ostream>
@@ -47,6 +49,58 @@ template <typename T>
   return *ip;
 }
 
+/// Read the whole stream into one buffer; the parsers then walk it with
+/// string_views instead of per-line getline copies.
+[[nodiscard]] std::string slurp(std::istream& is) {
+  std::string buf;
+  std::array<char, 1 << 16> chunk;
+  while (is.read(chunk.data(), static_cast<std::streamsize>(chunk.size())) || is.gcount() > 0) {
+    buf.append(chunk.data(), static_cast<std::size_t>(is.gcount()));
+  }
+  return buf;
+}
+
+/// Split `line` into exactly N tab-separated fields without allocating.
+/// Returns false when the field count differs.
+template <std::size_t N>
+[[nodiscard]] bool split_fields(std::string_view line, std::array<std::string_view, N>& out) {
+  std::size_t field = 0;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', begin);
+    if (field == N) return false;  // too many fields
+    if (tab == std::string_view::npos) {
+      out[field++] = line.substr(begin);
+      break;
+    }
+    out[field++] = line.substr(begin, tab - begin);
+    begin = tab + 1;
+  }
+  return field == N;
+}
+
+/// Call `body(line, line_no)` for every line of `buf` (line numbers are
+/// 1-based and count headers and blanks, matching the old getline loop).
+template <typename Body>
+void for_each_line(std::string_view buf, Body&& body) {
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin < buf.size()) {
+    const std::size_t nl = buf.find('\n', begin);
+    const std::size_t end = nl == std::string_view::npos ? buf.size() : nl;
+    ++line_no;
+    body(buf.substr(begin, end - begin), line_no);
+    if (nl == std::string_view::npos) break;
+    begin = nl + 1;
+  }
+}
+
+/// Estimated record count: newlines minus the header line.
+[[nodiscard]] std::size_t record_estimate(std::string_view buf) {
+  const auto lines = static_cast<std::size_t>(std::count(buf.begin(), buf.end(), '\n'));
+  return lines > 0 ? lines - 1 : 0;
+}
+
 }  // namespace
 
 void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns) {
@@ -80,14 +134,15 @@ void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns) {
 }
 
 std::vector<ConnRecord> read_conn_log(std::istream& is) {
+  const std::string buf = slurp(is);
   std::vector<ConnRecord> out;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const auto f = split(line, '\t');
-    if (f.size() != 10) throw std::runtime_error{strfmt("conn log line %zu: bad field count", line_no)};
+  out.reserve(record_estimate(buf));
+  std::array<std::string_view, 10> f;
+  for_each_line(buf, [&](std::string_view line, std::size_t line_no) {
+    if (line.empty() || line[0] == '#') return;
+    if (!split_fields(line, f)) {
+      throw std::runtime_error{strfmt("conn log line %zu: bad field count", line_no)};
+    }
     ConnRecord c;
     c.start = SimTime::from_us(parse_num<std::int64_t>(f[0], line_no, "start"));
     c.duration = SimDuration::us(parse_num<std::int64_t>(f[1], line_no, "duration"));
@@ -100,19 +155,20 @@ std::vector<ConnRecord> read_conn_log(std::istream& is) {
     c.resp_bytes = parse_num<std::uint64_t>(f[8], line_no, "resp_bytes");
     c.state = parse_state(f[9]);
     out.push_back(c);
-  }
+  });
   return out;
 }
 
 std::vector<DnsRecord> read_dns_log(std::istream& is) {
+  const std::string buf = slurp(is);
   std::vector<DnsRecord> out;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const auto f = split(line, '\t');
-    if (f.size() != 10) throw std::runtime_error{strfmt("dns log line %zu: bad field count", line_no)};
+  out.reserve(record_estimate(buf));
+  std::array<std::string_view, 10> f;
+  for_each_line(buf, [&](std::string_view line, std::size_t line_no) {
+    if (line.empty() || line[0] == '#') return;
+    if (!split_fields(line, f)) {
+      throw std::runtime_error{strfmt("dns log line %zu: bad field count", line_no)};
+    }
     DnsRecord d;
     d.ts = SimTime::from_us(parse_num<std::int64_t>(f[0], line_no, "ts"));
     d.duration = SimDuration::us(parse_num<std::int64_t>(f[1], line_no, "duration"));
@@ -124,7 +180,12 @@ std::vector<DnsRecord> read_dns_log(std::istream& is) {
     d.rcode = static_cast<dns::Rcode>(parse_num<int>(f[7], line_no, "rcode"));
     d.answered = parse_num<int>(f[8], line_no, "answered") != 0;
     if (f[9] != "-") {
-      for (const auto part : split(f[9], ',')) {
+      std::string_view answers = f[9];
+      while (!answers.empty()) {
+        const std::size_t comma = answers.find(',');
+        const std::string_view part =
+            comma == std::string_view::npos ? answers : answers.substr(0, comma);
+        answers = comma == std::string_view::npos ? std::string_view{} : answers.substr(comma + 1);
         const auto colon = part.rfind(':');
         if (colon == std::string_view::npos) {
           throw std::runtime_error{strfmt("dns log line %zu: bad answer", line_no)};
@@ -136,7 +197,7 @@ std::vector<DnsRecord> read_dns_log(std::istream& is) {
       }
     }
     out.push_back(std::move(d));
-  }
+  });
   return out;
 }
 

@@ -89,8 +89,9 @@ class Monitor : public netsim::PacketTap {
   };
   struct DnsKeyHash {
     [[nodiscard]] std::size_t operator()(const DnsKey& k) const noexcept {
-      return Ipv4Hash{}(k.client_ip) ^ (Ipv4Hash{}(k.resolver_ip) << 1) ^
-             (static_cast<std::size_t>(k.client_port) << 17) ^ k.txid;
+      std::size_t h = Ipv4Hash{}(k.client_ip);
+      h = hash_combine(h, k.resolver_ip.to_u32());
+      return hash_combine(h, (static_cast<std::uint64_t>(k.client_port) << 16) | k.txid);
     }
   };
 

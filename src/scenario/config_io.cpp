@@ -40,6 +40,8 @@ void save_config(std::ostream& os, const ScenarioConfig& cfg) {
   os << "houses = " << cfg.houses << "\n";
   os << "duration_hours = " << cfg.duration.count_us() / 3'600'000'000LL << "\n";
   os << "start_hour = " << cfg.start_hour << "\n";
+  os << "shards = " << cfg.shards << "\n";
+  os << "threads = " << cfg.threads << "\n";
   os << strfmt("activity_scale = %g\n", cfg.activity_scale);
   os << strfmt("ttl_violation_prob = %g\n", cfg.ttl_violation_prob);
   os << strfmt("dead_ntp_frac = %g\n", cfg.dead_ntp_frac);
@@ -77,6 +79,8 @@ ScenarioConfig load_config(std::istream& is) {
       {"duration_hours",
        [&](auto v, auto n) { cfg.duration = SimDuration::hours(parse_number<int>(v, n)); }},
       {"start_hour", [&](auto v, auto n) { cfg.start_hour = parse_number<int>(v, n); }},
+      {"shards", [&](auto v, auto n) { cfg.shards = parse_number<std::size_t>(v, n); }},
+      {"threads", [&](auto v, auto n) { cfg.threads = parse_number<unsigned>(v, n); }},
       {"activity_scale",
        [&](auto v, auto n) { cfg.activity_scale = parse_number<double>(v, n); }},
       {"ttl_violation_prob",

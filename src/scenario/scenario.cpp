@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include "resolver/forwarder.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 
@@ -24,6 +25,55 @@ constexpr Ipv4Addr kAlarmNet[] = {{204, 141, 57, 10}, {204, 141, 57, 11}};
 
 enum class DeviceKind { kComputer, kAndroid, kAppleMobile, kTv, kIot };
 
+/// Seed-label index space per shard for platform streams. Shard 0 maps
+/// onto indices 0..3 — the exact labels the single-simulator code used —
+/// so `shards = 1` reproduces the legacy streams bit for bit.
+constexpr std::size_t kPlatformSeedStride = 16;
+
+/// Merge per-shard timestamp-sorted record streams into one. Adjacent
+/// pairs are merged with std::merge, which takes from the left range on
+/// ties — so records with equal timestamps keep (shard index, per-shard
+/// sequence) order, the documented deterministic tie-break.
+template <typename Rec, typename Key>
+std::vector<Rec> merge_sorted_shards(std::vector<std::vector<Rec>> parts, Key key) {
+  const auto before = [&](const Rec& a, const Rec& b) { return key(a) < key(b); };
+  while (parts.size() > 1) {
+    std::vector<std::vector<Rec>> next;
+    next.reserve((parts.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      std::vector<Rec> merged;
+      merged.reserve(parts[i].size() + parts[i + 1].size());
+      std::merge(std::make_move_iterator(parts[i].begin()),
+                 std::make_move_iterator(parts[i].end()),
+                 std::make_move_iterator(parts[i + 1].begin()),
+                 std::make_move_iterator(parts[i + 1].end()), std::back_inserter(merged),
+                 before);
+      next.push_back(std::move(merged));
+    }
+    if (parts.size() % 2 == 1) next.push_back(std::move(parts.back()));
+    parts = std::move(next);
+  }
+  return parts.empty() ? std::vector<Rec>{} : std::move(parts.front());
+}
+
+[[nodiscard]] capture::Dataset merge_shard_datasets(std::vector<capture::Dataset> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  std::vector<std::vector<capture::ConnRecord>> conns;
+  std::vector<std::vector<capture::DnsRecord>> dns;
+  conns.reserve(parts.size());
+  dns.reserve(parts.size());
+  for (auto& p : parts) {
+    conns.push_back(std::move(p.conns));
+    dns.push_back(std::move(p.dns));
+  }
+  capture::Dataset out;
+  out.conns = merge_sorted_shards(std::move(conns),
+                                  [](const capture::ConnRecord& c) { return c.start; });
+  out.dns =
+      merge_sorted_shards(std::move(dns), [](const capture::DnsRecord& d) { return d.ts; });
+  return out;
+}
+
 }  // namespace
 
 struct Town::House {
@@ -33,13 +83,23 @@ struct Town::House {
   std::vector<std::unique_ptr<traffic::App>> apps;
 };
 
+/// One independently simulated partition of the neighborhood: its own
+/// event loop, WAN, resolver-platform instances, server farm, monitor
+/// tap, and a contiguous range of houses. Members are declared so the
+/// houses (which reference the gateway/network) destroy first.
+struct Town::Shard {
+  std::unique_ptr<netsim::Simulator> sim;
+  std::unique_ptr<netsim::Network> net;
+  std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms;
+  std::unique_ptr<traffic::ServerFarm> farm;
+  std::unique_ptr<capture::Monitor> monitor;
+  std::vector<std::unique_ptr<House>> houses;
+  GroundTruth truth;
+};
+
 Town::Town(const ScenarioConfig& cfg)
     : cfg_{cfg}, rng_{derive_seed(cfg.seed, "town")} {
-  sim_ = std::make_unique<netsim::Simulator>();
-
-  netsim::LatencyModel latency;
-  net_ = std::make_unique<netsim::Network>(*sim_, latency,
-                                           derive_seed(cfg_.seed, "network"));
+  cfg_.shards = std::clamp<std::size_t>(cfg_.shards, 1, std::max<std::size_t>(cfg_.houses, 1));
 
   resolver::ZoneDbConfig zone_cfg = cfg_.zones;
   if (zone_cfg.seed == resolver::ZoneDbConfig{}.seed) zone_cfg.seed = cfg_.seed;
@@ -48,15 +108,6 @@ Town::Town(const ScenarioConfig& cfg)
   world_ = std::make_unique<traffic::AppWorld>(traffic::AppWorld{
       *zones_, *web_,
       traffic::DiurnalProfile::residential().with_start_hour(cfg_.start_hour)});
-
-  for (auto& platform_cfg : resolver::default_platforms()) {
-    for (const auto addr : platform_cfg.addrs) {
-      net_->latency_mut().set_site(addr, platform_cfg.site);
-    }
-    platforms_.push_back(std::make_unique<resolver::RecursiveResolverPlatform>(
-        *sim_, *net_, *zones_, platform_cfg,
-        derive_seed(cfg_.seed, "platform", platforms_.size())));
-  }
 
   // Endpoints every device polls (push hubs, vendor clouds): the three
   // most popular API names.
@@ -69,17 +120,60 @@ Town::Town(const ScenarioConfig& cfg)
     universal_services_ = std::move(universal);
   }
 
-  farm_ = std::make_unique<traffic::ServerFarm>(*sim_, *net_,
-                                                derive_seed(cfg_.seed, "farm"));
-  farm_->add_dead_ip(kDeadNtp);
-
-  monitor_ = std::make_unique<capture::Monitor>();
-  net_->set_tap(monitor_.get());
-
-  houses_.reserve(cfg_.houses);
+  // Shards are built sequentially — construction draws (profiles, house
+  // inventories) must land in global house order — but each shard's
+  // streams depend only on the master seed and its own indices, never on
+  // the thread count used later.
   const auto profiles = assign_profiles();
   const auto p2p = assign_p2p();
-  for (std::size_t i = 0; i < cfg_.houses; ++i) build_house(i, profiles[i], p2p[i]);
+  house_info_.reserve(cfg_.houses);
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    const std::size_t begin = s * cfg_.houses / cfg_.shards;
+    const std::size_t end = (s + 1) * cfg_.houses / cfg_.shards;
+    build_shard(s, begin, end, profiles, p2p);
+  }
+}
+
+void Town::build_shard(std::size_t shard_idx, std::size_t house_begin, std::size_t house_end,
+                       const std::vector<std::string>& profiles,
+                       const std::vector<bool>& p2p) {
+  auto shard = std::make_unique<Shard>();
+  shard->sim = std::make_unique<netsim::Simulator>();
+
+  // Shard 0 reuses the legacy (un-indexed) seed labels so a one-shard
+  // town replays the historical byte stream; further shards derive
+  // sibling streams off the same master seed.
+  const std::uint64_t net_seed = shard_idx == 0
+                                     ? derive_seed(cfg_.seed, "network")
+                                     : derive_seed(cfg_.seed, "network", shard_idx);
+  netsim::LatencyModel latency;
+  shard->net = std::make_unique<netsim::Network>(*shard->sim, latency, net_seed);
+
+  for (auto& platform_cfg : resolver::default_platforms()) {
+    for (const auto addr : platform_cfg.addrs) {
+      shard->net->latency_mut().set_site(addr, platform_cfg.site);
+    }
+    shard->platforms.push_back(std::make_unique<resolver::RecursiveResolverPlatform>(
+        *shard->sim, *shard->net, *zones_, platform_cfg,
+        derive_seed(cfg_.seed, "platform",
+                    shard_idx * kPlatformSeedStride + shard->platforms.size())));
+  }
+
+  const std::uint64_t farm_seed = shard_idx == 0 ? derive_seed(cfg_.seed, "farm")
+                                                 : derive_seed(cfg_.seed, "farm", shard_idx);
+  shard->farm = std::make_unique<traffic::ServerFarm>(*shard->sim, *shard->net, farm_seed);
+  shard->farm->add_dead_ip(kDeadNtp);
+
+  shard->monitor = std::make_unique<capture::Monitor>();
+  shard->net->set_tap(shard->monitor.get());
+
+  shard->houses.reserve(house_end - house_begin);
+  for (std::size_t i = house_begin; i < house_end; ++i) {
+    build_house(*shard, i, profiles[i], p2p[i]);
+  }
+  for (const auto& p : shard->platforms) platform_view_.push_back(p.get());
+  shards_.push_back(std::move(shard));
 }
 
 std::vector<bool> Town::assign_p2p() const {
@@ -120,19 +214,22 @@ std::vector<std::string> Town::assign_profiles() const {
 
 Town::~Town() = default;
 
-void Town::build_house(std::size_t index, const std::string& profile, bool p2p_house) {
+netsim::Simulator& Town::sim() { return *shards_.front()->sim; }
+
+void Town::build_house(Shard& shard, std::size_t index, const std::string& profile,
+                       bool p2p_house) {
   Rng house_rng{derive_seed(cfg_.seed, "house", index)};
   auto house = std::make_unique<House>();
 
   const Ipv4Addr house_ip{100, 66, static_cast<std::uint8_t>(1 + index / 250),
                           static_cast<std::uint8_t>(1 + index % 250)};
-  net_->latency_mut().set_site(
+  shard.net->latency_mut().set_site(
       house_ip, {SimDuration::from_ms(house_rng.uniform(0.3, 0.8)), 0.1});
   house->gateway = std::make_unique<netsim::HouseGateway>(
-      *sim_, *net_, house_ip, derive_seed(cfg_.seed, "gateway", index));
+      *shard.sim, *shard.net, house_ip, derive_seed(cfg_.seed, "gateway", index));
   if (house_rng.bernoulli(cfg_.whole_house_cache_frac)) {
     house->forwarder = std::make_unique<resolver::WholeHouseForwarder>(
-        *sim_, *house->gateway, Ipv4Addr{192, 168, 1, 253}, dns::CacheConfig{},
+        *shard.sim, *house->gateway, Ipv4Addr{192, 168, 1, 253}, dns::CacheConfig{},
         derive_seed(cfg_.seed, "forwarder", index));
   }
 
@@ -241,9 +338,9 @@ void Town::build_house(std::size_t index, const std::string& profile, bool p2p_h
     // Dual-stack OSes race AAAA lookups next to A (IoT gear mostly not).
     if (plan.kind != DeviceKind::kIot) stub_cfg.aaaa_prob = 0.55;
     const std::uint64_t dev_seed = derive_seed(cfg_.seed, "device", index * 64 + dev_idx);
-    auto device = std::make_unique<traffic::Device>(*sim_, *house->gateway, internal,
+    auto device = std::make_unique<traffic::Device>(*shard.sim, *house->gateway, internal,
                                                     stub_cfg, dev_seed);
-    device->set_ground_truth(&truth_);
+    device->set_ground_truth(&shard.truth);
 
     auto add_app = [&](std::unique_ptr<traffic::App> app) {
       app->start();
@@ -331,7 +428,7 @@ void Town::build_house(std::size_t index, const std::string& profile, bool p2p_h
   }
 
   house_info_.push_back(info);
-  houses_.push_back(std::move(house));
+  shard.houses.push_back(std::move(house));
 }
 
 void Town::run() {
@@ -340,12 +437,36 @@ void Town::run() {
 }
 
 void Town::run_for(SimDuration amount) {
-  sim_->run_until(sim_->now() + amount);
+  // Each shard's event loop is fully self-contained (its own network,
+  // platforms, farm, monitor); shards advance to the same end time in
+  // whatever thread interleaving, with identical per-shard results.
+  util::parallel_for_each(cfg_.threads, shards_.size(), [&](std::size_t s) {
+    netsim::Simulator& sim = *shards_[s]->sim;
+    sim.run_until(sim.now() + amount);
+  });
+  refresh_truth();
 }
 
 capture::Dataset Town::harvest() {
   harvested_ = true;
-  return monitor_->harvest(sim_->now());
+  std::vector<capture::Dataset> parts(shards_.size());
+  util::parallel_for_each(cfg_.threads, shards_.size(), [&](std::size_t s) {
+    parts[s] = shards_[s]->monitor->harvest(shards_[s]->sim->now());
+  });
+  refresh_truth();
+  return merge_shard_datasets(std::move(parts));
+}
+
+void Town::refresh_truth() {
+  truth_ = GroundTruth{};
+  for (const auto& shard : shards_) {
+    truth_.fetches += shard->truth.fetches;
+    truth_.fetch_cache_hits += shard->truth.fetch_cache_hits;
+    truth_.fetch_cache_expired += shard->truth.fetch_cache_expired;
+    truth_.fetch_blocked += shard->truth.fetch_blocked;
+    truth_.prefetches += shard->truth.prefetches;
+    truth_.no_dns_conns += shard->truth.no_dns_conns;
+  }
 }
 
 }  // namespace dnsctx::scenario

@@ -56,6 +56,16 @@ struct ScenarioConfig {
   /// Fraction of houses whose router runs a live caching DNS forwarder
   /// (the §8 what-if, deployed rather than trace-simulated).
   double whole_house_cache_frac = 0.0;
+  /// Number of independent simulation partitions the houses are split
+  /// across. This is a SEMANTIC knob: shard boundaries change which
+  /// resolver-platform cache instances houses share, so different shard
+  /// counts yield different (equally valid) neighborhoods. 1 = the
+  /// legacy single-simulator stream, byte-identical to earlier releases.
+  std::size_t shards = 1;
+  /// Worker threads used to execute shards (0 = hardware concurrency).
+  /// Execution-only: for a fixed `shards`, output is byte-identical for
+  /// every thread count.
+  unsigned threads = 1;
 };
 
 /// Ground truth the monitor cannot see (defined beside Device, which
@@ -90,33 +100,40 @@ class Town {
   [[nodiscard]] const GroundTruth& ground_truth() const { return truth_; }
   [[nodiscard]] const std::vector<HouseInfo>& houses() const { return house_info_; }
   [[nodiscard]] const resolver::ZoneDb& zones() const { return *zones_; }
-  [[nodiscard]] netsim::Simulator& sim() { return *sim_; }
 
-  /// Resolver platforms in Table 1 order: Local, Google, OpenDNS,
-  /// Cloudflare.
-  [[nodiscard]] const std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>>&
-  platforms() const {
-    return platforms_;
+  /// The first shard's event loop (every shard's clock advances in
+  /// lockstep through run_for, so its `now()` is the town's clock).
+  [[nodiscard]] netsim::Simulator& sim();
+
+  /// Resolver platform instances, shard-major, each shard in Table 1
+  /// order: Local, Google, OpenDNS, Cloudflare. With `shards = 1` this
+  /// is exactly the four legacy platforms.
+  [[nodiscard]] const std::vector<resolver::RecursiveResolverPlatform*>& platforms() const {
+    return platform_view_;
   }
+
+  /// Number of simulation partitions actually in use.
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
   struct House;
-  void build_house(std::size_t index, const std::string& profile, bool p2p_house);
+  struct Shard;
+  void build_shard(std::size_t shard_idx, std::size_t house_begin, std::size_t house_end,
+                   const std::vector<std::string>& profiles, const std::vector<bool>& p2p);
+  void build_house(Shard& shard, std::size_t index, const std::string& profile,
+                   bool p2p_house);
+  void refresh_truth();
   [[nodiscard]] std::vector<std::string> assign_profiles() const;
   [[nodiscard]] std::vector<bool> assign_p2p() const;
 
   ScenarioConfig cfg_;
   Rng rng_;
-  std::unique_ptr<netsim::Simulator> sim_;
-  std::unique_ptr<netsim::Network> net_;
   std::unique_ptr<resolver::ZoneDb> zones_;
   std::unique_ptr<traffic::WebModel> web_;
-  std::unique_ptr<traffic::ServerFarm> farm_;
-  std::unique_ptr<capture::Monitor> monitor_;
-  std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms_;
   std::unique_ptr<traffic::AppWorld> world_;
   std::shared_ptr<const std::vector<resolver::NameId>> universal_services_;
-  std::vector<std::unique_ptr<House>> houses_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<resolver::RecursiveResolverPlatform*> platform_view_;
   std::vector<HouseInfo> house_info_;
   GroundTruth truth_;
   capture::Dataset dataset_;

@@ -71,6 +71,17 @@ struct FiveTuple {
 /// high-port heuristic (§5.1 uses non-reserved on both ends as a P2P mark).
 inline constexpr std::uint16_t kReservedPortLimit = 1024;
 
+/// Mix a value into a running hash (splitmix64 finalizer over the sum).
+/// Unlike the classic multiply-xor combiners, every input bit diffuses
+/// into every output bit, so composite keys built from structured data
+/// (addresses, ports, ids) don't cluster hash buckets.
+[[nodiscard]] constexpr std::size_t hash_combine(std::size_t seed, std::uint64_t value) {
+  std::uint64_t x = static_cast<std::uint64_t>(seed) + 0x9e3779b97f4a7c15ULL + value;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
 struct FiveTupleHash {
   [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept {
     std::uint64_t h = 1469598103934665603ULL;

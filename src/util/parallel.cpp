@@ -1,0 +1,93 @@
+#include "util/parallel.hpp"
+
+namespace dnsctx::util {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  const unsigned total = thread_count == 0 ? 1 : thread_count;
+  workers_.reserve(total - 1);
+  for (unsigned i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mu_};
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_tasks(std::size_t count, const std::function<void(std::size_t)>& task) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      task(i);
+    } catch (...) {
+      const std::lock_guard lock{mu_};
+      if (!error_) error_ = std::current_exception();
+      // Drain the remaining indices so the job still terminates.
+      next_.store(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::dispatch(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    const std::lock_guard lock{mu_};
+    task_ = &task;
+    task_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    error_ = nullptr;
+    ++job_id_;
+  }
+  start_cv_.notify_all();
+  run_tasks(count, task);  // the caller participates
+  std::unique_lock lock{mu_};
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  task_ = nullptr;
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_job = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock lock{mu_};
+      start_cv_.wait(lock, [&] { return stop_ || job_id_ != last_job; });
+      if (stop_) return;
+      last_job = job_id_;
+      task = task_;
+      count = task_count_;
+    }
+    run_tasks(count, *task);
+    {
+      const std::lock_guard lock{mu_};
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace dnsctx::util

@@ -32,6 +32,12 @@ void Cdf::add_all(std::span<const double> xs) {
   sorted_ = false;
 }
 
+void Cdf::absorb(const Cdf& other) {
+  if (other.xs_.empty()) return;
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
 void Cdf::ensure_sorted() const {
   if (!sorted_) {
     std::sort(xs_.begin(), xs_.end());

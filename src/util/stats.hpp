@@ -44,6 +44,9 @@ class Cdf {
   void add_all(std::span<const double> xs);
   void reserve(std::size_t n) { xs_.reserve(n); }
 
+  /// Append every sample of `other` (map-reduce accumulator merge).
+  void absorb(const Cdf& other);
+
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   [[nodiscard]] bool empty() const { return xs_.empty(); }
 

@@ -183,5 +183,57 @@ TEST(LogIo, LargeDatasetRoundTripsExactly) {
   }
 }
 
+// Exercise the buffered readers at a size where reserve() and the
+// fixed-field splitter matter, and verify byte-exactness by
+// re-serializing what was read back.
+TEST(LogIo, HugeRoundTripIsByteExact) {
+  std::vector<ConnRecord> conns;
+  std::vector<DnsRecord> dns;
+  for (int i = 0; i < 20'000; ++i) {
+    auto c = sample_conn();
+    c.start = SimTime::from_us(i * 997);
+    c.orig_port = static_cast<std::uint16_t>(1'024 + (i % 60'000));
+    c.orig_bytes = static_cast<std::uint64_t>(i) * 31;
+    c.proto = (i % 3) ? Proto::kTcp : Proto::kUdp;
+    conns.push_back(c);
+
+    auto d = sample_dns();
+    d.ts = SimTime::from_us(i * 1'009);
+    d.query = (i % 7) ? "host" + std::to_string(i) + ".example.com" : std::string{};
+    d.answers.clear();
+    for (int a = 0; a < i % 5; ++a) {
+      d.answers.push_back({Ipv4Addr{93, 184, static_cast<std::uint8_t>(a), 34},
+                           static_cast<std::uint32_t>(60 * (a + 1))});
+    }
+    d.answered = !d.answers.empty();
+    dns.push_back(std::move(d));
+  }
+
+  std::stringstream conn_ss, dns_ss;
+  write_conn_log(conn_ss, conns);
+  write_dns_log(dns_ss, dns);
+
+  const auto conns_back = read_conn_log(conn_ss);
+  const auto dns_back = read_dns_log(dns_ss);
+  ASSERT_EQ(conns_back.size(), conns.size());
+  ASSERT_EQ(dns_back.size(), dns.size());
+
+  std::stringstream conn_ss2, dns_ss2;
+  write_conn_log(conn_ss2, conns_back);
+  write_dns_log(dns_ss2, dns_back);
+  EXPECT_EQ(conn_ss.str(), conn_ss2.str());
+  EXPECT_EQ(dns_ss.str(), dns_ss2.str());
+}
+
+TEST(LogIo, MissingTrailingNewlineStillParses) {
+  std::stringstream ss;
+  write_conn_log(ss, {sample_conn(), sample_conn()});
+  std::string text = ss.str();
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();
+  std::stringstream trimmed{text};
+  EXPECT_EQ(read_conn_log(trimmed).size(), 2u);
+}
+
 }  // namespace
 }  // namespace dnsctx::capture

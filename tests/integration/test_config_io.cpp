@@ -14,6 +14,8 @@ TEST(ConfigIo, RoundTripPreservesEveryKnob) {
   cfg.houses = 77;
   cfg.duration = SimDuration::hours(36);
   cfg.start_hour = 9;
+  cfg.shards = 3;
+  cfg.threads = 5;
   cfg.activity_scale = 1.5;
   cfg.ttl_violation_prob = 0.33;
   cfg.dead_ntp_frac = 0.1;
@@ -36,6 +38,8 @@ TEST(ConfigIo, RoundTripPreservesEveryKnob) {
   EXPECT_EQ(back.houses, cfg.houses);
   EXPECT_EQ(back.duration, cfg.duration);
   EXPECT_EQ(back.start_hour, cfg.start_hour);
+  EXPECT_EQ(back.shards, cfg.shards);
+  EXPECT_EQ(back.threads, cfg.threads);
   EXPECT_DOUBLE_EQ(back.activity_scale, cfg.activity_scale);
   EXPECT_DOUBLE_EQ(back.ttl_violation_prob, cfg.ttl_violation_prob);
   EXPECT_DOUBLE_EQ(back.dead_ntp_frac, cfg.dead_ntp_frac);

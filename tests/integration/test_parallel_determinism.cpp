@@ -1,0 +1,182 @@
+// The parallel execution layer's core promise: for a fixed scenario
+// (including its shard count), the captured dataset and every derived
+// analysis result are identical for ANY thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "analysis/study.hpp"
+#include "capture/logio.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dnsctx {
+namespace {
+
+[[nodiscard]] scenario::ScenarioConfig small_sharded_config(unsigned threads) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = 16;
+  cfg.duration = SimDuration::hours(2);
+  cfg.seed = 2020;
+  cfg.shards = 4;
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Serialize a dataset to one string — byte equality of these strings is
+/// the determinism criterion.
+[[nodiscard]] std::string serialize(const capture::Dataset& ds) {
+  std::stringstream ss;
+  capture::write_conn_log(ss, ds.conns);
+  capture::write_dns_log(ss, ds.dns);
+  return ss.str();
+}
+
+void expect_same_cdf(const Cdf& a, const Cdf& b) {
+  ASSERT_EQ(a.count(), b.count());
+  if (a.empty()) return;
+  EXPECT_EQ(a.median(), b.median());
+  EXPECT_EQ(a.quantile(0.9), b.quantile(0.9));
+}
+
+void expect_same_study(const analysis::Study& a, const analysis::Study& b) {
+  EXPECT_EQ(a.pairing.paired, b.pairing.paired);
+  EXPECT_EQ(a.pairing.unpaired, b.pairing.unpaired);
+  EXPECT_EQ(a.pairing.paired_expired, b.pairing.paired_expired);
+  EXPECT_EQ(a.pairing.unique_candidate, b.pairing.unique_candidate);
+  EXPECT_EQ(a.pairing.multiple_candidates, b.pairing.multiple_candidates);
+  ASSERT_EQ(a.pairing.conns.size(), b.pairing.conns.size());
+  for (std::size_t i = 0; i < a.pairing.conns.size(); ++i) {
+    EXPECT_EQ(a.pairing.conns[i].dns_idx, b.pairing.conns[i].dns_idx);
+  }
+
+  EXPECT_EQ(a.classified.counts.n, b.classified.counts.n);
+  EXPECT_EQ(a.classified.counts.lc, b.classified.counts.lc);
+  EXPECT_EQ(a.classified.counts.p, b.classified.counts.p);
+  EXPECT_EQ(a.classified.counts.sc, b.classified.counts.sc);
+  EXPECT_EQ(a.classified.counts.r, b.classified.counts.r);
+  EXPECT_EQ(a.classified.lc_expired, b.classified.lc_expired);
+  EXPECT_EQ(a.classified.p_expired, b.classified.p_expired);
+  EXPECT_EQ(a.classified.classes, b.classified.classes);
+  expect_same_cdf(a.classified.lc_gap_sec, b.classified.lc_gap_sec);
+  expect_same_cdf(a.classified.p_gap_sec, b.classified.p_gap_sec);
+
+  EXPECT_EQ(a.blocking.knee_ms, b.blocking.knee_ms);
+  expect_same_cdf(a.blocking.gap_ms, b.blocking.gap_ms);
+  EXPECT_EQ(a.blocking.first_use_frac_below, b.blocking.first_use_frac_below);
+  EXPECT_EQ(a.blocking.first_use_frac_above, b.blocking.first_use_frac_above);
+
+  EXPECT_EQ(a.performance.insignificant_both, b.performance.insignificant_both);
+  EXPECT_EQ(a.performance.significant_both, b.performance.significant_both);
+  EXPECT_EQ(a.performance.significant_overall, b.performance.significant_overall);
+  expect_same_cdf(a.performance.lookup_ms_all, b.performance.lookup_ms_all);
+  expect_same_cdf(a.performance.contrib_all, b.performance.contrib_all);
+
+  EXPECT_EQ(a.isp_only_houses, b.isp_only_houses);
+  ASSERT_EQ(a.table1.size(), b.table1.size());
+  for (std::size_t i = 0; i < a.table1.size(); ++i) {
+    EXPECT_EQ(a.table1[i].platform, b.table1[i].platform);
+    EXPECT_EQ(a.table1[i].lookups, b.table1[i].lookups);
+    EXPECT_EQ(a.table1[i].pct_houses, b.table1[i].pct_houses);
+    EXPECT_EQ(a.table1[i].pct_conns, b.table1[i].pct_conns);
+    EXPECT_EQ(a.table1[i].pct_bytes, b.table1[i].pct_bytes);
+  }
+
+  ASSERT_EQ(a.platforms.size(), b.platforms.size());
+  for (std::size_t i = 0; i < a.platforms.size(); ++i) {
+    EXPECT_EQ(a.platforms[i].platform, b.platforms[i].platform);
+    EXPECT_EQ(a.platforms[i].sc, b.platforms[i].sc);
+    EXPECT_EQ(a.platforms[i].r, b.platforms[i].r);
+    EXPECT_EQ(a.platforms[i].total_conns, b.platforms[i].total_conns);
+    EXPECT_EQ(a.platforms[i].conncheck_conns, b.platforms[i].conncheck_conns);
+    expect_same_cdf(a.platforms[i].r_lookup_ms, b.platforms[i].r_lookup_ms);
+    expect_same_cdf(a.platforms[i].throughput_bps, b.platforms[i].throughput_bps);
+  }
+}
+
+TEST(ParallelDeterminism, DatasetIsByteIdenticalForAnyThreadCount) {
+  scenario::Town baseline{small_sharded_config(1)};
+  baseline.run();
+  const std::string expected = serialize(baseline.dataset());
+  EXPECT_FALSE(baseline.dataset().conns.empty());
+  EXPECT_FALSE(baseline.dataset().dns.empty());
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    scenario::Town town{small_sharded_config(threads)};
+    town.run();
+    EXPECT_EQ(serialize(town.dataset()), expected) << "threads = " << threads;
+    EXPECT_EQ(town.ground_truth().fetches, baseline.ground_truth().fetches);
+    EXPECT_EQ(town.ground_truth().fetch_blocked, baseline.ground_truth().fetch_blocked);
+    EXPECT_EQ(town.ground_truth().no_dns_conns, baseline.ground_truth().no_dns_conns);
+  }
+}
+
+TEST(ParallelDeterminism, StudyIsIdenticalForAnyThreadCount) {
+  scenario::Town town{small_sharded_config(4)};
+  town.run();
+
+  analysis::StudyConfig cfg1;
+  cfg1.threads = 1;
+  const analysis::Study base = analysis::run_study(town.dataset(), cfg1);
+
+  for (const unsigned threads : {2u, 8u}) {
+    analysis::StudyConfig cfgN;
+    cfgN.threads = threads;
+    const analysis::Study parallel = analysis::run_study(town.dataset(), cfgN);
+    expect_same_study(base, parallel);
+  }
+}
+
+TEST(ParallelDeterminism, RandomPairingPolicyIsThreadIndependent) {
+  scenario::Town town{small_sharded_config(2)};
+  town.run();
+  const auto a = analysis::pair_connections(town.dataset(), analysis::PairingPolicy::kRandom,
+                                            7, 1);
+  const auto b = analysis::pair_connections(town.dataset(), analysis::PairingPolicy::kRandom,
+                                            7, 8);
+  ASSERT_EQ(a.conns.size(), b.conns.size());
+  for (std::size_t i = 0; i < a.conns.size(); ++i) {
+    EXPECT_EQ(a.conns[i].dns_idx, b.conns[i].dns_idx);
+  }
+  EXPECT_EQ(a.paired, b.paired);
+}
+
+TEST(ParallelDeterminism, DiskRoundTripMatchesInMemoryStudy) {
+  scenario::Town town{small_sharded_config(4)};
+  town.run();
+
+  const std::string conn_path = "/tmp/dnsctx_det_conn.log";
+  const std::string dns_path = "/tmp/dnsctx_det_dns.log";
+  capture::save_dataset(town.dataset(), conn_path, dns_path);
+  const capture::Dataset loaded = capture::load_dataset(conn_path, dns_path);
+  EXPECT_EQ(serialize(loaded), serialize(town.dataset()));
+
+  analysis::StudyConfig cfg;
+  cfg.threads = 4;
+  const analysis::Study mem = analysis::run_study(town.dataset(), cfg);
+  const analysis::Study disk = analysis::run_study(loaded, cfg);
+  expect_same_study(mem, disk);
+  std::remove(conn_path.c_str());
+  std::remove(dns_path.c_str());
+}
+
+TEST(ParallelDeterminism, SingleShardMatchesLegacySeedStream) {
+  // shards = 1 must reproduce the pre-sharding byte stream for the same
+  // seed: the shard-0 seed labels are the legacy ones.
+  scenario::ScenarioConfig cfg;
+  cfg.houses = 6;
+  cfg.duration = SimDuration::hours(1);
+  cfg.seed = 99;
+  cfg.shards = 1;
+
+  scenario::Town a{cfg};
+  a.run();
+  cfg.threads = 8;  // threads are irrelevant with one shard, but must not crash
+  scenario::Town b{cfg};
+  b.run();
+  EXPECT_EQ(serialize(a.dataset()), serialize(b.dataset()));
+}
+
+}  // namespace
+}  // namespace dnsctx

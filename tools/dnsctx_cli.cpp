@@ -1,13 +1,16 @@
 // dnsctx — the command-line frontend.
 //
 //   dnsctx simulate --out DIR [--config FILE] [--houses N] [--hours H]
-//                   [--seed S] [--start-hour H]
+//                   [--seed S] [--start-hour H] [--shards N] [--threads N]
 //       Simulate a neighborhood and write conn.log / dns.log (plus a
-//       scenario.conf snapshot) into DIR.
+//       scenario.conf snapshot) into DIR. --shards splits the town into
+//       independent sub-towns (a scenario knob: each shard has its own
+//       resolver platform caches); --threads only decides how many
+//       workers execute them — output is identical for any value.
 //
 //   dnsctx analyze --dir DIR | (--conn FILE --dns FILE)
 //                  [--section all|table1|table2|fig1|fig2|fig3|timeseries|perhouse]
-//                  [--csv DIR]
+//                  [--csv DIR] [--threads N]
 //       Run the paper's pipeline over captured logs.
 //
 //   dnsctx sweep --key KEY --values a,b,c [--config FILE] [--out DIR]
@@ -15,6 +18,7 @@
 //
 //   dnsctx validate [--config FILE] [--houses N] [--hours H] [--seed S]
 //       Simulate and compare the passive inferences against ground truth.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -44,6 +48,16 @@ using namespace dnsctx;
   cfg.seed = static_cast<std::uint64_t>(
       args.int_option_or("seed", static_cast<long long>(cfg.seed)));
   cfg.start_hour = static_cast<int>(args.int_option_or("start-hour", cfg.start_hour));
+  cfg.shards = static_cast<std::size_t>(
+      args.int_option_or("shards", static_cast<long long>(cfg.shards)));
+  cfg.threads = static_cast<unsigned>(
+      args.int_option_or("threads", static_cast<long long>(cfg.threads)));
+  // --threads without an explicit shard count: shard for parallelism,
+  // but by a rule that does not depend on the thread count so the same
+  // scenario is produced for any --threads value.
+  if (args.option("threads") && !args.option("shards") && cfg.shards <= 1) {
+    cfg.shards = std::min<std::size_t>(cfg.houses, 16);
+  }
   return cfg;
 }
 
@@ -90,7 +104,9 @@ int cmd_analyze(const CliArgs& args) {
   const capture::Dataset ds = capture::load_dataset(conn_path, dns_path);
   std::printf("loaded %zu conns, %zu DNS transactions\n\n", ds.conns.size(), ds.dns.size());
 
-  const analysis::Study study = analysis::run_study(ds);
+  analysis::StudyConfig study_cfg;
+  study_cfg.threads = static_cast<unsigned>(args.int_option_or("threads", 1));
+  const analysis::Study study = analysis::run_study(ds, study_cfg);
   const std::string section = args.option_or("section", "all");
   const bool all = section == "all";
   if (all || section == "table1") std::printf("%s\n", analysis::format_table1(study).c_str());
@@ -186,9 +202,12 @@ void usage() {
   std::fprintf(stderr,
                "usage: dnsctx <simulate|analyze|sweep|validate> [options]\n"
                "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
+               "           [--shards N] [--threads N]\n"
                "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
+               "           [--threads N]\n"
                "  sweep    --key K --values a,b,c [--config F | sim options]\n"
-               "  validate [--config F] [--houses N] [--hours H] [--seed S]\n");
+               "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
+               "           [--shards N] [--threads N]\n");
 }
 
 }  // namespace
