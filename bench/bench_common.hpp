@@ -21,11 +21,22 @@
 #include <fstream>
 #include <string>
 
+#include <sys/resource.h>
+
 #include "analysis/export.hpp"
 #include "analysis/report.hpp"
 #include "scenario/scenario.hpp"
 
 namespace dnsctx::bench {
+
+/// High-water resident set size of this process, in bytes. Monotone over
+/// the process lifetime — to compare two phases, measure the cheap one
+/// first and check it stays under the expensive one's mark.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
+}
 
 struct BenchScale {
   std::size_t houses = 80;
@@ -110,10 +121,12 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   std::snprintf(buf, sizeof buf,
                 "{\"bench\":\"%s\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
                 "\"threads\":%u,\"shards\":%zu,\"gen_sec\":%.3f,\"study_sec\":%.3f,"
-                "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f}",
+                "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f,"
+                "\"peak_rss_bytes\":%llu}",
                 bench_name, s.houses, s.hours, static_cast<unsigned long long>(s.seed),
                 s.threads, s.shards, run.gen_sec, run.study_sec,
-                total_sec, conns, dns, records_per_sec);
+                total_sec, conns, dns, records_per_sec,
+                static_cast<unsigned long long>(peak_rss_bytes()));
   os << buf << '\n';
 }
 

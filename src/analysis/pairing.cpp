@@ -87,8 +87,12 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
       }
     }
     for (auto& [addr, vec] : index) {
+      // Tie-break equal response times by log position so the order is
+      // fully determined — it is then exactly the (response, seq) order
+      // the streaming engine maintains incrementally (stream::OnlineStudy).
       std::sort(vec.begin(), vec.end(), [](const Candidate& a, const Candidate& b) {
-        return a.response < b.response;
+        if (a.response != b.response) return a.response < b.response;
+        return a.dns_idx < b.dns_idx;
       });
     }
 

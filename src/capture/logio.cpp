@@ -101,6 +101,21 @@ void for_each_line(std::string_view buf, Body&& body) {
   return lines > 0 ? lines - 1 : 0;
 }
 
+/// Run `body`, prefixing any parse error with the source file path so
+/// multi-file pipelines report WHICH log was malformed.
+template <typename Body>
+void with_source(const std::string& source, Body&& body) {
+  if (source.empty()) {
+    body();
+    return;
+  }
+  try {
+    body();
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{source + ": " + e.what()};
+  }
+}
+
 }  // namespace
 
 void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns) {
@@ -133,11 +148,12 @@ void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns) {
   }
 }
 
-std::vector<ConnRecord> read_conn_log(std::istream& is) {
+std::vector<ConnRecord> read_conn_log(std::istream& is, const std::string& source) {
   const std::string buf = slurp(is);
   std::vector<ConnRecord> out;
   out.reserve(record_estimate(buf));
   std::array<std::string_view, 10> f;
+  with_source(source, [&] {
   for_each_line(buf, [&](std::string_view line, std::size_t line_no) {
     if (line.empty() || line[0] == '#') return;
     if (!split_fields(line, f)) {
@@ -156,14 +172,16 @@ std::vector<ConnRecord> read_conn_log(std::istream& is) {
     c.state = parse_state(f[9]);
     out.push_back(c);
   });
+  });
   return out;
 }
 
-std::vector<DnsRecord> read_dns_log(std::istream& is) {
+std::vector<DnsRecord> read_dns_log(std::istream& is, const std::string& source) {
   const std::string buf = slurp(is);
   std::vector<DnsRecord> out;
   out.reserve(record_estimate(buf));
   std::array<std::string_view, 10> f;
+  with_source(source, [&] {
   for_each_line(buf, [&](std::string_view line, std::size_t line_no) {
     if (line.empty() || line[0] == '#') return;
     if (!split_fields(line, f)) {
@@ -198,6 +216,7 @@ std::vector<DnsRecord> read_dns_log(std::istream& is) {
     }
     out.push_back(std::move(d));
   });
+  });
   return out;
 }
 
@@ -216,8 +235,8 @@ Dataset load_dataset(const std::string& conn_path, const std::string& dns_path) 
   std::ifstream dns_is{dns_path};
   if (!dns_is) throw std::runtime_error{"cannot open " + dns_path};
   Dataset ds;
-  ds.conns = read_conn_log(conn_is);
-  ds.dns = read_dns_log(dns_is);
+  ds.conns = read_conn_log(conn_is, conn_path);
+  ds.dns = read_dns_log(dns_is, dns_path);
   return ds;
 }
 

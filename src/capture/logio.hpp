@@ -20,9 +20,12 @@ void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns);
 void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns);
 
 /// Parse logs written by the functions above. Throws std::runtime_error
-/// with a line number on malformed input.
-[[nodiscard]] std::vector<ConnRecord> read_conn_log(std::istream& is);
-[[nodiscard]] std::vector<DnsRecord> read_dns_log(std::istream& is);
+/// with a line number on malformed input; when `source` names the
+/// origin (file path), it prefixes every diagnostic.
+[[nodiscard]] std::vector<ConnRecord> read_conn_log(std::istream& is,
+                                                    const std::string& source = {});
+[[nodiscard]] std::vector<DnsRecord> read_dns_log(std::istream& is,
+                                                  const std::string& source = {});
 
 /// File-path conveniences.
 void save_dataset(const Dataset& ds, const std::string& conn_path,

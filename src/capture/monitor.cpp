@@ -19,6 +19,36 @@ std::string to_string(ConnState s) {
 
 Monitor::Monitor(MonitorConfig cfg) : cfg_{cfg} {}
 
+bool Monitor::local_orig(Ipv4Addr ip) const {
+  if (!cfg_.keep_only_local_orig) return true;
+  const std::uint32_t mask =
+      cfg_.local_prefix_bits == 0 ? 0 : ~std::uint32_t{0} << (32 - cfg_.local_prefix_bits);
+  return (ip.to_u32() & mask) == (cfg_.local_net.to_u32() & mask);
+}
+
+void Monitor::emit_conn(const ConnRecord& rec) {
+  if (sink_ != nullptr) {
+    if (local_orig(rec.orig_ip)) sink_->on_conn(rec);
+    return;
+  }
+  out_.conns.push_back(rec);
+}
+
+void Monitor::emit_dns(DnsRecord&& rec) {
+  if (sink_ != nullptr) {
+    sink_->on_dns(rec);
+    return;
+  }
+  out_.dns.push_back(std::move(rec));
+}
+
+SimTime Monitor::open_watermark(SimTime now) const {
+  SimTime w = now;
+  for (const auto& [tuple, flow] : flows_) w = std::min(w, flow.rec.start);
+  for (const auto& [key, pd] : pending_dns_) w = std::min(w, pd.rec.ts);
+  return w;
+}
+
 void Monitor::observe(SimTime at_tap, const netsim::Packet& p) {
   ++stats_.packets;
   expire_state(at_tap);
@@ -80,7 +110,7 @@ void Monitor::handle_dns(SimTime at_tap, const netsim::Packet& p) {
         rec.answers.push_back(DnsAnswer{std::get<Ipv4Addr>(rr.rdata), rr.ttl});
       }
     }
-    out_.dns.push_back(std::move(rec));
+    emit_dns(std::move(rec));
   }
 }
 
@@ -167,7 +197,7 @@ void Monitor::finalize_flow(Flow& flow, SimTime now) {
     flow.rec.state = ConnState::kOth;
   }
   (void)now;
-  out_.conns.push_back(flow.rec);
+  emit_conn(flow.rec);
 }
 
 void Monitor::expire_state(SimTime now) {
@@ -182,7 +212,7 @@ void Monitor::expire_state(SimTime now) {
         pending_dns_.erase(it);
         rec.answered = false;
         rec.duration = SimDuration::zero();
-        out_.dns.push_back(std::move(rec));
+        emit_dns(std::move(rec));
       }
     } else {
       const auto it = flows_.find(e.tuple);
@@ -206,29 +236,25 @@ Dataset Monitor::harvest(SimTime end) {
     ++stats_.dns_unanswered;
     DnsRecord rec = std::move(pd.rec);
     rec.answered = false;
-    out_.dns.push_back(std::move(rec));
+    emit_dns(std::move(rec));
   }
   pending_dns_.clear();
   while (!expiries_.empty()) expiries_.pop();
 
   // Keep only locally-originated connections, matching the paper's
-  // corpus definition (§3).
-  if (cfg_.keep_only_local_orig) {
-    const std::uint32_t mask =
-        cfg_.local_prefix_bits == 0
-            ? 0
-            : ~std::uint32_t{0} << (32 - cfg_.local_prefix_bits);
-    std::erase_if(out_.conns, [&](const ConnRecord& c) {
-      return (c.orig_ip.to_u32() & mask) != (cfg_.local_net.to_u32() & mask);
-    });
-  }
+  // corpus definition (§3). (When a sink is attached, emit_conn applied
+  // the same filter record by record and out_ is empty.)
+  std::erase_if(out_.conns, [&](const ConnRecord& c) { return !local_orig(c.orig_ip); });
 
   // Timestamp-sort the logs: finalisation order (timeouts, harvest) is
   // not emission order, and the analysis pipeline assumes sorted logs.
-  std::sort(out_.conns.begin(), out_.conns.end(),
-            [](const ConnRecord& a, const ConnRecord& b) { return a.start < b.start; });
-  std::sort(out_.dns.begin(), out_.dns.end(),
-            [](const DnsRecord& a, const DnsRecord& b) { return a.ts < b.ts; });
+  // stable_sort so that equal-timestamp records keep finalization order —
+  // the order a LiveFeed delivers them in — keeping batch and streaming
+  // runs record-for-record identical.
+  std::stable_sort(out_.conns.begin(), out_.conns.end(),
+                   [](const ConnRecord& a, const ConnRecord& b) { return a.start < b.start; });
+  std::stable_sort(out_.dns.begin(), out_.dns.end(),
+                   [](const DnsRecord& a, const DnsRecord& b) { return a.ts < b.ts; });
   Dataset result = std::move(out_);
   out_ = Dataset{};
   return result;

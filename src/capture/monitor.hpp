@@ -60,6 +60,22 @@ class Monitor : public netsim::PacketTap {
   /// The monitor is reusable afterwards (state cleared; stats persist).
   [[nodiscard]] Dataset harvest(SimTime end);
 
+  /// Stream finalized records to `sink` instead of materializing them:
+  /// while a sink is attached the monitor's datasets stay empty and
+  /// harvest() returns an empty Dataset (it still flushes open state —
+  /// to the sink). Records arrive in FINALIZATION order, not timestamp
+  /// order; pair with stream::LiveFeed and open_watermark() to recover
+  /// the canonical order. The conn-side local-originator filter applies
+  /// at emission, exactly as harvest() applies it. Pass nullptr to
+  /// detach.
+  void set_record_sink(RecordSink* sink) { sink_ = sink; }
+
+  /// Safe reordering bound for a LiveFeed: every record emitted after
+  /// this call has key time (conn start / dns query ts) at or after the
+  /// returned instant. Computed as the minimum over open flows' starts,
+  /// pending queries' timestamps, and `now`.
+  [[nodiscard]] SimTime open_watermark(SimTime now) const;
+
   [[nodiscard]] const MonitorStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t packets_seen() const { return stats_.packets; }
   [[nodiscard]] std::uint64_t malformed_dns() const { return stats_.malformed_dns; }
@@ -100,6 +116,9 @@ class Monitor : public netsim::PacketTap {
   void expire_state(SimTime now);
   void finalize_flow(Flow& flow, SimTime now);
   [[nodiscard]] SimDuration flow_timeout(const Flow& flow) const;
+  [[nodiscard]] bool local_orig(Ipv4Addr ip) const;
+  void emit_conn(const ConnRecord& rec);
+  void emit_dns(DnsRecord&& rec);
 
   MonitorConfig cfg_;
   std::unordered_map<FiveTuple, Flow, FiveTupleHash> flows_;
@@ -122,6 +141,7 @@ class Monitor : public netsim::PacketTap {
 
   Dataset out_;
   MonitorStats stats_;
+  RecordSink* sink_ = nullptr;
 };
 
 }  // namespace dnsctx::capture

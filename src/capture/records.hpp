@@ -105,4 +105,19 @@ struct Dataset {
   std::vector<DnsRecord> dns;
 };
 
+/// Consumer of finalized records. The Monitor (and the streaming layer's
+/// reorder/replay helpers) push every completed ConnRecord/DnsRecord
+/// here instead of materializing them, so arbitrarily long runs never
+/// hold the full log in memory. Implementations state their ordering
+/// expectations: the Monitor emits in FINALIZATION order (a conn at its
+/// close, a DNS transaction at its response or timeout), which is not
+/// timestamp order — see stream::LiveFeed for watermark-based
+/// re-sorting.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_conn(const ConnRecord& rec) = 0;
+  virtual void on_dns(const DnsRecord& rec) = 0;
+};
+
 }  // namespace dnsctx::capture

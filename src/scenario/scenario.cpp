@@ -436,11 +436,27 @@ void Town::run() {
   dataset_ = harvest();
 }
 
+void Town::attach_record_sink(capture::RecordSink* sink) {
+  record_sink_ = sink;
+  for (const auto& shard : shards_) shard->monitor->set_record_sink(sink);
+}
+
+SimTime Town::record_watermark() const {
+  SimTime w = SimTime::max();
+  for (const auto& shard : shards_) {
+    w = std::min(w, shard->monitor->open_watermark(shard->sim->now()));
+  }
+  return w;
+}
+
 void Town::run_for(SimDuration amount) {
   // Each shard's event loop is fully self-contained (its own network,
   // platforms, farm, monitor); shards advance to the same end time in
   // whatever thread interleaving, with identical per-shard results.
-  util::parallel_for_each(cfg_.threads, shards_.size(), [&](std::size_t s) {
+  // A shared record sink is the one cross-shard mutable object — run
+  // sequentially while one is attached.
+  const unsigned threads = record_sink_ != nullptr ? 1 : cfg_.threads;
+  util::parallel_for_each(threads, shards_.size(), [&](std::size_t s) {
     netsim::Simulator& sim = *shards_[s]->sim;
     sim.run_until(sim.now() + amount);
   });
@@ -449,8 +465,9 @@ void Town::run_for(SimDuration amount) {
 
 capture::Dataset Town::harvest() {
   harvested_ = true;
+  const unsigned threads = record_sink_ != nullptr ? 1 : cfg_.threads;
   std::vector<capture::Dataset> parts(shards_.size());
-  util::parallel_for_each(cfg_.threads, shards_.size(), [&](std::size_t s) {
+  util::parallel_for_each(threads, shards_.size(), [&](std::size_t s) {
     parts[s] = shards_[s]->monitor->harvest(shards_[s]->sim->now());
   });
   refresh_truth();

@@ -95,6 +95,20 @@ class Town {
   void run_for(SimDuration amount);
   [[nodiscard]] capture::Dataset harvest();
 
+  /// Stream records from every shard's monitor into `sink` instead of
+  /// materializing datasets (see Monitor::set_record_sink). The sink is
+  /// shared and not synchronized, so while one is attached run_for() and
+  /// harvest() execute shards sequentially regardless of `threads`.
+  /// Records arrive in finalization order per shard; drive a
+  /// stream::LiveFeed with record_watermark() after each run_for chunk
+  /// to recover the canonical time-sorted order.
+  void attach_record_sink(capture::RecordSink* sink);
+
+  /// Reordering bound across all shards: no record emitted after this
+  /// call carries a key time before it (min over shards of the
+  /// monitors' open_watermark at their current clock).
+  [[nodiscard]] SimTime record_watermark() const;
+
   [[nodiscard]] const capture::Dataset& dataset() const { return dataset_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] const GroundTruth& ground_truth() const { return truth_; }
@@ -138,6 +152,7 @@ class Town {
   GroundTruth truth_;
   capture::Dataset dataset_;
   bool harvested_ = false;
+  capture::RecordSink* record_sink_ = nullptr;
 };
 
 }  // namespace dnsctx::scenario

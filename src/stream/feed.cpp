@@ -1,0 +1,34 @@
+#include "stream/feed.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::stream {
+
+void LiveFeed::push(Entry e) {
+  queue_.push(std::move(e));
+  peak_buffered_ = std::max(peak_buffered_, queue_.size());
+}
+
+void LiveFeed::on_conn(const capture::ConnRecord& rec) {
+  push(Entry{rec.start, 1, next_seq_++, rec});
+}
+
+void LiveFeed::on_dns(const capture::DnsRecord& rec) {
+  push(Entry{rec.ts, 0, next_seq_++, rec});
+}
+
+void LiveFeed::drain(SimTime watermark) {
+  while (!queue_.empty() && queue_.top().key <= watermark) {
+    const Entry& top = queue_.top();
+    if (top.kind == 0) {
+      downstream_->on_dns(std::get<capture::DnsRecord>(top.rec));
+    } else {
+      downstream_->on_conn(std::get<capture::ConnRecord>(top.rec));
+    }
+    queue_.pop();
+  }
+}
+
+void LiveFeed::close() { drain(SimTime::max()); }
+
+}  // namespace dnsctx::stream

@@ -1,0 +1,69 @@
+// dnsctx — watermark-based reordering between live capture and analysis.
+//
+// capture::Monitor emits records in FINALIZATION order: a connection when
+// it closes, a DNS transaction when its response (or timeout) arrives.
+// The online study engine, like the spool writer, requires timestamp
+// order (conn keyed by `start`, dns by `ts`). LiveFeed bridges the two:
+// it buffers finalized records in a priority queue and, whenever the
+// producer advances the watermark — a promise that no future record will
+// carry a key time at or before it — releases everything up to the
+// watermark in the canonical order:
+//
+//   (key time, DNS before conn at ties, arrival order)
+//
+// That is exactly the order replay_spool / replay_dataset deliver, so a
+// live run and a batch run over the harvested logs feed the engine the
+// same sequence. Memory is bounded by the records still inside the open
+// window (watermark .. now), not the run length.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <variant>
+#include <vector>
+
+#include "capture/records.hpp"
+
+namespace dnsctx::stream {
+
+class LiveFeed : public capture::RecordSink {
+ public:
+  explicit LiveFeed(capture::RecordSink& downstream) : downstream_{&downstream} {}
+
+  void on_conn(const capture::ConnRecord& rec) override;
+  void on_dns(const capture::DnsRecord& rec) override;
+
+  /// Release every buffered record with key time <= `watermark` to the
+  /// downstream sink, in canonical order. Watermarks must not regress.
+  void drain(SimTime watermark);
+
+  /// Release everything still buffered (end of run).
+  void close();
+
+  [[nodiscard]] std::size_t buffered() const { return queue_.size(); }
+  [[nodiscard]] std::size_t peak_buffered() const { return peak_buffered_; }
+
+ private:
+  struct Entry {
+    SimTime key;
+    std::uint8_t kind;  ///< 0 = dns, 1 = conn — dns first at equal times
+    std::uint64_t seq;
+    std::variant<capture::ConnRecord, capture::DnsRecord> rec;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Entry e);
+
+  capture::RecordSink* downstream_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t peak_buffered_ = 0;
+};
+
+}  // namespace dnsctx::stream

@@ -1,0 +1,485 @@
+#include "stream/online_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace dnsctx::stream {
+
+namespace {
+
+constexpr std::int64_t kModeWindowUs = 40'000;  // §5.3's 40 ms histogram span
+
+[[nodiscard]] std::int64_t ceil_ms(std::int64_t us) { return (us + 999) / 1000; }
+
+}  // namespace
+
+OnlineStudy::OnlineStudy(OnlineStudyConfig cfg) : cfg_{std::move(cfg)} {
+  if (cfg_.sweep_interval == 0) {
+    throw std::invalid_argument{"OnlineStudyConfig::sweep_interval must be > 0"};
+  }
+}
+
+void OnlineStudy::note_time(SimTime& last, SimTime t, const char* kind) {
+  if (t < last) {
+    throw std::runtime_error{
+        strfmt("online study: %s record at %lld us after %lld us; stream must be time-sorted",
+               kind, static_cast<long long>(t.count_us()),
+               static_cast<long long>(last.count_us()))};
+  }
+  last = t;
+  watermark_ = std::max(watermark_, t);
+}
+
+void OnlineStudy::on_dns(const capture::DnsRecord& rec) {
+  if (any_dns_) {
+    note_time(last_dns_, rec.ts, "dns");
+  } else {
+    any_dns_ = true;
+    last_dns_ = rec.ts;
+    watermark_ = std::max(watermark_, rec.ts);
+  }
+  ++dns_total_;
+
+  // Table 1 DNS pass: every record counts, answered or not.
+  const std::string& platform = cfg_.directory.label(rec.resolver_ip);
+  PlatTally& tally = tallies_[platform];
+  ++tally.lookups;
+  tally.houses.insert(rec.client_ip);
+  all_houses_.insert(rec.client_ip);
+  ++total_lookups_;
+
+  // isp-only-house tracking.
+  {
+    const bool is_local = platform == "Local";
+    const auto [it, inserted] = only_local_.try_emplace(rec.client_ip, is_local);
+    if (!inserted) it->second = it->second && is_local;
+  }
+
+  // §5.3 threshold material: answered-lookup durations per resolver.
+  if (rec.answered) {
+    ResolverAcc& ra = resolvers_[rec.resolver_ip];
+    ++ra.answered;
+    const std::int64_t us = rec.duration.count_us();
+    if (us < ra.min_us) {
+      ra.min_us = us;
+      // The mode window [min, min+40ms] only ever slides down; prune
+      // samples that fell out so the map stays window-sized.
+      ra.low.erase(ra.low.upper_bound(us + kModeWindowUs), ra.low.end());
+    }
+    if (us <= ra.min_us + kModeWindowUs) ++ra.low[us];
+  }
+
+  // DN-Hunter candidate index (answered, A-bearing lookups only).
+  if (rec.answered && !rec.answers.empty()) {
+    ++eligible_lookups_;
+    const std::uint64_t seq = next_seq_++;
+    House& house = houses_[rec.client_ip];
+    RecordUse& ru = house.records[seq];
+    ru.refs = static_cast<std::uint32_t>(rec.answers.size());
+    ru.duration = rec.duration;
+    ru.resolver_ip = rec.resolver_ip;
+    ru.conncheck = rec.query == cfg_.conncheck_name;
+    active_records_ += 1;
+    const SimTime response = rec.response_time();
+    for (const auto& a : rec.answers) {
+      std::vector<Candidate>& cands = house.index[a.addr];
+      const Candidate cand{response, response + SimDuration::sec(a.ttl), seq};
+      // Keep (response, seq) order: every stored candidate has a smaller
+      // seq, so the slot is after all entries with an equal response.
+      const auto pos = std::upper_bound(
+          cands.begin(), cands.end(), response,
+          [](SimTime t, const Candidate& c) { return t < c.response; });
+      cands.insert(pos, cand);
+      ++active_candidates_;
+    }
+  }
+
+  maybe_sweep();
+}
+
+void OnlineStudy::on_conn(const capture::ConnRecord& rec) {
+  if (any_conn_) {
+    note_time(last_conn_, rec.start, "conn");
+  } else {
+    any_conn_ = true;
+    last_conn_ = rec.start;
+    watermark_ = std::max(watermark_, rec.start);
+  }
+  ++conns_total_;
+
+  // ---- DN-Hunter pairing (mirrors pair_connections' inner loop) ----------
+  const auto house_it = houses_.find(rec.orig_ip);
+  const std::vector<Candidate>* cands = nullptr;
+  if (house_it != houses_.end()) {
+    const auto idx_it = house_it->second.index.find(rec.resp_ip);
+    if (idx_it != house_it->second.index.end()) cands = &idx_it->second;
+  }
+  if (cands == nullptr) {
+    ++pairing_.unpaired;
+    ++n_;
+    maybe_sweep();
+    return;
+  }
+  const auto upper = std::upper_bound(
+      cands->begin(), cands->end(), rec.start,
+      [](SimTime t, const Candidate& c) { return t < c.response; });
+  if (upper == cands->begin()) {
+    ++pairing_.unpaired;  // the answer arrived only after this connection
+    ++n_;
+    maybe_sweep();
+    return;
+  }
+
+  std::uint32_t live = 0;
+  const Candidate* chosen = nullptr;
+  for (auto iter = upper; iter != cands->begin();) {
+    --iter;
+    if (iter->expires > rec.start) {
+      ++live;
+      if (chosen == nullptr) chosen = &*iter;  // most recent live
+    }
+  }
+  const bool expired_pairing = live == 0;
+  if (expired_pairing) chosen = &*std::prev(upper);  // most recent, expired
+
+  House& house = house_it->second;
+  RecordUse& ru = house.records.at(chosen->seq);
+  const bool first_use = ru.uses == 0;
+  if (first_use) ++used_lookups_;
+  ++ru.uses;
+  const SimDuration gap = rec.start - chosen->response;
+
+  ++pairing_.paired;
+  if (expired_pairing) ++pairing_.paired_expired;
+  if (live <= 1) {
+    ++pairing_.unique_candidate;
+  } else {
+    ++pairing_.multiple_candidates;
+  }
+
+  // ---- taxonomy + downstream accumulators --------------------------------
+  if (gap > cfg_.classify.blocked_threshold) {
+    if (first_use) {
+      ++p_;
+      if (expired_pairing) ++p_expired_;
+    } else {
+      ++lc_;
+      if (expired_pairing) ++lc_expired_;
+    }
+  } else {
+    // Blocked: bank the lookup duration for the deferred SC/R split.
+    ResolverAcc& ra = resolvers_[ru.resolver_ip];
+    ++ra.blocked_total;
+    ++ra.blocked_ceil[ceil_ms(ru.duration.count_us())];
+    if (ru.duration.to_ms() <= cfg_.classify.default_threshold_ms) {
+      ++ra.blocked_le_default;
+    }
+
+    // §6 quadrants (independent of the SC/R split).
+    const double d_ms = ru.duration.to_ms();
+    const double a_ms = rec.duration.to_ms();
+    const double t_ms = d_ms + a_ms;
+    const double contrib = t_ms > 0.0 ? 100.0 * d_ms / t_ms : 100.0;
+    const bool abs_ok = d_ms <= cfg_.abs_significance_ms;
+    const bool rel_ok = contrib <= cfg_.rel_significance_pct;
+    if (abs_ok && rel_ok) {
+      ++q_ins_;
+    } else if (abs_ok) {
+      ++q_rel_;
+    } else if (rel_ok) {
+      ++q_abs_;
+    } else {
+      ++q_sig_;
+    }
+  }
+
+  // Table 1 connection pass + §7 per-platform counters.
+  const std::string& platform = cfg_.directory.label(ru.resolver_ip);
+  PlatTally& tally = tallies_[platform];
+  ++tally.conns;
+  const std::uint64_t bytes = rec.orig_bytes + rec.resp_bytes;
+  tally.bytes += bytes;
+  ++paired_conns_;
+  paired_bytes_ += bytes;
+
+  PlatConns& pc = platform_conns_[platform];
+  ++pc.total;
+  if (ru.conncheck) ++pc.conncheck;
+
+  maybe_sweep();
+}
+
+void OnlineStudy::drop_candidate(House& house, const Candidate& cand) {
+  const auto it = house.records.find(cand.seq);
+  if (it != house.records.end() && --it->second.refs == 0) {
+    house.records.erase(it);
+    --active_records_;
+  }
+  --active_candidates_;
+}
+
+void OnlineStudy::maybe_sweep() {
+  if (++ingests_since_sweep_ >= cfg_.sweep_interval) sweep();
+}
+
+void OnlineStudy::sweep() {
+  ingests_since_sweep_ = 0;
+  const bool horizon_gc = cfg_.eviction_horizon != SimDuration::max();
+  const SimTime horizon_cut =
+      horizon_gc ? watermark_ - cfg_.eviction_horizon : SimTime::from_us(0);
+
+  for (auto house_it = houses_.begin(); house_it != houses_.end();) {
+    House& house = house_it->second;
+    for (auto idx_it = house.index.begin(); idx_it != house.index.end();) {
+      std::vector<Candidate>& cands = idx_it->second;
+
+      // j = one past the last candidate already visible at the watermark.
+      const auto visible_end = std::upper_bound(
+          cands.begin(), cands.end(), watermark_,
+          [](SimTime t, const Candidate& c) { return t < c.response; });
+
+      const auto dead = [&](const Candidate& c, bool is_last_visible) {
+        if (horizon_gc && c.response <= horizon_cut) return true;  // approximate
+        // Exact shadow rule: expired at the watermark AND not the newest
+        // visible candidate (the most-recent-expired fallback target).
+        return !is_last_visible && c.expires <= watermark_;
+      };
+
+      auto out = cands.begin();
+      for (auto in = cands.begin(); in != cands.end(); ++in) {
+        const bool is_last_visible =
+            visible_end != cands.begin() && in == std::prev(visible_end);
+        if (in >= visible_end || !dead(*in, is_last_visible)) {
+          if (out != in) *out = *in;
+          ++out;
+        } else {
+          drop_candidate(house, *in);
+        }
+      }
+      cands.erase(out, cands.end());
+
+      if (cands.empty()) {
+        idx_it = house.index.erase(idx_it);
+      } else {
+        ++idx_it;
+      }
+    }
+    if (house.index.empty() && house.records.empty()) {
+      house_it = houses_.erase(house_it);
+    } else {
+      ++house_it;
+    }
+  }
+}
+
+OnlineStudyResult OnlineStudy::finalize() const {
+  OnlineStudyResult out;
+  out.conns = conns_total_;
+  out.dns = dns_total_;
+  out.pairing = pairing_;
+  out.unused_lookup_frac =
+      eligible_lookups_ ? static_cast<double>(eligible_lookups_ - used_lookups_) /
+                              static_cast<double>(eligible_lookups_)
+                        : 0.0;
+  out.lc_expired = lc_expired_;
+  out.p_expired = p_expired_;
+
+  // ---- §5.3 thresholds + deferred SC/R split ------------------------------
+  // Replicates derive_resolver_thresholds: same histogram, same operand
+  // order, from the pruned (µs → count) window instead of a full Cdf.
+  std::unordered_map<Ipv4Addr, std::pair<std::uint64_t, std::uint64_t>, Ipv4Hash>
+      resolver_scr;  // resolver → (sc, r)
+  std::uint64_t sc_total = 0;
+  std::uint64_t r_total = 0;
+  for (const auto& [resolver, ra] : resolvers_) {
+    std::uint64_t sc = 0;
+    if (ra.answered >= cfg_.classify.per_resolver_min_lookups) {
+      const double lo = static_cast<double>(ra.min_us) / 1000.0;
+      Histogram h{lo, lo + 40.0, 80};
+      for (const auto& [us, count] : ra.low) {
+        const double v = static_cast<double>(us) / 1000.0;
+        if (v < lo + 40.0) h.add(v, count);
+      }
+      const double mode_ms = h.bin_low(h.mode_bin()) + h.bin_width() / 2.0;
+      const double threshold = std::ceil(mode_ms + std::max(2.0, 0.55 * mode_ms));
+      out.resolver_threshold_ms[resolver] = threshold;
+      for (const auto& [bin_ms, count] : ra.blocked_ceil) {
+        if (static_cast<double>(bin_ms) <= threshold) sc += count;
+      }
+    } else {
+      sc = ra.blocked_le_default;
+    }
+    const std::uint64_t r = ra.blocked_total - sc;
+    if (ra.blocked_total) resolver_scr.emplace(resolver, std::make_pair(sc, r));
+    sc_total += sc;
+    r_total += r;
+  }
+  out.classes =
+      analysis::ClassCounts{.n = n_, .lc = lc_, .p = p_, .sc = sc_total, .r = r_total};
+
+  // ---- Table 1 (build_table1's emit, verbatim arithmetic) -----------------
+  auto emit = [&](const std::string& platform) {
+    const auto it = tallies_.find(platform);
+    if (it == tallies_.end()) return;
+    const PlatTally& t = it->second;
+    const double lookup_share =
+        total_lookups_ ? static_cast<double>(t.lookups) / static_cast<double>(total_lookups_)
+                       : 0.0;
+    if (platform != "other" && lookup_share < 0.01) return;
+    analysis::Table1Row row;
+    row.platform = platform;
+    row.lookups = t.lookups;
+    row.pct_houses = all_houses_.empty() ? 0.0
+                                         : 100.0 * static_cast<double>(t.houses.size()) /
+                                               static_cast<double>(all_houses_.size());
+    row.pct_lookups = 100.0 * lookup_share;
+    row.pct_conns = paired_conns_ ? 100.0 * static_cast<double>(t.conns) /
+                                        static_cast<double>(paired_conns_)
+                                  : 0.0;
+    row.pct_bytes = paired_bytes_ ? 100.0 * static_cast<double>(t.bytes) /
+                                        static_cast<double>(paired_bytes_)
+                                  : 0.0;
+    out.table1.push_back(std::move(row));
+  };
+  for (const auto& platform : cfg_.directory.platforms()) emit(platform);
+  emit("other");
+
+  // ---- isp-only houses ----------------------------------------------------
+  if (!only_local_.empty()) {
+    std::size_t count = 0;
+    for (const auto& [house, local] : only_local_) {
+      if (local) ++count;
+    }
+    out.isp_only_houses =
+        static_cast<double>(count) / static_cast<double>(only_local_.size());
+  }
+
+  // ---- §6 quadrants -------------------------------------------------------
+  const std::uint64_t blocked = q_ins_ + q_rel_ + q_abs_ + q_sig_;
+  if (blocked) {
+    const auto div = static_cast<double>(blocked);
+    out.quadrants.insignificant_both = static_cast<double>(q_ins_) / div;
+    out.quadrants.relative_only = static_cast<double>(q_rel_) / div;
+    out.quadrants.absolute_only = static_cast<double>(q_abs_) / div;
+    out.quadrants.significant_both = static_cast<double>(q_sig_) / div;
+  }
+  if (conns_total_) {
+    out.quadrants.significant_overall =
+        static_cast<double>(q_sig_) / static_cast<double>(conns_total_);
+  }
+
+  // ---- §7 platform rows (directory order, then "other") -------------------
+  auto emit_platform = [&](const std::string& platform) {
+    const auto it = platform_conns_.find(platform);
+    if (it == platform_conns_.end()) return;
+    OnlinePlatformRow row;
+    row.platform = platform;
+    row.total_conns = it->second.total;
+    row.conncheck_conns = it->second.conncheck;
+    for (const auto& [resolver, scr] : resolver_scr) {
+      if (cfg_.directory.label(resolver) == platform) {
+        row.sc += scr.first;
+        row.r += scr.second;
+      }
+    }
+    out.platforms.push_back(std::move(row));
+  };
+  for (const auto& platform : cfg_.directory.platforms()) emit_platform(platform);
+  emit_platform("other");
+
+  return out;
+}
+
+void OnlineStudy::absorb(OnlineStudy&& other) {
+  // Seqs are engine-local; shift the other engine's so per-house
+  // (response, seq) candidate order is preserved without collisions.
+  const std::uint64_t seq_offset = next_seq_;
+  for (auto& [house_ip, other_house] : other.houses_) {
+    if (houses_.contains(house_ip)) {
+      throw std::logic_error{
+          "OnlineStudy::absorb: house present in both engines (partitions must be "
+          "house-disjoint)"};
+    }
+    House& house = houses_[house_ip];
+    for (auto& [addr, cands] : other_house.index) {
+      for (Candidate& c : cands) c.seq += seq_offset;
+      house.index.emplace(addr, std::move(cands));
+    }
+    for (auto& [seq, ru] : other_house.records) {
+      house.records.emplace(seq + seq_offset, std::move(ru));
+    }
+  }
+  next_seq_ += other.next_seq_;
+
+  last_conn_ = std::max(last_conn_, other.last_conn_);
+  last_dns_ = std::max(last_dns_, other.last_dns_);
+  watermark_ = std::max(watermark_, other.watermark_);
+  any_conn_ = any_conn_ || other.any_conn_;
+  any_dns_ = any_dns_ || other.any_dns_;
+  active_candidates_ += other.active_candidates_;
+  active_records_ += other.active_records_;
+
+  conns_total_ += other.conns_total_;
+  dns_total_ += other.dns_total_;
+  pairing_.paired += other.pairing_.paired;
+  pairing_.unpaired += other.pairing_.unpaired;
+  pairing_.paired_expired += other.pairing_.paired_expired;
+  pairing_.unique_candidate += other.pairing_.unique_candidate;
+  pairing_.multiple_candidates += other.pairing_.multiple_candidates;
+  eligible_lookups_ += other.eligible_lookups_;
+  used_lookups_ += other.used_lookups_;
+
+  n_ += other.n_;
+  lc_ += other.lc_;
+  p_ += other.p_;
+  lc_expired_ += other.lc_expired_;
+  p_expired_ += other.p_expired_;
+
+  for (auto& [resolver, part] : other.resolvers_) {
+    ResolverAcc& ra = resolvers_[resolver];
+    ra.answered += part.answered;
+    ra.min_us = std::min(ra.min_us, part.min_us);
+    for (const auto& [us, count] : part.low) ra.low[us] += count;
+    ra.low.erase(ra.low.upper_bound(ra.min_us + kModeWindowUs), ra.low.end());
+    for (const auto& [bin_ms, count] : part.blocked_ceil) ra.blocked_ceil[bin_ms] += count;
+    ra.blocked_total += part.blocked_total;
+    ra.blocked_le_default += part.blocked_le_default;
+  }
+
+  q_ins_ += other.q_ins_;
+  q_rel_ += other.q_rel_;
+  q_abs_ += other.q_abs_;
+  q_sig_ += other.q_sig_;
+
+  for (auto& [platform, part] : other.tallies_) {
+    PlatTally& tally = tallies_[platform];
+    tally.lookups += part.lookups;
+    tally.conns += part.conns;
+    tally.bytes += part.bytes;
+    if (tally.houses.empty()) {
+      tally.houses = std::move(part.houses);
+    } else {
+      tally.houses.insert(part.houses.begin(), part.houses.end());
+    }
+  }
+  all_houses_.insert(other.all_houses_.begin(), other.all_houses_.end());
+  total_lookups_ += other.total_lookups_;
+  paired_conns_ += other.paired_conns_;
+  paired_bytes_ += other.paired_bytes_;
+  for (const auto& [house, local] : other.only_local_) {
+    const auto [it, inserted] = only_local_.try_emplace(house, local);
+    if (!inserted) it->second = it->second && local;
+  }
+
+  for (const auto& [platform, part] : other.platform_conns_) {
+    PlatConns& pc = platform_conns_[platform];
+    pc.total += part.total;
+    pc.conncheck += part.conncheck;
+  }
+}
+
+}  // namespace dnsctx::stream

@@ -1,0 +1,262 @@
+// dnsctx — bounded-memory online study engine.
+//
+// OnlineStudy is a RecordSink that ingests a single time-sorted stream of
+// conn/dns records (from replay_spool, replay_dataset, or a LiveFeed) and
+// incrementally computes the paper's headline results: DN-Hunter pairing
+// statistics (§4), the N/LC/P/SC/R taxonomy (Table 2, §5), Table 1's
+// platform usage shares, the §6 significance quadrants, and the §7
+// per-platform counters — all with memory proportional to the ACTIVE
+// window (live DNS candidates, distinct house/resolver/platform keys),
+// not the stream length.
+//
+// Determinism contract: for a stream delivered in the canonical order
+// (nondecreasing key time, DNS before conn at ties, harvest order within
+// ties) `finalize()` is bit-identical to the batch pipeline
+// (analysis::run_study) on the same records — every double is produced by
+// the same arithmetic on the same operands in the same order. The
+// batch distribution outputs that inherently require retaining every
+// sample (Fig 1/2/3 CDFs, knee detection) are the one deliberate
+// omission; every count, share, threshold, and fraction streams.
+//
+// Three mechanisms make bounded memory compatible with bit-exactness:
+//
+//  * Shadow eviction. Within one (house, address) candidate list sorted
+//    by response time, any candidate that is both expired at the
+//    watermark AND followed by a later candidate whose response precedes
+//    the watermark can never again be chosen: future connections start
+//    at/after the watermark, so the earlier candidate is dead for the
+//    live scan and shadowed for the most-recent-expired fallback. The
+//    newest candidate of a list is never evicted — the fallback may
+//    always reach it.
+//
+//  * Deferred SC/R split. §5.3's per-resolver thresholds depend on the
+//    full run, so blocked connections bank their lookup duration into a
+//    per-resolver ceil-millisecond bin map; `finalize()` re-derives the
+//    thresholds (replicating derive_resolver_thresholds exactly from a
+//    pruned low-end duration multiset) and splits SC/R from the bins.
+//    ceil(us/1000) <= T is provably equivalent to the batch double
+//    compare us/1000.0 <= T for the integral thresholds §5.3 produces.
+//
+//  * Commutative cross-house state. Everything not under a single house
+//    key (resolver accumulators, platform tallies, quadrant counters) is
+//    a sum/min/union, so cross-house interleaving — and hence shard
+//    count — cannot affect results.
+//
+// `absorb()` merges engines that ingested house-disjoint partitions,
+// enabling sharded streaming with the same guarantees.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/tables.hpp"
+#include "capture/records.hpp"
+
+namespace dnsctx::stream {
+
+struct OnlineStudyConfig {
+  analysis::ClassifyConfig classify;
+  double abs_significance_ms = 20.0;  ///< §6 absolute criterion
+  double rel_significance_pct = 1.0;  ///< §6 relative criterion
+  analysis::PlatformDirectory directory = analysis::PlatformDirectory::standard();
+  std::string conncheck_name = "connectivitycheck.gstatic.com";
+  /// Approximate GC: candidates whose response is older than
+  /// watermark − horizon are dropped even when the exact shadow rule
+  /// would keep them (their connections then pair as the batch would
+  /// have WITHOUT those lookups). SimDuration::max() — the default —
+  /// disables it; the exact engine is already O(active window).
+  SimDuration eviction_horizon = SimDuration::max();
+  /// Ingests between eviction sweeps (amortizes the state walk).
+  std::uint64_t sweep_interval = 8192;
+};
+
+struct OnlinePairingStats {
+  std::uint64_t paired = 0;
+  std::uint64_t unpaired = 0;
+  std::uint64_t paired_expired = 0;
+  std::uint64_t unique_candidate = 0;
+  std::uint64_t multiple_candidates = 0;
+
+  [[nodiscard]] double unique_candidate_frac() const {
+    const auto total = unique_candidate + multiple_candidates;
+    return total ? static_cast<double>(unique_candidate) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// §6 quadrant fractions over SC ∪ R connections.
+struct OnlineQuadrants {
+  double insignificant_both = 0.0;
+  double relative_only = 0.0;
+  double absolute_only = 0.0;
+  double significant_both = 0.0;
+  double significant_overall = 0.0;  ///< q_sig over ALL connections
+};
+
+/// §7 per-platform counters (the streaming subset of PlatformPerf).
+struct OnlinePlatformRow {
+  std::string platform;
+  std::uint64_t sc = 0;
+  std::uint64_t r = 0;
+  std::uint64_t conncheck_conns = 0;
+  std::uint64_t total_conns = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const auto blocked = sc + r;
+    return blocked ? static_cast<double>(sc) / static_cast<double>(blocked) : 0.0;
+  }
+  [[nodiscard]] double conncheck_frac() const {
+    return total_conns
+               ? static_cast<double>(conncheck_conns) / static_cast<double>(total_conns)
+               : 0.0;
+  }
+};
+
+struct OnlineStudyResult {
+  std::uint64_t conns = 0;
+  std::uint64_t dns = 0;
+
+  OnlinePairingStats pairing;
+  double unused_lookup_frac = 0.0;
+
+  analysis::ClassCounts classes;
+  std::uint64_t lc_expired = 0;
+  std::uint64_t p_expired = 0;
+  std::unordered_map<Ipv4Addr, double, Ipv4Hash> resolver_threshold_ms;
+
+  std::vector<analysis::Table1Row> table1;
+  double isp_only_houses = 0.0;
+
+  OnlineQuadrants quadrants;
+  std::vector<OnlinePlatformRow> platforms;
+};
+
+class OnlineStudy : public capture::RecordSink {
+ public:
+  explicit OnlineStudy(OnlineStudyConfig cfg = {});
+
+  /// Ingest. Records must arrive with nondecreasing key time per kind
+  /// (conn keyed by `start`, dns by `ts`); regressions throw.
+  void on_conn(const capture::ConnRecord& rec) override;
+  void on_dns(const capture::DnsRecord& rec) override;
+
+  /// Compute every derived result from the accumulators. Non-destructive
+  /// — ingestion may continue and finalize() may be called again.
+  [[nodiscard]] OnlineStudyResult finalize() const;
+
+  /// Merge another engine that ingested a HOUSE-DISJOINT partition of
+  /// the stream (same config). Throws if a house appears in both.
+  void absorb(OnlineStudy&& other);
+
+  // ---- memory introspection (the bounded-memory story, measurable) ----
+  [[nodiscard]] std::uint64_t active_candidates() const { return active_candidates_; }
+  [[nodiscard]] std::uint64_t active_records() const { return active_records_; }
+  [[nodiscard]] std::size_t tracked_houses() const { return houses_.size(); }
+  [[nodiscard]] SimTime watermark() const { return watermark_; }
+  /// Run an eviction sweep now (also runs automatically every
+  /// `sweep_interval` ingests).
+  void sweep();
+
+ private:
+  /// One DNS answer's candidacy for an address, ordered by
+  /// (response, seq) — exactly the batch index order after its
+  /// (response, dns_idx) sort.
+  struct Candidate {
+    SimTime response;
+    SimTime expires;
+    std::uint64_t seq;
+  };
+
+  /// Everything pairing/classification later needs from a DNS record,
+  /// kept while any candidate still references it.
+  struct RecordUse {
+    std::uint32_t refs = 0;  ///< live candidates pointing here
+    std::uint32_t uses = 0;  ///< connections paired to it so far
+    SimDuration duration;
+    Ipv4Addr resolver_ip;
+    bool conncheck = false;
+  };
+
+  struct House {
+    std::unordered_map<Ipv4Addr, std::vector<Candidate>, Ipv4Hash> index;
+    std::unordered_map<std::uint64_t, RecordUse> records;
+  };
+
+  /// §5.3 threshold derivation + deferred SC/R split state, per resolver.
+  struct ResolverAcc {
+    std::uint64_t answered = 0;
+    std::int64_t min_us = std::numeric_limits<std::int64_t>::max();
+    /// Answered-lookup durations (µs → count) within the 40 ms mode
+    /// window above the minimum; pruned as the minimum decreases.
+    std::map<std::int64_t, std::uint64_t> low;
+    /// Blocked-connection lookup durations as ceil-milliseconds bins.
+    std::map<std::int64_t, std::uint64_t> blocked_ceil;
+    std::uint64_t blocked_total = 0;
+    std::uint64_t blocked_le_default = 0;
+  };
+
+  struct PlatTally {
+    std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+    std::uint64_t lookups = 0;
+    std::uint64_t conns = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct PlatConns {
+    std::uint64_t total = 0;
+    std::uint64_t conncheck = 0;
+  };
+
+  void note_time(SimTime& last, SimTime t, const char* kind);
+  void maybe_sweep();
+  void drop_candidate(House& house, const Candidate& cand);
+
+  OnlineStudyConfig cfg_;
+
+  // Pairing state.
+  std::unordered_map<Ipv4Addr, House, Ipv4Hash> houses_;
+  std::uint64_t next_seq_ = 0;
+
+  // Ordering / eviction bookkeeping.
+  SimTime last_conn_;
+  SimTime last_dns_;
+  SimTime watermark_;
+  bool any_conn_ = false;
+  bool any_dns_ = false;
+  std::uint64_t ingests_since_sweep_ = 0;
+  std::uint64_t active_candidates_ = 0;
+  std::uint64_t active_records_ = 0;
+
+  // Stream-wide counters.
+  std::uint64_t conns_total_ = 0;
+  std::uint64_t dns_total_ = 0;
+  OnlinePairingStats pairing_;
+  std::uint64_t eligible_lookups_ = 0;
+  std::uint64_t used_lookups_ = 0;
+
+  // Taxonomy (SC/R deferred to finalize).
+  std::uint64_t n_ = 0, lc_ = 0, p_ = 0;
+  std::uint64_t lc_expired_ = 0, p_expired_ = 0;
+  std::unordered_map<Ipv4Addr, ResolverAcc, Ipv4Hash> resolvers_;
+
+  // §6 quadrants.
+  std::uint64_t q_ins_ = 0, q_rel_ = 0, q_abs_ = 0, q_sig_ = 0;
+
+  // Table 1 + isp-only.
+  std::unordered_map<std::string, PlatTally> tallies_;
+  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses_;
+  std::uint64_t total_lookups_ = 0;
+  std::uint64_t paired_conns_ = 0;
+  std::uint64_t paired_bytes_ = 0;
+  std::unordered_map<Ipv4Addr, bool, Ipv4Hash> only_local_;
+
+  // §7.
+  std::unordered_map<std::string, PlatConns> platform_conns_;
+};
+
+}  // namespace dnsctx::stream

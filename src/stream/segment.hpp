@@ -1,0 +1,93 @@
+// dnsctx — segmented binary record format for streaming ingestion.
+//
+// A segment is a self-describing blob holding a run of ConnRecord or
+// DnsRecord entries in nondecreasing timestamp order:
+//
+//   header (40 bytes, little-endian)
+//     u32  magic          "DCSG"
+//     u16  version        kSegmentVersion
+//     u8   kind           0 = conn, 1 = dns
+//     u8   reserved       0
+//     u32  record_count
+//     i64  first_ts_us    timestamp of the first record (0 when empty)
+//     i64  last_ts_us     timestamp of the last record (0 when empty)
+//     u64  payload_bytes
+//     u32  payload_crc32  IEEE CRC-32 over the payload bytes
+//   payload
+//     record_count × (u32 body_len | body)
+//
+// Every record body is length-prefixed so future versions can append
+// fields without breaking older readers, and every multi-byte integer is
+// little-endian regardless of host order. See docs/FORMAT.md for the
+// field-by-field body layouts.
+//
+// Parsers throw std::runtime_error whose message names the `source`
+// (segment file path) on any structural defect: bad magic/version,
+// truncation, CRC mismatch, or record bodies overrunning the payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/records.hpp"
+
+namespace dnsctx::stream {
+
+enum class RecordKind : std::uint8_t { kConn = 0, kDns = 1 };
+
+[[nodiscard]] std::string to_string(RecordKind k);
+
+inline constexpr std::uint32_t kSegmentMagic = 0x47534344u;  // "DCSG" in LE bytes
+inline constexpr std::uint16_t kSegmentVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 40;
+
+struct SegmentHeader {
+  RecordKind kind = RecordKind::kConn;
+  std::uint16_t version = kSegmentVersion;
+  std::uint32_t record_count = 0;
+  SimTime first_ts;
+  SimTime last_ts;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc32 = 0;
+};
+
+/// IEEE 802.3 CRC-32 (poly 0xEDB88320), the same polynomial zlib uses.
+/// `seed` lets callers chain partial buffers: crc32(b, crc32(a)) ==
+/// crc32(a+b).
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+/// Append one length-prefixed record body to a segment payload buffer.
+void append_record(std::string& payload, const capture::ConnRecord& rec);
+void append_record(std::string& payload, const capture::DnsRecord& rec);
+
+/// Assemble a complete segment blob (header + payload). `first`/`last`
+/// are the payload's timestamp range; ignored (written as 0) when
+/// `record_count` is 0.
+[[nodiscard]] std::string build_segment(RecordKind kind, std::uint32_t record_count,
+                                        SimTime first, SimTime last,
+                                        std::string_view payload);
+
+/// A fully parsed segment. Exactly one of `conns`/`dns` is populated,
+/// per `header.kind`.
+struct SegmentData {
+  SegmentHeader header;
+  std::vector<capture::ConnRecord> conns;
+  std::vector<capture::DnsRecord> dns;
+};
+
+/// Parse and validate a segment blob. `source` names the origin (file
+/// path) in every diagnostic.
+[[nodiscard]] SegmentData parse_segment(std::string_view bytes, const std::string& source);
+
+/// Parse only the 40-byte header (CRC is NOT checked). Used by spool
+/// scans that need time ranges without decoding payloads.
+[[nodiscard]] SegmentHeader parse_segment_header(std::string_view bytes,
+                                                 const std::string& source);
+
+/// File conveniences.
+void write_segment_file(const std::string& path, std::string_view blob);
+[[nodiscard]] SegmentData read_segment_file(const std::string& path);
+
+}  // namespace dnsctx::stream

@@ -1,0 +1,261 @@
+#include "stream/spool.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "capture/logio.hpp"
+#include "util/strings.hpp"
+
+namespace dnsctx::stream {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] std::string segment_name(RecordKind kind, std::uint32_t seq) {
+  return strfmt("%s-%08u.seg", to_string(kind).c_str(), seq);
+}
+
+[[nodiscard]] SimTime floor_time() {
+  return SimTime::from_us(std::numeric_limits<std::int64_t>::min());
+}
+
+/// Streams one kind's segment sequence record by record, validating CRCs
+/// (via parse_segment) and cross-segment timestamp order. Holds at most
+/// one decoded segment in memory.
+class SegmentStream {
+ public:
+  SegmentStream(const std::vector<std::string>* paths, RecordKind kind)
+      : paths_{paths}, kind_{kind} {
+    advance_segment();
+  }
+
+  [[nodiscard]] bool done() const { return exhausted_; }
+  [[nodiscard]] SimTime head_time() const { return head_time_; }
+
+  /// Deliver the head record to `sink` and advance.
+  void pop(capture::RecordSink& sink) {
+    if (kind_ == RecordKind::kConn) {
+      sink.on_conn(seg_.conns[idx_]);
+    } else {
+      sink.on_dns(seg_.dns[idx_]);
+    }
+    ++idx_;
+    if (idx_ >= count()) advance_segment();
+    refresh_head();
+  }
+
+ private:
+  [[nodiscard]] std::size_t count() const {
+    return kind_ == RecordKind::kConn ? seg_.conns.size() : seg_.dns.size();
+  }
+
+  void advance_segment() {
+    idx_ = 0;
+    while (next_path_ < paths_->size()) {
+      const std::string& path = (*paths_)[next_path_++];
+      seg_ = read_segment_file(path);
+      if (seg_.header.kind != kind_) {
+        throw std::runtime_error{strfmt("%s: segment kind is %s, expected %s", path.c_str(),
+                                        to_string(seg_.header.kind).c_str(),
+                                        to_string(kind_).c_str())};
+      }
+      if (seg_.header.record_count == 0) continue;  // tolerate empty segments
+      if (seg_.header.first_ts < prev_) {
+        throw std::runtime_error{
+            strfmt("%s: segment starts at %lld us, before preceding segment end %lld us",
+                   path.c_str(), static_cast<long long>(seg_.header.first_ts.count_us()),
+                   static_cast<long long>(prev_.count_us()))};
+      }
+      prev_ = seg_.header.last_ts;
+      refresh_head();
+      return;
+    }
+    exhausted_ = true;
+  }
+
+  void refresh_head() {
+    if (exhausted_ || idx_ >= count()) return;
+    head_time_ =
+        kind_ == RecordKind::kConn ? seg_.conns[idx_].start : seg_.dns[idx_].ts;
+  }
+
+  const std::vector<std::string>* paths_;
+  RecordKind kind_;
+  std::size_t next_path_ = 0;
+  SegmentData seg_;
+  std::size_t idx_ = 0;
+  SimTime head_time_;
+  SimTime prev_ = floor_time();
+  bool exhausted_ = false;
+};
+
+/// Merge two time-sorted sequences into one nondecreasing delivery
+/// order. Ties go to DNS first: an answer landing at the same microsecond
+/// a connection starts must already be visible to the pairing engine.
+template <typename DnsDone, typename DnsHead, typename DnsPop, typename ConnDone,
+          typename ConnHead, typename ConnPop>
+ReplayCounts merge_deliver(DnsDone dns_done, DnsHead dns_head, DnsPop dns_pop,
+                           ConnDone conn_done, ConnHead conn_head, ConnPop conn_pop) {
+  ReplayCounts counts;
+  while (!dns_done() || !conn_done()) {
+    const bool take_dns =
+        !dns_done() && (conn_done() || dns_head() <= conn_head());
+    if (take_dns) {
+      dns_pop();
+      ++counts.dns;
+    } else {
+      conn_pop();
+      ++counts.conns;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+// ---- SpoolWriter -----------------------------------------------------------
+
+SpoolWriter::SpoolWriter(std::string dir, SpoolConfig cfg)
+    : dir_{std::move(dir)}, cfg_{cfg} {
+  if (cfg_.max_records_per_segment == 0) {
+    throw std::invalid_argument{"SpoolConfig::max_records_per_segment must be > 0"};
+  }
+  fs::create_directories(dir_);
+}
+
+SpoolWriter::~SpoolWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; callers needing the error call flush().
+  }
+}
+
+template <typename Rec>
+void SpoolWriter::add(OpenSegment& seg, RecordKind kind, const Rec& rec, SimTime ts) {
+  if (seg.any && ts < seg.last) {
+    throw std::runtime_error{
+        strfmt("spool %s: %s record at %lld us arrived after %lld us; spool input must be "
+               "time-sorted",
+               dir_.c_str(), to_string(kind).c_str(), static_cast<long long>(ts.count_us()),
+               static_cast<long long>(seg.last.count_us()))};
+  }
+  const bool rotate_now =
+      seg.count > 0 && (seg.count >= cfg_.max_records_per_segment ||
+                        ts - seg.first >= cfg_.max_segment_span);
+  if (rotate_now) rotate(seg, kind);
+  if (seg.count == 0) seg.first = ts;
+  append_record(seg.payload, rec);
+  ++seg.count;
+  seg.last = ts;
+  seg.any = true;
+  ++seg.records_total;
+}
+
+void SpoolWriter::rotate(OpenSegment& seg, RecordKind kind) {
+  if (seg.count == 0) return;
+  const std::string blob =
+      build_segment(kind, seg.count, seg.first, seg.last, seg.payload);
+  write_segment_file((fs::path{dir_} / segment_name(kind, seg.next_seq)).string(), blob);
+  ++seg.next_seq;
+  ++segments_written_;
+  seg.payload.clear();
+  seg.count = 0;
+}
+
+void SpoolWriter::on_conn(const capture::ConnRecord& rec) {
+  add(conn_, RecordKind::kConn, rec, rec.start);
+}
+
+void SpoolWriter::on_dns(const capture::DnsRecord& rec) {
+  add(dns_, RecordKind::kDns, rec, rec.ts);
+}
+
+void SpoolWriter::flush() {
+  rotate(conn_, RecordKind::kConn);
+  rotate(dns_, RecordKind::kDns);
+}
+
+// ---- reading ---------------------------------------------------------------
+
+SpoolListing list_spool(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error{"spool directory not found: " + dir};
+  }
+  SpoolListing out;
+  for (const auto& entry : fs::directory_iterator{dir}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".seg")) continue;
+    if (name.starts_with("conn-")) {
+      out.conn_segments.push_back(entry.path().string());
+    } else if (name.starts_with("dns-")) {
+      out.dns_segments.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.conn_segments.begin(), out.conn_segments.end());
+  std::sort(out.dns_segments.begin(), out.dns_segments.end());
+  return out;
+}
+
+ReplayCounts replay_spool(const SpoolListing& listing, capture::RecordSink& sink) {
+  SegmentStream dns{&listing.dns_segments, RecordKind::kDns};
+  SegmentStream conn{&listing.conn_segments, RecordKind::kConn};
+  return merge_deliver([&] { return dns.done(); }, [&] { return dns.head_time(); },
+                       [&] { dns.pop(sink); }, [&] { return conn.done(); },
+                       [&] { return conn.head_time(); }, [&] { conn.pop(sink); });
+}
+
+ReplayCounts replay_spool(const std::string& dir, capture::RecordSink& sink) {
+  return replay_spool(list_spool(dir), sink);
+}
+
+ReplayCounts replay_dataset(const capture::Dataset& ds, capture::RecordSink& sink) {
+  std::size_t di = 0;
+  std::size_t ci = 0;
+  return merge_deliver(
+      [&] { return di >= ds.dns.size(); }, [&] { return ds.dns[di].ts; },
+      [&] { sink.on_dns(ds.dns[di++]); }, [&] { return ci >= ds.conns.size(); },
+      [&] { return ds.conns[ci].start; }, [&] { sink.on_conn(ds.conns[ci++]); });
+}
+
+// ---- text converters -------------------------------------------------------
+
+ReplayCounts text_to_spool(const std::string& text_dir, const std::string& spool_dir,
+                           SpoolConfig cfg) {
+  const auto conn_path = (fs::path{text_dir} / "conn.log").string();
+  const auto dns_path = (fs::path{text_dir} / "dns.log").string();
+  const capture::Dataset ds = capture::load_dataset(conn_path, dns_path);
+  SpoolWriter writer{spool_dir, cfg};
+  const ReplayCounts counts = replay_dataset(ds, writer);
+  writer.flush();
+  return counts;
+}
+
+namespace {
+
+/// RecordSink that accumulates back into a Dataset (records arrive merged
+/// and time-sorted, so each vector ends up sorted too).
+class DatasetSink : public capture::RecordSink {
+ public:
+  void on_conn(const capture::ConnRecord& rec) override { ds.conns.push_back(rec); }
+  void on_dns(const capture::DnsRecord& rec) override { ds.dns.push_back(rec); }
+  capture::Dataset ds;
+};
+
+}  // namespace
+
+ReplayCounts spool_to_text(const std::string& spool_dir, const std::string& text_dir) {
+  DatasetSink sink;
+  const ReplayCounts counts = replay_spool(spool_dir, sink);
+  fs::create_directories(text_dir);
+  capture::save_dataset(sink.ds, (fs::path{text_dir} / "conn.log").string(),
+                        (fs::path{text_dir} / "dns.log").string());
+  return counts;
+}
+
+}  // namespace dnsctx::stream

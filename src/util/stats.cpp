@@ -76,11 +76,11 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo} {
   counts_.assign(bins, 0);
 }
 
-void Histogram::add(double x) {
+void Histogram::add(double x, std::uint64_t weight) {
   auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
-  ++total_;
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
 }
 
 double Histogram::bin_low(std::size_t bin) const {

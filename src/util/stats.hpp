@@ -81,7 +81,10 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
-  void add(double x);
+  void add(double x) { add(x, 1); }
+  /// Weighted add: `weight` samples of value `x` (streaming accumulators
+  /// replay pre-binned multisets through the same clamping arithmetic).
+  void add(double x, std::uint64_t weight);
 
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t count_in(std::size_t bin) const { return counts_.at(bin); }

@@ -1,0 +1,228 @@
+// dnsctx — online study engine equivalence tests.
+//
+// The determinism contract (online_study.hpp) promises bit-identical
+// results to the batch pipeline for streams in canonical order. These
+// tests enforce it with EXPECT_EQ on doubles — not near-equality — over
+// full simulated neighborhoods across seeds, shard counts, aggressive
+// eviction sweeps, live (Monitor → LiveFeed) delivery, and absorb()
+// merges of house-disjoint partitions.
+#include <gtest/gtest.h>
+
+#include "analysis/study.hpp"
+#include "scenario/scenario.hpp"
+#include "stream/feed.hpp"
+#include "stream/online_study.hpp"
+#include "stream/spool.hpp"
+
+namespace dnsctx::stream {
+namespace {
+
+capture::Dataset simulate(std::size_t houses, int hours, std::uint64_t seed,
+                          std::size_t shards = 1) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = houses;
+  cfg.duration = SimDuration::hours(hours);
+  cfg.seed = seed;
+  cfg.shards = shards;
+  scenario::Town town{cfg};
+  town.run();
+  return town.dataset();
+}
+
+void expect_equivalent(const OnlineStudyResult& s, const analysis::Study& b,
+                       const capture::Dataset& ds) {
+  EXPECT_EQ(s.conns, ds.conns.size());
+  EXPECT_EQ(s.dns, ds.dns.size());
+
+  EXPECT_EQ(s.pairing.paired, b.pairing.paired);
+  EXPECT_EQ(s.pairing.unpaired, b.pairing.unpaired);
+  EXPECT_EQ(s.pairing.paired_expired, b.pairing.paired_expired);
+  EXPECT_EQ(s.pairing.unique_candidate, b.pairing.unique_candidate);
+  EXPECT_EQ(s.pairing.multiple_candidates, b.pairing.multiple_candidates);
+  EXPECT_EQ(s.unused_lookup_frac, b.pairing.unused_lookup_frac(ds));
+
+  EXPECT_EQ(s.classes.n, b.classified.counts.n);
+  EXPECT_EQ(s.classes.lc, b.classified.counts.lc);
+  EXPECT_EQ(s.classes.p, b.classified.counts.p);
+  EXPECT_EQ(s.classes.sc, b.classified.counts.sc);
+  EXPECT_EQ(s.classes.r, b.classified.counts.r);
+  EXPECT_EQ(s.lc_expired, b.classified.lc_expired);
+  EXPECT_EQ(s.p_expired, b.classified.p_expired);
+
+  ASSERT_EQ(s.resolver_threshold_ms.size(), b.classified.resolver_threshold_ms.size());
+  for (const auto& [ip, threshold] : b.classified.resolver_threshold_ms) {
+    const auto it = s.resolver_threshold_ms.find(ip);
+    ASSERT_NE(it, s.resolver_threshold_ms.end()) << ip.to_string();
+    EXPECT_EQ(it->second, threshold) << ip.to_string();
+  }
+
+  ASSERT_EQ(s.table1.size(), b.table1.size());
+  for (std::size_t i = 0; i < b.table1.size(); ++i) {
+    EXPECT_EQ(s.table1[i].platform, b.table1[i].platform);
+    EXPECT_EQ(s.table1[i].pct_houses, b.table1[i].pct_houses);
+    EXPECT_EQ(s.table1[i].pct_lookups, b.table1[i].pct_lookups);
+    EXPECT_EQ(s.table1[i].pct_conns, b.table1[i].pct_conns);
+    EXPECT_EQ(s.table1[i].pct_bytes, b.table1[i].pct_bytes);
+    EXPECT_EQ(s.table1[i].lookups, b.table1[i].lookups);
+  }
+  EXPECT_EQ(s.isp_only_houses, b.isp_only_houses);
+
+  EXPECT_EQ(s.quadrants.insignificant_both, b.performance.insignificant_both);
+  EXPECT_EQ(s.quadrants.relative_only, b.performance.relative_only);
+  EXPECT_EQ(s.quadrants.absolute_only, b.performance.absolute_only);
+  EXPECT_EQ(s.quadrants.significant_both, b.performance.significant_both);
+  EXPECT_EQ(s.quadrants.significant_overall, b.performance.significant_overall);
+
+  ASSERT_EQ(s.platforms.size(), b.platforms.size());
+  for (std::size_t i = 0; i < b.platforms.size(); ++i) {
+    EXPECT_EQ(s.platforms[i].platform, b.platforms[i].platform);
+    EXPECT_EQ(s.platforms[i].sc, b.platforms[i].sc);
+    EXPECT_EQ(s.platforms[i].r, b.platforms[i].r);
+    EXPECT_EQ(s.platforms[i].conncheck_conns, b.platforms[i].conncheck_conns);
+    EXPECT_EQ(s.platforms[i].total_conns, b.platforms[i].total_conns);
+  }
+}
+
+TEST(OnlineStudy, MatchesBatchAcrossSeedsAndShards) {
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(testing::Message() << "seed " << seed << ", shards " << shards);
+      const auto ds = simulate(10, 2, seed, shards);
+      const auto batch = analysis::run_study(ds);
+      OnlineStudy engine;
+      replay_dataset(ds, engine);
+      expect_equivalent(engine.finalize(), batch, ds);
+    }
+  }
+}
+
+TEST(OnlineStudy, MatchesBatchWithDerivedResolverThresholds) {
+  // Low per_resolver_min_lookups forces §5.3 threshold DERIVATION (mode
+  // of the 40 ms low window) instead of the 5 ms default, exercising the
+  // deferred SC/R split against derive_resolver_thresholds proper.
+  const auto ds = simulate(10, 2, 1);
+  analysis::StudyConfig batch_cfg;
+  batch_cfg.classify.per_resolver_min_lookups = 50;
+  const auto batch = analysis::run_study(ds, batch_cfg);
+
+  OnlineStudyConfig cfg;
+  cfg.classify.per_resolver_min_lookups = 50;
+  OnlineStudy engine{cfg};
+  replay_dataset(ds, engine);
+  expect_equivalent(engine.finalize(), batch, ds);
+}
+
+TEST(OnlineStudy, MatchesBatchUnderAggressiveEviction) {
+  // Sweeping after every ingest maximizes shadow-eviction opportunities;
+  // results must not move, and the active window must shrink below the
+  // stream totals (the bounded-memory claim, observable).
+  const auto ds = simulate(10, 2, 7);
+  const auto batch = analysis::run_study(ds);
+  OnlineStudyConfig cfg;
+  cfg.sweep_interval = 1;
+  OnlineStudy engine{cfg};
+  replay_dataset(ds, engine);
+  expect_equivalent(engine.finalize(), batch, ds);
+  EXPECT_LT(engine.active_records(), ds.dns.size());
+}
+
+TEST(OnlineStudy, LiveMonitorFeedMatchesBatch) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = 8;
+  cfg.duration = SimDuration::hours(2);
+  cfg.seed = 3;
+  cfg.shards = 2;
+
+  scenario::Town batch_town{cfg};
+  batch_town.run();
+  const auto& ds = batch_town.dataset();
+  const auto batch = analysis::run_study(ds);
+
+  OnlineStudy engine;
+  LiveFeed feed{engine};
+  scenario::Town live_town{cfg};
+  live_town.attach_record_sink(&feed);
+  const SimDuration chunk = SimDuration::min(7);
+  for (SimDuration done; done < cfg.duration; done += chunk) {
+    live_town.run_for(std::min(chunk, cfg.duration - done));
+    feed.drain(live_town.record_watermark());
+  }
+  const auto leftover = live_town.harvest();
+  EXPECT_TRUE(leftover.conns.empty());
+  EXPECT_TRUE(leftover.dns.empty());
+  feed.close();
+  expect_equivalent(engine.finalize(), batch, ds);
+  // The reorder buffer held the open window, not the whole run.
+  EXPECT_LT(feed.peak_buffered(), ds.conns.size() + ds.dns.size());
+}
+
+TEST(OnlineStudy, AbsorbMergesHouseDisjointPartitions) {
+  const auto ds = simulate(10, 2, 7);
+  const auto batch = analysis::run_study(ds);
+
+  // Partition records by house (the NAT'd external address) parity.
+  auto pick = [](Ipv4Addr house) { return house.to_u32() % 2 == 0; };
+  capture::Dataset even, odd;
+  for (const auto& c : ds.conns) {
+    (pick(c.orig_ip) ? even : odd).conns.push_back(c);
+  }
+  for (const auto& d : ds.dns) {
+    (pick(d.client_ip) ? even : odd).dns.push_back(d);
+  }
+  ASSERT_FALSE(even.conns.empty());
+  ASSERT_FALSE(odd.conns.empty());
+
+  OnlineStudy a, b;
+  replay_dataset(even, a);
+  replay_dataset(odd, b);
+  a.absorb(std::move(b));
+  expect_equivalent(a.finalize(), batch, ds);
+}
+
+TEST(OnlineStudy, AbsorbRejectsOverlappingHouses) {
+  capture::Dataset ds;
+  capture::DnsRecord d;
+  d.ts = SimTime::from_us(1000);
+  d.client_ip = Ipv4Addr{100, 64, 0, 1};
+  d.resolver_ip = Ipv4Addr{8, 8, 8, 8};
+  d.query = "example.com";
+  d.answered = true;
+  d.answers = {{Ipv4Addr{1, 2, 3, 4}, 60}};
+  ds.dns.push_back(d);
+
+  OnlineStudy a, b;
+  replay_dataset(ds, a);
+  replay_dataset(ds, b);
+  EXPECT_THROW(a.absorb(std::move(b)), std::logic_error);
+}
+
+TEST(OnlineStudy, RejectsTimestampRegressions) {
+  OnlineStudy engine;
+  capture::ConnRecord c;
+  c.start = SimTime::from_us(5000);
+  c.orig_ip = Ipv4Addr{100, 64, 0, 1};
+  c.resp_ip = Ipv4Addr{1, 2, 3, 4};
+  engine.on_conn(c);
+  c.start = SimTime::from_us(4000);
+  EXPECT_THROW(engine.on_conn(c), std::runtime_error);
+}
+
+TEST(OnlineStudy, EvictionHorizonTrimsHarder) {
+  const auto ds = simulate(8, 2, 1);
+  OnlineStudy exact;
+  replay_dataset(ds, exact);
+
+  OnlineStudyConfig cfg;
+  cfg.eviction_horizon = SimDuration::min(5);
+  cfg.sweep_interval = 64;
+  OnlineStudy trimmed{cfg};
+  replay_dataset(ds, trimmed);
+  EXPECT_LE(trimmed.active_candidates(), exact.active_candidates());
+  // Approximate mode still finalizes into a coherent result.
+  const auto result = trimmed.finalize();
+  EXPECT_EQ(result.conns, ds.conns.size());
+  EXPECT_EQ(result.classes.total(), ds.conns.size());
+}
+
+}  // namespace
+}  // namespace dnsctx::stream

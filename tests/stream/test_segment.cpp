@@ -1,0 +1,131 @@
+// dnsctx — segment codec tests: CRC, record round-trips, blob assembly.
+#include <gtest/gtest.h>
+
+#include "stream/segment.hpp"
+
+namespace dnsctx::stream {
+namespace {
+
+capture::ConnRecord sample_conn() {
+  capture::ConnRecord c;
+  c.start = SimTime::from_us(1'234'567);
+  c.duration = SimDuration::ms(250);
+  c.orig_ip = Ipv4Addr{10, 0, 0, 7};
+  c.resp_ip = Ipv4Addr{93, 184, 216, 34};
+  c.orig_port = 49152;
+  c.resp_port = 443;
+  c.proto = Proto::kTcp;
+  c.orig_bytes = 1'024;
+  c.resp_bytes = 1'048'576;
+  c.state = capture::ConnState::kSf;
+  return c;
+}
+
+capture::DnsRecord sample_dns() {
+  capture::DnsRecord d;
+  d.ts = SimTime::from_us(1'200'000);
+  d.duration = SimDuration::ms(12);
+  d.client_ip = Ipv4Addr{10, 0, 0, 7};
+  d.client_port = 53123;
+  d.resolver_ip = Ipv4Addr{8, 8, 8, 8};
+  d.query = "cdn.example.com";
+  d.qtype = dns::RrType::kA;
+  d.rcode = dns::Rcode::kNoError;
+  d.answered = true;
+  d.answers = {{Ipv4Addr{93, 184, 216, 34}, 300}, {Ipv4Addr{93, 184, 216, 35}, 60}};
+  return d;
+}
+
+TEST(Crc32, KnownVectorAndChaining) {
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  const std::string whole = "hello, segment world";
+  EXPECT_EQ(crc32(whole.substr(5), crc32(whole.substr(0, 5))), crc32(whole));
+}
+
+TEST(Segment, ConnRoundTrip) {
+  const auto orig = sample_conn();
+  std::string payload;
+  append_record(payload, orig);
+  const auto blob = build_segment(RecordKind::kConn, 1, orig.start, orig.start, payload);
+  const auto data = parse_segment(blob, "test");
+  ASSERT_EQ(data.conns.size(), 1u);
+  EXPECT_TRUE(data.dns.empty());
+  const auto& c = data.conns[0];
+  EXPECT_EQ(c.start, orig.start);
+  EXPECT_EQ(c.duration, orig.duration);
+  EXPECT_EQ(c.orig_ip, orig.orig_ip);
+  EXPECT_EQ(c.resp_ip, orig.resp_ip);
+  EXPECT_EQ(c.orig_port, orig.orig_port);
+  EXPECT_EQ(c.resp_port, orig.resp_port);
+  EXPECT_EQ(c.proto, orig.proto);
+  EXPECT_EQ(c.orig_bytes, orig.orig_bytes);
+  EXPECT_EQ(c.resp_bytes, orig.resp_bytes);
+  EXPECT_EQ(c.state, orig.state);
+}
+
+TEST(Segment, DnsRoundTrip) {
+  const auto orig = sample_dns();
+  std::string payload;
+  append_record(payload, orig);
+  const auto blob = build_segment(RecordKind::kDns, 1, orig.ts, orig.ts, payload);
+  const auto data = parse_segment(blob, "test");
+  ASSERT_EQ(data.dns.size(), 1u);
+  const auto& d = data.dns[0];
+  EXPECT_EQ(d.ts, orig.ts);
+  EXPECT_EQ(d.duration, orig.duration);
+  EXPECT_EQ(d.client_ip, orig.client_ip);
+  EXPECT_EQ(d.client_port, orig.client_port);
+  EXPECT_EQ(d.resolver_ip, orig.resolver_ip);
+  EXPECT_EQ(d.query, orig.query);
+  EXPECT_EQ(d.qtype, orig.qtype);
+  EXPECT_EQ(d.rcode, orig.rcode);
+  EXPECT_EQ(d.answered, orig.answered);
+  EXPECT_EQ(d.answers, orig.answers);
+}
+
+TEST(Segment, UnansweredDnsRoundTrip) {
+  auto orig = sample_dns();
+  orig.answered = false;
+  orig.answers.clear();
+  orig.duration = SimDuration::zero();
+  orig.rcode = dns::Rcode::kServFail;
+  std::string payload;
+  append_record(payload, orig);
+  const auto blob = build_segment(RecordKind::kDns, 1, orig.ts, orig.ts, payload);
+  const auto data = parse_segment(blob, "test");
+  ASSERT_EQ(data.dns.size(), 1u);
+  EXPECT_FALSE(data.dns[0].answered);
+  EXPECT_TRUE(data.dns[0].answers.empty());
+  EXPECT_EQ(data.dns[0].rcode, dns::Rcode::kServFail);
+}
+
+TEST(Segment, HeaderFieldsSurvive) {
+  const auto a = sample_conn();
+  auto b = sample_conn();
+  b.start = a.start + SimDuration::sec(3);
+  std::string payload;
+  append_record(payload, a);
+  append_record(payload, b);
+  const auto blob = build_segment(RecordKind::kConn, 2, a.start, b.start, payload);
+  const auto header = parse_segment_header(blob, "test");
+  EXPECT_EQ(header.kind, RecordKind::kConn);
+  EXPECT_EQ(header.version, kSegmentVersion);
+  EXPECT_EQ(header.record_count, 2u);
+  EXPECT_EQ(header.first_ts, a.start);
+  EXPECT_EQ(header.last_ts, b.start);
+  EXPECT_EQ(header.payload_bytes, payload.size());
+  EXPECT_EQ(header.payload_crc32, crc32(payload));
+}
+
+TEST(Segment, EmptySegmentRoundTrip) {
+  const auto blob = build_segment(RecordKind::kDns, 0, SimTime::origin(), SimTime::origin(), "");
+  EXPECT_EQ(blob.size(), kSegmentHeaderBytes);
+  const auto data = parse_segment(blob, "test");
+  EXPECT_EQ(data.header.record_count, 0u);
+  EXPECT_TRUE(data.conns.empty());
+  EXPECT_TRUE(data.dns.empty());
+}
+
+}  // namespace
+}  // namespace dnsctx::stream

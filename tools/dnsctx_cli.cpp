@@ -18,10 +18,22 @@
 //
 //   dnsctx validate [--config FILE] [--houses N] [--hours H] [--seed S]
 //       Simulate and compare the passive inferences against ground truth.
+//
+//   dnsctx stream --spool DIR [--follow] | --import DIR --spool DIR
+//                 | --export DIR --spool DIR
+//       Streaming ingestion: run the bounded-memory online study over a
+//       binary spool (optionally following a live writer), or convert
+//       between text logs and spools.
+//
+// Every subcommand rejects options it does not understand (exit 2 with
+// usage) — a typo must not silently run a different experiment.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "analysis/export.hpp"
 #include "analysis/perhouse.hpp"
@@ -29,12 +41,38 @@
 #include "analysis/timeseries.hpp"
 #include "capture/logio.hpp"
 #include "scenario/config_io.hpp"
+#include "stream/feed.hpp"
+#include "stream/online_study.hpp"
+#include "stream/spool.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
 using namespace dnsctx;
+
+void usage();
+
+/// Strict option validation: unknown --options abort with usage.
+[[nodiscard]] bool reject_unknown(const CliArgs& args, const char* cmd,
+                                  const std::set<std::string>& known) {
+  const auto unknown = args.unknown_keys(known);
+  if (unknown.empty()) return false;
+  for (const auto& key : unknown) {
+    std::fprintf(stderr, "%s: unknown option --%s\n", cmd, key.c_str());
+  }
+  usage();
+  return true;
+}
+
+const std::set<std::string> kSimOptions = {"config", "houses",    "hours",
+                                           "seed",   "start-hour", "shards",
+                                           "threads"};
+
+[[nodiscard]] std::set<std::string> with_sim_options(std::set<std::string> extra) {
+  extra.insert(kSimOptions.begin(), kSimOptions.end());
+  return extra;
+}
 
 [[nodiscard]] scenario::ScenarioConfig config_from_args(const CliArgs& args) {
   scenario::ScenarioConfig cfg;
@@ -62,6 +100,7 @@ using namespace dnsctx;
 }
 
 int cmd_simulate(const CliArgs& args) {
+  if (reject_unknown(args, "simulate", with_sim_options({"out", "binary-logs"}))) return 2;
   const auto out_dir = args.option("out");
   if (!out_dir) {
     std::fprintf(stderr, "simulate: --out DIR is required\n");
@@ -73,6 +112,33 @@ int cmd_simulate(const CliArgs& args) {
   std::printf("simulating %zu houses for %s (seed %llu)...\n", cfg.houses,
               to_string(cfg.duration).c_str(), static_cast<unsigned long long>(cfg.seed));
   scenario::Town town{cfg};
+
+  if (args.has_flag("binary-logs")) {
+    // Stream straight to a binary spool: records leave the monitors as
+    // they finalize, get time-sorted by the LiveFeed inside the open
+    // reordering window, and land in rotating CRC'd segments. No text
+    // logs and no in-memory Dataset are ever materialized.
+    stream::SpoolWriter writer{*out_dir};
+    stream::LiveFeed feed{writer};
+    town.attach_record_sink(&feed);
+    const SimDuration chunk = SimDuration::min(5);
+    for (SimDuration done; done < cfg.duration; done += chunk) {
+      town.run_for(std::min(chunk, cfg.duration - done));
+      feed.drain(town.record_watermark());
+    }
+    (void)town.harvest();  // flush still-open flows/lookups to the feed
+    feed.close();
+    writer.flush();
+    scenario::save_config_file(*out_dir + "/scenario.conf", cfg);
+    std::printf("wrote %llu conns + %llu DNS transactions into %zu segments → %s\n",
+                static_cast<unsigned long long>(writer.conns_written()),
+                static_cast<unsigned long long>(writer.dns_written()),
+                writer.segments_written(), out_dir->c_str());
+    std::printf("peak reorder buffer: %zu records\n", feed.peak_buffered());
+    std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
+    return 0;
+  }
+
   town.run();
 
   const std::string conn_path = *out_dir + "/conn.log";
@@ -87,6 +153,9 @@ int cmd_simulate(const CliArgs& args) {
 }
 
 int cmd_analyze(const CliArgs& args) {
+  if (reject_unknown(args, "analyze", {"dir", "conn", "dns", "section", "csv", "threads"})) {
+    return 2;
+  }
   std::string conn_path, dns_path;
   if (const auto dir = args.option("dir")) {
     conn_path = *dir + "/conn.log";
@@ -139,6 +208,7 @@ int cmd_analyze(const CliArgs& args) {
 }
 
 int cmd_sweep(const CliArgs& args) {
+  if (reject_unknown(args, "sweep", with_sim_options({"key", "values"}))) return 2;
   const auto key = args.option("key");
   const auto values = args.option("values");
   if (!key || !values) {
@@ -176,6 +246,7 @@ int cmd_sweep(const CliArgs& args) {
 }
 
 int cmd_validate(const CliArgs& args) {
+  if (reject_unknown(args, "validate", with_sim_options({}))) return 2;
   const auto cfg = config_from_args(args);
   std::printf("simulating %zu houses for %s...\n", cfg.houses,
               to_string(cfg.duration).c_str());
@@ -198,16 +269,165 @@ int cmd_validate(const CliArgs& args) {
   return 0;
 }
 
+void print_online_result(const stream::OnlineStudyResult& r, const stream::OnlineStudy& engine) {
+  const auto pct = [](std::uint64_t part, std::uint64_t whole) {
+    return whole ? 100.0 * static_cast<double>(part) / static_cast<double>(whole) : 0.0;
+  };
+  std::printf("stream study over %llu conns, %llu DNS transactions\n\n",
+              static_cast<unsigned long long>(r.conns), static_cast<unsigned long long>(r.dns));
+
+  std::printf("pairing: %.1f%% of connections paired (%llu), %.1f%% via expired answers;\n",
+              pct(r.pairing.paired, r.conns),
+              static_cast<unsigned long long>(r.pairing.paired),
+              pct(r.pairing.paired_expired, r.pairing.paired));
+  std::printf("         %.1f%% had a unique candidate; %.1f%% of eligible lookups unused\n\n",
+              100.0 * r.pairing.unique_candidate_frac(), 100.0 * r.unused_lookup_frac);
+
+  std::printf("Table 1 — resolver platform usage\n");
+  std::printf("  %-12s %8s %9s %8s %8s\n", "platform", "houses%", "lookups%", "conns%",
+              "bytes%");
+  for (const auto& row : r.table1) {
+    std::printf("  %-12s %7.1f%% %8.1f%% %7.1f%% %7.1f%%\n", row.platform.c_str(),
+                row.pct_houses, row.pct_lookups, row.pct_conns, row.pct_bytes);
+  }
+  std::printf("  ISP-only houses: %.1f%%\n\n", 100.0 * r.isp_only_houses);
+
+  const auto& c = r.classes;
+  std::printf("Table 2 — connection classes\n");
+  std::printf("  N %.1f%%  LC %.1f%%  P %.1f%%  SC %.1f%%  R %.1f%%  (blocked %.1f%%)\n\n",
+              100.0 * c.share(c.n), 100.0 * c.share(c.lc), 100.0 * c.share(c.p),
+              100.0 * c.share(c.sc), 100.0 * c.share(c.r), 100.0 * c.share(c.blocked()));
+
+  std::printf("§6 significance quadrants (share of blocked connections)\n");
+  std::printf("  insignificant %.1f%%  relative-only %.1f%%  absolute-only %.1f%%  "
+              "both %.1f%%  (significant overall: %.1f%%)\n\n",
+              100.0 * r.quadrants.insignificant_both, 100.0 * r.quadrants.relative_only,
+              100.0 * r.quadrants.absolute_only, 100.0 * r.quadrants.significant_both,
+              100.0 * r.quadrants.significant_overall);
+
+  std::printf("§7 per-platform blocked lookups\n");
+  for (const auto& p : r.platforms) {
+    std::printf("  %-12s cache-hit %.1f%%  conncheck %.1f%% of %llu conns\n",
+                p.platform.c_str(), 100.0 * p.hit_rate(), 100.0 * p.conncheck_frac(),
+                static_cast<unsigned long long>(p.total_conns));
+  }
+
+  std::printf("\nactive state at finish: %llu DNS candidates, %llu records, %zu houses\n",
+              static_cast<unsigned long long>(engine.active_candidates()),
+              static_cast<unsigned long long>(engine.active_records()),
+              engine.tracked_houses());
+}
+
+int cmd_stream(const CliArgs& args) {
+  if (reject_unknown(args, "stream",
+                     {"spool", "import", "export", "follow", "idle-exit", "poll-ms"})) {
+    return 2;
+  }
+  const auto spool = args.option("spool");
+  if (!spool) {
+    std::fprintf(stderr, "stream: --spool DIR is required\n");
+    return 2;
+  }
+  if (const auto text = args.option("import")) {
+    std::filesystem::create_directories(*spool);
+    const auto counts = stream::text_to_spool(*text, *spool);
+    std::printf("imported %llu conns + %llu DNS transactions: %s → %s\n",
+                static_cast<unsigned long long>(counts.conns),
+                static_cast<unsigned long long>(counts.dns), text->c_str(), spool->c_str());
+    return 0;
+  }
+  if (const auto text = args.option("export")) {
+    std::filesystem::create_directories(*text);
+    const auto counts = stream::spool_to_text(*spool, *text);
+    std::printf("exported %llu conns + %llu DNS transactions: %s → %s\n",
+                static_cast<unsigned long long>(counts.conns),
+                static_cast<unsigned long long>(counts.dns), spool->c_str(), text->c_str());
+    return 0;
+  }
+
+  stream::OnlineStudy engine;
+  if (args.has_flag("follow")) {
+    // Tail a spool a live writer is still appending to: poll for newly
+    // finished segments, feed them through a LiveFeed, and release
+    // records strictly below the slower kind's frontier (future segments
+    // of a kind never start before that kind's newest last_ts, but they
+    // may start AT it, so the frontier itself stays buffered). Exit
+    // after --idle-exit polls with no new segments.
+    const long long poll_ms = args.int_option_or("poll-ms", 200);
+    const long long idle_exit = args.int_option_or("idle-exit", 5);
+    stream::LiveFeed feed{engine};
+    std::set<std::string> seen;
+    SimTime conn_front, dns_front;
+    bool any_conn = false, any_dns = false;
+    std::uint64_t conns = 0, dns = 0;
+    std::size_t segments = 0;
+    for (long long idle = 0; idle < idle_exit;) {
+      const auto listing = stream::list_spool(*spool);
+      bool progressed = false;
+      for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
+        for (const auto& path : *paths) {
+          if (!seen.insert(path).second) continue;
+          const auto data = stream::read_segment_file(path);
+          for (const auto& rec : data.conns) {
+            feed.on_conn(rec);
+          }
+          for (const auto& rec : data.dns) {
+            feed.on_dns(rec);
+          }
+          conns += data.conns.size();
+          dns += data.dns.size();
+          if (data.header.record_count > 0) {
+            if (data.header.kind == stream::RecordKind::kConn) {
+              conn_front = std::max(conn_front, data.header.last_ts);
+              any_conn = true;
+            } else {
+              dns_front = std::max(dns_front, data.header.last_ts);
+              any_dns = true;
+            }
+          }
+          ++segments;
+          progressed = true;
+        }
+      }
+      if (progressed) {
+        idle = 0;
+        if (any_conn && any_dns) {
+          const auto front = std::min(conn_front, dns_front);
+          if (front > SimTime::origin()) {
+            feed.drain(SimTime::from_us(front.count_us() - 1));
+          }
+        }
+      } else if (++idle < idle_exit) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{poll_ms});
+      }
+    }
+    feed.close();
+    std::printf("followed %zu segments: %llu conns + %llu DNS transactions "
+                "(peak reorder buffer %zu records)\n\n",
+                segments, static_cast<unsigned long long>(conns),
+                static_cast<unsigned long long>(dns), feed.peak_buffered());
+  } else {
+    const auto counts = stream::replay_spool(*spool, engine);
+    std::printf("replayed %llu conns + %llu DNS transactions from %s\n\n",
+                static_cast<unsigned long long>(counts.conns),
+                static_cast<unsigned long long>(counts.dns), spool->c_str());
+  }
+  print_online_result(engine.finalize(), engine);
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: dnsctx <simulate|analyze|sweep|validate> [options]\n"
+               "usage: dnsctx <simulate|analyze|sweep|validate|stream> [options]\n"
                "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
-               "           [--shards N] [--threads N]\n"
+               "           [--shards N] [--threads N] [--binary-logs]\n"
                "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
                "           [--threads N]\n"
                "  sweep    --key K --values a,b,c [--config F | sim options]\n"
                "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
-               "           [--shards N] [--threads N]\n");
+               "           [--shards N] [--threads N]\n"
+               "  stream   --spool DIR [--follow [--idle-exit N] [--poll-ms MS]]\n"
+               "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n");
 }
 
 }  // namespace
@@ -226,6 +446,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "stream") return cmd_stream(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
