@@ -55,7 +55,9 @@ BlockingAnalysis analyze_blocking(const capture::Dataset& ds, const PairingResul
   // emptiest bin between the sub-second mode and the minutes mode.
   if (!out.gap_ms.empty()) {
     Histogram h{-1.0, 7.0, 64};  // 0.1 ms .. ~3 hours
-    for (const double g : out.gap_ms.sorted()) {
+    // Bin counts don't depend on sample order — skip the O(n log n) sort
+    // (report-time quantiles sort lazily if anyone asks).
+    for (const double g : out.gap_ms.values()) {
       h.add(std::log10(std::max(g, 0.11)));
     }
     // The knee is where the blocked mode dies out: find the low-end

@@ -24,7 +24,7 @@ struct ClassifyAcc {
 
 }  // namespace
 
-std::string to_string(ConnClass c) {
+std::string_view to_string(ConnClass c) {
   switch (c) {
     case ConnClass::kN: return "N";
     case ConnClass::kLC: return "LC";
@@ -35,12 +35,12 @@ std::string to_string(ConnClass c) {
   return "?";
 }
 
-std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
+util::FlatMap<Ipv4Addr, double> derive_resolver_thresholds(
     const capture::Dataset& ds, const ClassifyConfig& cfg, unsigned threads) {
   // Collect per-resolver answered-lookup durations: map chunks of the
   // DNS log to per-resolver Cdfs, merge in chunk order. Each resolver's
   // sample multiset matches the sequential scan exactly.
-  using Durations = std::unordered_map<Ipv4Addr, Cdf, Ipv4Hash>;
+  using Durations = util::FlatMap<Ipv4Addr, Cdf>;
   const Durations durations = util::parallel_map_reduce<Durations>(
       threads, ds.dns.size(), util::kDefaultGrain,
       [&](std::size_t begin, std::size_t end) {
@@ -56,14 +56,16 @@ std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
         for (auto& [resolver, cdf] : part) into[resolver].absorb(cdf);
       });
 
-  std::unordered_map<Ipv4Addr, double, Ipv4Hash> out;
+  util::FlatMap<Ipv4Addr, double> out;
   for (const auto& [resolver, cdf] : durations) {
     if (cdf.count() < cfg.per_resolver_min_lookups) continue;
     // The cache-hit mode sits at the network RTT: histogram the low end
-    // of the distribution and take the most populated 0.5 ms bin.
-    const double lo = cdf.min();
+    // of the distribution and take the most populated 0.5 ms bin. Bin
+    // counts are order-independent, so the samples never need sorting.
+    const auto samples = cdf.values();
+    const double lo = *std::min_element(samples.begin(), samples.end());
     Histogram h{lo, lo + 40.0, 80};
-    for (const double v : cdf.sorted()) {
+    for (const double v : samples) {
       if (v < lo + 40.0) h.add(v);
     }
     const double mode_ms = h.bin_low(h.mode_bin()) + h.bin_width() / 2.0;

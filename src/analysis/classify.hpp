@@ -14,17 +14,18 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "analysis/pairing.hpp"
+#include "util/flat_map.hpp"
 #include "util/stats.hpp"
 
 namespace dnsctx::analysis {
 
 enum class ConnClass : std::uint8_t { kN, kLC, kP, kSC, kR };
 
-[[nodiscard]] std::string to_string(ConnClass c);
+[[nodiscard]] std::string_view to_string(ConnClass c);
 
 struct ClassifyConfig {
   SimDuration blocked_threshold = SimDuration::ms(100);  ///< §4's conservative cut
@@ -52,7 +53,7 @@ struct ClassCounts {
 struct Classified {
   std::vector<ConnClass> classes;  ///< parallel to Dataset::conns
   ClassCounts counts;
-  std::unordered_map<Ipv4Addr, double, Ipv4Hash> resolver_threshold_ms;
+  util::FlatMap<Ipv4Addr, double> resolver_threshold_ms;
 
   // §5.2 companion statistics.
   std::uint64_t lc_expired = 0;      ///< LC connections using expired records
@@ -71,7 +72,7 @@ struct Classified {
 
 /// Derive per-resolver SC/R duration thresholds from the DNS log alone
 /// (exposed separately for tests and the ablation bench).
-[[nodiscard]] std::unordered_map<Ipv4Addr, double, Ipv4Hash> derive_resolver_thresholds(
+[[nodiscard]] util::FlatMap<Ipv4Addr, double> derive_resolver_thresholds(
     const capture::Dataset& ds, const ClassifyConfig& cfg, unsigned threads = 1);
 
 /// Classify every connection. Map-reduce over fixed connection chunks:

@@ -1,14 +1,19 @@
 #include "analysis/nclass.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "util/flat_map.hpp"
 
 namespace dnsctx::analysis {
 
 NClassBreakdown analyze_n_class(const capture::Dataset& ds, const Classified& classified,
                                 std::size_t top_destinations) {
   NClassBreakdown out;
-  std::unordered_map<Ipv4Addr, std::uint64_t, Ipv4Hash> reserved_dests;
+  // Destinations accumulate in first-seen order; the stable sort below
+  // then breaks count ties by first appearance, so the top list never
+  // depends on hash iteration order.
+  util::FlatMap<Ipv4Addr, std::uint32_t> slot_of;
+  std::vector<std::pair<Ipv4Addr, std::uint64_t>> dests;
   for (std::size_t i = 0; i < ds.conns.size(); ++i) {
     if (classified.classes[i] != ConnClass::kN) continue;
     const auto& c = ds.conns[i];
@@ -17,7 +22,10 @@ NClassBreakdown analyze_n_class(const capture::Dataset& ds, const Classified& cl
       ++out.high_port;
       continue;
     }
-    ++reserved_dests[c.resp_ip];
+    const auto [it, inserted] =
+        slot_of.try_emplace(c.resp_ip, static_cast<std::uint32_t>(dests.size()));
+    if (inserted) dests.emplace_back(c.resp_ip, 0);
+    ++dests[it->second].second;
     switch (c.resp_port) {
       case 443: ++out.port_443; break;
       case 123:
@@ -34,10 +42,8 @@ NClassBreakdown analyze_n_class(const capture::Dataset& ds, const Classified& cl
         static_cast<double>(out.n_total - out.high_port) /
         static_cast<double>(ds.conns.size());
   }
-  std::vector<std::pair<Ipv4Addr, std::uint64_t>> dests{reserved_dests.begin(),
-                                                        reserved_dests.end()};
-  std::sort(dests.begin(), dests.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::stable_sort(dests.begin(), dests.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
   if (dests.size() > top_destinations) dests.resize(top_destinations);
   out.top_reserved_destinations = std::move(dests);
   return out;

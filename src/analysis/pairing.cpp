@@ -1,8 +1,8 @@
 #include "analysis/pairing.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "util/flat_map.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsctx::analysis {
@@ -12,9 +12,49 @@ namespace {
 /// One DNS transaction's relevance to an address, ordered by response
 /// time (the instant the answer became available to the house).
 struct Candidate {
+  Ipv4Addr addr;
   SimTime response;
   SimTime expires;
   std::uint64_t dns_idx;
+};
+
+/// The per-house candidate index in structure-of-arrays layout: ONE
+/// dense allocation sorted by (addr, response, dns_idx) and split into
+/// parallel arrays, plus a flat addr → [begin, end) directory. The
+/// binary search for a connection's start time touches only the
+/// `response` array (16 bytes/entry less traffic than the AoS scan),
+/// and there is no per-address vector churn while building.
+struct HouseIndex {
+  std::vector<SimTime> response;
+  std::vector<SimTime> expires;
+  std::vector<std::uint64_t> dns_idx;
+  util::FlatMap<Ipv4Addr, std::pair<std::uint32_t, std::uint32_t>> ranges;
+
+  explicit HouseIndex(std::vector<Candidate>&& entries) {
+    // (response, dns_idx) ascending within each address run: exactly the
+    // order the streaming engine maintains incrementally
+    // (stream::OnlineStudy), so batch and stream pick identical pairs.
+    std::sort(entries.begin(), entries.end(), [](const Candidate& a, const Candidate& b) {
+      if (a.addr != b.addr) return a.addr < b.addr;
+      if (a.response != b.response) return a.response < b.response;
+      return a.dns_idx < b.dns_idx;
+    });
+    const std::size_t n = entries.size();
+    response.reserve(n);
+    expires.reserve(n);
+    dns_idx.reserve(n);
+    for (const Candidate& c : entries) {
+      response.push_back(c.response);
+      expires.push_back(c.expires);
+      dns_idx.push_back(c.dns_idx);
+    }
+    for (std::size_t i = 0; i < n;) {
+      std::size_t j = i + 1;
+      while (j < n && entries[j].addr == entries[i].addr) ++j;
+      ranges[entries[i].addr] = {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+      i = j;
+    }
+  }
 };
 
 /// Pairing counters accumulated per house and summed in house-slot
@@ -41,7 +81,7 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
   // house behind the NAT), so the work decomposes exactly per house:
   // every house's candidate index, use counts, and first-use flags are
   // disjoint from every other house's.
-  std::unordered_map<Ipv4Addr, std::uint32_t, Ipv4Hash> slot_of;
+  util::FlatMap<Ipv4Addr, std::uint32_t> slot_of;
   std::vector<Ipv4Addr> slot_ip;
   const auto slot_for = [&](Ipv4Addr ip) {
     const auto [it, inserted] =
@@ -78,23 +118,15 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
     HouseCounters& hc = counters[h];
     // Candidate index keyed by answered address only — the house is
     // implicit, which keeps the per-house tables small and cache-warm.
-    std::unordered_map<Ipv4Addr, std::vector<Candidate>, Ipv4Hash> index;
+    std::vector<Candidate> entries;
     for (const std::uint64_t i : house_dns[h]) {
       const auto& d = ds.dns[i];
       for (const auto& a : d.answers) {
-        index[a.addr].push_back(
-            Candidate{d.response_time(), d.response_time() + SimDuration::sec(a.ttl), i});
+        entries.push_back(Candidate{a.addr, d.response_time(),
+                                    d.response_time() + SimDuration::sec(a.ttl), i});
       }
     }
-    for (auto& [addr, vec] : index) {
-      // Tie-break equal response times by log position so the order is
-      // fully determined — it is then exactly the (response, seq) order
-      // the streaming engine maintains incrementally (stream::OnlineStudy).
-      std::sort(vec.begin(), vec.end(), [](const Candidate& a, const Candidate& b) {
-        if (a.response != b.response) return a.response < b.response;
-        return a.dns_idx < b.dns_idx;
-      });
-    }
+    const HouseIndex index{std::move(entries)};
 
     Rng rng{derive_seed(random_base, "house", slot_ip[h].to_u32())};
     std::vector<std::uint64_t> live_set;  // reused across connections (kRandom)
@@ -105,17 +137,19 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
     for (const std::uint64_t ci : house_conns[h]) {
       const auto& conn = ds.conns[ci];
       PairedConn& pc = out.conns[ci];
-      const auto it = index.find(conn.resp_ip);
-      if (it == index.end()) {
+      const auto it = index.ranges.find(conn.resp_ip);
+      if (it == index.ranges.end()) {
         ++hc.unpaired;
         continue;
       }
-      const auto& cands = it->second;
-      // Last candidate whose response precedes (or equals) the conn start.
-      const auto upper = std::upper_bound(
-          cands.begin(), cands.end(), conn.start,
-          [](SimTime t, const Candidate& c) { return t < c.response; });
-      if (upper == cands.begin()) {
+      const auto [lo, hi] = it->second;
+      // Last candidate whose response precedes (or equals) the conn start
+      // — a binary search over the dense response column only.
+      const auto upper = static_cast<std::uint32_t>(
+          std::upper_bound(index.response.begin() + lo, index.response.begin() + hi,
+                           conn.start) -
+          index.response.begin());
+      if (upper == lo) {
         ++hc.unpaired;  // the answer arrived only after this connection
         continue;
       }
@@ -125,12 +159,13 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
       std::int64_t chosen = -1;
       std::int64_t most_recent_live = -1;
       live_set.clear();
-      for (auto iter = upper; iter != cands.begin();) {
-        --iter;
-        if (iter->expires > conn.start) {
+      for (std::uint32_t j = upper; j-- > lo;) {
+        if (index.expires[j] > conn.start) {
           ++live;
-          if (most_recent_live < 0) most_recent_live = static_cast<std::int64_t>(iter->dns_idx);
-          if (policy == PairingPolicy::kRandom) live_set.push_back(iter->dns_idx);
+          if (most_recent_live < 0) {
+            most_recent_live = static_cast<std::int64_t>(index.dns_idx[j]);
+          }
+          if (policy == PairingPolicy::kRandom) live_set.push_back(index.dns_idx[j]);
         }
       }
       if (live > 0) {
@@ -139,7 +174,7 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
                      : most_recent_live;
         pc.expired_pairing = false;
       } else {
-        chosen = static_cast<std::int64_t>(std::prev(upper)->dns_idx);  // most recent, expired
+        chosen = static_cast<std::int64_t>(index.dns_idx[upper - 1]);  // most recent, expired
         pc.expired_pairing = true;
       }
 

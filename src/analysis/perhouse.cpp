@@ -1,19 +1,31 @@
 #include "analysis/perhouse.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace dnsctx::analysis {
 
 PerHouseAnalysis analyze_per_house(const capture::Dataset& ds, const Classified& classified) {
   PerHouseAnalysis out;
-  std::unordered_map<Ipv4Addr, HouseSummary, Ipv4Hash> by_house;
+  // Accumulate per house in first-seen order: combined with the stable
+  // sort below, the houses list (and therefore the bootstrap draws) is
+  // fully deterministic — no dependence on hash iteration order.
+  util::FlatMap<Ipv4Addr, std::uint32_t> slot_of;
+  std::vector<HouseSummary> summaries;
+  const auto summary_for = [&](Ipv4Addr addr) -> HouseSummary& {
+    const auto [it, inserted] =
+        slot_of.try_emplace(addr, static_cast<std::uint32_t>(summaries.size()));
+    if (inserted) {
+      summaries.emplace_back();
+      summaries.back().house = addr;
+    }
+    return summaries[it->second];
+  };
 
   for (std::size_t i = 0; i < ds.conns.size(); ++i) {
-    HouseSummary& h = by_house[ds.conns[i].orig_ip];
-    h.house = ds.conns[i].orig_ip;
+    HouseSummary& h = summary_for(ds.conns[i].orig_ip);
     ++h.conns;
     if (i < classified.classes.size()) {
       switch (classified.classes[i]) {
@@ -26,15 +38,12 @@ PerHouseAnalysis analyze_per_house(const capture::Dataset& ds, const Classified&
     }
   }
   for (const auto& d : ds.dns) {
-    HouseSummary& h = by_house[d.client_ip];
-    h.house = d.client_ip;
-    ++h.lookups;
+    ++summary_for(d.client_ip).lookups;
   }
 
-  out.houses.reserve(by_house.size());
-  for (auto& [addr, summary] : by_house) out.houses.push_back(summary);
-  std::sort(out.houses.begin(), out.houses.end(),
-            [](const HouseSummary& a, const HouseSummary& b) { return a.conns > b.conns; });
+  out.houses = std::move(summaries);
+  std::stable_sort(out.houses.begin(), out.houses.end(),
+                   [](const HouseSummary& a, const HouseSummary& b) { return a.conns > b.conns; });
 
   for (const auto& h : out.houses) {
     if (h.conns == 0) continue;  // DNS-only houses have no class shares

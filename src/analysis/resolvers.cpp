@@ -1,20 +1,23 @@
 #include "analysis/resolvers.hpp"
 
-#include <unordered_map>
-
+#include "util/names.hpp"
 #include "util/parallel.hpp"
 
 namespace dnsctx::analysis {
 
 namespace {
 
-using PerfMap = std::unordered_map<std::string, PlatformPerf>;
+/// Dense per-platform accumulator, indexed by PlatformId. Per-platform
+/// Cdf samples are absorbed in fixed chunk order (parallel_map_reduce
+/// merges chunks in order), so the sample sequence — and every quantile
+/// derived from it — is identical for any thread count.
+using PerfVec = std::vector<PlatformPerf>;
 
-void merge_perf(PerfMap& into, PerfMap&& part) {
-  for (auto& [platform, p] : part) {
-    const auto [it, inserted] = into.try_emplace(platform, std::move(p));
-    if (inserted) continue;
-    PlatformPerf& dst = it->second;
+void merge_perf(PerfVec& into, PerfVec&& part) {
+  if (into.size() < part.size()) into.resize(part.size());
+  for (std::size_t id = 0; id < part.size(); ++id) {
+    PlatformPerf& p = part[id];
+    PlatformPerf& dst = into[id];
     dst.sc += p.sc;
     dst.r += p.r;
     dst.conncheck_conns += p.conncheck_conns;
@@ -33,19 +36,21 @@ std::vector<PlatformPerf> analyze_platforms(const capture::Dataset& ds,
                                             const PlatformDirectory& dir,
                                             const std::string& conncheck_name,
                                             unsigned threads) {
-  PerfMap perf = util::parallel_map_reduce<PerfMap>(
+  // Intern the conncheck hostname once: the per-connection test becomes
+  // an integer compare instead of a string compare.
+  const util::InternedName conncheck{conncheck_name};
+  const std::size_t nplatforms = dir.platform_count();
+  PerfVec perf = util::parallel_map_reduce<PerfVec>(
       threads, ds.conns.size(), util::kDefaultGrain,
       [&](std::size_t begin, std::size_t end) {
-        PerfMap part;
+        PerfVec part(nplatforms);
         for (std::size_t i = begin; i < end; ++i) {
           const PairedConn& pc = pairing.conns[i];
           if (pc.dns_idx < 0) continue;
           const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-          const std::string& platform = dir.label(dns.resolver_ip);
-          PlatformPerf& p = part[platform];
-          p.platform = platform;
+          PlatformPerf& p = part[dir.id_of(dns.resolver_ip)];
           ++p.total_conns;
-          const bool is_conncheck = dns.query == conncheck_name;
+          const bool is_conncheck = dns.query == conncheck;
           if (is_conncheck) ++p.conncheck_conns;
 
           const ConnClass cls = classified.classes[i];
@@ -65,14 +70,14 @@ std::vector<PlatformPerf> analyze_platforms(const capture::Dataset& ds,
         return part;
       },
       merge_perf);
+  perf.resize(nplatforms);
 
   std::vector<PlatformPerf> out;
-  for (const auto& platform : dir.platforms()) {
-    const auto it = perf.find(platform);
-    if (it != perf.end()) out.push_back(std::move(it->second));
-  }
-  if (const auto it = perf.find("other"); it != perf.end()) {
-    out.push_back(std::move(it->second));
+  for (PlatformId id = 0; id < nplatforms; ++id) {
+    PlatformPerf& p = perf[id];
+    if (p.total_conns == 0) continue;  // the platform was never touched
+    p.platform = dir.name_of(id);
+    out.push_back(std::move(p));
   }
   return out;
 }

@@ -1,8 +1,6 @@
 #include "analysis/tables.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "resolver/recursive.hpp"
 #include "util/parallel.hpp"
@@ -12,38 +10,40 @@ namespace dnsctx::analysis {
 namespace {
 
 struct Tally {
-  std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+  util::FlatSet<Ipv4Addr> houses;
   std::uint64_t lookups = 0;
   std::uint64_t conns = 0;
   std::uint64_t bytes = 0;
 };
 
-/// DNS-pass accumulator: per-platform tallies plus the global house set
-/// and lookup count. Merges are set unions and integer sums, so the
-/// result is independent of chunk assignment.
+/// DNS-pass accumulator: per-platform tallies (dense, indexed by
+/// PlatformId) plus the global house set and lookup count. Merges are
+/// set unions and integer sums, so the result is independent of chunk
+/// assignment.
 struct DnsAcc {
-  std::unordered_map<std::string, Tally> tallies;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses;
+  std::vector<Tally> tallies;
+  util::FlatSet<Ipv4Addr> all_houses;
   std::uint64_t total_lookups = 0;
 };
 
 struct ConnAcc {
-  std::unordered_map<std::string, Tally> tallies;
+  std::vector<Tally> tallies;
   std::uint64_t paired_conns = 0;
   std::uint64_t paired_bytes = 0;
 };
 
-void merge_tallies(std::unordered_map<std::string, Tally>& into,
-                   std::unordered_map<std::string, Tally>&& part) {
-  for (auto& [platform, t] : part) {
-    Tally& dst = into[platform];
-    dst.lookups += t.lookups;
-    dst.conns += t.conns;
-    dst.bytes += t.bytes;
+void merge_tallies(std::vector<Tally>& into, std::vector<Tally>&& part) {
+  if (into.size() < part.size()) into.resize(part.size());
+  for (std::size_t id = 0; id < part.size(); ++id) {
+    Tally& dst = into[id];
+    Tally& src = part[id];
+    dst.lookups += src.lookups;
+    dst.conns += src.conns;
+    dst.bytes += src.bytes;
     if (dst.houses.empty()) {
-      dst.houses = std::move(t.houses);
+      dst.houses = std::move(src.houses);
     } else {
-      dst.houses.insert(t.houses.begin(), t.houses.end());
+      src.houses.for_each([&](Ipv4Addr h) { dst.houses.insert(h); });
     }
   }
 }
@@ -65,27 +65,37 @@ PlatformDirectory PlatformDirectory::standard() {
 }
 
 void PlatformDirectory::add(Ipv4Addr addr, std::string platform) {
-  if (std::find(order_.begin(), order_.end(), platform) == order_.end()) {
-    order_.push_back(platform);
+  const auto pos = std::find(order_.begin(), order_.end(), platform);
+  PlatformId id;
+  if (pos == order_.end()) {
+    id = static_cast<PlatformId>(order_.size());
+    order_.push_back(std::move(platform));
+  } else {
+    id = static_cast<PlatformId>(pos - order_.begin());
   }
-  map_[addr] = std::move(platform);
+  ids_[addr] = id;
 }
 
-const std::string& PlatformDirectory::label(Ipv4Addr addr) const {
-  const auto it = map_.find(addr);
-  return it == map_.end() ? other_ : it->second;
+PlatformId PlatformDirectory::id_of_label(std::string_view platform) const {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == platform) return static_cast<PlatformId>(i);
+  }
+  if (platform == other_) return other_id();
+  return static_cast<PlatformId>(order_.size() + 1);  // matches no id_of() result
 }
 
 std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingResult& pairing,
                                     const PlatformDirectory& dir, double min_lookup_share,
                                     unsigned threads) {
+  const std::size_t nplatforms = dir.platform_count();
   DnsAcc dns_acc = util::parallel_map_reduce<DnsAcc>(
       threads, ds.dns.size(), util::kDefaultGrain,
       [&](std::size_t begin, std::size_t end) {
         DnsAcc part;
+        part.tallies.resize(nplatforms);
         for (std::size_t i = begin; i < end; ++i) {
           const auto& d = ds.dns[i];
-          auto& t = part.tallies[dir.label(d.resolver_ip)];
+          auto& t = part.tallies[dir.id_of(d.resolver_ip)];
           ++t.lookups;
           t.houses.insert(d.client_ip);
           part.all_houses.insert(d.client_ip);
@@ -95,7 +105,7 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
       },
       [](DnsAcc& into, DnsAcc&& part) {
         merge_tallies(into.tallies, std::move(part.tallies));
-        into.all_houses.insert(part.all_houses.begin(), part.all_houses.end());
+        part.all_houses.for_each([&](Ipv4Addr h) { into.all_houses.insert(h); });
         into.total_lookups += part.total_lookups;
       });
 
@@ -103,11 +113,12 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
       threads, ds.conns.size(), util::kDefaultGrain,
       [&](std::size_t begin, std::size_t end) {
         ConnAcc part;
+        part.tallies.resize(nplatforms);
         for (std::size_t i = begin; i < end; ++i) {
           const auto& pc = pairing.conns[i];
           if (pc.dns_idx < 0) continue;
           const auto& dns = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-          auto& t = part.tallies[dir.label(dns.resolver_ip)];
+          auto& t = part.tallies[dir.id_of(dns.resolver_ip)];
           ++t.conns;
           const std::uint64_t bytes = ds.conns[i].orig_bytes + ds.conns[i].resp_bytes;
           t.bytes += bytes;
@@ -129,15 +140,15 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
   const std::uint64_t paired_bytes = conn_acc.paired_bytes;
 
   std::vector<Table1Row> rows;
-  auto emit = [&](const std::string& platform) {
-    const auto it = tallies.find(platform);
-    if (it == tallies.end()) return;
-    const Tally& t = it->second;
+  auto emit = [&](PlatformId id) {
+    if (id >= tallies.size()) return;
+    const Tally& t = tallies[id];
+    if (t.lookups == 0 && t.conns == 0) return;
     const double lookup_share =
         total_lookups ? static_cast<double>(t.lookups) / static_cast<double>(total_lookups) : 0.0;
-    if (platform != "other" && lookup_share < min_lookup_share) return;
+    if (id != dir.other_id() && lookup_share < min_lookup_share) return;
     Table1Row row;
-    row.platform = platform;
+    row.platform = dir.name_of(id);
     row.lookups = t.lookups;
     row.pct_houses = dns_acc.all_houses.empty()
                          ? 0.0
@@ -152,21 +163,22 @@ std::vector<Table1Row> build_table1(const capture::Dataset& ds, const PairingRes
                                  : 0.0;
     rows.push_back(std::move(row));
   };
-  for (const auto& platform : dir.platforms()) emit(platform);
-  emit("other");
+  for (PlatformId id = 0; id < dir.other_id(); ++id) emit(id);
+  emit(dir.other_id());
   return rows;
 }
 
 double isp_only_house_frac(const capture::Dataset& ds, const PlatformDirectory& dir,
                            unsigned threads) {
-  using LocalMap = std::unordered_map<Ipv4Addr, bool, Ipv4Hash>;  // house → still local-only
+  const PlatformId local_id = dir.id_of_label("Local");
+  using LocalMap = util::FlatMap<Ipv4Addr, bool>;  // house → still local-only
   const LocalMap only_local = util::parallel_map_reduce<LocalMap>(
       threads, ds.dns.size(), util::kDefaultGrain,
       [&](std::size_t begin, std::size_t end) {
         LocalMap part;
         for (std::size_t i = begin; i < end; ++i) {
           const auto& d = ds.dns[i];
-          const bool is_local = dir.label(d.resolver_ip) == "Local";
+          const bool is_local = dir.id_of(d.resolver_ip) == local_id;
           const auto [it, inserted] = part.try_emplace(d.client_ip, is_local);
           if (!inserted) it->second = it->second && is_local;
         }

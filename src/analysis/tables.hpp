@@ -3,16 +3,22 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "analysis/pairing.hpp"
+#include "util/flat_map.hpp"
 
 namespace dnsctx::analysis {
 
+/// Dense index of a platform within a PlatformDirectory. The hot
+/// per-record loops tally into a plain vector indexed by PlatformId;
+/// strings only reappear at the report/export boundary via name_of().
+using PlatformId = std::uint32_t;
+
 /// Maps resolver service addresses to platform labels. The default
 /// directory covers the paper's four platforms; unknown resolvers group
-/// under "other".
+/// under "other" (always the last id).
 class PlatformDirectory {
  public:
   /// Local / Google / OpenDNS / Cloudflare with their well-known
@@ -21,12 +27,28 @@ class PlatformDirectory {
 
   void add(Ipv4Addr addr, std::string platform);
 
-  [[nodiscard]] const std::string& label(Ipv4Addr addr) const;
+  [[nodiscard]] const std::string& label(Ipv4Addr addr) const { return name_of(id_of(addr)); }
   /// Display order (insertion order of first appearance, then "other").
   [[nodiscard]] const std::vector<std::string>& platforms() const { return order_; }
 
+  /// Dense id of the platform serving `addr` (other_id() when unknown).
+  [[nodiscard]] PlatformId id_of(Ipv4Addr addr) const {
+    const auto it = ids_.find(addr);
+    return it == ids_.end() ? other_id() : it->second;
+  }
+  /// The "other" bucket: one past the named platforms.
+  [[nodiscard]] PlatformId other_id() const { return static_cast<PlatformId>(order_.size()); }
+  /// Number of distinct ids (named platforms + "other").
+  [[nodiscard]] std::size_t platform_count() const { return order_.size() + 1; }
+  [[nodiscard]] const std::string& name_of(PlatformId id) const {
+    return id < order_.size() ? order_[id] : other_;
+  }
+  /// Id of a platform by label; other_id() + 1 (an id never returned by
+  /// id_of) when no platform carries that label.
+  [[nodiscard]] PlatformId id_of_label(std::string_view platform) const;
+
  private:
-  std::unordered_map<Ipv4Addr, std::string, Ipv4Hash> map_;
+  util::FlatMap<Ipv4Addr, PlatformId> ids_;
   std::vector<std::string> order_;
   std::string other_ = "other";
 };

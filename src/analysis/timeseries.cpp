@@ -1,8 +1,8 @@
 #include "analysis/timeseries.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "util/flat_map.hpp"
 #include "util/strings.hpp"
 
 namespace dnsctx::analysis {
@@ -33,7 +33,7 @@ TimeSeries build_time_series(const capture::Dataset& ds, const Classified* class
 
   SimTime begin = SimTime::max();
   SimTime end = SimTime::origin();
-  std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+  util::FlatSet<Ipv4Addr> houses;
   for (const auto& c : ds.conns) {
     begin = std::min(begin, c.start);
     end = std::max(end, c.start);

@@ -1,13 +1,13 @@
 #include "cachesim/refresh.hpp"
 
 #include <algorithm>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "util/flat_map.hpp"
+#include "util/names.hpp"
 
 namespace dnsctx::cachesim {
 
-std::string to_string(RefreshPolicy p) {
+std::string_view to_string(RefreshPolicy p) {
   switch (p) {
     case RefreshPolicy::kStandard: return "standard";
     case RefreshPolicy::kRefreshAll: return "refresh-all";
@@ -19,28 +19,25 @@ std::string to_string(RefreshPolicy p) {
 
 namespace {
 
-struct Demand {
-  SimTime t;
-  bool is_conn;
-};
-
 struct GroupKey {
   Ipv4Addr house;
-  const std::string* name;
-  bool operator==(const GroupKey& o) const { return house == o.house && *name == *o.name; }
+  util::NameId name = 0;
+  bool operator==(const GroupKey& o) const { return house == o.house && name == o.name; }
 };
 struct GroupKeyHash {
   [[nodiscard]] std::size_t operator()(const GroupKey& k) const noexcept {
-    return Ipv4Hash{}(k.house) * 1000003 ^ std::hash<std::string>{}(*k.name);
+    return hash_combine(Ipv4Hash{}(k.house), k.name);
   }
 };
 
 /// Per-(house,name) replay. Coverage is the span during which the cache
 /// holds a live record; refreshing extends coverage past the natural TTL
-/// at a cost of one lookup per TTL of extension.
+/// at a cost of one lookup per TTL of extension. Default-constructible
+/// (a requirement of FlatMap slots); configure() runs on first demand.
 struct GroupSim {
-  explicit GroupSim(const RefreshConfig& cfg, std::uint32_t ttl, SimTime trace_end)
-      : cfg_{cfg}, ttl_{ttl}, trace_end_{trace_end} {}
+  GroupSim() = default;
+  GroupSim(const RefreshConfig& cfg, std::uint32_t ttl, SimTime trace_end)
+      : cfg_{&cfg}, ttl_{ttl}, trace_end_{trace_end} {}
 
   void demand(SimTime t, bool is_conn, RefreshResult& out) {
     if (is_conn) ++out.conns;
@@ -58,19 +55,19 @@ struct GroupSim {
 
  private:
   void extend_coverage(SimTime demand_t, RefreshResult& out) {
-    if (ttl_ < cfg_.min_refresh_ttl_sec || ttl_ == 0) return;
+    if (ttl_ < cfg_->min_refresh_ttl_sec || ttl_ == 0) return;
     SimTime target = covered_until_;
-    switch (cfg_.policy) {
+    switch (cfg_->policy) {
       case RefreshPolicy::kStandard:
         return;
       case RefreshPolicy::kRefreshAll:
         target = trace_end_;
         break;
       case RefreshPolicy::kRefreshRecent:
-        target = demand_t + cfg_.recent_window;
+        target = demand_t + cfg_->recent_window;
         break;
       case RefreshPolicy::kRefreshFrequent:
-        if (demand_count_ < cfg_.frequent_threshold) return;
+        if (demand_count_ < cfg_->frequent_threshold) return;
         target = trace_end_;
         break;
     }
@@ -85,8 +82,8 @@ struct GroupSim {
     covered_until_ = target;
   }
 
-  const RefreshConfig& cfg_;
-  std::uint32_t ttl_;
+  const RefreshConfig* cfg_ = nullptr;
+  std::uint32_t ttl_ = 0;
   SimTime trace_end_;
   bool have_entry_ = false;
   SimTime covered_until_ = SimTime::origin();
@@ -102,8 +99,8 @@ RefreshResult simulate_refresh(const capture::Dataset& ds,
   out.policy = cfg.policy;
 
   // "Authoritative" TTL per name = max observed TTL (paper's choice).
-  std::unordered_map<std::string, std::uint32_t> auth_ttl;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+  util::FlatMap<util::NameId, std::uint32_t> auth_ttl;
+  util::FlatSet<Ipv4Addr> houses;
   SimTime trace_begin = SimTime::max();
   SimTime trace_end = SimTime::origin();
   for (const auto& d : ds.dns) {
@@ -111,7 +108,7 @@ RefreshResult simulate_refresh(const capture::Dataset& ds,
     trace_begin = std::min(trace_begin, d.ts);
     trace_end = std::max(trace_end, d.response_time());
     if (!d.answered || d.answers.empty()) continue;
-    auto& ttl = auth_ttl[d.query];
+    auto& ttl = auth_ttl[d.query.id()];
     ttl = std::max(ttl, d.min_ttl());
   }
   for (const auto& c : ds.conns) {
@@ -127,7 +124,7 @@ RefreshResult simulate_refresh(const capture::Dataset& ds,
   struct Event {
     SimTime t;
     Ipv4Addr house;
-    const std::string* name;
+    util::NameId name;
     bool is_conn;
   };
   std::vector<Event> events;
@@ -136,26 +133,24 @@ RefreshResult simulate_refresh(const capture::Dataset& ds,
     const auto& pc = pairing.conns[i];
     if (pc.dns_idx < 0) continue;  // N connections are out of scope (§8)
     const auto& d = ds.dns[static_cast<std::size_t>(pc.dns_idx)];
-    events.push_back(Event{ds.conns[i].start, ds.conns[i].orig_ip, &d.query, true});
+    events.push_back(Event{ds.conns[i].start, ds.conns[i].orig_ip, d.query.id(), true});
   }
   for (std::size_t i = 0; i < ds.dns.size(); ++i) {
     const auto& d = ds.dns[i];
     if (!d.answered || d.answers.empty()) continue;
     if (pairing.dns_use_count[i] != 0) continue;
-    events.push_back(Event{d.ts, d.client_ip, &d.query, false});
+    events.push_back(Event{d.ts, d.client_ip, d.query.id(), false});
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.t < b.t; });
 
-  std::unordered_map<GroupKey, GroupSim, GroupKeyHash> groups;
+  util::FlatMap<GroupKey, GroupSim, GroupKeyHash> groups;
   for (const Event& ev : events) {
-    const auto ttl_it = auth_ttl.find(*ev.name);
+    const auto ttl_it = auth_ttl.find(ev.name);
     const std::uint32_t ttl = ttl_it == auth_ttl.end() ? 0 : ttl_it->second;
     const GroupKey key{ev.house, ev.name};
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(key, GroupSim{cfg, ttl, trace_end}).first;
-    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) it->second = GroupSim{cfg, ttl, trace_end};
     it->second.demand(ev.t, ev.is_conn, out);
   }
   return out;

@@ -20,7 +20,7 @@
 // floor are never refreshed.
 #pragma once
 
-#include <string>
+#include <string_view>
 
 #include "analysis/pairing.hpp"
 
@@ -33,7 +33,7 @@ enum class RefreshPolicy : std::uint8_t {
   kRefreshFrequent,
 };
 
-[[nodiscard]] std::string to_string(RefreshPolicy p);
+[[nodiscard]] std::string_view to_string(RefreshPolicy p);
 
 struct RefreshConfig {
   RefreshPolicy policy = RefreshPolicy::kStandard;

@@ -1,7 +1,7 @@
 #include "cachesim/whole_house.hpp"
 
-#include <string>
-#include <unordered_map>
+#include "util/flat_map.hpp"
+#include "util/names.hpp"
 
 namespace dnsctx::cachesim {
 
@@ -16,9 +16,9 @@ WholeHouseResult simulate_whole_house(const capture::Dataset& ds,
   // Per house: name → would-be cache expiry, built by replaying the DNS
   // log in time order (the log is ts-sorted by construction).
   struct HouseCache {
-    std::unordered_map<std::string, SimTime> expiry;
+    util::FlatMap<util::NameId, SimTime> expiry;
   };
-  std::unordered_map<Ipv4Addr, HouseCache, Ipv4Hash> houses;
+  util::FlatMap<Ipv4Addr, HouseCache> houses;
 
   // For every DNS transaction: was the name already cached in the house
   // when the device asked?
@@ -27,7 +27,7 @@ WholeHouseResult simulate_whole_house(const capture::Dataset& ds,
     const auto& d = ds.dns[i];
     if (!d.answered || d.answers.empty()) continue;
     HouseCache& hc = houses[d.client_ip];
-    if (const auto it = hc.expiry.find(d.query);
+    if (const auto it = hc.expiry.find(d.query.id());
         it != hc.expiry.end() && it->second > d.ts) {
       lookup_was_house_hit[i] = true;
       // A shared cache would also refresh nothing here; keep the longer
@@ -35,7 +35,7 @@ WholeHouseResult simulate_whole_house(const capture::Dataset& ds,
       // bypassed the cache still warm it in this what-if).
       it->second = std::max(it->second, d.expires_at());
     } else {
-      hc.expiry[d.query] = d.expires_at();
+      hc.expiry[d.query.id()] = d.expires_at();
     }
   }
 

@@ -133,7 +133,8 @@ void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns) {
   for (const auto& d : dns) {
     os << d.ts.count_us() << '\t' << d.duration.count_us() << '\t'
        << d.client_ip.to_string() << '\t' << d.client_port << '\t'
-       << d.resolver_ip.to_string() << '\t' << (d.query.empty() ? "-" : d.query) << '\t'
+       << d.resolver_ip.to_string() << '\t'
+       << (d.query.empty() ? std::string_view{"-"} : d.query.view()) << '\t'
        << static_cast<std::uint16_t>(d.qtype) << '\t' << static_cast<int>(d.rcode) << '\t'
        << (d.answered ? 1 : 0) << '\t';
     if (d.answers.empty()) {
@@ -193,7 +194,9 @@ std::vector<DnsRecord> read_dns_log(std::istream& is, const std::string& source)
     d.client_ip = parse_ip(f[2], line_no);
     d.client_port = parse_num<std::uint16_t>(f[3], line_no, "client_port");
     d.resolver_ip = parse_ip(f[4], line_no);
-    d.query = f[5] == "-" ? std::string{} : std::string{f[5]};
+    // Intern straight from the field view: one string materialization
+    // per DISTINCT name across the whole log, not one per record.
+    if (f[5] != "-") d.query = util::InternedName{f[5]};
     d.qtype = static_cast<dns::RrType>(parse_num<std::uint16_t>(f[6], line_no, "qtype"));
     d.rcode = static_cast<dns::Rcode>(parse_num<int>(f[7], line_no, "rcode"));
     d.answered = parse_num<int>(f[8], line_no, "answered") != 0;

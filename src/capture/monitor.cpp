@@ -6,7 +6,7 @@
 
 namespace dnsctx::capture {
 
-std::string to_string(ConnState s) {
+std::string_view to_string(ConnState s) {
   switch (s) {
     case ConnState::kS0: return "S0";
     case ConnState::kSf: return "SF";

@@ -6,12 +6,14 @@
 // counts, and DNS payload summaries. No device identity, no ground truth.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "dns/rr.hpp"
 #include "util/ip.hpp"
+#include "util/names.hpp"
 #include "util/time.hpp"
 
 namespace dnsctx::capture {
@@ -25,7 +27,7 @@ enum class ConnState : std::uint8_t {
   kOth,  ///< anything else (mid-stream, timeout, UDP without close)
 };
 
-[[nodiscard]] std::string to_string(ConnState s);
+[[nodiscard]] std::string_view to_string(ConnState s);
 
 /// One application "connection" (TCP connection or UDP flow).
 struct ConnRecord {
@@ -67,7 +69,7 @@ struct DnsRecord {
   Ipv4Addr client_ip;        ///< house external address
   std::uint16_t client_port = 0;
   Ipv4Addr resolver_ip;
-  std::string query;         ///< qname presentation form
+  util::InternedName query;  ///< qname, interned (see util/names.hpp)
   dns::RrType qtype = dns::RrType::kA;
   dns::Rcode rcode = dns::Rcode::kNoError;
   bool answered = false;
@@ -75,15 +77,12 @@ struct DnsRecord {
 
   [[nodiscard]] SimTime response_time() const { return ts + duration; }
 
-  /// Effective TTL of the answer set (minimum across answers).
+  /// Effective TTL of the answer set (minimum across answers; 0 when
+  /// there are no answers).
   [[nodiscard]] std::uint32_t min_ttl() const {
-    std::uint32_t ttl = 0;
-    bool first = true;
-    for (const auto& a : answers) {
-      if (first || a.ttl < ttl) ttl = a.ttl;
-      first = false;
-    }
-    return first ? 0 : ttl;
+    std::uint32_t ttl = answers.empty() ? 0 : answers.front().ttl;
+    for (const auto& a : answers) ttl = std::min(ttl, a.ttl);
+    return ttl;
   }
 
   /// Expiry instant of the answer set per the served TTL.

@@ -7,7 +7,7 @@
 
 namespace dnsctx::resolver {
 
-std::string to_string(ServiceClass s) {
+std::string_view to_string(ServiceClass s) {
   switch (s) {
     case ServiceClass::kWebOrigin: return "web";
     case ServiceClass::kCdnAsset: return "cdn";

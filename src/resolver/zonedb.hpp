@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -40,7 +41,7 @@ enum class ServiceClass : std::uint8_t {
   kOther,       ///< long-tail misc names
 };
 
-[[nodiscard]] std::string to_string(ServiceClass s);
+[[nodiscard]] std::string_view to_string(ServiceClass s);
 
 /// One resolvable hostname and its authoritative data.
 struct HostRecord {

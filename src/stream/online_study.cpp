@@ -21,6 +21,10 @@ OnlineStudy::OnlineStudy(OnlineStudyConfig cfg) : cfg_{std::move(cfg)} {
   if (cfg_.sweep_interval == 0) {
     throw std::invalid_argument{"OnlineStudyConfig::sweep_interval must be > 0"};
   }
+  conncheck_name_ = util::InternedName{cfg_.conncheck_name};
+  local_id_ = cfg_.directory.id_of_label("Local");
+  tallies_.resize(cfg_.directory.platform_count());
+  platform_conns_.resize(cfg_.directory.platform_count());
 }
 
 void OnlineStudy::note_time(SimTime& last, SimTime t, const char* kind) {
@@ -45,8 +49,8 @@ void OnlineStudy::on_dns(const capture::DnsRecord& rec) {
   ++dns_total_;
 
   // Table 1 DNS pass: every record counts, answered or not.
-  const std::string& platform = cfg_.directory.label(rec.resolver_ip);
-  PlatTally& tally = tallies_[platform];
+  const analysis::PlatformId pid = cfg_.directory.id_of(rec.resolver_ip);
+  PlatTally& tally = tallies_[pid];
   ++tally.lookups;
   tally.houses.insert(rec.client_ip);
   all_houses_.insert(rec.client_ip);
@@ -54,7 +58,7 @@ void OnlineStudy::on_dns(const capture::DnsRecord& rec) {
 
   // isp-only-house tracking.
   {
-    const bool is_local = platform == "Local";
+    const bool is_local = pid == local_id_;
     const auto [it, inserted] = only_local_.try_emplace(rec.client_ip, is_local);
     if (!inserted) it->second = it->second && is_local;
   }
@@ -82,7 +86,7 @@ void OnlineStudy::on_dns(const capture::DnsRecord& rec) {
     ru.refs = static_cast<std::uint32_t>(rec.answers.size());
     ru.duration = rec.duration;
     ru.resolver_ip = rec.resolver_ip;
-    ru.conncheck = rec.query == cfg_.conncheck_name;
+    ru.conncheck = rec.query == conncheck_name_;
     active_records_ += 1;
     const SimTime response = rec.response_time();
     for (const auto& a : rec.answers) {
@@ -198,15 +202,15 @@ void OnlineStudy::on_conn(const capture::ConnRecord& rec) {
   }
 
   // Table 1 connection pass + §7 per-platform counters.
-  const std::string& platform = cfg_.directory.label(ru.resolver_ip);
-  PlatTally& tally = tallies_[platform];
+  const analysis::PlatformId pid = cfg_.directory.id_of(ru.resolver_ip);
+  PlatTally& tally = tallies_[pid];
   ++tally.conns;
   const std::uint64_t bytes = rec.orig_bytes + rec.resp_bytes;
   tally.bytes += bytes;
   ++paired_conns_;
   paired_bytes_ += bytes;
 
-  PlatConns& pc = platform_conns_[platform];
+  PlatConns& pc = platform_conns_[pid];
   ++pc.total;
   if (ru.conncheck) ++pc.conncheck;
 
@@ -216,7 +220,7 @@ void OnlineStudy::on_conn(const capture::ConnRecord& rec) {
 void OnlineStudy::drop_candidate(House& house, const Candidate& cand) {
   const auto it = house.records.find(cand.seq);
   if (it != house.records.end() && --it->second.refs == 0) {
-    house.records.erase(it);
+    house.records.erase(cand.seq);
     --active_records_;
   }
   --active_candidates_;
@@ -232,11 +236,13 @@ void OnlineStudy::sweep() {
   const SimTime horizon_cut =
       horizon_gc ? watermark_ - cfg_.eviction_horizon : SimTime::from_us(0);
 
-  for (auto house_it = houses_.begin(); house_it != houses_.end();) {
-    House& house = house_it->second;
-    for (auto idx_it = house.index.begin(); idx_it != house.index.end();) {
-      std::vector<Candidate>& cands = idx_it->second;
-
+  // FlatMap erase() backward-shifts (invalidating iteration), so empty
+  // keys are collected during the walk and erased after it.
+  std::vector<Ipv4Addr> dead_houses;
+  std::vector<Ipv4Addr> dead_addrs;
+  for (auto& [house_ip, house] : houses_) {
+    dead_addrs.clear();
+    for (auto& [addr, cands] : house.index) {
       // j = one past the last candidate already visible at the watermark.
       const auto visible_end = std::upper_bound(
           cands.begin(), cands.end(), watermark_,
@@ -262,18 +268,12 @@ void OnlineStudy::sweep() {
       }
       cands.erase(out, cands.end());
 
-      if (cands.empty()) {
-        idx_it = house.index.erase(idx_it);
-      } else {
-        ++idx_it;
-      }
+      if (cands.empty()) dead_addrs.push_back(addr);
     }
-    if (house.index.empty() && house.records.empty()) {
-      house_it = houses_.erase(house_it);
-    } else {
-      ++house_it;
-    }
+    for (const Ipv4Addr addr : dead_addrs) house.index.erase(addr);
+    if (house.index.empty() && house.records.empty()) dead_houses.push_back(house_ip);
   }
+  for (const Ipv4Addr ip : dead_houses) houses_.erase(ip);
 }
 
 OnlineStudyResult OnlineStudy::finalize() const {
@@ -291,7 +291,9 @@ OnlineStudyResult OnlineStudy::finalize() const {
   // ---- §5.3 thresholds + deferred SC/R split ------------------------------
   // Replicates derive_resolver_thresholds: same histogram, same operand
   // order, from the pruned (µs → count) window instead of a full Cdf.
-  std::unordered_map<Ipv4Addr, std::pair<std::uint64_t, std::uint64_t>, Ipv4Hash>
+  // (Per-resolver work is independent and the totals are integer sums,
+  // so the map's iteration order cannot leak into any result.)
+  util::FlatMap<Ipv4Addr, std::pair<std::uint64_t, std::uint64_t>>
       resolver_scr;  // resolver → (sc, r)
   std::uint64_t sc_total = 0;
   std::uint64_t r_total = 0;
@@ -314,7 +316,7 @@ OnlineStudyResult OnlineStudy::finalize() const {
       sc = ra.blocked_le_default;
     }
     const std::uint64_t r = ra.blocked_total - sc;
-    if (ra.blocked_total) resolver_scr.emplace(resolver, std::make_pair(sc, r));
+    if (ra.blocked_total) resolver_scr.try_emplace(resolver, std::make_pair(sc, r));
     sc_total += sc;
     r_total += r;
   }
@@ -322,16 +324,15 @@ OnlineStudyResult OnlineStudy::finalize() const {
       analysis::ClassCounts{.n = n_, .lc = lc_, .p = p_, .sc = sc_total, .r = r_total};
 
   // ---- Table 1 (build_table1's emit, verbatim arithmetic) -----------------
-  auto emit = [&](const std::string& platform) {
-    const auto it = tallies_.find(platform);
-    if (it == tallies_.end()) return;
-    const PlatTally& t = it->second;
+  auto emit = [&](analysis::PlatformId id) {
+    const PlatTally& t = tallies_[id];
+    if (t.lookups == 0 && t.conns == 0) return;  // the platform was never touched
     const double lookup_share =
         total_lookups_ ? static_cast<double>(t.lookups) / static_cast<double>(total_lookups_)
                        : 0.0;
-    if (platform != "other" && lookup_share < 0.01) return;
+    if (id != cfg_.directory.other_id() && lookup_share < 0.01) return;
     analysis::Table1Row row;
-    row.platform = platform;
+    row.platform = cfg_.directory.name_of(id);
     row.lookups = t.lookups;
     row.pct_houses = all_houses_.empty() ? 0.0
                                          : 100.0 * static_cast<double>(t.houses.size()) /
@@ -345,8 +346,8 @@ OnlineStudyResult OnlineStudy::finalize() const {
                                   : 0.0;
     out.table1.push_back(std::move(row));
   };
-  for (const auto& platform : cfg_.directory.platforms()) emit(platform);
-  emit("other");
+  for (analysis::PlatformId id = 0; id < cfg_.directory.other_id(); ++id) emit(id);
+  emit(cfg_.directory.other_id());
 
   // ---- isp-only houses ----------------------------------------------------
   if (!only_local_.empty()) {
@@ -373,23 +374,23 @@ OnlineStudyResult OnlineStudy::finalize() const {
   }
 
   // ---- §7 platform rows (directory order, then "other") -------------------
-  auto emit_platform = [&](const std::string& platform) {
-    const auto it = platform_conns_.find(platform);
-    if (it == platform_conns_.end()) return;
+  auto emit_platform = [&](analysis::PlatformId id) {
+    const PlatConns& pc = platform_conns_[id];
+    if (pc.total == 0) return;  // an entry only ever exists after a paired conn
     OnlinePlatformRow row;
-    row.platform = platform;
-    row.total_conns = it->second.total;
-    row.conncheck_conns = it->second.conncheck;
+    row.platform = cfg_.directory.name_of(id);
+    row.total_conns = pc.total;
+    row.conncheck_conns = pc.conncheck;
     for (const auto& [resolver, scr] : resolver_scr) {
-      if (cfg_.directory.label(resolver) == platform) {
+      if (cfg_.directory.id_of(resolver) == id) {
         row.sc += scr.first;
         row.r += scr.second;
       }
     }
     out.platforms.push_back(std::move(row));
   };
-  for (const auto& platform : cfg_.directory.platforms()) emit_platform(platform);
-  emit_platform("other");
+  for (analysis::PlatformId id = 0; id < cfg_.directory.other_id(); ++id) emit_platform(id);
+  emit_platform(cfg_.directory.other_id());
 
   return out;
 }
@@ -407,10 +408,10 @@ void OnlineStudy::absorb(OnlineStudy&& other) {
     House& house = houses_[house_ip];
     for (auto& [addr, cands] : other_house.index) {
       for (Candidate& c : cands) c.seq += seq_offset;
-      house.index.emplace(addr, std::move(cands));
+      house.index.try_emplace(addr, std::move(cands));
     }
     for (auto& [seq, ru] : other_house.records) {
-      house.records.emplace(seq + seq_offset, std::move(ru));
+      house.records.try_emplace(seq + seq_offset, std::move(ru));
     }
   }
   next_seq_ += other.next_seq_;
@@ -455,18 +456,19 @@ void OnlineStudy::absorb(OnlineStudy&& other) {
   q_abs_ += other.q_abs_;
   q_sig_ += other.q_sig_;
 
-  for (auto& [platform, part] : other.tallies_) {
-    PlatTally& tally = tallies_[platform];
+  for (std::size_t id = 0; id < other.tallies_.size(); ++id) {
+    PlatTally& tally = tallies_[id];
+    PlatTally& part = other.tallies_[id];
     tally.lookups += part.lookups;
     tally.conns += part.conns;
     tally.bytes += part.bytes;
     if (tally.houses.empty()) {
       tally.houses = std::move(part.houses);
     } else {
-      tally.houses.insert(part.houses.begin(), part.houses.end());
+      part.houses.for_each([&](Ipv4Addr h) { tally.houses.insert(h); });
     }
   }
-  all_houses_.insert(other.all_houses_.begin(), other.all_houses_.end());
+  other.all_houses_.for_each([&](Ipv4Addr h) { all_houses_.insert(h); });
   total_lookups_ += other.total_lookups_;
   paired_conns_ += other.paired_conns_;
   paired_bytes_ += other.paired_bytes_;
@@ -475,10 +477,9 @@ void OnlineStudy::absorb(OnlineStudy&& other) {
     if (!inserted) it->second = it->second && local;
   }
 
-  for (const auto& [platform, part] : other.platform_conns_) {
-    PlatConns& pc = platform_conns_[platform];
-    pc.total += part.total;
-    pc.conncheck += part.conncheck;
+  for (std::size_t id = 0; id < other.platform_conns_.size(); ++id) {
+    platform_conns_[id].total += other.platform_conns_[id].total;
+    platform_conns_[id].conncheck += other.platform_conns_[id].conncheck;
   }
 }
 

@@ -44,19 +44,25 @@
 //
 // `absorb()` merges engines that ingested house-disjoint partitions,
 // enabling sharded streaming with the same guarantees.
+//
+// Hot-path layout: houses, per-house candidate indexes, and resolver
+// accumulators live in util::FlatMap (open addressing, no per-node
+// allocation); platform tallies are dense vectors indexed by
+// analysis::PlatformId; the conncheck hostname is interned once so the
+// per-record test is an integer compare.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/classify.hpp"
 #include "analysis/tables.hpp"
 #include "capture/records.hpp"
+#include "util/flat_map.hpp"
+#include "util/names.hpp"
 
 namespace dnsctx::stream {
 
@@ -127,7 +133,7 @@ struct OnlineStudyResult {
   analysis::ClassCounts classes;
   std::uint64_t lc_expired = 0;
   std::uint64_t p_expired = 0;
-  std::unordered_map<Ipv4Addr, double, Ipv4Hash> resolver_threshold_ms;
+  util::FlatMap<Ipv4Addr, double> resolver_threshold_ms;
 
   std::vector<analysis::Table1Row> table1;
   double isp_only_houses = 0.0;
@@ -183,8 +189,8 @@ class OnlineStudy : public capture::RecordSink {
   };
 
   struct House {
-    std::unordered_map<Ipv4Addr, std::vector<Candidate>, Ipv4Hash> index;
-    std::unordered_map<std::uint64_t, RecordUse> records;
+    util::FlatMap<Ipv4Addr, std::vector<Candidate>> index;
+    util::FlatMap<std::uint64_t, RecordUse> records;
   };
 
   /// §5.3 threshold derivation + deferred SC/R split state, per resolver.
@@ -201,7 +207,7 @@ class OnlineStudy : public capture::RecordSink {
   };
 
   struct PlatTally {
-    std::unordered_set<Ipv4Addr, Ipv4Hash> houses;
+    util::FlatSet<Ipv4Addr> houses;
     std::uint64_t lookups = 0;
     std::uint64_t conns = 0;
     std::uint64_t bytes = 0;
@@ -217,9 +223,16 @@ class OnlineStudy : public capture::RecordSink {
   void drop_candidate(House& house, const Candidate& cand);
 
   OnlineStudyConfig cfg_;
+  /// cfg_.conncheck_name interned once; the per-record test is an id
+  /// compare instead of a string compare.
+  util::InternedName conncheck_name_;
+  /// Id of the "Local" platform (a never-matching sentinel when the
+  /// directory has no such platform — same semantics as the old string
+  /// compare).
+  analysis::PlatformId local_id_ = 0;
 
   // Pairing state.
-  std::unordered_map<Ipv4Addr, House, Ipv4Hash> houses_;
+  util::FlatMap<Ipv4Addr, House> houses_;
   std::uint64_t next_seq_ = 0;
 
   // Ordering / eviction bookkeeping.
@@ -242,21 +255,21 @@ class OnlineStudy : public capture::RecordSink {
   // Taxonomy (SC/R deferred to finalize).
   std::uint64_t n_ = 0, lc_ = 0, p_ = 0;
   std::uint64_t lc_expired_ = 0, p_expired_ = 0;
-  std::unordered_map<Ipv4Addr, ResolverAcc, Ipv4Hash> resolvers_;
+  util::FlatMap<Ipv4Addr, ResolverAcc> resolvers_;
 
   // §6 quadrants.
   std::uint64_t q_ins_ = 0, q_rel_ = 0, q_abs_ = 0, q_sig_ = 0;
 
-  // Table 1 + isp-only.
-  std::unordered_map<std::string, PlatTally> tallies_;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> all_houses_;
+  // Table 1 + isp-only (dense per-platform tallies, PlatformId-indexed).
+  std::vector<PlatTally> tallies_;
+  util::FlatSet<Ipv4Addr> all_houses_;
   std::uint64_t total_lookups_ = 0;
   std::uint64_t paired_conns_ = 0;
   std::uint64_t paired_bytes_ = 0;
-  std::unordered_map<Ipv4Addr, bool, Ipv4Hash> only_local_;
+  util::FlatMap<Ipv4Addr, bool> only_local_;
 
   // §7.
-  std::unordered_map<std::string, PlatConns> platform_conns_;
+  std::vector<PlatConns> platform_conns_;
 };
 
 }  // namespace dnsctx::stream

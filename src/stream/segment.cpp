@@ -109,7 +109,7 @@ struct Cursor {
   r.rcode = static_cast<dns::Rcode>(c.u8());
   r.answered = c.u8() != 0;
   const std::uint16_t qlen = c.u16();
-  r.query = std::string{c.raw(qlen)};
+  r.query = util::InternedName{c.raw(qlen)};
   const std::uint16_t answers = c.u16();
   r.answers.reserve(answers);
   for (std::uint16_t i = 0; i < answers; ++i) {
@@ -137,7 +137,7 @@ void write_header(std::string& out, RecordKind kind, std::uint32_t record_count,
 
 }  // namespace
 
-std::string to_string(RecordKind k) { return k == RecordKind::kConn ? "conn" : "dns"; }
+std::string_view to_string(RecordKind k) { return k == RecordKind::kConn ? "conn" : "dns"; }
 
 std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
   static const auto table = make_crc_table();
@@ -166,8 +166,9 @@ void append_record(std::string& payload, const capture::ConnRecord& rec) {
 }
 
 void append_record(std::string& payload, const capture::DnsRecord& rec) {
+  const std::string_view query = rec.query.view();
   std::string body;
-  body.reserve(34 + rec.query.size() + rec.answers.size() * 8);
+  body.reserve(34 + query.size() + rec.answers.size() * 8);
   put_i64(body, rec.ts.count_us());
   put_i64(body, rec.duration.count_us());
   put_u32(body, rec.client_ip.to_u32());
@@ -176,8 +177,8 @@ void append_record(std::string& payload, const capture::DnsRecord& rec) {
   put_u16(body, static_cast<std::uint16_t>(rec.qtype));
   put_u8(body, static_cast<std::uint8_t>(rec.rcode));
   put_u8(body, rec.answered ? 1 : 0);
-  put_u16(body, static_cast<std::uint16_t>(rec.query.size()));
-  body += rec.query;
+  put_u16(body, static_cast<std::uint16_t>(query.size()));
+  body += query;
   put_u16(body, static_cast<std::uint16_t>(rec.answers.size()));
   for (const auto& a : rec.answers) {
     put_u32(body, a.addr.to_u32());

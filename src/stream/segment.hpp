@@ -37,7 +37,7 @@ namespace dnsctx::stream {
 
 enum class RecordKind : std::uint8_t { kConn = 0, kDns = 1 };
 
-[[nodiscard]] std::string to_string(RecordKind k);
+[[nodiscard]] std::string_view to_string(RecordKind k);
 
 inline constexpr std::uint32_t kSegmentMagic = 0x47534344u;  // "DCSG" in LE bytes
 inline constexpr std::uint16_t kSegmentVersion = 1;

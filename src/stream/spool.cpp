@@ -16,7 +16,7 @@ namespace fs = std::filesystem;
 namespace {
 
 [[nodiscard]] std::string segment_name(RecordKind kind, std::uint32_t seq) {
-  return strfmt("%s-%08u.seg", to_string(kind).c_str(), seq);
+  return strfmt("%s-%08u.seg", to_string(kind).data(), seq);
 }
 
 [[nodiscard]] SimTime floor_time() {
@@ -60,8 +60,8 @@ class SegmentStream {
       seg_ = read_segment_file(path);
       if (seg_.header.kind != kind_) {
         throw std::runtime_error{strfmt("%s: segment kind is %s, expected %s", path.c_str(),
-                                        to_string(seg_.header.kind).c_str(),
-                                        to_string(kind_).c_str())};
+                                        to_string(seg_.header.kind).data(),
+                                        to_string(kind_).data())};
       }
       if (seg_.header.record_count == 0) continue;  // tolerate empty segments
       if (seg_.header.first_ts < prev_) {
@@ -141,7 +141,7 @@ void SpoolWriter::add(OpenSegment& seg, RecordKind kind, const Rec& rec, SimTime
     throw std::runtime_error{
         strfmt("spool %s: %s record at %lld us arrived after %lld us; spool input must be "
                "time-sorted",
-               dir_.c_str(), to_string(kind).c_str(), static_cast<long long>(ts.count_us()),
+               dir_.c_str(), to_string(kind).data(), static_cast<long long>(ts.count_us()),
                static_cast<long long>(seg.last.count_us()))};
   }
   const bool rotate_now =

@@ -1,0 +1,96 @@
+// dnsctx — global string interning for DNS names and platform labels.
+//
+// Every one of the millions of simulated DNS transactions used to carry
+// its qname as an owned std::string: one heap allocation per record at
+// capture time, re-hashed at every analysis stage that keys a map by
+// name. The corpus only contains a few thousand DISTINCT names, so the
+// pipeline interns each distinct string once into a process-wide
+// NameTable and passes a dense 32-bit NameId everywhere else. Equality
+// becomes an integer compare, map keys become POD (see
+// util/flat_map.hpp), and the string itself is materialized exactly
+// once per distinct name.
+//
+// NameIds are assigned first-come: with concurrent interners (sharded
+// simulation) the id VALUES may differ between runs. Nothing
+// user-visible may therefore depend on id order — ids are opaque
+// handles; reports and exports go through view() and sort by string or
+// by observable counters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dnsctx::util {
+
+/// Dense handle to an interned string. 0 is always the empty string.
+using NameId = std::uint32_t;
+
+/// Thread-safe append-only string interner. Lookups of already-interned
+/// names (the steady state — every record after the first per distinct
+/// name) take a shared lock; only a genuinely new string takes the
+/// exclusive lock. Views handed out are stable for the table's lifetime
+/// (deque arena; strings never move or die).
+class NameTable {
+ public:
+  NameTable();
+
+  /// The process-wide table used by InternedName.
+  [[nodiscard]] static NameTable& global();
+
+  /// Intern `s`, returning its dense id (existing id if already known).
+  [[nodiscard]] NameId intern(std::string_view s);
+
+  /// Reverse lookup. The view stays valid for the table's lifetime.
+  /// Throws std::out_of_range for an id never handed out.
+  [[nodiscard]] std::string_view view(NameId id) const;
+
+  /// Number of distinct strings interned (including the empty string).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> arena_;  ///< index == NameId; stable storage
+  std::unordered_map<std::string_view, NameId> ids_;  ///< views into arena_
+};
+
+/// A 4-byte interned string. Implicitly convertible from every string
+/// flavor so existing call sites (`rec.query = "conncheck.local"`,
+/// `rec.query == cfg.name`) keep reading naturally; comparisons are id
+/// compares against the global table.
+class InternedName {
+ public:
+  constexpr InternedName() = default;  ///< the empty string
+  InternedName(std::string_view s) : id_{NameTable::global().intern(s)} {}
+  InternedName(const char* s) : InternedName{std::string_view{s}} {}
+  InternedName(const std::string& s) : InternedName{std::string_view{s}} {}
+  [[nodiscard]] static constexpr InternedName from_id(NameId id) {
+    InternedName n;
+    n.id_ = id;
+    return n;
+  }
+
+  [[nodiscard]] constexpr NameId id() const { return id_; }
+  [[nodiscard]] constexpr bool empty() const { return id_ == 0; }
+  constexpr void clear() { id_ = 0; }
+
+  /// The interned characters (stable for the process lifetime).
+  [[nodiscard]] std::string_view view() const { return NameTable::global().view(id_); }
+  [[nodiscard]] std::string str() const { return std::string{view()}; }
+
+  [[nodiscard]] friend constexpr bool operator==(InternedName a, InternedName b) {
+    return a.id_ == b.id_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, InternedName n) {
+    return os << n.view();
+  }
+
+ private:
+  NameId id_ = 0;
+};
+
+}  // namespace dnsctx::util

@@ -69,6 +69,11 @@ class Cdf {
   /// Sorted view of the samples (forces the sort).
   [[nodiscard]] std::span<const double> sorted() const;
 
+  /// Raw sample view in insertion order — no sort. For order-independent
+  /// consumers only (histogram bin counts, sums); the order changes once
+  /// any quantile forces the in-place sort.
+  [[nodiscard]] std::span<const double> values() const { return xs_; }
+
  private:
   void ensure_sorted() const;
   mutable std::vector<double> xs_;

@@ -1,0 +1,69 @@
+// dnsctx — DnsRecord/ConnRecord unit tests: min_ttl edges, expiry
+// arithmetic, and the enum stringifiers.
+#include "capture/records.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnsctx::capture {
+namespace {
+
+TEST(DnsRecordMinTtl, NoAnswersIsZero) {
+  DnsRecord d;
+  EXPECT_EQ(d.min_ttl(), 0u);
+  EXPECT_EQ(d.expires_at(), d.response_time());
+}
+
+TEST(DnsRecordMinTtl, SingleAnswer) {
+  DnsRecord d;
+  d.answers.push_back({Ipv4Addr::from_u32(1), 300});
+  EXPECT_EQ(d.min_ttl(), 300u);
+}
+
+TEST(DnsRecordMinTtl, MinimumAcrossAnswersAnyPosition) {
+  DnsRecord d;
+  d.answers.push_back({Ipv4Addr::from_u32(1), 300});
+  d.answers.push_back({Ipv4Addr::from_u32(2), 60});
+  d.answers.push_back({Ipv4Addr::from_u32(3), 600});
+  EXPECT_EQ(d.min_ttl(), 60u);  // minimum is in the middle, not first
+}
+
+TEST(DnsRecordMinTtl, EqualTtls) {
+  DnsRecord d;
+  d.answers.push_back({Ipv4Addr::from_u32(1), 120});
+  d.answers.push_back({Ipv4Addr::from_u32(2), 120});
+  EXPECT_EQ(d.min_ttl(), 120u);
+}
+
+TEST(DnsRecordMinTtl, ZeroTtlAnswerWins) {
+  DnsRecord d;
+  d.answers.push_back({Ipv4Addr::from_u32(1), 300});
+  d.answers.push_back({Ipv4Addr::from_u32(2), 0});
+  EXPECT_EQ(d.min_ttl(), 0u);
+}
+
+TEST(DnsRecord, ExpiresAtUsesMinTtl) {
+  DnsRecord d;
+  d.ts = SimTime::from_us(1'000'000);
+  d.duration = SimDuration::ms(20);
+  d.answers.push_back({Ipv4Addr::from_u32(1), 60});
+  d.answers.push_back({Ipv4Addr::from_u32(2), 30});
+  EXPECT_EQ(d.expires_at(), d.response_time() + SimDuration::sec(30));
+}
+
+TEST(DnsRecord, ContainsChecksAnswerSet) {
+  DnsRecord d;
+  d.answers.push_back({Ipv4Addr::from_u32(42), 60});
+  EXPECT_TRUE(d.contains(Ipv4Addr::from_u32(42)));
+  EXPECT_FALSE(d.contains(Ipv4Addr::from_u32(43)));
+}
+
+TEST(ConnState, ToStringCoversAllStates) {
+  EXPECT_EQ(to_string(ConnState::kS0), "S0");
+  EXPECT_EQ(to_string(ConnState::kSf), "SF");
+  EXPECT_EQ(to_string(ConnState::kRej), "REJ");
+  EXPECT_EQ(to_string(ConnState::kRst), "RST");
+  EXPECT_EQ(to_string(ConnState::kOth), "OTH");
+}
+
+}  // namespace
+}  // namespace dnsctx::capture

@@ -1,0 +1,212 @@
+// dnsctx — golden-output regression tests.
+//
+// The interned-name/flat-map analysis core is a REPRESENTATION change:
+// every table, report, export and streaming result must stay
+// byte-identical to the committed golden files, which were generated
+// from the pre-change pipeline. The goldens cover seeds {1,7} × shards
+// {1,4}: the full batch report text (Tables 1–2, Figures 1–3, §6
+// quadrants, §7 platform rows), the CSV exports, the §8 cache
+// simulations (whole-house + Table 3 refresh policies), and a full
+// numeric dump of the streaming OnlineStudy result.
+//
+// Regenerate (only when an INTENTIONAL output change is made) with:
+//
+//   DNSCTX_GOLDEN_UPDATE=1 ./build/tests/test_integration \
+//       --gtest_filter='Golden*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "analysis/study.hpp"
+#include "analysis/export.hpp"
+#include "cachesim/refresh.hpp"
+#include "cachesim/whole_house.hpp"
+#include "scenario/scenario.hpp"
+#include "stream/online_study.hpp"
+#include "stream/spool.hpp"
+#include "util/strings.hpp"
+
+#ifndef DNSCTX_GOLDEN_DIR
+#error "DNSCTX_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace dnsctx {
+namespace {
+
+constexpr std::size_t kHouses = 12;
+constexpr int kHours = 3;
+
+[[nodiscard]] capture::Dataset simulate(std::uint64_t seed, std::size_t shards) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = kHouses;
+  cfg.duration = SimDuration::hours(kHours);
+  cfg.seed = seed;
+  cfg.shards = shards;
+  scenario::Town town{cfg};
+  town.run();
+  return town.harvest();
+}
+
+/// Full-precision double: the golden diff must catch a 1-ulp drift.
+[[nodiscard]] std::string g(double v) { return strfmt("%.17g", v); }
+
+[[nodiscard]] std::string render_batch(const capture::Dataset& ds,
+                                       const analysis::Study& s) {
+  std::string out;
+  out += analysis::format_table1(s);
+  out += analysis::format_table2(s, ds);
+  out += analysis::format_fig1(s);
+  out += analysis::format_fig2(s);
+  out += analysis::format_fig3(s);
+
+  const auto wh = cachesim::simulate_whole_house(ds, s.pairing, s.classified);
+  out += strfmt("whole-house: sc_moved=%llu r_moved=%llu sc_total=%llu r_total=%llu\n",
+                static_cast<unsigned long long>(wh.sc_moved),
+                static_cast<unsigned long long>(wh.r_moved),
+                static_cast<unsigned long long>(wh.sc_total),
+                static_cast<unsigned long long>(wh.r_total));
+  for (const auto policy :
+       {cachesim::RefreshPolicy::kStandard, cachesim::RefreshPolicy::kRefreshAll}) {
+    cachesim::RefreshConfig cfg;
+    cfg.policy = policy;
+    const auto r = cachesim::simulate_refresh(ds, s.pairing, cfg);
+    out += strfmt("refresh[%s]: conns=%llu conn_hits=%llu upstream=%llu refresh=%llu\n",
+                  std::string{to_string(policy)}.c_str(),
+                  static_cast<unsigned long long>(r.conns),
+                  static_cast<unsigned long long>(r.conn_hits),
+                  static_cast<unsigned long long>(r.upstream_lookups),
+                  static_cast<unsigned long long>(r.refresh_lookups));
+  }
+  return out;
+}
+
+[[nodiscard]] std::string render_exports(const analysis::Study& s) {
+  const auto dir = std::filesystem::temp_directory_path() / "dnsctx_golden_csv";
+  std::filesystem::create_directories(dir);
+  const std::size_t written = analysis::export_study_csv(s, dir.string());
+  std::string out = strfmt("csv files: %zu\n", written);
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    std::ifstream is{dir / name};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    out += "==== " + name + " ====\n" + ss.str();
+  }
+  std::filesystem::remove_all(dir);
+  return out;
+}
+
+[[nodiscard]] std::string render_stream(const capture::Dataset& ds) {
+  stream::OnlineStudy engine;
+  stream::replay_dataset(ds, engine);
+  const auto r = engine.finalize();
+
+  std::string out;
+  out += strfmt("conns=%llu dns=%llu\n", static_cast<unsigned long long>(r.conns),
+                static_cast<unsigned long long>(r.dns));
+  out += strfmt("pairing: paired=%llu unpaired=%llu expired=%llu unique=%llu multi=%llu\n",
+                static_cast<unsigned long long>(r.pairing.paired),
+                static_cast<unsigned long long>(r.pairing.unpaired),
+                static_cast<unsigned long long>(r.pairing.paired_expired),
+                static_cast<unsigned long long>(r.pairing.unique_candidate),
+                static_cast<unsigned long long>(r.pairing.multiple_candidates));
+  out += "unused_lookup_frac=" + g(r.unused_lookup_frac) + "\n";
+  out += strfmt("classes: n=%llu lc=%llu p=%llu sc=%llu r=%llu lc_exp=%llu p_exp=%llu\n",
+                static_cast<unsigned long long>(r.classes.n),
+                static_cast<unsigned long long>(r.classes.lc),
+                static_cast<unsigned long long>(r.classes.p),
+                static_cast<unsigned long long>(r.classes.sc),
+                static_cast<unsigned long long>(r.classes.r),
+                static_cast<unsigned long long>(r.lc_expired),
+                static_cast<unsigned long long>(r.p_expired));
+  // Threshold map: iteration order is an implementation detail; print
+  // sorted by resolver address.
+  std::vector<std::pair<Ipv4Addr, double>> thresholds{r.resolver_threshold_ms.begin(),
+                                                      r.resolver_threshold_ms.end()};
+  std::sort(thresholds.begin(), thresholds.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [ip, ms] : thresholds) {
+    out += "threshold " + ip.to_string() + " = " + g(ms) + "\n";
+  }
+  for (const auto& row : r.table1) {
+    out += "table1 " + row.platform + " " + g(row.pct_houses) + " " + g(row.pct_lookups) +
+           " " + g(row.pct_conns) + " " + g(row.pct_bytes) +
+           strfmt(" %llu\n", static_cast<unsigned long long>(row.lookups));
+  }
+  out += "isp_only_houses=" + g(r.isp_only_houses) + "\n";
+  out += "quadrants " + g(r.quadrants.insignificant_both) + " " +
+         g(r.quadrants.relative_only) + " " + g(r.quadrants.absolute_only) + " " +
+         g(r.quadrants.significant_both) + " " + g(r.quadrants.significant_overall) + "\n";
+  for (const auto& p : r.platforms) {
+    out += strfmt("platform %s sc=%llu r=%llu conncheck=%llu total=%llu\n",
+                  p.platform.c_str(), static_cast<unsigned long long>(p.sc),
+                  static_cast<unsigned long long>(p.r),
+                  static_cast<unsigned long long>(p.conncheck_conns),
+                  static_cast<unsigned long long>(p.total_conns));
+  }
+  return out;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const auto path = std::filesystem::path{DNSCTX_GOLDEN_DIR} / (name + ".golden");
+  if (std::getenv("DNSCTX_GOLDEN_UPDATE") != nullptr) {
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream os{path, std::ios::binary};
+    os << actual;
+    ASSERT_TRUE(os.good()) << "failed to write " << path;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream is{path, std::ios::binary};
+  ASSERT_TRUE(is.good()) << "missing golden file " << path
+                         << " (run with DNSCTX_GOLDEN_UPDATE=1 to create)";
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string expected = ss.str();
+  // EXPECT_EQ on the whole blob would dump megabytes on failure; find
+  // the first differing line instead.
+  if (actual == expected) return;
+  std::istringstream a{actual}, e{expected};
+  std::string al, el;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(a, al));
+    const bool more_e = static_cast<bool>(std::getline(e, el));
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(el, al) << "first mismatch vs " << path << " at line " << line;
+    ASSERT_EQ(more_e, more_a) << "length mismatch vs " << path << " after line " << line;
+  }
+  FAIL() << "golden mismatch vs " << path << " (no differing line found?)";
+}
+
+class Golden : public testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(Golden, BatchReportExportsAndStream) {
+  const auto [seed, shards] = GetParam();
+  const auto ds = simulate(seed, shards);
+  const auto study = analysis::run_study(ds);
+  const auto tag = strfmt("seed%llu_shards%zu", static_cast<unsigned long long>(seed), shards);
+  check_golden("batch_" + tag, render_batch(ds, study));
+  check_golden("export_" + tag, render_exports(study));
+  check_golden("stream_" + tag, render_stream(ds));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndShards, Golden,
+                         testing::Combine(testing::Values(1ull, 7ull),
+                                          testing::Values(std::size_t{1}, std::size_t{4})),
+                         [](const auto& info) {
+                           return strfmt("seed%llu_shards%zu",
+                                         static_cast<unsigned long long>(std::get<0>(info.param)),
+                                         std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace dnsctx

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare benchmark JSON records against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
+
+Both files may be either:
+  * dnsctx bench records — one JSON object per line, as written by the
+    ``--json PATH`` flag of bench_table1 / bench_stream etc., or
+  * a google-benchmark ``--benchmark_out`` file (single JSON object with
+    a ``benchmarks`` array) — bench_micro's native output.
+
+Records are matched by a scenario key; for each metric that appears in
+both files the relative change is printed, and the script exits 1 when
+any LOWER-IS-BETTER metric regresses by more than ``--threshold``
+(default 10%). Metrics present on only one side are reported but never
+fail the comparison, so baselines survive adding new benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Lower-is-better metrics compared per record, by bench kind.
+WATCHED_METRICS = {
+    "Table 1": ["study_sec", "peak_rss_bytes"],
+    "bench_stream": ["stream_sec", "stream_peak_rss_bytes"],
+    "micro": ["real_time_ns"],
+}
+
+
+def load_records(path: Path) -> dict[str, dict[str, float]]:
+    """Parse a bench file into {record_key: {metric: value}}."""
+    text = path.read_text()
+    records: dict[str, dict[str, float]] = {}
+
+    def add(key: str, metrics: dict[str, float]) -> None:
+        # Last record wins when a file accumulated several runs of the
+        # same scenario (the --json flag appends).
+        records[key] = metrics
+
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"benchmarks"' in text:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "benchmarks" in doc:
+            unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+            for b in doc["benchmarks"]:
+                if b.get("run_type", "iteration") != "iteration":
+                    continue
+                ns = float(b["real_time"]) * unit_ns[b.get("time_unit", "ns")]
+                add(f"micro/{b['name']}", {"real_time_ns": ns})
+            return records
+
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{line_no}: not valid JSON: {e}")
+        bench = rec.get("bench", "?")
+        if bench == "micro":
+            key = f"micro/{rec['name']}"
+            metrics = {"real_time_ns": float(rec["real_time_ns"])}
+        else:
+            key = "{}/houses={} hours={} seed={} threads={} shards={}".format(
+                bench, rec.get("houses"), rec.get("hours"), rec.get("seed"),
+                rec.get("threads", 1), rec.get("shards", 1))
+            metrics = {
+                m: float(rec[m])
+                for m in WATCHED_METRICS.get(bench, [])
+                if m in rec
+            }
+        add(key, metrics)
+    return records
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("current", type=Path)
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed relative regression (default: 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    curr = load_records(args.current)
+    if not base:
+        sys.exit(f"{args.baseline}: no benchmark records found")
+    if not curr:
+        sys.exit(f"{args.current}: no benchmark records found")
+
+    regressions = []
+    print(f"{'record / metric':58} {'baseline':>14} {'current':>14} {'change':>9}")
+    for key in sorted(base):
+        if key not in curr:
+            print(f"{key:58} {'(baseline only — skipped)':>38}")
+            continue
+        for metric, base_val in sorted(base[key].items()):
+            curr_val = curr[key].get(metric)
+            if curr_val is None:
+                continue
+            change = (curr_val - base_val) / base_val if base_val else 0.0
+            flag = ""
+            if change > args.threshold:
+                flag = "  << REGRESSION"
+                regressions.append((key, metric, change))
+            print(f"{key + ' ' + metric:58} {base_val:14.3f} {curr_val:14.3f} "
+                  f"{change:+8.1%}{flag}")
+    for key in sorted(set(curr) - set(base)):
+        print(f"{key:58} {'(current only — skipped)':>38}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for key, metric, change in regressions:
+            print(f"  {key} {metric}: {change:+.1%}")
+        return 1
+    print(f"\nOK: no metric regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
