@@ -24,6 +24,7 @@
 #include <sys/resource.h>
 
 #include "analysis/export.hpp"
+#include "analysis/failures.hpp"
 #include "analysis/report.hpp"
 #include "scenario/scenario.hpp"
 
@@ -46,6 +47,7 @@ struct BenchScale {
   unsigned threads = 1;   ///< workers for simulation and analysis (0 = hardware)
   std::size_t shards = 1; ///< simulation shards (a scenario knob, see scenario.hpp)
   std::string json_path;  ///< when non-empty, append a one-line JSON timing record
+  std::string faults;     ///< fault plan spec ("" = unimpaired baseline)
 };
 
 [[nodiscard]] inline BenchScale parse_scale(int argc, char** argv) {
@@ -66,6 +68,10 @@ struct BenchScale {
     }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       s.json_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      s.faults = argv[++i];
       continue;
     }
     switch (++pos) {
@@ -93,6 +99,7 @@ struct BenchScale {
   cfg.seed = s.seed;
   cfg.shards = s.shards;
   cfg.threads = s.threads;
+  if (!s.faults.empty()) cfg.faults = faults::FaultPlan::parse(s.faults);
   return cfg;
 }
 
@@ -117,15 +124,28 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   const double total_sec = run.gen_sec + run.study_sec;
   const double records_per_sec =
       total_sec > 0.0 ? static_cast<double>(conns + dns) / total_sec : 0.0;
-  char buf[512];
+  const analysis::FailureReport failures =
+      analysis::build_failure_report(run.town().dataset());
+  const analysis::FailureCounts& fc = failures.counts;
+  char buf[1024];
   std::snprintf(buf, sizeof buf,
                 "{\"bench\":\"%s\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
-                "\"threads\":%u,\"shards\":%zu,\"gen_sec\":%.3f,\"study_sec\":%.3f,"
+                "\"threads\":%u,\"shards\":%zu,\"faults\":\"%s\","
+                "\"gen_sec\":%.3f,\"study_sec\":%.3f,"
                 "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f,"
+                "\"failed_lookups\":%llu,\"servfail\":%llu,\"retry_chains\":%llu,"
+                "\"recovered_chains\":%llu,\"failed_chains\":%llu,\"s0_conns\":%llu,"
                 "\"peak_rss_bytes\":%llu}",
                 bench_name, s.houses, s.hours, static_cast<unsigned long long>(s.seed),
-                s.threads, s.shards, run.gen_sec, run.study_sec,
+                s.threads, s.shards, s.faults.c_str(), run.gen_sec, run.study_sec,
                 total_sec, conns, dns, records_per_sec,
+                static_cast<unsigned long long>(fc.unanswered + fc.servfail +
+                                                fc.other_rcode),
+                static_cast<unsigned long long>(fc.servfail),
+                static_cast<unsigned long long>(fc.retry_chains),
+                static_cast<unsigned long long>(fc.recovered_chains),
+                static_cast<unsigned long long>(fc.failed_chains),
+                static_cast<unsigned long long>(fc.s0_conns),
                 static_cast<unsigned long long>(peak_rss_bytes()));
   os << buf << '\n';
 }

@@ -1,0 +1,126 @@
+// dnsctx — runtime fault injectors driven by a FaultPlan.
+//
+// Two halves, matching where impairments physically occur:
+//   * PacketFaultInjector — consulted by netsim::Network once per
+//     packet. Owns its own RNG stream (`faults/net` per shard) so the
+//     baseline streams (latency jitter, app behaviour) are untouched;
+//     with all rates zero it never draws, keeping empty-plan runs
+//     byte-identical.
+//   * ResolverFaultConfig — per-platform failure knobs plus timed
+//     outage windows, applied inside RecursiveResolverPlatform with its
+//     own `faults/resolver` stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "util/ip.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dnsctx::faults {
+
+struct PacketFaultConfig {
+  double loss = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  /// Extra queueing delay for reordered packets.
+  SimDuration reorder_extra = SimDuration::from_ms(30.0);
+  /// Gap between the two copies of a duplicated packet.
+  SimDuration dup_gap = SimDuration::us(400);
+
+  [[nodiscard]] static PacketFaultConfig from_plan(const FaultPlan& plan) {
+    PacketFaultConfig cfg;
+    cfg.loss = plan.loss;
+    cfg.dup = plan.dup;
+    cfg.reorder = plan.reorder;
+    cfg.reorder_extra = SimDuration::from_ms(plan.reorder_extra_ms);
+    return cfg;
+  }
+};
+
+/// What the network should do with one packet.
+struct FaultDecision {
+  bool drop = false;
+  /// A dropped packet lost on the access leg before the aggregation
+  /// point is invisible to the monitor; one lost past the tap was
+  /// observed but never delivered. The coin is fair — the model does
+  /// not privilege either side of the tap.
+  bool drop_before_tap = false;
+  bool duplicate = false;
+  SimDuration extra_delay = SimDuration::zero();
+  SimDuration dup_gap = SimDuration::zero();
+};
+
+/// Per-shard packet impairment source. Every draw is gated on its rate
+/// being nonzero, so a zero-rate injector consumes no randomness and
+/// decide() degenerates to the identity decision.
+class PacketFaultInjector {
+ public:
+  PacketFaultInjector(PacketFaultConfig cfg, std::uint64_t seed) : cfg_{cfg}, rng_{seed} {}
+
+  [[nodiscard]] FaultDecision decide() {
+    FaultDecision d;
+    if (cfg_.loss > 0.0 && rng_.bernoulli(cfg_.loss)) {
+      d.drop = true;
+      d.drop_before_tap = rng_.bernoulli(0.5);
+      ++drops_;
+      if (d.drop_before_tap) ++drops_unobserved_;
+      return d;  // a lost packet cannot also duplicate or reorder
+    }
+    if (cfg_.dup > 0.0 && rng_.bernoulli(cfg_.dup)) {
+      d.duplicate = true;
+      d.dup_gap = cfg_.dup_gap;
+      ++duplicates_;
+    }
+    if (cfg_.reorder > 0.0 && rng_.bernoulli(cfg_.reorder)) {
+      d.extra_delay = cfg_.reorder_extra;
+      ++reorders_;
+    }
+    return d;
+  }
+
+  [[nodiscard]] const PacketFaultConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t drops_unobserved() const { return drops_unobserved_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t reorders() const { return reorders_; }
+
+ private:
+  PacketFaultConfig cfg_;
+  Rng rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t drops_unobserved_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reorders_ = 0;
+};
+
+/// One resolved outage window (plan targets mapped to addresses).
+struct OutageWindow {
+  Ipv4Addr addr;
+  SimTime begin;
+  SimTime end;
+};
+
+struct ResolverFaultConfig {
+  double servfail_rate = 0.0;
+  double nxdomain_rate = 0.0;
+  std::vector<OutageWindow> outages;
+
+  [[nodiscard]] bool active() const {
+    return servfail_rate > 0.0 || nxdomain_rate > 0.0 || !outages.empty();
+  }
+
+  /// True when `service_addr` is dark at `now`. Windows are few (one
+  /// per plan clause), so a linear scan on the resolver's hot path is
+  /// cheaper than any index.
+  [[nodiscard]] bool in_outage(Ipv4Addr service_addr, SimTime now) const {
+    for (const OutageWindow& w : outages) {
+      if (w.addr == service_addr && now >= w.begin && now < w.end) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace dnsctx::faults

@@ -1,0 +1,129 @@
+#include "faults/plan.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::faults {
+
+namespace {
+
+[[nodiscard]] std::runtime_error bad(std::string_view what, std::string_view detail) {
+  return std::runtime_error{
+      strfmt("fault plan: %.*s '%.*s'", static_cast<int>(what.size()), what.data(),
+             static_cast<int>(detail.size()), detail.data())};
+}
+
+[[nodiscard]] double parse_double(std::string_view v) {
+  double out{};
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) throw bad("bad number", v);
+  return out;
+}
+
+[[nodiscard]] std::int64_t parse_int(std::string_view v) {
+  std::int64_t out{};
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) throw bad("bad number", v);
+  return out;
+}
+
+[[nodiscard]] double parse_rate(std::string_view key, std::string_view v) {
+  const double rate = parse_double(v);
+  if (rate < 0.0 || rate > 1.0) throw bad("rate outside [0,1] for", key);
+  return rate;
+}
+
+/// Shortest decimal string that round-trips to exactly this double —
+/// what makes parse(to_string(plan)) == plan hold bit for bit.
+[[nodiscard]] std::string exact(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string{"0"};
+}
+
+}  // namespace
+
+Outage parse_outage(std::string_view spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) throw bad("bad outage", spec);
+  const std::string_view window = spec.substr(colon + 1);
+  const auto dash = window.find('-');
+  if (dash == std::string_view::npos) throw bad("bad outage", spec);
+  Outage o;
+  o.target = std::string{spec.substr(0, colon)};
+  o.begin_sec = parse_int(window.substr(0, dash));
+  o.end_sec = parse_int(window.substr(dash + 1));
+  if (o.begin_sec < 0 || o.end_sec <= o.begin_sec) throw bad("empty outage window", spec);
+  return o;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) throw bad("expected key=value, got", item);
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "loss") {
+      plan.loss = parse_rate(key, value);
+    } else if (key == "dup") {
+      plan.dup = parse_rate(key, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_rate(key, value);
+    } else if (key == "reorder-ms") {
+      plan.reorder_extra_ms = parse_double(value);
+      if (plan.reorder_extra_ms < 0.0) throw bad("negative delay for", key);
+    } else if (key == "servfail") {
+      plan.servfail_rate = parse_rate(key, value);
+    } else if (key == "nxdomain") {
+      plan.nxdomain_rate = parse_rate(key, value);
+    } else if (key == "backoff") {
+      plan.backoff = parse_double(value);
+      if (plan.backoff < 1.0 || plan.backoff > 64.0) {
+        throw bad("backoff outside [1,64]", value);
+      }
+    } else if (key == "outage") {
+      plan.outages.push_back(parse_outage(value));
+    } else {
+      throw bad("unknown key", key);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  const FaultPlan defaults;
+  std::string out;
+  const auto emit = [&out](std::string_view key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (loss != defaults.loss) emit("loss", exact(loss));
+  if (dup != defaults.dup) emit("dup", exact(dup));
+  if (reorder != defaults.reorder) emit("reorder", exact(reorder));
+  if (reorder_extra_ms != defaults.reorder_extra_ms) {
+    emit("reorder-ms", exact(reorder_extra_ms));
+  }
+  if (servfail_rate != defaults.servfail_rate) emit("servfail", exact(servfail_rate));
+  if (nxdomain_rate != defaults.nxdomain_rate) emit("nxdomain", exact(nxdomain_rate));
+  if (backoff != defaults.backoff) emit("backoff", exact(backoff));
+  for (const Outage& o : outages) {
+    emit("outage", strfmt("%s:%lld-%lld", o.target.c_str(),
+                          static_cast<long long>(o.begin_sec),
+                          static_cast<long long>(o.end_sec)));
+  }
+  return out;
+}
+
+}  // namespace dnsctx::faults

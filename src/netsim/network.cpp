@@ -41,21 +41,37 @@ void Network::attach(Ipv4Addr addr, Host* host) { hosts_[addr] = host; }
 void Network::send(Packet p) {
   const SimTime sent = sim_.now();
   const SimDuration delay = latency_.one_way(p.src_ip, p.dst_ip, rng_);
-  const SimTime arrival = sent + delay;
+
+  // Impairments draw from the injector's private stream; without one
+  // the decision is the identity and this function schedules exactly
+  // the events it always has.
+  faults::FaultDecision fault;
+  if (injector_ != nullptr) fault = injector_->decide();
+
+  // A reordered packet picks up extra queueing delay on the core side,
+  // so both its tap crossing (for core→access packets) and its arrival
+  // shift together; at_tap >= sent still holds in every case.
+  const SimTime arrival = sent + delay + fault.extra_delay;
 
   // Tap crossing: only flows with exactly one access-side endpoint pass
   // the aggregation point. The crossing instant is offset by the access
   // leg's base delay from the endpoint on the access side.
   const bool src_access = is_access_ip(p.src_ip);
   const bool dst_access = is_access_ip(p.dst_ip);
-  if (tap_ != nullptr && src_access != dst_access) {
+  const bool crosses_tap = tap_ != nullptr && src_access != dst_access;
+  if (crosses_tap && !(fault.drop && fault.drop_before_tap)) {
     const SimTime at_tap = src_access ? sent + latency_.site(p.src_ip).base_one_way
                                       : arrival - latency_.site(p.dst_ip).base_one_way;
     // Deliver the observation as an event so monitor state advances in
     // global timestamp order, interleaved with deliveries. (at_tap can
     // never precede `sent`: it is sent + src leg (+jitter) in both cases.)
     sim_.at(at_tap, [tap = tap_, at_tap, p]() { tap->observe(at_tap, p); });
+    if (fault.duplicate) {
+      const SimTime dup_tap = at_tap + fault.dup_gap;
+      sim_.at(dup_tap, [tap = tap_, dup_tap, p]() { tap->observe(dup_tap, p); });
+    }
   }
+  if (fault.drop) return;  // lost in flight: observed (maybe), never delivered
 
   Host* target = nullptr;
   if (const auto it = hosts_.find(p.dst_ip); it != hosts_.end()) {
@@ -67,7 +83,10 @@ void Network::send(Packet p) {
     ++dropped_;
     return;
   }
-  sim_.after(delay, [target, p = std::move(p)]() { target->receive(p); });
+  if (fault.duplicate) {
+    sim_.at(arrival + fault.dup_gap, [target, p]() { target->receive(p); });
+  }
+  sim_.at(arrival, [target, p = std::move(p)]() { target->receive(p); });
 }
 
 }  // namespace dnsctx::netsim

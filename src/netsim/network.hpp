@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "faults/injector.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/sim.hpp"
 #include "util/rng.hpp"
@@ -79,6 +80,13 @@ class Network {
   /// Install the aggregation-point tap.
   void set_tap(PacketTap* tap) { tap_ = tap; }
 
+  /// Install a packet fault injector (non-owning; nullptr = perfect
+  /// network, the byte-identical baseline).
+  void set_fault_injector(faults::PacketFaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] const faults::PacketFaultInjector* fault_injector() const {
+    return injector_;
+  }
+
   /// Declare an address as access-side (a house external IP).
   void register_access_ip(Ipv4Addr addr) { access_.insert(addr); }
   [[nodiscard]] bool is_access_ip(Ipv4Addr addr) const { return access_.contains(addr); }
@@ -102,6 +110,7 @@ class Network {
   std::unordered_set<Ipv4Addr, Ipv4Hash> access_;
   Host* default_host_ = nullptr;
   PacketTap* tap_ = nullptr;
+  faults::PacketFaultInjector* injector_ = nullptr;
   std::uint64_t dropped_ = 0;
 };
 

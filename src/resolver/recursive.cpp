@@ -15,10 +15,22 @@ RecursiveResolverPlatform::RecursiveResolverPlatform(netsim::Simulator& sim,
   for (const auto addr : cfg_.addrs) net_.attach(addr, this);
 }
 
+void RecursiveResolverPlatform::set_faults(faults::ResolverFaultConfig cfg,
+                                           std::uint64_t seed) {
+  faults_ = std::move(cfg);
+  fault_rng_ = faults_.active() ? std::make_unique<Rng>(seed) : nullptr;
+}
+
 void RecursiveResolverPlatform::receive(const netsim::Packet& p) {
   // Port 53 is classic DNS; 853 models encrypted transports (DoT/DoQ):
   // same semantics, but the monitor cannot parse what it cannot read.
   if (p.dst_port != 53 && p.dst_port != 853) return;
+  if (fault_rng_ && faults_.in_outage(p.dst_ip, sim_.now())) {
+    // The service address is dark: no SYN-ACK, no answer — clients see
+    // pure timeouts, exactly like a dead or overloaded box.
+    ++stats_.outage_dropped;
+    return;
+  }
   if (p.proto == Proto::kTcp) {
     // Minimal TCP/53 service for truncation fallback (RFC 1035 §4.2.2).
     if (p.tcp.rst) return;
@@ -90,6 +102,24 @@ void RecursiveResolverPlatform::answer(const netsim::Packet& query,
                                        const dns::DnsMessage& msg) {
   ++stats_.queries;
   const dns::Question& q = msg.questions.front();
+
+  if (fault_rng_) {
+    // Injected failures fire before the cache: a platform melting down
+    // fails queries it could otherwise have answered from cache.
+    if (faults_.servfail_rate > 0.0 && fault_rng_->bernoulli(faults_.servfail_rate)) {
+      ++stats_.servfail_injected;
+      respond(query, msg, {}, dns::Rcode::kServFail,
+              SimDuration::from_ms(cfg_.proc_ms));
+      return;
+    }
+    if (faults_.nxdomain_rate > 0.0 && fault_rng_->bernoulli(faults_.nxdomain_rate)) {
+      ++stats_.nxdomain_injected;
+      ++stats_.nxdomain;
+      respond(query, msg, {}, dns::Rcode::kNxDomain,
+              SimDuration::from_ms(cfg_.proc_ms));
+      return;
+    }
+  }
   const std::size_t shard = shard_for(q.qname, query.dst_ip);
   dns::DnsCache& cache = shards_[shard];
 
@@ -145,8 +175,18 @@ void RecursiveResolverPlatform::answer(const netsim::Packet& query,
     }
   }
 
+  respond(query, msg, std::move(answers), rcode, delay);
+}
+
+void RecursiveResolverPlatform::respond(const netsim::Packet& query,
+                                        const dns::DnsMessage& msg,
+                                        std::vector<dns::ResourceRecord> answers,
+                                        dns::Rcode rcode, SimDuration delay) {
+  const dns::Question& q = msg.questions.front();
   dns::DnsMessage resp = dns::DnsMessage::response(msg, std::move(answers), rcode);
-  if (resp.answers.empty()) {
+  // SERVFAIL means the resolution machinery broke, not that the name is
+  // absent — no SOA accompanies it.
+  if (resp.answers.empty() && rcode != dns::Rcode::kServFail) {
     // RFC 2308: negative responses carry the zone SOA in the authority
     // section; its MINIMUM bounds the negative-caching time.
     dns::SoaData soa;

@@ -20,6 +20,7 @@
 
 #include "dns/cache.hpp"
 #include "dns/codec.hpp"
+#include "faults/injector.hpp"
 #include "netsim/network.hpp"
 #include "resolver/zonedb.hpp"
 
@@ -53,6 +54,9 @@ struct PlatformStats {
   std::uint64_t auth_resolutions = 0;
   std::uint64_t nxdomain = 0;
   std::uint64_t truncated_udp = 0;  ///< responses that exceeded 512 B over UDP/53
+  std::uint64_t servfail_injected = 0;  ///< failures injected by the fault plan
+  std::uint64_t nxdomain_injected = 0;  ///< spurious NXDOMAINs from the fault plan
+  std::uint64_t outage_dropped = 0;     ///< packets swallowed during a timed outage
 
   [[nodiscard]] double cache_hit_rate() const {
     return queries ? static_cast<double>(shard_hits + ambient_hits) /
@@ -69,6 +73,11 @@ class RecursiveResolverPlatform : public netsim::Host {
 
   void receive(const netsim::Packet& p) override;
 
+  /// Arm plan-driven failures. The fault RNG is a dedicated stream so
+  /// arming (or re-arming) never perturbs the platform's own draws;
+  /// an inactive config keeps the baseline byte-identical.
+  void set_faults(faults::ResolverFaultConfig cfg, std::uint64_t seed);
+
   [[nodiscard]] const PlatformConfig& config() const { return cfg_; }
   [[nodiscard]] const PlatformStats& stats() const { return stats_; }
 
@@ -77,6 +86,8 @@ class RecursiveResolverPlatform : public netsim::Host {
 
  private:
   void answer(const netsim::Packet& query, const dns::DnsMessage& msg);
+  void respond(const netsim::Packet& query, const dns::DnsMessage& msg,
+               std::vector<dns::ResourceRecord> answers, dns::Rcode rcode, SimDuration delay);
   [[nodiscard]] std::size_t shard_for(const dns::DomainName& qname, Ipv4Addr service_addr);
   [[nodiscard]] SimDuration sample_auth_delay();
 
@@ -87,6 +98,8 @@ class RecursiveResolverPlatform : public netsim::Host {
   Rng rng_;
   std::vector<dns::DnsCache> shards_;
   PlatformStats stats_;
+  faults::ResolverFaultConfig faults_;
+  std::unique_ptr<Rng> fault_rng_;  ///< null until set_faults() arms a plan
 };
 
 /// Build the paper's four platforms (Table 1) with calibrated profiles:

@@ -75,6 +75,7 @@ std::shared_ptr<StubResolver::Pending> StubResolver::start_query(const dns::Doma
 }
 
 void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
+  ++pending->attempt_gen;  // invalidate timers armed for earlier attempts
   const Ipv4Addr resolver = cfg_.resolver_addrs[pending->resolver_idx];
   dns::DnsMessage q = dns::DnsMessage::query(pending->txid, pending->name, pending->qtype);
   netsim::Packet p;
@@ -89,9 +90,35 @@ void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
   arm_timeout(pending);
 }
 
+SimDuration StubResolver::attempt_timeout(const Pending& pending) const {
+  if (cfg_.retry_backoff == 1.0) return cfg_.query_timeout;
+  // Multiply out instead of pow(): bit-exact across libm versions.
+  double scale = 1.0;
+  for (int i = 0; i < pending.timeouts; ++i) scale *= cfg_.retry_backoff;
+  const double us = static_cast<double>(cfg_.query_timeout.count_us()) * scale;
+  const double cap = static_cast<double>(cfg_.max_query_timeout.count_us());
+  return SimDuration::us(static_cast<std::int64_t>(us < cap ? us : cap));
+}
+
+bool StubResolver::try_next_attempt(const std::shared_ptr<Pending>& pending) {
+  if (pending->attempts_on_resolver < cfg_.retries_per_resolver) {
+    ++pending->attempts_on_resolver;
+    send_query(pending);
+    return true;
+  }
+  if (pending->resolver_idx + 1 < cfg_.resolver_addrs.size()) {
+    ++pending->resolver_idx;
+    pending->attempts_on_resolver = 0;
+    send_query(pending);
+    return true;
+  }
+  return false;
+}
+
 void StubResolver::arm_timeout(const std::shared_ptr<Pending>& pending) {
-  sim_.after(cfg_.query_timeout, [this, pending]() {
-    if (pending->done) return;
+  const std::uint32_t gen = pending->attempt_gen;
+  sim_.after(attempt_timeout(*pending), [this, pending, gen]() {
+    if (pending->done || pending->attempt_gen != gen) return;
     if (pending->via_tcp) {
       // The TCP retry itself stalled: give up (terminal failure).
       tcp_by_port_.erase(pending->tcp_port);
@@ -99,17 +126,8 @@ void StubResolver::arm_timeout(const std::shared_ptr<Pending>& pending) {
       finish(pending, ResolveResult{});
       return;
     }
-    if (pending->attempts_on_resolver < cfg_.retries_per_resolver) {
-      ++pending->attempts_on_resolver;
-      send_query(pending);
-      return;
-    }
-    if (pending->resolver_idx + 1 < cfg_.resolver_addrs.size()) {
-      ++pending->resolver_idx;
-      pending->attempts_on_resolver = 0;
-      send_query(pending);
-      return;
-    }
+    ++pending->timeouts;
+    if (try_next_attempt(pending)) return;
     ++failures_;
     finish(pending, ResolveResult{});  // terminal failure
   });
@@ -126,6 +144,19 @@ void StubResolver::on_response(const netsim::Packet& p) {
   // Anti-spoofing checks a real stub performs: source and port match.
   if (p.src_ip != cfg_.resolver_addrs[pending->resolver_idx] ||
       p.dst_port != pending->src_port) {
+    return;
+  }
+
+  if (msg->flags.rcode == dns::Rcode::kServFail && !pending->via_tcp &&
+      pending->resolver_idx + 1 < cfg_.resolver_addrs.size()) {
+    // Real stubs fail over on SERVFAIL right away instead of burning
+    // the retransmission budget on a resolver that answered "broken"
+    // (glibc / systemd-resolved behaviour). The timer armed for this
+    // attempt goes stale: send_query bumps attempt_gen past it.
+    ++servfail_failovers_;
+    ++pending->resolver_idx;
+    pending->attempts_on_resolver = 0;
+    send_query(pending);
     return;
   }
 
@@ -162,9 +193,13 @@ void StubResolver::deliver_response(const std::shared_ptr<Pending>& pending,
                   extra);
   } else {
     // Negative caching (RFC 2308): hold NXDOMAIN/NODATA for a few
-    // minutes so repeated misses don't re-query immediately.
-    cache_.insert(pending->name, dns::RrType::kA, {}, msg.flags.rcode, sim_.now(),
-                  SimDuration::sec(300));
+    // minutes so repeated misses don't re-query immediately. SERVFAIL
+    // marks a transient server problem and is held much shorter
+    // (RFC 2308 §7.1), so recovery retries aren't suppressed.
+    const SimDuration neg_hold = msg.flags.rcode == dns::Rcode::kServFail
+                                     ? SimDuration::sec(30)
+                                     : SimDuration::sec(300);
+    cache_.insert(pending->name, dns::RrType::kA, {}, msg.flags.rcode, sim_.now(), neg_hold);
   }
   if (!res.success && pending->qtype == dns::RrType::kA) ++failures_;
   finish(pending, std::move(res));

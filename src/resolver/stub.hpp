@@ -40,6 +40,12 @@ struct StubConfig {
   double speculative_hold_max_sec = 600.0;
   SimDuration query_timeout = SimDuration::sec(3);
   int retries_per_resolver = 1;
+  /// Timeout multiplier applied per successive timeout of one lookup
+  /// (exponential backoff). 1.0 = fixed timeout — the historical
+  /// behaviour, byte-identical to builds without the knob.
+  double retry_backoff = 1.0;
+  /// Backoff ceiling: no single attempt waits longer than this.
+  SimDuration max_query_timeout = SimDuration::sec(30);
   /// 53 = plain DNS. 853 models encrypted DNS (DoT/DoQ): resolution
   /// still works, but the aggregation-point monitor can no longer parse
   /// the transactions (§3/§5.1's "future efforts..." observation).
@@ -88,6 +94,7 @@ class StubResolver {
   void on_tcp(const netsim::Packet& p);
 
   [[nodiscard]] std::uint64_t tcp_fallbacks() const { return tcp_fallbacks_; }
+  [[nodiscard]] std::uint64_t servfail_failovers() const { return servfail_failovers_; }
 
   /// Force-expire the device cache (used by tests).
   void flush_cache() { cache_.clear(); }
@@ -108,12 +115,21 @@ class StubResolver {
     std::uint16_t src_port = 0;
     std::size_t resolver_idx = 0;
     int attempts_on_resolver = 0;
+    int timeouts = 0;  ///< drives the exponential-backoff exponent
+    /// Bumped by every (re)transmission; timeout closures capture the
+    /// value they armed against and no-op when a SERVFAIL-triggered
+    /// early retry has already moved the query past them.
+    std::uint32_t attempt_gen = 0;
     SimTime first_sent;
     bool done = false;
   };
 
   void send_query(const std::shared_ptr<Pending>& pending);
   void arm_timeout(const std::shared_ptr<Pending>& pending);
+  /// Advance to the next retransmission or failover target; false when
+  /// every configured attempt is exhausted.
+  bool try_next_attempt(const std::shared_ptr<Pending>& pending);
+  [[nodiscard]] SimDuration attempt_timeout(const Pending& pending) const;
   void finish(const std::shared_ptr<Pending>& pending, ResolveResult result);
   [[nodiscard]] std::shared_ptr<Pending> start_query(const dns::DomainName& name,
                                                      dns::RrType qtype, bool speculative);
@@ -142,6 +158,7 @@ class StubResolver {
   std::unordered_map<InflightKey, std::shared_ptr<Pending>, InflightKeyHash> inflight_;
   std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> tcp_by_port_;
   std::uint64_t tcp_fallbacks_ = 0;
+  std::uint64_t servfail_failovers_ = 0;
   std::uint16_t next_txid_ = 1;
   std::uint16_t next_port_ = 20'000;
   std::uint64_t queries_sent_ = 0;

@@ -48,6 +48,7 @@ void save_config(std::ostream& os, const ScenarioConfig& cfg) {
   os << strfmt("p2p_house_frac = %g\n", cfg.p2p_house_frac);
   os << strfmt("encrypted_dns_device_frac = %g\n", cfg.encrypted_dns_device_frac);
   os << strfmt("whole_house_cache_frac = %g\n", cfg.whole_house_cache_frac);
+  if (!cfg.faults.empty()) os << "faults = " << cfg.faults.to_string() << "\n";
   os << strfmt("mix.isp_only = %g\n", cfg.mix.isp_only);
   os << strfmt("mix.cloudflare = %g\n", cfg.mix.cloudflare);
   os << strfmt("mix.no_isp = %g\n", cfg.mix.no_isp);
@@ -93,6 +94,14 @@ ScenarioConfig load_config(std::istream& is) {
        [&](auto v, auto n) { cfg.encrypted_dns_device_frac = parse_number<double>(v, n); }},
       {"whole_house_cache_frac",
        [&](auto v, auto n) { cfg.whole_house_cache_frac = parse_number<double>(v, n); }},
+      {"faults",
+       [&](auto v, auto n) {
+         try {
+           cfg.faults = faults::FaultPlan::parse(v);
+         } catch (const std::exception& e) {
+           throw std::runtime_error{strfmt("config line %zu: %s", n, e.what())};
+         }
+       }},
       {"mix.isp_only", [&](auto v, auto n) { cfg.mix.isp_only = parse_number<double>(v, n); }},
       {"mix.cloudflare",
        [&](auto v, auto n) { cfg.mix.cloudflare = parse_number<double>(v, n); }},

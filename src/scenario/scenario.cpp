@@ -4,6 +4,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace dnsctx::scenario {
 
@@ -90,12 +91,25 @@ struct Town::House {
 struct Town::Shard {
   std::unique_ptr<netsim::Simulator> sim;
   std::unique_ptr<netsim::Network> net;
+  std::unique_ptr<faults::PacketFaultInjector> injector;  ///< null for the empty plan
   std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms;
   std::unique_ptr<traffic::ServerFarm> farm;
   std::unique_ptr<capture::Monitor> monitor;
   std::vector<std::unique_ptr<House>> houses;
   GroundTruth truth;
 };
+
+std::vector<Ipv4Addr> resolve_outage_target(const std::string& target) {
+  using namespace resolver::well_known;
+  if (target == "isp" || target == "local") return {kIspResolver1, kIspResolver2};
+  if (target == "upstream1") return {kIspResolver1};
+  if (target == "upstream2") return {kIspResolver2};
+  if (target == "google") return {kGoogle1, kGoogle2};
+  if (target == "opendns") return {kOpenDns1, kOpenDns2};
+  if (target == "cloudflare") return {kCloudflare1, kCloudflare2};
+  if (const auto addr = Ipv4Addr::parse(target)) return {*addr};
+  throw std::runtime_error{"fault plan: unknown outage target '" + target + "'"};
+}
 
 Town::Town(const ScenarioConfig& cfg)
     : cfg_{cfg}, rng_{derive_seed(cfg.seed, "town")} {
@@ -150,6 +164,28 @@ void Town::build_shard(std::size_t shard_idx, std::size_t house_begin, std::size
   netsim::LatencyModel latency;
   shard->net = std::make_unique<netsim::Network>(*shard->sim, latency, net_seed);
 
+  // Fault-plan wiring. Every fault stream lives under its own derive
+  // label so an empty plan leaves all baseline streams untouched (the
+  // injector is not even constructed then).
+  if (cfg_.faults.has_packet_faults()) {
+    shard->injector = std::make_unique<faults::PacketFaultInjector>(
+        faults::PacketFaultConfig::from_plan(cfg_.faults),
+        derive_seed(cfg_.seed, "faults/net", shard_idx));
+    shard->net->set_fault_injector(shard->injector.get());
+  }
+  faults::ResolverFaultConfig resolver_faults;
+  if (cfg_.faults.has_resolver_faults()) {
+    resolver_faults.servfail_rate = cfg_.faults.servfail_rate;
+    resolver_faults.nxdomain_rate = cfg_.faults.nxdomain_rate;
+    for (const faults::Outage& o : cfg_.faults.outages) {
+      for (const Ipv4Addr addr : resolve_outage_target(o.target)) {
+        resolver_faults.outages.push_back(
+            {addr, SimTime::origin() + SimDuration::sec(o.begin_sec),
+             SimTime::origin() + SimDuration::sec(o.end_sec)});
+      }
+    }
+  }
+
   for (auto& platform_cfg : resolver::default_platforms()) {
     for (const auto addr : platform_cfg.addrs) {
       shard->net->latency_mut().set_site(addr, platform_cfg.site);
@@ -158,6 +194,12 @@ void Town::build_shard(std::size_t shard_idx, std::size_t house_begin, std::size
         *shard->sim, *shard->net, *zones_, platform_cfg,
         derive_seed(cfg_.seed, "platform",
                     shard_idx * kPlatformSeedStride + shard->platforms.size())));
+    if (resolver_faults.active()) {
+      shard->platforms.back()->set_faults(
+          resolver_faults,
+          derive_seed(cfg_.seed, "faults/resolver",
+                      shard_idx * kPlatformSeedStride + (shard->platforms.size() - 1)));
+    }
   }
 
   const std::uint64_t farm_seed = shard_idx == 0 ? derive_seed(cfg_.seed, "farm")
@@ -337,10 +379,12 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
     }
     // Dual-stack OSes race AAAA lookups next to A (IoT gear mostly not).
     if (plan.kind != DeviceKind::kIot) stub_cfg.aaaa_prob = 0.55;
+    stub_cfg.retry_backoff = cfg_.faults.backoff;
     const std::uint64_t dev_seed = derive_seed(cfg_.seed, "device", index * 64 + dev_idx);
     auto device = std::make_unique<traffic::Device>(*shard.sim, *house->gateway, internal,
                                                     stub_cfg, dev_seed);
     device->set_ground_truth(&shard.truth);
+    device->set_syn_backoff(cfg_.faults.backoff);
 
     auto add_app = [&](std::unique_ptr<traffic::App> app) {
       app->start();
@@ -472,6 +516,24 @@ capture::Dataset Town::harvest() {
   });
   refresh_truth();
   return merge_shard_datasets(std::move(parts));
+}
+
+FaultStats Town::fault_stats() const {
+  FaultStats out;
+  for (const auto& shard : shards_) {
+    if (shard->injector) {
+      out.packets_dropped += shard->injector->drops();
+      out.packets_dropped_unobserved += shard->injector->drops_unobserved();
+      out.packets_duplicated += shard->injector->duplicates();
+      out.packets_reordered += shard->injector->reorders();
+    }
+    for (const auto& platform : shard->platforms) {
+      out.servfail_injected += platform->stats().servfail_injected;
+      out.nxdomain_injected += platform->stats().nxdomain_injected;
+      out.outage_dropped += platform->stats().outage_dropped;
+    }
+  }
+  return out;
 }
 
 void Town::refresh_truth() {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "capture/monitor.hpp"
+#include "faults/plan.hpp"
 #include "resolver/recursive.hpp"
 #include "traffic/apps.hpp"
 #include "traffic/farm.hpp"
@@ -66,11 +67,33 @@ struct ScenarioConfig {
   /// Execution-only: for a fixed `shards`, output is byte-identical for
   /// every thread count.
   unsigned threads = 1;
+  /// Deterministic impairment plan (empty = perfect network, the
+  /// byte-identical baseline). See docs/FAULTS.md for the grammar and
+  /// the determinism contract.
+  faults::FaultPlan faults;
 };
 
 /// Ground truth the monitor cannot see (defined beside Device, which
 /// maintains it).
 using GroundTruth = traffic::GroundTruth;
+
+/// Injected-fault tallies aggregated across shards (ground truth for
+/// validating the failure report; the monitor cannot see these).
+struct FaultStats {
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_dropped_unobserved = 0;
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t packets_reordered = 0;
+  std::uint64_t servfail_injected = 0;
+  std::uint64_t nxdomain_injected = 0;
+  std::uint64_t outage_dropped = 0;
+};
+
+/// Map a fault-plan outage target to concrete service addresses:
+/// "isp"/"local" (both ISP boxes), "upstream1"/"upstream2" (one each),
+/// "google"/"opendns"/"cloudflare" (both anycast addresses), or a
+/// dotted quad. Throws std::runtime_error for anything else.
+[[nodiscard]] std::vector<Ipv4Addr> resolve_outage_target(const std::string& target);
 
 struct HouseInfo {
   Ipv4Addr external_ip;
@@ -128,6 +151,10 @@ class Town {
 
   /// Number of simulation partitions actually in use.
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Injected-fault counters summed over shards (all zero when the
+  /// plan is empty).
+  [[nodiscard]] FaultStats fault_stats() const;
 
  private:
   struct House;

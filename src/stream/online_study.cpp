@@ -22,6 +22,7 @@ OnlineStudy::OnlineStudy(OnlineStudyConfig cfg) : cfg_{std::move(cfg)} {
     throw std::invalid_argument{"OnlineStudyConfig::sweep_interval must be > 0"};
   }
   conncheck_name_ = util::InternedName{cfg_.conncheck_name};
+  chains_ = analysis::ChainTracker{cfg_.chain_gap};
   local_id_ = cfg_.directory.id_of_label("Local");
   tallies_.resize(cfg_.directory.platform_count());
   platform_conns_.resize(cfg_.directory.platform_count());
@@ -47,6 +48,7 @@ void OnlineStudy::on_dns(const capture::DnsRecord& rec) {
     watermark_ = std::max(watermark_, rec.ts);
   }
   ++dns_total_;
+  chains_.on_dns(rec);
 
   // Table 1 DNS pass: every record counts, answered or not.
   const analysis::PlatformId pid = cfg_.directory.id_of(rec.resolver_ip);
@@ -114,6 +116,7 @@ void OnlineStudy::on_conn(const capture::ConnRecord& rec) {
     watermark_ = std::max(watermark_, rec.start);
   }
   ++conns_total_;
+  chains_.on_conn(rec);
 
   // ---- DN-Hunter pairing (mirrors pair_connections' inner loop) ----------
   const auto house_it = houses_.find(rec.orig_ip);
@@ -232,6 +235,9 @@ void OnlineStudy::maybe_sweep() {
 
 void OnlineStudy::sweep() {
   ingests_since_sweep_ = 0;
+  // Retry chains: future DNS records arrive at or after last_dns_, so
+  // chains whose gap window the frontier has passed are closed for good.
+  if (any_dns_) chains_.evict_before(last_dns_);
   const bool horizon_gc = cfg_.eviction_horizon != SimDuration::max();
   const SimTime horizon_cut =
       horizon_gc ? watermark_ - cfg_.eviction_horizon : SimTime::from_us(0);
@@ -392,6 +398,9 @@ OnlineStudyResult OnlineStudy::finalize() const {
   for (analysis::PlatformId id = 0; id < cfg_.directory.other_id(); ++id) emit_platform(id);
   emit_platform(cfg_.directory.other_id());
 
+  // ---- failure counters (open chains fold in as failed) -------------------
+  chains_.fold_into(out.failures);
+
   return out;
 }
 
@@ -481,6 +490,8 @@ void OnlineStudy::absorb(OnlineStudy&& other) {
     platform_conns_[id].total += other.platform_conns_[id].total;
     platform_conns_[id].conncheck += other.platform_conns_[id].conncheck;
   }
+
+  chains_.absorb(std::move(other.chains_));
 }
 
 }  // namespace dnsctx::stream

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "analysis/classify.hpp"
+#include "analysis/failures.hpp"
 #include "analysis/tables.hpp"
 #include "capture/records.hpp"
 #include "util/flat_map.hpp"
@@ -80,6 +81,9 @@ struct OnlineStudyConfig {
   SimDuration eviction_horizon = SimDuration::max();
   /// Ingests between eviction sweeps (amortizes the state walk).
   std::uint64_t sweep_interval = 8192;
+  /// Retry-chain gap for the failure counters (matches
+  /// analysis::FailureReportConfig::chain_gap).
+  SimDuration chain_gap = SimDuration::sec(15);
 };
 
 struct OnlinePairingStats {
@@ -140,6 +144,11 @@ struct OnlineStudyResult {
 
   OnlineQuadrants quadrants;
   std::vector<OnlinePlatformRow> platforms;
+
+  /// Failure/recovery counters (bit-identical to the batch
+  /// build_failure_report counts under every fault plan; the batch-only
+  /// timing CDFs are omitted like the other distribution outputs).
+  analysis::FailureCounts failures;
 };
 
 class OnlineStudy : public capture::RecordSink {
@@ -270,6 +279,10 @@ class OnlineStudy : public capture::RecordSink {
 
   // §7.
   std::vector<PlatConns> platform_conns_;
+
+  // Failure report counters (self-contained per-house chain state;
+  // evicted on the DNS frontier alongside the pairing sweep).
+  analysis::ChainTracker chains_;
 };
 
 }  // namespace dnsctx::stream

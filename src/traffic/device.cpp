@@ -57,8 +57,16 @@ void Device::send_syn(std::uint16_t sport) {
   gateway_.from_device(std::move(syn));
 }
 
+SimDuration Device::syn_timeout(int attempt) const {
+  if (syn_backoff_ == 1.0) return kSynTimeout;
+  double scale = 1.0;
+  for (int i = 1; i < attempt; ++i) scale *= syn_backoff_;
+  return SimDuration::us(
+      static_cast<std::int64_t>(static_cast<double>(kSynTimeout.count_us()) * scale));
+}
+
 void Device::arm_syn_timer(std::uint16_t sport, int expected_attempts) {
-  sim_.after(kSynTimeout, [this, sport, expected_attempts]() {
+  sim_.after(syn_timeout(expected_attempts), [this, sport, expected_attempts]() {
     const auto it = tcp_.find(sport);
     if (it == tcp_.end() || it->second.state != TcpState::kSynSent ||
         it->second.syn_attempts != expected_attempts) {

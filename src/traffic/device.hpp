@@ -71,6 +71,10 @@ class Device : public netsim::Host {
   /// Attach shared ground-truth counters (optional; non-owning).
   void set_ground_truth(GroundTruth* truth) { truth_ = truth; }
 
+  /// Scale successive SYN retransmission timeouts (real TCP doubles;
+  /// 1.0 keeps the historical fixed 3 s timer, byte-identical).
+  void set_syn_backoff(double factor) { syn_backoff_ = factor; }
+
   [[nodiscard]] resolver::StubResolver& stub() { return stub_; }
   [[nodiscard]] netsim::Simulator& sim() { return sim_; }
   [[nodiscard]] Rng& rng() { return rng_; }
@@ -91,6 +95,7 @@ class Device : public netsim::Host {
 
   void send_syn(std::uint16_t sport);
   void arm_syn_timer(std::uint16_t sport, int expected_attempts);
+  [[nodiscard]] SimDuration syn_timeout(int attempt) const;
   void open_tcp_impl(Ipv4Addr dst, std::uint16_t dst_port, netsim::TransferIntent intent,
                      ConnDone done);
   [[nodiscard]] std::uint16_t alloc_port();
@@ -106,6 +111,7 @@ class Device : public netsim::Host {
   std::uint16_t next_port_ = 10'000;
   std::uint64_t tcp_opened_ = 0;
   std::uint64_t tcp_failed_ = 0;
+  double syn_backoff_ = 1.0;
 
   static constexpr int kMaxSynAttempts = 3;
   static constexpr SimDuration kSynTimeout = SimDuration::sec(3);

@@ -1,0 +1,116 @@
+// FaultPlan grammar: parse/render round-trips (property-style over
+// random plans) and rejection of malformed specs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "faults/plan.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::faults {
+namespace {
+
+TEST(FaultPlan, EmptySpecParsesToEmptyPlan) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "");
+}
+
+TEST(FaultPlan, DefaultPlanChangesNothing) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.has_packet_faults());
+  EXPECT_FALSE(plan.has_resolver_faults());
+}
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan plan = FaultPlan::parse(
+      "loss=0.01,dup=0.002,reorder=0.003,reorder-ms=50,servfail=0.005,"
+      "nxdomain=0.001,backoff=2,outage=upstream1:3600-4200,outage=google:10-20");
+  EXPECT_DOUBLE_EQ(plan.loss, 0.01);
+  EXPECT_DOUBLE_EQ(plan.dup, 0.002);
+  EXPECT_DOUBLE_EQ(plan.reorder, 0.003);
+  EXPECT_DOUBLE_EQ(plan.reorder_extra_ms, 50.0);
+  EXPECT_DOUBLE_EQ(plan.servfail_rate, 0.005);
+  EXPECT_DOUBLE_EQ(plan.nxdomain_rate, 0.001);
+  EXPECT_DOUBLE_EQ(plan.backoff, 2.0);
+  ASSERT_EQ(plan.outages.size(), 2u);
+  EXPECT_EQ(plan.outages[0], (Outage{"upstream1", 3600, 4200}));
+  EXPECT_EQ(plan.outages[1], (Outage{"google", 10, 20}));
+  EXPECT_TRUE(plan.has_packet_faults());
+  EXPECT_TRUE(plan.has_resolver_faults());
+}
+
+TEST(FaultPlan, MalformedSpecsThrow) {
+  const char* bad[] = {
+      "loss",                      // missing value
+      "loss=",                     // empty value
+      "loss=abc",                  // not a number
+      "loss=1.5",                  // rate out of range
+      "loss=-0.1",                 // negative rate
+      "dup=2",                     // rate out of range
+      "reorder-ms=-1",             // negative delay
+      "backoff=0.5",               // below 1
+      "backoff=100",               // above 64
+      "frobnicate=1",              // unknown key
+      "outage=",                   // empty outage
+      "outage=upstream1",          // no window
+      "outage=upstream1:5",        // no end
+      "outage=upstream1:9-9",      // empty window
+      "outage=upstream1:10-5",     // inverted window
+      "outage=upstream1:-5-10",    // negative begin
+      "outage=:5-10",              // empty target
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)FaultPlan::parse(spec), std::runtime_error) << spec;
+  }
+}
+
+TEST(FaultPlan, ParseOutageClause) {
+  const Outage o = parse_outage("8.8.8.8:0-86400");
+  EXPECT_EQ(o.target, "8.8.8.8");
+  EXPECT_EQ(o.begin_sec, 0);
+  EXPECT_EQ(o.end_sec, 86400);
+}
+
+// Property: parse(to_string(plan)) == plan for randomized plans,
+// including awkward shortest-round-trip doubles like 0.1 and 1e-7.
+TEST(FaultPlan, RandomPlansRoundTripExactly) {
+  Rng rng{20240805};
+  const char* targets[] = {"isp", "upstream1", "upstream2", "google",
+                           "opendns", "cloudflare", "10.99.0.1"};
+  for (int trial = 0; trial < 100; ++trial) {
+    FaultPlan plan;
+    if (rng.bernoulli(0.7)) plan.loss = rng.uniform();
+    if (rng.bernoulli(0.7)) plan.dup = rng.uniform();
+    if (rng.bernoulli(0.7)) plan.reorder = rng.uniform();
+    if (rng.bernoulli(0.5)) plan.reorder_extra_ms = rng.uniform(0.0, 500.0);
+    if (rng.bernoulli(0.7)) plan.servfail_rate = rng.uniform();
+    if (rng.bernoulli(0.7)) plan.nxdomain_rate = rng.uniform();
+    if (rng.bernoulli(0.5)) plan.backoff = rng.uniform(1.0, 64.0);
+    if (rng.bernoulli(0.3)) plan.loss = 1e-7;  // exercise exponent rendering
+    const int n_outages = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n_outages; ++i) {
+      const std::int64_t begin = rng.uniform_int(0, 100'000);
+      plan.outages.push_back(Outage{targets[rng.uniform_int(0, 6)], begin,
+                                    begin + rng.uniform_int(1, 10'000)});
+    }
+    const std::string spec = plan.to_string();
+    const FaultPlan reparsed = FaultPlan::parse(spec);
+    EXPECT_EQ(reparsed, plan) << "spec: " << spec;
+    // And rendering is a fixed point.
+    EXPECT_EQ(reparsed.to_string(), spec);
+  }
+}
+
+TEST(FaultPlan, ToStringOmitsDefaults) {
+  FaultPlan plan;
+  plan.loss = 0.25;
+  EXPECT_EQ(plan.to_string(), "loss=0.25");
+  plan = FaultPlan{};
+  plan.backoff = 2.0;
+  EXPECT_EQ(plan.to_string(), "backoff=2");
+}
+
+}  // namespace
+}  // namespace dnsctx::faults

@@ -1,0 +1,211 @@
+// Client-side recovery edge cases under impairment: exponential retry
+// backoff timing, responses racing the timeout deadline, outage windows
+// straddling a lookup, duplicate responses after a successful retry, and
+// SERVFAIL failover.
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "resolver/stub.hpp"
+
+namespace dnsctx::resolver {
+namespace {
+
+constexpr Ipv4Addr kDevice{192, 168, 1, 10};
+constexpr Ipv4Addr kResolverA{100, 66, 250, 1};
+constexpr Ipv4Addr kResolverB{8, 8, 8, 8};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] StubResolver make_stub(StubConfig cfg = {}) {
+    if (cfg.resolver_addrs.empty()) cfg.resolver_addrs = {kResolverA, kResolverB};
+    return StubResolver{sim, kDevice, std::move(cfg), 77,
+                        [this](netsim::Packet p) { sent.push_back(std::move(p)); }};
+  }
+
+  [[nodiscard]] netsim::Packet respond(const netsim::Packet& query,
+                                       std::vector<dns::ResourceRecord> answers,
+                                       dns::Rcode rcode = dns::Rcode::kNoError) {
+    const auto q = dns::decode(*query.dns_wire);
+    EXPECT_TRUE(q);
+    dns::DnsMessage resp = dns::DnsMessage::response(*q, std::move(answers), rcode);
+    netsim::Packet p;
+    p.src_ip = query.dst_ip;
+    p.dst_ip = query.src_ip;
+    p.src_port = 53;
+    p.dst_port = query.src_port;
+    p.proto = Proto::kUdp;
+    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+    return p;
+  }
+
+  [[nodiscard]] static std::vector<dns::ResourceRecord> a_record(const char* name) {
+    return {dns::ResourceRecord::a(dns::DomainName::must(name), Ipv4Addr{1, 2, 3, 4}, 300)};
+  }
+
+  netsim::Simulator sim;
+  std::vector<netsim::Packet> sent;
+};
+
+TEST_F(RecoveryTest, BackoffDoublesEachAttemptTimeout) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.retries_per_resolver = 1;
+  cfg.retry_backoff = 2.0;
+  auto stub = make_stub(cfg);
+  bool failed = false;
+  stub.resolve(dns::DomainName::must("dead.com"),
+               [&](const ResolveResult& r) { failed = !r.success; });
+
+  // Attempt 1 times out after 3 s, attempt 2 after 2 × 3 s = 6 s. The
+  // terminal failure therefore lands at exactly t = 9 s, not the 6 s a
+  // fixed timeout would give.
+  sim.run_until(SimTime::origin() + SimDuration::sec(3) + SimDuration::ms(1));
+  EXPECT_EQ(sent.size(), 2u);  // first retransmission fired at 3 s
+  sim.run_until(SimTime::origin() + SimDuration::sec(9) - SimDuration::ms(1));
+  EXPECT_FALSE(failed);  // backoff stretched the second attempt past 6 s
+  sim.run_until(SimTime::origin() + SimDuration::sec(9) + SimDuration::ms(1));
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(RecoveryTest, BackoffIsCappedByMaxQueryTimeout) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.retries_per_resolver = 3;
+  cfg.retry_backoff = 8.0;
+  cfg.max_query_timeout = SimDuration::sec(10);
+  auto stub = make_stub(cfg);
+  bool failed = false;
+  stub.resolve(dns::DomainName::must("dead.com"),
+               [&](const ResolveResult& r) { failed = !r.success; });
+  // Uncapped: 3 + 24 + 192 + 1536 s. Capped: 3 + 10 + 10 + 10 = 33 s.
+  sim.run_until(SimTime::origin() + SimDuration::sec(33) - SimDuration::ms(1));
+  EXPECT_FALSE(failed);
+  sim.run_until(SimTime::origin() + SimDuration::sec(33) + SimDuration::ms(1));
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(RecoveryTest, ResponseJustBeforeDeadlineWins) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  auto stub = make_stub(cfg);
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  sim.at(SimTime::origin() + cfg.query_timeout - SimDuration::us(1),
+         [&] { stub.on_response(respond(sent[0], a_record("a.com"))); });
+  sim.run_to_completion();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sent.size(), 1u);  // no retransmission
+}
+
+TEST_F(RecoveryTest, ResponseExactlyAtDeadlineLosesToTheTimer) {
+  // The timeout timer was scheduled first, so at the exact deadline
+  // instant it fires first (deterministic (time, seq) event order): the
+  // stub retransmits, then the original answer still completes the
+  // lookup — one callback, two queries on the wire.
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  auto stub = make_stub(cfg);
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  sim.at(SimTime::origin() + cfg.query_timeout,
+         [&] { stub.on_response(respond(sent[0], a_record("a.com"))); });
+  sim.run_to_completion();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sent.size(), 2u);
+}
+
+TEST_F(RecoveryTest, OutageStraddlingLookupRecoversOnRetry) {
+  // The first attempt falls inside an outage (no response); the retry
+  // lands after it and succeeds. The lookup recovers with exactly one
+  // extra query and no recorded failure.
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.retries_per_resolver = 1;
+  auto stub = make_stub(cfg);
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) { result = r; });
+  sim.run_until(SimTime::origin() + cfg.query_timeout + SimDuration::ms(1));
+  ASSERT_EQ(sent.size(), 2u);  // outage swallowed the first attempt
+  stub.on_response(respond(sent[1], a_record("a.com")));
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(stub.failures(), 0u);
+  EXPECT_EQ(stub.queries_sent(), 2u);
+}
+
+TEST_F(RecoveryTest, DuplicateResponseAfterSuccessfulRetryIsIgnored) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};
+  cfg.retries_per_resolver = 1;
+  auto stub = make_stub(cfg);
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  sim.run_until(SimTime::origin() + cfg.query_timeout + SimDuration::ms(1));
+  ASSERT_EQ(sent.size(), 2u);
+  const auto answer = respond(sent[1], a_record("a.com"));
+  stub.on_response(answer);
+  EXPECT_EQ(calls, 1);
+  // A duplicated copy of the same answer (packet-level dup fault) and a
+  // late answer to the first transmission both arrive afterwards: the
+  // callback must not fire again.
+  stub.on_response(answer);
+  stub.on_response(respond(sent[0], a_record("a.com")));
+  sim.run_to_completion();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(RecoveryTest, ServfailFailsOverImmediately) {
+  auto stub = make_stub();
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) { result = r; });
+  ASSERT_EQ(sent.size(), 1u);
+  stub.on_response(respond(sent[0], {}, dns::Rcode::kServFail));
+  // No same-resolver retransmit and no 3 s wait: straight to resolver B.
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].dst_ip, kResolverB);
+  EXPECT_EQ(stub.servfail_failovers(), 1u);
+  stub.on_response(respond(sent[1], a_record("a.com")));
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.resolver, kResolverB);
+}
+
+TEST_F(RecoveryTest, StaleTimerAfterServfailFailoverDoesNotDoubleRetry) {
+  auto stub = make_stub();
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  // SERVFAIL arrives at t = 1 s, so the failover query to B carries a
+  // fresh deadline at t = 4 s while the timer armed for A still expires
+  // at t = 3 s.
+  sim.at(SimTime::origin() + SimDuration::sec(1),
+         [&] { stub.on_response(respond(sent[0], {}, dns::Rcode::kServFail)); });
+  sim.run_until(SimTime::origin() + SimDuration::sec(3) + SimDuration::ms(500));
+  // The stale A timer fired and must not have burned B's retry budget.
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].dst_ip, kResolverB);
+  // B's own timer still works: it retransmits to B at t = 4 s.
+  sim.run_until(SimTime::origin() + SimDuration::sec(4) + SimDuration::ms(1));
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_EQ(sent[2].dst_ip, kResolverB);
+}
+
+TEST_F(RecoveryTest, TerminalServfailReportsFailureAndNegativeCaches) {
+  StubConfig cfg;
+  cfg.resolver_addrs = {kResolverA};  // nowhere to fail over to
+  auto stub = make_stub(cfg);
+  ResolveResult result;
+  result.success = true;
+  stub.resolve(dns::DomainName::must("sf.com"), [&](const ResolveResult& r) { result = r; });
+  stub.on_response(respond(sent[0], {}, dns::Rcode::kServFail));
+  EXPECT_FALSE(result.success);
+
+  // SERVFAIL is negative-cached briefly (30 s), not the 300 s NXDOMAIN
+  // hold — resolvers may recover quickly.
+  stub.resolve(dns::DomainName::must("sf.com"), [](const ResolveResult&) {});
+  sim.run_to_completion();
+  EXPECT_EQ(sent.size(), 1u);  // within the hold: no new query
+  sim.at(sim.now() + SimDuration::sec(31), [] {});
+  sim.run_to_completion();
+  stub.resolve(dns::DomainName::must("sf.com"), [](const ResolveResult&) {});
+  EXPECT_EQ(sent.size(), 2u);  // hold expired: asks the network again
+}
+
+}  // namespace
+}  // namespace dnsctx::resolver

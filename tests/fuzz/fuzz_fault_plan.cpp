@@ -1,0 +1,24 @@
+// libFuzzer target for the FaultPlan grammar. Beyond "never crash on
+// arbitrary specs", it checks the round-trip property on every spec the
+// parser accepts: parse(to_string(plan)) must reproduce the plan and
+// to_string must be a fixed point.
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "faults/plan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view spec{reinterpret_cast<const char*>(data), size};
+  dnsctx::faults::FaultPlan plan;
+  try {
+    plan = dnsctx::faults::FaultPlan::parse(spec);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejection with a diagnostic is the contract
+  }
+  const std::string canon = plan.to_string();
+  const dnsctx::faults::FaultPlan reparsed = dnsctx::faults::FaultPlan::parse(canon);
+  if (reparsed != plan || reparsed.to_string() != canon) std::abort();
+  return 0;
+}

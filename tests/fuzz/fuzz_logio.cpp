@@ -1,0 +1,25 @@
+// libFuzzer target for the TSV log parsers. The first input byte picks
+// the parser (conn vs dns); the rest is the log text. Malformed input
+// must be rejected with std::runtime_error carrying a line number, never
+// crash.
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "capture/logio.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const bool dns = (data[0] & 1) != 0;
+  std::istringstream is{std::string{reinterpret_cast<const char*>(data + 1), size - 1}};
+  try {
+    if (dns) {
+      (void)dnsctx::capture::read_dns_log(is, "fuzz");
+    } else {
+      (void)dnsctx::capture::read_conn_log(is, "fuzz");
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

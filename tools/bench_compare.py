@@ -32,6 +32,19 @@ WATCHED_METRICS = {
 }
 
 
+def as_float(value) -> float | None:
+    """float(value), or None when the field is absent or non-numeric.
+
+    Baselines committed by older (or newer) bench binaries may lack a
+    metric or carry a placeholder string; those records must degrade to
+    "skipped", never crash the comparison.
+    """
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def load_records(path: Path) -> dict[str, dict[str, float]]:
     """Parse a bench file into {record_key: {metric: value}}."""
     text = path.read_text()
@@ -53,8 +66,12 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
             for b in doc["benchmarks"]:
                 if b.get("run_type", "iteration") != "iteration":
                     continue
-                ns = float(b["real_time"]) * unit_ns[b.get("time_unit", "ns")]
-                add(f"micro/{b['name']}", {"real_time_ns": ns})
+                name = b.get("name")
+                real_time = as_float(b.get("real_time"))
+                unit = unit_ns.get(b.get("time_unit", "ns"))
+                if name is None or real_time is None or unit is None:
+                    continue  # incomplete entry: skip, don't crash
+                add(f"micro/{name}", {"real_time_ns": real_time * unit})
             return records
 
     for line_no, line in enumerate(text.splitlines(), 1):
@@ -67,17 +84,21 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
             sys.exit(f"{path}:{line_no}: not valid JSON: {e}")
         bench = rec.get("bench", "?")
         if bench == "micro":
-            key = f"micro/{rec['name']}"
-            metrics = {"real_time_ns": float(rec["real_time_ns"])}
+            name = rec.get("name")
+            real_time = as_float(rec.get("real_time_ns"))
+            if name is None or real_time is None:
+                continue  # incomplete entry: skip, don't crash
+            key = f"micro/{name}"
+            metrics = {"real_time_ns": real_time}
         else:
             key = "{}/houses={} hours={} seed={} threads={} shards={}".format(
                 bench, rec.get("houses"), rec.get("hours"), rec.get("seed"),
                 rec.get("threads", 1), rec.get("shards", 1))
-            metrics = {
-                m: float(rec[m])
-                for m in WATCHED_METRICS.get(bench, [])
-                if m in rec
-            }
+            metrics = {}
+            for m in WATCHED_METRICS.get(bench, []):
+                value = as_float(rec.get(m))
+                if value is not None:
+                    metrics[m] = value
         add(key, metrics)
     return records
 

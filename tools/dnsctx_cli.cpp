@@ -2,16 +2,24 @@
 //
 //   dnsctx simulate --out DIR [--config FILE] [--houses N] [--hours H]
 //                   [--seed S] [--start-hour H] [--shards N] [--threads N]
+//                   [--loss P] [--dup P] [--reorder P] [--servfail-rate P]
+//                   [--nxdomain-rate P] [--resolver-outage T:B-E[,...]]
+//                   [--backoff F] [--faults SPEC]
 //       Simulate a neighborhood and write conn.log / dns.log (plus a
 //       scenario.conf snapshot) into DIR. --shards splits the town into
 //       independent sub-towns (a scenario knob: each shard has its own
 //       resolver platform caches); --threads only decides how many
-//       workers execute them — output is identical for any value.
+//       workers execute them — output is identical for any value. The
+//       fault flags assemble a deterministic impairment plan (see
+//       docs/FAULTS.md); --faults takes the full plan grammar and the
+//       individual flags override single fields.
 //
 //   dnsctx analyze --dir DIR | (--conn FILE --dns FILE)
-//                  [--section all|table1|table2|fig1|fig2|fig3|timeseries|perhouse]
-//                  [--csv DIR] [--threads N]
-//       Run the paper's pipeline over captured logs.
+//                  [--section all|table1|table2|fig1|fig2|fig3|timeseries|perhouse|failures]
+//                  [--baseline DIR] [--csv DIR] [--threads N]
+//       Run the paper's pipeline over captured logs. --section failures
+//       adds the retry/recovery report; --baseline DIR compares the
+//       {N,LC,P,SC,R} shares against an unimpaired run's logs.
 //
 //   dnsctx sweep --key KEY --values a,b,c [--config FILE] [--out DIR]
 //       Re-simulate with KEY overridden per value; print headline shares.
@@ -36,6 +44,7 @@
 #include <thread>
 
 #include "analysis/export.hpp"
+#include "analysis/failures.hpp"
 #include "analysis/perhouse.hpp"
 #include "analysis/report.hpp"
 #include "analysis/timeseries.hpp"
@@ -65,9 +74,11 @@ void usage();
   return true;
 }
 
-const std::set<std::string> kSimOptions = {"config", "houses",    "hours",
-                                           "seed",   "start-hour", "shards",
-                                           "threads"};
+const std::set<std::string> kSimOptions = {
+    "config",        "houses",        "hours",   "seed",
+    "start-hour",    "shards",        "threads", "loss",
+    "dup",           "reorder",       "servfail-rate", "nxdomain-rate",
+    "resolver-outage", "backoff",     "faults"};
 
 [[nodiscard]] std::set<std::string> with_sim_options(std::set<std::string> extra) {
   extra.insert(kSimOptions.begin(), kSimOptions.end());
@@ -96,7 +107,40 @@ const std::set<std::string> kSimOptions = {"config", "houses",    "hours",
   if (args.option("threads") && !args.option("shards") && cfg.shards <= 1) {
     cfg.shards = std::min<std::size_t>(cfg.houses, 16);
   }
+  // Fault plan: --faults replaces the config file's plan wholesale, the
+  // individual flags then override single fields on top of it.
+  if (const auto spec = args.option("faults")) cfg.faults = faults::FaultPlan::parse(*spec);
+  cfg.faults.loss = args.double_option_or("loss", cfg.faults.loss);
+  cfg.faults.dup = args.double_option_or("dup", cfg.faults.dup);
+  cfg.faults.reorder = args.double_option_or("reorder", cfg.faults.reorder);
+  cfg.faults.servfail_rate = args.double_option_or("servfail-rate", cfg.faults.servfail_rate);
+  cfg.faults.nxdomain_rate = args.double_option_or("nxdomain-rate", cfg.faults.nxdomain_rate);
+  cfg.faults.backoff = args.double_option_or("backoff", cfg.faults.backoff);
+  if (const auto outages = args.option("resolver-outage")) {
+    cfg.faults.outages.clear();
+    for (const auto item : split(*outages, ',')) {
+      cfg.faults.outages.push_back(faults::parse_outage(item));
+    }
+  }
+  // Re-parse the rendered plan so flag-supplied values get the same
+  // validation (rate ranges, backoff bounds) as the grammar.
+  cfg.faults = faults::FaultPlan::parse(cfg.faults.to_string());
   return cfg;
+}
+
+void print_fault_stats(const scenario::Town& town) {
+  if (town.config().faults.empty()) return;
+  const scenario::FaultStats fs = town.fault_stats();
+  std::printf("injected faults: %llu packets dropped (%llu unobserved), %llu duplicated, "
+              "%llu reordered,\n"
+              "                 %llu SERVFAIL, %llu NXDOMAIN, %llu outage-dropped\n",
+              static_cast<unsigned long long>(fs.packets_dropped),
+              static_cast<unsigned long long>(fs.packets_dropped_unobserved),
+              static_cast<unsigned long long>(fs.packets_duplicated),
+              static_cast<unsigned long long>(fs.packets_reordered),
+              static_cast<unsigned long long>(fs.servfail_injected),
+              static_cast<unsigned long long>(fs.nxdomain_injected),
+              static_cast<unsigned long long>(fs.outage_dropped));
 }
 
 int cmd_simulate(const CliArgs& args) {
@@ -136,6 +180,7 @@ int cmd_simulate(const CliArgs& args) {
                 writer.segments_written(), out_dir->c_str());
     std::printf("peak reorder buffer: %zu records\n", feed.peak_buffered());
     std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
+    print_fault_stats(town);
     return 0;
   }
 
@@ -149,11 +194,13 @@ int cmd_simulate(const CliArgs& args) {
   std::printf("wrote %zu DNS transactions → %s\n", town.dataset().dns.size(),
               dns_path.c_str());
   std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
+  print_fault_stats(town);
   return 0;
 }
 
 int cmd_analyze(const CliArgs& args) {
-  if (reject_unknown(args, "analyze", {"dir", "conn", "dns", "section", "csv", "threads"})) {
+  if (reject_unknown(args, "analyze",
+                     {"dir", "conn", "dns", "section", "csv", "threads", "baseline"})) {
     return 2;
   }
   std::string conn_path, dns_path;
@@ -188,6 +235,19 @@ int cmd_analyze(const CliArgs& args) {
   if (all || section == "timeseries") {
     const auto ts = analysis::build_time_series(ds, &study.classified);
     std::printf("%s\n", analysis::format_time_series(ts).c_str());
+  }
+  if (all || section == "failures") {
+    const analysis::FailureReport report = analysis::build_failure_report(ds);
+    std::printf("%s\n", analysis::format_failure_report(report).c_str());
+    if (const auto base = args.option("baseline")) {
+      const capture::Dataset base_ds =
+          capture::load_dataset(*base + "/conn.log", *base + "/dns.log");
+      const analysis::Study base_study = analysis::run_study(base_ds, study_cfg);
+      std::printf("%s\n",
+                  analysis::format_class_shift(base_study.classified.counts,
+                                               study.classified.counts)
+                      .c_str());
+    }
   }
   if (all || section == "perhouse") {
     const auto ph = analysis::analyze_per_house(ds, study.classified);
@@ -312,6 +372,10 @@ void print_online_result(const stream::OnlineStudyResult& r, const stream::Onlin
                 static_cast<unsigned long long>(p.total_conns));
   }
 
+  analysis::FailureReport failure_report;
+  failure_report.counts = r.failures;
+  std::printf("\n%s", analysis::format_failure_report(failure_report).c_str());
+
   std::printf("\nactive state at finish: %llu DNS candidates, %llu records, %zu houses\n",
               static_cast<unsigned long long>(engine.active_candidates()),
               static_cast<unsigned long long>(engine.active_records()),
@@ -421,8 +485,11 @@ void usage() {
                "usage: dnsctx <simulate|analyze|sweep|validate|stream> [options]\n"
                "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
                "           [--shards N] [--threads N] [--binary-logs]\n"
+               "           [--loss P] [--dup P] [--reorder P] [--servfail-rate P]\n"
+               "           [--nxdomain-rate P] [--resolver-outage T:B-E[,...]]\n"
+               "           [--backoff F] [--faults SPEC]\n"
                "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
-               "           [--threads N]\n"
+               "           [--threads N] [--baseline DIR]\n"
                "  sweep    --key K --values a,b,c [--config F | sim options]\n"
                "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
                "           [--shards N] [--threads N]\n"

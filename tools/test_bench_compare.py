@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py — in particular that records with
+absent or non-numeric metric fields are skipped instead of crashing
+(older baselines predate e.g. peak_rss_bytes)."""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_compare  # noqa: E402
+
+
+def write_lines(directory: Path, name: str, records) -> Path:
+    path = directory / name
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class AsFloatTest(unittest.TestCase):
+    def test_numeric(self):
+        self.assertEqual(bench_compare.as_float(3), 3.0)
+        self.assertEqual(bench_compare.as_float("2.5"), 2.5)
+
+    def test_bad(self):
+        self.assertIsNone(bench_compare.as_float(None))
+        self.assertIsNone(bench_compare.as_float("n/a"))
+        self.assertIsNone(bench_compare.as_float([1]))
+
+
+class LoadRecordsTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self.tmp.name)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_missing_peak_rss_is_skipped_not_fatal(self):
+        # A baseline written before peak_rss_bytes existed.
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.5},
+        ])
+        records = bench_compare.load_records(path)
+        (metrics,) = records.values()
+        self.assertEqual(metrics, {"study_sec": 1.5})
+
+    def test_non_numeric_metric_is_skipped(self):
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": "n/a", "peak_rss_bytes": 1000},
+        ])
+        (metrics,) = bench_compare.load_records(path).values()
+        self.assertEqual(metrics, {"peak_rss_bytes": 1000.0})
+
+    def test_micro_line_missing_fields_is_skipped(self):
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "micro", "name": "intern"},                 # no real_time_ns
+            {"bench": "micro", "real_time_ns": 12.0},             # no name
+            {"bench": "micro", "name": "ok", "real_time_ns": 7},  # complete
+        ])
+        records = bench_compare.load_records(path)
+        self.assertEqual(records, {"micro/ok": {"real_time_ns": 7.0}})
+
+    def test_gbench_incomplete_entries_are_skipped(self):
+        path = self.dir / "gbench.json"
+        path.write_text(json.dumps({"benchmarks": [
+            {"name": "BM_a", "real_time": 5.0, "time_unit": "us"},
+            {"name": "BM_b"},                                     # no real_time
+            {"name": "BM_c", "real_time": 1.0, "time_unit": "parsecs"},
+            {"real_time": 2.0},                                   # no name
+        ]}))
+        records = bench_compare.load_records(path)
+        self.assertEqual(records, {"micro/BM_a": {"real_time_ns": 5000.0}})
+
+    def test_compare_with_partial_baseline_passes(self):
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0, "peak_rss_bytes": 123456},
+        ])
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(base), str(curr)]
+        try:
+            self.assertEqual(bench_compare.main(), 0)
+        finally:
+            sys.argv = argv
+
+    def test_regression_still_detected(self):
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 2.0},
+        ])
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(base), str(curr)]
+        try:
+            self.assertEqual(bench_compare.main(), 1)
+        finally:
+            sys.argv = argv
+
+
+if __name__ == "__main__":
+    unittest.main()
