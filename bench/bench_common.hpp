@@ -7,11 +7,16 @@
 //
 //   bench_tableX [houses] [hours] [seed] [csv_dir]
 //               [--shards N] [--threads N] [--json PATH]
+//               [--metrics] [--metrics-out FILE]
 //
 // `--threads N` runs both the simulation shards and the analysis
 // map-reduce on N workers (0 = hardware concurrency); results are
 // identical for any N. `--json PATH` (or the DNSCTX_BENCH_JSON
 // environment variable) appends a one-line JSON timing record per run.
+// `--metrics` enables the obs registry (default off, so plain timing
+// runs measure the disabled fast path) and embeds the scrape in the
+// JSON record under "metrics"; `--metrics-out FILE` also writes the
+// scrape to FILE (.json -> JSON document, otherwise Prometheus text).
 #pragma once
 
 #include <chrono>
@@ -26,6 +31,8 @@
 #include "analysis/export.hpp"
 #include "analysis/failures.hpp"
 #include "analysis/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/scenario.hpp"
 
 namespace dnsctx::bench {
@@ -48,6 +55,8 @@ struct BenchScale {
   std::size_t shards = 1; ///< simulation shards (a scenario knob, see scenario.hpp)
   std::string json_path;  ///< when non-empty, append a one-line JSON timing record
   std::string faults;     ///< fault plan spec ("" = unimpaired baseline)
+  bool metrics = false;   ///< enable the obs registry for this run (default off)
+  std::string metrics_out;  ///< when non-empty, also write a scrape file on exit
 };
 
 [[nodiscard]] inline BenchScale parse_scale(int argc, char** argv) {
@@ -72,6 +81,15 @@ struct BenchScale {
     }
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       s.faults = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      s.metrics = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      s.metrics = true;
+      s.metrics_out = argv[++i];
       continue;
     }
     switch (++pos) {
@@ -147,7 +165,14 @@ inline void append_json_record(const std::string& path, const char* bench_name,
                 static_cast<unsigned long long>(fc.failed_chains),
                 static_cast<unsigned long long>(fc.s0_conns),
                 static_cast<unsigned long long>(peak_rss_bytes()));
-  os << buf << '\n';
+  std::string record{buf};
+  if (obs::enabled()) {
+    record.pop_back();  // reopen the object to append the metrics scrape
+    record += ",\"metrics\":";
+    record += obs::to_flat_json(obs::registry().snapshot());
+    record += '}';
+  }
+  os << record << '\n';
 }
 
 /// Simulate + analyze, with a banner describing the run and wall-clock
@@ -155,6 +180,7 @@ inline void append_json_record(const std::string& path, const char* bench_name,
 [[nodiscard]] inline BenchRun run_default(const char* bench_name, int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   const BenchScale scale = parse_scale(argc, argv);
+  if (scale.metrics) obs::set_enabled(true);
   std::printf("== %s — dnsctx reproduction of \"Putting DNS in Context\" (IMC'20) ==\n",
               bench_name);
   std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %u thread(s) "
@@ -185,7 +211,9 @@ inline void append_json_record(const std::string& path, const char* bench_name,
     const auto files = analysis::export_study_csv(run.study, scale.csv_dir);
     std::printf("exported %zu CSV series to %s\n\n", files, scale.csv_dir.c_str());
   }
+  run.town().publish_metrics();
   if (!scale.json_path.empty()) append_json_record(scale.json_path, bench_name, scale, run);
+  if (!scale.metrics_out.empty()) obs::write_metrics_file(scale.metrics_out);
   return run;
 }
 

@@ -82,6 +82,8 @@ BlockingAnalysis analyze_blocking(const capture::Dataset& ds, const PairingResul
     }
     out.knee_ms = std::pow(10.0, h.bin_low(knee_bin) + h.bin_width() / 2.0);
   }
+  // Sort now so concurrent report/export readers stay lock-free.
+  out.gap_ms.seal();
   return out;
 }
 

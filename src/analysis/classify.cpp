@@ -147,6 +147,10 @@ Classified classify_connections(const capture::Dataset& ds, const PairingResult&
   out.lc_gap_sec = std::move(acc.lc_gap_sec);
   out.p_gap_sec = std::move(acc.p_gap_sec);
   out.lc_violation_late_sec = std::move(acc.lc_violation_late_sec);
+  // Sort now so concurrent report/export readers stay lock-free.
+  out.lc_gap_sec.seal();
+  out.p_gap_sec.seal();
+  out.lc_violation_late_sec.seal();
   return out;
 }
 

@@ -177,6 +177,9 @@ FailureReport build_failure_report(const capture::Dataset& ds, FailureReportConf
   tracker.fold_into(report.counts);
   report.recovered_ms = tracker.recovered_ms();
   report.failed_ms = tracker.failed_ms();
+  // Sort now so concurrent report/export readers stay lock-free.
+  report.recovered_ms.seal();
+  report.failed_ms.seal();
   return report;
 }
 

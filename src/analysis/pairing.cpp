@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/flat_map.hpp"
 #include "util/parallel.hpp"
 
@@ -66,6 +67,8 @@ struct HouseCounters {
   std::uint64_t paired_expired = 0;
   std::uint64_t unique_candidate = 0;
   std::uint64_t multiple_candidates = 0;
+  std::uint64_t candidates_built = 0;    ///< index entries materialized
+  std::uint64_t candidates_scanned = 0;  ///< liveness-scan loop iterations
 };
 
 }  // namespace
@@ -126,6 +129,7 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
                                     d.response_time() + SimDuration::sec(a.ttl), i});
       }
     }
+    hc.candidates_built += entries.size();
     const HouseIndex index{std::move(entries)};
 
     Rng rng{derive_seed(random_base, "house", slot_ip[h].to_u32())};
@@ -159,6 +163,7 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
       std::int64_t chosen = -1;
       std::int64_t most_recent_live = -1;
       live_set.clear();
+      hc.candidates_scanned += upper - lo;
       for (std::uint32_t j = upper; j-- > lo;) {
         if (index.expires[j] > conn.start) {
           ++live;
@@ -194,12 +199,25 @@ PairingResult pair_connections(const capture::Dataset& ds, PairingPolicy policy,
     }
   });
 
+  std::uint64_t candidates_built = 0;
+  std::uint64_t candidates_scanned = 0;
   for (const HouseCounters& hc : counters) {
     out.paired += hc.paired;
     out.unpaired += hc.unpaired;
     out.paired_expired += hc.paired_expired;
     out.unique_candidate += hc.unique_candidate;
     out.multiple_candidates += hc.multiple_candidates;
+    candidates_built += hc.candidates_built;
+    candidates_scanned += hc.candidates_scanned;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter("pairing_candidates_built_total").add(candidates_built);
+    reg.counter("pairing_candidates_scanned_total").add(candidates_scanned);
+    reg.counter("pairing_houses_total").add(slots);
+    reg.gauge("pairing_house_directory_load_factor").set(slot_of.load_factor());
+    reg.gauge("pairing_house_directory_max_probe")
+        .set(static_cast<double>(slot_of.max_probe_length()));
   }
   return out;
 }

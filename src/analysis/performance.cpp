@@ -92,6 +92,13 @@ PerformanceAnalysis analyze_performance(const capture::Dataset& ds,
     out.significant_overall =
         static_cast<double>(acc.q_sig) / static_cast<double>(ds.conns.size());
   }
+  // Sort now so concurrent report/export readers stay lock-free.
+  out.lookup_ms_all.seal();
+  out.lookup_ms_sc.seal();
+  out.lookup_ms_r.seal();
+  out.contrib_all.seal();
+  out.contrib_sc.seal();
+  out.contrib_r.seal();
   return out;
 }
 

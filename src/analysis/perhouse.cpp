@@ -52,6 +52,11 @@ PerHouseAnalysis analyze_per_house(const capture::Dataset& ds, const Classified&
     out.lookups_per_conn.add(h.lookups_per_conn());
     out.conns_per_house.add(static_cast<double>(h.conns));
   }
+  // Sort now so concurrent report/export readers stay lock-free.
+  out.blocked_share.seal();
+  out.no_dns_share.seal();
+  out.lookups_per_conn.seal();
+  out.conns_per_house.seal();
   return out;
 }
 

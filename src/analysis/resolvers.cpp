@@ -77,6 +77,10 @@ std::vector<PlatformPerf> analyze_platforms(const capture::Dataset& ds,
     PlatformPerf& p = perf[id];
     if (p.total_conns == 0) continue;  // the platform was never touched
     p.platform = dir.name_of(id);
+    // Sort now so concurrent report/export readers stay lock-free.
+    p.r_lookup_ms.seal();
+    p.throughput_bps.seal();
+    p.throughput_bps_filtered.seal();
     out.push_back(std::move(p));
   }
   return out;

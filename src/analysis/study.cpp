@@ -1,18 +1,42 @@
 #include "analysis/study.hpp"
 
+#include "obs/span.hpp"
+
 namespace dnsctx::analysis {
 
 Study run_study(const capture::Dataset& ds, const StudyConfig& cfg) {
+  obs::StageSpan study_span{"run_study"};
   Study s;
-  s.pairing = pair_connections(ds, cfg.pairing_policy, cfg.pairing_seed, cfg.threads);
-  s.blocking = analyze_blocking(ds, s.pairing, 20.0, cfg.threads);
-  s.classified = classify_connections(ds, s.pairing, cfg.classify, cfg.threads);
-  s.table1 = build_table1(ds, s.pairing, cfg.directory, 0.01, cfg.threads);
-  s.isp_only_houses = isp_only_house_frac(ds, cfg.directory, cfg.threads);
-  s.performance = analyze_performance(ds, s.pairing, s.classified, cfg.abs_significance_ms,
-                                      cfg.rel_significance_pct, cfg.threads);
-  s.platforms = analyze_platforms(ds, s.pairing, s.classified, cfg.directory,
-                                  "connectivitycheck.gstatic.com", cfg.threads);
+  {
+    obs::StageSpan span{"pairing"};
+    s.pairing = pair_connections(ds, cfg.pairing_policy, cfg.pairing_seed, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"blocking"};
+    s.blocking = analyze_blocking(ds, s.pairing, 20.0, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"classify"};
+    s.classified = classify_connections(ds, s.pairing, cfg.classify, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"table1"};
+    s.table1 = build_table1(ds, s.pairing, cfg.directory, 0.01, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"isp_only_houses"};
+    s.isp_only_houses = isp_only_house_frac(ds, cfg.directory, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"performance"};
+    s.performance = analyze_performance(ds, s.pairing, s.classified, cfg.abs_significance_ms,
+                                        cfg.rel_significance_pct, cfg.threads);
+  }
+  {
+    obs::StageSpan span{"platforms"};
+    s.platforms = analyze_platforms(ds, s.pairing, s.classified, cfg.directory,
+                                    "connectivitycheck.gstatic.com", cfg.threads);
+  }
   return s;
 }
 

@@ -39,6 +39,7 @@ Network::Network(Simulator& sim, LatencyModel latency, std::uint64_t seed)
 void Network::attach(Ipv4Addr addr, Host* host) { hosts_[addr] = host; }
 
 void Network::send(Packet p) {
+  ++packets_;
   const SimTime sent = sim_.now();
   const SimDuration delay = latency_.one_way(p.src_ip, p.dst_ip, rng_);
 
@@ -65,8 +66,10 @@ void Network::send(Packet p) {
     // Deliver the observation as an event so monitor state advances in
     // global timestamp order, interleaved with deliveries. (at_tap can
     // never precede `sent`: it is sent + src leg (+jitter) in both cases.)
+    ++tap_observations_;
     sim_.at(at_tap, [tap = tap_, at_tap, p]() { tap->observe(at_tap, p); });
     if (fault.duplicate) {
+      ++tap_observations_;
       const SimTime dup_tap = at_tap + fault.dup_gap;
       sim_.at(dup_tap, [tap = tap_, dup_tap, p]() { tap->observe(dup_tap, p); });
     }

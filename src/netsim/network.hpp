@@ -101,6 +101,10 @@ class Network {
   [[nodiscard]] LatencyModel& latency_mut() { return latency_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Packets injected via send() (pre-fault; includes dropped ones).
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_; }
+  /// Packets that crossed the aggregation-point tap (duplicates counted).
+  [[nodiscard]] std::uint64_t tap_observations() const { return tap_observations_; }
 
  private:
   Simulator& sim_;
@@ -112,6 +116,8 @@ class Network {
   PacketTap* tap_ = nullptr;
   faults::PacketFaultInjector* injector_ = nullptr;
   std::uint64_t dropped_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t tap_observations_ = 0;
 };
 
 }  // namespace dnsctx::netsim

@@ -7,6 +7,7 @@ namespace dnsctx::netsim {
 void Simulator::at(SimTime when, Action action) {
   if (when < now_) throw std::logic_error{"Simulator::at: scheduling in the past"};
   queue_.push(Event{when, next_seq_++, std::move(action)});
+  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
 }
 
 bool Simulator::step() {

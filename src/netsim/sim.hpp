@@ -42,6 +42,8 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+  /// High-water mark of the event queue depth (scrape-time telemetry).
+  [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
 
  private:
   struct Event {
@@ -59,6 +61,7 @@ class Simulator {
   SimTime now_ = SimTime::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

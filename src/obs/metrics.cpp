@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return idx;
+}
+
+const std::vector<double>& LatencyHistogram::bounds() {
+  // 1–2–5 decades, 1 µs .. 50 s (24 finite buckets; +Inf is implicit).
+  static const std::vector<double> kBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+      1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0, 20.0, 50.0};
+  return kBounds;
+}
+
+void LatencyHistogram::observe(double seconds) {
+  if (!enabled()) return;
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative clock glitches
+  const auto& b = bounds();
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(b.begin(), b.end(), seconds) - b.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock{mu_};
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.push_back({name, c->value()});
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.push_back({name, g->value()});
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    const auto& b = LatencyHistogram::bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      cumulative += h->bucket(i);
+      s.buckets.emplace_back(b[i], cumulative);
+    }
+    s.count = h->count();
+    s.sum_seconds = h->sum_seconds();
+    out.histograms.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock{mu_};
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace dnsctx::obs

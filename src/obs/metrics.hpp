@@ -1,0 +1,199 @@
+// dnsctx — low-overhead runtime observability: a process-wide registry of
+// counters, gauges, and latency histograms.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//
+//  * The DISABLED path must cost one branch-predictable relaxed load per
+//    instrumentation site — golden outputs and bench wall times stay
+//    byte-identical / within noise when metrics are off (the default).
+//  * The ENABLED hot path is lock-free: counters stripe their value over
+//    cache-line-padded atomic shards indexed by a per-thread slot, so
+//    concurrent increments from the parallel layer never contend on one
+//    line; shards are merged only on scrape.
+//  * Registration (name → handle lookup) takes a mutex and may allocate;
+//    instrumented code registers once and caches the reference. Handles
+//    are stable for the registry's lifetime — the registry never erases
+//    a metric, reset() only zeroes values.
+//
+// Naming scheme: metric names are Prometheus series keys WITHOUT the
+// exporter's "dnsctx_" prefix — `snake_case`, `_total` suffix for
+// monotone counters, optional label block (`stage_wall_us_total{stage=
+// "run_study/pairing"}`). The exporters group series into families by
+// the name before '{'.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dnsctx::obs {
+
+/// Global metrics switch. Off by default; flipped on by `--metrics-out`
+/// (CLI) / `--metrics` (bench) before any traffic flows.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Number of counter shards. A power of two so the per-thread slot is a
+/// mask, sized for the pool's practical width (ThreadPool workers + the
+/// caller); more threads than stripes just share slots, still race-free.
+inline constexpr std::size_t kCounterStripes = 16;
+
+/// Stable per-thread stripe index in [0, kCounterStripes).
+[[nodiscard]] std::size_t thread_stripe();
+
+/// Monotone counter, striped per thread. add() is lock-free; value()
+/// merges the stripes (scrape-time only).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    stripes_[thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Stripe, kCounterStripes> stripes_{};
+};
+
+/// Last-write-wins scalar (plus a max-merge variant for high-water
+/// marks). A single atomic double: gauges are set at scrape points, not
+/// in per-record loops, so striping would buy nothing.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  /// Raise to `v` if larger (high-water marks published from several
+  /// shards).
+  void set_max(double v) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void add(double v) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram for wall/cpu timings, in SECONDS. Buckets
+/// follow a 1–2–5 series from 1 µs to 50 s plus +Inf, so one layout
+/// serves event-loop slices and whole-run stages alike. observe() is a
+/// couple of relaxed atomic adds — it is meant for per-span / per-batch
+/// frequency, not per-record loops.
+class LatencyHistogram {
+ public:
+  /// Upper bounds (`le`) of the finite buckets, ascending.
+  [[nodiscard]] static const std::vector<double>& bounds();
+
+  void observe(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Total observed seconds (stored as integral nanoseconds internally
+  /// so concurrent adds need no CAS loop).
+  [[nodiscard]] double sum_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e9;
+  }
+  /// Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  void reset();
+
+ private:
+  // bounds().size() finite buckets + 1 overflow; sized in the .cpp.
+  static constexpr std::size_t kBuckets = 25;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+// ---- scrape snapshot -------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<std::pair<double, std::uint64_t>> buckets;  ///< (le, CUMULATIVE count)
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+};
+
+/// A merged, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Name → metric handle table. Thread-safe; see file header for the
+/// registration-vs-hot-path contract.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every value, keeping handles valid (test isolation, and bench
+  /// binaries that scrape per run).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site reports into.
+[[nodiscard]] MetricsRegistry& registry();
+
+}  // namespace dnsctx::obs

@@ -1,0 +1,59 @@
+#include "obs/span.hpp"
+
+#include <ctime>
+
+#include "obs/metrics.hpp"
+
+namespace dnsctx::obs {
+
+namespace {
+
+/// The '/'-joined span path of this thread. A plain string (not a stack
+/// of frames): spans restore their parent's length on exit, which also
+/// makes mismatched destruction orders self-healing.
+thread_local std::string t_path;
+
+[[nodiscard]] std::uint64_t thread_cpu_ns() {
+#ifdef __linux__
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+StageSpan::StageSpan(std::string stage) {
+  if (!enabled() || stage.empty()) return;
+  active_ = true;
+  parent_len_ = t_path.size();
+  if (!t_path.empty()) t_path += '/';
+  t_path += stage;
+  path_ = t_path;
+  cpu_start_ns_ = thread_cpu_ns();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+StageSpan::~StageSpan() {
+  if (!active_) return;
+  const auto wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+  const std::uint64_t cpu_end = thread_cpu_ns();
+  const std::uint64_t cpu_ns = cpu_end > cpu_start_ns_ ? cpu_end - cpu_start_ns_ : 0;
+  t_path.resize(parent_len_);
+
+  auto& reg = registry();
+  const std::string label = "{stage=\"" + path_ + "\"}";
+  reg.counter("stage_runs_total" + label).add(1);
+  reg.counter("stage_wall_us_total" + label)
+      .add(static_cast<std::uint64_t>(wall * 1e6));
+  reg.counter("stage_cpu_us_total" + label).add(cpu_ns / 1'000);
+  reg.histogram("span_wall_seconds" + label).observe(wall);
+}
+
+std::string StageSpan::current_path() { return t_path; }
+
+}  // namespace dnsctx::obs

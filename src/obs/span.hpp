@@ -1,0 +1,44 @@
+// dnsctx — RAII stage tracing on top of the metrics registry.
+//
+// A StageSpan times the scope it lives in (wall via steady_clock, CPU
+// via the calling thread's CLOCK_THREAD_CPUTIME_ID) and, on destruction,
+// folds the measurement into four series keyed by the span's PATH — the
+// '/'-joined chain of the enclosing spans on this thread:
+//
+//   stage_runs_total{stage="run_study/pairing"}       (counter)
+//   stage_wall_us_total{stage="run_study/pairing"}    (counter, µs)
+//   stage_cpu_us_total{stage="run_study/pairing"}     (counter, µs)
+//   span_wall_seconds{stage="run_study/pairing"}      (latency histogram)
+//
+// Nesting is per thread: a span opened on a pool worker starts a fresh
+// path there (the workers execute leaf stages, e.g. "sim/shard3").
+// When metrics are disabled a StageSpan is a single branch — it never
+// reads a clock or touches the registry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dnsctx::obs {
+
+class StageSpan {
+ public:
+  explicit StageSpan(std::string stage);
+  ~StageSpan();
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// The '/'-joined path of the spans currently open on this thread
+  /// ("" outside any span). Test/diagnostic hook.
+  [[nodiscard]] static std::string current_path();
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  std::size_t parent_len_ = 0;  ///< thread path length to restore on exit
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t cpu_start_ns_ = 0;
+};
+
+}  // namespace dnsctx::obs

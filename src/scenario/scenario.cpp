@@ -1,9 +1,12 @@
 #include "scenario/scenario.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "resolver/forwarder.hpp"
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace dnsctx::scenario {
@@ -476,7 +479,7 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
 }
 
 void Town::run() {
-  run_for(cfg_.duration);
+  if (ran_ < cfg_.duration) run_for(cfg_.duration - ran_);
   dataset_ = harvest();
 }
 
@@ -501,9 +504,14 @@ void Town::run_for(SimDuration amount) {
   // sequentially while one is attached.
   const unsigned threads = record_sink_ != nullptr ? 1 : cfg_.threads;
   util::parallel_for_each(threads, shards_.size(), [&](std::size_t s) {
+    // Span label only materializes when metrics are on; the empty-string
+    // span is the documented no-op.
+    obs::StageSpan span{obs::enabled() ? "sim/shard" + std::to_string(s)
+                                       : std::string{}};
     netsim::Simulator& sim = *shards_[s]->sim;
     sim.run_until(sim.now() + amount);
   });
+  ran_ += amount;
   refresh_truth();
 }
 
@@ -534,6 +542,74 @@ FaultStats Town::fault_stats() const {
     }
   }
   return out;
+}
+
+void Town::publish_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t taps = 0;
+  std::uint64_t undeliverable = 0;
+  std::size_t peak_pending = 0;
+  double sim_sec = 0.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = *shards_[s];
+    events += sh.sim->dispatched();
+    packets += sh.net->packets_sent();
+    taps += sh.net->tap_observations();
+    undeliverable += sh.net->dropped();
+    peak_pending = std::max(peak_pending, sh.sim->max_pending());
+    sim_sec = std::max(sim_sec, sh.sim->now().to_sec());
+    const std::string shard_label = "{shard=\"" + std::to_string(s) + "\"}";
+    reg.gauge("sim_events_dispatched" + shard_label)
+        .set(static_cast<double>(sh.sim->dispatched()));
+    reg.gauge("sim_event_queue_peak" + shard_label)
+        .set(static_cast<double>(sh.sim->max_pending()));
+  }
+  reg.gauge("sim_events_dispatched").set(static_cast<double>(events));
+  reg.gauge("sim_event_queue_peak").set(static_cast<double>(peak_pending));
+  reg.gauge("sim_seconds").set(sim_sec);
+  reg.gauge("net_packets_sent").set(static_cast<double>(packets));
+  reg.gauge("net_tap_observations").set(static_cast<double>(taps));
+  reg.gauge("net_packets_undeliverable").set(static_cast<double>(undeliverable));
+  reg.gauge("net_packets_per_sim_second")
+      .set(sim_sec > 0.0 ? static_cast<double>(packets) / sim_sec : 0.0);
+
+  // Per-platform resolver telemetry, summed across shards (platform_view_
+  // is shard-major, each shard in Table 1 order, so names repeat).
+  std::map<std::string, resolver::PlatformStats> by_platform;
+  std::map<std::string, std::size_t> cached_by_platform;
+  for (const resolver::RecursiveResolverPlatform* p : platform_view_) {
+    resolver::PlatformStats& agg = by_platform[p->config().name];
+    const resolver::PlatformStats& st = p->stats();
+    agg.queries += st.queries;
+    agg.shard_hits += st.shard_hits;
+    agg.ambient_hits += st.ambient_hits;
+    agg.auth_resolutions += st.auth_resolutions;
+    agg.nxdomain += st.nxdomain;
+    cached_by_platform[p->config().name] += p->cached_entries();
+  }
+  for (const auto& [name, st] : by_platform) {
+    const std::string label = "{platform=\"" + name + "\"}";
+    reg.gauge("resolver_queries" + label).set(static_cast<double>(st.queries));
+    reg.gauge("resolver_cache_hit_rate" + label).set(st.cache_hit_rate());
+    reg.gauge("resolver_auth_resolutions" + label)
+        .set(static_cast<double>(st.auth_resolutions));
+    reg.gauge("resolver_nxdomain" + label).set(static_cast<double>(st.nxdomain));
+    reg.gauge("resolver_cached_entries" + label)
+        .set(static_cast<double>(cached_by_platform[name]));
+  }
+
+  const FaultStats f = fault_stats();
+  reg.gauge("faults_packets_dropped").set(static_cast<double>(f.packets_dropped));
+  reg.gauge("faults_packets_dropped_unobserved")
+      .set(static_cast<double>(f.packets_dropped_unobserved));
+  reg.gauge("faults_packets_duplicated").set(static_cast<double>(f.packets_duplicated));
+  reg.gauge("faults_packets_reordered").set(static_cast<double>(f.packets_reordered));
+  reg.gauge("faults_servfail_injected").set(static_cast<double>(f.servfail_injected));
+  reg.gauge("faults_nxdomain_injected").set(static_cast<double>(f.nxdomain_injected));
+  reg.gauge("faults_outage_dropped").set(static_cast<double>(f.outage_dropped));
 }
 
 void Town::refresh_truth() {

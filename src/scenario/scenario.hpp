@@ -111,7 +111,9 @@ class Town {
   Town(const Town&) = delete;
   Town& operator=(const Town&) = delete;
 
-  /// Run the full configured duration and harvest the datasets.
+  /// Run the configured duration (minus whatever run_for() already
+  /// covered) and harvest the datasets. Chunking with run_for() first
+  /// and then calling run() dispatches the exact same event sequence.
   void run();
 
   /// Run incrementally (callable repeatedly); harvest() when done.
@@ -156,6 +158,13 @@ class Town {
   /// plan is empty).
   [[nodiscard]] FaultStats fault_stats() const;
 
+  /// Publish deterministic run telemetry (event-loop depth, packet and
+  /// tap counts, fault tallies — per shard and aggregated) into the
+  /// process metrics registry as gauges. Idempotent: sets absolute
+  /// values, so calling it at every scrape point never double-counts.
+  /// No-op while metrics are disabled.
+  void publish_metrics() const;
+
  private:
   struct House;
   struct Shard;
@@ -178,6 +187,7 @@ class Town {
   std::vector<HouseInfo> house_info_;
   GroundTruth truth_;
   capture::Dataset dataset_;
+  SimDuration ran_;  ///< total simulated time covered by run_for() calls
   bool harvested_ = false;
   capture::RecordSink* record_sink_ = nullptr;
 };

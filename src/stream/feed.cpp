@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace dnsctx::stream {
 
 void LiveFeed::push(Entry e) {
@@ -18,6 +21,8 @@ void LiveFeed::on_dns(const capture::DnsRecord& rec) {
 }
 
 void LiveFeed::drain(SimTime watermark) {
+  obs::StageSpan span{"ingest_batch"};
+  std::uint64_t released = 0;
   while (!queue_.empty() && queue_.top().key <= watermark) {
     const Entry& top = queue_.top();
     if (top.kind == 0) {
@@ -26,6 +31,17 @@ void LiveFeed::drain(SimTime watermark) {
       downstream_->on_conn(std::get<capture::ConnRecord>(top.rec));
     }
     queue_.pop();
+    ++released;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter("stream_drained_records_total").add(released);
+    reg.gauge("stream_reorder_buffered").set(static_cast<double>(queue_.size()));
+    reg.gauge("stream_reorder_buffered_peak").set_max(static_cast<double>(peak_buffered_));
+    // close() drains with the sentinel max watermark — not a real time.
+    if (watermark != SimTime::max()) {
+      reg.gauge("stream_watermark_sim_seconds").set(watermark.to_sec());
+    }
   }
 }
 

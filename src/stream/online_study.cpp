@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -235,6 +236,7 @@ void OnlineStudy::maybe_sweep() {
 
 void OnlineStudy::sweep() {
   ingests_since_sweep_ = 0;
+  const std::uint64_t candidates_before = active_candidates_;
   // Retry chains: future DNS records arrive at or after last_dns_, so
   // chains whose gap window the frontier has passed are closed for good.
   if (any_dns_) chains_.evict_before(last_dns_);
@@ -280,6 +282,16 @@ void OnlineStudy::sweep() {
     if (house.index.empty() && house.records.empty()) dead_houses.push_back(house_ip);
   }
   for (const Ipv4Addr ip : dead_houses) houses_.erase(ip);
+
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter("stream_sweeps_total").add();
+    reg.counter("stream_evicted_candidates_total")
+        .add(candidates_before - active_candidates_);
+    reg.gauge("stream_active_candidates").set(static_cast<double>(active_candidates_));
+    reg.gauge("stream_active_records").set(static_cast<double>(active_records_));
+    reg.gauge("stream_tracked_houses").set(static_cast<double>(houses_.size()));
+  }
 }
 
 OnlineStudyResult OnlineStudy::finalize() const {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "capture/logio.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace dnsctx::stream {
@@ -163,6 +164,12 @@ void SpoolWriter::rotate(OpenSegment& seg, RecordKind kind) {
   write_segment_file((fs::path{dir_} / segment_name(kind, seg.next_seq)).string(), blob);
   ++seg.next_seq;
   ++segments_written_;
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.counter("spool_segment_rotations_total").add();
+    reg.counter("spool_bytes_written_total").add(blob.size());
+    reg.counter("spool_records_written_total").add(seg.count);
+  }
   seg.payload.clear();
   seg.count = 0;
 }

@@ -186,6 +186,13 @@ class FlatMap {
     return 1;
   }
 
+  /// Current load (size / capacity); 0 for the empty table. Diagnostic —
+  /// the growth policy keeps this ≤ 0.8.
+  [[nodiscard]] double load_factor() const {
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+
   /// Longest current probe distance (diagnostic; tests bound it).
   [[nodiscard]] std::size_t max_probe_length() const {
     if (slots_.empty()) return 0;

@@ -27,21 +27,59 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+Cdf::Cdf(const Cdf& other) {
+  // Lock `other` so a concurrent lazy sort on it cannot shear the copy.
+  std::lock_guard lock{other.sort_mu_};
+  xs_ = other.xs_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+Cdf& Cdf::operator=(const Cdf& other) {
+  if (this == &other) return *this;
+  std::lock_guard lock{other.sort_mu_};
+  xs_ = other.xs_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
+
+Cdf::Cdf(Cdf&& other) noexcept
+    : xs_{std::move(other.xs_)},
+      sorted_{other.sorted_.load(std::memory_order_relaxed)} {
+  other.xs_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+}
+
+Cdf& Cdf::operator=(Cdf&& other) noexcept {
+  if (this == &other) return *this;
+  xs_ = std::move(other.xs_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  other.xs_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+  return *this;
+}
+
 void Cdf::add_all(std::span<const double> xs) {
   xs_.insert(xs_.end(), xs.begin(), xs.end());
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 void Cdf::absorb(const Cdf& other) {
   if (other.xs_.empty()) return;
   xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
+void Cdf::seal() { ensure_sorted(); }
+
 void Cdf::ensure_sorted() const {
-  if (!sorted_) {
+  // Double-checked: the common case (already sealed) is one acquire
+  // load; the first querying thread sorts under the mutex, everyone
+  // racing it waits, and the release store publishes the sorted vector.
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock{sort_mu_};
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(xs_.begin(), xs_.end());
-    sorted_ = true;
+    sorted_.store(true, std::memory_order_release);
   }
 }
 
@@ -77,9 +115,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo} {
 }
 
 void Histogram::add(double x, std::uint64_t weight) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
+  if (std::isnan(x)) {
+    invalid_ += weight;
+    return;
+  }
+  // Clamp while still in floating point: casting an out-of-range double
+  // (beyond ±2^63, or ±inf) to an integer is UB, so the old
+  // cast-then-clamp order was only safe for tame inputs.
+  const double pos = (x - lo_) / width_;
+  std::size_t idx;
+  if (!(pos > 0.0)) {
+    idx = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>(pos);
+  }
+  counts_[idx] += weight;
   total_ += weight;
 }
 

@@ -3,8 +3,10 @@
 // fixed-bin histograms for mode detection.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,17 +37,38 @@ class StreamingStats {
 
 /// Empirical distribution over stored samples. Samples are sorted lazily
 /// on first query; adding after a query re-marks the container dirty.
+///
+/// Thread safety: mutation (`add`/`add_all`/`absorb`/`seal`) requires
+/// exclusive access, like any container. Const queries from several
+/// threads are safe: the lazy sort is internally synchronized (an atomic
+/// sealed flag double-checked under a mutex), and once a Cdf is sealed —
+/// explicitly via `seal()` or implicitly by the first query — concurrent
+/// readers never touch the lock. Builders that hand a Cdf to the
+/// parallel layer should `seal()` it first so the read side stays
+/// lock-free.
 class Cdf {
  public:
+  Cdf() = default;
+  Cdf(const Cdf& other);
+  Cdf& operator=(const Cdf& other);
+  // Moves assume exclusive access to both operands (no lock taken).
+  Cdf(Cdf&& other) noexcept;
+  Cdf& operator=(Cdf&& other) noexcept;
+
   void add(double x) {
     xs_.push_back(x);
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
   }
   void add_all(std::span<const double> xs);
   void reserve(std::size_t n) { xs_.reserve(n); }
 
   /// Append every sample of `other` (map-reduce accumulator merge).
   void absorb(const Cdf& other);
+
+  /// Sort now. After sealing, const queries are pure reads — share the
+  /// Cdf across threads freely until the next mutation unseals it.
+  void seal();
+  [[nodiscard]] bool sealed() const { return sorted_.load(std::memory_order_acquire); }
 
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   [[nodiscard]] bool empty() const { return xs_.empty(); }
@@ -76,8 +99,9 @@ class Cdf {
 
  private:
   void ensure_sorted() const;
+  mutable std::mutex sort_mu_;  ///< serializes the lazy sort only
   mutable std::vector<double> xs_;
-  mutable bool sorted_ = true;
+  mutable std::atomic<bool> sorted_{true};
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp into
@@ -89,11 +113,16 @@ class Histogram {
   void add(double x) { add(x, 1); }
   /// Weighted add: `weight` samples of value `x` (streaming accumulators
   /// replay pre-binned multisets through the same clamping arithmetic).
+  /// The bin is clamped in floating point BEFORE any integral cast, so
+  /// ±inf and values beyond ±2^63 land in the edge bins; NaN goes into
+  /// the `invalid()` tally and never reaches a bin or `total()`.
   void add(double x, std::uint64_t weight);
 
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t count_in(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Samples rejected as NaN (not part of `total()`).
+  [[nodiscard]] std::uint64_t invalid() const { return invalid_; }
   [[nodiscard]] double bin_low(std::size_t bin) const;
   [[nodiscard]] double bin_width() const { return width_; }
 
@@ -105,6 +134,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t invalid_ = 0;
 };
 
 /// One row of a printed CDF series: (x, F(x)).

@@ -1,5 +1,6 @@
 #include "util/time.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace dnsctx {
@@ -7,9 +8,12 @@ namespace dnsctx {
 std::string to_string(SimDuration d) {
   char buf[64];
   const double ms = d.to_ms();
-  if (ms < 1.0) {
+  // Pick the unit by magnitude so negative durations keep their sign but
+  // format like their positive mirror (-2.5ms, not "-2500us").
+  const double mag = std::fabs(ms);
+  if (mag < 1.0) {
     std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d.count_us()));
-  } else if (ms < 1000.0) {
+  } else if (mag < 1000.0) {
     std::snprintf(buf, sizeof buf, "%.3gms", ms);
   } else {
     std::snprintf(buf, sizeof buf, "%.4gs", d.to_sec());

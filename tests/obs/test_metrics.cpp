@@ -1,0 +1,180 @@
+// Unit tests for the metrics registry: striped counters merge exactly
+// under concurrency, gauges CAS correctly, histogram bucketing follows
+// the 1-2-5 bounds, and the disabled path is a true no-op.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dnsctx::obs {
+namespace {
+
+/// Enables metrics for the test body and restores the previous state
+/// (the registry is process-wide, so tests must not leak "enabled").
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+using MetricsTest = ObsTest;
+
+TEST_F(MetricsTest, CounterConcurrentAddsMergeExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddWithWeightAndReset) {
+  Counter c;
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterDisabledIsNoOp) {
+  Counter c;
+  set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeSetAndSetMax) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(2.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(9.0);  // higher: wins
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST_F(MetricsTest, GaugeSetMaxConcurrentKeepsMaximum) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g, t] {
+      for (int i = 0; i < 1000; ++i) {
+        g.set_max(static_cast<double>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), 7999.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsFollowBounds) {
+  LatencyHistogram h;
+  const auto& bounds = LatencyHistogram::bounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(h.bucket_count(), bounds.size() + 1);  // + overflow
+
+  h.observe(0.0);          // below the first bound: bucket 0
+  h.observe(bounds[0]);    // exactly the first bound: le is inclusive
+  h.observe(bounds[1]);    // second bucket
+  h.observe(1e9);          // far beyond the last bound: +Inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(bounds.size()), 1u);
+  EXPECT_NEAR(h.sum_seconds(), bounds[0] + bounds[1] + 1e9, 1e-3 * 1e9);
+}
+
+TEST_F(MetricsTest, HistogramSumUsesNanosecondResolution) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(1e-6);  // 1 µs each
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum_seconds(), 1e-3, 1e-9);
+}
+
+TEST_F(MetricsTest, RegistryHandlesAreStableAndNamed) {
+  auto& reg = registry();
+  Counter& c1 = reg.counter("test_registry_stable_total");
+  Counter& c2 = reg.counter("test_registry_stable_total");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  bool found = false;
+  for (const auto& s : snap.counters) {
+    if (s.name == "test_registry_stable_total") {
+      found = true;
+      EXPECT_EQ(s.value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  c1.reset();
+}
+
+TEST_F(MetricsTest, SnapshotHistogramBucketsAreCumulative) {
+  auto& reg = registry();
+  LatencyHistogram& h = reg.histogram("test_snapshot_cumulative_seconds");
+  h.reset();
+  const auto& bounds = LatencyHistogram::bounds();
+  h.observe(0.0);        // bucket 0
+  h.observe(bounds[2]);  // bucket 2
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSample* sample = nullptr;
+  for (const auto& s : snap.histograms) {
+    if (s.name == "test_snapshot_cumulative_seconds") sample = &s;
+  }
+  ASSERT_NE(sample, nullptr);
+  // The snapshot carries the finite buckets only; exporters synthesize
+  // the +Inf line from `count`.
+  ASSERT_EQ(sample->buckets.size(), bounds.size());
+  EXPECT_EQ(sample->buckets[0].second, 1u);  // cumulative: 1, 1, 2, 2, ...
+  EXPECT_EQ(sample->buckets[1].second, 1u);
+  EXPECT_EQ(sample->buckets[2].second, 2u);
+  EXPECT_EQ(sample->buckets.back().second, 2u);
+  EXPECT_EQ(sample->count, 2u);
+  h.reset();
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted) {
+  auto& reg = registry();
+  reg.counter("test_zzz_sort_total").add();
+  reg.counter("test_aaa_sort_total").add();
+  const MetricsSnapshot snap = reg.snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  reg.counter("test_zzz_sort_total").reset();
+  reg.counter("test_aaa_sort_total").reset();
+}
+
+TEST_F(MetricsTest, ThreadStripeIsStableWithinAThread) {
+  const std::size_t a = thread_stripe();
+  const std::size_t b = thread_stripe();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, kCounterStripes);
+}
+
+}  // namespace
+}  // namespace dnsctx::obs

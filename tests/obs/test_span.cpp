@@ -1,0 +1,107 @@
+// Unit tests for RAII stage spans: per-thread path nesting, the series
+// a span folds into on destruction, and the disabled/no-op contracts.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace dnsctx::obs {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+std::uint64_t counter_value(const std::string& name) {
+  const MetricsSnapshot snap = registry().snapshot();
+  for (const auto& s : snap.counters) {
+    if (s.name == name) return s.value;
+  }
+  return 0;
+}
+
+TEST_F(SpanTest, PathNestsAndRestores) {
+  EXPECT_EQ(StageSpan::current_path(), "");
+  {
+    StageSpan outer{"test_run"};
+    EXPECT_EQ(StageSpan::current_path(), "test_run");
+    {
+      StageSpan inner{"pairing"};
+      EXPECT_EQ(StageSpan::current_path(), "test_run/pairing");
+    }
+    EXPECT_EQ(StageSpan::current_path(), "test_run");
+  }
+  EXPECT_EQ(StageSpan::current_path(), "");
+}
+
+TEST_F(SpanTest, RecordsRunsWallAndCpuSeries) {
+  const std::uint64_t runs_before =
+      counter_value("stage_runs_total{stage=\"test_span_series\"}");
+  {
+    StageSpan span{"test_span_series"};
+    // Busy-wait a hair so the wall counter can tick at µs resolution.
+    const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds{200};
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+  EXPECT_EQ(counter_value("stage_runs_total{stage=\"test_span_series\"}"),
+            runs_before + 1);
+  EXPECT_GT(counter_value("stage_wall_us_total{stage=\"test_span_series\"}"), 0u);
+
+  const MetricsSnapshot snap = registry().snapshot();
+  bool histogram_found = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "span_wall_seconds{stage=\"test_span_series\"}") {
+      histogram_found = true;
+      EXPECT_GE(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(histogram_found);
+}
+
+TEST_F(SpanTest, EmptyStageIsInert) {
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    StageSpan span{""};
+    EXPECT_EQ(StageSpan::current_path(), "");
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  EXPECT_EQ(before.counters.size(), after.counters.size());
+}
+
+TEST_F(SpanTest, DisabledSpanTouchesNothing) {
+  set_enabled(false);
+  {
+    StageSpan span{"test_disabled_span"};
+    EXPECT_EQ(StageSpan::current_path(), "");
+  }
+  set_enabled(true);
+  EXPECT_EQ(counter_value("stage_runs_total{stage=\"test_disabled_span\"}"), 0u);
+}
+
+TEST_F(SpanTest, PathIsPerThread) {
+  StageSpan outer{"test_thread_outer"};
+  std::string worker_path;
+  std::thread worker([&worker_path] {
+    StageSpan leaf{"test_thread_leaf"};
+    worker_path = StageSpan::current_path();
+  });
+  worker.join();
+  // The worker starts a fresh path — it does not inherit "test_thread_outer".
+  EXPECT_EQ(worker_path, "test_thread_leaf");
+  EXPECT_EQ(StageSpan::current_path(), "test_thread_outer");
+}
+
+}  // namespace
+}  // namespace dnsctx::obs

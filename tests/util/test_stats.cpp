@@ -1,6 +1,11 @@
 // Unit tests for the statistics toolkit.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
 #include "util/stats.hpp"
 
 namespace dnsctx {
@@ -85,6 +90,130 @@ TEST(Cdf, AddAllAndSortedView) {
   EXPECT_DOUBLE_EQ(sorted[2], 3.0);
 }
 
+TEST(Cdf, QuantileExactBoundaries) {
+  Cdf c;
+  c.add(7.0);
+  // A single sample: every quantile is that sample.
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 7.0);
+
+  Cdf d;
+  d.add(1.0);
+  d.add(2.0);
+  // Two samples: q=0.5 sits exactly between the order statistics.
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 2.0);
+}
+
+TEST(Cdf, FractionAtOrBelowWithTies) {
+  Cdf c;
+  // {1, 2, 2, 2, 3}: ties must all count at their value.
+  c.add(1.0);
+  c.add(2.0);
+  c.add(2.0);
+  c.add(2.0);
+  c.add(3.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1.9999), 0.2);
+  EXPECT_DOUBLE_EQ(c.fraction_above(2.0), 1.0 - 0.8);
+}
+
+TEST(Cdf, AbsorbEmptyAndIntoEmpty) {
+  Cdf filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  const Cdf empty;
+
+  Cdf a = filled;       // absorb empty into filled: unchanged
+  a.absorb(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 1.5);
+
+  Cdf b;                // absorb filled into empty: becomes filled
+  b.absorb(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.median(), 1.5);
+
+  Cdf c;                // empty into empty: still empty and queryable-safe
+  c.absorb(empty);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Cdf, SealMakesQueriesPureReads) {
+  Cdf c;
+  c.add(3.0);
+  c.add(1.0);
+  EXPECT_FALSE(c.sealed());
+  c.seal();
+  EXPECT_TRUE(c.sealed());
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  c.add(0.5);  // mutation unseals
+  EXPECT_FALSE(c.sealed());
+  c.seal();
+  EXPECT_DOUBLE_EQ(c.min(), 0.5);
+}
+
+TEST(Cdf, CopyAndMovePreserveSamples) {
+  Cdf src;
+  src.add(2.0);
+  src.add(1.0);
+  const Cdf copied = src;  // copy of an unsealed Cdf
+  EXPECT_DOUBLE_EQ(copied.median(), 1.5);
+
+  Cdf moved = std::move(src);
+  EXPECT_DOUBLE_EQ(moved.median(), 1.5);
+
+  Cdf assigned;
+  assigned = copied;
+  EXPECT_DOUBLE_EQ(assigned.median(), 1.5);
+  assigned = std::move(moved);
+  EXPECT_DOUBLE_EQ(assigned.median(), 1.5);
+}
+
+// Regression for the const-query data race: many threads issuing the
+// FIRST queries against a shared, unsealed Cdf all race into the lazy
+// sort, which must be internally synchronized. Run under TSan.
+TEST(Cdf, ConcurrentFirstQueriesOnUnsealedCdf) {
+  Cdf c;
+  for (int i = 999; i >= 0; --i) c.add(i);
+  ASSERT_FALSE(c.sealed());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  std::vector<double> medians(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&c, &medians, t] {
+      medians[static_cast<std::size_t>(t)] =
+          c.quantile(0.5) + c.fraction_at_or_below(500.0) + c.sorted().front();
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (double m : medians) EXPECT_DOUBLE_EQ(m, medians[0]);
+}
+
+// And the sealed contract: ≥4 threads reading a sealed Cdf concurrently
+// never touch the lock (lock-free read side). Run under TSan.
+TEST(Cdf, ConcurrentReadsOfSealedCdf) {
+  Cdf c;
+  for (int i = 0; i < 1000; ++i) c.add(static_cast<double>(i % 97));
+  c.seal();
+  ASSERT_TRUE(c.sealed());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&c] {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(c.quantile(1.0), 96.0);
+        EXPECT_GT(c.fraction_at_or_below(50.0), 0.0);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+}
+
 TEST(Histogram, BinningAndClamping) {
   Histogram h{0.0, 10.0, 10};
   h.add(0.5);   // bin 0
@@ -111,6 +240,42 @@ TEST(Histogram, RejectsBadConfig) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
 }
 
+// Regression for the UB in Histogram::add: the bin index used to be
+// computed as an integral cast of an unclamped double, so ±inf and
+// values beyond ±2^63 were undefined behaviour. They must clamp to the
+// edge bins; NaN must be tallied as invalid, never binned.
+TEST(Histogram, ExtremeValuesClampInFloatingPoint) {
+  Histogram h{0.0, 10.0, 10};
+  const double inf = std::numeric_limits<double>::infinity();
+  h.add(inf);        // +inf -> top bin
+  h.add(-inf);       // -inf -> bottom bin
+  h.add(1e300);      // far beyond 2^63 -> top bin
+  h.add(-1e300);     // far below -2^63 -> bottom bin
+  EXPECT_EQ(h.count_in(9), 2u);
+  EXPECT_EQ(h.count_in(0), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.invalid(), 0u);
+}
+
+TEST(Histogram, NanIsCountedInvalidNotBinned) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(std::nan(""));
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN(), 3);  // weighted NaN
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.invalid(), 4u);
+  EXPECT_EQ(h.count_in(5), 1u);
+}
+
+TEST(Histogram, WeightedAddReachesTheSameBins) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(1.5, 10);
+  h.add(99.0, 2);  // clamps into the top bin, weight preserved
+  EXPECT_EQ(h.count_in(1), 10u);
+  EXPECT_EQ(h.count_in(3), 2u);
+  EXPECT_EQ(h.total(), 12u);
+}
+
 TEST(SampleCdf, ProducesMonotoneSeries) {
   Cdf c;
   for (int i = 0; i < 100; ++i) c.add(i * i);
@@ -130,6 +295,18 @@ TEST(SampleCdf, EmptyInputs) {
   Cdf c2;
   c2.add(1.0);
   EXPECT_TRUE(sample_cdf(c2, 0).empty());
+}
+
+TEST(SampleCdf, SinglePointSpansMinToMax) {
+  Cdf c;
+  c.add(1.0);
+  c.add(9.0);
+  const auto pts = sample_cdf(c, 1);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(pts.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 9.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
 }
 
 TEST(RenderAsciiCdf, ContainsLabelAndRows) {

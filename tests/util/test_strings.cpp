@@ -1,6 +1,8 @@
 // Unit tests for string helpers.
 #include <gtest/gtest.h>
 
+#include <cwchar>
+
 #include "util/strings.hpp"
 
 namespace dnsctx {
@@ -49,6 +51,16 @@ TEST(Strfmt, LongOutput) {
   const std::string long_str(500, 'z');
   EXPECT_EQ(strfmt("%s", long_str.c_str()).size(), 500u);
 }
+
+TEST(Strfmt, EncodingErrorYieldsEmptyString) {
+  // %lc with a value no valid wide character encodes to makes vsnprintf
+  // report an encoding error (negative return). strfmt must degrade to
+  // an empty string instead of resizing by a negative count.
+  EXPECT_EQ(strfmt("%lc", static_cast<wint_t>(0x110000)), "");
+  EXPECT_EQ(strfmt("pre %lc post", static_cast<wint_t>(0xD800)), "");
+}
+
+TEST(Strfmt, EmptyFormat) { EXPECT_EQ(strfmt("%s", ""), ""); }
 
 }  // namespace
 }  // namespace dnsctx

@@ -79,5 +79,16 @@ TEST(TimeFormatting, HumanReadable) {
   EXPECT_NE(to_string(SimTime::from_us(1'500'000)).find("1.5"), std::string::npos);
 }
 
+// Regression: the unit used to be picked by the SIGNED millisecond value,
+// so every negative duration fell through to the microsecond branch
+// ("-2500us" instead of "-2.5ms"). Units must mirror the positive case.
+TEST(TimeFormatting, NegativeDurationsMirrorPositive) {
+  EXPECT_EQ(to_string(SimDuration::us(-500)), "-500us");
+  EXPECT_EQ(to_string(SimDuration::us(-2500)), "-2.5ms");
+  EXPECT_EQ(to_string(SimDuration::ms(-12)), "-12ms");
+  EXPECT_EQ(to_string(SimDuration::sec(-3)), "-3s");
+  EXPECT_EQ(to_string(SimDuration::zero()), "0us");
+}
+
 }  // namespace
 }  // namespace dnsctx

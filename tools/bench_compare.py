@@ -24,12 +24,35 @@ import json
 import sys
 from pathlib import Path
 
-# Lower-is-better metrics compared per record, by bench kind.
+# Lower-is-better metrics compared per record, by bench kind. Dotted
+# names ("metrics.x") descend one level into a nested object — the
+# internal observability scrape embedded by ``--metrics`` — so the gate
+# also covers work counters (how much the run did), not just wall time.
+# Nested metrics absent from a baseline are skipped, never fatal, so
+# baselines recorded before the metrics scrape existed keep working.
 WATCHED_METRICS = {
-    "Table 1": ["study_sec", "peak_rss_bytes"],
-    "bench_stream": ["stream_sec", "stream_peak_rss_bytes"],
+    "Table 1": [
+        "study_sec",
+        "peak_rss_bytes",
+        "metrics.pairing_candidates_scanned_total",
+        "metrics.sim_event_queue_peak",
+    ],
+    "bench_stream": [
+        "stream_sec",
+        "stream_peak_rss_bytes",
+        "metrics.stream_reorder_buffered_peak",
+    ],
     "micro": ["real_time_ns"],
 }
+
+
+def lookup(rec, name):
+    """rec[name], or rec[head][tail] for a dotted name (first dot only)."""
+    if "." in name:
+        head, tail = name.split(".", 1)
+        sub = rec.get(head)
+        return sub.get(tail) if isinstance(sub, dict) else None
+    return rec.get(name)
 
 
 def as_float(value) -> float | None:
@@ -96,7 +119,7 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
                 rec.get("threads", 1), rec.get("shards", 1))
             metrics = {}
             for m in WATCHED_METRICS.get(bench, []):
-                value = as_float(rec.get(m))
+                value = as_float(lookup(rec, m))
                 if value is not None:
                     metrics[m] = value
         add(key, metrics)

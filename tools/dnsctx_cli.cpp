@@ -49,6 +49,8 @@
 #include "analysis/report.hpp"
 #include "analysis/timeseries.hpp"
 #include "capture/logio.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/config_io.hpp"
 #include "stream/feed.hpp"
 #include "stream/online_study.hpp"
@@ -78,7 +80,51 @@ const std::set<std::string> kSimOptions = {
     "config",        "houses",        "hours",   "seed",
     "start-hour",    "shards",        "threads", "loss",
     "dup",           "reorder",       "servfail-rate", "nxdomain-rate",
-    "resolver-outage", "backoff",     "faults"};
+    "resolver-outage", "backoff",     "faults",
+    "metrics-out",   "progress"};
+
+/// Wall-clock progress reporter: prints to stderr (never stdout — golden
+/// outputs must stay byte-identical) at most once per `interval_sec`.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(long long interval_sec)
+      : enabled_{interval_sec > 0},
+        interval_{std::chrono::seconds{std::max(interval_sec, 0LL)}},
+        last_{std::chrono::steady_clock::now()} {}
+
+  /// Report `done/total` simulated time if the interval elapsed. The
+  /// final tick (done == total) always prints, so even a run faster
+  /// than one interval confirms completion.
+  void tick(SimDuration done, SimDuration total) {
+    if (!enabled_) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (done < total && now - last_ < interval_) return;
+    last_ = now;
+    const double pct = total.count_us() > 0
+                           ? 100.0 * static_cast<double>(done.count_us()) /
+                                 static_cast<double>(total.count_us())
+                           : 100.0;
+    std::fprintf(stderr, "progress: simulated %s / %s (%.0f%%)\n",
+                 to_string(done).c_str(), to_string(total).c_str(), pct);
+  }
+
+  /// Freeform progress line (streaming follow mode).
+  void note(const char* fmt, unsigned long long a, unsigned long long b,
+            unsigned long long c) {
+    if (!enabled_) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_ < interval_) return;
+    last_ = now;
+    std::fprintf(stderr, fmt, a, b, c);
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::duration interval_;
+  std::chrono::steady_clock::time_point last_;
+};
 
 [[nodiscard]] std::set<std::string> with_sim_options(std::set<std::string> extra) {
   extra.insert(kSimOptions.begin(), kSimOptions.end());
@@ -157,6 +203,8 @@ int cmd_simulate(const CliArgs& args) {
               to_string(cfg.duration).c_str(), static_cast<unsigned long long>(cfg.seed));
   scenario::Town town{cfg};
 
+  ProgressReporter progress{args.int_option_or("progress", 0)};
+
   if (args.has_flag("binary-logs")) {
     // Stream straight to a binary spool: records leave the monitors as
     // they finalize, get time-sorted by the LiveFeed inside the open
@@ -169,10 +217,12 @@ int cmd_simulate(const CliArgs& args) {
     for (SimDuration done; done < cfg.duration; done += chunk) {
       town.run_for(std::min(chunk, cfg.duration - done));
       feed.drain(town.record_watermark());
+      progress.tick(std::min(done + chunk, cfg.duration), cfg.duration);
     }
     (void)town.harvest();  // flush still-open flows/lookups to the feed
     feed.close();
     writer.flush();
+    town.publish_metrics();
     scenario::save_config_file(*out_dir + "/scenario.conf", cfg);
     std::printf("wrote %llu conns + %llu DNS transactions into %zu segments → %s\n",
                 static_cast<unsigned long long>(writer.conns_written()),
@@ -184,7 +234,20 @@ int cmd_simulate(const CliArgs& args) {
     return 0;
   }
 
-  town.run();
+  if (progress.enabled()) {
+    // Chunked run: run_for() advances every shard to the same end time,
+    // so N chunks dispatch the exact event sequence one run() would —
+    // output stays byte-identical while progress lands on stderr.
+    const SimDuration chunk = SimDuration::min(5);
+    for (SimDuration done; done < cfg.duration; done += chunk) {
+      town.run_for(std::min(chunk, cfg.duration - done));
+      progress.tick(std::min(done + chunk, cfg.duration), cfg.duration);
+    }
+    town.run();  // duration already simulated; run() just harvests
+  } else {
+    town.run();
+  }
+  town.publish_metrics();
 
   const std::string conn_path = *out_dir + "/conn.log";
   const std::string dns_path = *out_dir + "/dns.log";
@@ -200,7 +263,8 @@ int cmd_simulate(const CliArgs& args) {
 
 int cmd_analyze(const CliArgs& args) {
   if (reject_unknown(args, "analyze",
-                     {"dir", "conn", "dns", "section", "csv", "threads", "baseline"})) {
+                     {"dir", "conn", "dns", "section", "csv", "threads", "baseline",
+                      "metrics-out"})) {
     return 2;
   }
   std::string conn_path, dns_path;
@@ -312,6 +376,7 @@ int cmd_validate(const CliArgs& args) {
               to_string(cfg.duration).c_str());
   scenario::Town town{cfg};
   town.run();
+  town.publish_metrics();
   const auto study = analysis::run_study(town.dataset());
   const auto& truth = town.ground_truth();
   const auto& c = study.classified.counts;
@@ -384,7 +449,8 @@ void print_online_result(const stream::OnlineStudyResult& r, const stream::Onlin
 
 int cmd_stream(const CliArgs& args) {
   if (reject_unknown(args, "stream",
-                     {"spool", "import", "export", "follow", "idle-exit", "poll-ms"})) {
+                     {"spool", "import", "export", "follow", "idle-exit", "poll-ms",
+                      "metrics-out", "progress"})) {
     return 2;
   }
   const auto spool = args.option("spool");
@@ -419,6 +485,7 @@ int cmd_stream(const CliArgs& args) {
     // after --idle-exit polls with no new segments.
     const long long poll_ms = args.int_option_or("poll-ms", 200);
     const long long idle_exit = args.int_option_or("idle-exit", 5);
+    ProgressReporter progress{args.int_option_or("progress", 0)};
     stream::LiveFeed feed{engine};
     std::set<std::string> seen;
     SimTime conn_front, dns_front;
@@ -453,6 +520,10 @@ int cmd_stream(const CliArgs& args) {
           progressed = true;
         }
       }
+      progress.note("progress: %llu segments, %llu conns, %llu DNS transactions\n",
+                    static_cast<unsigned long long>(segments),
+                    static_cast<unsigned long long>(conns),
+                    static_cast<unsigned long long>(dns));
       if (progressed) {
         idle = 0;
         if (any_conn && any_dns) {
@@ -494,7 +565,12 @@ void usage() {
                "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
                "           [--shards N] [--threads N]\n"
                "  stream   --spool DIR [--follow [--idle-exit N] [--poll-ms MS]]\n"
-               "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n");
+               "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n"
+               "  every command also accepts:\n"
+               "    --metrics-out FILE   enable metrics; write a scrape on exit\n"
+               "                         (.json extension -> JSON, else Prometheus text)\n"
+               "    --progress SECS      periodic progress lines on stderr\n"
+               "                         (simulate and stream --follow)\n");
 }
 
 }  // namespace
@@ -508,12 +584,20 @@ int main(int argc, char** argv) {
       parse_cli(std::span<const char* const>{const_cast<const char* const*>(argv) + 2,
                                              static_cast<std::size_t>(argc - 2)});
   const std::string command = argv[1];
+  // Metrics stay disabled (one relaxed load on every hot-path check)
+  // unless a scrape destination was requested.
+  const auto metrics_out = args.option("metrics-out");
+  if (metrics_out) obs::set_enabled(true);
+  const auto finish = [&](int rc) {
+    if (metrics_out) obs::write_metrics_file(*metrics_out);
+    return rc;
+  };
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "stream") return cmd_stream(args);
+    if (command == "simulate") return finish(cmd_simulate(args));
+    if (command == "analyze") return finish(cmd_analyze(args));
+    if (command == "sweep") return finish(cmd_sweep(args));
+    if (command == "validate") return finish(cmd_validate(args));
+    if (command == "stream") return finish(cmd_stream(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -76,6 +76,62 @@ class LoadRecordsTest(unittest.TestCase):
         records = bench_compare.load_records(path)
         self.assertEqual(records, {"micro/BM_a": {"real_time_ns": 5000.0}})
 
+    def test_nested_metrics_are_flattened(self):
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.5,
+             "metrics": {"pairing_candidates_scanned_total": 1234,
+                         "sim_event_queue_peak": 56}},
+        ])
+        (metrics,) = bench_compare.load_records(path).values()
+        self.assertEqual(metrics, {
+            "study_sec": 1.5,
+            "metrics.pairing_candidates_scanned_total": 1234.0,
+            "metrics.sim_event_queue_peak": 56.0,
+        })
+
+    def test_baseline_without_metrics_object_is_skipped(self):
+        # A baseline recorded before --metrics existed: the nested
+        # lookups resolve to None and drop out, no crash.
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0,
+             "metrics": {"pairing_candidates_scanned_total": 999}},
+        ])
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(base), str(curr)]
+        try:
+            self.assertEqual(bench_compare.main(), 0)
+        finally:
+            sys.argv = argv
+
+    def test_nested_metric_regression_detected(self):
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "metrics": {"sim_event_queue_peak": 100}},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "metrics": {"sim_event_queue_peak": 250}},
+        ])
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(base), str(curr)]
+        try:
+            self.assertEqual(bench_compare.main(), 1)
+        finally:
+            sys.argv = argv
+
+    def test_lookup_splits_on_first_dot_only(self):
+        rec = {"metrics": {"a.b": 7}, "plain": 1}
+        self.assertEqual(bench_compare.lookup(rec, "metrics.a.b"), 7)
+        self.assertEqual(bench_compare.lookup(rec, "plain"), 1)
+        self.assertIsNone(bench_compare.lookup(rec, "metrics.missing"))
+        self.assertIsNone(bench_compare.lookup(rec, "plain.sub"))
+
     def test_compare_with_partial_baseline_passes(self):
         base = write_lines(self.dir, "base.json", [
             {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
