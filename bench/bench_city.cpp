@@ -1,0 +1,156 @@
+// dnsctx — city-scale simulation bench: many houses, bounded memory.
+//
+// The paper's corpus is a ~100-house neighborhood; this bench pushes the
+// engine to city scale (default 10,000 houses) to exercise the calendar
+// event queue, the per-shard packet arenas, and lazy DNS encoding under
+// load. Records stream into a counting sink as the monitors finalize
+// them — no dataset is ever materialized — so resident memory is bounded
+// by the simulation's working set (pending events, open flows, resolver
+// caches), not by the record count.
+//
+//   bench_city [--houses N] [--hours H] [--seed S] [--shards N]
+//              [--max-rss-mib M] [--json PATH]
+//
+// `--max-rss-mib M` turns the bench into a pass/fail memory check: the
+// process exits nonzero if peak RSS exceeds M MiB (the CI perf-smoke job
+// runs 500 houses under such a bound). `--json PATH` appends a one-line
+// timing record compatible with tools/bench_compare.py.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "capture/records.hpp"
+
+namespace {
+
+using namespace dnsctx;
+using Clock = std::chrono::steady_clock;
+
+struct CityScale {
+  std::size_t houses = 10'000;
+  int hours = 1;
+  std::uint64_t seed = 42;
+  std::size_t shards = 1;
+  std::uint64_t max_rss_mib = 0;  ///< 0 = report only, no bound asserted
+  std::string json_path;
+};
+
+CityScale parse_args(int argc, char** argv) {
+  CityScale s;
+  if (const char* env = std::getenv("DNSCTX_BENCH_JSON"); env && *env) s.json_path = env;
+  auto value = [&](int& i) -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--houses") == 0) {
+      s.houses = static_cast<std::size_t>(std::atoi(value(i)));
+    } else if (std::strcmp(argv[i], "--hours") == 0) {
+      s.hours = std::atoi(value(i));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      s.seed = static_cast<std::uint64_t>(std::atoll(value(i)));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      s.shards = static_cast<std::size_t>(std::atoi(value(i)));
+    } else if (std::strcmp(argv[i], "--max-rss-mib") == 0) {
+      s.max_rss_mib = static_cast<std::uint64_t>(std::atoll(value(i)));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      s.json_path = value(i);
+    } else {
+      std::fprintf(stderr, "bench_city: unknown argument %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return s;
+}
+
+/// Tallies finalized records without holding them: city-scale runs must
+/// not accumulate per-record memory.
+struct CountingSink final : capture::RecordSink {
+  std::uint64_t conns = 0;
+  std::uint64_t dns = 0;
+  void on_conn(const capture::ConnRecord&) override { ++conns; }
+  void on_dns(const capture::DnsRecord&) override { ++dns; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CityScale scale = parse_args(argc, argv);
+  std::printf("== bench_city — city-scale simulation, streaming capture ==\n");
+  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %zu shard(s)\n",
+              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
+              scale.shards);
+
+  scenario::ScenarioConfig cfg;
+  cfg.houses = scale.houses;
+  cfg.duration = SimDuration::hours(scale.hours);
+  cfg.seed = scale.seed;
+  cfg.shards = scale.shards;
+
+  CountingSink sink;
+  const auto t0 = Clock::now();
+  double build_sec = 0.0;
+  {
+    scenario::Town town{cfg};
+    build_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    town.attach_record_sink(&sink);
+    // Chunked run: a progress line per simulated hour keeps long runs
+    // observable without touching the event path.
+    const SimDuration chunk = SimDuration::min(60);
+    for (SimDuration done; done < cfg.duration; done += chunk) {
+      town.run_for(std::min(chunk, cfg.duration - done));
+      std::printf("  t=%5.1f h  %llu conns + %llu dns streamed, peak RSS %.0f MiB\n",
+                  (done + chunk).to_sec() / 3600.0,
+                  static_cast<unsigned long long>(sink.conns),
+                  static_cast<unsigned long long>(sink.dns),
+                  static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0));
+    }
+    (void)town.harvest();  // flush still-open flows/transactions to the sink
+  }
+  const double gen_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::uint64_t records = sink.conns + sink.dns;
+  const std::uint64_t rss = bench::peak_rss_bytes();
+  const double rss_mib = static_cast<double>(rss) / (1024.0 * 1024.0);
+  std::printf("captured: %llu conns + %llu DNS transactions in %.2f s "
+              "(%.1f s building the town) — %.0f records/s\n",
+              static_cast<unsigned long long>(sink.conns),
+              static_cast<unsigned long long>(sink.dns), gen_sec, build_sec,
+              gen_sec > 0.0 ? static_cast<double>(records) / gen_sec : 0.0);
+  std::printf("peak RSS: %.1f MiB (%.1f KiB per house)\n", rss_mib,
+              scale.houses > 0
+                  ? static_cast<double>(rss) / 1024.0 / static_cast<double>(scale.houses)
+                  : 0.0);
+
+  const bool within_bound = scale.max_rss_mib == 0 || rss_mib <= static_cast<double>(scale.max_rss_mib);
+  if (scale.max_rss_mib != 0) {
+    std::printf("rss bound: %.1f MiB %s limit of %llu MiB\n", rss_mib,
+                within_bound ? "within" : "EXCEEDS",
+                static_cast<unsigned long long>(scale.max_rss_mib));
+  }
+
+  if (!scale.json_path.empty()) {
+    std::ofstream os{scale.json_path, std::ios::app};
+    if (os) {
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
+                    "{\"bench\":\"bench_city\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
+                    "\"shards\":%zu,\"gen_sec\":%.3f,\"build_sec\":%.3f,"
+                    "\"conns\":%llu,\"dns\":%llu,\"records_per_sec\":%.0f,"
+                    "\"peak_rss_bytes\":%llu,\"rss_limit_mib\":%llu,"
+                    "\"within_rss_bound\":%s}",
+                    scale.houses, scale.hours,
+                    static_cast<unsigned long long>(scale.seed), scale.shards, gen_sec,
+                    build_sec, static_cast<unsigned long long>(sink.conns),
+                    static_cast<unsigned long long>(sink.dns),
+                    gen_sec > 0.0 ? static_cast<double>(records) / gen_sec : 0.0,
+                    static_cast<unsigned long long>(rss),
+                    static_cast<unsigned long long>(scale.max_rss_mib),
+                    within_bound ? "true" : "false");
+      os << buf << '\n';
+    } else {
+      std::fprintf(stderr, "warning: cannot open bench JSON file %s\n",
+                   scale.json_path.c_str());
+    }
+  }
+  return within_bound ? 0 : 1;
+}

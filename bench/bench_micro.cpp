@@ -9,6 +9,8 @@
 #include "capture/monitor.hpp"
 #include "dns/cache.hpp"
 #include "dns/codec.hpp"
+#include "netsim/arena.hpp"
+#include "netsim/event_queue.hpp"
 #include "netsim/sim.hpp"
 #include "util/rng.hpp"
 
@@ -71,6 +73,64 @@ void BM_SimulatorDispatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorDispatch)->Unit(benchmark::kMicrosecond);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  // Pure queue cost: the BM_SimulatorDispatch pattern (batch insert,
+  // then drain in order) without Simulator bookkeeping.
+  for (auto _ : state) {
+    netsim::EventQueue q;
+    for (int i = 0; i < 1'000; ++i) {
+      q.push(SimTime::from_us(i), static_cast<std::uint64_t>(i), netsim::InlineAction{[] {}});
+    }
+    SimTime when;
+    netsim::InlineAction action;
+    while (q.pop_min(&when, &action)) benchmark::DoNotOptimize(when);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)->Unit(benchmark::kMicrosecond);
+
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // Hold-and-churn at `range(0)` pending events: every pop schedules a
+  // successor a pseudo-random delay ahead, the classic timer-wheel
+  // workload (DNS timeouts, app think times). Spans wheel0, wheel1 and
+  // occasional overflow insertions.
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  netsim::EventQueue q;
+  Rng rng{17};
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q.push(SimTime::from_us(static_cast<std::int64_t>(rng.bounded(2'000'000))), seq++,
+           netsim::InlineAction{[] {}});
+  }
+  SimTime when;
+  netsim::InlineAction action;
+  for (auto _ : state) {
+    q.pop_min(&when, &action);
+    const auto delay = 1 + static_cast<std::int64_t>(rng.bounded(2'000'000));
+    q.push(when + SimDuration::us(delay), seq++, netsim::InlineAction{[] {}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(1'000)->Arg(100'000);
+
+void BM_PacketArena(benchmark::State& state) {
+  // Adopt/duplicate/release churn as the network fabric performs it:
+  // one handle for the tap closure, one for the delivery closure.
+  netsim::PacketArena arena;
+  netsim::Packet proto;
+  proto.src_ip = Ipv4Addr{100, 66, 1, 1};
+  proto.dst_ip = Ipv4Addr{8, 8, 8, 8};
+  proto.src_port = 40'000;
+  proto.dst_port = 53;
+  proto.proto = Proto::kUdp;
+  for (auto _ : state) {
+    netsim::PacketHandle h = arena.adopt(netsim::Packet{proto});
+    netsim::PacketHandle tap = h;
+    benchmark::DoNotOptimize(&*tap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketArena);
 
 void BM_MonitorTcpConn(benchmark::State& state) {
   capture::Monitor monitor;

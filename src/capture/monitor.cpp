@@ -62,10 +62,12 @@ void Monitor::observe(SimTime at_tap, const netsim::Packet& p) {
 }
 
 void Monitor::handle_dns(SimTime at_tap, const netsim::Packet& p) {
-  if (!p.dns_wire) return;
-  std::string err;
-  const auto msg = dns::decode(*p.dns_wire, &err);
-  if (!msg) {
+  if (p.dns.empty()) return;
+  // Lazy payload: message-origin packets hand us the struct the codec
+  // round-trips to byte-identically; wire-origin packets decode here,
+  // on first observation, and malformed ones surface as before.
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr) {
     ++stats_.malformed_dns;
     return;
   }
@@ -89,7 +91,7 @@ void Monitor::handle_dns(SimTime at_tap, const netsim::Packet& p) {
     pd.generation = next_generation_++;
     expiries_.push(
         Expiry{at_tap + cfg_.dns_query_timeout, FiveTuple{}, key, true, pd.generation});
-    pending_dns_.emplace(key, std::move(pd));
+    pending_dns_.try_emplace(key, std::move(pd));
     return;
   }
   if (msg->flags.qr && p.src_port == 53) {
@@ -101,7 +103,7 @@ void Monitor::handle_dns(SimTime at_tap, const netsim::Packet& p) {
       return;
     }
     DnsRecord rec = std::move(it->second.rec);
-    pending_dns_.erase(it);
+    pending_dns_.erase(key);
     rec.duration = at_tap - rec.ts;
     rec.answered = true;
     rec.rcode = msg->flags.rcode;
@@ -141,7 +143,7 @@ void Monitor::handle_conn(SimTime at_tap, const netsim::Packet& p) {
     flow.rec.proto = p.proto;
     flow.last_packet = at_tap;
     flow.generation = next_generation_++;
-    it = flows_.emplace(forward, std::move(flow)).first;
+    it = flows_.try_emplace(forward, std::move(flow)).first;
     is_orig = true;
     expiries_.push(Expiry{at_tap + flow_timeout(it->second), it->first, DnsKey{}, false,
                           it->second.generation});
@@ -162,15 +164,15 @@ void Monitor::handle_conn(SimTime at_tap, const netsim::Packet& p) {
     if (p.tcp.rst) flow.saw_rst = true;
     if (flow.saw_rst || flow.fin_halves >= 2) {
       ++stats_.conns_closed;
+      const FiveTuple key = it->first;  // erase moves slots; copy first
       finalize_flow(flow, at_tap);
-      flows_.erase(it);
+      flows_.erase(key);
       return;
     }
   }
-  // Refresh the expiry for long-lived flows.
-  flow.generation = next_generation_++;
-  expiries_.push(
-      Expiry{at_tap + flow_timeout(flow), it->first, DnsKey{}, false, flow.generation});
+  // No per-packet expiry refresh: the entry pushed at flow creation is
+  // re-checked lazily against last_packet when it pops (expire_state),
+  // so the heap holds one live entry per flow instead of one per packet.
 }
 
 SimDuration Monitor::flow_timeout(const Flow& flow) const {
@@ -209,7 +211,7 @@ void Monitor::expire_state(SimTime now) {
       if (it != pending_dns_.end() && it->second.generation == e.generation) {
         ++stats_.dns_unanswered;
         DnsRecord rec = std::move(it->second.rec);
-        pending_dns_.erase(it);
+        pending_dns_.erase(e.dns_key);
         rec.answered = false;
         rec.duration = SimDuration::zero();
         emit_dns(std::move(rec));
@@ -217,13 +219,44 @@ void Monitor::expire_state(SimTime now) {
     } else {
       const auto it = flows_.find(e.tuple);
       if (it != flows_.end() && it->second.generation == e.generation) {
-        ++stats_.conns_timed_out;
-        finalize_flow(it->second, now);
-        flows_.erase(it);
+        // Lazy deadline: packets only update last_packet, so recompute
+        // the true timeout here and re-arm if the flow is still fresh.
+        const SimTime deadline = it->second.last_packet + flow_timeout(it->second);
+        if (deadline > now) {
+          expiries_.push(Expiry{deadline, e.tuple, DnsKey{}, false, e.generation});
+        } else {
+          ++stats_.conns_timed_out;
+          finalize_flow(it->second, now);
+          flows_.erase(e.tuple);
+        }
       }
     }
   }
 }
+
+namespace {
+
+/// Stable timestamp sort via key extraction: pull the (SoA-style) key
+/// column out of the records, argsort indices, then gather. Equivalent
+/// to std::stable_sort on `key(rec)` but each record is moved exactly
+/// once regardless of how deep the sort recursion goes.
+template <typename Rec, typename KeyFn>
+void sort_by_time(std::vector<Rec>& recs, KeyFn key) {
+  const std::size_t n = recs.size();
+  if (n < 2) return;
+  std::vector<std::int64_t> ts(n);
+  for (std::size_t i = 0; i < n; ++i) ts[i] = key(recs[i]).count_us();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&ts](std::uint32_t a, std::uint32_t b) { return ts[a] < ts[b]; });
+  std::vector<Rec> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sorted.push_back(std::move(recs[order[i]]));
+  recs = std::move(sorted);
+}
+
+}  // namespace
 
 Dataset Monitor::harvest(SimTime end) {
   expire_state(end);
@@ -248,13 +281,13 @@ Dataset Monitor::harvest(SimTime end) {
 
   // Timestamp-sort the logs: finalisation order (timeouts, harvest) is
   // not emission order, and the analysis pipeline assumes sorted logs.
-  // stable_sort so that equal-timestamp records keep finalization order —
-  // the order a LiveFeed delivers them in — keeping batch and streaming
-  // runs record-for-record identical.
-  std::stable_sort(out_.conns.begin(), out_.conns.end(),
-                   [](const ConnRecord& a, const ConnRecord& b) { return a.start < b.start; });
-  std::stable_sort(out_.dns.begin(), out_.dns.end(),
-                   [](const DnsRecord& a, const DnsRecord& b) { return a.ts < b.ts; });
+  // The sort runs over an extracted timestamp column + index permutation
+  // (records move once, in one gather pass, instead of O(n log n) times)
+  // and is stable so that equal-timestamp records keep finalization
+  // order — the order a LiveFeed delivers them in — keeping batch and
+  // streaming runs record-for-record identical.
+  sort_by_time(out_.conns, [](const ConnRecord& c) { return c.start; });
+  sort_by_time(out_.dns, [](const DnsRecord& d) { return d.ts; });
   Dataset result = std::move(out_);
   out_ = Dataset{};
   return result;

@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 
 #include "capture/records.hpp"
 #include "netsim/network.hpp"
+#include "util/flat_map.hpp"
 
 namespace dnsctx::capture {
 
@@ -121,8 +121,10 @@ class Monitor : public netsim::PacketTap {
   void emit_dns(DnsRecord&& rec);
 
   MonitorConfig cfg_;
-  std::unordered_map<FiveTuple, Flow, FiveTupleHash> flows_;
-  std::unordered_map<DnsKey, PendingDns, DnsKeyHash> pending_dns_;
+  // Open-addressing tables: one find per packet on the tap hot path, so
+  // avoid per-node allocation and bucket-chain pointer chasing.
+  util::FlatMap<FiveTuple, Flow, FiveTupleHash> flows_;
+  util::FlatMap<DnsKey, PendingDns, DnsKeyHash> pending_dns_;
   // Expiry wheel: lazy re-checked (entry's generation must still match).
   struct Expiry {
     SimTime when;

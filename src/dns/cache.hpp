@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dns/message.hpp"
+#include "util/flat_map.hpp"
 #include "util/time.hpp"
 
 namespace dnsctx::dns {
@@ -39,6 +39,17 @@ struct CacheHit {
   SimTime inserted_at;
   SimTime expires_at;   ///< TTL expiry (not including stale window)
   bool expired = false; ///< true when served from the stale window
+};
+
+/// Borrowed counterpart of CacheHit: `answers` points into the cache
+/// entry and is valid only until the next cache mutation. For callers
+/// that read the answer set in place instead of re-serving it.
+struct CacheHitView {
+  const std::vector<ResourceRecord>* answers = nullptr;
+  Rcode rcode = Rcode::kNoError;
+  SimTime inserted_at;
+  SimTime expires_at;
+  bool expired = false;
 };
 
 /// Running hit/miss counters (for Table 3-style accounting).
@@ -73,6 +84,12 @@ class DnsCache {
   [[nodiscard]] std::optional<CacheHit> lookup(const DomainName& qname, RrType qtype,
                                                SimTime now);
 
+  /// lookup() without copying the answer set: same counters, LRU touch
+  /// and lazy expiry; the returned view borrows from the entry and must
+  /// be consumed before the next cache call.
+  [[nodiscard]] std::optional<CacheHitView> lookup_view(const DomainName& qname, RrType qtype,
+                                                        SimTime now);
+
   /// Non-counting, non-mutating probe (used by analysis/simulators).
   [[nodiscard]] std::optional<CacheHit> peek(const DomainName& qname, RrType qtype,
                                              SimTime now) const;
@@ -90,36 +107,67 @@ class DnsCache {
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 
   /// Visit every live entry: fn(qname, qtype, expires_at). Used by the
-  /// refresh simulator to find entries nearing expiry.
+  /// refresh simulator to find entries nearing expiry. Visits in
+  /// most-recently-used-first order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [key, entry] : map_) {
-      fn(key.first, key.second, entry.expires_at);
+    for (std::uint32_t idx = lru_head_; idx != kNil; idx = slab_[idx].lru_next) {
+      const Entry& e = slab_[idx];
+      fn(e.key.first, e.key.second, e.expires_at);
     }
   }
 
  private:
   using Key = std::pair<DomainName, RrType>;
+  /// Borrowed-key view for hash probes without materializing a Key.
+  struct KeyRef {
+    const DomainName* name;
+    RrType type;
+  };
   struct KeyHash {
     [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
       return DomainNameHash{}(k.first) * 31 ^ static_cast<std::size_t>(k.second);
     }
+    [[nodiscard]] std::size_t operator()(const KeyRef& k) const noexcept {
+      return DomainNameHash{}(*k.name) * 31 ^ static_cast<std::size_t>(k.type);
+    }
   };
+  struct KeyEq {
+    [[nodiscard]] bool operator()(const Key& a, const Key& b) const noexcept {
+      return a == b;
+    }
+    [[nodiscard]] bool operator()(const Key& a, const KeyRef& b) const noexcept {
+      return a.second == b.type && a.first == *b.name;
+    }
+  };
+  static constexpr std::uint32_t kNil = 0xffffffff;
+  /// Entries live in a recycled slab so the LRU chain is intrusive
+  /// (index links, no per-touch list-node allocation) and survives map
+  /// rehashes, which move only (key, index) pairs.
   struct Entry {
+    Key key;
     std::vector<ResourceRecord> answers;
     Rcode rcode = Rcode::kNoError;
     SimTime inserted_at;
     SimTime expires_at;      ///< TTL boundary
     SimTime servable_until;  ///< TTL + per-entry hold + config stale window
-    std::list<Key>::iterator lru_it;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
   };
 
-  void touch(Entry& e, const Key& k);
+  void touch(std::uint32_t idx);
   void evict_lru();
+  void lru_unlink(std::uint32_t idx);
+  void lru_push_front(std::uint32_t idx);
+  /// Unlink + map-erase + return the slot to the free list.
+  void remove_at(std::uint32_t idx);
 
   CacheConfig cfg_;
-  std::unordered_map<Key, Entry, KeyHash> map_;
-  std::list<Key> lru_;  // front = most recently used
+  util::FlatMap<Key, std::uint32_t, KeyHash, KeyEq> map_;
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t lru_head_ = kNil;  ///< most recently used
+  std::uint32_t lru_tail_ = kNil;  ///< least recently used
   CacheStats stats_;
 };
 

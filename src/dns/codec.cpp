@@ -375,7 +375,54 @@ std::optional<DnsMessage> decode(std::span<const std::uint8_t> wire, std::string
 
 std::size_t encoded_size(const DnsMessage& msg) { return encode(msg).size(); }
 
+namespace {
+
+// Uncompressed wire size of a name: every label length byte plus the
+// root terminator is text length (dots become length bytes) + 2.
+std::size_t name_size_bound(const DomainName& n) { return n.text().size() + 2; }
+
+// Size of one RR with compression ignored — an upper bound on (and for
+// compression-free messages equal to) its encoded size.
+std::size_t rr_size_bound(const ResourceRecord& rr) {
+  std::size_t s = name_size_bound(rr.name) + 10;  // type, class, ttl, rdlength
+  switch (rr.type) {
+    case RrType::kA:
+      return s + 4;
+    case RrType::kNs:
+    case RrType::kCname:
+    case RrType::kPtr:
+      return s + name_size_bound(std::get<DomainName>(rr.rdata));
+    case RrType::kSoa: {
+      const auto& soa = std::get<SoaData>(rr.rdata);
+      return s + name_size_bound(soa.mname) + name_size_bound(soa.rname) + 20;
+    }
+    case RrType::kMx:
+      return s + 2 + name_size_bound(std::get<MxData>(rr.rdata).exchange);
+    case RrType::kTxt: {
+      const auto& txt = std::get<std::string>(rr.rdata);
+      return s + txt.size() + txt.size() / 255 + 1;  // length byte per chunk
+    }
+    default:
+      return s + std::get<std::vector<std::uint8_t>>(rr.rdata).size();
+  }
+}
+
+// Upper bound on encoded_size (compression can only shrink a message).
+std::size_t encoded_size_bound(const DnsMessage& msg) {
+  std::size_t s = 12;
+  for (const auto& q : msg.questions) s += name_size_bound(q.qname) + 4;
+  for (const auto& rr : msg.answers) s += rr_size_bound(rr);
+  for (const auto& rr : msg.authorities) s += rr_size_bound(rr);
+  for (const auto& rr : msg.additionals) s += rr_size_bound(rr);
+  return s;
+}
+
+}  // namespace
+
 DnsMessage truncate_for_udp(const DnsMessage& msg, std::size_t limit) {
+  // Cheap path: if even the uncompressed size fits, no truncation is
+  // possible and the exact (compressed) encode can be skipped entirely.
+  if (encoded_size_bound(msg) <= limit) return msg;
   if (encoded_size(msg) <= limit) return msg;
   DnsMessage out;
   out.id = msg.id;

@@ -1,0 +1,85 @@
+#include "dns/lazy.hpp"
+
+#include "dns/codec.hpp"
+
+namespace dnsctx::dns {
+
+DnsPayload::Pool::~Pool() {
+  while (head != nullptr) {
+    State* next = head->pool_next;
+    delete head;
+    head = next;
+  }
+}
+
+/// This thread's free list. Memory recycled here was allocated with
+/// plain `new`, so a block may migrate between per-thread lists across a
+/// shard's lifetime without harm; the refcount itself is only ever
+/// touched from the one thread holding handles to the State.
+DnsPayload::Pool& DnsPayload::pool() {
+  thread_local Pool p;
+  return p;
+}
+
+DnsPayload::State* DnsPayload::acquire() {
+  Pool& p = pool();
+  State* s = p.head;
+  if (s != nullptr) {
+    p.head = s->pool_next;
+    s->pool_next = nullptr;
+    s->refs = 1;
+    return s;
+  }
+  return new State{};
+}
+
+void DnsPayload::recycle(State* s) noexcept {
+  s->msg.reset();
+  s->bytes.reset();
+  s->decode_failed = false;
+  Pool& p = pool();
+  s->pool_next = p.head;
+  p.head = s;
+}
+
+DnsPayload DnsPayload::from_message(DnsMessage msg) {
+  State* s = acquire();
+  s->msg.emplace(std::move(msg));
+  return DnsPayload{s};
+}
+
+DnsPayload DnsPayload::from_wire(std::vector<std::uint8_t> wire) {
+  State* s = acquire();
+  s->bytes.emplace(std::move(wire));
+  return DnsPayload{s};
+}
+
+const DnsMessage* DnsPayload::message() const {
+  if (state_ == nullptr) return nullptr;
+  State& s = *state_;
+  if (!s.msg.has_value() && !s.decode_failed) {
+    auto decoded = decode(*s.bytes);
+    if (decoded.has_value()) {
+      s.msg.emplace(std::move(*decoded));
+    } else {
+      s.decode_failed = true;
+    }
+  }
+  return s.msg.has_value() ? &*s.msg : nullptr;
+}
+
+const std::vector<std::uint8_t>* DnsPayload::wire() const {
+  if (state_ == nullptr) return nullptr;
+  State& s = *state_;
+  if (!s.bytes.has_value()) s.bytes.emplace(encode(*s.msg));
+  return &*s.bytes;
+}
+
+std::size_t DnsPayload::wire_size() const {
+  if (state_ == nullptr) return 0;
+  const State& s = *state_;
+  if (s.bytes.has_value()) return s.bytes->size();
+  return encoded_size(*s.msg);
+}
+
+}  // namespace dnsctx::dns

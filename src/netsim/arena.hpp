@@ -1,0 +1,122 @@
+// dnsctx — slab arena for in-flight packets.
+//
+// Every hop used to capture a full Packet (~100 bytes plus a shared_ptr
+// to DNS payload state) by value inside a std::function, costing a heap
+// allocation per scheduled event. The arena keeps each in-flight packet
+// in one slab node and hands out 8-byte refcounted handles instead, so
+// fan-out (tap observation + delivery + duplicates) shares one node and
+// event closures stay inside InlineAction's inline buffer.
+//
+// Single-threaded per shard by construction (each shard owns its
+// Simulator, Network and therefore its arena), so the refcount is a
+// plain integer. Nodes are recycled through a freelist; on release the
+// packet is reset to a default-constructed state so recycled nodes
+// never leak stale DNS payload, flags, or intent into the next packet.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "netsim/packet.hpp"
+
+namespace dnsctx::netsim {
+
+/// Freelist-recycled slab of Packet nodes. Chunked so node addresses
+/// stay stable while the arena grows.
+class PacketArena {
+ public:
+  class Handle;
+
+  PacketArena() = default;
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  /// Move a packet into the arena; the returned handle is its sole
+  /// owner until copied.
+  [[nodiscard]] Handle adopt(Packet p);
+
+  /// Packets currently alive (handles outstanding).
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// Slab capacity ever allocated (high-water mark of `live()`).
+  [[nodiscard]] std::size_t allocated() const { return allocated_; }
+
+ private:
+  static constexpr std::size_t kChunk = 256;
+
+  struct Node {
+    Packet pkt;
+    PacketArena* owner = nullptr;
+    Node* next_free = nullptr;
+    std::uint32_t refs = 0;
+  };
+
+  void release(Node* n) {
+    n->pkt = Packet{};  // drop payload/intent state before recycling
+    n->next_free = free_head_;
+    free_head_ = n;
+    --live_;
+  }
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_head_ = nullptr;
+  std::size_t allocated_ = 0;
+  std::size_t live_ = 0;
+};
+
+/// Shared, read-only view of an arena packet. Copying bumps a plain
+/// (non-atomic) refcount; destroying the last handle recycles the node.
+class PacketArena::Handle {
+ public:
+  Handle() noexcept = default;
+
+  Handle(const Handle& o) noexcept : n_{o.n_} {
+    if (n_ != nullptr) ++n_->refs;
+  }
+  Handle(Handle&& o) noexcept : n_{o.n_} { o.n_ = nullptr; }
+  Handle& operator=(const Handle& o) noexcept {
+    Handle tmp{o};
+    std::swap(n_, tmp.n_);
+    return *this;
+  }
+  Handle& operator=(Handle&& o) noexcept {
+    std::swap(n_, o.n_);
+    return *this;
+  }
+  ~Handle() {
+    if (n_ != nullptr && --n_->refs == 0) n_->owner->release(n_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return n_ != nullptr; }
+  [[nodiscard]] const Packet& operator*() const noexcept { return n_->pkt; }
+  [[nodiscard]] const Packet* operator->() const noexcept { return &n_->pkt; }
+
+ private:
+  friend class PacketArena;
+  explicit Handle(Node* n) noexcept : n_{n} { ++n_->refs; }
+  Node* n_ = nullptr;
+};
+
+using PacketHandle = PacketArena::Handle;
+
+inline PacketArena::Handle PacketArena::adopt(Packet p) {
+  Node* n = free_head_;
+  if (n != nullptr) {
+    free_head_ = n->next_free;
+  } else {
+    if (allocated_ % kChunk == 0) chunks_.push_back(std::make_unique<Node[]>(kChunk));
+    n = &chunks_[allocated_ / kChunk][allocated_ % kChunk];
+    n->owner = this;
+    ++allocated_;
+  }
+  assert(n->refs == 0);
+  n->pkt = std::move(p);
+  n->next_free = nullptr;
+  ++live_;
+  return Handle{n};
+}
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,207 @@
+#include "netsim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace dnsctx::netsim {
+
+EventQueue::EventQueue() {
+  wheel0_.head.fill(kNil);
+  wheel0_.occupied.fill(0);
+  wheel1_.head.fill(kNil);
+  wheel1_.occupied.fill(0);
+  wheel2_.head.fill(kNil);
+  wheel2_.occupied.fill(0);
+}
+
+EventQueue::~EventQueue() {
+  // Chunks are raw storage; exactly the first allocated_ slots hold
+  // constructed Nodes (live, wheel-resident or freelisted alike).
+  for (std::uint32_t i = 0; i < allocated_; ++i) node(i).~Node();
+}
+
+void EventQueue::grow() {
+  chunks_.emplace_back(static_cast<Node*>(::operator new(
+      sizeof(Node) * kChunk, std::align_val_t{alignof(Node)})));
+  capacity_ += kChunk;
+}
+
+void EventQueue::heap_push(std::vector<std::uint32_t>& heap, std::uint32_t idx) {
+  heap.push_back(idx);
+  std::push_heap(heap.begin(), heap.end(),
+                 [this](std::uint32_t a, std::uint32_t b) { return later(a, b); });
+}
+
+std::uint32_t EventQueue::heap_pop(std::vector<std::uint32_t>& heap) {
+  std::pop_heap(heap.begin(), heap.end(),
+                [this](std::uint32_t a, std::uint32_t b) { return later(a, b); });
+  const std::uint32_t idx = heap.back();
+  heap.pop_back();
+  return idx;
+}
+
+void EventQueue::place_far(std::uint32_t idx) {
+  Node& n = node(idx);
+  const std::int64_t b1 = n.when_us >> kL1Shift;
+  assert(b1 > cur1_);
+  if (b1 - cur1_ <= static_cast<std::int64_t>(kSlots)) {
+    const auto slot = static_cast<std::size_t>(b1) & kMask;
+    n.next = wheel1_.head[slot];
+    wheel1_.head[slot] = idx;
+    wheel1_.occupied[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++wheel1_.count;
+    return;
+  }
+  const std::int64_t b2 = n.when_us >> kL2Shift;
+  assert(b2 > cur2_);
+  if (b2 - cur2_ <= static_cast<std::int64_t>(kSlots)) {
+    const auto slot = static_cast<std::size_t>(b2) & kMask;
+    n.next = wheel2_.head[slot];
+    wheel2_.head[slot] = idx;
+    wheel2_.occupied[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++wheel2_.count;
+    return;
+  }
+  heap_push(overflow_, idx);
+}
+
+void EventQueue::move_slot0_to_current(std::size_t slot) {
+  std::uint32_t idx = wheel0_.head[slot];
+  wheel0_.head[slot] = kNil;
+  wheel0_.occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (idx != kNil) {
+    const std::uint32_t nxt = node(idx).next;
+    node(idx).next = kNil;
+    push_current(idx);
+    --wheel0_.count;
+    idx = nxt;
+  }
+}
+
+void EventQueue::cascade_slot1(std::size_t slot) {
+  std::uint32_t idx = wheel1_.head[slot];
+  wheel1_.head[slot] = kNil;
+  wheel1_.occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (idx != kNil) {
+    const std::uint32_t nxt = node(idx).next;
+    node(idx).next = kNil;
+    --wheel1_.count;
+    place(idx);
+    idx = nxt;
+  }
+}
+
+void EventQueue::cascade_slot2(std::size_t slot) {
+  std::uint32_t idx = wheel2_.head[slot];
+  wheel2_.head[slot] = kNil;
+  wheel2_.occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (idx != kNil) {
+    const std::uint32_t nxt = node(idx).next;
+    node(idx).next = kNil;
+    --wheel2_.count;
+    place(idx);
+    idx = nxt;
+  }
+}
+
+void EventQueue::drain_overflow() {
+  while (!overflow_.empty() &&
+         (node(overflow_.front()).when_us >> kL2Shift) - cur2_ <=
+             static_cast<std::int64_t>(kSlots)) {
+    place(heap_pop(overflow_));
+  }
+}
+
+void EventQueue::advance_window() {
+  if (wheel0_.count == 0 && wheel1_.count == 0) {
+    if (wheel2_.count == 0) {
+      // Everything pending is far-future: jump the cursor straight to
+      // the earliest overflow event instead of walking empty windows.
+      assert(!overflow_.empty());
+      const Node& top = node(overflow_.front());
+      cur0_ = top.when_us >> kL0Shift;
+      cur1_ = cur0_ >> kSlotBits;
+      cur2_ = cur1_ >> kSlotBits;
+      drain_overflow();
+      return;
+    }
+    // Both near wheels empty: the next event is in wheel2 (every
+    // overflow event lies strictly beyond wheel2's horizon, so nothing
+    // there can precede it). Skip straight to the next occupied wheel2
+    // slot via the bitmap instead of crossing windows one at a time.
+    const std::int64_t off2 =
+        next_occupied_offset(wheel2_, static_cast<std::size_t>(cur2_) & kMask);
+    cur2_ += off2;
+    cur1_ = cur2_ << kSlotBits;
+    cur0_ = cur1_ << kSlotBits;
+    cascade_slot2(static_cast<std::size_t>(cur2_) & kMask);
+    drain_overflow();
+    return;
+  }
+  if (wheel0_.count == 0) {
+    // wheel0 empty, wheel1 occupied: jump straight to the next occupied
+    // wheel1 slot (bitmap scan) instead of crossing windows one by one,
+    // unless a wheel2 cascade could inject earlier events first.
+    const std::int64_t off1 =
+        next_occupied_offset(wheel1_, static_cast<std::size_t>(cur1_) & kMask);
+    const std::int64_t l2_boundary = ((cur2_ + 1) << kSlotBits) - cur1_;  // in [1, kSlots]
+    const bool no_later = wheel2_.count == 0 && overflow_.empty();
+    if (off1 < l2_boundary || no_later) {
+      cur1_ += off1;
+      if (no_later) cur2_ = cur1_ >> kSlotBits;
+      cur0_ = cur1_ << kSlotBits;
+      cascade_slot1(static_cast<std::size_t>(cur1_) & kMask);
+      return;
+    }
+    cur1_ = (cur2_ + 1) << kSlotBits;
+    cur2_ += 1;
+    cur0_ = cur1_ << kSlotBits;
+    cascade_slot2(static_cast<std::size_t>(cur2_) & kMask);
+    drain_overflow();
+    cascade_slot1(static_cast<std::size_t>(cur1_) & kMask);
+    return;
+  }
+  // Cross into the next wheel1 window: cascade its slot into wheel0 /
+  // current_, pull newly-near events down the ladder, then let take_min
+  // rescan. The slot sharing the new cursor's phase holds exactly the
+  // events of the new cursor slot itself (one-revolution uniqueness),
+  // so it feeds current_ directly.
+  cur0_ = (cur1_ + 1) << kSlotBits;
+  cur1_ += 1;
+  if ((cur1_ >> kSlotBits) != cur2_) {
+    cur2_ = cur1_ >> kSlotBits;
+    cascade_slot2(static_cast<std::size_t>(cur2_) & kMask);
+    drain_overflow();
+  }
+  cascade_slot1(static_cast<std::size_t>(cur1_) & kMask);
+  if (wheel0_.head[static_cast<std::size_t>(cur0_) & kMask] != kNil) {
+    move_slot0_to_current(static_cast<std::size_t>(cur0_) & kMask);
+  }
+}
+
+bool EventQueue::prime() {
+  if (!current_.empty()) return true;
+  if (size_ == 0) return false;
+  // take_min pops the true minimum and advances the cursor to its slot;
+  // parking it back in current_ (its home slot now) restores the
+  // "current_ holds the global minimum" invariant for peeking.
+  push_current(take_min());
+  return true;
+}
+
+bool EventQueue::pop_min(SimTime* when, InlineAction* action) {
+  std::uint32_t idx;
+  if (!current_.empty()) {
+    idx = pop_current();
+  } else {
+    if (size_ == 0) return false;
+    idx = take_min();
+  }
+  Node& n = node(idx);
+  *when = SimTime::from_us(n.when_us);
+  *action = std::move(n.action);
+  free_node(idx);
+  --size_;
+  return true;
+}
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,483 @@
+// dnsctx — calendar event queue for the discrete-event engine.
+//
+// The simulator's workload is timer-heavy and strongly clustered: packet
+// hops land microseconds-to-milliseconds ahead, retransmit/cache timers
+// seconds ahead, and diurnal session machinery minutes-to-hours ahead.
+// A single binary heap pays O(log n) compares (and one std::function
+// heap allocation) per event; this queue replaces it with
+//
+//   current_  — a tiny binary heap holding only events inside the slot
+//               the cursor is standing on (usually 0–1 entries),
+//   wheel0    — 4096 slots × 1µs (≈4.1ms horizon) of intrusive
+//               singly-linked lists with an occupancy bitmap,
+//   wheel1    — 4096 slots × ≈4.1ms (≈16.8s horizon), the overflow
+//               ladder's first rung; slots cascade into wheel0 when the
+//               cursor crosses their lower edge,
+//   wheel2    — 4096 slots × ≈16.8s (≈19.1h horizon) for the minute-to-
+//               hour application timers (TTL refresh, think times,
+//               diurnal machinery); slots cascade into wheel1,
+//   overflow_ — a binary min-heap for everything beyond wheel2.
+//
+// Enqueue and dequeue are therefore O(1) amortized for the hot
+// sub-second traffic, and every event is touched at most three times
+// (wheel1 → wheel0 → current_) on its way out.
+//
+// Determinism: dispatch order is exactly ascending (when, seq) — the
+// same total order the previous std::priority_queue produced — because
+// wheel slots are strictly coarser than timestamps and `current_` is a
+// real heap over (when, seq). Ties share a timestamp, hence a slot,
+// hence a heap, so insertion-order tie-break survives bit-for-bit.
+//
+// Event closures are stored in slab-allocated nodes (freelist-recycled,
+// chunked so node addresses are stable) as InlineAction — a
+// small-buffer-optimized move-only callable — so scheduling does not
+// heap-allocate unless a capture exceeds the inline buffer.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dnsctx::netsim {
+
+/// Move-only type-erased `void()` callable with a small inline buffer.
+/// Captures up to kInlineBytes (and alignment <= void*) are stored in
+/// place; larger callables fall back to a single heap allocation.
+class InlineAction {
+ public:
+  static constexpr std::size_t kInlineBytes = 32;
+
+  InlineAction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineAction> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  InlineAction(InlineAction&& o) noexcept : ops_{o.ops_} {
+    if (ops_ != nullptr) {
+      relocate_from(o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(o);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  /// Destroy the held callable (and release anything it captured).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into raw `dst`, then destroy `src`. Null means
+    /// trivially relocatable: the buffer is memcpy'd inline, no call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null means trivially destructible: reset() skips the call.
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }
+    static constexpr Ops kOps{
+        &invoke,
+        std::is_trivially_copyable_v<Fn> ? nullptr : &relocate,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& slot(void* p) noexcept { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void destroy(void* p) noexcept { delete slot(p); }
+    // The stored pointer relocates by memcpy (relocate = nullptr); the
+    // heap object itself never moves.
+    static constexpr Ops kOps{&invoke, nullptr, &destroy};
+  };
+
+  /// Move the held callable out of `o`'s buffer into ours; ops_ has
+  /// already been copied and o.ops_ is reset by the caller.
+  void relocate_from(InlineAction& o) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+    } else {
+      __builtin_memcpy(buf_, o.buf_, kInlineBytes);
+    }
+  }
+
+  alignas(void*) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// Two-level calendar wheel + overflow heap, ordered by (when, seq).
+/// Not a template and not tied to Simulator so property tests can drive
+/// it directly against a reference binary-heap model.
+class EventQueue {
+ public:
+  EventQueue();
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Insert an event whose action is constructed in place from `f` —
+  /// no InlineAction materialized at the call site, no relocation.
+  /// `seq` must be unique and issued in increasing order by the caller
+  /// (the simulator's monotonic sequence counter); it breaks ties among
+  /// equal timestamps. `when` must be >= the time of the last popped
+  /// event (the simulator clamps before calling). Defined in the
+  /// header: the simulator calls this for every scheduled closure and
+  /// the tree builds without LTO, so the fast path (freelist or bump
+  /// allocation + wheel0 insert) must inline into callers.
+  template <typename F>
+  void emplace(SimTime when, std::uint64_t seq, F&& f) {
+    assert(when.count_us() >= 0);
+    const std::int64_t when_us = when.count_us();
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      Node& n = node(idx);
+      free_head_ = n.next;
+      n.when_us = when_us;
+      n.seq = seq;
+      n.next = kNil;
+      n.action.reset();  // no-op for recycled nodes; storage is reused below
+      ::new (static_cast<void*>(&n.action)) InlineAction(std::forward<F>(f));
+    } else {
+      if (allocated_ == capacity_) grow();
+      idx = allocated_++;
+      ::new (static_cast<void*>(&node(idx)))
+          Node{when_us, seq, kNil, InlineAction(std::forward<F>(f))};
+    }
+    place(idx);
+    ++size_;
+  }
+
+  /// Insert a pre-built action (one move into the node).
+  void push(SimTime when, std::uint64_t seq, InlineAction action) {
+    emplace(when, seq, std::move(action));
+  }
+
+  /// Pop the minimum (when, seq) event. Returns false when empty.
+  bool pop_min(SimTime* when, InlineAction* action);
+
+  /// Dispatch the minimum event in place: `on_ready(when)` runs first
+  /// (the simulator advances its clock there), then the action is
+  /// invoked directly in its node — no relocation out of the queue —
+  /// and the node is recycled. The action may re-enter emplace(); node
+  /// addresses are stable, so the in-flight node is unaffected.
+  template <typename OnReady>
+  bool dispatch_min(OnReady&& on_ready) {
+    std::uint32_t idx;
+    if (!current_.empty()) {
+      idx = pop_current();
+    } else {
+      if (size_ == 0) return false;
+      idx = take_min();
+    }
+    dispatch_node(idx, on_ready);
+    return true;
+  }
+
+  /// dispatch_min, but only when the minimum's time is <= `end`; leaves
+  /// the queue untouched (and returns false) otherwise.
+  template <typename OnReady>
+  bool dispatch_min_until(SimTime end, OnReady&& on_ready) {
+    const std::int64_t end_us = end.count_us();
+    std::uint32_t idx;
+    if (!current_.empty()) {
+      if (node(current_.front()).when_us > end_us) return false;
+      idx = pop_current();
+    } else {
+      if (size_ == 0) return false;
+      idx = take_min();
+      if (node(idx).when_us > end_us) {
+        push_current(idx);  // un-pop: the cursor slot is its home now
+        return false;
+      }
+    }
+    dispatch_node(idx, on_ready);
+    return true;
+  }
+
+  /// Timestamp of the minimum pending event, or nullopt when empty.
+  /// Non-const: advances the internal cursor to the next occupied slot.
+  [[nodiscard]] std::optional<SimTime> next_when() {
+    if (current_.empty() && !prime()) return std::nullopt;
+    return SimTime::from_us(node(current_.front()).when_us);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  // Geometry. Wheel0 slots are 2^kL0Shift µs wide; each wheel1 slot
+  // spans one full wheel0 revolution. Widths are tuned for the packet
+  // workload: at simulation density (~10^6 events/s) a 1µs slot holds
+  // ~1 event, so the current_ heap stays near-empty and enqueue/dequeue
+  // are O(1); wheel1 (4.1ms slots, ~16.8s horizon) catches protocol
+  // timers, and only multi-second application timers pay the overflow
+  // heap's O(log n). See docs/PERF.md for the width rationale and the
+  // ordering proof.
+  static constexpr std::size_t kSlotBits = 12;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;   // 4096
+  static constexpr std::size_t kMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;
+  static constexpr int kL0Shift = 0;                                   // 1µs slots
+  static constexpr int kL1Shift = kL0Shift + static_cast<int>(kSlotBits);
+  static constexpr int kL2Shift = kL1Shift + static_cast<int>(kSlotBits);
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kChunk = 1024;  // nodes per slab chunk
+
+  struct alignas(64) Node {
+    std::int64_t when_us = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;  // slot chain / freelist link
+    InlineAction action;
+  };
+
+  struct Level {
+    std::array<std::uint32_t, kSlots> head;  // kNil-terminated lists
+    std::array<std::uint64_t, kWords> occupied;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] Node& node(std::uint32_t idx) {
+    return chunks_[idx / kChunk].get()[idx % kChunk];
+  }
+  [[nodiscard]] const Node& node(std::uint32_t idx) const {
+    return chunks_[idx / kChunk].get()[idx % kChunk];
+  }
+
+  [[nodiscard]] bool later(std::uint32_t a, std::uint32_t b) const {
+    const Node& na = node(a);
+    const Node& nb = node(b);
+    if (na.when_us != nb.when_us) return na.when_us > nb.when_us;
+    return na.seq > nb.seq;
+  }
+
+  void free_node(std::uint32_t idx) {
+    Node& n = node(idx);
+    n.action.reset();  // release captures promptly, before recycling
+    n.next = free_head_;
+    free_head_ = idx;
+  }
+
+  /// Append a raw (uninitialized) chunk to the slab. Chunks are never
+  /// value-initialized up front: nodes are placement-constructed on
+  /// first use, so growing costs one allocation, not a 1024-node sweep.
+  void grow();
+
+  void heap_push(std::vector<std::uint32_t>& heap, std::uint32_t idx);
+  std::uint32_t heap_pop(std::vector<std::uint32_t>& heap);
+
+  void push_current(std::uint32_t idx) {
+    current_.push_back(idx);
+    if (current_.size() > 1) {
+      std::push_heap(current_.begin(), current_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) { return later(a, b); });
+    }
+  }
+
+  /// Pop current_'s minimum. The common case is a singleton (at packet
+  /// density each 1µs slot holds ~1 event), which skips the heap walk.
+  [[nodiscard]] std::uint32_t pop_current() {
+    if (current_.size() == 1) {
+      const std::uint32_t idx = current_.front();
+      current_.clear();
+      return idx;
+    }
+    return heap_pop(current_);
+  }
+
+  /// Route a detached node into current_/wheel0/wheel1/overflow_
+  /// according to the cursor position. Inline for the near-future
+  /// (current_/wheel0) cases; far placements go out of line.
+  void place(std::uint32_t idx) {
+    Node& n = node(idx);
+    const std::int64_t a0 = n.when_us >> kL0Shift;
+    if (a0 <= cur0_) {
+      // Inside (or before) the slot the cursor stands on: the tiny heap
+      // keeps exact (when, seq) order among these.
+      push_current(idx);
+      return;
+    }
+    if (a0 - cur0_ <= static_cast<std::int64_t>(kSlots)) {
+      const auto slot = static_cast<std::size_t>(a0) & kMask;
+      n.next = wheel0_.head[slot];
+      wheel0_.head[slot] = idx;
+      wheel0_.occupied[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++wheel0_.count;
+      return;
+    }
+    place_far(idx);
+  }
+  void place_far(std::uint32_t idx);
+
+  /// Invoke node `idx`'s action in place and recycle the node. The
+  /// caller has already detached it from current_/take_min().
+  template <typename OnReady>
+  void dispatch_node(std::uint32_t idx, OnReady&& on_ready) {
+    Node& n = node(idx);
+    on_ready(SimTime::from_us(n.when_us));
+    --size_;
+    n.action();
+    free_node(idx);
+  }
+
+  /// Detach and return the minimum (when, seq) node, advancing the
+  /// cursor. Precondition: current_ is empty and size_ > 0. Singleton
+  /// wheel0 slots (the common case at packet density) hand their node
+  /// back directly, skipping the current_ round-trip; window changes
+  /// (wheel1 cascade, overflow jump) go out of line.
+  [[nodiscard]] std::uint32_t take_min() {
+    assert(current_.empty() && size_ > 0);
+    for (;;) {
+      if (wheel0_.count != 0) {
+        const std::size_t phase0 = static_cast<std::size_t>(cur0_) & kMask;
+        const std::int64_t off0 = next_occupied_offset(wheel0_, phase0);  // != 0: count > 0
+        const std::int64_t off_boundary = ((cur1_ + 1) << kSlotBits) - cur0_;  // in [1, kSlots]
+        const bool no_later =
+            wheel1_.count == 0 && wheel2_.count == 0 && overflow_.empty();
+        if (off0 < off_boundary || no_later) {
+          // Next occupied wheel0 slot is reachable without a cascade
+          // (or no later windows exist, so nothing can preempt it).
+          cur0_ += off0;
+          if (no_later) cur1_ = cur0_ >> kSlotBits;
+          const auto slot = static_cast<std::size_t>(cur0_) & kMask;
+          const std::uint32_t head = wheel0_.head[slot];
+          if (node(head).next == kNil) {
+            // Singleton slot: hand the node back directly.
+            wheel0_.head[slot] = kNil;
+            wheel0_.occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+            --wheel0_.count;
+            return head;
+          }
+          move_slot0_to_current(slot);
+          return pop_current();
+        }
+      }
+      advance_window();
+      if (!current_.empty()) return pop_current();
+    }
+  }
+
+  /// Ensure current_ is non-empty (advancing the cursor); false when
+  /// the whole queue is empty.
+  bool prime();
+  /// Move the cursor past the current wheel1 window: cascade the next
+  /// wheel1 slot (or jump straight to the earliest overflow event when
+  /// both wheels are empty) and pull newly-near overflow events in.
+  /// May leave events in current_ and/or wheel0.
+  void advance_window();
+  void move_slot0_to_current(std::size_t slot);
+  void cascade_slot1(std::size_t slot);
+  void cascade_slot2(std::size_t slot);
+  void drain_overflow();
+
+  /// Offset in [1, kSlots] to the next occupied wheel slot after
+  /// `phase` (circularly, so `phase` itself maps to kSlots), or 0 when
+  /// the wheel is empty. Header-defined: take_min scans per pop.
+  [[nodiscard]] std::int64_t next_occupied_offset(const Level& lvl, std::size_t phase) const {
+    if (lvl.count == 0) return 0;
+    const std::size_t start = (phase + 1) & kMask;
+    std::size_t w = start >> 6;
+    std::uint64_t word = lvl.occupied[w] & (~std::uint64_t{0} << (start & 63));
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      if (word != 0) {
+        const std::size_t bit = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        // Map the found bit to a circular offset in [1, kSlots]; the
+        // cursor's own phase means a full revolution ahead.
+        return static_cast<std::int64_t>((bit - phase - 1) % kSlots) + 1;
+      }
+      w = (w + 1) % kWords;
+      word = lvl.occupied[w];
+    }
+    return 0;
+  }
+
+  // Node slab: chunked so node addresses stay stable while growing.
+  // Chunks are raw storage (see grow()); exactly the first `allocated_`
+  // node slots hold constructed Nodes, which the destructor tears down.
+  struct ChunkDeleter {
+    void operator()(Node* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), std::align_val_t{alignof(Node)});
+    }
+  };
+  std::vector<std::unique_ptr<Node, ChunkDeleter>> chunks_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t allocated_ = 0;
+  std::uint32_t capacity_ = 0;  // == chunks_.size() * kChunk
+
+  Level wheel0_;
+  Level wheel1_;
+  Level wheel2_;
+  std::vector<std::uint32_t> current_;   // heap by (when, seq)
+  std::vector<std::uint32_t> overflow_;  // heap by (when, seq)
+
+  // Cursor: absolute wheel0 slot number (when_us >> kL0Shift) the queue
+  // is currently standing on; cur1_ is always cur0_ >> kSlotBits and
+  // cur2_ is cur1_ >> kSlotBits.
+  std::int64_t cur0_ = 0;
+  std::int64_t cur1_ = 0;
+  std::int64_t cur2_ = 0;
+
+  std::size_t size_ = 0;
+};
+
+}  // namespace dnsctx::netsim

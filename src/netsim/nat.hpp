@@ -10,11 +10,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "netsim/network.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/sim.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace dnsctx::netsim {
@@ -79,7 +80,8 @@ class HouseGateway : public Host {
   };
 
   [[nodiscard]] std::uint16_t map_outbound(const InternalKey& key);
-  void expire_if_stale(ExternalKey ext);
+  void sweep_stale();
+  void release_mapping(std::uint32_t idx, const ExternalKey& ext);
 
   Simulator& sim_;
   Network& wan_;
@@ -88,10 +90,16 @@ class HouseGateway : public Host {
   Rng rng_;
   DnsIntercept dns_intercept_;
 
-  std::unordered_map<Ipv4Addr, Host*, Ipv4Hash> devices_;
-  std::unordered_map<InternalKey, std::uint16_t, InternalKeyHash> by_internal_;
-  std::unordered_map<ExternalKey, Mapping, ExternalKeyHash> by_external_;
+  util::FlatMap<Ipv4Addr, Host*> devices_;
+  // Mappings live in a recycled slab; both indexes point into it, so the
+  // outbound hot path costs exactly one hash lookup (internal key → slab
+  // slot) and refreshes last_used in place.
+  std::vector<Mapping> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  util::FlatMap<InternalKey, std::uint32_t, InternalKeyHash> by_internal_;
+  util::FlatMap<ExternalKey, std::uint32_t, ExternalKeyHash> by_external_;
   std::uint16_t next_port_ = 1024;
+  bool sweep_armed_ = false;
 
   /// Mappings idle longer than this are reclaimable.
   static constexpr SimDuration kMappingIdleLimit = SimDuration::min(15);

@@ -38,10 +38,16 @@ Network::Network(Simulator& sim, LatencyModel latency, std::uint64_t seed)
 
 void Network::attach(Ipv4Addr addr, Host* host) { hosts_[addr] = host; }
 
-void Network::send(Packet p) {
+void Network::send(PacketHandle p) {
   ++packets_;
   const SimTime sent = sim_.now();
-  const SimDuration delay = latency_.one_way(p.src_ip, p.dst_ip, rng_);
+  // Inlined one_way(): the tap crossing below needs the access leg's
+  // profile too, so fetch each endpoint's profile exactly once.
+  const SiteProfile src_prof = latency_.site(p->src_ip);
+  const SiteProfile dst_prof = latency_.site(p->dst_ip);
+  const double jitter_ms = rng_.exponential(src_prof.jitter_ms_mean + dst_prof.jitter_ms_mean);
+  const SimDuration delay =
+      src_prof.base_one_way + dst_prof.base_one_way + SimDuration::from_ms(jitter_ms);
 
   // Impairments draw from the injector's private stream; without one
   // the decision is the identity and this function schedules exactly
@@ -57,27 +63,27 @@ void Network::send(Packet p) {
   // Tap crossing: only flows with exactly one access-side endpoint pass
   // the aggregation point. The crossing instant is offset by the access
   // leg's base delay from the endpoint on the access side.
-  const bool src_access = is_access_ip(p.src_ip);
-  const bool dst_access = is_access_ip(p.dst_ip);
+  const bool src_access = is_access_ip(p->src_ip);
+  const bool dst_access = is_access_ip(p->dst_ip);
   const bool crosses_tap = tap_ != nullptr && src_access != dst_access;
   if (crosses_tap && !(fault.drop && fault.drop_before_tap)) {
-    const SimTime at_tap = src_access ? sent + latency_.site(p.src_ip).base_one_way
-                                      : arrival - latency_.site(p.dst_ip).base_one_way;
+    const SimTime at_tap = src_access ? sent + src_prof.base_one_way
+                                      : arrival - dst_prof.base_one_way;
     // Deliver the observation as an event so monitor state advances in
     // global timestamp order, interleaved with deliveries. (at_tap can
     // never precede `sent`: it is sent + src leg (+jitter) in both cases.)
     ++tap_observations_;
-    sim_.at(at_tap, [tap = tap_, at_tap, p]() { tap->observe(at_tap, p); });
+    sim_.at(at_tap, [tap = tap_, at_tap, p]() { tap->observe(at_tap, *p); });
     if (fault.duplicate) {
       ++tap_observations_;
       const SimTime dup_tap = at_tap + fault.dup_gap;
-      sim_.at(dup_tap, [tap = tap_, dup_tap, p]() { tap->observe(dup_tap, p); });
+      sim_.at(dup_tap, [tap = tap_, dup_tap, p]() { tap->observe(dup_tap, *p); });
     }
   }
   if (fault.drop) return;  // lost in flight: observed (maybe), never delivered
 
   Host* target = nullptr;
-  if (const auto it = hosts_.find(p.dst_ip); it != hosts_.end()) {
+  if (const auto it = hosts_.find(p->dst_ip); it != hosts_.end()) {
     target = it->second;
   } else {
     target = default_host_;
@@ -87,9 +93,9 @@ void Network::send(Packet p) {
     return;
   }
   if (fault.duplicate) {
-    sim_.at(arrival + fault.dup_gap, [target, p]() { target->receive(p); });
+    sim_.at(arrival + fault.dup_gap, [target, p]() { target->receive(*p); });
   }
-  sim_.at(arrival, [target, p = std::move(p)]() { target->receive(p); });
+  sim_.at(arrival, [target, p = std::move(p)]() { target->receive(*p); });
 }
 
 }  // namespace dnsctx::netsim

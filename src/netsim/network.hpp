@@ -8,12 +8,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "faults/injector.hpp"
+#include "netsim/arena.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/sim.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace dnsctx::netsim {
@@ -60,12 +60,18 @@ class LatencyModel {
   [[nodiscard]] SimDuration one_way(Ipv4Addr src, Ipv4Addr dst, Rng& rng) const;
 
  private:
-  std::unordered_map<Ipv4Addr, SiteProfile, Ipv4Hash> sites_;
+  util::FlatMap<Ipv4Addr, SiteProfile> sites_;
   SimDuration remote_lo_ = SimDuration::from_ms(4.0);
   SimDuration remote_hi_ = SimDuration::from_ms(35.0);
 };
 
 /// The network fabric. Non-owning over hosts; single-threaded.
+///
+/// Lifetime: the Network owns the PacketArena, and in-flight events on
+/// the Simulator capture PacketHandles into it. Destroy the Simulator
+/// (or drain its queue) before the Network, or keep both alive until
+/// the run ends — a handle released after the arena is gone is
+/// use-after-free.
 class Network {
  public:
   Network(Simulator& sim, LatencyModel latency, std::uint64_t seed);
@@ -93,7 +99,14 @@ class Network {
 
   /// Inject a packet; it is delivered after the modelled one-way delay
   /// and observed at the tap if it crosses the aggregation point.
-  void send(Packet p);
+  void send(Packet p) { send(arena_.adopt(std::move(p))); }
+
+  /// Same, for a packet already adopted into this network's arena
+  /// (gateways pre-adopt so LAN-hop closures carry an 8-byte handle).
+  void send(PacketHandle p);
+
+  /// The per-shard packet arena; gateways adopt outbound packets here.
+  [[nodiscard]] PacketArena& arena() { return arena_; }
 
   [[nodiscard]] const LatencyModel& latency() const { return latency_; }
   /// Mutable access for topology construction (register sites before
@@ -110,8 +123,9 @@ class Network {
   Simulator& sim_;
   LatencyModel latency_;
   Rng rng_;
-  std::unordered_map<Ipv4Addr, Host*, Ipv4Hash> hosts_;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> access_;
+  PacketArena arena_;
+  util::FlatMap<Ipv4Addr, Host*> hosts_;
+  util::FlatSet<Ipv4Addr> access_;
   Host* default_host_ = nullptr;
   PacketTap* tap_ = nullptr;
   faults::PacketFaultInjector* injector_ = nullptr;

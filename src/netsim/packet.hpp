@@ -1,8 +1,9 @@
 // dnsctx — the packet record exchanged between simulated hosts.
 //
 // Packets are abstract transport events, not byte-accurate frames, with
-// one exception: DNS payloads are real RFC 1035 wire bytes so the passive
-// monitor parses them exactly as Bro/Zeek would.
+// one exception: DNS payloads round-trip through the real RFC 1035
+// codec (lazily — see dns/lazy.hpp) so the passive monitor consumes
+// them exactly as Bro/Zeek would parse the wire bytes.
 //
 // VANTAGE-POINT RULE: the `intent` field is simulation-internal routing
 // metadata (the client tells the generic server farm how to animate the
@@ -11,10 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
-#include <vector>
 
+#include "dns/lazy.hpp"
 #include "util/ip.hpp"
 #include "util/time.hpp"
 
@@ -56,9 +56,10 @@ struct Packet {
   TcpFlags tcp;                      ///< meaningful only when proto == kTcp
   std::uint64_t payload_bytes = 0;   ///< application payload size this packet carries
 
-  /// Raw DNS message bytes when this packet is a DNS query/response.
-  /// shared_ptr: fan-out through gateway/tap without copies.
-  std::shared_ptr<const std::vector<std::uint8_t>> dns_wire;
+  /// DNS payload when this packet is a DNS query/response. Shared
+  /// lazily-materializing handle: fan-out through gateway/tap without
+  /// copies, and no wire encode/decode unless someone asks for bytes.
+  dns::DnsPayload dns;
 
   /// Sim-internal, invisible to monitors (see file header).
   std::optional<TransferIntent> intent;
@@ -71,8 +72,7 @@ struct Packet {
   /// plus payload/DNS bytes.
   [[nodiscard]] std::uint64_t wire_bytes() const {
     const std::uint64_t header = proto == Proto::kTcp ? 54 : 42;
-    const std::uint64_t dns = dns_wire ? dns_wire->size() : 0;
-    return header + payload_bytes + dns;
+    return header + payload_bytes + static_cast<std::uint64_t>(dns.wire_size());
   }
 };
 

@@ -1,33 +1,6 @@
 #include "netsim/sim.hpp"
 
-#include <stdexcept>
-
 namespace dnsctx::netsim {
-
-void Simulator::at(SimTime when, Action action) {
-  if (when < now_) throw std::logic_error{"Simulator::at: scheduling in the past"};
-  queue_.push(Event{when, next_seq_++, std::move(action)});
-  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
-}
-
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle (shared ownership is cheap enough here).
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.when;
-  ++dispatched_;
-  ev.action();
-  return true;
-}
-
-void Simulator::run_until(SimTime end) {
-  while (!queue_.empty() && queue_.top().when <= end) {
-    step();
-  }
-  if (now_ < end) now_ = end;
-}
 
 void Simulator::run_to_completion() {
   while (step()) {

@@ -1,16 +1,17 @@
 // dnsctx — deterministic discrete-event simulation engine.
 //
-// A single priority queue orders (time, sequence) pairs; the sequence
-// number breaks ties in insertion order so runs are bit-reproducible.
-// There is no wall clock anywhere: SimTime only advances when an event
-// is dispatched.
+// Events are ordered by (time, sequence) pairs; the sequence number
+// breaks ties in insertion order so runs are bit-reproducible. There is
+// no wall clock anywhere: SimTime only advances when an event is
+// dispatched. Storage is a calendar/ladder queue (see event_queue.hpp)
+// tuned for the timer-heavy workload; closures are small-buffer
+// InlineActions in slab-allocated nodes, so scheduling does not
+// heap-allocate in the common case.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "netsim/event_queue.hpp"
 #include "util/time.hpp"
 
 namespace dnsctx::netsim {
@@ -19,50 +20,68 @@ namespace dnsctx::netsim {
 /// them in timestamp order, advancing the simulated clock.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Current simulated time (time of the event being dispatched, or the
   /// last dispatched event between runs).
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule at an absolute time; must not be in the past.
-  void at(SimTime when, Action action);
+  /// Schedule at an absolute time. The callable is constructed directly
+  /// into its queue node. Scheduling in the past is a contract
+  /// violation: debug builds assert; release builds clamp to `now()`
+  /// (preserving FIFO order among clamped events) and count the
+  /// violation in `clamped_past()`.
+  template <typename F>
+  void at(SimTime when, F&& f) {
+    if (when < now_) {
+      assert(when >= now_ && "Simulator::at: scheduling in the past");
+      ++clamped_past_;
+      when = now_;
+    }
+    queue_.emplace(when, next_seq_++, std::forward<F>(f));
+    if (queue_.size() > max_pending_) max_pending_ = queue_.size();
+  }
 
   /// Schedule `delay` after now (delay may be zero).
-  void after(SimDuration delay, Action action) { at(now_ + delay, std::move(action)); }
+  template <typename F>
+  void after(SimDuration delay, F&& f) { at(now_ + delay, std::forward<F>(f)); }
 
   /// Dispatch events with time <= `end`, then set the clock to `end`.
-  void run_until(SimTime end);
+  void run_until(SimTime end) {
+    while (queue_.dispatch_min_until(end, [this](SimTime when) {
+      now_ = when;
+      ++dispatched_;
+    })) {
+    }
+    if (now_ < end) now_ = end;
+  }
 
   /// Dispatch every remaining event.
   void run_to_completion();
 
   /// Dispatch a single event; false when the queue is empty.
-  bool step();
+  bool step() {
+    return queue_.dispatch_min([this](SimTime when) {
+      now_ = when;  // before the action runs: actions read now()
+      ++dispatched_;
+    });
+  }
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
   /// High-water mark of the event queue depth (scrape-time telemetry).
   [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
+  /// Number of `at()` calls that targeted the past and were clamped to
+  /// `now()` (release builds only; debug builds assert instead).
+  [[nodiscard]] std::uint64_t clamped_past() const { return clamped_past_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = SimTime::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t max_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t clamped_past_ = 0;
+  EventQueue queue_;
 };
 
 }  // namespace dnsctx::netsim

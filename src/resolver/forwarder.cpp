@@ -18,9 +18,9 @@ WholeHouseForwarder::WholeHouseForwarder(netsim::Simulator& sim, netsim::HouseGa
 
 bool WholeHouseForwarder::on_device_query(const netsim::Packet& p) {
   if (p.src_ip == forwarder_ip_) return false;  // our own upstream relay
-  if (!p.dns_wire) return false;
-  const auto msg = dns::decode(*p.dns_wire);
-  if (!msg || msg->flags.qr || msg->questions.empty()) return false;
+  if (p.dns.empty()) return false;
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr || msg->flags.qr || msg->questions.empty()) return false;
   const dns::Question& q = msg->questions.front();
 
   if (auto hit = cache_.lookup(q.qname, q.qtype, sim_.now()); hit && !hit->expired) {
@@ -46,16 +46,16 @@ bool WholeHouseForwarder::on_device_query(const netsim::Packet& p) {
                                     : static_cast<std::uint16_t>(next_port_ + 1);
   up.dst_port = 53;
   up.proto = Proto::kUdp;
-  up.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(relay));
+  up.dns = dns::DnsPayload::from_message(std::move(relay));
   ++upstream_queries_;
   gateway_.from_device(std::move(up));
   return true;
 }
 
 void WholeHouseForwarder::receive(const netsim::Packet& p) {
-  if (!p.dns_wire || p.proto != Proto::kUdp || p.src_port != 53) return;
-  const auto msg = dns::decode(*p.dns_wire);
-  if (!msg || !msg->flags.qr) return;
+  if (p.dns.empty() || p.proto != Proto::kUdp || p.src_port != 53) return;
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr || !msg->flags.qr) return;
   const auto it = upstream_.find(msg->id);
   if (it == upstream_.end()) return;
   const Relayed relayed = std::move(it->second);
@@ -83,7 +83,7 @@ void WholeHouseForwarder::answer_device(const netsim::Packet& original_query,
   out.src_port = 53;
   out.dst_port = original_query.src_port;
   out.proto = Proto::kUdp;
-  out.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+  out.dns = dns::DnsPayload::from_message(std::move(resp));
   gateway_.deliver_to_device(std::move(out));
 }
 

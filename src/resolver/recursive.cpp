@@ -45,7 +45,7 @@ void RecursiveResolverPlatform::receive(const netsim::Packet& p) {
       net_.send(std::move(synack));
       return;
     }
-    if (!p.dns_wire) {
+    if (p.dns.empty()) {
       if (p.tcp.fin) {
         netsim::Packet finack;
         finack.src_ip = p.dst_ip;
@@ -59,9 +59,9 @@ void RecursiveResolverPlatform::receive(const netsim::Packet& p) {
       return;
     }
   }
-  if (!p.dns_wire) return;
-  const auto msg = dns::decode(*p.dns_wire);
-  if (!msg || msg->flags.qr || msg->questions.empty()) return;
+  if (p.dns.empty()) return;
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr || msg->flags.qr || msg->questions.empty()) return;
   answer(p, *msg);
 }
 
@@ -209,8 +209,6 @@ void RecursiveResolverPlatform::respond(const netsim::Packet& query,
     if (trimmed.flags.tc) ++stats_.truncated_udp;
     resp = trimmed;
   }
-  auto wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
-
   netsim::Packet out;
   out.src_ip = query.dst_ip;
   out.dst_ip = query.src_ip;
@@ -218,8 +216,11 @@ void RecursiveResolverPlatform::respond(const netsim::Packet& query,
   out.dst_port = query.src_port;
   out.proto = query.proto;
   if (query.proto == Proto::kTcp) out.tcp = netsim::TcpFlags{.ack = true};
-  out.dns_wire = std::move(wire);
-  sim_.after(delay, [this, out = std::move(out)]() mutable { net_.send(std::move(out)); });
+  out.dns = dns::DnsPayload::from_message(std::move(resp));
+  // Adopt now so the delay closure carries an 8-byte handle, not a
+  // heap-allocated Packet copy.
+  netsim::PacketHandle h = net_.arena().adopt(std::move(out));
+  sim_.after(delay, [this, h = std::move(h)]() { net_.send(h); });
 }
 
 std::size_t RecursiveResolverPlatform::cached_entries() const {

@@ -14,11 +14,12 @@ StubResolver::StubResolver(netsim::Simulator& sim, Ipv4Addr device_ip, StubConfi
       cache_{cfg_.cache} {}
 
 void StubResolver::resolve(const dns::DomainName& name, Callback cb, bool speculative) {
-  // 1. Device cache — including TTL-violating stale entries.
-  if (auto hit = cache_.lookup(name, dns::RrType::kA, sim_.now())) {
+  // 1. Device cache — including TTL-violating stale entries. The view
+  // avoids copying the answer set; only A rdata is read out.
+  if (auto hit = cache_.lookup_view(name, dns::RrType::kA, sim_.now())) {
     ResolveResult res;
-    res.success = !hit->answers.empty();
-    for (const auto& rr : hit->answers) {
+    res.success = !hit->answers->empty();
+    for (const auto& rr : *hit->answers) {
       if (rr.type == dns::RrType::kA) res.addrs.push_back(std::get<Ipv4Addr>(rr.rdata));
     }
     res.from_cache = true;
@@ -30,7 +31,7 @@ void StubResolver::resolve(const dns::DomainName& name, Callback cb, bool specul
   }
 
   // 2. Join an in-flight query for the same name.
-  if (const auto it = inflight_.find(InflightKey{name, dns::RrType::kA});
+  if (const auto it = inflight_.find(InflightKeyRef{&name, dns::RrType::kA});
       it != inflight_.end()) {
     it->second->callbacks.push_back(std::move(cb));
     return;
@@ -49,7 +50,7 @@ void StubResolver::resolve(const dns::DomainName& name, Callback cb, bool specul
 
   // Happy eyeballs: dual-stack hosts race an AAAA query too.
   if (cfg_.aaaa_prob > 0.0 && rng_.bernoulli(cfg_.aaaa_prob) &&
-      !inflight_.contains(InflightKey{name, dns::RrType::kAaaa}) &&
+      !inflight_.contains(InflightKeyRef{&name, dns::RrType::kAaaa}) &&
       !cache_.peek(name, dns::RrType::kAaaa, sim_.now())) {
     (void)start_query(name, dns::RrType::kAaaa, speculative);
   }
@@ -68,8 +69,8 @@ std::shared_ptr<StubResolver::Pending> StubResolver::start_query(const dns::Doma
   next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
                                     : static_cast<std::uint16_t>(next_port_ + 1);
   pending->first_sent = sim_.now();
-  inflight_.emplace(InflightKey{name, qtype}, pending);
-  by_txid_.emplace(pending->txid, pending);
+  inflight_.try_emplace(InflightKey{name, qtype}, pending);
+  by_txid_.try_emplace(pending->txid, pending);
   send_query(pending);
   return pending;
 }
@@ -84,7 +85,7 @@ void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
   p.src_port = pending->src_port;
   p.dst_port = cfg_.dns_port;
   p.proto = Proto::kUdp;
-  p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(q));
+  p.dns = dns::DnsPayload::from_message(std::move(q));
   ++queries_sent_;
   send_(std::move(p));
   arm_timeout(pending);
@@ -134,9 +135,9 @@ void StubResolver::arm_timeout(const std::shared_ptr<Pending>& pending) {
 }
 
 void StubResolver::on_response(const netsim::Packet& p) {
-  if (!p.dns_wire) return;
-  const auto msg = dns::decode(*p.dns_wire);
-  if (!msg || !msg->flags.qr) return;
+  if (p.dns.empty()) return;
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr || !msg->flags.qr) return;
   const auto it = by_txid_.find(msg->id);
   if (it == by_txid_.end()) return;
   const auto pending = it->second;
@@ -206,7 +207,7 @@ void StubResolver::deliver_response(const std::shared_ptr<Pending>& pending,
 }
 
 void StubResolver::send_tcp(const std::shared_ptr<Pending>& pending, netsim::TcpFlags flags,
-                            std::shared_ptr<const std::vector<std::uint8_t>> wire) {
+                            dns::DnsPayload payload) {
   netsim::Packet p;
   p.src_ip = device_ip_;
   p.dst_ip = cfg_.resolver_addrs[pending->resolver_idx];
@@ -214,7 +215,7 @@ void StubResolver::send_tcp(const std::shared_ptr<Pending>& pending, netsim::Tcp
   p.dst_port = 53;
   p.proto = Proto::kTcp;
   p.tcp = flags;
-  p.dns_wire = std::move(wire);
+  p.dns = std::move(payload);
   send_(std::move(p));
 }
 
@@ -234,20 +235,19 @@ void StubResolver::on_tcp(const netsim::Packet& p) {
   if (it == tcp_by_port_.end()) return;  // late segment for a done exchange
   const auto pending = it->second;
   if (pending->done) {
-    tcp_by_port_.erase(it);
+    tcp_by_port_.erase(p.dst_port);
     return;
   }
   if (p.tcp.rst) return;
   if (p.tcp.syn && p.tcp.ack) {
     // Connection up: ship the query bytes.
     dns::DnsMessage q = dns::DnsMessage::query(pending->txid, pending->name, pending->qtype);
-    send_tcp(pending, netsim::TcpFlags{.ack = true},
-             std::make_shared<const std::vector<std::uint8_t>>(dns::encode(q)));
+    send_tcp(pending, netsim::TcpFlags{.ack = true}, dns::DnsPayload::from_message(std::move(q)));
     return;
   }
-  if (p.dns_wire) {
-    const auto msg = dns::decode(*p.dns_wire);
-    if (!msg || !msg->flags.qr || msg->id != pending->txid) return;
+  if (!p.dns.empty()) {
+    const dns::DnsMessage* msg = p.dns.message();
+    if (msg == nullptr || !msg->flags.qr || msg->id != pending->txid) return;
     send_tcp(pending, netsim::TcpFlags{.ack = true, .fin = true});  // close our half
     tcp_by_port_.erase(pending->tcp_port);
     deliver_response(pending, *msg);
@@ -257,7 +257,7 @@ void StubResolver::on_tcp(const netsim::Packet& p) {
 void StubResolver::finish(const std::shared_ptr<Pending>& pending, ResolveResult result) {
   pending->done = true;
   by_txid_.erase(pending->txid);
-  inflight_.erase(InflightKey{pending->name, pending->qtype});
+  inflight_.erase(InflightKeyRef{&pending->name, pending->qtype});
   for (auto& cb : pending->callbacks) cb(result);
   pending->callbacks.clear();
 }

@@ -12,13 +12,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/cache.hpp"
 #include "dns/codec.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/sim.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace dnsctx::resolver {
@@ -136,7 +136,7 @@ class StubResolver {
   void begin_tcp_fallback(const std::shared_ptr<Pending>& pending);
   void deliver_response(const std::shared_ptr<Pending>& pending, const dns::DnsMessage& msg);
   void send_tcp(const std::shared_ptr<Pending>& pending, netsim::TcpFlags flags,
-                std::shared_ptr<const std::vector<std::uint8_t>> wire = nullptr);
+                dns::DnsPayload payload = {});
 
   netsim::Simulator& sim_;
   Ipv4Addr device_ip_;
@@ -144,19 +144,36 @@ class StubResolver {
   Rng rng_;
   SendFn send_;
   dns::DnsCache cache_;
-  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> by_txid_;
+  util::FlatMap<std::uint16_t, std::shared_ptr<Pending>> by_txid_;
   struct InflightKey {
     dns::DomainName name;
     dns::RrType qtype;
     bool operator==(const InflightKey&) const = default;
   };
+  /// Borrowed-key view: probe the in-flight table without copying the
+  /// DomainName into a temporary key on every resolve().
+  struct InflightKeyRef {
+    const dns::DomainName* name;
+    dns::RrType qtype;
+  };
   struct InflightKeyHash {
     [[nodiscard]] std::size_t operator()(const InflightKey& k) const noexcept {
       return dns::DomainNameHash{}(k.name) * 31 ^ static_cast<std::size_t>(k.qtype);
     }
+    [[nodiscard]] std::size_t operator()(const InflightKeyRef& k) const noexcept {
+      return dns::DomainNameHash{}(*k.name) * 31 ^ static_cast<std::size_t>(k.qtype);
+    }
   };
-  std::unordered_map<InflightKey, std::shared_ptr<Pending>, InflightKeyHash> inflight_;
-  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> tcp_by_port_;
+  struct InflightKeyEq {
+    [[nodiscard]] bool operator()(const InflightKey& a, const InflightKey& b) const noexcept {
+      return a == b;
+    }
+    [[nodiscard]] bool operator()(const InflightKey& a, const InflightKeyRef& b) const noexcept {
+      return a.qtype == b.qtype && a.name == *b.name;
+    }
+  };
+  util::FlatMap<InflightKey, std::shared_ptr<Pending>, InflightKeyHash, InflightKeyEq> inflight_;
+  util::FlatMap<std::uint16_t, std::shared_ptr<Pending>> tcp_by_port_;
   std::uint64_t tcp_fallbacks_ = 0;
   std::uint64_t servfail_failovers_ = 0;
   std::uint16_t next_txid_ = 1;

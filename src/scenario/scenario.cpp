@@ -90,10 +90,14 @@ struct Town::House {
 /// One independently simulated partition of the neighborhood: its own
 /// event loop, WAN, resolver-platform instances, server farm, monitor
 /// tap, and a contiguous range of houses. Members are declared so the
-/// houses (which reference the gateway/network) destroy first.
+/// houses (which reference the gateway/network) destroy first, and so
+/// the simulator — whose still-pending events may hold PacketHandles —
+/// destroys before the network that owns the packet arena. (These are
+/// unique_ptrs filled in build_shard, so declaration order is free to
+/// encode destruction order alone.)
 struct Town::Shard {
-  std::unique_ptr<netsim::Simulator> sim;
   std::unique_ptr<netsim::Network> net;
+  std::unique_ptr<netsim::Simulator> sim;
   std::unique_ptr<faults::PacketFaultInjector> injector;  ///< null for the empty plan
   std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms;
   std::unique_ptr<traffic::ServerFarm> farm;
@@ -551,6 +555,9 @@ void Town::publish_metrics() const {
   std::uint64_t packets = 0;
   std::uint64_t taps = 0;
   std::uint64_t undeliverable = 0;
+  std::uint64_t clamped = 0;
+  std::uint64_t arena_live = 0;
+  std::uint64_t arena_allocated = 0;
   std::size_t peak_pending = 0;
   double sim_sec = 0.0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -559,6 +566,9 @@ void Town::publish_metrics() const {
     packets += sh.net->packets_sent();
     taps += sh.net->tap_observations();
     undeliverable += sh.net->dropped();
+    clamped += sh.sim->clamped_past();
+    arena_live += sh.net->arena().live();
+    arena_allocated += sh.net->arena().allocated();
     peak_pending = std::max(peak_pending, sh.sim->max_pending());
     sim_sec = std::max(sim_sec, sh.sim->now().to_sec());
     const std::string shard_label = "{shard=\"" + std::to_string(s) + "\"}";
@@ -569,6 +579,11 @@ void Town::publish_metrics() const {
   }
   reg.gauge("sim_events_dispatched").set(static_cast<double>(events));
   reg.gauge("sim_event_queue_peak").set(static_cast<double>(peak_pending));
+  // Release builds clamp past-dated at() calls to now(); a nonzero value
+  // here means some model asked for time travel and should be fixed.
+  reg.gauge("sim_events_clamped_past").set(static_cast<double>(clamped));
+  reg.gauge("net_packet_arena_live").set(static_cast<double>(arena_live));
+  reg.gauge("net_packet_arena_allocated").set(static_cast<double>(arena_allocated));
   reg.gauge("sim_seconds").set(sim_sec);
   reg.gauge("net_packets_sent").set(static_cast<double>(packets));
   reg.gauge("net_tap_observations").set(static_cast<double>(taps));

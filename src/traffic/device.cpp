@@ -37,7 +37,7 @@ void Device::open_tcp_impl(Ipv4Addr dst, std::uint16_t dst_port, netsim::Transfe
   conn.dst_port = dst_port;
   conn.intent = intent;
   conn.done = std::move(done);
-  tcp_.emplace(sport, std::move(conn));
+  tcp_.try_emplace(sport, std::move(conn));
   ++tcp_opened_;
   send_syn(sport);
   arm_syn_timer(sport, 1);
@@ -75,7 +75,7 @@ void Device::arm_syn_timer(std::uint16_t sport, int expected_attempts) {
     if (it->second.syn_attempts >= kMaxSynAttempts) {
       ++tcp_failed_;
       if (it->second.done) it->second.done(false);
-      tcp_.erase(it);
+      tcp_.erase(sport);
       return;
     }
     ++it->second.syn_attempts;
@@ -128,7 +128,7 @@ void Device::receive(const netsim::Packet& p) {
       ++tcp_failed_;
       if (conn.done) conn.done(false);
     }
-    tcp_.erase(it);
+    tcp_.erase(p.dst_port);
     return;
   }
   if (conn.state == TcpState::kSynSent && p.tcp.syn && p.tcp.ack) {
@@ -156,7 +156,7 @@ void Device::receive(const netsim::Packet& p) {
     fin.proto = Proto::kTcp;
     fin.tcp = netsim::TcpFlags{.ack = true, .fin = true};
     gateway_.from_device(std::move(fin));
-    tcp_.erase(it);
+    tcp_.erase(p.dst_port);
     return;
   }
   // Plain data segments need no client response in this model.

@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "dns/name.hpp"
 #include "netsim/nat.hpp"
 #include "resolver/stub.hpp"
+#include "util/flat_map.hpp"
 
 namespace dnsctx::traffic {
 
@@ -107,7 +107,7 @@ class Device : public netsim::Host {
   Ipv4Addr ip_;
   Rng rng_;
   resolver::StubResolver stub_;
-  std::unordered_map<std::uint16_t, ClientConn> tcp_;
+  util::FlatMap<std::uint16_t, ClientConn> tcp_;
   std::uint16_t next_port_ = 10'000;
   std::uint64_t tcp_opened_ = 0;
   std::uint64_t tcp_failed_ = 0;

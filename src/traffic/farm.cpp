@@ -18,14 +18,14 @@ void ServerFarm::receive(const netsim::Packet& p) {
   }
 }
 
-void ServerFarm::send_to_client(const netsim::Packet& req_like, std::uint64_t payload,
+void ServerFarm::send_to_client(const FiveTuple& req_tuple, std::uint64_t payload,
                                 netsim::TcpFlags flags) {
   netsim::Packet out;
-  out.src_ip = req_like.dst_ip;
-  out.dst_ip = req_like.src_ip;
-  out.src_port = req_like.dst_port;
-  out.dst_port = req_like.src_port;
-  out.proto = req_like.proto;
+  out.src_ip = req_tuple.resp_ip;
+  out.dst_ip = req_tuple.orig_ip;
+  out.src_port = req_tuple.resp_port;
+  out.dst_port = req_tuple.orig_port;
+  out.proto = req_tuple.proto;
   out.payload_bytes = payload;
   out.tcp = flags;
   net_.send(std::move(out));
@@ -35,34 +35,34 @@ void ServerFarm::handle_tcp(const netsim::Packet& p) {
   const FiveTuple key = p.tuple();
   if (p.tcp.syn && !p.tcp.ack) {
     if (reject_.contains(p.dst_ip)) {
-      send_to_client(p, 0, netsim::TcpFlags{.rst = true});
+      send_to_client(key, 0, netsim::TcpFlags{.rst = true});
       return;
     }
     ServerConn conn;
     conn.intent = p.intent.value_or(netsim::TransferIntent{});
     conns_[key] = conn;
     ++tcp_served_;
-    send_to_client(p, 0, netsim::TcpFlags{.syn = true, .ack = true});
+    send_to_client(key, 0, netsim::TcpFlags{.syn = true, .ack = true});
     return;
   }
   const auto it = conns_.find(key);
   if (it == conns_.end()) {
     // Stray segment for an unknown connection: RST, like a real stack.
-    if (!p.tcp.rst) send_to_client(p, 0, netsim::TcpFlags{.rst = true});
+    if (!p.tcp.rst) send_to_client(key, 0, netsim::TcpFlags{.rst = true});
     return;
   }
   ServerConn& conn = it->second;
   if (p.tcp.rst) {
-    conns_.erase(it);
+    conns_.erase(key);
     return;
   }
   if (p.tcp.fin) {
     // Client-initiated close (abort or after our FIN): complete the
     // handshake if we have not closed yet, then forget.
     if (!conn.fin_sent) {
-      send_to_client(p, 0, netsim::TcpFlags{.ack = true, .fin = true});
+      send_to_client(key, 0, netsim::TcpFlags{.ack = true, .fin = true});
     }
-    conns_.erase(it);
+    conns_.erase(key);
     return;
   }
   if (p.payload_bytes > 0 && !conn.got_request) {
@@ -72,17 +72,18 @@ void ServerFarm::handle_tcp(const netsim::Packet& p) {
     // summarised into a final segment just before the server closes.
     const std::uint64_t head = std::min<std::uint64_t>(intent.response_bytes, 16'384);
     const std::uint64_t tail = intent.response_bytes - head;
-    netsim::Packet req_copy = p;
-    sim_.after(intent.server_delay, [this, req_copy, head]() {
-      send_to_client(req_copy, head, netsim::TcpFlags{.ack = true});
+    // Capture the 16-byte tuple, not the packet: both closures stay
+    // within InlineAction's inline buffer (no per-response heap node).
+    sim_.after(intent.server_delay, [this, key, head]() {
+      send_to_client(key, head, netsim::TcpFlags{.ack = true});
     });
     const SimDuration close_at =
         std::max(intent.transfer_time, intent.server_delay + SimDuration::us(100));
-    sim_.after(close_at, [this, req_copy, tail, key]() {
+    sim_.after(close_at, [this, key, tail]() {
       const auto conn_it = conns_.find(key);
       if (conn_it == conns_.end()) return;  // client already tore it down
       conn_it->second.fin_sent = true;
-      send_to_client(req_copy, tail, netsim::TcpFlags{.ack = true, .fin = true});
+      send_to_client(key, tail, netsim::TcpFlags{.ack = true, .fin = true});
     });
   }
 }
@@ -91,11 +92,11 @@ void ServerFarm::handle_udp(const netsim::Packet& p) {
   if (!p.intent) return;  // one-way datagram (gossip, beacons)
   ++udp_served_;
   const netsim::TransferIntent intent = *p.intent;
-  const netsim::Packet req_copy = p;
+  const FiveTuple key = p.tuple();
   if (intent.transfer_time <= intent.server_delay) {
-    sim_.after(intent.server_delay, [this, req_copy, intent]() {
-      send_to_client(req_copy, intent.response_bytes, {});
-    });
+    const std::uint64_t bytes = intent.response_bytes;
+    sim_.after(intent.server_delay,
+               [this, key, bytes]() { send_to_client(key, bytes, {}); });
     return;
   }
   // Spread the response over the flow lifetime (streaming-ish).
@@ -109,7 +110,7 @@ void ServerFarm::handle_udp(const netsim::Packet& p) {
     const SimDuration when =
         intent.server_delay + (intent.transfer_time - intent.server_delay) * static_cast<std::int64_t>(i) /
                                   static_cast<std::int64_t>(packets);
-    sim_.after(when, [this, req_copy, chunk]() { send_to_client(req_copy, chunk, {}); });
+    sim_.after(when, [this, key, chunk]() { send_to_client(key, chunk, {}); });
   }
 }
 

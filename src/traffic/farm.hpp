@@ -10,10 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "netsim/network.hpp"
+#include "util/flat_map.hpp"
 
 namespace dnsctx::traffic {
 
@@ -34,14 +33,17 @@ class ServerFarm : public netsim::Host {
  private:
   void handle_tcp(const netsim::Packet& p);
   void handle_udp(const netsim::Packet& p);
-  void send_to_client(const netsim::Packet& req_like, std::uint64_t payload,
+  /// Reply to the request identified by `req_tuple` (the response swaps
+  /// the endpoints). Takes the 16-byte tuple, not the packet, so the
+  /// deferred-response closures fit InlineAction's inline buffer.
+  void send_to_client(const FiveTuple& req_tuple, std::uint64_t payload,
                       netsim::TcpFlags flags);
 
   netsim::Simulator& sim_;
   netsim::Network& net_;
   Rng rng_;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> dead_;
-  std::unordered_set<Ipv4Addr, Ipv4Hash> reject_;
+  util::FlatSet<Ipv4Addr> dead_;
+  util::FlatSet<Ipv4Addr> reject_;
 
   struct ServerConn {
     netsim::TransferIntent intent;
@@ -49,7 +51,8 @@ class ServerFarm : public netsim::Host {
     bool fin_sent = false;
   };
   /// Keyed by the client-side tuple (as carried on inbound packets).
-  std::unordered_map<FiveTuple, ServerConn, FiveTupleHash> conns_;
+  /// Open-addressing: one find per inbound packet, no per-node allocs.
+  util::FlatMap<FiveTuple, ServerConn, FiveTupleHash> conns_;
   std::uint64_t tcp_served_ = 0;
   std::uint64_t udp_served_ = 0;
 };

@@ -127,16 +127,27 @@ class FlatMap {
     if (cap > slots_.size()) rehash(cap);
   }
 
-  [[nodiscard]] iterator find(const K& key) {
+  /// Lookups are heterogeneous: any K2 that Hash and Eq accept works,
+  /// so callers with composite keys can probe with a reference view
+  /// instead of materializing a K.
+  template <class K2 = K>
+  [[nodiscard]] iterator find(const K2& key) {
     const std::size_t idx = locate(key);
     return idx == npos ? end() : iterator{this, idx};
   }
-  [[nodiscard]] const_iterator find(const K& key) const {
+  template <class K2 = K>
+  [[nodiscard]] const_iterator find(const K2& key) const {
     const std::size_t idx = locate(key);
     return idx == npos ? end() : const_iterator{this, idx};
   }
-  [[nodiscard]] bool contains(const K& key) const { return locate(key) != npos; }
-  [[nodiscard]] std::size_t count(const K& key) const { return locate(key) == npos ? 0 : 1; }
+  template <class K2 = K>
+  [[nodiscard]] bool contains(const K2& key) const {
+    return locate(key) != npos;
+  }
+  template <class K2 = K>
+  [[nodiscard]] std::size_t count(const K2& key) const {
+    return locate(key) == npos ? 0 : 1;
+  }
 
   [[nodiscard]] V& operator[](const K& key) { return slots_[slot_for(key).first].second; }
 
@@ -161,9 +172,11 @@ class FlatMap {
     return try_emplace(kv.first, kv.second);
   }
 
-  /// Erase by key. Backward-shift: re-seat the following probe run so no
-  /// tombstone is left behind. Returns the number of erased elements.
-  std::size_t erase(const K& key) {
+  /// Erase by key (heterogeneous, like find). Backward-shift: re-seat the
+  /// following probe run so no tombstone is left behind. Returns the
+  /// number of erased elements.
+  template <class K2 = K>
+  std::size_t erase(const K2& key) {
     std::size_t idx = locate(key);
     if (idx == npos) return 0;
     const std::size_t mask = slots_.size() - 1;
@@ -209,7 +222,8 @@ class FlatMap {
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  [[nodiscard]] std::size_t locate(const K& key) const {
+  template <class K2>
+  [[nodiscard]] std::size_t locate(const K2& key) const {
     if (slots_.empty()) return npos;
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = hash_(key) & mask;

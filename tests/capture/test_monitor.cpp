@@ -135,14 +135,14 @@ TEST_F(MonitorTest, UdpFlowClosesAfterInactivity) {
 TEST_F(MonitorTest, DnsTransactionMatched) {
   const auto query = dns::DnsMessage::query(0xbeef, dns::DomainName::must("www.example.com"));
   auto qp = udp(kHouse, 40'000, kResolver, 53);
-  qp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(query));
+  qp.dns = dns::DnsPayload::from_message(query);
   monitor.observe(at_ms(100), qp);
 
   auto resp = dns::DnsMessage::response(
       query, {dns::ResourceRecord::a(dns::DomainName::must("www.example.com"),
                                      Ipv4Addr{93, 184, 216, 34}, 300)});
   auto rp = udp(kResolver, 53, kHouse, 40'000);
-  rp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+  rp.dns = dns::DnsPayload::from_message(resp);
   monitor.observe(at_ms(108), rp);
 
   const Dataset ds = monitor.harvest(at_ms(1'000));
@@ -163,7 +163,7 @@ TEST_F(MonitorTest, DnsTransactionMatched) {
 TEST_F(MonitorTest, UnansweredDnsFlushedAsUnanswered) {
   const auto query = dns::DnsMessage::query(1, dns::DomainName::must("lost.example.com"));
   auto qp = udp(kHouse, 40'000, kResolver, 53);
-  qp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(query));
+  qp.dns = dns::DnsPayload::from_message(query);
   monitor.observe(at_ms(0), qp);
   const Dataset ds = monitor.harvest(at_ms(60'000));
   ASSERT_EQ(ds.dns.size(), 1u);
@@ -173,9 +173,8 @@ TEST_F(MonitorTest, UnansweredDnsFlushedAsUnanswered) {
 
 TEST_F(MonitorTest, DnsRetransmissionKeepsFirstTimestamp) {
   const auto query = dns::DnsMessage::query(7, dns::DomainName::must("slow.example.com"));
-  auto wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(query));
   auto qp = udp(kHouse, 40'000, kResolver, 53);
-  qp.dns_wire = wire;
+  qp.dns = dns::DnsPayload::from_wire(dns::encode(query));
   monitor.observe(at_ms(0), qp);
   monitor.observe(at_ms(3'000), qp);  // retransmission
 
@@ -183,7 +182,7 @@ TEST_F(MonitorTest, DnsRetransmissionKeepsFirstTimestamp) {
       query, {dns::ResourceRecord::a(dns::DomainName::must("slow.example.com"),
                                      Ipv4Addr{1, 1, 1, 1}, 60)});
   auto rp = udp(kResolver, 53, kHouse, 40'000);
-  rp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+  rp.dns = dns::DnsPayload::from_message(resp);
   monitor.observe(at_ms(3'050), rp);
 
   const Dataset ds = monitor.harvest(at_ms(60'000));
@@ -194,8 +193,7 @@ TEST_F(MonitorTest, DnsRetransmissionKeepsFirstTimestamp) {
 
 TEST_F(MonitorTest, MalformedDnsCounted) {
   auto qp = udp(kHouse, 40'000, kResolver, 53);
-  qp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(
-      std::vector<std::uint8_t>{1, 2, 3});
+  qp.dns = dns::DnsPayload::from_wire({1, 2, 3});
   monitor.observe(at_ms(0), qp);
   EXPECT_EQ(monitor.malformed_dns(), 1u);
   const Dataset ds = monitor.harvest(at_ms(1'000));
@@ -206,7 +204,7 @@ TEST_F(MonitorTest, UnsolicitedDnsResponseIgnored) {
   const auto query = dns::DnsMessage::query(9, dns::DomainName::must("x.example.com"));
   auto resp = dns::DnsMessage::response(query, {});
   auto rp = udp(kResolver, 53, kHouse, 40'000);
-  rp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+  rp.dns = dns::DnsPayload::from_message(resp);
   monitor.observe(at_ms(0), rp);
   const Dataset ds = monitor.harvest(at_ms(1'000));
   EXPECT_TRUE(ds.dns.empty());
@@ -245,7 +243,7 @@ TEST_F(MonitorTest, StatsCountersTrackWeirdness) {
   // Retransmitted DNS query.
   const auto query = dns::DnsMessage::query(5, dns::DomainName::must("x.example.com"));
   auto qp = udp(kHouse, 40'000, kResolver, 53);
-  qp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(query));
+  qp.dns = dns::DnsPayload::from_message(query);
   monitor.observe(at_ms(0), qp);
   monitor.observe(at_ms(1'000), qp);
   EXPECT_EQ(monitor.stats().dns_retransmissions, 1u);
@@ -253,7 +251,7 @@ TEST_F(MonitorTest, StatsCountersTrackWeirdness) {
   // Unsolicited DNS response.
   auto resp = dns::DnsMessage::response(query, {});
   auto rp = udp(kResolver, 53, kHouse, 41'111);
-  rp.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+  rp.dns = dns::DnsPayload::from_message(resp);
   monitor.observe(at_ms(2'000), rp);
   EXPECT_EQ(monitor.stats().unsolicited_dns, 1u);
 

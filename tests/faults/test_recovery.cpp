@@ -25,8 +25,8 @@ class RecoveryTest : public ::testing::Test {
   [[nodiscard]] netsim::Packet respond(const netsim::Packet& query,
                                        std::vector<dns::ResourceRecord> answers,
                                        dns::Rcode rcode = dns::Rcode::kNoError) {
-    const auto q = dns::decode(*query.dns_wire);
-    EXPECT_TRUE(q);
+    const dns::DnsMessage* q = query.dns.message();
+    EXPECT_TRUE(q != nullptr);
     dns::DnsMessage resp = dns::DnsMessage::response(*q, std::move(answers), rcode);
     netsim::Packet p;
     p.src_ip = query.dst_ip;
@@ -34,7 +34,7 @@ class RecoveryTest : public ::testing::Test {
     p.src_port = 53;
     p.dst_port = query.src_port;
     p.proto = Proto::kUdp;
-    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+    p.dns = dns::DnsPayload::from_message(std::move(resp));
     return p;
   }
 

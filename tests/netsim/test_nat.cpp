@@ -68,7 +68,9 @@ TEST_F(NatTest, MappingIsStablePerFlow) {
 TEST_F(NatTest, DistinctFlowsGetDistinctPorts) {
   gateway.from_device(from(kDeviceA, 10'000, kServer, 443));
   gateway.from_device(from(kDeviceB, 10'000, kServer, 443));  // same internal port!
-  sim.run_to_completion();
+  // Stop short of the idle limit: run_to_completion would also run the
+  // sweep that reclaims these (idle) mappings.
+  sim.run_until(SimTime::origin() + SimDuration::min(1));
   ASSERT_EQ(wan_side.received.size(), 2u);
   EXPECT_NE(wan_side.received[0].src_port, wan_side.received[1].src_port);
   EXPECT_EQ(gateway.active_mappings(), 2u);
@@ -76,13 +78,13 @@ TEST_F(NatTest, DistinctFlowsGetDistinctPorts) {
 
 TEST_F(NatTest, InboundTranslatesBackToRightDevice) {
   gateway.from_device(from(kDeviceB, 12'345, kServer, 443));
-  sim.run_to_completion();
+  sim.run_until(SimTime::origin() + SimDuration::min(1));
   ASSERT_EQ(wan_side.received.size(), 1u);
   const std::uint16_t ext_port = wan_side.received[0].src_port;
 
   Packet reply = from(kServer, 443, kHouseExternal, ext_port);
   gateway.receive(reply);
-  sim.run_to_completion();
+  sim.run_until(SimTime::origin() + SimDuration::min(2));
   ASSERT_EQ(dev_b.received.size(), 1u);
   EXPECT_EQ(dev_b.received[0].dst_ip, kDeviceB);
   EXPECT_EQ(dev_b.received[0].dst_port, 12'345);
@@ -99,8 +101,16 @@ TEST_F(NatTest, UnsolicitedInboundDropped) {
 TEST_F(NatTest, UdpAndTcpMappingsAreSeparate) {
   gateway.from_device(from(kDeviceA, 9'999, kServer, 53, Proto::kUdp));
   gateway.from_device(from(kDeviceA, 9'999, kServer, 53, Proto::kTcp));
-  sim.run_to_completion();
+  sim.run_until(SimTime::origin() + SimDuration::min(1));
   EXPECT_EQ(gateway.active_mappings(), 2u);
+}
+
+TEST_F(NatTest, IdleMappingsAreSweptAfterIdleLimit) {
+  gateway.from_device(from(kDeviceA, 10'000, kServer, 443));
+  sim.run_until(SimTime::origin() + SimDuration::min(1));
+  EXPECT_EQ(gateway.active_mappings(), 1u);
+  sim.run_to_completion();  // runs the periodic sweep past the idle limit
+  EXPECT_EQ(gateway.active_mappings(), 0u);
 }
 
 TEST_F(NatTest, DnsInterceptConsumesOutboundQueries) {

@@ -1,0 +1,108 @@
+// Arena/free-list tests: handle refcounting, node recycling, and —
+// critically — that a recycled node never leaks stale DNS payload,
+// TCP flags, or transfer intent into the next packet. Runs under the
+// sanitizers.yml ASan matrix, which would flag any use-after-recycle.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "dns/lazy.hpp"
+#include "dns/message.hpp"
+#include "netsim/arena.hpp"
+
+namespace dnsctx::netsim {
+namespace {
+
+Packet dns_query_packet() {
+  Packet p;
+  p.src_ip = Ipv4Addr{10, 0, 0, 2};
+  p.dst_ip = Ipv4Addr{8, 8, 8, 8};
+  p.src_port = 40'000;
+  p.dst_port = 53;
+  p.proto = Proto::kUdp;
+  p.tcp = TcpFlags{true, true, true, true};  // deliberately filthy
+  p.payload_bytes = 77;
+  p.dns = dns::DnsPayload::from_message(
+      dns::DnsMessage::query(0x1234, dns::DomainName::must("example.com"), dns::RrType::kA));
+  p.intent = TransferIntent{};
+  return p;
+}
+
+TEST(PacketArena, HandleSharingKeepsOneLiveNode) {
+  PacketArena arena;
+  PacketHandle a = arena.adopt(dns_query_packet());
+  EXPECT_EQ(arena.live(), 1u);
+  PacketHandle b = a;           // copy: same node
+  PacketHandle c = std::move(b);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(&*a, &*c);
+  a = PacketHandle{};
+  EXPECT_EQ(arena.live(), 1u);  // c still holds it
+  c = PacketHandle{};
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(PacketArena, RecycledNodeCarriesNoStaleState) {
+  PacketArena arena;
+  const Packet* first_node = nullptr;
+  {
+    PacketHandle h = arena.adopt(dns_query_packet());
+    ASSERT_TRUE(h->dns);
+    ASSERT_TRUE(h->intent.has_value());
+    first_node = &*h;
+  }  // released -> freelist
+  EXPECT_EQ(arena.live(), 0u);
+
+  // A minimal packet adopted next must reuse the node yet show none of
+  // the previous occupant's DNS payload, flags, or intent.
+  PacketHandle h2 = arena.adopt(Packet{});
+  EXPECT_EQ(&*h2, first_node) << "freelist did not recycle the node";
+  EXPECT_TRUE(h2->dns.empty());
+  EXPECT_FALSE(h2->intent.has_value());
+  EXPECT_EQ(h2->tcp, TcpFlags{});
+  EXPECT_EQ(h2->payload_bytes, 0u);
+  EXPECT_EQ(h2->src_port, 0);
+  EXPECT_EQ(arena.allocated(), 1u);  // no fresh slab growth
+}
+
+TEST(PacketArena, ReleaseDropsPayloadOwnershipImmediately) {
+  // The arena must not pin DNS payload memory while a node sits on the
+  // freelist: the shared state's refcount proves release happened.
+  PacketArena arena;
+  auto payload = dns::DnsPayload::from_message(
+      dns::DnsMessage::query(7, dns::DomainName::must("x.test"), dns::RrType::kA));
+  const std::vector<std::uint8_t>* wire = payload.wire();
+  ASSERT_NE(wire, nullptr);
+  {
+    Packet p;
+    p.dns = payload;
+    PacketHandle h = arena.adopt(std::move(p));
+    ASSERT_FALSE(h->dns.empty());
+  }
+  // Only our local `payload` reference remains; re-adopting the node
+  // must hand out a packet with an empty payload.
+  PacketHandle h2 = arena.adopt(Packet{});
+  EXPECT_TRUE(h2->dns.empty());
+}
+
+TEST(PacketArena, GrowsInChunksAndReusesAcrossManyPackets) {
+  PacketArena arena;
+  std::vector<PacketHandle> held;
+  for (int i = 0; i < 1000; ++i) held.push_back(arena.adopt(Packet{}));
+  EXPECT_EQ(arena.live(), 1000u);
+  const std::size_t hwm = arena.allocated();
+  EXPECT_GE(hwm, 1000u);
+  held.clear();
+  EXPECT_EQ(arena.live(), 0u);
+  // Steady-state churn after the burst: no new slab growth.
+  for (int i = 0; i < 5000; ++i) {
+    PacketHandle h = arena.adopt(dns_query_packet());
+    PacketHandle dup = h;
+    EXPECT_EQ(arena.live(), 1u);
+  }
+  EXPECT_EQ(arena.allocated(), hwm);
+}
+
+}  // namespace
+}  // namespace dnsctx::netsim

@@ -71,11 +71,25 @@ TEST(Simulator, ZeroDelaySelfSchedulingProgresses) {
   EXPECT_EQ(depth, 100);
 }
 
-TEST(Simulator, SchedulingInThePastThrows) {
+TEST(Simulator, SchedulingInThePastClampsToNowWithCounter) {
   Simulator sim;
   sim.at(SimTime::from_us(100), [] {});
   sim.run_to_completion();
-  EXPECT_THROW(sim.at(SimTime::from_us(50), [] {}), std::logic_error);
+  EXPECT_EQ(sim.clamped_past(), 0u);
+#ifdef NDEBUG
+  // Release contract: clamp to now(), count the violation, and keep the
+  // clamped event ordered after anything already due at now().
+  std::vector<int> order;
+  sim.at(SimTime::from_us(100), [&] { order.push_back(1); });
+  sim.at(SimTime::from_us(50), [&] { order.push_back(2); });  // in the past
+  EXPECT_EQ(sim.clamped_past(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::from_us(100));  // clock never moved backwards
+#else
+  // Debug contract: scheduling in the past trips an assert.
+  EXPECT_DEATH(sim.at(SimTime::from_us(50), [] {}), "scheduling in the past");
+#endif
 }
 
 TEST(Simulator, EventsScheduledDuringDispatchRun) {

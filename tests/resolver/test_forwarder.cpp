@@ -17,9 +17,9 @@ constexpr Ipv4Addr kUpstream{100, 66, 250, 1};
 struct DeviceProbe : netsim::Host {
   std::vector<dns::DnsMessage> responses;
   void receive(const netsim::Packet& p) override {
-    if (!p.dns_wire) return;
-    const auto msg = dns::decode(*p.dns_wire);
-    ASSERT_TRUE(msg);
+    if (p.dns.empty()) return;
+    const dns::DnsMessage* msg = p.dns.message();
+    ASSERT_TRUE(msg != nullptr);
     if (msg->flags.qr) responses.push_back(*msg);
   }
 };
@@ -73,8 +73,7 @@ class ForwarderTest : public ::testing::Test {
     p.src_port = sport;
     p.dst_port = 53;
     p.proto = Proto::kUdp;
-    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(
-        dns::encode(dns::DnsMessage::query(txid, name)));
+    p.dns = dns::DnsPayload::from_message(dns::DnsMessage::query(txid, name));
     gateway.from_device(std::move(p));
   }
 

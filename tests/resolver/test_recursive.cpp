@@ -16,9 +16,9 @@ struct Probe : netsim::Host {
   std::vector<std::pair<SimTime, dns::DnsMessage>> responses;
   netsim::Simulator* sim = nullptr;
   void receive(const netsim::Packet& p) override {
-    if (!p.dns_wire) return;
-    const auto msg = dns::decode(*p.dns_wire);
-    ASSERT_TRUE(msg);
+    if (p.dns.empty()) return;
+    const dns::DnsMessage* msg = p.dns.message();
+    ASSERT_TRUE(msg != nullptr);
     responses.emplace_back(sim->now(), *msg);
   }
 };
@@ -71,8 +71,7 @@ class RecursiveTest : public ::testing::Test {
     p.src_port = 40'000;
     p.dst_port = 53;
     p.proto = Proto::kUdp;
-    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(
-        dns::encode(dns::DnsMessage::query(txid, name)));
+    p.dns = dns::DnsPayload::from_message(dns::DnsMessage::query(txid, name));
     net.send(std::move(p));
   }
 

@@ -24,8 +24,8 @@ class StubTest : public ::testing::Test {
   [[nodiscard]] netsim::Packet respond(const netsim::Packet& query,
                                        std::vector<dns::ResourceRecord> answers,
                                        dns::Rcode rcode = dns::Rcode::kNoError) {
-    const auto q = dns::decode(*query.dns_wire);
-    EXPECT_TRUE(q);
+    const dns::DnsMessage* q = query.dns.message();
+    EXPECT_TRUE(q != nullptr);
     dns::DnsMessage resp = dns::DnsMessage::response(*q, std::move(answers), rcode);
     netsim::Packet p;
     p.src_ip = query.dst_ip;
@@ -33,7 +33,7 @@ class StubTest : public ::testing::Test {
     p.src_port = 53;
     p.dst_port = query.src_port;
     p.proto = Proto::kUdp;
-    p.dns_wire = std::make_shared<const std::vector<std::uint8_t>>(dns::encode(resp));
+    p.dns = dns::DnsPayload::from_message(std::move(resp));
     return p;
   }
 
@@ -54,8 +54,8 @@ TEST_F(StubTest, QuerySentToPrimaryResolver) {
   EXPECT_EQ(sent[0].dst_ip, kResolverA);
   EXPECT_EQ(sent[0].dst_port, 53);
   EXPECT_EQ(sent[0].proto, Proto::kUdp);
-  const auto q = dns::decode(*sent[0].dns_wire);
-  ASSERT_TRUE(q);
+  const dns::DnsMessage* q = sent[0].dns.message();
+  ASSERT_TRUE(q != nullptr);
   EXPECT_EQ(q->questions[0].qname.text(), "a.com");
   EXPECT_FALSE(called);  // no response yet
 }

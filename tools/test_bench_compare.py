@@ -48,6 +48,17 @@ class LoadRecordsTest(unittest.TestCase):
         (metrics,) = records.values()
         self.assertEqual(metrics, {"study_sec": 1.5})
 
+    def test_bench_city_watches_rss_only(self):
+        # bench_city gates peak RSS; wall time is reported but not a
+        # watched metric (too noisy at city scale on shared runners).
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "bench_city", "houses": 500, "hours": 1, "seed": 42,
+             "shards": 1, "gen_sec": 3.9, "peak_rss_bytes": 150999040,
+             "within_rss_bound": True},
+        ])
+        (metrics,) = bench_compare.load_records(path).values()
+        self.assertEqual(metrics, {"peak_rss_bytes": 150999040.0})
+
     def test_non_numeric_metric_is_skipped(self):
         path = write_lines(self.dir, "base.json", [
             {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
