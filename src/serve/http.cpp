@@ -1,0 +1,125 @@
+#include "serve/http.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::serve {
+
+const char* http_status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string render_http_response(const HttpResponse& resp) {
+  std::string out = strfmt("HTTP/1.1 %d %s\r\n", resp.status, http_status_text(resp.status));
+  out += strfmt("Content-Type: %s\r\n", resp.content_type.c_str());
+  out += strfmt("Content-Length: %zu\r\n", resp.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+HttpConnection::HttpConnection(EventLoop& loop, int fd, std::string peer, Router router,
+                               std::function<void(int)> on_close)
+    : loop_{loop},
+      fd_{fd},
+      peer_{std::move(peer)},
+      router_{std::move(router)},
+      on_close_{std::move(on_close)} {}
+
+void HttpConnection::start() { loop_.add(fd_, this, /*read=*/true, /*write=*/false, /*edge=*/true); }
+
+void HttpConnection::close_now() {
+  const int fd = fd_;
+  loop_.remove(fd);
+  if (on_close_) {
+    // The owner may destroy *this inside the callback: move it out and
+    // touch no members afterwards.
+    auto cb = std::move(on_close_);
+    cb(fd);
+  }
+}
+
+void HttpConnection::on_readable() {
+  if (responded_) return;  // single-request connection: ignore pipelined extra bytes
+  char buf[4096];
+  for (;;) {
+    const auto n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      if (in_.size() > kMaxRequestBytes) {
+        respond(HttpResponse{400, "text/plain; charset=utf-8", "request too large\n"});
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed before a full request arrived
+      close_now();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_now();
+    return;
+  }
+
+  const auto end = in_.find("\r\n\r\n");
+  if (end == std::string::npos) return;  // headers incomplete
+
+  const auto line_end = in_.find("\r\n");
+  const std::string line = in_.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    respond(HttpResponse{400, "text/plain; charset=utf-8", "malformed request line\n"});
+    return;
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.method != "GET") {
+    respond(HttpResponse{405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  respond(router_ ? router_(req)
+                  : HttpResponse{500, "text/plain; charset=utf-8", "no router\n"});
+}
+
+void HttpConnection::respond(const HttpResponse& resp) {
+  responded_ = true;
+  out_ = render_http_response(resp);
+  out_pos_ = 0;
+  flush_write();
+}
+
+void HttpConnection::on_writable() { flush_write(); }
+
+void HttpConnection::flush_write() {
+  while (out_pos_ < out_.size()) {
+    const auto n = ::write(fd_, out_.data() + out_pos_, out_.size() - out_pos_);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.modify(fd_, /*read=*/false, /*write=*/true);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_now();  // peer reset mid-response
+    return;
+  }
+  close_now();
+}
+
+}  // namespace dnsctx::serve

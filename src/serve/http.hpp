@@ -1,0 +1,79 @@
+// dnsctx — minimal HTTP/1.1 for the telemetry server's scrape surface.
+//
+// Deliberately tiny: GET only, no keep-alive (every response carries
+// `Connection: close`), no chunked encoding, 8 KiB request limit. The
+// consumers are curl, Prometheus, and the integration tests — not
+// browsers. What it DOES handle carefully is the write side: a response
+// that does not fit the socket buffer (a large /metrics scrape read by
+// a slow client) parks the remainder in a write buffer and finishes
+// under EPOLLOUT, so one slow reader never blocks the event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/event_loop.hpp"
+
+namespace dnsctx::serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< request-target as sent, e.g. "/results/town-a"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Canonical reason phrase for the handful of statuses we emit.
+[[nodiscard]] const char* http_status_text(int status);
+
+/// Serialize status line + headers + body (Content-Length, Connection:
+/// close) into one wire blob.
+[[nodiscard]] std::string render_http_response(const HttpResponse& resp);
+
+/// One accepted HTTP connection on the event loop. Reads a single GET
+/// request, routes it, writes the response (buffering across EPOLLOUT
+/// wakeups as needed), then closes. Registered edge-triggered; `start()`
+/// must be called once after construction.
+class HttpConnection : public FdHandler {
+ public:
+  using Router = std::function<HttpResponse(const HttpRequest&)>;
+
+  static constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+  /// `on_close(fd)` fires exactly once when the connection is done; the
+  /// owner may destroy the object from inside it (typically via
+  /// EventLoop::defer — the callback runs in handler context).
+  HttpConnection(EventLoop& loop, int fd, std::string peer, Router router,
+                 std::function<void(int)> on_close);
+
+  void start();
+
+  void on_readable() override;
+  void on_writable() override;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const std::string& peer() const { return peer_; }
+
+ private:
+  void respond(const HttpResponse& resp);
+  void flush_write();
+  void close_now();
+
+  EventLoop& loop_;
+  int fd_;
+  std::string peer_;
+  Router router_;
+  std::function<void(int)> on_close_;
+
+  std::string in_;
+  std::string out_;
+  std::size_t out_pos_ = 0;
+  bool responded_ = false;
+};
+
+}  // namespace dnsctx::serve

@@ -1,0 +1,160 @@
+#include "serve/ingest.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::serve {
+
+namespace {
+
+[[nodiscard]] bool tenant_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '.' || c == '_' || c == '-';
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24;
+}
+
+[[nodiscard]] std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    static_cast<std::uint8_t>(p[1]) << 8);
+}
+
+}  // namespace
+
+bool valid_tenant_name(std::string_view name) {
+  if (name.empty() || name.size() > kMaxTenantName) return false;
+  for (const char c : name) {
+    if (!tenant_char(c)) return false;
+  }
+  return true;
+}
+
+std::string encode_handshake(const Handshake& hs) {
+  if (!valid_tenant_name(hs.tenant)) {
+    throw std::runtime_error{strfmt("serve: invalid tenant name '%s'", hs.tenant.c_str())};
+  }
+  std::string out;
+  out.reserve(8 + hs.tenant.size());
+  put_u32(out, kIngestMagic);
+  put_u16(out, kIngestVersion);
+  out.push_back(static_cast<char>(hs.want_acks ? kIngestFlagAcks : 0));
+  out.push_back(static_cast<char>(hs.tenant.size()));
+  out += hs.tenant;
+  return out;
+}
+
+void append_data_frame(std::string& out, std::string_view segment_blob) {
+  put_u32(out, static_cast<std::uint32_t>(segment_blob.size()));
+  out += segment_blob;
+}
+
+void append_flush_frame(std::string& out) { put_u32(out, 0); }
+
+FrameDecoder::FrameDecoder(std::string source, Limits limits)
+    : source_{std::move(source)}, limits_{limits} {}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  compact();
+  buf_ += bytes;
+}
+
+FrameDecoder::Event FrameDecoder::fail(std::string msg) {
+  state_ = State::kError;
+  error_ = std::move(msg);
+  buf_.clear();
+  pos_ = 0;
+  return Event::kError;
+}
+
+void FrameDecoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+FrameDecoder::Event FrameDecoder::next() {
+  switch (state_) {
+    case State::kError:
+      return Event::kError;
+
+    case State::kHandshake: {
+      if (buf_.size() - pos_ < 8) return Event::kNeedMore;
+      const char* p = buf_.data() + pos_;
+      const std::uint32_t magic = get_u32(p);
+      if (magic != kIngestMagic) {
+        return fail(strfmt("%s: bad ingest magic %08x", source_.c_str(), magic));
+      }
+      const std::uint16_t version = get_u16(p + 4);
+      if (version != kIngestVersion) {
+        return fail(strfmt("%s: unsupported ingest version %u (expected %u)",
+                           source_.c_str(), version, kIngestVersion));
+      }
+      const auto flags = static_cast<std::uint8_t>(p[6]);
+      if (flags & ~kIngestFlagAcks) {
+        return fail(strfmt("%s: unknown handshake flags %02x", source_.c_str(), flags));
+      }
+      const auto tenant_len = static_cast<std::uint8_t>(p[7]);
+      if (tenant_len == 0 || tenant_len > kMaxTenantName) {
+        return fail(strfmt("%s: bad tenant length %u", source_.c_str(), tenant_len));
+      }
+      if (buf_.size() - pos_ < 8u + tenant_len) return Event::kNeedMore;
+      const std::string_view tenant{buf_.data() + pos_ + 8, tenant_len};
+      if (!valid_tenant_name(tenant)) {
+        return fail(strfmt("%s: invalid tenant name", source_.c_str()));
+      }
+      handshake_.tenant = std::string{tenant};
+      handshake_.want_acks = (flags & kIngestFlagAcks) != 0;
+      pos_ += 8u + tenant_len;
+      state_ = State::kFrameHeader;
+      return Event::kHandshake;
+    }
+
+    case State::kFrameHeader: {
+      if (buf_.size() - pos_ < 4) return Event::kNeedMore;
+      frame_len_ = get_u32(buf_.data() + pos_);
+      if (frame_len_ > limits_.max_frame_bytes) {
+        return fail(strfmt("%s: frame length %u exceeds limit %zu", source_.c_str(),
+                           frame_len_, limits_.max_frame_bytes));
+      }
+      pos_ += 4;
+      if (frame_len_ == 0) return Event::kFlush;
+      state_ = State::kFrameBody;
+      [[fallthrough]];
+    }
+
+    case State::kFrameBody: {
+      if (buf_.size() - pos_ < frame_len_) return Event::kNeedMore;
+      const std::string_view blob{buf_.data() + pos_, frame_len_};
+      try {
+        segment_ = stream::parse_segment(blob, source_);
+      } catch (const std::exception& e) {
+        return fail(e.what());
+      }
+      pos_ += frame_len_;
+      state_ = State::kFrameHeader;
+      return Event::kSegment;
+    }
+  }
+  return Event::kNeedMore;  // unreachable
+}
+
+}  // namespace dnsctx::serve

@@ -1,0 +1,84 @@
+#include "serve/push.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "serve/sockets.hpp"
+#include "util/strings.hpp"
+
+namespace dnsctx::serve {
+
+PushClient::PushClient(const std::string& host, std::uint16_t port, Handshake hs) {
+  fd_ = connect_tcp(host, port);
+  send_all(encode_handshake(hs));
+}
+
+PushClient::~PushClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PushClient::send_segment(std::string_view blob) {
+  std::string frame;
+  frame.reserve(4 + blob.size());
+  append_data_frame(frame, blob);
+  send_all(frame);
+}
+
+void PushClient::flush() {
+  std::string frame;
+  append_flush_frame(frame);
+  send_all(frame);
+}
+
+void PushClient::send_all(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Server backpressure: wait for the socket to drain.
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, 60'000) <= 0) {
+        throw std::runtime_error{"push: timed out waiting for server to drain"};
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error{strfmt("push: write failed: %s", std::strerror(errno))};
+  }
+  bytes_sent_ += bytes.size();
+}
+
+std::uint64_t PushClient::read_ack(int timeout_ms) {
+  unsigned char buf[8];
+  std::size_t got = 0;
+  while (got < sizeof buf) {
+    const auto n = ::read(fd_, buf + got, sizeof buf - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) throw std::runtime_error{"push: connection closed while awaiting ack"};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) {
+        throw std::runtime_error{"push: timed out waiting for ack"};
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error{strfmt("push: ack read failed: %s", std::strerror(errno))};
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+}  // namespace dnsctx::serve

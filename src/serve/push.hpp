@@ -1,0 +1,48 @@
+// dnsctx — producer side of the ingest protocol.
+//
+// PushClient wraps one TCP connection: handshake at construction, then
+// send_segment()/flush() stream frames. IO is nonblocking under the
+// hood but presented synchronously — writes poll() for POLLOUT when the
+// socket fills (that is the server applying backpressure), read_ack()
+// polls for POLLIN with a deadline. One client, one thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/ingest.hpp"
+
+namespace dnsctx::serve {
+
+class PushClient {
+ public:
+  /// Connect and send the handshake frame. Throws on refusal.
+  PushClient(const std::string& host, std::uint16_t port, Handshake hs);
+  ~PushClient();
+
+  PushClient(const PushClient&) = delete;
+  PushClient& operator=(const PushClient&) = delete;
+
+  /// Frame and send one segment blob (src/stream wire format).
+  void send_segment(std::string_view blob);
+
+  /// Send the FLUSH frame (len == 0).
+  void flush();
+
+  /// Read one u64 ack (records visible to /results at send time on the
+  /// server). Only meaningful when the handshake requested acks; blocks
+  /// up to `timeout_ms`, throws on timeout or connection loss.
+  [[nodiscard]] std::uint64_t read_ack(int timeout_ms = 30'000);
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void send_all(std::string_view bytes);
+
+  int fd_ = -1;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dnsctx::serve

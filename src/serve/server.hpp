@@ -1,0 +1,128 @@
+// dnsctx — the online telemetry server: epoll loop + ingest + tenants
+// + HTTP, assembled.
+//
+// One Server owns two listening sockets on one EventLoop:
+//
+//   ingest  length-prefixed frame protocol (serve/ingest.hpp); each
+//           accepted connection handshakes into a tenant and streams
+//           segments into that tenant's bounded queue
+//   http    GET /metrics (Prometheus), /results/<tenant> (the study
+//           JSON), /healthz
+//
+// Segments are applied to the study engines by the event loop's idle-
+// work pump, a bounded budget per iteration, so ingest bursts cannot
+// starve HTTP and a scrape never waits behind a deep queue. When a
+// tenant's queue fills, every connection feeding it drops EPOLLIN until
+// the pump drains it — kernel socket buffers then fill and TCP pushes
+// back on the producer (the backpressure contract in docs/SERVE.md).
+//
+// A malformed frame (bad magic, oversized length, CRC mismatch,
+// truncated segment) closes ONLY the offending connection, with a
+// stderr diagnostic naming the peer; every other connection and tenant
+// keeps flowing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/event_loop.hpp"
+#include "serve/http.hpp"
+#include "serve/ingest.hpp"
+#include "serve/tenant.hpp"
+
+namespace dnsctx::serve {
+
+struct ServeConfig {
+  std::string ingest_host = "127.0.0.1";
+  std::uint16_t ingest_port = 0;  ///< 0 = ephemeral (tests)
+  std::string http_host = "127.0.0.1";
+  std::uint16_t http_port = 0;
+
+  TenantConfig tenant;
+  std::size_t max_frame_bytes = 16u << 20;
+  /// Segments applied per event-loop iteration across all tenants.
+  std::size_t pump_budget = 8;
+  /// Period of the idle-eviction / engine sweep timer (0 = no timer;
+  /// tests drive sweeps explicitly).
+  std::chrono::milliseconds sweep_period{1000};
+  /// When nonzero, shrink SO_SNDBUF/SO_RCVBUF on accepted sockets —
+  /// tests use a tiny value to force partial writes and backpressure.
+  int sockbuf_bytes = 0;
+  /// When nonempty, graceful shutdown writes <dir>/<tenant>.json for
+  /// every live tenant.
+  std::string results_dir;
+};
+
+class Server {
+ public:
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t connections_errored = 0;  ///< closed on a protocol violation
+    std::uint64_t frames = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t records_ingested = 0;  ///< record_count summed over accepted frames
+    std::uint64_t http_requests = 0;
+  };
+
+  Server(EventLoop& loop, ServeConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + register with the loop. Throws on bind failure.
+  void start();
+
+  /// Bound ports (after start(); meaningful with port 0).
+  [[nodiscard]] std::uint16_t ingest_port() const { return ingest_port_; }
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
+
+  /// Graceful completion: apply every queued segment, flush every
+  /// tenant's reorder window, write per-tenant results files when
+  /// `results_dir` is set, publish final metrics. Call after run()
+  /// returns (or before reading results in loop-driving tests).
+  void finish();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] TenantRegistry& tenants() { return tenants_; }
+  [[nodiscard]] std::size_t connections_active() const { return ingest_conns_.size(); }
+
+  /// Refresh the obs gauges (connections, tenant queue peaks). Runs on
+  /// every /metrics scrape and on finish().
+  void publish_metrics();
+
+ private:
+  class Listener;
+  class IngestConnection;
+
+  void accept_ingest();
+  void accept_http();
+  [[nodiscard]] HttpResponse route(const HttpRequest& req);
+  void close_ingest(int fd);
+  void close_http(int fd);
+  void resume_ingest(int fd);
+  void arm_sweep();
+
+  EventLoop& loop_;
+  ServeConfig cfg_;
+  TenantRegistry tenants_;
+  Stats stats_;
+
+  int ingest_listen_fd_ = -1;
+  int http_listen_fd_ = -1;
+  std::uint16_t ingest_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  std::unique_ptr<Listener> ingest_listener_;
+  std::unique_ptr<Listener> http_listener_;
+
+  std::map<int, std::unique_ptr<IngestConnection>> ingest_conns_;
+  std::map<int, std::unique_ptr<HttpConnection>> http_conns_;
+
+  EventLoop::TimerId sweep_timer_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dnsctx::serve

@@ -1,0 +1,104 @@
+#include "serve/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::serve {
+
+namespace {
+
+[[noreturn]] void fail(const char* op, const std::string& where) {
+  throw std::runtime_error{strfmt("serve: %s %s: %s", op, where.c_str(),
+                                  std::strerror(errno))};
+}
+
+[[nodiscard]] sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error{strfmt("serve: bad IPv4 address '%s'", host.c_str())};
+  }
+  return addr;
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("fcntl O_NONBLOCK on fd", std::to_string(fd));
+  }
+}
+
+void set_socket_buffers(int fd, int bytes) {
+  if (bytes <= 0) return;
+  // Best effort: the kernel clamps to its min/max; never fatal.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  const std::string where = strfmt("%s:%u", host.c_str(), port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket for", where);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    fail("bind", where);
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    fail("listen on", where);
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail("getsockname on fd", std::to_string(fd));
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const std::string where = strfmt("%s:%u", host.c_str(), port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket for", where);
+  const sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    fail("connect to", where);
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_nonblocking(fd);
+  return fd;
+}
+
+std::string peer_name(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return strfmt("fd %d", fd);
+  }
+  char ip[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+  return strfmt("%s:%u", ip, ntohs(addr.sin_port));
+}
+
+}  // namespace dnsctx::serve

@@ -1,0 +1,34 @@
+// dnsctx — thin POSIX socket helpers for the serve layer.
+//
+// Everything here returns plain file descriptors set O_NONBLOCK and
+// CLOEXEC; ownership stays with the caller. Errors throw
+// std::runtime_error naming the operation and the address, so a server
+// that cannot bind fails loudly at startup instead of spinning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnsctx::serve {
+
+/// Create a nonblocking listening TCP socket bound to `host:port`
+/// (SO_REUSEADDR; port 0 picks an ephemeral port). Returns the fd.
+[[nodiscard]] int listen_tcp(const std::string& host, std::uint16_t port, int backlog = 128);
+
+/// The port a socket is actually bound to (resolves port-0 binds).
+[[nodiscard]] std::uint16_t bound_port(int fd);
+
+/// Blocking connect to `host:port`, then switch the fd nonblocking.
+/// Used by the push client and tests; the server side never connects.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// "ip:port" of the remote end, for diagnostics that must name the peer.
+[[nodiscard]] std::string peer_name(int fd);
+
+void set_nonblocking(int fd);
+
+/// Set SO_SNDBUF/SO_RCVBUF to `bytes` (0 = leave the kernel default).
+/// Tests shrink the buffers to force partial writes on loopback.
+void set_socket_buffers(int fd, int bytes);
+
+}  // namespace dnsctx::serve

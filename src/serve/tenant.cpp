@@ -1,0 +1,291 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace dnsctx::serve {
+
+namespace {
+
+/// %.17g round-trips every double exactly; integers render as integers
+/// so the document stays readable.
+[[nodiscard]] std::string jnum(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+[[nodiscard]] std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void kv(std::string& out, const char* key, std::uint64_t v, bool comma = true) {
+  out += strfmt("\"%s\":%llu", key, static_cast<unsigned long long>(v));
+  if (comma) out += ",";
+}
+
+void kvd(std::string& out, const char* key, double v, bool comma = true) {
+  out += strfmt("\"%s\":", key);
+  out += jnum(v);
+  if (comma) out += ",";
+}
+
+}  // namespace
+
+std::string result_json(const stream::OnlineStudyResult& r) {
+  std::string out = "{";
+  kv(out, "conns", r.conns);
+  kv(out, "dns", r.dns);
+
+  out += "\"pairing\":{";
+  kv(out, "paired", r.pairing.paired);
+  kv(out, "unpaired", r.pairing.unpaired);
+  kv(out, "paired_expired", r.pairing.paired_expired);
+  kv(out, "unique_candidate", r.pairing.unique_candidate);
+  kv(out, "multiple_candidates", r.pairing.multiple_candidates);
+  kvd(out, "unique_candidate_frac", r.pairing.unique_candidate_frac());
+  kvd(out, "unused_lookup_frac", r.unused_lookup_frac, false);
+  out += "},";
+
+  out += "\"classes\":{";
+  kv(out, "n", r.classes.n);
+  kv(out, "lc", r.classes.lc);
+  kv(out, "p", r.classes.p);
+  kv(out, "sc", r.classes.sc);
+  kv(out, "r", r.classes.r);
+  kv(out, "lc_expired", r.lc_expired);
+  kv(out, "p_expired", r.p_expired, false);
+  out += "},";
+
+  // FlatMap iteration order depends on insertion history; sort by IP so
+  // the document depends only on the final mapping.
+  std::vector<std::pair<Ipv4Addr, double>> thresholds;
+  thresholds.reserve(r.resolver_threshold_ms.size());
+  for (const auto& [ip, t] : r.resolver_threshold_ms) thresholds.emplace_back(ip, t);
+  std::sort(thresholds.begin(), thresholds.end(),
+            [](const auto& a, const auto& b) { return a.first.to_u32() < b.first.to_u32(); });
+  out += "\"resolver_threshold_ms\":{";
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    if (i) out += ",";
+    out += jstr(thresholds[i].first.to_string());
+    out += ":";
+    out += jnum(thresholds[i].second);
+  }
+  out += "},";
+
+  out += "\"table1\":[";
+  for (std::size_t i = 0; i < r.table1.size(); ++i) {
+    const auto& row = r.table1[i];
+    if (i) out += ",";
+    out += "{\"platform\":";
+    out += jstr(row.platform);
+    out += ",";
+    kvd(out, "pct_houses", row.pct_houses);
+    kvd(out, "pct_lookups", row.pct_lookups);
+    kvd(out, "pct_conns", row.pct_conns);
+    kvd(out, "pct_bytes", row.pct_bytes);
+    kv(out, "lookups", row.lookups, false);
+    out += "}";
+  }
+  out += "],";
+  kvd(out, "isp_only_houses", r.isp_only_houses);
+
+  out += "\"quadrants\":{";
+  kvd(out, "insignificant_both", r.quadrants.insignificant_both);
+  kvd(out, "relative_only", r.quadrants.relative_only);
+  kvd(out, "absolute_only", r.quadrants.absolute_only);
+  kvd(out, "significant_both", r.quadrants.significant_both);
+  kvd(out, "significant_overall", r.quadrants.significant_overall, false);
+  out += "},";
+
+  out += "\"platforms\":[";
+  for (std::size_t i = 0; i < r.platforms.size(); ++i) {
+    const auto& p = r.platforms[i];
+    if (i) out += ",";
+    out += "{\"platform\":";
+    out += jstr(p.platform);
+    out += ",";
+    kv(out, "sc", p.sc);
+    kv(out, "r", p.r);
+    kv(out, "conncheck_conns", p.conncheck_conns);
+    kv(out, "total_conns", p.total_conns, false);
+    out += "}";
+  }
+  out += "],";
+
+  const auto& f = r.failures;
+  out += "\"failures\":{";
+  kv(out, "lookups", f.lookups);
+  kv(out, "answered_ok", f.answered_ok);
+  kv(out, "nodata", f.nodata);
+  kv(out, "nxdomain", f.nxdomain);
+  kv(out, "servfail", f.servfail);
+  kv(out, "other_rcode", f.other_rcode);
+  kv(out, "unanswered", f.unanswered);
+  kv(out, "retry_chains", f.retry_chains);
+  kv(out, "retry_lookups", f.retry_lookups);
+  kv(out, "recovered_chains", f.recovered_chains);
+  kv(out, "failed_chains", f.failed_chains);
+  out += "\"chain_len_hist\":[";
+  for (std::size_t i = 0; i < f.chain_len_hist.size(); ++i) {
+    if (i) out += ",";
+    out += strfmt("%llu", static_cast<unsigned long long>(f.chain_len_hist[i]));
+  }
+  out += "],";
+  out += strfmt("\"recovered_wait_us\":%lld,", static_cast<long long>(f.recovered_wait_us));
+  out += strfmt("\"failed_wait_us\":%lld,", static_cast<long long>(f.failed_wait_us));
+  kv(out, "s0_conns", f.s0_conns);
+  kv(out, "rej_conns", f.rej_conns, false);
+  out += "}}";
+  return out;
+}
+
+Tenant::Tenant(std::string name, const stream::OnlineStudyConfig& cfg)
+    : name_{std::move(name)},
+      engine_{cfg},
+      released_{engine_},
+      feed_{released_},
+      max_queued_{64},
+      last_activity_{Clock::now()} {}
+
+void Tenant::enqueue(stream::SegmentData&& seg) {
+  records_queued_ += seg.header.record_count;
+  queue_.push_back(std::move(seg));
+  queue_peak_ = std::max(queue_peak_, queue_.size());
+}
+
+bool Tenant::process_one() {
+  if (queue_.empty()) return false;
+  stream::SegmentData seg = std::move(queue_.front());
+  queue_.pop_front();
+  for (const auto& rec : seg.dns) feed_.on_dns(rec);
+  for (const auto& rec : seg.conns) feed_.on_conn(rec);
+  if (seg.header.record_count > 0) {
+    if (seg.header.kind == stream::RecordKind::kConn) {
+      conn_front_ = std::max(conn_front_, seg.header.last_ts);
+      any_conn_ = true;
+    } else {
+      dns_front_ = std::max(dns_front_, seg.header.last_ts);
+      any_dns_ = true;
+    }
+  }
+  maybe_drain();
+  if (queue_.size() + 1 == max_queued_ || queue_.empty()) {
+    // Crossed back under the bound (or drained fully): resume paused
+    // producers. Swap first — a resumed connection may enqueue again
+    // and re-register itself.
+    std::vector<std::function<void()>> resumed;
+    resumed.swap(waiters_);
+    for (auto& fn : resumed) fn();
+  }
+  return true;
+}
+
+void Tenant::maybe_drain() {
+  if (!any_conn_ || !any_dns_) return;
+  const SimTime front = std::min(conn_front_, dns_front_);
+  if (front > SimTime::origin()) {
+    feed_.drain(SimTime::from_us(front.count_us() - 1));
+  }
+}
+
+void Tenant::flush() { feed_.close(); }
+
+std::shared_ptr<Tenant> TenantRegistry::open(const std::string& name, std::string* error) {
+  if (const auto it = tenants_.find(name); it != tenants_.end()) return it->second;
+  if (tenants_.size() >= cfg_.max_tenants) {
+    if (error) {
+      *error = strfmt("tenant table full (%zu of %zu): rejecting '%s'", tenants_.size(),
+                      cfg_.max_tenants, name.c_str());
+    }
+    return nullptr;
+  }
+  auto tenant = std::make_shared<Tenant>(name, cfg_.study);
+  tenant->set_queue_limit(cfg_.max_queued_segments);
+  tenants_.emplace(name, tenant);
+  if (obs::enabled()) {
+    obs::registry().gauge("serve_tenants_active").set(static_cast<double>(tenants_.size()));
+  }
+  return tenant;
+}
+
+std::shared_ptr<Tenant> TenantRegistry::find(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+bool TenantRegistry::pump(std::size_t budget) {
+  bool pending = false;
+  while (budget > 0) {
+    bool progressed = false;
+    for (auto& [name, tenant] : tenants_) {
+      if (budget == 0) break;
+      if (tenant->process_one()) {
+        progressed = true;
+        --budget;
+      }
+    }
+    if (!progressed) break;
+  }
+  for (const auto& [name, tenant] : tenants_) {
+    if (!tenant->queue_empty()) {
+      pending = true;
+      break;
+    }
+  }
+  return pending;
+}
+
+void TenantRegistry::sweep(Tenant::Clock::time_point now) {
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    Tenant& t = *it->second;
+    const bool idle = cfg_.idle_evict.count() > 0 && t.attached() == 0 &&
+                      t.queue_empty() && now - t.last_activity() >= cfg_.idle_evict;
+    if (idle) {
+      std::fprintf(stderr, "serve: evicting idle tenant '%s' (%llu records)\n",
+                   t.name().c_str(),
+                   static_cast<unsigned long long>(t.records_released()));
+      it = tenants_.erase(it);
+      ++evicted_;
+    } else {
+      ++it;
+    }
+  }
+  // Long-lived tenants: run the engine's shadow-eviction sweep so the
+  // active window stays bounded even between ingest-driven sweeps.
+  for (auto& [name, tenant] : tenants_) tenant->engine_.sweep();
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    reg.gauge("serve_tenants_active").set(static_cast<double>(tenants_.size()));
+    reg.counter("serve_tenants_evicted_total")
+        .add(evicted_ - last_published_evicted_);
+  }
+  last_published_evicted_ = evicted_;
+}
+
+void TenantRegistry::flush_all() {
+  for (auto& [name, tenant] : tenants_) {
+    while (tenant->process_one()) {
+    }
+    tenant->flush();
+  }
+}
+
+void TenantRegistry::for_each(const std::function<void(const Tenant&)>& fn) const {
+  for (const auto& [name, tenant] : tenants_) fn(*tenant);
+}
+
+}  // namespace dnsctx::serve

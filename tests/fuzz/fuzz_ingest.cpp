@@ -1,0 +1,49 @@
+// libFuzzer target for the serve ingest frame decoder. Arbitrary bytes
+// are fed in fuzzer-chosen chunk sizes (the first input byte seeds the
+// chunking) — the decoder must emit a bounded event stream and never
+// crash, loop, or over-read: errors are terminal (poisoned decoder),
+// kNeedMore only ever appears when the buffer is exhausted, and a
+// successfully parsed handshake/segment obeys the protocol invariants.
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "serve/ingest.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  // Small frame limit so the fuzzer can reach the oversized-length
+  // rejection without minting multi-megabyte inputs.
+  dnsctx::serve::FrameDecoder dec{"fuzz", dnsctx::serve::FrameDecoder::Limits{1u << 16}};
+  const std::size_t chunk = static_cast<std::size_t>(data[0] % 37) + 1;
+  std::string_view rest{reinterpret_cast<const char*>(data + 1), size - 1};
+
+  bool errored = false;
+  while (!rest.empty()) {
+    const std::size_t take = rest.size() < chunk ? rest.size() : chunk;
+    dec.feed(rest.substr(0, take));
+    rest.remove_prefix(take);
+    for (;;) {
+      const auto ev = dec.next();
+      if (ev == dnsctx::serve::FrameDecoder::Event::kNeedMore) {
+        if (errored) std::abort();  // poisoned decoders must stay kError
+        break;
+      }
+      if (ev == dnsctx::serve::FrameDecoder::Event::kError) {
+        if (dec.error().empty()) std::abort();  // every error names itself
+        errored = true;
+        break;
+      }
+      if (errored) std::abort();  // no events after an error
+      if (ev == dnsctx::serve::FrameDecoder::Event::kHandshake) {
+        if (!dnsctx::serve::valid_tenant_name(dec.handshake().tenant)) std::abort();
+      } else if (ev == dnsctx::serve::FrameDecoder::Event::kSegment) {
+        // Parsed records must add up to the CRC-validated header count.
+        const auto& seg = dec.segment();
+        if (seg.conns.size() + seg.dns.size() != seg.header.record_count) std::abort();
+      }
+    }
+    if (errored) break;
+  }
+  return 0;
+}

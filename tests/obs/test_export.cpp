@@ -65,6 +65,21 @@ TEST(ObsExportTest, FlatJsonGolden) {
   EXPECT_EQ(to_flat_json(tiny_snapshot()), expected);
 }
 
+TEST(ObsExportTest, JsonEscapesControlCharacters) {
+  // Metric names are normally tame, but names flow in from tenant
+  // labels on the serve path — a stray control char must not produce
+  // invalid JSON (RFC 8259 requires escaping everything below 0x20).
+  MetricsSnapshot snap;
+  snap.counters.push_back({"weird\nname\twith\x01"
+                           "ctl",
+                           1});
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"weird\\nname\\twith\\u0001ctl\":1"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
 TEST(ObsExportTest, EmptySnapshotRenders) {
   const MetricsSnapshot empty;
   EXPECT_EQ(to_prometheus(empty), "");

@@ -49,6 +49,16 @@ WATCHED_METRICS = {
     "micro": ["real_time_ns"],
 }
 
+# Higher-is-better metrics: the gate fires when the CURRENT value falls
+# more than ``--threshold`` below the baseline (a throughput floor).
+# bench_serve's records/sec is the serving contract — /results must keep
+# up with a live producer — so it is gated like a latency metric, just
+# with the sign flipped. Loopback ack latency is reported in the record
+# but not gated (scheduler noise on shared CI runners dwarfs 10%).
+HIGHER_IS_BETTER_METRICS = {
+    "bench_serve": ["records_per_sec"],
+}
+
 
 def lookup(rec, name):
     """rec[name], or rec[head][tail] for a dotted name (first dot only)."""
@@ -122,7 +132,9 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
                 bench, rec.get("houses"), rec.get("hours"), rec.get("seed"),
                 rec.get("threads", 1), rec.get("shards", 1))
             metrics = {}
-            for m in WATCHED_METRICS.get(bench, []):
+            watched = WATCHED_METRICS.get(bench, []) + HIGHER_IS_BETTER_METRICS.get(
+                bench, [])
+            for m in watched:
                 value = as_float(lookup(rec, m))
                 if value is not None:
                     metrics[m] = value
@@ -151,13 +163,17 @@ def main() -> int:
         if key not in curr:
             print(f"{key:58} {'(baseline only — skipped)':>38}")
             continue
+        bench_kind = key.split("/", 1)[0]
         for metric, base_val in sorted(base[key].items()):
             curr_val = curr[key].get(metric)
             if curr_val is None:
                 continue
             change = (curr_val - base_val) / base_val if base_val else 0.0
+            higher_better = metric in HIGHER_IS_BETTER_METRICS.get(bench_kind, [])
+            regressed = (change < -args.threshold if higher_better
+                         else change > args.threshold)
             flag = ""
-            if change > args.threshold:
+            if regressed:
                 flag = "  << REGRESSION"
                 regressions.append((key, metric, change))
             print(f"{key + ' ' + metric:58} {base_val:14.3f} {curr_val:14.3f} "

@@ -29,9 +29,20 @@
 //
 //   dnsctx stream --spool DIR [--follow] | --import DIR --spool DIR
 //                 | --export DIR --spool DIR
+//                 | --spool DIR --push HOST:PORT --tenant NAME [--acks]
 //       Streaming ingestion: run the bounded-memory online study over a
-//       binary spool (optionally following a live writer), or convert
-//       between text logs and spools.
+//       binary spool (optionally following a live writer), convert
+//       between text logs and spools, or push the spool's segments to a
+//       running `dnsctx serve` over TCP.
+//
+//   dnsctx serve --listen HOST:PORT --http HOST:PORT [--max-tenants N]
+//                [--idle-evict SECS] [--max-frame-mib N]
+//                [--queue-segments N] [--results-out DIR]
+//       Online telemetry server: accepts segment streams from producers
+//       (`stream --push`), runs one OnlineStudy per tenant, and exposes
+//       /metrics, /results/<tenant>, /healthz over HTTP. SIGINT/SIGTERM
+//       shut down gracefully, flushing partial results (written to
+//       --results-out when set). See docs/SERVE.md.
 //
 // Every subcommand rejects options it does not understand (exit 2 with
 // usage) — a typo must not silently run a different experiment.
@@ -40,6 +51,7 @@
 #include <cstdio>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -52,6 +64,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/config_io.hpp"
+#include "serve/push.hpp"
+#include "serve/server.hpp"
 #include "stream/feed.hpp"
 #include "stream/online_study.hpp"
 #include "stream/spool.hpp"
@@ -447,16 +461,71 @@ void print_online_result(const stream::OnlineStudyResult& r, const stream::Onlin
               engine.tracked_houses());
 }
 
+/// Split "HOST:PORT" at the last colon. Returns false on malformed input.
+[[nodiscard]] bool parse_hostport(const std::string& spec, std::string* host,
+                                  std::uint16_t* port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) return false;
+  const long long p = std::atoll(spec.c_str() + colon + 1);
+  if (p < 0 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+[[nodiscard]] std::string read_file_bytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{strfmt("stream: cannot read %s", path.c_str())};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
 int cmd_stream(const CliArgs& args) {
   if (reject_unknown(args, "stream",
                      {"spool", "import", "export", "follow", "idle-exit", "poll-ms",
-                      "metrics-out", "progress"})) {
+                      "push", "tenant", "acks", "metrics-out", "progress"})) {
     return 2;
   }
   const auto spool = args.option("spool");
   if (!spool) {
     std::fprintf(stderr, "stream: --spool DIR is required\n");
     return 2;
+  }
+  if (const auto push = args.option("push")) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_hostport(*push, &host, &port)) {
+      std::fprintf(stderr, "stream: --push expects HOST:PORT, got '%s'\n", push->c_str());
+      return 2;
+    }
+    const auto tenant = args.option("tenant");
+    if (!tenant || !serve::valid_tenant_name(*tenant)) {
+      std::fprintf(stderr, "stream: --push requires --tenant NAME ([A-Za-z0-9._-]{1,64})\n");
+      return 2;
+    }
+    const bool acks = args.has_flag("acks");
+    serve::PushClient client{host, port, serve::Handshake{*tenant, acks}};
+    const auto listing = stream::list_spool(*spool);
+    std::size_t segments = 0;
+    std::uint64_t last_ack = 0;
+    for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
+      for (const auto& path : *paths) {
+        client.send_segment(read_file_bytes(path));
+        ++segments;
+        if (acks) last_ack = client.read_ack();
+      }
+    }
+    client.flush();
+    if (acks) last_ack = client.read_ack();
+    std::printf("pushed %zu segments (%llu bytes) to %s as tenant '%s'",
+                segments, static_cast<unsigned long long>(client.bytes_sent()),
+                push->c_str(), tenant->c_str());
+    if (acks) {
+      std::printf("; server released %llu records", static_cast<unsigned long long>(last_ack));
+    }
+    std::printf("\n");
+    return 0;
   }
   if (const auto text = args.option("import")) {
     std::filesystem::create_directories(*spool);
@@ -551,9 +620,63 @@ int cmd_stream(const CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const CliArgs& args) {
+  if (reject_unknown(args, "serve",
+                     {"listen", "http", "max-tenants", "idle-evict", "max-frame-mib",
+                      "queue-segments", "results-out", "metrics-out", "progress"})) {
+    return 2;
+  }
+  serve::ServeConfig cfg;
+  const auto listen = args.option("listen");
+  const auto http = args.option("http");
+  if (!listen || !parse_hostport(*listen, &cfg.ingest_host, &cfg.ingest_port)) {
+    std::fprintf(stderr, "serve: --listen HOST:PORT is required\n");
+    return 2;
+  }
+  if (!http || !parse_hostport(*http, &cfg.http_host, &cfg.http_port)) {
+    std::fprintf(stderr, "serve: --http HOST:PORT is required\n");
+    return 2;
+  }
+  cfg.tenant.max_tenants =
+      static_cast<std::size_t>(args.int_option_or("max-tenants", 64));
+  cfg.tenant.idle_evict =
+      std::chrono::seconds{args.int_option_or("idle-evict", 0)};
+  cfg.tenant.max_queued_segments =
+      static_cast<std::size_t>(args.int_option_or("queue-segments", 64));
+  cfg.max_frame_bytes =
+      static_cast<std::size_t>(args.int_option_or("max-frame-mib", 16)) << 20;
+  if (const auto dir = args.option("results-out")) {
+    std::filesystem::create_directories(*dir);
+    cfg.results_dir = *dir;
+  }
+
+  // The /metrics endpoint is part of the server's contract, so the
+  // registry is always on here (elsewhere it needs --metrics-out).
+  obs::set_enabled(true);
+
+  serve::EventLoop loop;
+  serve::Server server{loop, cfg};
+  server.start();
+  loop.watch_signals([] { std::fprintf(stderr, "serve: signal received, shutting down\n"); });
+  std::fprintf(stderr, "serve: ingest on %s:%u, http on %s:%u\n", cfg.ingest_host.c_str(),
+               server.ingest_port(), cfg.http_host.c_str(), server.http_port());
+  loop.run();
+  server.finish();
+
+  const auto& st = server.stats();
+  std::printf("served %llu connections, %llu frames (%llu records) across %zu tenants; "
+              "%llu http requests, %llu protocol errors\n",
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.frames),
+              static_cast<unsigned long long>(st.records_ingested), server.tenants().size(),
+              static_cast<unsigned long long>(st.http_requests),
+              static_cast<unsigned long long>(st.connections_errored));
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: dnsctx <simulate|analyze|sweep|validate|stream> [options]\n"
+               "usage: dnsctx <simulate|analyze|sweep|validate|stream|serve> [options]\n"
                "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
                "           [--shards N] [--threads N] [--binary-logs]\n"
                "           [--loss P] [--dup P] [--reorder P] [--servfail-rate P]\n"
@@ -566,6 +689,10 @@ void usage() {
                "           [--shards N] [--threads N]\n"
                "  stream   --spool DIR [--follow [--idle-exit N] [--poll-ms MS]]\n"
                "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n"
+               "           | --spool DIR --push HOST:PORT --tenant NAME [--acks]\n"
+               "  serve    --listen HOST:PORT --http HOST:PORT [--max-tenants N]\n"
+               "           [--idle-evict SECS] [--max-frame-mib N] [--queue-segments N]\n"
+               "           [--results-out DIR]\n"
                "  every command also accepts:\n"
                "    --metrics-out FILE   enable metrics; write a scrape on exit\n"
                "                         (.json extension -> JSON, else Prometheus text)\n"
@@ -598,6 +725,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return finish(cmd_sweep(args));
     if (command == "validate") return finish(cmd_validate(args));
     if (command == "stream") return finish(cmd_stream(args));
+    if (command == "serve") return finish(cmd_serve(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

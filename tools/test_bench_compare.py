@@ -143,6 +143,33 @@ class LoadRecordsTest(unittest.TestCase):
         self.assertIsNone(bench_compare.lookup(rec, "metrics.missing"))
         self.assertIsNone(bench_compare.lookup(rec, "plain.sub"))
 
+    def _run_main(self, base, curr):
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(base), str(curr)]
+        try:
+            return bench_compare.main()
+        finally:
+            sys.argv = argv
+
+    def test_serve_throughput_floor_regression_detected(self):
+        # records_per_sec is higher-is-better: a drop beyond the
+        # threshold fails, a rise never does.
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "bench_serve", "houses": 40, "hours": 4, "seed": 42,
+             "records_per_sec": 500000, "ack_p99_us": 700},
+        ])
+        slower = write_lines(self.dir, "slower.json", [
+            {"bench": "bench_serve", "houses": 40, "hours": 4, "seed": 42,
+             "records_per_sec": 300000, "ack_p99_us": 700},
+        ])
+        faster = write_lines(self.dir, "faster.json", [
+            {"bench": "bench_serve", "houses": 40, "hours": 4, "seed": 42,
+             "records_per_sec": 900000, "ack_p99_us": 9000},
+        ])
+        self.assertEqual(self._run_main(base, slower), 1)
+        # Faster throughput passes even with worse (ungated) latency.
+        self.assertEqual(self._run_main(base, faster), 0)
+
     def test_compare_with_partial_baseline_passes(self):
         base = write_lines(self.dir, "base.json", [
             {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
