@@ -217,6 +217,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(conns), static_cast<unsigned long long>(dns),
               gen_sec, peak_reorder);
 
+  // Spool footprint: v2 + lz on disk vs the same records re-encoded as
+  // v1 (interleaved, uncompressed) — the compression headline.
+  const std::uint64_t spool_sz = stream::spool_bytes(scale.spool_dir);
+  const std::string v1_dir = scale.spool_dir + ".v1";
+  std::filesystem::remove_all(v1_dir);
+  stream::SpoolConfig v1_cfg;
+  v1_cfg.format = stream::kSegmentVersion;
+  v1_cfg.codec = stream::SegmentCodec::kNone;
+  (void)stream::convert_spool(scale.spool_dir, v1_dir, v1_cfg);
+  const std::uint64_t v1_sz = stream::spool_bytes(v1_dir);
+  std::filesystem::remove_all(v1_dir);
+  const double ratio =
+      spool_sz > 0 ? static_cast<double>(v1_sz) / static_cast<double>(spool_sz) : 0.0;
+  std::printf("spool: %.2f MiB on disk (v1 equivalent %.2f MiB — %.2fx smaller)\n",
+              static_cast<double>(spool_sz) / (1024.0 * 1024.0),
+              static_cast<double>(v1_sz) / (1024.0 * 1024.0), ratio);
+
+  // Import: the spool round-tripped through the text logs, timing the
+  // text → spool direction (what `dnsctx stream --import` runs).
+  const std::string text_dir = scale.spool_dir + ".text";
+  const std::string import_dir = scale.spool_dir + ".import";
+  std::filesystem::remove_all(text_dir);
+  std::filesystem::remove_all(import_dir);
+  (void)stream::spool_to_text(scale.spool_dir, text_dir);
+  const auto ti0 = Clock::now();
+  const auto imported = stream::text_to_spool(text_dir, import_dir);
+  const double import_sec = std::chrono::duration<double>(Clock::now() - ti0).count();
+  const std::uint64_t import_total = imported.conns + imported.dns;
+  std::filesystem::remove_all(text_dir);
+  std::filesystem::remove_all(import_dir);
+  const double import_rps =
+      import_sec > 0.0 ? static_cast<double>(import_total) / import_sec : 0.0;
+  std::printf("import: %llu records text -> spool in %.2f s — %.0f records/s\n",
+              static_cast<unsigned long long>(import_total), import_sec, import_rps);
+
   // Phases 2 + 3: each study in its own process, own RSS high-water.
   PhaseResult stream_r, batch_r;
   if (!run_child("stream", scale.spool_dir, stream_r) ||
@@ -250,7 +285,7 @@ int main(int argc, char** argv) {
   if (!scale.json_path.empty()) {
     std::ofstream os{scale.json_path, std::ios::app};
     if (os) {
-      char buf[640];
+      char buf[896];
       std::snprintf(
           buf, sizeof buf,
           "{\"bench\":\"bench_stream\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
@@ -259,7 +294,9 @@ int main(int argc, char** argv) {
           "\"batch_records_per_sec\":%.0f,\"peak_rss_bytes\":%llu,"
           "\"stream_peak_rss_bytes\":%llu,\"batch_peak_rss_bytes\":%llu,"
           "\"peak_reorder_records\":%zu,\"active_candidates\":%llu,"
-          "\"active_records\":%llu,\"match\":%s}",
+          "\"active_records\":%llu,\"spool_bytes\":%llu,\"spool_v1_bytes\":%llu,"
+          "\"compression_ratio\":%.3f,\"import_sec\":%.3f,"
+          "\"import_records_per_sec\":%.0f,\"match\":%s}",
           scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
           scale.shards, gen_sec, stream_r.sec, batch_r.sec,
           static_cast<unsigned long long>(conns), static_cast<unsigned long long>(dns),
@@ -270,6 +307,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(batch_r.rss), peak_reorder,
           static_cast<unsigned long long>(stream_r.active_candidates),
           static_cast<unsigned long long>(stream_r.active_records),
+          static_cast<unsigned long long>(spool_sz),
+          static_cast<unsigned long long>(v1_sz), ratio, import_sec, import_rps,
           match ? "true" : "false");
       os << buf << '\n';
     } else {

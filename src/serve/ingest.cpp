@@ -145,7 +145,10 @@ FrameDecoder::Event FrameDecoder::next() {
       if (buf_.size() - pos_ < frame_len_) return Event::kNeedMore;
       const std::string_view blob{buf_.data() + pos_, frame_len_};
       try {
-        segment_ = stream::parse_segment(blob, source_);
+        // The frame buffer is reused across frames, so the view adopts a
+        // copy of the blob; records then decode out of it with no
+        // further materialization (construction validates everything).
+        segment_ = stream::SegmentView::adopt(std::string{blob}, source_);
       } catch (const std::exception& e) {
         return fail(e.what());
       }

@@ -15,7 +15,7 @@
 //     u32  len
 //     ...  body         len bytes: one COMPLETE segment blob in the
 //                       src/stream wire format (40-byte header + CRC'd
-//                       payload, stream::parse_segment-validated)
+//                       payload, v1 or v2, SegmentView-validated)
 //
 //   len == 0 is the FLUSH frame: release every record still buffered in
 //   the tenant's reorder window to the study engine (end of stream, or
@@ -37,7 +37,7 @@
 #include <string>
 #include <string_view>
 
-#include "stream/segment.hpp"
+#include "stream/segment_view.hpp"
 
 namespace dnsctx::serve {
 
@@ -87,9 +87,11 @@ class FrameDecoder {
   [[nodiscard]] Event next();
 
   [[nodiscard]] const Handshake& handshake() const { return handshake_; }
-  /// The segment parsed by the last kSegment event (moved-from after
-  /// the caller takes it — valid until the next next()).
-  [[nodiscard]] stream::SegmentData& segment() { return segment_; }
+  /// The segment validated by the last kSegment event: a fully checked
+  /// zero-copy view owning its frame bytes, ready to hand to a tenant
+  /// queue (moved-from after the caller takes it — valid until the
+  /// next next()).
+  [[nodiscard]] stream::SegmentView& segment() { return segment_; }
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] bool handshaken() const { return state_ != State::kHandshake; }
 
@@ -109,7 +111,7 @@ class FrameDecoder {
   std::size_t pos_ = 0;
   std::uint32_t frame_len_ = 0;
   Handshake handshake_;
-  stream::SegmentData segment_;
+  stream::SegmentView segment_;
   std::string error_;
 };
 

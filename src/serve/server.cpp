@@ -108,11 +108,11 @@ class Server::IngestConnection : public FdHandler {
         case FrameDecoder::Event::kSegment: {
           auto& seg = decoder_.segment();
           ++server_.stats_.frames;
-          server_.stats_.records_ingested += seg.header.record_count;
+          server_.stats_.records_ingested += seg.size();
           if (obs::enabled()) {
             auto& reg = obs::registry();
             reg.counter("serve_frames_total").add(1);
-            reg.counter("serve_records_ingested_total").add(seg.header.record_count);
+            reg.counter("serve_records_ingested_total").add(seg.size());
           }
           tenant_->touch(Tenant::Clock::now());
           tenant_->enqueue(std::move(seg));

@@ -161,24 +161,30 @@ Tenant::Tenant(std::string name, const stream::OnlineStudyConfig& cfg)
       max_queued_{64},
       last_activity_{Clock::now()} {}
 
-void Tenant::enqueue(stream::SegmentData&& seg) {
-  records_queued_ += seg.header.record_count;
+void Tenant::enqueue(stream::SegmentView&& seg) {
+  records_queued_ += seg.size();
   queue_.push_back(std::move(seg));
   queue_peak_ = std::max(queue_peak_, queue_.size());
 }
 
 bool Tenant::process_one() {
   if (queue_.empty()) return false;
-  stream::SegmentData seg = std::move(queue_.front());
+  stream::SegmentView seg = std::move(queue_.front());
   queue_.pop_front();
-  for (const auto& rec : seg.dns) feed_.on_dns(rec);
-  for (const auto& rec : seg.conns) feed_.on_conn(rec);
-  if (seg.header.record_count > 0) {
-    if (seg.header.kind == stream::RecordKind::kConn) {
-      conn_front_ = std::max(conn_front_, seg.header.last_ts);
+  const stream::SegmentHeader& h = seg.header();
+  if (h.kind == stream::RecordKind::kDns) {
+    capture::DnsRecord rec;
+    while (seg.next(rec)) feed_.on_dns(rec);
+  } else {
+    capture::ConnRecord rec;
+    while (seg.next(rec)) feed_.on_conn(rec);
+  }
+  if (h.record_count > 0) {
+    if (h.kind == stream::RecordKind::kConn) {
+      conn_front_ = std::max(conn_front_, h.last_ts);
       any_conn_ = true;
     } else {
-      dns_front_ = std::max(dns_front_, seg.header.last_ts);
+      dns_front_ = std::max(dns_front_, h.last_ts);
       any_dns_ = true;
     }
   }

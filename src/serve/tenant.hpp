@@ -39,7 +39,7 @@
 
 #include "stream/feed.hpp"
 #include "stream/online_study.hpp"
-#include "stream/segment.hpp"
+#include "stream/segment_view.hpp"
 
 namespace dnsctx::serve {
 
@@ -66,8 +66,10 @@ class Tenant {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Queue one parsed segment. Callers must check !queue_full() first.
-  void enqueue(stream::SegmentData&& seg);
+  /// Queue one validated segment view (zero-copy: the view owns the
+  /// frame bytes; records decode when the pump applies it). Callers
+  /// must check !queue_full() first.
+  void enqueue(stream::SegmentView&& seg);
   [[nodiscard]] bool queue_full() const { return queue_.size() >= max_queued_; }
   [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
@@ -127,7 +129,7 @@ class Tenant {
   CountingSink released_;
   stream::LiveFeed feed_;
 
-  std::deque<stream::SegmentData> queue_;
+  std::deque<stream::SegmentView> queue_;
   std::size_t max_queued_;
   std::size_t queue_peak_ = 0;
   std::uint64_t records_queued_ = 0;

@@ -4,70 +4,13 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "stream/segment_view.hpp"
+#include "stream/wire.hpp"
 #include "util/strings.hpp"
 
 namespace dnsctx::stream {
 
 namespace {
-
-// ---- little-endian primitives ----------------------------------------------
-
-void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
-
-void put_u16(std::string& out, std::uint16_t v) {
-  put_u8(out, static_cast<std::uint8_t>(v & 0xff));
-  put_u8(out, static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-}
-
-void put_i64(std::string& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
-
-/// Bounds-checked little-endian cursor over a record body or header.
-struct Cursor {
-  std::string_view bytes;
-  std::size_t pos = 0;
-  const std::string* source;
-  const char* what;
-
-  [[noreturn]] void fail() const {
-    throw std::runtime_error{
-        strfmt("%s: truncated %s (need more than %zu bytes)", source->c_str(), what,
-               bytes.size())};
-  }
-
-  [[nodiscard]] std::uint8_t u8() {
-    if (pos + 1 > bytes.size()) fail();
-    return static_cast<std::uint8_t>(bytes[pos++]);
-  }
-  [[nodiscard]] std::uint16_t u16() {
-    const auto lo = u8();
-    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
-  }
-  [[nodiscard]] std::uint32_t u32() {
-    const auto lo = u16();
-    return lo | (static_cast<std::uint32_t>(u16()) << 16);
-  }
-  [[nodiscard]] std::uint64_t u64() {
-    const auto lo = u32();
-    return lo | (static_cast<std::uint64_t>(u32()) << 32);
-  }
-  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  [[nodiscard]] std::string_view raw(std::size_t n) {
-    if (pos + n > bytes.size()) fail();
-    const auto out = bytes.substr(pos, n);
-    pos += n;
-    return out;
-  }
-};
 
 // ---- CRC-32 ----------------------------------------------------------------
 
@@ -79,60 +22,6 @@ struct Cursor {
     table[i] = c;
   }
   return table;
-}
-
-// ---- record bodies ---------------------------------------------------------
-
-[[nodiscard]] capture::ConnRecord decode_conn(Cursor& c) {
-  capture::ConnRecord r;
-  r.start = SimTime::from_us(c.i64());
-  r.duration = SimDuration::us(c.i64());
-  r.orig_ip = Ipv4Addr::from_u32(c.u32());
-  r.resp_ip = Ipv4Addr::from_u32(c.u32());
-  r.orig_port = c.u16();
-  r.resp_port = c.u16();
-  r.proto = c.u8() == 1 ? Proto::kUdp : Proto::kTcp;
-  r.state = static_cast<capture::ConnState>(c.u8());
-  r.orig_bytes = c.u64();
-  r.resp_bytes = c.u64();
-  return r;
-}
-
-[[nodiscard]] capture::DnsRecord decode_dns(Cursor& c) {
-  capture::DnsRecord r;
-  r.ts = SimTime::from_us(c.i64());
-  r.duration = SimDuration::us(c.i64());
-  r.client_ip = Ipv4Addr::from_u32(c.u32());
-  r.client_port = c.u16();
-  r.resolver_ip = Ipv4Addr::from_u32(c.u32());
-  r.qtype = static_cast<dns::RrType>(c.u16());
-  r.rcode = static_cast<dns::Rcode>(c.u8());
-  r.answered = c.u8() != 0;
-  const std::uint16_t qlen = c.u16();
-  r.query = util::InternedName{c.raw(qlen)};
-  const std::uint16_t answers = c.u16();
-  r.answers.reserve(answers);
-  for (std::uint16_t i = 0; i < answers; ++i) {
-    capture::DnsAnswer a;
-    a.addr = Ipv4Addr::from_u32(c.u32());
-    a.ttl = c.u32();
-    r.answers.push_back(a);
-  }
-  return r;
-}
-
-void write_header(std::string& out, RecordKind kind, std::uint32_t record_count,
-                  SimTime first, SimTime last, std::uint64_t payload_bytes,
-                  std::uint32_t payload_crc) {
-  put_u32(out, kSegmentMagic);
-  put_u16(out, kSegmentVersion);
-  put_u8(out, static_cast<std::uint8_t>(kind));
-  put_u8(out, 0);  // reserved
-  put_u32(out, record_count);
-  put_i64(out, record_count ? first.count_us() : 0);
-  put_i64(out, record_count ? last.count_us() : 0);
-  put_u64(out, payload_bytes);
-  put_u32(out, payload_crc);
 }
 
 }  // namespace
@@ -151,17 +40,17 @@ std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
 void append_record(std::string& payload, const capture::ConnRecord& rec) {
   std::string body;
   body.reserve(46);
-  put_i64(body, rec.start.count_us());
-  put_i64(body, rec.duration.count_us());
-  put_u32(body, rec.orig_ip.to_u32());
-  put_u32(body, rec.resp_ip.to_u32());
-  put_u16(body, rec.orig_port);
-  put_u16(body, rec.resp_port);
-  put_u8(body, rec.proto == Proto::kUdp ? 1 : 0);
-  put_u8(body, static_cast<std::uint8_t>(rec.state));
-  put_u64(body, rec.orig_bytes);
-  put_u64(body, rec.resp_bytes);
-  put_u32(payload, static_cast<std::uint32_t>(body.size()));
+  wire::put_i64(body, rec.start.count_us());
+  wire::put_i64(body, rec.duration.count_us());
+  wire::put_u32(body, rec.orig_ip.to_u32());
+  wire::put_u32(body, rec.resp_ip.to_u32());
+  wire::put_u16(body, rec.orig_port);
+  wire::put_u16(body, rec.resp_port);
+  wire::put_u8(body, rec.proto == Proto::kUdp ? 1 : 0);
+  wire::put_u8(body, static_cast<std::uint8_t>(rec.state));
+  wire::put_u64(body, rec.orig_bytes);
+  wire::put_u64(body, rec.resp_bytes);
+  wire::put_u32(payload, static_cast<std::uint32_t>(body.size()));
   payload += body;
 }
 
@@ -169,30 +58,45 @@ void append_record(std::string& payload, const capture::DnsRecord& rec) {
   const std::string_view query = rec.query.view();
   std::string body;
   body.reserve(34 + query.size() + rec.answers.size() * 8);
-  put_i64(body, rec.ts.count_us());
-  put_i64(body, rec.duration.count_us());
-  put_u32(body, rec.client_ip.to_u32());
-  put_u16(body, rec.client_port);
-  put_u32(body, rec.resolver_ip.to_u32());
-  put_u16(body, static_cast<std::uint16_t>(rec.qtype));
-  put_u8(body, static_cast<std::uint8_t>(rec.rcode));
-  put_u8(body, rec.answered ? 1 : 0);
-  put_u16(body, static_cast<std::uint16_t>(query.size()));
+  wire::put_i64(body, rec.ts.count_us());
+  wire::put_i64(body, rec.duration.count_us());
+  wire::put_u32(body, rec.client_ip.to_u32());
+  wire::put_u16(body, rec.client_port);
+  wire::put_u32(body, rec.resolver_ip.to_u32());
+  wire::put_u16(body, static_cast<std::uint16_t>(rec.qtype));
+  wire::put_u8(body, static_cast<std::uint8_t>(rec.rcode));
+  wire::put_u8(body, rec.answered ? 1 : 0);
+  wire::put_u16(body, static_cast<std::uint16_t>(query.size()));
   body += query;
-  put_u16(body, static_cast<std::uint16_t>(rec.answers.size()));
+  wire::put_u16(body, static_cast<std::uint16_t>(rec.answers.size()));
   for (const auto& a : rec.answers) {
-    put_u32(body, a.addr.to_u32());
-    put_u32(body, a.ttl);
+    wire::put_u32(body, a.addr.to_u32());
+    wire::put_u32(body, a.ttl);
   }
-  put_u32(payload, static_cast<std::uint32_t>(body.size()));
+  wire::put_u32(payload, static_cast<std::uint32_t>(body.size()));
   payload += body;
+}
+
+void append_segment_header(std::string& out, std::uint16_t version, RecordKind kind,
+                           std::uint32_t record_count, SimTime first, SimTime last,
+                           std::uint64_t payload_bytes, std::uint32_t payload_crc) {
+  wire::put_u32(out, kSegmentMagic);
+  wire::put_u16(out, version);
+  wire::put_u8(out, static_cast<std::uint8_t>(kind));
+  wire::put_u8(out, 0);  // reserved
+  wire::put_u32(out, record_count);
+  wire::put_i64(out, record_count ? first.count_us() : 0);
+  wire::put_i64(out, record_count ? last.count_us() : 0);
+  wire::put_u64(out, payload_bytes);
+  wire::put_u32(out, payload_crc);
 }
 
 std::string build_segment(RecordKind kind, std::uint32_t record_count, SimTime first,
                           SimTime last, std::string_view payload) {
   std::string out;
   out.reserve(kSegmentHeaderBytes + payload.size());
-  write_header(out, kind, record_count, first, last, payload.size(), crc32(payload));
+  append_segment_header(out, kSegmentVersion, kind, record_count, first, last,
+                        payload.size(), crc32(payload));
   out += payload;
   return out;
 }
@@ -202,15 +106,16 @@ SegmentHeader parse_segment_header(std::string_view bytes, const std::string& so
     throw std::runtime_error{strfmt("%s: truncated segment header (%zu of %zu bytes)",
                                     source.c_str(), bytes.size(), kSegmentHeaderBytes)};
   }
-  Cursor c{bytes, 0, &source, "segment header"};
+  wire::Cursor c{bytes, 0, &source, "segment header"};
   SegmentHeader h;
   if (c.u32() != kSegmentMagic) {
     throw std::runtime_error{strfmt("%s: bad segment magic", source.c_str())};
   }
   h.version = c.u16();
-  if (h.version != kSegmentVersion) {
-    throw std::runtime_error{strfmt("%s: unsupported segment version %u (expected %u)",
-                                    source.c_str(), h.version, kSegmentVersion)};
+  if (h.version != kSegmentVersion && h.version != kSegmentVersionV2) {
+    throw std::runtime_error{strfmt("%s: unsupported segment version %u (expected %u or %u)",
+                                    source.c_str(), h.version, kSegmentVersion,
+                                    kSegmentVersionV2)};
   }
   const std::uint8_t kind = c.u8();
   if (kind > 1) {
@@ -227,47 +132,17 @@ SegmentHeader parse_segment_header(std::string_view bytes, const std::string& so
 }
 
 SegmentData parse_segment(std::string_view bytes, const std::string& source) {
+  SegmentView view = SegmentView::parse(bytes, source);
   SegmentData out;
-  out.header = parse_segment_header(bytes, source);
-  const std::string_view payload = bytes.substr(kSegmentHeaderBytes);
-  if (payload.size() != out.header.payload_bytes) {
-    throw std::runtime_error{
-        strfmt("%s: truncated segment payload (%zu of %llu bytes)", source.c_str(),
-               payload.size(), static_cast<unsigned long long>(out.header.payload_bytes))};
-  }
-  const std::uint32_t crc = crc32(payload);
-  if (crc != out.header.payload_crc32) {
-    throw std::runtime_error{strfmt("%s: segment CRC mismatch (stored %08x, computed %08x)",
-                                    source.c_str(), out.header.payload_crc32, crc)};
-  }
-  Cursor c{payload, 0, &source, "segment payload"};
-  SimTime prev = SimTime::from_us(std::numeric_limits<std::int64_t>::min());
-  for (std::uint32_t i = 0; i < out.header.record_count; ++i) {
-    const std::uint32_t len = c.u32();
-    if (c.pos + len > payload.size()) {
-      throw std::runtime_error{strfmt("%s: record %u overruns segment payload",
-                                      source.c_str(), i)};
-    }
-    Cursor body{payload.substr(c.pos, len), 0, &source, "record body"};
-    c.pos += len;
-    SimTime ts;
-    if (out.header.kind == RecordKind::kConn) {
-      out.conns.push_back(decode_conn(body));
-      ts = out.conns.back().start;
-    } else {
-      out.dns.push_back(decode_dns(body));
-      ts = out.dns.back().ts;
-    }
-    if (ts < prev) {
-      throw std::runtime_error{strfmt("%s: record %u timestamps out of order",
-                                      source.c_str(), i)};
-    }
-    prev = ts;
-  }
-  if (c.pos != payload.size()) {
-    throw std::runtime_error{strfmt("%s: %zu trailing bytes after %u records",
-                                    source.c_str(), payload.size() - c.pos,
-                                    out.header.record_count)};
+  out.header = view.header();
+  if (out.header.kind == RecordKind::kConn) {
+    out.conns.reserve(out.header.record_count);
+    capture::ConnRecord rec;
+    while (view.next(rec)) out.conns.push_back(rec);
+  } else {
+    out.dns.reserve(out.header.record_count);
+    capture::DnsRecord rec;
+    while (view.next(rec)) out.dns.push_back(rec);
   }
   return out;
 }

@@ -21,6 +21,12 @@
 // little-endian regardless of host order. See docs/FORMAT.md for the
 // field-by-field body layouts.
 //
+// Format v2 (stream/segment_v2.hpp) keeps the same 40-byte header with
+// version = 2 but stores a columnar, optionally compressed payload.
+// Readers here auto-detect the version: parse_segment materializes both
+// formats, and stream/segment_view.hpp iterates either without
+// materializing.
+//
 // Parsers throw std::runtime_error whose message names the `source`
 // (segment file path) on any structural defect: bad magic/version,
 // truncation, CRC mismatch, or record bodies overrunning the payload.
@@ -41,6 +47,7 @@ enum class RecordKind : std::uint8_t { kConn = 0, kDns = 1 };
 
 inline constexpr std::uint32_t kSegmentMagic = 0x47534344u;  // "DCSG" in LE bytes
 inline constexpr std::uint16_t kSegmentVersion = 1;
+inline constexpr std::uint16_t kSegmentVersionV2 = 2;  ///< columnar; see segment_v2.hpp
 inline constexpr std::size_t kSegmentHeaderBytes = 40;
 
 struct SegmentHeader {
@@ -68,6 +75,13 @@ void append_record(std::string& payload, const capture::DnsRecord& rec);
 [[nodiscard]] std::string build_segment(RecordKind kind, std::uint32_t record_count,
                                         SimTime first, SimTime last,
                                         std::string_view payload);
+
+/// Append a 40-byte segment header to `out`. Shared by the v1 and v2
+/// builders; `version` selects the format tag, everything else is
+/// layout-identical across versions.
+void append_segment_header(std::string& out, std::uint16_t version, RecordKind kind,
+                           std::uint32_t record_count, SimTime first, SimTime last,
+                           std::uint64_t payload_bytes, std::uint32_t payload_crc);
 
 /// A fully parsed segment. Exactly one of `conns`/`dns` is populated,
 /// per `header.kind`.

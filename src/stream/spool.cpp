@@ -8,6 +8,7 @@
 
 #include "capture/logio.hpp"
 #include "obs/metrics.hpp"
+#include "stream/segment_view.hpp"
 #include "util/strings.hpp"
 
 namespace dnsctx::stream {
@@ -24,72 +25,83 @@ namespace {
   return SimTime::from_us(std::numeric_limits<std::int64_t>::min());
 }
 
-/// Streams one kind's segment sequence record by record, validating CRCs
-/// (via parse_segment) and cross-segment timestamp order. Holds at most
-/// one decoded segment in memory.
+template <typename Rec>
+struct RecTraits;
+template <>
+struct RecTraits<capture::ConnRecord> {
+  static constexpr RecordKind kKind = RecordKind::kConn;
+  static SimTime time(const capture::ConnRecord& r) { return r.start; }
+  static void deliver(capture::RecordSink& s, const capture::ConnRecord& r) {
+    s.on_conn(r);
+  }
+};
+template <>
+struct RecTraits<capture::DnsRecord> {
+  static constexpr RecordKind kKind = RecordKind::kDns;
+  static SimTime time(const capture::DnsRecord& r) { return r.ts; }
+  static void deliver(capture::RecordSink& s, const capture::DnsRecord& r) {
+    s.on_dns(r);
+  }
+};
+
+/// Streams one kind's segment sequence record by record through mmap'd
+/// SegmentViews: segments are validated (CRC + structure) when opened,
+/// records decode zero-copy into one reused head record, and
+/// cross-segment timestamp order is enforced. Memory is bounded by one
+/// mapped segment. Diagnostics carry the file path plus its index in
+/// the sequence.
+template <typename Rec>
 class SegmentStream {
  public:
-  SegmentStream(const std::vector<std::string>* paths, RecordKind kind)
-      : paths_{paths}, kind_{kind} {
-    advance_segment();
+  explicit SegmentStream(const std::vector<std::string>* paths) : paths_{paths} {
+    advance();
   }
 
   [[nodiscard]] bool done() const { return exhausted_; }
-  [[nodiscard]] SimTime head_time() const { return head_time_; }
+  [[nodiscard]] SimTime head_time() const { return RecTraits<Rec>::time(head_); }
 
   /// Deliver the head record to `sink` and advance.
   void pop(capture::RecordSink& sink) {
-    if (kind_ == RecordKind::kConn) {
-      sink.on_conn(seg_.conns[idx_]);
-    } else {
-      sink.on_dns(seg_.dns[idx_]);
-    }
-    ++idx_;
-    if (idx_ >= count()) advance_segment();
-    refresh_head();
+    RecTraits<Rec>::deliver(sink, head_);
+    advance();
   }
 
  private:
-  [[nodiscard]] std::size_t count() const {
-    return kind_ == RecordKind::kConn ? seg_.conns.size() : seg_.dns.size();
-  }
-
-  void advance_segment() {
-    idx_ = 0;
-    while (next_path_ < paths_->size()) {
-      const std::string& path = (*paths_)[next_path_++];
-      seg_ = read_segment_file(path);
-      if (seg_.header.kind != kind_) {
-        throw std::runtime_error{strfmt("%s: segment kind is %s, expected %s", path.c_str(),
-                                        to_string(seg_.header.kind).data(),
-                                        to_string(kind_).data())};
+  void advance() {
+    for (;;) {
+      if (in_segment_ && view_.next(head_)) return;
+      in_segment_ = false;
+      if (next_path_ >= paths_->size()) {
+        exhausted_ = true;
+        return;
       }
-      if (seg_.header.record_count == 0) continue;  // tolerate empty segments
-      if (seg_.header.first_ts < prev_) {
+      const std::string& path = (*paths_)[next_path_];
+      const std::string source = strfmt("%s (segment %zu)", path.c_str(), next_path_);
+      ++next_path_;
+      view_ = SegmentView::map_file(path, source);
+      if (view_.kind() != RecTraits<Rec>::kKind) {
+        throw std::runtime_error{strfmt("%s: segment kind is %s, expected %s",
+                                        source.c_str(), to_string(view_.kind()).data(),
+                                        to_string(RecTraits<Rec>::kKind).data())};
+      }
+      if (view_.size() == 0) continue;  // tolerate empty segments
+      if (view_.header().first_ts < prev_) {
         throw std::runtime_error{
             strfmt("%s: segment starts at %lld us, before preceding segment end %lld us",
-                   path.c_str(), static_cast<long long>(seg_.header.first_ts.count_us()),
+                   source.c_str(),
+                   static_cast<long long>(view_.header().first_ts.count_us()),
                    static_cast<long long>(prev_.count_us()))};
       }
-      prev_ = seg_.header.last_ts;
-      refresh_head();
-      return;
+      prev_ = view_.header().last_ts;
+      in_segment_ = true;
     }
-    exhausted_ = true;
-  }
-
-  void refresh_head() {
-    if (exhausted_ || idx_ >= count()) return;
-    head_time_ =
-        kind_ == RecordKind::kConn ? seg_.conns[idx_].start : seg_.dns[idx_].ts;
   }
 
   const std::vector<std::string>* paths_;
-  RecordKind kind_;
   std::size_t next_path_ = 0;
-  SegmentData seg_;
-  std::size_t idx_ = 0;
-  SimTime head_time_;
+  SegmentView view_;
+  bool in_segment_ = false;
+  Rec head_;
   SimTime prev_ = floor_time();
   bool exhausted_ = false;
 };
@@ -125,6 +137,15 @@ SpoolWriter::SpoolWriter(std::string dir, SpoolConfig cfg)
   if (cfg_.max_records_per_segment == 0) {
     throw std::invalid_argument{"SpoolConfig::max_records_per_segment must be > 0"};
   }
+  if (cfg_.format != kSegmentVersion && cfg_.format != kSegmentVersionV2) {
+    throw std::invalid_argument{
+        strfmt("SpoolConfig::format must be %u or %u (got %u)", kSegmentVersion,
+               kSegmentVersionV2, cfg_.format)};
+  }
+  if (cfg_.format == kSegmentVersionV2) {
+    conn_.v2 = std::make_unique<SegmentBuilderV2>(RecordKind::kConn, cfg_.codec);
+    dns_.v2 = std::make_unique<SegmentBuilderV2>(RecordKind::kDns, cfg_.codec);
+  }
   fs::create_directories(dir_);
 }
 
@@ -150,7 +171,11 @@ void SpoolWriter::add(OpenSegment& seg, RecordKind kind, const Rec& rec, SimTime
                         ts - seg.first >= cfg_.max_segment_span);
   if (rotate_now) rotate(seg, kind);
   if (seg.count == 0) seg.first = ts;
-  append_record(seg.payload, rec);
+  if (seg.v2) {
+    seg.v2->add(rec);
+  } else {
+    append_record(seg.payload, rec);
+  }
   ++seg.count;
   seg.last = ts;
   seg.any = true;
@@ -159,8 +184,16 @@ void SpoolWriter::add(OpenSegment& seg, RecordKind kind, const Rec& rec, SimTime
 
 void SpoolWriter::rotate(OpenSegment& seg, RecordKind kind) {
   if (seg.count == 0) return;
-  const std::string blob =
-      build_segment(kind, seg.count, seg.first, seg.last, seg.payload);
+  std::uint64_t raw_bytes;
+  std::string blob;
+  if (seg.v2) {
+    raw_bytes = seg.v2->raw_bytes();
+    blob = seg.v2->build();  // resets the builder for the next segment
+  } else {
+    raw_bytes = seg.payload.size();
+    blob = build_segment(kind, seg.count, seg.first, seg.last, seg.payload);
+    seg.payload.clear();
+  }
   write_segment_file((fs::path{dir_} / segment_name(kind, seg.next_seq)).string(), blob);
   ++seg.next_seq;
   ++segments_written_;
@@ -168,9 +201,11 @@ void SpoolWriter::rotate(OpenSegment& seg, RecordKind kind) {
     auto& reg = obs::registry();
     reg.counter("spool_segment_rotations_total").add();
     reg.counter("spool_bytes_written_total").add(blob.size());
+    // Pre-compression payload bytes: spool_raw_bytes_total /
+    // spool_bytes_written_total approximates the compression ratio.
+    reg.counter("spool_raw_bytes_total").add(raw_bytes);
     reg.counter("spool_records_written_total").add(seg.count);
   }
-  seg.payload.clear();
   seg.count = 0;
 }
 
@@ -210,8 +245,8 @@ SpoolListing list_spool(const std::string& dir) {
 }
 
 ReplayCounts replay_spool(const SpoolListing& listing, capture::RecordSink& sink) {
-  SegmentStream dns{&listing.dns_segments, RecordKind::kDns};
-  SegmentStream conn{&listing.conn_segments, RecordKind::kConn};
+  SegmentStream<capture::DnsRecord> dns{&listing.dns_segments};
+  SegmentStream<capture::ConnRecord> conn{&listing.conn_segments};
   return merge_deliver([&] { return dns.done(); }, [&] { return dns.head_time(); },
                        [&] { dns.pop(sink); }, [&] { return conn.done(); },
                        [&] { return conn.head_time(); }, [&] { conn.pop(sink); });
@@ -264,5 +299,22 @@ ReplayCounts spool_to_text(const std::string& spool_dir, const std::string& text
                         (fs::path{text_dir} / "dns.log").string());
   return counts;
 }
+
+ReplayCounts convert_spool(const std::string& src_dir, const std::string& dst_dir,
+                           SpoolConfig cfg) {
+  SpoolWriter writer{dst_dir, cfg};
+  const ReplayCounts counts = replay_spool(src_dir, writer);
+  writer.flush();
+  return counts;
+}
+
+std::uint64_t spool_bytes(const SpoolListing& listing) {
+  std::uint64_t total = 0;
+  for (const auto& path : listing.conn_segments) total += fs::file_size(path);
+  for (const auto& path : listing.dns_segments) total += fs::file_size(path);
+  return total;
+}
+
+std::uint64_t spool_bytes(const std::string& dir) { return spool_bytes(list_spool(dir)); }
 
 }  // namespace dnsctx::stream

@@ -19,12 +19,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "capture/records.hpp"
+#include "stream/codec.hpp"
 #include "stream/segment.hpp"
+#include "stream/segment_v2.hpp"
 
 namespace dnsctx::stream {
 
@@ -33,6 +36,12 @@ struct SpoolConfig {
   std::uint32_t max_records_per_segment = 65'536;
   /// ...or spans this much simulated time, whichever comes first.
   SimDuration max_segment_span = SimDuration::hours(1);
+  /// Segment format to WRITE: kSegmentVersion (1, interleaved bodies) or
+  /// kSegmentVersionV2 (2, columnar + compressed — the default). Readers
+  /// auto-detect per segment regardless of this setting.
+  std::uint16_t format = kSegmentVersionV2;
+  /// Block codec for v2 segments (ignored for v1).
+  SegmentCodec codec = SegmentCodec::kLz;
 };
 
 /// Writes records into a spool directory, rotating segments per config.
@@ -56,7 +65,8 @@ class SpoolWriter : public capture::RecordSink {
 
  private:
   struct OpenSegment {
-    std::string payload;
+    std::string payload;                    ///< v1: interleaved record bodies
+    std::unique_ptr<SegmentBuilderV2> v2;   ///< v2: columnar builder (null for v1)
     std::uint32_t count = 0;
     SimTime first;
     SimTime last;
@@ -114,5 +124,17 @@ ReplayCounts replay_dataset(const capture::Dataset& ds, capture::RecordSink& sin
 ReplayCounts text_to_spool(const std::string& text_dir, const std::string& spool_dir,
                            SpoolConfig cfg = {});
 ReplayCounts spool_to_text(const std::string& spool_dir, const std::string& text_dir);
+
+/// Re-encode a spool into `dst_dir` using cfg's format/codec (v1 ↔ v2
+/// in either direction — the reader auto-detects the source format per
+/// segment). Record values and delivery order are preserved exactly, so
+/// study results across a conversion are byte-identical; segment
+/// boundaries follow cfg's rotation limits, not the source's.
+ReplayCounts convert_spool(const std::string& src_dir, const std::string& dst_dir,
+                           SpoolConfig cfg = {});
+
+/// Total bytes-on-disk of every segment file in the listing.
+[[nodiscard]] std::uint64_t spool_bytes(const SpoolListing& listing);
+[[nodiscard]] std::uint64_t spool_bytes(const std::string& dir);
 
 }  // namespace dnsctx::stream

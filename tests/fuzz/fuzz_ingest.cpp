@@ -38,9 +38,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
       if (ev == dnsctx::serve::FrameDecoder::Event::kHandshake) {
         if (!dnsctx::serve::valid_tenant_name(dec.handshake().tenant)) std::abort();
       } else if (ev == dnsctx::serve::FrameDecoder::Event::kSegment) {
-        // Parsed records must add up to the CRC-validated header count.
-        const auto& seg = dec.segment();
-        if (seg.conns.size() + seg.dns.size() != seg.header.record_count) std::abort();
+        // Validated views must agree with the CRC-checked header count.
+        auto& seg = dec.segment();
+        if (seg.size() != seg.header().record_count) std::abort();
       }
     }
     if (errored) break;

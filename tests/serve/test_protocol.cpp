@@ -59,8 +59,9 @@ TEST(IngestProtocol, SegmentAndFlushFrames) {
   dec.feed(wire);
   ASSERT_EQ(dec.next(), FrameDecoder::Event::kHandshake);
   ASSERT_EQ(dec.next(), FrameDecoder::Event::kSegment);
-  EXPECT_EQ(dec.segment().header.record_count, 1u);
-  EXPECT_EQ(dec.segment().conns.size(), 1u);
+  EXPECT_EQ(dec.segment().header().record_count, 1u);
+  EXPECT_EQ(dec.segment().size(), 1u);
+  EXPECT_EQ(dec.segment().kind(), stream::RecordKind::kConn);
   ASSERT_EQ(dec.next(), FrameDecoder::Event::kFlush);
   EXPECT_EQ(dec.next(), FrameDecoder::Event::kNeedMore);
 }

@@ -92,6 +92,18 @@ TEST(SegmentErrors, OutOfOrderTimestampsRejected) {
                           {"ooo.seg", "out of order"});
 }
 
+TEST(SegmentErrors, TruncatedRecordBodyReportsByteOffset) {
+  // A v1 record whose length prefix admits only 3 body bytes: the
+  // field decoder must say where inside the body it ran dry.
+  std::string payload;
+  payload += std::string("\x03\x00\x00\x00", 4);  // body_len = 3
+  payload += "abc";
+  const auto blob = build_segment(RecordKind::kConn, 1, SimTime::from_us(1000),
+                                  SimTime::from_us(1000), payload);
+  expect_throw_containing([&] { (void)parse_segment(blob, "tiny.seg"); },
+                          {"tiny.seg", "truncated", "byte offset"});
+}
+
 TEST(SegmentErrors, TrailingBytesRejected) {
   auto blob = one_conn_blob();
   blob += "extra";
@@ -132,8 +144,10 @@ TEST(SpoolErrors, CorruptSegmentFailsReplayNamingFile) {
     void on_conn(const capture::ConnRecord&) override {}
     void on_dns(const capture::DnsRecord&) override {}
   } null;
+  // Spool-level diagnostics carry the segment's index in the listing on
+  // top of its path, so operators can locate it in a long run.
   expect_throw_containing([&] { (void)replay_spool(dir, null); },
-                          {"conn-00000001.seg", "CRC"});
+                          {"conn-00000001.seg", "(segment 1)", "CRC"});
 }
 
 TEST(SpoolErrors, CrossSegmentOrderViolation) {
@@ -145,7 +159,7 @@ TEST(SpoolErrors, CrossSegmentOrderViolation) {
     void on_dns(const capture::DnsRecord&) override {}
   } null;
   expect_throw_containing([&] { (void)replay_spool(dir, null); },
-                          {"conn-00000001.seg", "before preceding segment"});
+                          {"conn-00000001.seg", "(segment 1)", "before preceding segment"});
 }
 
 TEST(LogioErrors, ConnParseErrorNamesFile) {

@@ -158,6 +158,102 @@ TEST(SpoolConvert, TextRoundTripIsByteIdentical) {
   EXPECT_EQ(slurp(text_dir + "/dns.log"), slurp(back_dir + "/dns.log"));
 }
 
+TEST(SpoolWriter, DefaultsToV2Compressed) {
+  const auto dir = temp_dir("dnsctx_spool_v2def");
+  SpoolWriter writer{dir};
+  for (int i = 0; i < 100; ++i) {
+    writer.on_conn(conn_at(1000 + i));
+    writer.on_dns(dns_at(1000 + i));
+  }
+  writer.flush();
+  const auto listing = list_spool(dir);
+  ASSERT_EQ(listing.total(), 2u);
+  for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
+    std::ifstream is{paths->front(), std::ios::binary};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const auto header = parse_segment_header(ss.str(), paths->front());
+    EXPECT_EQ(header.version, kSegmentVersionV2);
+  }
+}
+
+TEST(SpoolWriter, RejectsUnknownFormat) {
+  SpoolConfig cfg;
+  cfg.format = 3;
+  EXPECT_THROW((SpoolWriter{temp_dir("dnsctx_spool_badfmt"), cfg}),
+               std::invalid_argument);
+}
+
+TEST(SpoolConvert, V1ToV2RoundTripPreservesEveryRecord) {
+  const auto v1_dir = temp_dir("dnsctx_conv_v1");
+  const auto v2_dir = temp_dir("dnsctx_conv_v2");
+  const auto back_dir = temp_dir("dnsctx_conv_back");
+
+  SpoolConfig v1_cfg;
+  v1_cfg.format = kSegmentVersion;
+  v1_cfg.codec = SegmentCodec::kNone;
+  v1_cfg.max_records_per_segment = 16;
+  {
+    SpoolWriter writer{v1_dir, v1_cfg};
+    for (int i = 0; i < 40; ++i) {
+      writer.on_conn(conn_at(1000 + 13 * i));
+      if (i % 3 != 0) writer.on_dns(dns_at(1100 + 13 * i));
+    }
+    writer.flush();
+  }
+
+  SpoolConfig v2_cfg;  // defaults: v2 + lz
+  const auto up = convert_spool(v1_dir, v2_dir, v2_cfg);
+  EXPECT_EQ(up.conns, 40u);
+  EXPECT_EQ(up.dns, 26u);
+  const auto down = convert_spool(v2_dir, back_dir, v1_cfg);
+  EXPECT_EQ(down.conns, 40u);
+  EXPECT_EQ(down.dns, 26u);
+
+  // Replay order and content are invariant across both conversions —
+  // the property that makes study results byte-identical per format.
+  OrderSink a, b, c;
+  (void)replay_spool(v1_dir, a);
+  (void)replay_spool(v2_dir, b);
+  (void)replay_spool(back_dir, c);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.order, c.order);
+
+  // The v2 spool is the small one.
+  EXPECT_LT(spool_bytes(v2_dir), spool_bytes(v1_dir));
+  EXPECT_EQ(spool_bytes(back_dir), spool_bytes(v1_dir));
+}
+
+TEST(SpoolConvert, V2SpoolExportsByteIdenticalText) {
+  const auto text_dir = temp_dir("dnsctx_conv_text");
+  const auto v1_dir = temp_dir("dnsctx_conv_t_v1");
+  const auto v2_dir = temp_dir("dnsctx_conv_t_v2");
+  const auto out1 = temp_dir("dnsctx_conv_t_out1");
+  const auto out2 = temp_dir("dnsctx_conv_t_out2");
+  capture::Dataset ds;
+  ds.conns = {conn_at(1000), conn_at(2500), conn_at(2500)};
+  ds.dns = {dns_at(500), dns_at(2000)};
+  capture::save_dataset(ds, text_dir + "/conn.log", text_dir + "/dns.log");
+
+  SpoolConfig v1_cfg;
+  v1_cfg.format = kSegmentVersion;
+  v1_cfg.codec = SegmentCodec::kNone;
+  (void)text_to_spool(text_dir, v1_dir, v1_cfg);
+  (void)convert_spool(v1_dir, v2_dir);
+  (void)spool_to_text(v1_dir, out1);
+  (void)spool_to_text(v2_dir, out2);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream is{path, std::ios::binary};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  EXPECT_EQ(slurp(out1 + "/conn.log"), slurp(out2 + "/conn.log"));
+  EXPECT_EQ(slurp(out1 + "/dns.log"), slurp(out2 + "/dns.log"));
+  EXPECT_EQ(slurp(text_dir + "/conn.log"), slurp(out2 + "/conn.log"));
+}
+
 TEST(SpoolListing, SortedAndFiltered) {
   const auto dir = temp_dir("dnsctx_spool_list");
   SpoolConfig cfg;

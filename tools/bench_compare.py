@@ -40,6 +40,7 @@ WATCHED_METRICS = {
     "bench_stream": [
         "stream_sec",
         "stream_peak_rss_bytes",
+        "spool_bytes",
         "metrics.stream_reorder_buffered_peak",
     ],
     # City-scale streaming bench: the contract is bounded memory, so the
@@ -57,6 +58,10 @@ WATCHED_METRICS = {
 # but not gated (scheduler noise on shared CI runners dwarfs 10%).
 HIGHER_IS_BETTER_METRICS = {
     "bench_serve": ["records_per_sec"],
+    # Import throughput is the text → spool conversion rate; spool_bytes
+    # (above) is gated lower-is-better so the v2 compression win can't
+    # silently erode. stream_records_per_sec floors the replay itself.
+    "bench_stream": ["stream_records_per_sec", "import_records_per_sec"],
 }
 
 

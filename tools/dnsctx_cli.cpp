@@ -29,11 +29,14 @@
 //
 //   dnsctx stream --spool DIR [--follow] | --import DIR --spool DIR
 //                 | --export DIR --spool DIR
+//                 | --convert SRCSPOOL --spool DSTDIR
 //                 | --spool DIR --push HOST:PORT --tenant NAME [--acks]
 //       Streaming ingestion: run the bounded-memory online study over a
 //       binary spool (optionally following a live writer), convert
-//       between text logs and spools, or push the spool's segments to a
-//       running `dnsctx serve` over TCP.
+//       between text logs and spools or between spool formats
+//       (--convert re-encodes v1↔v2; --format/--codec pick the output
+//       encoding for any spool-writing mode), or push the spool's
+//       segments to a running `dnsctx serve` over TCP.
 //
 //   dnsctx serve --listen HOST:PORT --http HOST:PORT [--max-tenants N]
 //                [--idle-evict SECS] [--max-frame-mib N]
@@ -68,6 +71,7 @@
 #include "serve/server.hpp"
 #include "stream/feed.hpp"
 #include "stream/online_study.hpp"
+#include "stream/segment_view.hpp"
 #include "stream/spool.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -203,8 +207,60 @@ void print_fault_stats(const scenario::Town& town) {
               static_cast<unsigned long long>(fs.outage_dropped));
 }
 
+/// Parse --format v1|v2 and --codec none|lz into `cfg`. The flags only
+/// make sense for modes that WRITE a spool; when `writes_spool` is
+/// false any occurrence is a hard error (exit 2), so a stray flag never
+/// silently changes nothing.
+[[nodiscard]] bool spool_config_from_args(const CliArgs& args, const char* cmd,
+                                          bool writes_spool, stream::SpoolConfig* cfg) {
+  const auto format = args.option("format");
+  const auto codec = args.option("codec");
+  if (!writes_spool) {
+    if (format || codec) {
+      std::fprintf(stderr, "%s: --format/--codec only apply when writing a spool\n", cmd);
+      return false;
+    }
+    return true;
+  }
+  if (format) {
+    if (*format == "v1" || *format == "1") {
+      cfg->format = stream::kSegmentVersion;
+      cfg->codec = stream::SegmentCodec::kNone;
+    } else if (*format == "v2" || *format == "2") {
+      cfg->format = stream::kSegmentVersionV2;
+    } else {
+      std::fprintf(stderr, "%s: --format expects v1 or v2, got '%s'\n", cmd,
+                   format->c_str());
+      return false;
+    }
+  }
+  if (codec) {
+    const auto parsed = stream::codec_by_name(*codec);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: --codec expects none or lz, got '%s'\n", cmd,
+                   codec->c_str());
+      return false;
+    }
+    if (cfg->format == stream::kSegmentVersion &&
+        *parsed != stream::SegmentCodec::kNone) {
+      std::fprintf(stderr, "%s: --codec %s requires --format v2 (v1 is uncompressed)\n",
+                   cmd, codec->c_str());
+      return false;
+    }
+    cfg->codec = *parsed;
+  }
+  return true;
+}
+
 int cmd_simulate(const CliArgs& args) {
-  if (reject_unknown(args, "simulate", with_sim_options({"out", "binary-logs"}))) return 2;
+  if (reject_unknown(args, "simulate",
+                     with_sim_options({"out", "binary-logs", "format", "codec"}))) {
+    return 2;
+  }
+  stream::SpoolConfig spool_cfg;
+  if (!spool_config_from_args(args, "simulate", args.has_flag("binary-logs"), &spool_cfg)) {
+    return 2;
+  }
   const auto out_dir = args.option("out");
   if (!out_dir) {
     std::fprintf(stderr, "simulate: --out DIR is required\n");
@@ -224,7 +280,7 @@ int cmd_simulate(const CliArgs& args) {
     // they finalize, get time-sorted by the LiveFeed inside the open
     // reordering window, and land in rotating CRC'd segments. No text
     // logs and no in-memory Dataset are ever materialized.
-    stream::SpoolWriter writer{*out_dir};
+    stream::SpoolWriter writer{*out_dir, spool_cfg};
     stream::LiveFeed feed{writer};
     town.attach_record_sink(&feed);
     const SimDuration chunk = SimDuration::min(5);
@@ -483,14 +539,36 @@ void print_online_result(const stream::OnlineStudyResult& r, const stream::Onlin
 
 int cmd_stream(const CliArgs& args) {
   if (reject_unknown(args, "stream",
-                     {"spool", "import", "export", "follow", "idle-exit", "poll-ms",
-                      "push", "tenant", "acks", "metrics-out", "progress"})) {
+                     {"spool", "import", "export", "convert", "format", "codec",
+                      "follow", "idle-exit", "poll-ms", "push", "tenant", "acks",
+                      "metrics-out", "progress"})) {
     return 2;
   }
   const auto spool = args.option("spool");
   if (!spool) {
     std::fprintf(stderr, "stream: --spool DIR is required\n");
     return 2;
+  }
+  const bool writes_spool =
+      args.option("import").has_value() || args.option("convert").has_value();
+  stream::SpoolConfig spool_cfg;
+  if (!spool_config_from_args(args, "stream", writes_spool, &spool_cfg)) return 2;
+  if (const auto src = args.option("convert")) {
+    // Re-encode an existing spool (v1→v2 or back): replay src through a
+    // fresh SpoolWriter in the requested format. Record order and study
+    // results are invariant under conversion — only the bytes change.
+    const std::uint64_t src_bytes = stream::spool_bytes(*src);
+    std::filesystem::create_directories(*spool);
+    const auto counts = stream::convert_spool(*src, *spool, spool_cfg);
+    const std::uint64_t dst_bytes = stream::spool_bytes(*spool);
+    std::printf("converted %llu conns + %llu DNS transactions: %s → %s (format v%u, "
+                "%llu → %llu bytes)\n",
+                static_cast<unsigned long long>(counts.conns),
+                static_cast<unsigned long long>(counts.dns), src->c_str(),
+                spool->c_str(), spool_cfg.format,
+                static_cast<unsigned long long>(src_bytes),
+                static_cast<unsigned long long>(dst_bytes));
+    return 0;
   }
   if (const auto push = args.option("push")) {
     std::string host;
@@ -529,7 +607,7 @@ int cmd_stream(const CliArgs& args) {
   }
   if (const auto text = args.option("import")) {
     std::filesystem::create_directories(*spool);
-    const auto counts = stream::text_to_spool(*text, *spool);
+    const auto counts = stream::text_to_spool(*text, *spool, spool_cfg);
     std::printf("imported %llu conns + %llu DNS transactions: %s → %s\n",
                 static_cast<unsigned long long>(counts.conns),
                 static_cast<unsigned long long>(counts.dns), text->c_str(), spool->c_str());
@@ -567,21 +645,22 @@ int cmd_stream(const CliArgs& args) {
       for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
         for (const auto& path : *paths) {
           if (!seen.insert(path).second) continue;
-          const auto data = stream::read_segment_file(path);
-          for (const auto& rec : data.conns) {
-            feed.on_conn(rec);
+          // Zero-copy: the segment stays mmap'd while its records stream
+          // into the feed; nothing is materialized per record.
+          stream::SegmentView view = stream::SegmentView::map_file(path);
+          const stream::SegmentHeader& h = view.header();
+          view.deliver(feed);
+          if (h.kind == stream::RecordKind::kConn) {
+            conns += h.record_count;
+          } else {
+            dns += h.record_count;
           }
-          for (const auto& rec : data.dns) {
-            feed.on_dns(rec);
-          }
-          conns += data.conns.size();
-          dns += data.dns.size();
-          if (data.header.record_count > 0) {
-            if (data.header.kind == stream::RecordKind::kConn) {
-              conn_front = std::max(conn_front, data.header.last_ts);
+          if (h.record_count > 0) {
+            if (h.kind == stream::RecordKind::kConn) {
+              conn_front = std::max(conn_front, h.last_ts);
               any_conn = true;
             } else {
-              dns_front = std::max(dns_front, data.header.last_ts);
+              dns_front = std::max(dns_front, h.last_ts);
               any_dns = true;
             }
           }
@@ -689,7 +768,10 @@ void usage() {
                "           [--shards N] [--threads N]\n"
                "  stream   --spool DIR [--follow [--idle-exit N] [--poll-ms MS]]\n"
                "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n"
+               "           | --convert SRCSPOOL --spool DSTDIR\n"
                "           | --spool DIR --push HOST:PORT --tenant NAME [--acks]\n"
+               "           [--format v1|v2] [--codec none|lz]  (spool-writing modes:\n"
+               "           --import/--convert; also simulate --binary-logs)\n"
                "  serve    --listen HOST:PORT --http HOST:PORT [--max-tenants N]\n"
                "           [--idle-evict SECS] [--max-frame-mib N] [--queue-segments N]\n"
                "           [--results-out DIR]\n"

@@ -170,6 +170,37 @@ class LoadRecordsTest(unittest.TestCase):
         # Faster throughput passes even with worse (ungated) latency.
         self.assertEqual(self._run_main(base, faster), 0)
 
+    def test_stream_spool_growth_and_import_floor_gated(self):
+        # spool_bytes is lower-is-better (compression must not erode);
+        # import_records_per_sec is a higher-is-better throughput floor.
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "bench_stream", "houses": 40, "hours": 6, "seed": 42,
+             "shards": 1, "spool_bytes": 10_000_000,
+             "stream_records_per_sec": 1_200_000,
+             "import_records_per_sec": 400_000},
+        ])
+        bloated = write_lines(self.dir, "bloated.json", [
+            {"bench": "bench_stream", "houses": 40, "hours": 6, "seed": 42,
+             "shards": 1, "spool_bytes": 40_000_000,
+             "stream_records_per_sec": 1_200_000,
+             "import_records_per_sec": 400_000},
+        ])
+        slow_import = write_lines(self.dir, "slow_import.json", [
+            {"bench": "bench_stream", "houses": 40, "hours": 6, "seed": 42,
+             "shards": 1, "spool_bytes": 10_000_000,
+             "stream_records_per_sec": 1_200_000,
+             "import_records_per_sec": 100_000},
+        ])
+        better = write_lines(self.dir, "better.json", [
+            {"bench": "bench_stream", "houses": 40, "hours": 6, "seed": 42,
+             "shards": 1, "spool_bytes": 2_000_000,
+             "stream_records_per_sec": 2_000_000,
+             "import_records_per_sec": 900_000},
+        ])
+        self.assertEqual(self._run_main(base, bloated), 1)
+        self.assertEqual(self._run_main(base, slow_import), 1)
+        self.assertEqual(self._run_main(base, better), 0)
+
     def test_compare_with_partial_baseline_passes(self):
         base = write_lines(self.dir, "base.json", [
             {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
