@@ -7,6 +7,7 @@
 //
 //   bench_tableX [houses] [hours] [seed] [csv_dir]
 //               [--shards N] [--threads N] [--json PATH]
+//               [--transport do53|dot|doh|resolverless]
 //               [--metrics] [--metrics-out FILE]
 //
 // `--threads N` runs both the simulation shards and the analysis
@@ -28,6 +29,7 @@
 
 #include <sys/resource.h>
 
+#include "analysis/encdns.hpp"
 #include "analysis/export.hpp"
 #include "analysis/failures.hpp"
 #include "analysis/report.hpp"
@@ -55,6 +57,7 @@ struct BenchScale {
   std::size_t shards = 1; ///< simulation shards (a scenario knob, see scenario.hpp)
   std::string json_path;  ///< when non-empty, append a one-line JSON timing record
   std::string faults;     ///< fault plan spec ("" = unimpaired baseline)
+  std::string transport = "do53";  ///< DNS transport scenario (see scenario.hpp)
   bool metrics = false;   ///< enable the obs registry for this run (default off)
   std::string metrics_out;  ///< when non-empty, also write a scrape file on exit
 };
@@ -81,6 +84,10 @@ struct BenchScale {
     }
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       s.faults = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      s.transport = argv[++i];
       continue;
     }
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -118,14 +125,24 @@ struct BenchScale {
   cfg.shards = s.shards;
   cfg.threads = s.threads;
   if (!s.faults.empty()) cfg.faults = faults::FaultPlan::parse(s.faults);
+  if (const auto t = netsim::parse_transport(s.transport)) {
+    cfg.transport = *t;
+  } else {
+    std::fprintf(stderr,
+                 "unknown transport '%s' (expected do53, dot, doh, or resolverless)\n",
+                 s.transport.c_str());
+    std::exit(2);
+  }
   return cfg;
 }
 
 struct BenchRun {
   std::unique_ptr<scenario::Town> town_ptr;
   analysis::Study study;
+  analysis::EncConfusion enc;  ///< encrypted-flow classifier result (zero on do53)
   double gen_sec = 0.0;    ///< Town construction + simulation + harvest
   double study_sec = 0.0;  ///< run_study wall time
+  double enc_classify_sec = 0.0;  ///< encrypted-flow classifier wall time
 
   [[nodiscard]] scenario::Town& town() const { return *town_ptr; }
 };
@@ -139,23 +156,26 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   }
   const std::size_t conns = run.town().dataset().conns.size();
   const std::size_t dns = run.town().dataset().dns.size();
+  const std::size_t encflows = run.town().dataset().encflows.size();
   const double total_sec = run.gen_sec + run.study_sec;
   const double records_per_sec =
       total_sec > 0.0 ? static_cast<double>(conns + dns) / total_sec : 0.0;
   const analysis::FailureReport failures =
       analysis::build_failure_report(run.town().dataset());
   const analysis::FailureCounts& fc = failures.counts;
-  char buf[1024];
+  char buf[1280];
   std::snprintf(buf, sizeof buf,
                 "{\"bench\":\"%s\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
                 "\"threads\":%u,\"shards\":%zu,\"faults\":\"%s\","
+                "\"transport\":\"%s\",\"encflows\":%zu,\"enc_classify_sec\":%.3f,"
                 "\"gen_sec\":%.3f,\"study_sec\":%.3f,"
                 "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f,"
                 "\"failed_lookups\":%llu,\"servfail\":%llu,\"retry_chains\":%llu,"
                 "\"recovered_chains\":%llu,\"failed_chains\":%llu,\"s0_conns\":%llu,"
                 "\"peak_rss_bytes\":%llu}",
                 bench_name, s.houses, s.hours, static_cast<unsigned long long>(s.seed),
-                s.threads, s.shards, s.faults.c_str(), run.gen_sec, run.study_sec,
+                s.threads, s.shards, s.faults.c_str(), s.transport.c_str(), encflows,
+                run.enc_classify_sec, run.gen_sec, run.study_sec,
                 total_sec, conns, dns, records_per_sec,
                 static_cast<unsigned long long>(fc.unanswered + fc.servfail +
                                                 fc.other_rcode),
@@ -183,10 +203,10 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   if (scale.metrics) obs::set_enabled(true);
   std::printf("== %s — dnsctx reproduction of \"Putting DNS in Context\" (IMC'20) ==\n",
               bench_name);
-  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %u thread(s) "
-              "(paper: ~100 houses, 7 days)\n",
+  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %u thread(s), "
+              "transport %s (paper: ~100 houses, 7 days)\n",
               scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
-              scale.threads);
+              scale.threads, scale.transport.c_str());
   BenchRun run;
   const auto t0 = Clock::now();
   run.town_ptr = std::make_unique<scenario::Town>(scenario_for(scale));
@@ -206,6 +226,15 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   const double total_sec = run.gen_sec + run.study_sec;
   std::printf("analyzed in %.2f s — %.0f records/s end to end\n\n", run.study_sec,
               total_sec > 0.0 ? static_cast<double>(conns + dns) / total_sec : 0.0);
+
+  if (!run.town().dataset().encflows.empty()) {
+    run.enc = analysis::evaluate_enc_classifier(run.town().dataset().encflows,
+                                                run.town().resolver_service_addrs());
+    run.enc_classify_sec = std::chrono::duration<double>(Clock::now() - t2).count();
+    std::printf("%sclassified %zu encrypted flows in %.3f s\n\n",
+                analysis::render_enc_report(run.enc).c_str(),
+                run.town().dataset().encflows.size(), run.enc_classify_sec);
+  }
 
   if (!scale.csv_dir.empty()) {
     const auto files = analysis::export_study_csv(run.study, scale.csv_dir);

@@ -1,0 +1,72 @@
+// dnsctx — traffic-analysis classification of encrypted DNS flows.
+//
+// When the stub moves to DoT/DoH the monitor's DNS log goes silent, but
+// the encrypted flows still leak metadata: message sizes (padded to
+// RFC 8467 blocks), counts, timing, and the TLS hello exchange. Siby et
+// al. showed this is enough to fingerprint DoH traffic; this module
+// implements a deliberately simple size-structure classifier over
+// capture::EncFlowRecord and evaluates it against configuration ground
+// truth (which server addresses actually are resolvers). Port 853 is a
+// giveaway by construction; the interesting case is DoH hiding among
+// ordinary HTTPS on 443.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/records.hpp"
+#include "util/ip.hpp"
+
+namespace dnsctx::analysis {
+
+/// Features a traffic-analysis classifier reads off one encrypted flow.
+/// Message 1 in each direction is treated as the TLS hello exchange and
+/// excluded from the data-message statistics.
+struct EncFlowFeatures {
+  std::uint32_t data_msgs_up = 0;    ///< post-hello messages client → server
+  std::uint32_t data_msgs_down = 0;
+  double mean_data_up = 0.0;         ///< mean post-hello message size, bytes
+  double mean_data_down = 0.0;
+  double pad_frac_up = 0.0;          ///< fraction sized on a padding block
+  double pad_frac_down = 0.0;
+  double duration_sec = 0.0;
+  std::uint64_t first_up_bytes = 0;  ///< hello sizes (classifier features,
+  std::uint64_t first_down_bytes = 0;///< not oracle knowledge)
+  bool dot_port = false;             ///< server port 853
+};
+
+[[nodiscard]] EncFlowFeatures extract_features(const capture::EncFlowRecord& rec);
+
+/// The classifier: does this flow's metadata look like an encrypted DNS
+/// channel? Uses ONLY observable features — no resolver address list.
+[[nodiscard]] bool looks_like_dns(const capture::EncFlowRecord& rec);
+
+/// Binary confusion matrix for the classifier, with ground truth taken
+/// from the scenario configuration (flows to resolver service addresses
+/// are DNS transport; everything else is ordinary TLS).
+struct EncConfusion {
+  std::uint64_t tp = 0;  ///< DNS flow flagged as DNS
+  std::uint64_t fp = 0;  ///< web flow flagged as DNS
+  std::uint64_t tn = 0;  ///< web flow passed over
+  std::uint64_t fn = 0;  ///< DNS flow missed
+
+  [[nodiscard]] std::uint64_t total() const { return tp + fp + tn + fn; }
+  [[nodiscard]] double precision() const {
+    return (tp + fp) ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  }
+  [[nodiscard]] double recall() const {
+    return (tp + fn) ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  }
+  [[nodiscard]] double accuracy() const {
+    return total() ? static_cast<double>(tp + tn) / static_cast<double>(total()) : 0.0;
+  }
+};
+
+[[nodiscard]] EncConfusion evaluate_enc_classifier(
+    const std::vector<capture::EncFlowRecord>& flows,
+    const std::vector<Ipv4Addr>& resolver_addrs);
+
+[[nodiscard]] std::string render_enc_report(const EncConfusion& c);
+
+}  // namespace dnsctx::analysis

@@ -1,0 +1,93 @@
+#include "analysis/truth.hpp"
+
+#include "util/flat_map.hpp"
+#include "util/strings.hpp"
+
+namespace dnsctx::analysis {
+
+bool TruthComparison::expected_label(netsim::TrueClass t, ConnClass& out) {
+  switch (t) {
+    case netsim::TrueClass::kNoDns: out = ConnClass::kN; return true;
+    case netsim::TrueClass::kLocalCache: out = ConnClass::kLC; return true;
+    case netsim::TrueClass::kPrefetched: out = ConnClass::kP; return true;
+    case netsim::TrueClass::kSharedCache: out = ConnClass::kSC; return true;
+    case netsim::TrueClass::kRequired: out = ConnClass::kR; return true;
+    case netsim::TrueClass::kUnknown:
+    case netsim::TrueClass::kPushed:
+    case netsim::TrueClass::kDnsTransport:
+      return false;
+  }
+  return false;
+}
+
+std::uint64_t TruthComparison::misclassified_in(netsim::TrueClass t) const {
+  ConnClass expected{};
+  if (!expected_label(t, expected)) return row_total(t);
+  return row_total(t) - count(t, expected);
+}
+
+std::uint64_t TruthComparison::misclassified() const {
+  std::uint64_t n = 0;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    n += misclassified_in(static_cast<netsim::TrueClass>(r));
+  }
+  return n;
+}
+
+TruthComparison compare_with_truth(const capture::Dataset& ds, const Classified& cls,
+                                   const std::vector<capture::TruthFlow>& truth) {
+  TruthComparison tc;
+  struct Entry {
+    netsim::TrueClass cls = netsim::TrueClass::kUnknown;
+    bool matched = false;
+  };
+  util::FlatMap<FiveTuple, Entry, FiveTupleHash> by_tuple;
+  by_tuple.reserve(truth.size());
+  for (const auto& t : truth) by_tuple.try_emplace(t.tuple, Entry{t.cls, false});
+
+  const std::size_t n = std::min(ds.conns.size(), cls.classes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = ds.conns[i];
+    const FiveTuple tuple{c.orig_ip, c.resp_ip, c.orig_port, c.resp_port, c.proto};
+    const auto it = by_tuple.find(tuple);
+    if (it == by_tuple.end()) {
+      ++tc.conns_without_truth;
+      continue;
+    }
+    it->second.matched = true;
+    tc.matrix[static_cast<std::size_t>(it->second.cls)]
+             [static_cast<std::size_t>(cls.classes[i])] += 1;
+  }
+  for (const auto& [tuple, e] : by_tuple) {
+    if (!e.matched) ++tc.truth_without_conn;
+  }
+  return tc;
+}
+
+std::string render_truth_report(const TruthComparison& tc) {
+  std::string out;
+  out += "truth\\inferred          N        LC         P        SC         R  accuracy\n";
+  for (std::size_t r = 0; r < TruthComparison::kRows; ++r) {
+    const auto t = static_cast<netsim::TrueClass>(r);
+    const std::uint64_t row = tc.row_total(t);
+    if (row == 0) continue;
+    const double acc = 1.0 - static_cast<double>(tc.misclassified_in(t)) /
+                                 static_cast<double>(row);
+    out += strfmt("%-14s", std::string{netsim::to_string(t)}.c_str());
+    for (std::size_t c = 0; c < TruthComparison::kCols; ++c) {
+      out += strfmt(" %9llu",
+                    static_cast<unsigned long long>(tc.matrix[r][c]));
+    }
+    out += strfmt("   %6.2f%%\n", acc * 100.0);
+  }
+  out += strfmt("matched %llu conns; misclassified %llu (%.2f%%); "
+                "no-truth conns %llu; unseen truth flows %llu\n",
+                static_cast<unsigned long long>(tc.total()),
+                static_cast<unsigned long long>(tc.misclassified()),
+                tc.misclassified_frac() * 100.0,
+                static_cast<unsigned long long>(tc.conns_without_truth),
+                static_cast<unsigned long long>(tc.truth_without_conn));
+  return out;
+}
+
+}  // namespace dnsctx::analysis

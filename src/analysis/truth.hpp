@@ -1,0 +1,78 @@
+// dnsctx — ground-truth validation of the paper's connection taxonomy.
+//
+// The §5 classifier infers N/LC/P/SC/R from passive logs alone. The
+// simulator knows the real story (capture::TruthTap collects it), so we
+// can do what the paper could not: join every connection against its
+// true class and count the misclassifications — per transport. Under
+// --transport dot/doh the DNS log is empty and the whole taxonomy
+// collapses toward N; under resolverless even the ground truth contains
+// classes (kPushed) the classifier has no name for. This module
+// quantifies exactly that degradation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "capture/truth_tap.hpp"
+
+namespace dnsctx::analysis {
+
+/// Joined truth-vs-inferred contingency table. Rows are ground-truth
+/// classes (netsim::TrueClass, 8 of them), columns the classifier's five
+/// labels.
+struct TruthComparison {
+  static constexpr std::size_t kRows = netsim::kTrueClassCount;
+  static constexpr std::size_t kCols = 5;  // N, LC, P, SC, R
+
+  std::array<std::array<std::uint64_t, kCols>, kRows> matrix{};
+  std::uint64_t conns_without_truth = 0;  ///< conn records no truth flow matched
+  std::uint64_t truth_without_conn = 0;   ///< truth flows that produced no conn record
+
+  [[nodiscard]] std::uint64_t count(netsim::TrueClass t, ConnClass c) const {
+    return matrix[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t row_total(netsim::TrueClass t) const {
+    std::uint64_t n = 0;
+    for (const auto v : matrix[static_cast<std::size_t>(t)]) n += v;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (const auto v : matrix[r]) n += v;
+    }
+    return n;
+  }
+
+  /// The classifier label each truth class SHOULD receive — or no label
+  /// at all for classes outside the paper's vocabulary (kUnknown,
+  /// kPushed, kDnsTransport), which count as misclassified wherever
+  /// they land.
+  [[nodiscard]] static bool expected_label(netsim::TrueClass t, ConnClass& out);
+
+  /// Connections whose inferred label disagrees with the expected one
+  /// for their truth class (classes without an expected label count
+  /// entirely).
+  [[nodiscard]] std::uint64_t misclassified() const;
+  [[nodiscard]] double misclassified_frac() const {
+    const auto n = total();
+    return n ? static_cast<double>(misclassified()) / static_cast<double>(n) : 0.0;
+  }
+  /// Misclassified count within one truth class.
+  [[nodiscard]] std::uint64_t misclassified_in(netsim::TrueClass t) const;
+};
+
+/// Join `cls.classes` (parallel to `ds.conns`) against the truth flows
+/// on the post-NAT five-tuple. Truth flows are keyed first-wins, same
+/// as the TruthTap recorded them.
+[[nodiscard]] TruthComparison compare_with_truth(const capture::Dataset& ds,
+                                                 const Classified& cls,
+                                                 const std::vector<capture::TruthFlow>& truth);
+
+/// Human-readable contingency table + per-class accuracy.
+[[nodiscard]] std::string render_truth_report(const TruthComparison& tc);
+
+}  // namespace dnsctx::analysis

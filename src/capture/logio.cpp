@@ -20,6 +20,9 @@ constexpr char kConnHeader[] =
 constexpr char kDnsHeader[] =
     "#fields\tts_us\tduration_us\tclient_ip\tclient_port\tresolver_ip\tquery\tqtype\t"
     "rcode\tanswered\tanswers";
+constexpr char kEncFlowHeader[] =
+    "#fields\tstart_us\tduration_us\tclient_ip\tclient_port\tserver_ip\tserver_port\t"
+    "up_msgs\tdown_msgs\tup_bytes\tdown_bytes\tfirst_up\tfirst_down\tpad_up\tpad_down";
 
 [[nodiscard]] ConnState parse_state(std::string_view s) {
   if (s == "S0") return ConnState::kS0;
@@ -147,6 +150,50 @@ void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns) {
     }
     os << '\n';
   }
+}
+
+void write_encflow_log(std::ostream& os, const std::vector<EncFlowRecord>& flows) {
+  os << kEncFlowHeader << '\n';
+  for (const auto& e : flows) {
+    os << e.start.count_us() << '\t' << e.duration.count_us() << '\t'
+       << e.client_ip.to_string() << '\t' << e.client_port << '\t'
+       << e.server_ip.to_string() << '\t' << e.server_port << '\t' << e.up_msgs << '\t'
+       << e.down_msgs << '\t' << e.up_bytes << '\t' << e.down_bytes << '\t'
+       << e.first_up_bytes << '\t' << e.first_down_bytes << '\t' << e.pad_aligned_up << '\t'
+       << e.pad_aligned_down << '\n';
+  }
+}
+
+std::vector<EncFlowRecord> read_encflow_log(std::istream& is, const std::string& source) {
+  const std::string buf = slurp(is);
+  std::vector<EncFlowRecord> out;
+  out.reserve(record_estimate(buf));
+  std::array<std::string_view, 14> f;
+  with_source(source, [&] {
+  for_each_line(buf, [&](std::string_view line, std::size_t line_no) {
+    if (line.empty() || line[0] == '#') return;
+    if (!split_fields(line, f)) {
+      throw std::runtime_error{strfmt("encflow log line %zu: bad field count", line_no)};
+    }
+    EncFlowRecord e;
+    e.start = SimTime::from_us(parse_num<std::int64_t>(f[0], line_no, "start"));
+    e.duration = SimDuration::us(parse_num<std::int64_t>(f[1], line_no, "duration"));
+    e.client_ip = parse_ip(f[2], line_no);
+    e.client_port = parse_num<std::uint16_t>(f[3], line_no, "client_port");
+    e.server_ip = parse_ip(f[4], line_no);
+    e.server_port = parse_num<std::uint16_t>(f[5], line_no, "server_port");
+    e.up_msgs = parse_num<std::uint32_t>(f[6], line_no, "up_msgs");
+    e.down_msgs = parse_num<std::uint32_t>(f[7], line_no, "down_msgs");
+    e.up_bytes = parse_num<std::uint64_t>(f[8], line_no, "up_bytes");
+    e.down_bytes = parse_num<std::uint64_t>(f[9], line_no, "down_bytes");
+    e.first_up_bytes = parse_num<std::uint64_t>(f[10], line_no, "first_up");
+    e.first_down_bytes = parse_num<std::uint64_t>(f[11], line_no, "first_down");
+    e.pad_aligned_up = parse_num<std::uint32_t>(f[12], line_no, "pad_up");
+    e.pad_aligned_down = parse_num<std::uint32_t>(f[13], line_no, "pad_down");
+    out.push_back(e);
+  });
+  });
+  return out;
 }
 
 std::vector<ConnRecord> read_conn_log(std::istream& is, const std::string& source) {

@@ -19,6 +19,9 @@ void write_conn_log(std::ostream& os, const std::vector<ConnRecord>& conns);
 /// Write DNS records; answers serialise as comma-joined addr:ttl pairs.
 void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns);
 
+/// Write encrypted-flow metadata records (one per TLS flow).
+void write_encflow_log(std::ostream& os, const std::vector<EncFlowRecord>& flows);
+
 /// Parse logs written by the functions above. Throws std::runtime_error
 /// with a line number on malformed input; when `source` names the
 /// origin (file path), it prefixes every diagnostic.
@@ -26,6 +29,8 @@ void write_dns_log(std::ostream& os, const std::vector<DnsRecord>& dns);
                                                     const std::string& source = {});
 [[nodiscard]] std::vector<DnsRecord> read_dns_log(std::istream& is,
                                                   const std::string& source = {});
+[[nodiscard]] std::vector<EncFlowRecord> read_encflow_log(std::istream& is,
+                                                          const std::string& source = {});
 
 /// File-path conveniences.
 void save_dataset(const Dataset& ds, const std::string& conn_path,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dns/codec.hpp"
+#include "netsim/transport.hpp"
 
 namespace dnsctx::capture {
 
@@ -40,6 +41,66 @@ void Monitor::emit_dns(DnsRecord&& rec) {
     return;
   }
   out_.dns.push_back(std::move(rec));
+}
+
+bool Monitor::enc_candidate(const ConnRecord& rec) {
+  return rec.proto == Proto::kTcp && (rec.resp_port == 853 || rec.resp_port == 443);
+}
+
+void Monitor::track_enc(Flow& flow, const netsim::Packet& p, bool is_orig) {
+  // Data messages only: pure SYN/FIN/ACK control segments carry nothing.
+  // The observable message size is everything above the TCP/IP headers —
+  // from this vantage point DNS payload bytes are ciphertext like any
+  // other; wire_bytes() already accounts them uniformly.
+  if (p.tcp.syn || p.tcp.rst) return;
+  const std::uint64_t msg = p.wire_bytes() - 54;
+  if (msg == 0) return;
+  const auto& traits = netsim::traits_for(
+      flow.rec.resp_port == 853 ? netsim::Transport::kDoT : netsim::Transport::kDoH);
+  EncMeta& m = flow.enc;
+  if (is_orig) {
+    ++m.up_msgs;
+    m.up_bytes += msg;
+    if (m.up_msgs == 1) {
+      m.first_up = msg;
+    } else if (msg > traits.per_message_overhead &&
+               (msg - traits.per_message_overhead) % traits.query_pad_block == 0) {
+      ++m.pad_up;
+    }
+  } else {
+    ++m.down_msgs;
+    m.down_bytes += msg;
+    if (m.down_msgs == 1) {
+      m.first_down = msg;
+    } else if (msg > traits.per_message_overhead &&
+               (msg - traits.per_message_overhead) % traits.response_pad_block == 0) {
+      ++m.pad_down;
+    }
+  }
+}
+
+void Monitor::emit_encflow(const Flow& flow) {
+  if (!local_orig(flow.rec.orig_ip)) return;
+  EncFlowRecord rec;
+  rec.start = flow.rec.start;
+  rec.duration = flow.rec.duration;
+  rec.client_ip = flow.rec.orig_ip;
+  rec.server_ip = flow.rec.resp_ip;
+  rec.client_port = flow.rec.orig_port;
+  rec.server_port = flow.rec.resp_port;
+  rec.up_msgs = flow.enc.up_msgs;
+  rec.down_msgs = flow.enc.down_msgs;
+  rec.up_bytes = flow.enc.up_bytes;
+  rec.down_bytes = flow.enc.down_bytes;
+  rec.first_up_bytes = flow.enc.first_up;
+  rec.first_down_bytes = flow.enc.first_down;
+  rec.pad_aligned_up = flow.enc.pad_up;
+  rec.pad_aligned_down = flow.enc.pad_down;
+  if (sink_ != nullptr) {
+    sink_->on_encflow(rec);
+    return;
+  }
+  out_.encflows.push_back(rec);
 }
 
 SimTime Monitor::open_watermark(SimTime now) const {
@@ -156,6 +217,9 @@ void Monitor::handle_conn(SimTime at_tap, const netsim::Packet& p) {
   } else {
     flow.rec.resp_bytes += p.payload_bytes;
   }
+  if (cfg_.observe_encrypted_metadata && enc_candidate(flow.rec)) {
+    track_enc(flow, p, is_orig);
+  }
 
   if (p.proto == Proto::kTcp) {
     if (p.tcp.syn && !p.tcp.ack && is_orig) flow.saw_syn = true;
@@ -200,6 +264,7 @@ void Monitor::finalize_flow(Flow& flow, SimTime now) {
   }
   (void)now;
   emit_conn(flow.rec);
+  if (cfg_.observe_encrypted_metadata && enc_candidate(flow.rec)) emit_encflow(flow);
 }
 
 void Monitor::expire_state(SimTime now) {
@@ -288,6 +353,7 @@ Dataset Monitor::harvest(SimTime end) {
   // streaming runs record-for-record identical.
   sort_by_time(out_.conns, [](const ConnRecord& c) { return c.start; });
   sort_by_time(out_.dns, [](const DnsRecord& d) { return d.ts; });
+  sort_by_time(out_.encflows, [](const EncFlowRecord& e) { return e.start; });
   Dataset result = std::move(out_);
   out_ = Dataset{};
   return result;

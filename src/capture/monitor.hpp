@@ -34,6 +34,11 @@ struct MonitorConfig {
   Ipv4Addr local_net{100, 66, 0, 0};
   std::uint32_t local_prefix_bits = 16;
   bool keep_only_local_orig = true;
+  /// Also summarise encrypted-flow metadata (EncFlowRecord) for TCP
+  /// flows to TLS ports 853/443 — sizes, timing, message counts; never
+  /// payload. Off by default: the classic study has no use for it and
+  /// the datasets stay byte-identical.
+  bool observe_encrypted_metadata = false;
 };
 
 /// Operational counters, in the spirit of Zeek's weird.log: everything
@@ -81,6 +86,18 @@ class Monitor : public netsim::PacketTap {
   [[nodiscard]] std::uint64_t malformed_dns() const { return stats_.malformed_dns; }
 
  private:
+  /// Per-flow encrypted-metadata accumulator (observe_encrypted_metadata
+  /// only; tracks the data messages a TLS flow exchanges).
+  struct EncMeta {
+    std::uint32_t up_msgs = 0;
+    std::uint32_t down_msgs = 0;
+    std::uint64_t up_bytes = 0;
+    std::uint64_t down_bytes = 0;
+    std::uint64_t first_up = 0;
+    std::uint64_t first_down = 0;
+    std::uint32_t pad_up = 0;
+    std::uint32_t pad_down = 0;
+  };
   struct Flow {
     ConnRecord rec;
     SimTime last_packet;
@@ -90,6 +107,7 @@ class Monitor : public netsim::PacketTap {
     bool saw_rst = false;
     bool closed = false;
     std::uint64_t generation = 0;
+    EncMeta enc;
   };
   struct PendingDns {
     DnsRecord rec;
@@ -113,12 +131,15 @@ class Monitor : public netsim::PacketTap {
 
   void handle_dns(SimTime at_tap, const netsim::Packet& p);
   void handle_conn(SimTime at_tap, const netsim::Packet& p);
+  void track_enc(Flow& flow, const netsim::Packet& p, bool is_orig);
+  [[nodiscard]] static bool enc_candidate(const ConnRecord& rec);
   void expire_state(SimTime now);
   void finalize_flow(Flow& flow, SimTime now);
   [[nodiscard]] SimDuration flow_timeout(const Flow& flow) const;
   [[nodiscard]] bool local_orig(Ipv4Addr ip) const;
   void emit_conn(const ConnRecord& rec);
   void emit_dns(DnsRecord&& rec);
+  void emit_encflow(const Flow& flow);
 
   MonitorConfig cfg_;
   // Open-addressing tables: one find per packet on the tap hot path, so

@@ -98,10 +98,36 @@ struct DnsRecord {
   }
 };
 
-/// The paired passive datasets for one monitoring run.
+/// Metadata of one encrypted flow to a TLS port (853/443), as a passive
+/// monitor that cannot decrypt sees it: endpoints, timing, per-direction
+/// message counts/sizes, and how many data messages are padded-size
+/// aligned (RFC 8467 leaves that much visible). This is what traffic-
+/// analysis classifiers (Siby et al.) get to work with — regular HTTPS
+/// flows produce these records too; telling DoT/DoH apart from them is
+/// the classifier's whole job.
+struct EncFlowRecord {
+  SimTime start;
+  SimDuration duration;
+  Ipv4Addr client_ip;   ///< initiator (house side, post-NAT)
+  Ipv4Addr server_ip;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;        ///< 853 or 443
+  std::uint32_t up_msgs = 0;            ///< data messages client → server
+  std::uint32_t down_msgs = 0;
+  std::uint64_t up_bytes = 0;           ///< ciphertext bytes client → server
+  std::uint64_t down_bytes = 0;
+  std::uint64_t first_up_bytes = 0;     ///< first data message each way —
+  std::uint64_t first_down_bytes = 0;   ///< the TLS hello exchange
+  std::uint32_t pad_aligned_up = 0;     ///< post-hello messages sized on a
+  std::uint32_t pad_aligned_down = 0;   ///< DNS padding-block boundary
+};
+
+/// The paired passive datasets for one monitoring run. `encflows` is
+/// empty unless MonitorConfig::observe_encrypted_metadata is on.
 struct Dataset {
   std::vector<ConnRecord> conns;
   std::vector<DnsRecord> dns;
+  std::vector<EncFlowRecord> encflows;
 };
 
 /// Consumer of finalized records. The Monitor (and the streaming layer's
@@ -117,6 +143,9 @@ class RecordSink {
   virtual ~RecordSink() = default;
   virtual void on_conn(const ConnRecord& rec) = 0;
   virtual void on_dns(const DnsRecord& rec) = 0;
+  /// Default no-op: sinks predating encrypted-transport capture ignore
+  /// the metadata stream.
+  virtual void on_encflow(const EncFlowRecord& rec) { (void)rec; }
 };
 
 }  // namespace dnsctx::capture

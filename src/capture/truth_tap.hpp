@@ -1,0 +1,46 @@
+// dnsctx — ground-truth flow collector.
+//
+// NOT a monitor. The TruthTap sits on the same wire as the passive
+// Monitor (post-NAT, at the aggregation point) but deliberately reads
+// the sim-internal TransferIntent::true_class annotation the monitor is
+// forbidden to touch (packet.hpp's vantage-point rule). Its output is
+// the labelled flow table that analysis::compare_with_truth joins
+// against the monitor's inferred taxonomy — quantifying exactly what
+// each transport's encryption costs the classifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/packet.hpp"
+#include "util/flat_map.hpp"
+
+namespace dnsctx::capture {
+
+/// One flow with its ground-truth class. The tuple is the flow as seen
+/// at the tap — post-NAT, originator first — so it joins 1:1 against
+/// ConnRecord's (orig, resp) endpoints.
+struct TruthFlow {
+  SimTime start;
+  FiveTuple tuple;
+  netsim::TrueClass cls = netsim::TrueClass::kUnknown;
+};
+
+class TruthTap : public netsim::PacketTap {
+ public:
+  /// `dns_servers` lists resolver service addresses: flows to them on a
+  /// TLS port are DNS-transport flows even though they carry no intent.
+  explicit TruthTap(std::vector<Ipv4Addr> dns_servers);
+
+  void observe(SimTime at_tap, const netsim::Packet& p) override;
+
+  [[nodiscard]] const std::vector<TruthFlow>& flows() const { return flows_; }
+
+ private:
+  util::FlatSet<Ipv4Addr, Ipv4Hash> servers_;
+  util::FlatSet<FiveTuple, FiveTupleHash> seen_;
+  std::vector<TruthFlow> flows_;
+};
+
+}  // namespace dnsctx::capture

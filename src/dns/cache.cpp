@@ -42,7 +42,7 @@ void DnsCache::remove_at(std::uint32_t idx) {
 
 void DnsCache::insert(const DomainName& qname, RrType qtype,
                       std::vector<ResourceRecord> answers, Rcode rcode, SimTime now,
-                      SimDuration extra_hold) {
+                      SimDuration extra_hold, CacheOrigin origin) {
   std::uint32_t ttl = 0;
   bool first = true;
   for (const auto& rr : answers) {
@@ -72,6 +72,8 @@ void DnsCache::insert(const DomainName& qname, RrType qtype,
   e.inserted_at = now;
   e.expires_at = now + SimDuration::sec(ttl);
   e.servable_until = e.expires_at + extra_hold + cfg_.max_stale;
+  e.origin = origin;
+  e.uses = 0;
   lru_push_front(idx);
   map_[e.key] = idx;
   ++stats_.insertions;
@@ -88,13 +90,16 @@ std::optional<CacheHitView> DnsCache::lookup_view(const DomainName& qname, RrTyp
   const std::uint32_t idx = it->second;
   touch(idx);
   ++stats_.hits;
-  const Entry& e = slab_[idx];
+  Entry& e = slab_[idx];
+  ++e.uses;
   CacheHitView hit;
   hit.answers = &e.answers;
   hit.rcode = e.rcode;
   hit.inserted_at = e.inserted_at;
   hit.expires_at = e.expires_at;
   hit.expired = now >= e.expires_at;
+  hit.origin = e.origin;
+  hit.first_use = e.uses == 1;
   if (hit.expired) ++stats_.expired_hits;
   return hit;
 }
@@ -108,6 +113,8 @@ std::optional<CacheHit> DnsCache::lookup(const DomainName& qname, RrType qtype, 
   hit.inserted_at = view->inserted_at;
   hit.expires_at = view->expires_at;
   hit.expired = view->expired;
+  hit.origin = view->origin;
+  hit.first_use = view->first_use;
   return hit;
 }
 
@@ -122,6 +129,8 @@ std::optional<CacheHit> DnsCache::peek(const DomainName& qname, RrType qtype,
   hit.inserted_at = e.inserted_at;
   hit.expires_at = e.expires_at;
   hit.expired = now >= e.expires_at;
+  hit.origin = e.origin;
+  hit.first_use = e.uses == 0;
   return hit;
 }
 

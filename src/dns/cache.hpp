@@ -32,6 +32,16 @@ struct CacheConfig {
   SimDuration max_stale = SimDuration::zero();
 };
 
+/// How an entry got into the cache — ground truth for the paper's
+/// LC-vs-P split (§5.2) and for resolver-less server pushes: a query
+/// answer, a speculative (prefetch) answer, or a server-pushed record
+/// that involved no lookup at all.
+enum class CacheOrigin : std::uint8_t {
+  kQuery = 0,
+  kSpeculative = 1,
+  kPushed = 2,
+};
+
 /// Result of a successful cache lookup.
 struct CacheHit {
   std::vector<ResourceRecord> answers;  ///< empty for negative entries
@@ -39,6 +49,8 @@ struct CacheHit {
   SimTime inserted_at;
   SimTime expires_at;   ///< TTL expiry (not including stale window)
   bool expired = false; ///< true when served from the stale window
+  CacheOrigin origin = CacheOrigin::kQuery;
+  bool first_use = false;  ///< this counting lookup is the entry's first hit
 };
 
 /// Borrowed counterpart of CacheHit: `answers` points into the cache
@@ -50,6 +62,8 @@ struct CacheHitView {
   SimTime inserted_at;
   SimTime expires_at;
   bool expired = false;
+  CacheOrigin origin = CacheOrigin::kQuery;
+  bool first_use = false;
 };
 
 /// Running hit/miss counters (for Table 3-style accounting).
@@ -77,7 +91,8 @@ class DnsCache {
   /// mechanism behind modelled TTL violations. Records the min answer
   /// TTL as the entry TTL, clamped per config.
   void insert(const DomainName& qname, RrType qtype, std::vector<ResourceRecord> answers,
-              Rcode rcode, SimTime now, SimDuration extra_hold = SimDuration::zero());
+              Rcode rcode, SimTime now, SimDuration extra_hold = SimDuration::zero(),
+              CacheOrigin origin = CacheOrigin::kQuery);
 
   /// Look up (qname, qtype). Counts a hit or miss. Entries past their
   /// servable lifetime are treated as absent (and dropped lazily).
@@ -151,6 +166,8 @@ class DnsCache {
     SimTime inserted_at;
     SimTime expires_at;      ///< TTL boundary
     SimTime servable_until;  ///< TTL + per-entry hold + config stale window
+    CacheOrigin origin = CacheOrigin::kQuery;
+    std::uint64_t uses = 0;  ///< counting lookups served by this entry
     std::uint32_t lru_prev = kNil;
     std::uint32_t lru_next = kNil;
   };

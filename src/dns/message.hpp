@@ -41,7 +41,20 @@ struct DnsMessage {
   std::vector<ResourceRecord> authorities;
   std::vector<ResourceRecord> additionals;
 
-  bool operator==(const DnsMessage&) const = default;
+  /// Sim-internal ground-truth annotation: the responding resolver
+  /// answered from its shared cache (vs authoritative resolution). Never
+  /// encoded to wire, excluded from equality, and — per the vantage-point
+  /// rule in netsim/packet.hpp — must not be read by passive monitors;
+  /// only stubs consume it to tag connection ground truth (SC vs R).
+  bool truth_cache_hit = false;
+
+  /// Wire-visible fields only: the truth annotation above is metadata,
+  /// so a codec round trip compares equal.
+  bool operator==(const DnsMessage& o) const {
+    return id == o.id && flags == o.flags && questions == o.questions &&
+           answers == o.answers && authorities == o.authorities &&
+           additionals == o.additionals;
+  }
 
   /// Build a standard recursive A query.
   [[nodiscard]] static DnsMessage query(std::uint16_t id, DomainName qname,

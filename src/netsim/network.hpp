@@ -33,6 +33,22 @@ class PacketTap {
   virtual void observe(SimTime at_tap, const Packet& p) = 0;
 };
 
+/// Fan a single tap slot out to two observers (the Network has one tap;
+/// ground-truth collection rides alongside the monitor through this).
+class TapTee : public PacketTap {
+ public:
+  TapTee(PacketTap* first, PacketTap* second) : first_{first}, second_{second} {}
+
+  void observe(SimTime at_tap, const Packet& p) override {
+    first_->observe(at_tap, p);
+    second_->observe(at_tap, p);
+  }
+
+ private:
+  PacketTap* first_;
+  PacketTap* second_;
+};
+
 /// Per-endpoint propagation parameters: base one-way delay from the
 /// aggregation point plus per-packet jitter drawn at send time.
 struct SiteProfile {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "dns/lazy.hpp"
 #include "util/ip.hpp"
@@ -30,6 +31,25 @@ struct TcpFlags {
   bool operator==(const TcpFlags&) const = default;
 };
 
+/// Ground-truth provenance of the name-to-address mapping behind a
+/// connection — the simulator-side answer to the question the paper's
+/// N/LC/P/SC/R taxonomy infers from passive logs. Subject to the
+/// VANTAGE-POINT RULE above: carried on `TransferIntent`, readable only
+/// by ground-truth collectors (capture::TruthTap), never by monitors.
+enum class TrueClass : std::uint8_t {
+  kUnknown = 0,       ///< provenance not tracked for this flow
+  kNoDns = 1,         ///< no DNS used (P2P, hard-coded IPs) — truth for N
+  kLocalCache = 2,    ///< served by the device/home cache — truth for LC
+  kPrefetched = 3,    ///< first use of a speculative lookup — truth for P
+  kSharedCache = 4,   ///< blocked; resolver answered from its cache — truth for SC
+  kRequired = 5,      ///< blocked; resolver resolved authoritatively — truth for R
+  kPushed = 6,        ///< resolver-less: record was server-pushed, no lookup at all
+  kDnsTransport = 7,  ///< the flow IS a DNS channel (DoT/DoH/legacy 853)
+};
+
+[[nodiscard]] std::string_view to_string(TrueClass c);
+inline constexpr std::size_t kTrueClassCount = 8;
+
 /// How the generic server farm should animate a client-initiated
 /// transfer: sizes, how long the response takes, and whether the server
 /// answers at all (dead IPs yield Bro "S0" attempts).
@@ -41,6 +61,8 @@ struct TransferIntent {
   SimDuration transfer_time = SimDuration::ms(100);
   /// Server-side think time before the first response byte.
   SimDuration server_delay = SimDuration::ms(5);
+  /// Ground truth for taxonomy validation (sim-internal, see above).
+  TrueClass true_class = TrueClass::kUnknown;
 };
 
 /// A packet in flight. `src`/`dst` are the on-the-wire addresses at the

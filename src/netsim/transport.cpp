@@ -1,0 +1,88 @@
+#include "netsim/transport.hpp"
+
+#include "netsim/packet.hpp"
+
+namespace dnsctx::netsim {
+
+std::string_view to_string(TrueClass c) {
+  switch (c) {
+    case TrueClass::kUnknown: return "unknown";
+    case TrueClass::kNoDns: return "no-dns";
+    case TrueClass::kLocalCache: return "local-cache";
+    case TrueClass::kPrefetched: return "prefetched";
+    case TrueClass::kSharedCache: return "shared-cache";
+    case TrueClass::kRequired: return "required";
+    case TrueClass::kPushed: return "pushed";
+    case TrueClass::kDnsTransport: return "dns-transport";
+  }
+  return "?";
+}
+
+std::string_view to_string(Transport t) {
+  switch (t) {
+    case Transport::kDo53: return "do53";
+    case Transport::kDoT: return "dot";
+    case Transport::kDoH: return "doh";
+    case Transport::kResolverless: return "resolverless";
+  }
+  return "?";
+}
+
+std::optional<Transport> parse_transport(std::string_view name) {
+  if (name == "do53") return Transport::kDo53;
+  if (name == "dot") return Transport::kDoT;
+  if (name == "doh") return Transport::kDoH;
+  if (name == "resolverless") return Transport::kResolverless;
+  return std::nullopt;
+}
+
+namespace {
+
+// Cleartext transports: no padding, no channel. kResolverless keeps the
+// classic do53 wire behaviour — what changes is that servers push
+// records into device caches (src/traffic), not how lookups travel.
+constexpr TransportTraits kDo53Traits{};
+
+// DoT (RFC 7858): TLS 1.3 over a dedicated TCP/853 connection. 16-byte
+// sizes: TLS record header (5) + AEAD tag (16) + 2-byte DNS length
+// prefix + handshake-message framing ≈ 31 bytes per message. Stub
+// resolvers idle the session out after ~10 s (Hounsel et al.).
+constexpr TransportTraits kDotTraits{
+    .port = 853,
+    .encrypted = true,
+    .query_pad_block = 128,
+    .response_pad_block = 468,
+    .per_message_overhead = 31,
+    .client_hello_bytes = 289,
+    .server_hello_bytes = 3295,
+    .idle_timeout = SimDuration::sec(10),
+};
+
+// DoH (RFC 8484): HTTP/2 over TLS on TCP/443 — the same padded DNS
+// message plus HTTP/2 HEADERS+DATA framing (~72 bytes of compressed
+// headers on top of the TLS record costs). Browser connection pools
+// hold the channel noticeably longer (~30 s).
+constexpr TransportTraits kDohTraits{
+    .port = 443,
+    .encrypted = true,
+    .query_pad_block = 128,
+    .response_pad_block = 468,
+    .per_message_overhead = 103,
+    .client_hello_bytes = 517,
+    .server_hello_bytes = 4133,
+    .idle_timeout = SimDuration::sec(30),
+};
+
+}  // namespace
+
+const TransportTraits& traits_for(Transport t) {
+  switch (t) {
+    case Transport::kDoT: return kDotTraits;
+    case Transport::kDoH: return kDohTraits;
+    case Transport::kDo53:
+    case Transport::kResolverless: break;
+  }
+  return kDo53Traits;
+}
+
+}  // namespace dnsctx::netsim

@@ -1,0 +1,146 @@
+// dnsctx — DNS transport modeling beyond classic UDP/53.
+//
+// The paper's vantage point (§3) assumes cleartext port-53 DNS. This
+// module models the alternatives the paper names as the threat to the
+// methodology: DNS over TLS (RFC 7858), DNS over HTTPS (RFC 8484) and
+// resolver-less DNS (server-pushed records, Sy et al.). The transport
+// knob changes three things end to end:
+//
+//   * connection setup — encrypted transports pay a TCP+TLS 1.3
+//     handshake (2 RTTs) before the first query can leave the stub;
+//   * connection reuse — stubs keep one channel per resolver warm and
+//     close it after an idle timeout (per Hounsel et al., DoT stacks
+//     idle out in ~10 s, DoH browser pools in ~30 s);
+//   * message sizes — queries and responses are padded to EDNS(0)
+//     padding blocks (RFC 8467 recommends 128-byte query / 468-byte
+//     response blocks), so the monitor sees only padded ciphertext
+//     sizes.
+//
+// Everything here is deterministic and draw-free: transport changes
+// packet shapes and timing, never RNG stream consumption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace dnsctx::netsim {
+
+/// How stub resolvers reach their recursive platform.
+enum class Transport : std::uint8_t {
+  kDo53 = 0,          ///< classic cleartext UDP/53 (+ TCP/53 fallback)
+  kDoT = 1,           ///< DNS over TLS on TCP/853
+  kDoH = 2,           ///< DNS over HTTPS on TCP/443
+  kResolverless = 3,  ///< cleartext DNS + server-pushed records bypassing lookups
+};
+
+[[nodiscard]] std::string_view to_string(Transport t);
+
+/// Parse a `--transport` value; nullopt on unknown names.
+[[nodiscard]] std::optional<Transport> parse_transport(std::string_view name);
+
+/// Per-transport wire constants. Values for the encrypted transports
+/// follow RFC 8467's padding recommendation and measured handshake /
+/// session behaviour from Hounsel et al. (IMC'19).
+struct TransportTraits {
+  std::uint16_t port = 53;              ///< server-side port
+  bool encrypted = false;               ///< TLS channel (padded, opaque to the tap)
+  std::uint32_t query_pad_block = 0;    ///< EDNS(0) pad block for queries (0 = none)
+  std::uint32_t response_pad_block = 0; ///< EDNS(0) pad block for responses
+  std::uint32_t per_message_overhead = 0;  ///< TLS record (+HTTP/2 frame) framing bytes
+  std::uint32_t client_hello_bytes = 0;    ///< TLS ClientHello payload size
+  std::uint32_t server_hello_bytes = 0;    ///< ServerHello..Finished flight size
+  SimDuration idle_timeout = SimDuration::zero();  ///< channel closes after this idle span
+};
+
+[[nodiscard]] const TransportTraits& traits_for(Transport t);
+
+/// RFC 8467 padding: round `bytes` up to a multiple of `block`
+/// (identity when block == 0; zero-length payloads still pad to one
+/// block — an empty TLS record would leak that nothing was sent).
+[[nodiscard]] constexpr std::uint64_t pad_to_block(std::uint64_t bytes,
+                                                   std::uint32_t block) {
+  if (block == 0) return bytes;
+  const std::uint64_t b = block;
+  return ((bytes + b - 1) / b) * b;
+}
+
+/// Observable ciphertext size of a DNS message on an encrypted channel:
+/// the padded plaintext plus per-message framing overhead.
+[[nodiscard]] constexpr std::uint64_t padded_payload(std::uint64_t wire_bytes,
+                                                     std::uint32_t block,
+                                                     std::uint32_t overhead) {
+  const std::uint64_t padded = pad_to_block(wire_bytes == 0 ? 1 : wire_bytes, block);
+  return padded + overhead;
+}
+
+/// Connection-reuse state machine for one stub→resolver encrypted
+/// channel. Pure bookkeeping — the owner sends the actual handshake and
+/// close packets — so randomized interleavings can be property-tested
+/// against a reference model (tests/netsim/test_transport.cpp).
+///
+/// Lifecycle: kCold --acquire()--> kHandshaking --established()-->
+/// kEstablished --idle timeout / close()--> kCold. acquire() on a warm,
+/// non-expired channel counts a reuse; acquire() after the idle span
+/// elapsed closes the stale channel first and starts a new handshake.
+class SecureChannel {
+ public:
+  enum class State : std::uint8_t { kCold, kHandshaking, kEstablished };
+
+  explicit SecureChannel(SimDuration idle_timeout) : idle_timeout_{idle_timeout} {}
+
+  /// The owner wants to send a message at `now`. Returns true when a
+  /// handshake must be performed first (channel was cold, or idle-expired
+  /// and therefore closed here). Returns false when the channel is warm
+  /// (counted as a reuse) or a handshake is already in flight (the caller
+  /// queues the message).
+  [[nodiscard]] bool acquire(SimTime now) {
+    if (state_ == State::kHandshaking) return false;
+    if (state_ == State::kEstablished) {
+      if (!idle_expired(now)) {
+        ++reuses_;
+        last_activity_ = now;
+        return false;
+      }
+      close();  // stale: the wire-level FIN already fired from the idle timer
+    }
+    state_ = State::kHandshaking;
+    ++handshakes_;
+    last_activity_ = now;
+    return true;
+  }
+
+  /// Handshake completed (ServerHello..Finished seen) at `now`.
+  void established(SimTime now) {
+    state_ = State::kEstablished;
+    last_activity_ = now;
+  }
+
+  /// A message moved on the established channel at `now`.
+  void touch(SimTime now) { last_activity_ = now; }
+
+  /// True when an established channel has sat idle for >= the timeout.
+  [[nodiscard]] bool idle_expired(SimTime now) const {
+    return state_ == State::kEstablished && now - last_activity_ >= idle_timeout_;
+  }
+
+  /// Channel torn down (idle FIN, RST, or owner shutdown).
+  void close() { state_ = State::kCold; }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] SimTime last_activity() const { return last_activity_; }
+  [[nodiscard]] SimDuration idle_timeout() const { return idle_timeout_; }
+  [[nodiscard]] std::uint64_t handshakes() const { return handshakes_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  SimDuration idle_timeout_;
+  State state_ = State::kCold;
+  SimTime last_activity_;
+  std::uint64_t handshakes_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace dnsctx::netsim

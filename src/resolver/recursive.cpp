@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "netsim/transport.hpp"
+
 namespace dnsctx::resolver {
+
+namespace {
+
+/// Transport traits for an encrypted service port (853 = DoT, 443 = DoH).
+const netsim::TransportTraits& secure_traits(std::uint16_t port) {
+  return netsim::traits_for(port == 853 ? netsim::Transport::kDoT : netsim::Transport::kDoH);
+}
+
+}  // namespace
 
 RecursiveResolverPlatform::RecursiveResolverPlatform(netsim::Simulator& sim,
                                                      netsim::Network& net, const ZoneDb& zones,
@@ -22,9 +33,10 @@ void RecursiveResolverPlatform::set_faults(faults::ResolverFaultConfig cfg,
 }
 
 void RecursiveResolverPlatform::receive(const netsim::Packet& p) {
-  // Port 53 is classic DNS; 853 models encrypted transports (DoT/DoQ):
-  // same semantics, but the monitor cannot parse what it cannot read.
-  if (p.dst_port != 53 && p.dst_port != 853) return;
+  // Port 53 is classic DNS; 853 (DoT) and 443 (DoH) are the encrypted
+  // transports: same semantics, but the monitor cannot parse what it
+  // cannot read.
+  if (p.dst_port != 53 && p.dst_port != 853 && p.dst_port != 443) return;
   if (fault_rng_ && faults_.in_outage(p.dst_ip, sim_.now())) {
     // The service address is dark: no SYN-ACK, no answer — clients see
     // pure timeouts, exactly like a dead or overloaded box.
@@ -55,6 +67,20 @@ void RecursiveResolverPlatform::receive(const netsim::Packet& p) {
         finack.proto = Proto::kTcp;
         finack.tcp = netsim::TcpFlags{.ack = true, .fin = true};
         net_.send(std::move(finack));
+        return;
+      }
+      if (p.payload_bytes > 0 && !p.tcp.syn && (p.dst_port == 853 || p.dst_port == 443)) {
+        // TLS ClientHello on an encrypted-DNS port: answer with the
+        // ServerHello..Finished flight, completing the 2-RTT handshake.
+        netsim::Packet hello;
+        hello.src_ip = p.dst_ip;
+        hello.dst_ip = p.src_ip;
+        hello.src_port = p.dst_port;
+        hello.dst_port = p.src_port;
+        hello.proto = Proto::kTcp;
+        hello.tcp = netsim::TcpFlags{.ack = true};
+        hello.payload_bytes = secure_traits(p.dst_port).server_hello_bytes;
+        net_.send(std::move(hello));
       }
       return;
     }
@@ -126,9 +152,11 @@ void RecursiveResolverPlatform::answer(const netsim::Packet& query,
   SimDuration delay = SimDuration::from_ms(cfg_.proc_ms);
   std::vector<dns::ResourceRecord> answers;
   dns::Rcode rcode = dns::Rcode::kNoError;
+  bool truth_cache_hit = false;
 
   if (auto hit = cache.lookup(q.qname, q.qtype, sim_.now()); hit && !hit->expired) {
     ++stats_.shard_hits;
+    truth_cache_hit = true;
     answers = std::move(hit->answers);
     rcode = hit->rcode;
     // Served TTLs count down in the shared cache (RFC 1035 §4.2 behaviour
@@ -151,6 +179,7 @@ void RecursiveResolverPlatform::answer(const netsim::Packet& query,
       // Another user of this platform fetched the name recently: answer
       // at cache-hit speed with a partially decayed TTL.
       ++stats_.ambient_hits;
+      truth_cache_hit = true;
       Rng& rng = rng_;
       answers = zones_.authoritative_answer_typed(q.qname, q.qtype, cfg_.geo, rng);
       const double decay = rng.uniform(0.1, 0.9);
@@ -175,15 +204,17 @@ void RecursiveResolverPlatform::answer(const netsim::Packet& query,
     }
   }
 
-  respond(query, msg, std::move(answers), rcode, delay);
+  respond(query, msg, std::move(answers), rcode, delay, truth_cache_hit);
 }
 
 void RecursiveResolverPlatform::respond(const netsim::Packet& query,
                                         const dns::DnsMessage& msg,
                                         std::vector<dns::ResourceRecord> answers,
-                                        dns::Rcode rcode, SimDuration delay) {
+                                        dns::Rcode rcode, SimDuration delay,
+                                        bool truth_cache_hit) {
   const dns::Question& q = msg.questions.front();
   dns::DnsMessage resp = dns::DnsMessage::response(msg, std::move(answers), rcode);
+  resp.truth_cache_hit = truth_cache_hit;
   // SERVFAIL means the resolution machinery broke, not that the name is
   // absent — no SOA accompanies it.
   if (resp.answers.empty() && rcode != dns::Rcode::kServFail) {
@@ -217,6 +248,16 @@ void RecursiveResolverPlatform::respond(const netsim::Packet& query,
   out.proto = query.proto;
   if (query.proto == Proto::kTcp) out.tcp = netsim::TcpFlags{.ack = true};
   out.dns = dns::DnsPayload::from_message(std::move(resp));
+  if (query.proto == Proto::kTcp && (query.dst_port == 853 || query.dst_port == 443)) {
+    // Encrypted channel: what crosses the wire is the RFC 8467-padded
+    // ciphertext, not the DNS message — account the padding + framing so
+    // the tap sees only the padded size.
+    const auto& traits = secure_traits(query.dst_port);
+    const auto wire = static_cast<std::uint64_t>(out.dns.wire_size());
+    out.payload_bytes =
+        netsim::padded_payload(wire, traits.response_pad_block, traits.per_message_overhead) -
+        wire;
+  }
   // Adopt now so the delay closure carries an 8-byte handle, not a
   // heap-allocated Packet copy.
   netsim::PacketHandle h = net_.arena().adopt(std::move(out));

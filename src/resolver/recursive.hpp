@@ -86,8 +86,11 @@ class RecursiveResolverPlatform : public netsim::Host {
 
  private:
   void answer(const netsim::Packet& query, const dns::DnsMessage& msg);
+  /// `truth_cache_hit` tags the response's sim-internal ground-truth
+  /// annotation (shared-cache vs authoritative answer) for TruthTap.
   void respond(const netsim::Packet& query, const dns::DnsMessage& msg,
-               std::vector<dns::ResourceRecord> answers, dns::Rcode rcode, SimDuration delay);
+               std::vector<dns::ResourceRecord> answers, dns::Rcode rcode, SimDuration delay,
+               bool truth_cache_hit = false);
   [[nodiscard]] std::size_t shard_for(const dns::DomainName& qname, Ipv4Addr service_addr);
   [[nodiscard]] SimDuration sample_auth_delay();
 

@@ -24,6 +24,8 @@ void StubResolver::resolve(const dns::DomainName& name, Callback cb, bool specul
     }
     res.from_cache = true;
     res.used_expired = hit->expired;
+    res.origin = hit->origin;
+    res.first_use = hit->first_use;
     // A cache probe is not free but is far below network scale.
     sim_.after(SimDuration::us(50),
                [cb = std::move(cb), res = std::move(res)]() { cb(res); });
@@ -65,9 +67,7 @@ std::shared_ptr<StubResolver::Pending> StubResolver::start_query(const dns::Doma
   pending->speculative = speculative;
   pending->txid = next_txid_ == 0 ? ++next_txid_ : next_txid_;
   ++next_txid_;
-  pending->src_port = next_port_;
-  next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
-                                    : static_cast<std::uint16_t>(next_port_ + 1);
+  pending->src_port = alloc_port();
   pending->first_sent = sim_.now();
   inflight_.try_emplace(InflightKey{name, qtype}, pending);
   by_txid_.try_emplace(pending->txid, pending);
@@ -77,6 +77,16 @@ std::shared_ptr<StubResolver::Pending> StubResolver::start_query(const dns::Doma
 
 void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
   ++pending->attempt_gen;  // invalidate timers armed for earlier attempts
+  ++queries_sent_;
+  if (netsim::traits_for(cfg_.transport).encrypted) {
+    send_query_secure(pending);
+  } else {
+    send_query_udp(pending);
+  }
+  arm_timeout(pending);
+}
+
+void StubResolver::send_query_udp(const std::shared_ptr<Pending>& pending) {
   const Ipv4Addr resolver = cfg_.resolver_addrs[pending->resolver_idx];
   dns::DnsMessage q = dns::DnsMessage::query(pending->txid, pending->name, pending->qtype);
   netsim::Packet p;
@@ -86,9 +96,204 @@ void StubResolver::send_query(const std::shared_ptr<Pending>& pending) {
   p.dst_port = cfg_.dns_port;
   p.proto = Proto::kUdp;
   p.dns = dns::DnsPayload::from_message(std::move(q));
-  ++queries_sent_;
   send_(std::move(p));
-  arm_timeout(pending);
+}
+
+// ---- encrypted channels (DoT/DoH) ------------------------------------------
+
+std::uint16_t StubResolver::alloc_port() {
+  const std::uint16_t port = next_port_;
+  next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
+                                    : static_cast<std::uint16_t>(next_port_ + 1);
+  return port;
+}
+
+StubResolver::Channel& StubResolver::channel_for(Ipv4Addr resolver) {
+  auto it = channels_.find(resolver);
+  if (it == channels_.end()) {
+    const auto& traits = netsim::traits_for(cfg_.transport);
+    it = channels_
+             .try_emplace(resolver, std::make_unique<Channel>(resolver, traits.idle_timeout))
+             .first;
+  }
+  return *it->second;
+}
+
+void StubResolver::open_channel(Channel& ch) {
+  ch.local_port = alloc_port();
+  secure_by_port_[ch.local_port] = &ch;
+  netsim::Packet syn;
+  syn.src_ip = device_ip_;
+  syn.dst_ip = ch.resolver;
+  syn.src_port = ch.local_port;
+  syn.dst_port = netsim::traits_for(cfg_.transport).port;
+  syn.proto = Proto::kTcp;
+  syn.tcp = netsim::TcpFlags{.syn = true};
+  send_(std::move(syn));
+}
+
+void StubResolver::send_channel_ctrl(const Channel& ch, netsim::TcpFlags flags,
+                                     std::uint64_t payload_bytes) {
+  netsim::Packet p;
+  p.src_ip = device_ip_;
+  p.dst_ip = ch.resolver;
+  p.src_port = ch.local_port;
+  p.dst_port = netsim::traits_for(cfg_.transport).port;
+  p.proto = Proto::kTcp;
+  p.tcp = flags;
+  p.payload_bytes = payload_bytes;
+  send_(std::move(p));
+}
+
+void StubResolver::send_secure_data(Channel& ch, const Pending& pending) {
+  const auto& traits = netsim::traits_for(cfg_.transport);
+  dns::DnsMessage q = dns::DnsMessage::query(pending.txid, pending.name, pending.qtype);
+  netsim::Packet p;
+  p.src_ip = device_ip_;
+  p.dst_ip = ch.resolver;
+  p.src_port = ch.local_port;
+  p.dst_port = traits.port;
+  p.proto = Proto::kTcp;
+  p.tcp = netsim::TcpFlags{.ack = true};
+  p.dns = dns::DnsPayload::from_message(std::move(q));
+  // The tap's view of this packet is header + payload_bytes + DNS wire
+  // size; pad so the observable ciphertext is the RFC 8467 padded size
+  // plus framing, never the true message size.
+  const auto wire = static_cast<std::uint64_t>(p.dns.wire_size());
+  p.payload_bytes =
+      netsim::padded_payload(wire, traits.query_pad_block, traits.per_message_overhead) -
+      wire;
+  send_(std::move(p));
+  ch.chan.touch(sim_.now());
+  arm_idle(ch);
+}
+
+void StubResolver::arm_idle(Channel& ch) {
+  const std::uint64_t gen = ++ch.idle_gen;
+  sim_.after(ch.chan.idle_timeout(), [this, &ch, gen]() {
+    if (ch.idle_gen != gen) return;
+    if (!ch.chan.idle_expired(sim_.now())) return;
+    // Close our half; the mapping stays until the peer's FIN-ACK so the
+    // device still routes it to us.
+    send_channel_ctrl(ch, netsim::TcpFlags{.ack = true, .fin = true}, 0);
+    ch.chan.close();
+    ch.queued.clear();
+    ch.local_port = 0;
+  });
+}
+
+void StubResolver::send_query_secure(const std::shared_ptr<Pending>& pending) {
+  Channel& ch = channel_for(cfg_.resolver_addrs[pending->resolver_idx]);
+  const SimTime now = sim_.now();
+  if (ch.chan.acquire(now)) {
+    // Cold (or idle-expired): TCP+TLS handshake first, query queued.
+    open_channel(ch);
+    ch.queued.push_back(pending->txid);
+    return;
+  }
+  if (ch.chan.state() == netsim::SecureChannel::State::kHandshaking) {
+    bool queued = false;
+    for (const std::uint16_t txid : ch.queued) queued |= txid == pending->txid;
+    if (queued) {
+      // Retransmission while the handshake is still pending (e.g. the
+      // resolver is in outage): re-fire the SYN from the same port.
+      send_channel_ctrl(ch, netsim::TcpFlags{.syn = true}, 0);
+    } else {
+      ch.queued.push_back(pending->txid);
+    }
+    return;
+  }
+  send_secure_data(ch, *pending);
+}
+
+void StubResolver::on_secure(const netsim::Packet& p) {
+  const auto it = secure_by_port_.find(p.dst_port);
+  if (it == secure_by_port_.end()) return;  // late segment for a closed channel
+  Channel& ch = *it->second;
+  if (p.src_ip != ch.resolver) return;
+  if (p.tcp.rst) {
+    secure_by_port_.erase(p.dst_port);
+    if (ch.local_port == p.dst_port) {
+      ch.chan.close();
+      ch.queued.clear();
+      ch.local_port = 0;
+    }
+    return;
+  }
+  if (p.tcp.syn && p.tcp.ack) {
+    // TCP established: second handshake RTT carries the TLS ClientHello.
+    send_channel_ctrl(ch, netsim::TcpFlags{.ack = true},
+                      netsim::traits_for(cfg_.transport).client_hello_bytes);
+    return;
+  }
+  if (p.tcp.fin) {
+    // Peer's half of a close we initiated (or a server-side teardown).
+    secure_by_port_.erase(p.dst_port);
+    if (ch.local_port == p.dst_port) {
+      ch.chan.close();
+      ch.queued.clear();
+      ch.local_port = 0;
+    }
+    return;
+  }
+  if (p.dns.empty()) {
+    if (p.payload_bytes == 0) return;
+    // ServerHello..Finished: the channel is up — flush queued queries.
+    if (ch.chan.state() != netsim::SecureChannel::State::kHandshaking) return;
+    ch.chan.established(sim_.now());
+    const std::vector<std::uint16_t> queued = std::move(ch.queued);
+    ch.queued.clear();
+    for (const std::uint16_t txid : queued) {
+      const auto pit = by_txid_.find(txid);
+      if (pit == by_txid_.end()) continue;
+      const auto& pending = pit->second;
+      if (pending->done) continue;
+      if (cfg_.resolver_addrs[pending->resolver_idx] != ch.resolver) continue;
+      send_secure_data(ch, *pending);
+    }
+    arm_idle(ch);
+    return;
+  }
+  const dns::DnsMessage* msg = p.dns.message();
+  if (msg == nullptr || !msg->flags.qr) return;
+  const auto pit = by_txid_.find(msg->id);
+  if (pit == by_txid_.end()) return;
+  const auto pending = pit->second;
+  if (pending->done) return;
+  if (cfg_.resolver_addrs[pending->resolver_idx] != ch.resolver) return;
+  ch.chan.touch(sim_.now());
+  arm_idle(ch);
+  if (msg->flags.rcode == dns::Rcode::kServFail &&
+      pending->resolver_idx + 1 < cfg_.resolver_addrs.size()) {
+    // Same fast failover as the UDP path; the retry rides (or opens)
+    // the next resolver's channel.
+    ++servfail_failovers_;
+    ++pending->resolver_idx;
+    pending->attempts_on_resolver = 0;
+    send_query(pending);
+    return;
+  }
+  // No TC handling: stream transports never truncate (RFC 7858 §3.3).
+  deliver_response(pending, *msg);
+}
+
+std::uint64_t StubResolver::secure_handshakes() const {
+  std::uint64_t total = 0;
+  for (const auto& [addr, ch] : channels_) total += ch->chan.handshakes();
+  return total;
+}
+
+std::uint64_t StubResolver::secure_reuses() const {
+  std::uint64_t total = 0;
+  for (const auto& [addr, ch] : channels_) total += ch->chan.reuses();
+  return total;
+}
+
+void StubResolver::insert_pushed(const dns::DomainName& name,
+                                 std::vector<dns::ResourceRecord> answers, SimTime now) {
+  ++pushed_inserts_;
+  cache_.insert(name, dns::RrType::kA, std::move(answers), dns::Rcode::kNoError, now,
+                SimDuration::zero(), dns::CacheOrigin::kPushed);
 }
 
 SimDuration StubResolver::attempt_timeout(const Pending& pending) const {
@@ -177,6 +382,8 @@ void StubResolver::deliver_response(const std::shared_ptr<Pending>& pending,
   res.lookup_time = sim_.now() - pending->first_sent;
   res.success = msg.flags.rcode == dns::Rcode::kNoError && !msg.answers.empty();
   res.addrs = msg.answer_addresses();
+  res.origin = pending->speculative ? dns::CacheOrigin::kSpeculative : dns::CacheOrigin::kQuery;
+  res.upstream_cache_hit = msg.truth_cache_hit;
 
   // Cache the outcome. Some entries get a TTL-violating extra hold —
   // applications and OS caches holding bindings past expiry.
@@ -191,7 +398,9 @@ void StubResolver::deliver_response(const std::shared_ptr<Pending>& pending,
   }
   if (res.success || pending->qtype != dns::RrType::kA) {
     cache_.insert(pending->name, pending->qtype, msg.answers, msg.flags.rcode, sim_.now(),
-                  extra);
+                  extra,
+                  pending->speculative ? dns::CacheOrigin::kSpeculative
+                                       : dns::CacheOrigin::kQuery);
   } else {
     // Negative caching (RFC 2308): hold NXDOMAIN/NODATA for a few
     // minutes so repeated misses don't re-query immediately. SERVFAIL
@@ -222,9 +431,7 @@ void StubResolver::send_tcp(const std::shared_ptr<Pending>& pending, netsim::Tcp
 void StubResolver::begin_tcp_fallback(const std::shared_ptr<Pending>& pending) {
   ++tcp_fallbacks_;
   pending->via_tcp = true;
-  pending->tcp_port = next_port_;
-  next_port_ = next_port_ >= 64'000 ? std::uint16_t{20'000}
-                                    : static_cast<std::uint16_t>(next_port_ + 1);
+  pending->tcp_port = alloc_port();
   tcp_by_port_[pending->tcp_port] = pending;
   send_tcp(pending, netsim::TcpFlags{.syn = true});
   arm_timeout(pending);  // TCP retries time out through the same machinery

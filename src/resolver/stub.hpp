@@ -18,6 +18,7 @@
 #include "dns/codec.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/sim.hpp"
+#include "netsim/transport.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +58,12 @@ struct StubConfig {
   double aaaa_prob = 0.0;
   /// Retry truncated (TC) UDP responses over TCP (RFC 1035 §4.2.2).
   bool tcp_fallback = true;
+  /// Upstream transport. kDo53 (and kResolverless, which changes how
+  /// records *arrive*, not how lookups travel) keeps the classic UDP
+  /// path above — byte-identical to builds without the knob. kDoT/kDoH
+  /// move every query onto one padded, connection-reused encrypted
+  /// channel per resolver (netsim/transport.hpp).
+  netsim::Transport transport = netsim::Transport::kDo53;
 };
 
 /// Outcome of a resolve() call.
@@ -67,6 +74,13 @@ struct ResolveResult {
   bool used_expired = false;  ///< the cache entry had outlived its TTL
   Ipv4Addr resolver;          ///< resolver that answered (unset for cache hits)
   SimDuration lookup_time = SimDuration::zero();  ///< request→response, 0 for cache
+  /// Ground-truth provenance (sim-internal; feeds capture::TruthTap):
+  /// how the cache entry got there, whether this was its first hit, and
+  /// — for fresh lookups — whether the recursive answered from its
+  /// shared cache (truth for the paper's SC-vs-R split).
+  dns::CacheOrigin origin = dns::CacheOrigin::kQuery;
+  bool first_use = false;
+  bool upstream_cache_hit = false;
 };
 
 /// The stub resolver. One per device; single-threaded like the rest of
@@ -93,8 +107,31 @@ class StubResolver {
   /// Feed an inbound TCP segment from a resolver (truncation fallback).
   void on_tcp(const netsim::Packet& p);
 
+  /// Feed an inbound TCP segment belonging to an encrypted DNS channel
+  /// (DoT/DoH). The device demuxes by owns_secure_port().
+  void on_secure(const netsim::Packet& p);
+
+  /// True when `local_port` is an open encrypted-channel port — the
+  /// device's demux key for src-port-443 packets, which otherwise belong
+  /// to ordinary web connections.
+  [[nodiscard]] bool owns_secure_port(std::uint16_t local_port) const {
+    return secure_by_port_.contains(local_port);
+  }
+
+  /// Resolver-less DNS (Sy et al.): a content server pushes an address
+  /// record for a related name straight into the device cache — no
+  /// lookup, no DNS packet, nothing for the monitor to see. Pushed
+  /// entries surface as CacheOrigin::kPushed on later hits.
+  void insert_pushed(const dns::DomainName& name,
+                     std::vector<dns::ResourceRecord> answers, SimTime now);
+
   [[nodiscard]] std::uint64_t tcp_fallbacks() const { return tcp_fallbacks_; }
   [[nodiscard]] std::uint64_t servfail_failovers() const { return servfail_failovers_; }
+  [[nodiscard]] std::uint64_t pushed_inserts() const { return pushed_inserts_; }
+  /// TLS handshakes performed / queries that reused a warm channel,
+  /// summed over every resolver channel (0 on cleartext transports).
+  [[nodiscard]] std::uint64_t secure_handshakes() const;
+  [[nodiscard]] std::uint64_t secure_reuses() const;
 
   /// Force-expire the device cache (used by tests).
   void flush_cache() { cache_.clear(); }
@@ -124,7 +161,28 @@ class StubResolver {
     bool done = false;
   };
 
+  /// One encrypted channel to one resolver. Owned via unique_ptr so the
+  /// address stays stable across FlatMap rehashes (secure_by_port_ and
+  /// idle-timer closures hold raw pointers).
+  struct Channel {
+    explicit Channel(Ipv4Addr r, SimDuration idle) : resolver{r}, chan{idle} {}
+    Ipv4Addr resolver;
+    std::uint16_t local_port = 0;  ///< 0 when no TCP connection is open
+    netsim::SecureChannel chan;
+    std::vector<std::uint16_t> queued;  ///< txids awaiting the handshake
+    std::uint64_t idle_gen = 0;         ///< invalidates stale idle timers
+  };
+
   void send_query(const std::shared_ptr<Pending>& pending);
+  void send_query_udp(const std::shared_ptr<Pending>& pending);
+  void send_query_secure(const std::shared_ptr<Pending>& pending);
+  [[nodiscard]] Channel& channel_for(Ipv4Addr resolver);
+  void open_channel(Channel& ch);
+  void send_secure_data(Channel& ch, const Pending& pending);
+  void send_channel_ctrl(const Channel& ch, netsim::TcpFlags flags,
+                         std::uint64_t payload_bytes);
+  void arm_idle(Channel& ch);
+  [[nodiscard]] std::uint16_t alloc_port();
   void arm_timeout(const std::shared_ptr<Pending>& pending);
   /// Advance to the next retransmission or failover target; false when
   /// every configured attempt is exhausted.
@@ -174,8 +232,11 @@ class StubResolver {
   };
   util::FlatMap<InflightKey, std::shared_ptr<Pending>, InflightKeyHash, InflightKeyEq> inflight_;
   util::FlatMap<std::uint16_t, std::shared_ptr<Pending>> tcp_by_port_;
+  util::FlatMap<Ipv4Addr, std::unique_ptr<Channel>> channels_;
+  util::FlatMap<std::uint16_t, Channel*> secure_by_port_;
   std::uint64_t tcp_fallbacks_ = 0;
   std::uint64_t servfail_failovers_ = 0;
+  std::uint64_t pushed_inserts_ = 0;
   std::uint16_t next_txid_ = 1;
   std::uint16_t next_port_ = 20'000;
   std::uint64_t queries_sent_ = 0;

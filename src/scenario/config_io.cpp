@@ -49,6 +49,12 @@ void save_config(std::ostream& os, const ScenarioConfig& cfg) {
   os << strfmt("encrypted_dns_device_frac = %g\n", cfg.encrypted_dns_device_frac);
   os << strfmt("whole_house_cache_frac = %g\n", cfg.whole_house_cache_frac);
   if (!cfg.faults.empty()) os << "faults = " << cfg.faults.to_string() << "\n";
+  // Transport knobs are written only when set, like `faults`, so classic
+  // configs round-trip byte-identically.
+  if (cfg.transport != netsim::Transport::kDo53) {
+    os << "transport = " << netsim::to_string(cfg.transport) << "\n";
+  }
+  if (cfg.collect_truth) os << "collect_truth = 1\n";
   os << strfmt("mix.isp_only = %g\n", cfg.mix.isp_only);
   os << strfmt("mix.cloudflare = %g\n", cfg.mix.cloudflare);
   os << strfmt("mix.no_isp = %g\n", cfg.mix.no_isp);
@@ -102,6 +108,19 @@ ScenarioConfig load_config(std::istream& is) {
            throw std::runtime_error{strfmt("config line %zu: %s", n, e.what())};
          }
        }},
+      {"transport",
+       [&](auto v, auto n) {
+         const auto t = netsim::parse_transport(v);
+         if (!t) {
+           throw std::runtime_error{strfmt(
+               "config line %zu: unknown transport '%.*s' (expected do53, dot, doh, "
+               "or resolverless)",
+               n, static_cast<int>(v.size()), v.data())};
+         }
+         cfg.transport = *t;
+       }},
+      {"collect_truth",
+       [&](auto v, auto n) { cfg.collect_truth = parse_number<int>(v, n) != 0; }},
       {"mix.isp_only", [&](auto v, auto n) { cfg.mix.isp_only = parse_number<double>(v, n); }},
       {"mix.cloudflare",
        [&](auto v, auto n) { cfg.mix.cloudflare = parse_number<double>(v, n); }},

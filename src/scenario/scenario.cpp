@@ -70,11 +70,16 @@ std::vector<Rec> merge_sorted_shards(std::vector<std::vector<Rec>> parts, Key ke
     conns.push_back(std::move(p.conns));
     dns.push_back(std::move(p.dns));
   }
+  std::vector<std::vector<capture::EncFlowRecord>> encflows;
+  encflows.reserve(parts.size());
+  for (auto& p : parts) encflows.push_back(std::move(p.encflows));
   capture::Dataset out;
   out.conns = merge_sorted_shards(std::move(conns),
                                   [](const capture::ConnRecord& c) { return c.start; });
   out.dns =
       merge_sorted_shards(std::move(dns), [](const capture::DnsRecord& d) { return d.ts; });
+  out.encflows = merge_sorted_shards(
+      std::move(encflows), [](const capture::EncFlowRecord& e) { return e.start; });
   return out;
 }
 
@@ -102,6 +107,8 @@ struct Town::Shard {
   std::vector<std::unique_ptr<resolver::RecursiveResolverPlatform>> platforms;
   std::unique_ptr<traffic::ServerFarm> farm;
   std::unique_ptr<capture::Monitor> monitor;
+  std::unique_ptr<capture::TruthTap> truth_tap;  ///< null unless collect_truth
+  std::unique_ptr<netsim::TapTee> tee;           ///< fans the tap to both
   std::vector<std::unique_ptr<House>> houses;
   GroundTruth truth;
 };
@@ -196,6 +203,7 @@ void Town::build_shard(std::size_t shard_idx, std::size_t house_begin, std::size
   for (auto& platform_cfg : resolver::default_platforms()) {
     for (const auto addr : platform_cfg.addrs) {
       shard->net->latency_mut().set_site(addr, platform_cfg.site);
+      if (shard_idx == 0) resolver_addrs_.push_back(addr);
     }
     shard->platforms.push_back(std::make_unique<resolver::RecursiveResolverPlatform>(
         *shard->sim, *shard->net, *zones_, platform_cfg,
@@ -214,8 +222,17 @@ void Town::build_shard(std::size_t shard_idx, std::size_t house_begin, std::size
   shard->farm = std::make_unique<traffic::ServerFarm>(*shard->sim, *shard->net, farm_seed);
   shard->farm->add_dead_ip(kDeadNtp);
 
-  shard->monitor = std::make_unique<capture::Monitor>();
-  shard->net->set_tap(shard->monitor.get());
+  capture::MonitorConfig mon_cfg;
+  mon_cfg.observe_encrypted_metadata = netsim::traits_for(cfg_.transport).encrypted;
+  shard->monitor = std::make_unique<capture::Monitor>(mon_cfg);
+  if (cfg_.collect_truth) {
+    shard->truth_tap = std::make_unique<capture::TruthTap>(resolver_addrs_);
+    shard->tee = std::make_unique<netsim::TapTee>(shard->monitor.get(),
+                                                  shard->truth_tap.get());
+    shard->net->set_tap(shard->tee.get());
+  } else {
+    shard->net->set_tap(shard->monitor.get());
+  }
 
   shard->houses.reserve(house_end - house_begin);
   for (std::size_t i = house_begin; i < house_end; ++i) {
@@ -384,6 +401,13 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
     if (can_encrypt && house_rng.bernoulli(cfg_.encrypted_dns_device_frac)) {
       stub_cfg.dns_port = 853;
     }
+    // Transport scenario: capable devices move to the encrypted channel.
+    // Structural (keyed on the device plan, no RNG draw), so the kDo53
+    // stream is untouched. Resolverless keeps Do53 lookups — it changes
+    // how records ARRIVE (server push below), not how queries travel.
+    if (can_encrypt && netsim::traits_for(cfg_.transport).encrypted) {
+      stub_cfg.transport = cfg_.transport;
+    }
     // Dual-stack OSes race AAAA lookups next to A (IoT gear mostly not).
     if (plan.kind != DeviceKind::kIot) stub_cfg.aaaa_prob = 0.55;
     stub_cfg.retry_backoff = cfg_.faults.backoff;
@@ -401,6 +425,7 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
       case DeviceKind::kComputer: {
         traffic::BrowserConfig bc;
         bc.household_sites = household_sites;
+        bc.server_push = cfg_.transport == netsim::Transport::kResolverless;
         bc.session_gap_mean_sec /= scale;
         // OpenDNS-configured machines belong to privacy-minded users who
         // commonly disable speculative prefetching.
@@ -421,6 +446,7 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
       case DeviceKind::kAppleMobile: {
         traffic::BrowserConfig bc;
         bc.household_sites = household_sites;
+        bc.server_push = cfg_.transport == netsim::Transport::kResolverless;
         bc.session_gap_mean_sec = bc.session_gap_mean_sec * 5.0 / scale;
         bc.pages_per_session_mean = 3.0;
         add_app(std::make_unique<traffic::BrowserApp>(*device, *world_, bc,
@@ -636,7 +662,24 @@ void Town::refresh_truth() {
     truth_.fetch_blocked += shard->truth.fetch_blocked;
     truth_.prefetches += shard->truth.prefetches;
     truth_.no_dns_conns += shard->truth.no_dns_conns;
+    truth_.fetch_pushed_hits += shard->truth.fetch_pushed_hits;
   }
+}
+
+std::vector<capture::TruthFlow> Town::truth_flows() const {
+  std::vector<capture::TruthFlow> out;
+  for (const auto& shard : shards_) {
+    if (!shard->truth_tap) continue;
+    const auto& flows = shard->truth_tap->flows();
+    out.insert(out.end(), flows.begin(), flows.end());
+  }
+  // Canonical order: start time, shard index breaking ties (stable sort
+  // over the shard-order concatenation).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const capture::TruthFlow& a, const capture::TruthFlow& b) {
+                     return a.start < b.start;
+                   });
+  return out;
 }
 
 }  // namespace dnsctx::scenario

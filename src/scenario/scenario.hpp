@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "capture/monitor.hpp"
+#include "capture/truth_tap.hpp"
 #include "faults/plan.hpp"
+#include "netsim/transport.hpp"
 #include "resolver/recursive.hpp"
 #include "traffic/apps.hpp"
 #include "traffic/farm.hpp"
@@ -71,6 +73,19 @@ struct ScenarioConfig {
   /// byte-identical baseline). See docs/FAULTS.md for the grammar and
   /// the determinism contract.
   faults::FaultPlan faults;
+  /// DNS transport scenario (docs/EXPERIMENTS.md). kDo53 is the classic
+  /// byte-identical baseline. kDoT/kDoH move every capable device
+  /// (computers, Android, Apple mobile) onto one padded encrypted channel
+  /// per resolver and turn on the monitor's encrypted-flow metadata;
+  /// kResolverless additionally has web servers push their asset records
+  /// (Sy et al.) so asset lookups bypass the stub entirely. Assignment is
+  /// structural — no extra randomness is drawn, so the kDo53 event
+  /// stream matches builds without the knob bit for bit.
+  netsim::Transport transport = netsim::Transport::kDo53;
+  /// Ride a capture::TruthTap alongside the monitor and label every flow
+  /// with its ground-truth class (truth_flows()). Observation-only: the
+  /// packet stream, datasets, and all RNG draws are unchanged.
+  bool collect_truth = false;
 };
 
 /// Ground truth the monitor cannot see (defined beside Device, which
@@ -137,6 +152,17 @@ class Town {
   [[nodiscard]] const capture::Dataset& dataset() const { return dataset_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] const GroundTruth& ground_truth() const { return truth_; }
+
+  /// Ground-truth labelled flows from every shard's TruthTap, sorted by
+  /// start time (shard order breaks ties). Empty unless
+  /// ScenarioConfig::collect_truth was set.
+  [[nodiscard]] std::vector<capture::TruthFlow> truth_flows() const;
+
+  /// Resolver service addresses the town's platforms answer on (ground
+  /// truth for the encrypted-flow classifier's confusion matrix).
+  [[nodiscard]] const std::vector<Ipv4Addr>& resolver_service_addrs() const {
+    return resolver_addrs_;
+  }
   [[nodiscard]] const std::vector<HouseInfo>& houses() const { return house_info_; }
   [[nodiscard]] const resolver::ZoneDb& zones() const { return *zones_; }
 
@@ -184,6 +210,7 @@ class Town {
   std::shared_ptr<const std::vector<resolver::NameId>> universal_services_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<resolver::RecursiveResolverPlatform*> platform_view_;
+  std::vector<Ipv4Addr> resolver_addrs_;
   std::vector<HouseInfo> house_info_;
   GroundTruth truth_;
   capture::Dataset dataset_;

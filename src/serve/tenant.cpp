@@ -175,15 +175,20 @@ bool Tenant::process_one() {
   if (h.kind == stream::RecordKind::kDns) {
     capture::DnsRecord rec;
     while (seg.next(rec)) feed_.on_dns(rec);
-  } else {
+  } else if (h.kind == stream::RecordKind::kConn) {
     capture::ConnRecord rec;
     while (seg.next(rec)) feed_.on_conn(rec);
+  } else {
+    capture::EncFlowRecord rec;
+    while (seg.next(rec)) feed_.on_encflow(rec);
   }
   if (h.record_count > 0) {
+    // Enc metadata is an optional side stream: it rides the feed but does
+    // not advance the conn/dns watermark fronts that gate draining.
     if (h.kind == stream::RecordKind::kConn) {
       conn_front_ = std::max(conn_front_, h.last_ts);
       any_conn_ = true;
-    } else {
+    } else if (h.kind == stream::RecordKind::kDns) {
       dns_front_ = std::max(dns_front_, h.last_ts);
       any_dns_ = true;
     }

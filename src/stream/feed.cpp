@@ -20,6 +20,10 @@ void LiveFeed::on_dns(const capture::DnsRecord& rec) {
   push(Entry{rec.ts, 0, next_seq_++, rec});
 }
 
+void LiveFeed::on_encflow(const capture::EncFlowRecord& rec) {
+  push(Entry{rec.start, 2, next_seq_++, rec});
+}
+
 void LiveFeed::drain(SimTime watermark) {
   obs::StageSpan span{"ingest_batch"};
   std::uint64_t released = 0;
@@ -27,8 +31,10 @@ void LiveFeed::drain(SimTime watermark) {
     const Entry& top = queue_.top();
     if (top.kind == 0) {
       downstream_->on_dns(std::get<capture::DnsRecord>(top.rec));
-    } else {
+    } else if (top.kind == 1) {
       downstream_->on_conn(std::get<capture::ConnRecord>(top.rec));
+    } else {
+      downstream_->on_encflow(std::get<capture::EncFlowRecord>(top.rec));
     }
     queue_.pop();
     ++released;

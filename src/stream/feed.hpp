@@ -32,6 +32,7 @@ class LiveFeed : public capture::RecordSink {
 
   void on_conn(const capture::ConnRecord& rec) override;
   void on_dns(const capture::DnsRecord& rec) override;
+  void on_encflow(const capture::EncFlowRecord& rec) override;
 
   /// Release every buffered record with key time <= `watermark` to the
   /// downstream sink, in canonical order. Watermarks must not regress.
@@ -46,9 +47,9 @@ class LiveFeed : public capture::RecordSink {
  private:
   struct Entry {
     SimTime key;
-    std::uint8_t kind;  ///< 0 = dns, 1 = conn — dns first at equal times
+    std::uint8_t kind;  ///< 0 = dns, 1 = conn, 2 = enc — ascending tie order
     std::uint64_t seq;
-    std::variant<capture::ConnRecord, capture::DnsRecord> rec;
+    std::variant<capture::ConnRecord, capture::DnsRecord, capture::EncFlowRecord> rec;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -26,7 +26,14 @@ namespace {
 
 }  // namespace
 
-std::string_view to_string(RecordKind k) { return k == RecordKind::kConn ? "conn" : "dns"; }
+std::string_view to_string(RecordKind k) {
+  switch (k) {
+    case RecordKind::kConn: return "conn";
+    case RecordKind::kDns: return "dns";
+    case RecordKind::kEncFlow: return "enc";
+  }
+  return "conn";
+}
 
 std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
   static const auto table = make_crc_table();
@@ -77,6 +84,27 @@ void append_record(std::string& payload, const capture::DnsRecord& rec) {
   payload += body;
 }
 
+void append_record(std::string& payload, const capture::EncFlowRecord& rec) {
+  std::string body;
+  body.reserve(76);
+  wire::put_i64(body, rec.start.count_us());
+  wire::put_i64(body, rec.duration.count_us());
+  wire::put_u32(body, rec.client_ip.to_u32());
+  wire::put_u32(body, rec.server_ip.to_u32());
+  wire::put_u16(body, rec.client_port);
+  wire::put_u16(body, rec.server_port);
+  wire::put_u32(body, rec.up_msgs);
+  wire::put_u32(body, rec.down_msgs);
+  wire::put_u64(body, rec.up_bytes);
+  wire::put_u64(body, rec.down_bytes);
+  wire::put_u64(body, rec.first_up_bytes);
+  wire::put_u64(body, rec.first_down_bytes);
+  wire::put_u32(body, rec.pad_aligned_up);
+  wire::put_u32(body, rec.pad_aligned_down);
+  wire::put_u32(payload, static_cast<std::uint32_t>(body.size()));
+  payload += body;
+}
+
 void append_segment_header(std::string& out, std::uint16_t version, RecordKind kind,
                            std::uint32_t record_count, SimTime first, SimTime last,
                            std::uint64_t payload_bytes, std::uint32_t payload_crc) {
@@ -118,10 +146,15 @@ SegmentHeader parse_segment_header(std::string_view bytes, const std::string& so
                                     kSegmentVersionV2)};
   }
   const std::uint8_t kind = c.u8();
-  if (kind > 1) {
+  if (kind > 2) {
     throw std::runtime_error{strfmt("%s: bad record kind %u", source.c_str(), kind)};
   }
   h.kind = static_cast<RecordKind>(kind);
+  if (h.kind == RecordKind::kEncFlow && h.version != kSegmentVersion) {
+    throw std::runtime_error{strfmt(
+        "%s: enc segments are v1-only (v2 has no enc column set), got version %u",
+        source.c_str(), h.version)};
+  }
   (void)c.u8();  // reserved
   h.record_count = c.u32();
   h.first_ts = SimTime::from_us(c.i64());
@@ -139,10 +172,14 @@ SegmentData parse_segment(std::string_view bytes, const std::string& source) {
     out.conns.reserve(out.header.record_count);
     capture::ConnRecord rec;
     while (view.next(rec)) out.conns.push_back(rec);
-  } else {
+  } else if (out.header.kind == RecordKind::kDns) {
     out.dns.reserve(out.header.record_count);
     capture::DnsRecord rec;
     while (view.next(rec)) out.dns.push_back(rec);
+  } else {
+    out.encflows.reserve(out.header.record_count);
+    capture::EncFlowRecord rec;
+    while (view.next(rec)) out.encflows.push_back(rec);
   }
   return out;
 }

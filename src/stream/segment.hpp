@@ -6,7 +6,10 @@
 //   header (40 bytes, little-endian)
 //     u32  magic          "DCSG"
 //     u16  version        kSegmentVersion
-//     u8   kind           0 = conn, 1 = dns
+//     u8   kind           0 = conn, 1 = dns, 2 = enc (encrypted-flow
+//                         metadata; v1 payloads only — the columnar v2
+//                         format has no enc column set and readers
+//                         reject v2 enc segments)
 //     u8   reserved       0
 //     u32  record_count
 //     i64  first_ts_us    timestamp of the first record (0 when empty)
@@ -41,7 +44,7 @@
 
 namespace dnsctx::stream {
 
-enum class RecordKind : std::uint8_t { kConn = 0, kDns = 1 };
+enum class RecordKind : std::uint8_t { kConn = 0, kDns = 1, kEncFlow = 2 };
 
 [[nodiscard]] std::string_view to_string(RecordKind k);
 
@@ -68,6 +71,7 @@ struct SegmentHeader {
 /// Append one length-prefixed record body to a segment payload buffer.
 void append_record(std::string& payload, const capture::ConnRecord& rec);
 void append_record(std::string& payload, const capture::DnsRecord& rec);
+void append_record(std::string& payload, const capture::EncFlowRecord& rec);
 
 /// Assemble a complete segment blob (header + payload). `first`/`last`
 /// are the payload's timestamp range; ignored (written as 0) when
@@ -83,12 +87,13 @@ void append_segment_header(std::string& out, std::uint16_t version, RecordKind k
                            std::uint32_t record_count, SimTime first, SimTime last,
                            std::uint64_t payload_bytes, std::uint32_t payload_crc);
 
-/// A fully parsed segment. Exactly one of `conns`/`dns` is populated,
-/// per `header.kind`.
+/// A fully parsed segment. Exactly one of `conns`/`dns`/`encflows` is
+/// populated, per `header.kind`.
 struct SegmentData {
   SegmentHeader header;
   std::vector<capture::ConnRecord> conns;
   std::vector<capture::DnsRecord> dns;
+  std::vector<capture::EncFlowRecord> encflows;
 };
 
 /// Parse and validate a segment blob. `source` names the origin (file

@@ -138,6 +138,7 @@ struct SegmentView::Impl {
   void rewind();
   bool next_conn(capture::ConnRecord& out);
   bool next_dns(capture::DnsRecord& out, bool materialize_name);
+  bool next_enc(capture::EncFlowRecord& out);
 };
 
 // Column indices — must match kConnColumns / kDnsColumns (and the
@@ -320,6 +321,12 @@ void SegmentView::Impl::validate() {
                    source.c_str())};
       }
     }
+  } else if (header.kind == RecordKind::kEncFlow) {
+    // Always v1 (the header parser rejects v2 enc), so only the trailing-
+    // bytes check below applies.
+    capture::EncFlowRecord scratch;
+    while (next_enc(scratch)) {
+    }
   } else {
     capture::DnsRecord scratch;
     while (next_dns(scratch, /*materialize_name=*/false)) {
@@ -484,6 +491,40 @@ bool SegmentView::Impl::next_dns(capture::DnsRecord& out, bool materialize_name)
   return true;
 }
 
+bool SegmentView::Impl::next_enc(capture::EncFlowRecord& out) {
+  if (rec_pos == header.record_count) return false;
+  const std::string_view b = body();
+  wire::Cursor c{b, v1_pos, &source, "segment payload"};
+  const std::uint32_t len = c.u32();
+  if (c.pos + len > b.size()) {
+    throw std::runtime_error{
+        strfmt("%s: record %u overruns segment payload", source.c_str(), rec_pos)};
+  }
+  wire::Cursor rb{b.substr(c.pos, len), 0, &source, "record body"};
+  out.start = SimTime::from_us(rb.i64());
+  out.duration = SimDuration::us(rb.i64());
+  out.client_ip = Ipv4Addr::from_u32(rb.u32());
+  out.server_ip = Ipv4Addr::from_u32(rb.u32());
+  out.client_port = rb.u16();
+  out.server_port = rb.u16();
+  out.up_msgs = rb.u32();
+  out.down_msgs = rb.u32();
+  out.up_bytes = rb.u64();
+  out.down_bytes = rb.u64();
+  out.first_up_bytes = rb.u64();
+  out.first_down_bytes = rb.u64();
+  out.pad_aligned_up = rb.u32();
+  out.pad_aligned_down = rb.u32();
+  if (out.start.count_us() < prev_ts) {
+    throw std::runtime_error{
+        strfmt("%s: record %u timestamps out of order", source.c_str(), rec_pos)};
+  }
+  prev_ts = out.start.count_us();
+  v1_pos = c.pos + len;
+  ++rec_pos;
+  return true;
+}
+
 // ---- SegmentView -----------------------------------------------------------
 
 SegmentView::SegmentView() = default;
@@ -566,6 +607,14 @@ bool SegmentView::next(capture::DnsRecord& out) {
   return im.next_dns(out, /*materialize_name=*/true);
 }
 
+bool SegmentView::next(capture::EncFlowRecord& out) {
+  Impl& im = require(impl_);
+  if (im.header.kind != RecordKind::kEncFlow) {
+    throw std::logic_error{"SegmentView: enc cursor over a non-enc segment"};
+  }
+  return im.next_enc(out);
+}
+
 void SegmentView::rewind() { require(impl_).rewind(); }
 
 std::uint64_t SegmentView::deliver(capture::RecordSink& sink) {
@@ -577,10 +626,16 @@ std::uint64_t SegmentView::deliver(capture::RecordSink& sink) {
       sink.on_conn(rec);
       ++delivered;
     }
-  } else {
+  } else if (im.header.kind == RecordKind::kDns) {
     capture::DnsRecord rec;
     while (im.next_dns(rec, /*materialize_name=*/true)) {
       sink.on_dns(rec);
+      ++delivered;
+    }
+  } else {
+    capture::EncFlowRecord rec;
+    while (im.next_enc(rec)) {
+      sink.on_encflow(rec);
       ++delivered;
     }
   }

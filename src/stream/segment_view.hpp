@@ -66,6 +66,7 @@ class SegmentView {
   /// the record type doesn't match kind().
   bool next(capture::ConnRecord& out);
   bool next(capture::DnsRecord& out);
+  bool next(capture::EncFlowRecord& out);
 
   /// Reset the cursor to the first record.
   void rewind();

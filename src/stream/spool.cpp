@@ -5,6 +5,7 @@
 #include <fstream>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 
 #include "capture/logio.hpp"
 #include "obs/metrics.hpp"
@@ -43,6 +44,14 @@ struct RecTraits<capture::DnsRecord> {
     s.on_dns(r);
   }
 };
+template <>
+struct RecTraits<capture::EncFlowRecord> {
+  static constexpr RecordKind kKind = RecordKind::kEncFlow;
+  static SimTime time(const capture::EncFlowRecord& r) { return r.start; }
+  static void deliver(capture::RecordSink& s, const capture::EncFlowRecord& r) {
+    s.on_encflow(r);
+  }
+};
 
 /// Streams one kind's segment sequence record by record through mmap'd
 /// SegmentViews: segments are validated (CRC + structure) when opened,
@@ -53,16 +62,17 @@ struct RecTraits<capture::DnsRecord> {
 template <typename Rec>
 class SegmentStream {
  public:
-  explicit SegmentStream(const std::vector<std::string>* paths) : paths_{paths} {
+  SegmentStream(const std::vector<std::string>* paths, capture::RecordSink* sink)
+      : paths_{paths}, sink_{sink} {
     advance();
   }
 
   [[nodiscard]] bool done() const { return exhausted_; }
   [[nodiscard]] SimTime head_time() const { return RecTraits<Rec>::time(head_); }
 
-  /// Deliver the head record to `sink` and advance.
-  void pop(capture::RecordSink& sink) {
-    RecTraits<Rec>::deliver(sink, head_);
+  /// Deliver the head record to the sink and advance.
+  void pop() {
+    RecTraits<Rec>::deliver(*sink_, head_);
     advance();
   }
 
@@ -98,6 +108,7 @@ class SegmentStream {
   }
 
   const std::vector<std::string>* paths_;
+  capture::RecordSink* sink_;
   std::size_t next_path_ = 0;
   SegmentView view_;
   bool in_segment_ = false;
@@ -106,27 +117,61 @@ class SegmentStream {
   bool exhausted_ = false;
 };
 
-/// Merge two time-sorted sequences into one nondecreasing delivery
-/// order. Ties go to DNS first: an answer landing at the same microsecond
-/// a connection starts must already be visible to the pairing engine.
-template <typename DnsDone, typename DnsHead, typename DnsPop, typename ConnDone,
-          typename ConnHead, typename ConnPop>
-ReplayCounts merge_deliver(DnsDone dns_done, DnsHead dns_head, DnsPop dns_pop,
-                           ConnDone conn_done, ConnHead conn_head, ConnPop conn_pop) {
+/// Merge three time-sorted sequences into one nondecreasing delivery
+/// order. Tie priority is DNS, then conn, then enc: an answer landing at
+/// the same microsecond a connection starts must already be visible to
+/// the pairing engine, and enc metadata is purely observational so it
+/// trails both. Each stream is a (done, head_time, pop) triple.
+template <typename Dns, typename Conn, typename Enc>
+ReplayCounts merge_deliver(Dns& dns, Conn& conn, Enc& enc) {
   ReplayCounts counts;
-  while (!dns_done() || !conn_done()) {
-    const bool take_dns =
-        !dns_done() && (conn_done() || dns_head() <= conn_head());
-    if (take_dns) {
-      dns_pop();
+  for (;;) {
+    int pick = -1;
+    SimTime best;
+    if (!dns.done()) {
+      pick = 0;
+      best = dns.head_time();
+    }
+    if (!conn.done() && (pick < 0 || conn.head_time() < best)) {
+      pick = 1;
+      best = conn.head_time();
+    }
+    if (!enc.done() && (pick < 0 || enc.head_time() < best)) {
+      pick = 2;
+    }
+    if (pick == 0) {
+      dns.pop();
       ++counts.dns;
-    } else {
-      conn_pop();
+    } else if (pick == 1) {
+      conn.pop();
       ++counts.conns;
+    } else if (pick == 2) {
+      enc.pop();
+      ++counts.encflows;
+    } else {
+      break;
     }
   }
   return counts;
 }
+
+/// Adapts an in-memory sorted vector to the (done, head_time, pop)
+/// stream shape merge_deliver consumes.
+template <typename Rec>
+class VectorStream {
+ public:
+  VectorStream(const std::vector<Rec>* recs, capture::RecordSink* sink)
+      : recs_{recs}, sink_{sink} {}
+
+  [[nodiscard]] bool done() const { return pos_ >= recs_->size(); }
+  [[nodiscard]] SimTime head_time() const { return RecTraits<Rec>::time((*recs_)[pos_]); }
+  void pop() { RecTraits<Rec>::deliver(*sink_, (*recs_)[pos_++]); }
+
+ private:
+  const std::vector<Rec>* recs_;
+  capture::RecordSink* sink_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -171,10 +216,15 @@ void SpoolWriter::add(OpenSegment& seg, RecordKind kind, const Rec& rec, SimTime
                         ts - seg.first >= cfg_.max_segment_span);
   if (rotate_now) rotate(seg, kind);
   if (seg.count == 0) seg.first = ts;
-  if (seg.v2) {
-    seg.v2->add(rec);
-  } else {
+  if constexpr (std::is_same_v<Rec, capture::EncFlowRecord>) {
+    // Enc segments have no columnar layout: always the v1 body codec.
     append_record(seg.payload, rec);
+  } else {
+    if (seg.v2) {
+      seg.v2->add(rec);
+    } else {
+      append_record(seg.payload, rec);
+    }
   }
   ++seg.count;
   seg.last = ts;
@@ -217,9 +267,14 @@ void SpoolWriter::on_dns(const capture::DnsRecord& rec) {
   add(dns_, RecordKind::kDns, rec, rec.ts);
 }
 
+void SpoolWriter::on_encflow(const capture::EncFlowRecord& rec) {
+  add(enc_, RecordKind::kEncFlow, rec, rec.start);
+}
+
 void SpoolWriter::flush() {
   rotate(conn_, RecordKind::kConn);
   rotate(dns_, RecordKind::kDns);
+  rotate(enc_, RecordKind::kEncFlow);
 }
 
 // ---- reading ---------------------------------------------------------------
@@ -237,19 +292,21 @@ SpoolListing list_spool(const std::string& dir) {
       out.conn_segments.push_back(entry.path().string());
     } else if (name.starts_with("dns-")) {
       out.dns_segments.push_back(entry.path().string());
+    } else if (name.starts_with("enc-")) {
+      out.enc_segments.push_back(entry.path().string());
     }
   }
   std::sort(out.conn_segments.begin(), out.conn_segments.end());
   std::sort(out.dns_segments.begin(), out.dns_segments.end());
+  std::sort(out.enc_segments.begin(), out.enc_segments.end());
   return out;
 }
 
 ReplayCounts replay_spool(const SpoolListing& listing, capture::RecordSink& sink) {
-  SegmentStream<capture::DnsRecord> dns{&listing.dns_segments};
-  SegmentStream<capture::ConnRecord> conn{&listing.conn_segments};
-  return merge_deliver([&] { return dns.done(); }, [&] { return dns.head_time(); },
-                       [&] { dns.pop(sink); }, [&] { return conn.done(); },
-                       [&] { return conn.head_time(); }, [&] { conn.pop(sink); });
+  SegmentStream<capture::DnsRecord> dns{&listing.dns_segments, &sink};
+  SegmentStream<capture::ConnRecord> conn{&listing.conn_segments, &sink};
+  SegmentStream<capture::EncFlowRecord> enc{&listing.enc_segments, &sink};
+  return merge_deliver(dns, conn, enc);
 }
 
 ReplayCounts replay_spool(const std::string& dir, capture::RecordSink& sink) {
@@ -257,12 +314,10 @@ ReplayCounts replay_spool(const std::string& dir, capture::RecordSink& sink) {
 }
 
 ReplayCounts replay_dataset(const capture::Dataset& ds, capture::RecordSink& sink) {
-  std::size_t di = 0;
-  std::size_t ci = 0;
-  return merge_deliver(
-      [&] { return di >= ds.dns.size(); }, [&] { return ds.dns[di].ts; },
-      [&] { sink.on_dns(ds.dns[di++]); }, [&] { return ci >= ds.conns.size(); },
-      [&] { return ds.conns[ci].start; }, [&] { sink.on_conn(ds.conns[ci++]); });
+  VectorStream<capture::DnsRecord> dns{&ds.dns, &sink};
+  VectorStream<capture::ConnRecord> conn{&ds.conns, &sink};
+  VectorStream<capture::EncFlowRecord> enc{&ds.encflows, &sink};
+  return merge_deliver(dns, conn, enc);
 }
 
 // ---- text converters -------------------------------------------------------
@@ -271,7 +326,13 @@ ReplayCounts text_to_spool(const std::string& text_dir, const std::string& spool
                            SpoolConfig cfg) {
   const auto conn_path = (fs::path{text_dir} / "conn.log").string();
   const auto dns_path = (fs::path{text_dir} / "dns.log").string();
-  const capture::Dataset ds = capture::load_dataset(conn_path, dns_path);
+  const auto enc_path = (fs::path{text_dir} / "encflow.log").string();
+  capture::Dataset ds = capture::load_dataset(conn_path, dns_path);
+  if (fs::exists(enc_path)) {
+    std::ifstream is{enc_path};
+    if (!is) throw std::runtime_error{"cannot open " + enc_path};
+    ds.encflows = capture::read_encflow_log(is, enc_path);
+  }
   SpoolWriter writer{spool_dir, cfg};
   const ReplayCounts counts = replay_dataset(ds, writer);
   writer.flush();
@@ -286,6 +347,9 @@ class DatasetSink : public capture::RecordSink {
  public:
   void on_conn(const capture::ConnRecord& rec) override { ds.conns.push_back(rec); }
   void on_dns(const capture::DnsRecord& rec) override { ds.dns.push_back(rec); }
+  void on_encflow(const capture::EncFlowRecord& rec) override {
+    ds.encflows.push_back(rec);
+  }
   capture::Dataset ds;
 };
 
@@ -297,6 +361,15 @@ ReplayCounts spool_to_text(const std::string& spool_dir, const std::string& text
   fs::create_directories(text_dir);
   capture::save_dataset(sink.ds, (fs::path{text_dir} / "conn.log").string(),
                         (fs::path{text_dir} / "dns.log").string());
+  // encflow.log only when the spool held enc metadata — cleartext spools
+  // keep producing exactly the two classic files.
+  if (!sink.ds.encflows.empty()) {
+    const auto enc_path = (fs::path{text_dir} / "encflow.log").string();
+    std::ofstream os{enc_path};
+    if (!os) throw std::runtime_error{"cannot open " + enc_path};
+    capture::write_encflow_log(os, sink.ds.encflows);
+    if (!os) throw std::runtime_error{"short write to " + enc_path};
+  }
   return counts;
 }
 
@@ -312,6 +385,7 @@ std::uint64_t spool_bytes(const SpoolListing& listing) {
   std::uint64_t total = 0;
   for (const auto& path : listing.conn_segments) total += fs::file_size(path);
   for (const auto& path : listing.dns_segments) total += fs::file_size(path);
+  for (const auto& path : listing.enc_segments) total += fs::file_size(path);
   return total;
 }
 

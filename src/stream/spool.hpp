@@ -5,6 +5,9 @@
 //
 //   conn-00000000.seg  conn-00000001.seg  ...
 //   dns-00000000.seg   dns-00000001.seg   ...
+//   enc-00000000.seg   enc-00000001.seg   ...   (encrypted-flow metadata;
+//                                                present only when the
+//                                                monitor observed any)
 //
 // The writer rotates the open segment when it reaches a record-count or
 // sim-time-span limit, so a live monitor produces a steady trickle of
@@ -38,7 +41,8 @@ struct SpoolConfig {
   SimDuration max_segment_span = SimDuration::hours(1);
   /// Segment format to WRITE: kSegmentVersion (1, interleaved bodies) or
   /// kSegmentVersionV2 (2, columnar + compressed — the default). Readers
-  /// auto-detect per segment regardless of this setting.
+  /// auto-detect per segment regardless of this setting. Enc segments are
+  /// always written v1 — the columnar format has no enc column set.
   std::uint16_t format = kSegmentVersionV2;
   /// Block codec for v2 segments (ignored for v1).
   SegmentCodec codec = SegmentCodec::kLz;
@@ -53,6 +57,7 @@ class SpoolWriter : public capture::RecordSink {
 
   void on_conn(const capture::ConnRecord& rec) override;
   void on_dns(const capture::DnsRecord& rec) override;
+  void on_encflow(const capture::EncFlowRecord& rec) override;
 
   /// Close the open segments (writing any buffered records). Called by
   /// the destructor, but callers that need the files on disk at a known
@@ -62,6 +67,7 @@ class SpoolWriter : public capture::RecordSink {
   [[nodiscard]] std::size_t segments_written() const { return segments_written_; }
   [[nodiscard]] std::uint64_t conns_written() const { return conn_.records_total; }
   [[nodiscard]] std::uint64_t dns_written() const { return dns_.records_total; }
+  [[nodiscard]] std::uint64_t encflows_written() const { return enc_.records_total; }
 
  private:
   struct OpenSegment {
@@ -83,6 +89,7 @@ class SpoolWriter : public capture::RecordSink {
   SpoolConfig cfg_;
   OpenSegment conn_;
   OpenSegment dns_;
+  OpenSegment enc_;  ///< no v2 builder ever: enc segments are v1-only
   std::size_t segments_written_ = 0;
 };
 
@@ -91,24 +98,26 @@ class SpoolWriter : public capture::RecordSink {
 struct SpoolListing {
   std::vector<std::string> conn_segments;
   std::vector<std::string> dns_segments;
+  std::vector<std::string> enc_segments;
 
   [[nodiscard]] std::size_t total() const {
-    return conn_segments.size() + dns_segments.size();
+    return conn_segments.size() + dns_segments.size() + enc_segments.size();
   }
 };
 
 [[nodiscard]] SpoolListing list_spool(const std::string& dir);
 
-/// Replay a spool into `sink`, merging the conn and dns sequences into
-/// one nondecreasing timeline (ties deliver DNS before conn, matching
-/// the pairing rule that an answer arriving at the very instant a
-/// connection starts is usable by it). Segments stream one at a time —
-/// memory is bounded by the largest single segment. Validates CRCs and
-/// cross-segment timestamp ordering; throws naming the offending file.
-/// Returns (conn, dns) record counts.
+/// Replay a spool into `sink`, merging the conn, dns, and enc sequences
+/// into one nondecreasing timeline (ties deliver DNS first, then conn,
+/// then enc — the DNS-before-conn rule matches the pairing engine; enc
+/// metadata is purely observational and goes last). Segments stream one
+/// at a time — memory is bounded by the largest single segment.
+/// Validates CRCs and cross-segment timestamp ordering; throws naming
+/// the offending file. Returns per-kind record counts.
 struct ReplayCounts {
   std::uint64_t conns = 0;
   std::uint64_t dns = 0;
+  std::uint64_t encflows = 0;
 };
 ReplayCounts replay_spool(const SpoolListing& listing, capture::RecordSink& sink);
 ReplayCounts replay_spool(const std::string& dir, capture::RecordSink& sink);
@@ -118,9 +127,10 @@ ReplayCounts replay_spool(const std::string& dir, capture::RecordSink& sink);
 ReplayCounts replay_dataset(const capture::Dataset& ds, capture::RecordSink& sink);
 
 /// Converters between text logs and spools. `text_to_spool` reads
-/// `<text_dir>/conn.log` + `<text_dir>/dns.log`; `spool_to_text` writes
-/// the same pair. Both directions preserve every field exactly, so
-/// text → spool → text is byte-identical.
+/// `<text_dir>/conn.log` + `<text_dir>/dns.log` (plus `encflow.log` when
+/// present); `spool_to_text` writes the same files, emitting encflow.log
+/// only when the spool holds enc records. Both directions preserve every
+/// field exactly, so text → spool → text is byte-identical.
 ReplayCounts text_to_spool(const std::string& text_dir, const std::string& spool_dir,
                            SpoolConfig cfg = {});
 ReplayCounts spool_to_text(const std::string& spool_dir, const std::string& text_dir);

@@ -177,7 +177,11 @@ void BrowserApp::visit_page(NameId site, int pages_left) {
   // Assets start once the HTML begins arriving and the parser finds them.
   const double parse_delay = rng_.uniform(0.15, 0.8);
   device_.sim().after(SimDuration::from_sec(parse_delay), [this, site]() {
-    load_assets(world_.web.page(site));
+    const PageProfile& prof = world_.web.page(site);
+    // Resolver-less push rides the HTML itself: records land in the
+    // device cache before the parser asks for any asset.
+    if (cfg_.server_push) push_assets(prof);
+    load_assets(prof);
   });
   device_.sim().after(SimDuration::from_sec(parse_delay + rng_.uniform(0.2, 1.0)),
                       [this, site]() { maybe_prefetch_links(world_.web.page(site)); });
@@ -225,6 +229,20 @@ void BrowserApp::load_assets(const PageProfile& prof) {
                       SimDuration::from_ms(5.0 + rng_.exponential(10.0)));
       }
     });
+  }
+}
+
+void BrowserApp::push_assets(const PageProfile& prof) {
+  for (const NameId asset : prof.asset_hosts) {
+    const auto& rec = world_.zones.record(asset);
+    if (rec.addrs.empty()) continue;
+    std::vector<dns::ResourceRecord> answers;
+    answers.reserve(rec.addrs.size());
+    for (const auto addr : rec.addrs) {
+      answers.push_back(
+          dns::ResourceRecord{rec.name, dns::RrType::kA, dns::RrClass::kIn, rec.ttl_sec, addr});
+    }
+    device_.stub().insert_pushed(rec.name, std::move(answers), device_.sim().now());
   }
 }
 

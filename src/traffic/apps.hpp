@@ -82,6 +82,12 @@ struct BrowserConfig {
   /// Chromium-style random-hostname probes at session start (the
   /// browser's DNS-interception check) — guaranteed NXDOMAIN traffic.
   double junk_probe_prob = 0.35;
+  /// Resolver-less DNS (Sy et al., --transport resolverless): pages push
+  /// address records for their embedded asset hosts alongside the HTML,
+  /// so asset connections need no lookup — and leave no DNS transaction
+  /// for the monitor to pair. Draws no randomness: the default-off path
+  /// stays byte-identical.
+  bool server_push = false;
 };
 
 class BrowserApp : public App {
@@ -94,6 +100,7 @@ class BrowserApp : public App {
   void begin_session();
   void visit_page(resolver::NameId site, int pages_left);
   void load_assets(const PageProfile& prof);
+  void push_assets(const PageProfile& prof);
   void maybe_prefetch_links(const PageProfile& prof);
 
   BrowserConfig cfg_;

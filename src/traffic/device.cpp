@@ -26,6 +26,7 @@ std::uint16_t Device::alloc_port() {
 void Device::open_tcp(Ipv4Addr dst, std::uint16_t dst_port, netsim::TransferIntent intent,
                       ConnDone done) {
   if (truth_) ++truth_->no_dns_conns;  // public entry = address known a priori
+  intent.true_class = netsim::TrueClass::kNoDns;
   open_tcp_impl(dst, dst_port, intent, std::move(done));
 }
 
@@ -87,6 +88,7 @@ void Device::arm_syn_timer(std::uint16_t sport, int expected_attempts) {
 void Device::send_udp(Ipv4Addr dst, std::uint16_t dst_port, std::uint16_t src_port,
                       std::uint64_t payload, std::optional<netsim::TransferIntent> intent) {
   if (truth_ && intent) ++truth_->no_dns_conns;  // intent-bearing datagram opens a flow
+  if (intent) intent->true_class = netsim::TrueClass::kNoDns;
   netsim::Packet p;
   p.src_ip = ip_;
   p.dst_ip = dst;
@@ -105,6 +107,13 @@ void Device::receive(const netsim::Packet& p) {
   }
   if (p.src_port == 53) {  // DNS truncation fallback runs over TCP
     stub_.on_tcp(p);
+    return;
+  }
+  // Encrypted DNS channels (DoT/DoH). Port 443 is ambiguous — ordinary
+  // web responses come from it too — so the stub's channel ports (20000+,
+  // disjoint from client ports 10000..19999) are the demux key.
+  if ((p.src_port == 853 || p.src_port == 443) && stub_.owns_secure_port(p.dst_port)) {
+    stub_.on_secure(p);
     return;
   }
   const auto it = tcp_.find(p.dst_port);
@@ -172,6 +181,7 @@ void Device::fetch(const dns::DomainName& name, std::uint16_t dst_port,
       if (dns_res.from_cache) {
         ++truth_->fetch_cache_hits;
         if (dns_res.used_expired) ++truth_->fetch_cache_expired;
+        if (dns_res.origin == dns::CacheOrigin::kPushed) ++truth_->fetch_pushed_hits;
       } else {
         ++truth_->fetch_blocked;
       }
@@ -179,6 +189,28 @@ void Device::fetch(const dns::DomainName& name, std::uint16_t dst_port,
     if (!dns_res.success || dns_res.addrs.empty()) {
       if (cb) cb(FetchResult{false, dns_res});
       return;
+    }
+    // Tag the connection's ground-truth class (per the vantage-point
+    // rule the monitor never reads this; TruthTap collects it).
+    netsim::TransferIntent tagged = intent;
+    if (dns_res.from_cache) {
+      switch (dns_res.origin) {
+        case dns::CacheOrigin::kPushed:
+          tagged.true_class = netsim::TrueClass::kPushed;
+          break;
+        case dns::CacheOrigin::kSpeculative:
+          // First use of a prefetched entry is the paper's P class;
+          // re-use afterwards is indistinguishable from LC truth-wise.
+          tagged.true_class = dns_res.first_use ? netsim::TrueClass::kPrefetched
+                                                : netsim::TrueClass::kLocalCache;
+          break;
+        case dns::CacheOrigin::kQuery:
+          tagged.true_class = netsim::TrueClass::kLocalCache;
+          break;
+      }
+    } else {
+      tagged.true_class = dns_res.upstream_cache_hit ? netsim::TrueClass::kSharedCache
+                                                     : netsim::TrueClass::kRequired;
     }
     // Application think time between learning the address and connecting:
     // fractions of a millisecond to a few milliseconds (socket setup,
@@ -188,8 +220,8 @@ void Device::fetch(const dns::DomainName& name, std::uint16_t dst_port,
         connect_delay.value_or(SimDuration::from_ms(1.0 + rng_.exponential(3.5)));
     const Ipv4Addr target = dns_res.addrs.front();
     sim_.after(delay,
-               [this, target, dst_port, intent, dns_res, cb = std::move(cb)]() {
-                 open_tcp_impl(target, dst_port, intent, [dns_res, cb](bool ok) {
+               [this, target, dst_port, tagged, dns_res, cb = std::move(cb)]() {
+                 open_tcp_impl(target, dst_port, tagged, [dns_res, cb](bool ok) {
                    if (cb) cb(FetchResult{ok, dns_res});
                  });
                });

@@ -34,6 +34,7 @@ struct GroundTruth {
   std::uint64_t fetch_blocked = 0;       ///< had to wait for a network lookup
   std::uint64_t prefetches = 0;          ///< speculative resolutions
   std::uint64_t no_dns_conns = 0;        ///< flows opened without any lookup
+  std::uint64_t fetch_pushed_hits = 0;   ///< served by a server-pushed record
 };
 
 class Device : public netsim::Host {

@@ -255,7 +255,10 @@ class FlatMap {
   void rehash(std::size_t new_cap) {
     std::vector<value_type> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_used = std::move(used_);
-    slots_.assign(new_cap, value_type{});
+    // resize (not assign) so move-only values (e.g. unique_ptr) work:
+    // fresh slots are default-constructed, never copied from a template.
+    slots_.clear();
+    slots_.resize(new_cap);
     used_.assign(new_cap, 0);
     const std::size_t mask = new_cap - 1;
     for (std::size_t i = 0; i < old_slots.size(); ++i) {

@@ -1,0 +1,155 @@
+// dnsctx — encrypted-flow classifier tests: feature extraction (hello
+// exclusion, padding fractions), the looks_like_dns decision rule, and
+// the configuration-truth confusion matrix.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/encdns.hpp"
+#include "netsim/transport.hpp"
+
+namespace dnsctx::analysis {
+namespace {
+
+constexpr Ipv4Addr kClient{100, 66, 3, 7};
+constexpr Ipv4Addr kResolver{100, 66, 250, 1};
+constexpr Ipv4Addr kWeb{93, 184, 216, 34};
+
+/// A DoT/DoH-shaped flow: hello exchange plus `pairs` fully padded
+/// query/response rounds.
+[[nodiscard]] capture::EncFlowRecord dns_flow(Ipv4Addr server, std::uint16_t port,
+                                              std::uint32_t pairs) {
+  const auto& traits = netsim::traits_for(
+      port == 853 ? netsim::Transport::kDoT : netsim::Transport::kDoH);
+  capture::EncFlowRecord e;
+  e.start = SimTime::from_us(1'000'000);
+  e.duration = SimDuration::ms(250);
+  e.client_ip = kClient;
+  e.server_ip = server;
+  e.client_port = 31'000;
+  e.server_port = port;
+  e.up_msgs = pairs + 1;
+  e.down_msgs = pairs + 1;
+  e.first_up_bytes = traits.client_hello_bytes;
+  e.first_down_bytes = traits.server_hello_bytes;
+  e.up_bytes = traits.client_hello_bytes +
+               pairs * (traits.query_pad_block + traits.per_message_overhead);
+  e.down_bytes = traits.server_hello_bytes +
+                 pairs * (traits.response_pad_block + traits.per_message_overhead);
+  e.pad_aligned_up = pairs;
+  e.pad_aligned_down = pairs;
+  return e;
+}
+
+/// An ordinary HTTPS fetch: hello exchange, one request, two response
+/// bursts of arbitrary (unaligned) sizes.
+[[nodiscard]] capture::EncFlowRecord web_flow() {
+  capture::EncFlowRecord e;
+  e.start = SimTime::from_us(2'000'000);
+  e.duration = SimDuration::ms(900);
+  e.client_ip = kClient;
+  e.server_ip = kWeb;
+  e.client_port = 31'001;
+  e.server_port = 443;
+  e.up_msgs = 2;
+  e.down_msgs = 3;
+  e.first_up_bytes = 517;
+  e.first_down_bytes = 4'133;
+  e.up_bytes = 517 + 777;
+  e.down_bytes = 4'133 + 31'337 + 1'205;
+  e.pad_aligned_up = 0;
+  e.pad_aligned_down = 0;
+  return e;
+}
+
+TEST(EncFeatures, HelloIsExcludedFromDataStatistics) {
+  const auto rec = dns_flow(kResolver, 853, 3);
+  const EncFlowFeatures f = extract_features(rec);
+  EXPECT_EQ(f.data_msgs_up, 3u);
+  EXPECT_EQ(f.data_msgs_down, 3u);
+  const auto& traits = netsim::traits_for(netsim::Transport::kDoT);
+  EXPECT_DOUBLE_EQ(f.mean_data_up,
+                   static_cast<double>(traits.query_pad_block +
+                                       traits.per_message_overhead));
+  EXPECT_DOUBLE_EQ(f.mean_data_down,
+                   static_cast<double>(traits.response_pad_block +
+                                       traits.per_message_overhead));
+  EXPECT_DOUBLE_EQ(f.pad_frac_up, 1.0);
+  EXPECT_DOUBLE_EQ(f.pad_frac_down, 1.0);
+  EXPECT_EQ(f.first_up_bytes, traits.client_hello_bytes);
+  EXPECT_TRUE(f.dot_port);
+  EXPECT_DOUBLE_EQ(f.duration_sec, 0.25);
+}
+
+TEST(EncFeatures, HelloOnlyFlowHasNoDataAndNoDivByZero) {
+  const auto rec = dns_flow(kResolver, 853, 0);
+  const EncFlowFeatures f = extract_features(rec);
+  EXPECT_EQ(f.data_msgs_up, 0u);
+  EXPECT_EQ(f.data_msgs_down, 0u);
+  EXPECT_DOUBLE_EQ(f.mean_data_up, 0.0);
+  EXPECT_DOUBLE_EQ(f.pad_frac_up, 0.0);
+}
+
+TEST(EncClassifier, FlagsPaddedDnsChannelsOnBothPorts) {
+  EXPECT_TRUE(looks_like_dns(dns_flow(kResolver, 853, 1)));
+  // DoH hiding among HTTPS: same decision, no port hint needed.
+  EXPECT_TRUE(looks_like_dns(dns_flow(kResolver, 443, 5)));
+}
+
+TEST(EncClassifier, RejectsWebShapedFlows) {
+  EXPECT_FALSE(looks_like_dns(web_flow()));
+  // Hello-only flows carry no data to judge.
+  EXPECT_FALSE(looks_like_dns(dns_flow(kResolver, 853, 0)));
+  // One unaligned message in either direction breaks the full-alignment rule.
+  auto partial = dns_flow(kResolver, 443, 4);
+  partial.pad_aligned_down = 3;
+  EXPECT_FALSE(looks_like_dns(partial));
+  // A huge first flight is no ClientHello-sized opener.
+  auto big_open = dns_flow(kWeb, 443, 2);
+  big_open.first_up_bytes = 2'048;
+  EXPECT_FALSE(looks_like_dns(big_open));
+}
+
+TEST(EncClassifier, ConfusionMatrixUsesConfigurationTruth) {
+  std::vector<capture::EncFlowRecord> flows;
+  flows.push_back(dns_flow(kResolver, 853, 2));  // tp
+  flows.push_back(dns_flow(kResolver, 443, 1));  // tp
+  flows.push_back(dns_flow(kResolver, 853, 0));  // fn: hello-only, missed
+  flows.push_back(web_flow());                   // tn
+  flows.push_back(dns_flow(kWeb, 443, 3));       // fp: DNS-shaped, wrong server
+
+  const EncConfusion c = evaluate_enc_classifier(flows, {kResolver});
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 3.0 / 5.0);
+}
+
+TEST(EncClassifier, EmptyConfusionHasSafeMetrics) {
+  const EncConfusion c = evaluate_enc_classifier({}, {kResolver});
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(EncClassifier, RenderReportShowsCountsAndRates) {
+  EncConfusion c;
+  c.tp = 4;
+  c.fp = 1;
+  c.tn = 10;
+  c.fn = 0;
+  const std::string report = render_enc_report(c);
+  EXPECT_NE(report.find("15 flows"), std::string::npos);
+  EXPECT_NE(report.find("tp 4 fp 1 tn 10 fn 0"), std::string::npos);
+  EXPECT_NE(report.find("precision 80.00%"), std::string::npos);
+  EXPECT_NE(report.find("recall 100.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsctx::analysis

@@ -1,0 +1,168 @@
+// dnsctx — truth-vs-inferred taxonomy tests: the expected-label map, the
+// five-tuple join, exact misclassification counts on a hand-built
+// fixture, and the out-of-vocabulary rule (kPushed / kDnsTransport flows
+// count misclassified wherever the classifier puts them).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/truth.hpp"
+
+namespace dnsctx::analysis {
+namespace {
+
+constexpr Ipv4Addr kHouse{100, 66, 3, 7};
+constexpr Ipv4Addr kWeb{93, 184, 216, 34};
+
+[[nodiscard]] capture::ConnRecord make_conn(std::uint16_t orig_port) {
+  capture::ConnRecord c;
+  c.start = SimTime::from_us(1'000'000 + orig_port);
+  c.orig_ip = kHouse;
+  c.resp_ip = kWeb;
+  c.orig_port = orig_port;
+  c.resp_port = 443;
+  c.proto = Proto::kTcp;
+  return c;
+}
+
+[[nodiscard]] capture::TruthFlow make_truth(std::uint16_t orig_port,
+                                            netsim::TrueClass cls) {
+  capture::TruthFlow t;
+  t.start = SimTime::from_us(1'000'000 + orig_port);
+  t.tuple = FiveTuple{kHouse, kWeb, orig_port, 443, Proto::kTcp};
+  t.cls = cls;
+  return t;
+}
+
+TEST(TruthComparison, ExpectedLabelCoversThePaperTaxonomyOnly) {
+  ConnClass out{};
+  ASSERT_TRUE(TruthComparison::expected_label(netsim::TrueClass::kNoDns, out));
+  EXPECT_EQ(out, ConnClass::kN);
+  ASSERT_TRUE(TruthComparison::expected_label(netsim::TrueClass::kLocalCache, out));
+  EXPECT_EQ(out, ConnClass::kLC);
+  ASSERT_TRUE(TruthComparison::expected_label(netsim::TrueClass::kPrefetched, out));
+  EXPECT_EQ(out, ConnClass::kP);
+  ASSERT_TRUE(TruthComparison::expected_label(netsim::TrueClass::kSharedCache, out));
+  EXPECT_EQ(out, ConnClass::kSC);
+  ASSERT_TRUE(TruthComparison::expected_label(netsim::TrueClass::kRequired, out));
+  EXPECT_EQ(out, ConnClass::kR);
+  // Classes the paper has no name for get no expected label.
+  EXPECT_FALSE(TruthComparison::expected_label(netsim::TrueClass::kUnknown, out));
+  EXPECT_FALSE(TruthComparison::expected_label(netsim::TrueClass::kPushed, out));
+  EXPECT_FALSE(TruthComparison::expected_label(netsim::TrueClass::kDnsTransport, out));
+}
+
+TEST(TruthComparison, JoinCountsExactMisclassification) {
+  // Five connections, truth known by construction:
+  //   port 1: truly LC, inferred LC  — correct
+  //   port 2: truly LC, inferred N   — the DoT signature (silent DNS log)
+  //   port 3: truly R,  inferred R   — correct
+  //   port 4: truly SC, inferred R   — threshold miss
+  //   port 5: truly N,  inferred N   — correct
+  capture::Dataset ds;
+  Classified cls;
+  std::vector<capture::TruthFlow> truth;
+  const struct {
+    std::uint16_t port;
+    netsim::TrueClass t;
+    ConnClass c;
+  } rows[] = {
+      {1, netsim::TrueClass::kLocalCache, ConnClass::kLC},
+      {2, netsim::TrueClass::kLocalCache, ConnClass::kN},
+      {3, netsim::TrueClass::kRequired, ConnClass::kR},
+      {4, netsim::TrueClass::kSharedCache, ConnClass::kR},
+      {5, netsim::TrueClass::kNoDns, ConnClass::kN},
+  };
+  for (const auto& r : rows) {
+    ds.conns.push_back(make_conn(r.port));
+    cls.classes.push_back(r.c);
+    truth.push_back(make_truth(r.port, r.t));
+  }
+
+  const TruthComparison tc = compare_with_truth(ds, cls, truth);
+  EXPECT_EQ(tc.total(), 5u);
+  EXPECT_EQ(tc.count(netsim::TrueClass::kLocalCache, ConnClass::kLC), 1u);
+  EXPECT_EQ(tc.count(netsim::TrueClass::kLocalCache, ConnClass::kN), 1u);
+  EXPECT_EQ(tc.count(netsim::TrueClass::kSharedCache, ConnClass::kR), 1u);
+  EXPECT_EQ(tc.row_total(netsim::TrueClass::kLocalCache), 2u);
+  EXPECT_EQ(tc.misclassified_in(netsim::TrueClass::kLocalCache), 1u);
+  EXPECT_EQ(tc.misclassified_in(netsim::TrueClass::kSharedCache), 1u);
+  EXPECT_EQ(tc.misclassified_in(netsim::TrueClass::kNoDns), 0u);
+  EXPECT_EQ(tc.misclassified(), 2u);
+  EXPECT_DOUBLE_EQ(tc.misclassified_frac(), 2.0 / 5.0);
+  EXPECT_EQ(tc.conns_without_truth, 0u);
+  EXPECT_EQ(tc.truth_without_conn, 0u);
+}
+
+TEST(TruthComparison, OutOfVocabularyClassesCountEntirely) {
+  // Resolverless pushes create kPushed flows; whatever label the
+  // classifier assigns them is wrong by definition.
+  capture::Dataset ds;
+  Classified cls;
+  std::vector<capture::TruthFlow> truth;
+  ds.conns.push_back(make_conn(10));
+  cls.classes.push_back(ConnClass::kLC);  // even its "best case" label
+  truth.push_back(make_truth(10, netsim::TrueClass::kPushed));
+  ds.conns.push_back(make_conn(11));
+  cls.classes.push_back(ConnClass::kN);
+  truth.push_back(make_truth(11, netsim::TrueClass::kDnsTransport));
+
+  const TruthComparison tc = compare_with_truth(ds, cls, truth);
+  EXPECT_EQ(tc.total(), 2u);
+  EXPECT_EQ(tc.misclassified(), 2u);
+  EXPECT_EQ(tc.misclassified_in(netsim::TrueClass::kPushed), 1u);
+  EXPECT_EQ(tc.misclassified_in(netsim::TrueClass::kDnsTransport), 1u);
+}
+
+TEST(TruthComparison, UnmatchedSidesAreCountedNotJoined) {
+  capture::Dataset ds;
+  Classified cls;
+  std::vector<capture::TruthFlow> truth;
+  // A conn with no truth flow (e.g. monitor saw something the tap missed)
+  ds.conns.push_back(make_conn(20));
+  cls.classes.push_back(ConnClass::kN);
+  // Two truth flows with no conn record (e.g. flows outside the local net)
+  truth.push_back(make_truth(30, netsim::TrueClass::kRequired));
+  truth.push_back(make_truth(31, netsim::TrueClass::kNoDns));
+
+  const TruthComparison tc = compare_with_truth(ds, cls, truth);
+  EXPECT_EQ(tc.total(), 0u);
+  EXPECT_EQ(tc.conns_without_truth, 1u);
+  EXPECT_EQ(tc.truth_without_conn, 2u);
+  EXPECT_DOUBLE_EQ(tc.misclassified_frac(), 0.0);  // empty join, no div-by-zero
+}
+
+TEST(TruthComparison, DuplicateTruthTuplesAreFirstWins) {
+  capture::Dataset ds;
+  Classified cls;
+  std::vector<capture::TruthFlow> truth;
+  ds.conns.push_back(make_conn(40));
+  cls.classes.push_back(ConnClass::kR);
+  truth.push_back(make_truth(40, netsim::TrueClass::kRequired));
+  truth.push_back(make_truth(40, netsim::TrueClass::kNoDns));  // retransmit dup
+
+  const TruthComparison tc = compare_with_truth(ds, cls, truth);
+  EXPECT_EQ(tc.count(netsim::TrueClass::kRequired, ConnClass::kR), 1u);
+  EXPECT_EQ(tc.row_total(netsim::TrueClass::kNoDns), 0u);
+  EXPECT_EQ(tc.misclassified(), 0u);
+}
+
+TEST(TruthComparison, RenderReportShowsRowsAndSummary) {
+  capture::Dataset ds;
+  Classified cls;
+  std::vector<capture::TruthFlow> truth;
+  ds.conns.push_back(make_conn(50));
+  cls.classes.push_back(ConnClass::kN);
+  truth.push_back(make_truth(50, netsim::TrueClass::kLocalCache));
+
+  const auto report = render_truth_report(compare_with_truth(ds, cls, truth));
+  EXPECT_NE(report.find("truth\\inferred"), std::string::npos);
+  EXPECT_NE(report.find("misclassified 1"), std::string::npos);
+  // Empty truth rows are suppressed: "required" never appears.
+  EXPECT_EQ(report.find(std::string{netsim::to_string(netsim::TrueClass::kRequired)}),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsctx::analysis

@@ -1,0 +1,30 @@
+// libFuzzer target for the encrypted-flow pipeline: parse arbitrary
+// bytes as an encflow.log, then run every surviving record through the
+// traffic-analysis feature extractor and classifier. The parser must
+// reject garbage with std::runtime_error (never crash), and the
+// classifier must be total over whatever records parse — including
+// adversarial ones (up_bytes < first_up_bytes, zero message counts,
+// huge values near overflow).
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/encdns.hpp"
+#include "capture/logio.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::istringstream is{std::string{reinterpret_cast<const char*>(data), size}};
+  try {
+    const auto flows = dnsctx::capture::read_encflow_log(is, "fuzz");
+    for (const auto& rec : flows) {
+      const auto f = dnsctx::analysis::extract_features(rec);
+      (void)f;
+      (void)dnsctx::analysis::looks_like_dns(rec);
+    }
+    (void)dnsctx::analysis::evaluate_enc_classifier(flows,
+                                                    {dnsctx::Ipv4Addr{100, 66, 250, 1}});
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Transport-scenario integration tests: the classic cleartext stream is
+// byte-identical with and without the knob, encrypted transports are
+// deterministic (including across shards), and the taxonomy-degradation
+// harness reproduces its misclassification counts and confusion matrix
+// exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "analysis/encdns.hpp"
+#include "analysis/study.hpp"
+#include "analysis/truth.hpp"
+#include "capture/logio.hpp"
+#include "scenario/config_io.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dnsctx {
+namespace {
+
+[[nodiscard]] scenario::ScenarioConfig small_config(std::uint64_t seed,
+                                                    std::size_t shards = 1) {
+  scenario::ScenarioConfig cfg;
+  cfg.houses = 8;
+  cfg.duration = SimDuration::hours(1);
+  cfg.seed = seed;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Full-dataset byte serialization, encrypted-flow metadata included.
+[[nodiscard]] std::string serialize(const capture::Dataset& ds) {
+  std::stringstream ss;
+  capture::write_conn_log(ss, ds.conns);
+  capture::write_dns_log(ss, ds.dns);
+  capture::write_encflow_log(ss, ds.encflows);
+  return ss.str();
+}
+
+TEST(TransportScenario, ExplicitDo53IsByteIdenticalToNoKnob) {
+  // The golden-invariance contract: setting --transport do53 must not
+  // shift a single RNG draw, for several seeds and shard layouts.
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      scenario::Town plain{small_config(seed, shards)};
+      plain.run();
+      auto cfg = small_config(seed, shards);
+      cfg.transport = netsim::Transport::kDo53;
+      scenario::Town knobbed{cfg};
+      knobbed.run();
+      EXPECT_EQ(serialize(plain.dataset()), serialize(knobbed.dataset()))
+          << "seed " << seed << " shards " << shards;
+      EXPECT_TRUE(plain.dataset().encflows.empty());
+      EXPECT_TRUE(plain.truth_flows().empty());  // truth is opt-in
+    }
+  }
+}
+
+TEST(TransportScenario, DotIsDeterministicAndGoesQuiet) {
+  auto cfg = small_config(3);
+  cfg.transport = netsim::Transport::kDoT;
+  scenario::Town a{cfg};
+  a.run();
+  scenario::Town b{cfg};
+  b.run();
+  EXPECT_EQ(serialize(a.dataset()), serialize(b.dataset()));
+
+  // Encrypted flows appear; the port-53 DNS log collapses to the
+  // non-capable (IoT-style) devices that stay on Do53.
+  EXPECT_FALSE(a.dataset().encflows.empty());
+  scenario::Town clear{small_config(3)};
+  clear.run();
+  EXPECT_LT(a.dataset().dns.size(), clear.dataset().dns.size() / 4);
+  // Every encrypted flow to a resolver rides the DoT port.
+  for (const auto& e : a.dataset().encflows) {
+    const auto& addrs = a.resolver_service_addrs();
+    if (std::find(addrs.begin(), addrs.end(), e.server_ip) != addrs.end()) {
+      EXPECT_EQ(e.server_port, 853);
+    }
+  }
+}
+
+TEST(TransportScenario, DohRidesPort443AndStaysDeterministicSharded) {
+  auto cfg = small_config(5, 4);
+  cfg.transport = netsim::Transport::kDoH;
+  cfg.collect_truth = true;
+  scenario::Town a{cfg};
+  a.run();
+  scenario::Town b{cfg};
+  b.run();
+  EXPECT_EQ(serialize(a.dataset()), serialize(b.dataset()));
+
+  bool saw_resolver_443 = false;
+  const auto& addrs = a.resolver_service_addrs();
+  for (const auto& e : a.dataset().encflows) {
+    if (std::find(addrs.begin(), addrs.end(), e.server_ip) != addrs.end()) {
+      EXPECT_EQ(e.server_port, 443);
+      saw_resolver_443 = true;
+    }
+  }
+  EXPECT_TRUE(saw_resolver_443);
+
+  // The encrypted-flow confusion matrix is part of the determinism
+  // contract: identical across reruns of the same sharded scenario.
+  const auto ca = analysis::evaluate_enc_classifier(a.dataset().encflows, addrs);
+  const auto cb =
+      analysis::evaluate_enc_classifier(b.dataset().encflows, b.resolver_service_addrs());
+  EXPECT_EQ(ca.tp, cb.tp);
+  EXPECT_EQ(ca.fp, cb.fp);
+  EXPECT_EQ(ca.tn, cb.tn);
+  EXPECT_EQ(ca.fn, cb.fn);
+  EXPECT_GT(ca.tp, 0u);
+}
+
+TEST(TransportScenario, TruthHarnessReproducesMisclassificationExactly) {
+  auto cfg = small_config(11);
+  cfg.transport = netsim::Transport::kDoT;
+  cfg.collect_truth = true;
+
+  auto run_comparison = [&cfg] {
+    scenario::Town town{cfg};
+    town.run();
+    const auto study = analysis::run_study(town.dataset());
+    return analysis::compare_with_truth(town.dataset(), study.classified,
+                                        town.truth_flows());
+  };
+  const auto tc1 = run_comparison();
+  const auto tc2 = run_comparison();
+  EXPECT_GT(tc1.total(), 0u);
+  EXPECT_EQ(tc1.matrix, tc2.matrix);
+  EXPECT_EQ(tc1.conns_without_truth, tc2.conns_without_truth);
+  EXPECT_EQ(tc1.truth_without_conn, tc2.truth_without_conn);
+  EXPECT_EQ(tc1.misclassified(), tc2.misclassified());
+}
+
+TEST(TransportScenario, TaxonomyDegradesUnderEncryptedTransport) {
+  // The headline result: the same neighborhood misclassifies far more
+  // of its connections once the stub encrypts — the DNS log the §5
+  // classifier depends on has gone dark.
+  auto run_frac = [](netsim::Transport t) {
+    auto cfg = small_config(13);
+    cfg.transport = t;
+    cfg.collect_truth = true;
+    scenario::Town town{cfg};
+    town.run();
+    const auto study = analysis::run_study(town.dataset());
+    return analysis::compare_with_truth(town.dataset(), study.classified,
+                                        town.truth_flows())
+        .misclassified_frac();
+  };
+  const double clear = run_frac(netsim::Transport::kDo53);
+  const double dot = run_frac(netsim::Transport::kDoT);
+  EXPECT_GT(dot, clear + 0.2);
+}
+
+TEST(TransportScenario, ResolverlessPushesRecordsPastTheStub) {
+  auto cfg = small_config(17);
+  cfg.transport = netsim::Transport::kResolverless;
+  cfg.collect_truth = true;
+  scenario::Town town{cfg};
+  town.run();
+
+  // Pushed records serve fetches without any lookup...
+  EXPECT_GT(town.ground_truth().fetch_pushed_hits, 0u);
+  // ...and the ground truth labels those flows with a class the paper's
+  // taxonomy cannot express.
+  const auto& flows = town.truth_flows();
+  EXPECT_TRUE(std::any_of(flows.begin(), flows.end(), [](const auto& f) {
+    return f.cls == netsim::TrueClass::kPushed;
+  }));
+  // Resolver-less is a cleartext scenario: no encrypted metadata.
+  EXPECT_TRUE(town.dataset().encflows.empty());
+}
+
+TEST(TransportScenario, KnobsDefaultOffEverywhere) {
+  EXPECT_EQ(scenario::ScenarioConfig{}.transport, netsim::Transport::kDo53);
+  EXPECT_FALSE(scenario::ScenarioConfig{}.collect_truth);
+  EXPECT_EQ(resolver::StubConfig{}.transport, netsim::Transport::kDo53);
+  EXPECT_FALSE(capture::MonitorConfig{}.observe_encrypted_metadata);
+  EXPECT_FALSE(traffic::BrowserConfig{}.server_push);
+}
+
+TEST(TransportScenario, ConfigRoundTripAndClassicFileShape) {
+  scenario::ScenarioConfig cfg;
+  cfg.transport = netsim::Transport::kDoH;
+  cfg.collect_truth = true;
+  std::stringstream ss;
+  scenario::save_config(ss, cfg);
+  const auto back = scenario::load_config(ss);
+  EXPECT_EQ(back.transport, netsim::Transport::kDoH);
+  EXPECT_TRUE(back.collect_truth);
+
+  // Classic configs keep their classic bytes: no transport keys at all.
+  std::stringstream classic;
+  scenario::save_config(classic, scenario::ScenarioConfig{});
+  EXPECT_EQ(classic.str().find("transport"), std::string::npos);
+  EXPECT_EQ(classic.str().find("collect_truth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsctx

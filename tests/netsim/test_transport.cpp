@@ -1,0 +1,234 @@
+// dnsctx — transport-model tests: traits, RFC 8467 padding properties,
+// and randomized-interleaving property tests of the SecureChannel
+// connection-reuse state machine against a straight-line reference model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/transport.hpp"
+#include "util/rng.hpp"
+
+namespace dnsctx::netsim {
+namespace {
+
+TEST(Transport, NameRoundTrip) {
+  for (const Transport t : {Transport::kDo53, Transport::kDoT, Transport::kDoH,
+                            Transport::kResolverless}) {
+    const auto parsed = parse_transport(to_string(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_transport("dnscrypt").has_value());
+  EXPECT_FALSE(parse_transport("").has_value());
+  EXPECT_FALSE(parse_transport("DoT").has_value());  // names are lowercase
+}
+
+TEST(Transport, CleartextTraitsAreInert) {
+  for (const Transport t : {Transport::kDo53, Transport::kResolverless}) {
+    const auto& traits = traits_for(t);
+    EXPECT_FALSE(traits.encrypted);
+    EXPECT_EQ(traits.port, 53);
+    EXPECT_EQ(traits.query_pad_block, 0u);
+    EXPECT_EQ(traits.response_pad_block, 0u);
+    EXPECT_EQ(traits.per_message_overhead, 0u);
+    EXPECT_EQ(traits.idle_timeout, SimDuration::zero());
+  }
+}
+
+TEST(Transport, EncryptedTraitsMatchRfcProfiles) {
+  const auto& dot = traits_for(Transport::kDoT);
+  EXPECT_TRUE(dot.encrypted);
+  EXPECT_EQ(dot.port, 853);
+  EXPECT_EQ(dot.query_pad_block, 128u);     // RFC 8467 §4 recommendation
+  EXPECT_EQ(dot.response_pad_block, 468u);
+  EXPECT_EQ(dot.idle_timeout, SimDuration::sec(10));
+
+  const auto& doh = traits_for(Transport::kDoH);
+  EXPECT_TRUE(doh.encrypted);
+  EXPECT_EQ(doh.port, 443);
+  EXPECT_EQ(doh.query_pad_block, 128u);
+  EXPECT_EQ(doh.response_pad_block, 468u);
+  EXPECT_EQ(doh.idle_timeout, SimDuration::sec(30));
+  // HTTP/2 framing rides on top of the TLS record costs.
+  EXPECT_GT(doh.per_message_overhead, dot.per_message_overhead);
+  EXPECT_GT(doh.client_hello_bytes, dot.client_hello_bytes);
+}
+
+TEST(Transport, PadToBlockProperties) {
+  Rng rng{20'260'808};
+  for (int i = 0; i < 2'000; ++i) {
+    const auto bytes = static_cast<std::uint64_t>(rng.uniform_int(0, 5'000));
+    const auto block = static_cast<std::uint32_t>(rng.uniform_int(1, 512));
+    const std::uint64_t padded = pad_to_block(bytes, block);
+    EXPECT_EQ(padded % block, 0u);
+    EXPECT_GE(padded, bytes);
+    EXPECT_LT(padded - bytes, block);
+  }
+  // block == 0 means "no padding" — identity.
+  EXPECT_EQ(pad_to_block(137, 0), 137u);
+  EXPECT_EQ(pad_to_block(0, 0), 0u);
+}
+
+TEST(Transport, PaddedPayloadNeverLeaksEmptiness) {
+  // A zero-length plaintext still pads up to one full block: an empty
+  // TLS record would reveal that nothing was sent.
+  EXPECT_EQ(padded_payload(0, 128, 31), 128u + 31u);
+  EXPECT_EQ(padded_payload(1, 128, 31), 128u + 31u);
+  EXPECT_EQ(padded_payload(128, 128, 31), 128u + 31u);
+  EXPECT_EQ(padded_payload(129, 128, 31), 256u + 31u);
+}
+
+TEST(Transport, QuerySizesCollapseToPadBlocks) {
+  // Every plausible DNS query size maps onto very few observable sizes —
+  // the whole point of RFC 8467 padding.
+  const auto& traits = traits_for(Transport::kDoT);
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t wire = 17; wire < 250; ++wire) {
+    const auto obs = padded_payload(wire, traits.query_pad_block,
+                                    traits.per_message_overhead);
+    EXPECT_EQ((obs - traits.per_message_overhead) % traits.query_pad_block, 0u);
+    if (seen.empty() || seen.back() != obs) seen.push_back(obs);
+  }
+  EXPECT_LE(seen.size(), 2u);  // 128+31 and 256+31 only
+}
+
+// ---- SecureChannel property tests ------------------------------------------
+
+/// Straight-line reference model of the channel lifecycle, written
+/// independently of SecureChannel so divergence in either is caught.
+struct RefChannel {
+  enum class St { kCold, kHandshaking, kEstablished };
+  SimDuration idle;
+  St st = St::kCold;
+  SimTime last{};
+  std::uint64_t handshakes = 0;
+  std::uint64_t reuses = 0;
+
+  bool acquire(SimTime now) {
+    if (st == St::kHandshaking) return false;
+    if (st == St::kEstablished && now - last < idle) {
+      ++reuses;
+      last = now;
+      return false;
+    }
+    st = St::kHandshaking;
+    ++handshakes;
+    last = now;
+    return true;
+  }
+  void established(SimTime now) {
+    st = St::kEstablished;
+    last = now;
+  }
+  void close() { st = St::kCold; }
+};
+
+TEST(SecureChannel, ColdAcquireStartsExactlyOneHandshake) {
+  SecureChannel ch{SimDuration::sec(10)};
+  EXPECT_EQ(ch.state(), SecureChannel::State::kCold);
+  EXPECT_TRUE(ch.acquire(SimTime::from_us(1'000)));
+  EXPECT_EQ(ch.state(), SecureChannel::State::kHandshaking);
+  // Concurrent queries during the handshake queue, no second handshake.
+  EXPECT_FALSE(ch.acquire(SimTime::from_us(2'000)));
+  EXPECT_EQ(ch.handshakes(), 1u);
+  ch.established(SimTime::from_us(5'000));
+  EXPECT_EQ(ch.state(), SecureChannel::State::kEstablished);
+}
+
+TEST(SecureChannel, WarmAcquireCountsReuse) {
+  SecureChannel ch{SimDuration::sec(10)};
+  ASSERT_TRUE(ch.acquire(SimTime::from_us(0)));
+  ch.established(SimTime::from_us(100));
+  EXPECT_FALSE(ch.acquire(SimTime::from_us(200)));
+  EXPECT_FALSE(ch.acquire(SimTime::from_us(300)));
+  EXPECT_EQ(ch.reuses(), 2u);
+  EXPECT_EQ(ch.handshakes(), 1u);
+}
+
+TEST(SecureChannel, IdleExpiryForcesNewHandshake) {
+  SecureChannel ch{SimDuration::sec(10)};
+  ASSERT_TRUE(ch.acquire(SimTime::from_us(0)));
+  ch.established(SimTime::from_us(100));
+  const SimTime just_before = SimTime::from_us(100) + SimDuration::sec(10) -
+                              SimDuration::us(1);
+  EXPECT_FALSE(ch.idle_expired(just_before));
+  EXPECT_TRUE(ch.idle_expired(just_before + SimDuration::us(1)));
+  // Acquire past the idle span: the stale channel closes and a fresh
+  // handshake starts.
+  EXPECT_TRUE(ch.acquire(SimTime::from_us(100) + SimDuration::sec(11)));
+  EXPECT_EQ(ch.handshakes(), 2u);
+  EXPECT_EQ(ch.reuses(), 0u);
+}
+
+TEST(SecureChannel, TouchExtendsTheIdleWindow) {
+  SecureChannel ch{SimDuration::sec(10)};
+  ASSERT_TRUE(ch.acquire(SimTime::from_us(0)));
+  ch.established(SimTime::from_us(0));
+  ch.touch(SimTime::from_us(0) + SimDuration::sec(9));
+  EXPECT_FALSE(ch.idle_expired(SimTime::from_us(0) + SimDuration::sec(15)));
+  EXPECT_FALSE(ch.acquire(SimTime::from_us(0) + SimDuration::sec(15)));
+  EXPECT_EQ(ch.reuses(), 1u);
+}
+
+TEST(SecureChannel, RandomizedInterleavingsMatchReferenceModel) {
+  // Drive random op sequences (acquire / established / touch / close /
+  // time skips) through both implementations; every observable must
+  // agree at every step, for several seeds.
+  for (const std::uint64_t seed : {1ull, 7ull, 1337ull, 918'273ull}) {
+    Rng rng{seed};
+    for (const auto idle_sec : {1, 10, 30}) {
+      SecureChannel ch{SimDuration::sec(idle_sec)};
+      RefChannel ref{SimDuration::sec(idle_sec)};
+      SimTime now;
+      for (int step = 0; step < 400; ++step) {
+        now = now + SimDuration::ms(rng.uniform_int(0, 20'000));
+        switch (rng.uniform_int(0, 3)) {
+          case 0:
+            EXPECT_EQ(ch.acquire(now), ref.acquire(now)) << "seed " << seed;
+            break;
+          case 1:
+            if (ch.state() == SecureChannel::State::kHandshaking) {
+              ch.established(now);
+              ref.established(now);
+            }
+            break;
+          case 2:
+            if (ch.state() == SecureChannel::State::kEstablished) {
+              ch.touch(now);
+              ref.last = now;
+            }
+            break;
+          case 3:
+            ch.close();
+            ref.close();
+            break;
+        }
+        EXPECT_EQ(static_cast<int>(ch.state()), static_cast<int>(ref.st));
+        EXPECT_EQ(ch.handshakes(), ref.handshakes);
+        EXPECT_EQ(ch.reuses(), ref.reuses);
+      }
+    }
+  }
+}
+
+TEST(SecureChannel, HandshakeCountNeverExceedsAcquires) {
+  Rng rng{99};
+  SecureChannel ch{SimDuration::sec(10)};
+  SimTime now;
+  std::uint64_t acquires = 0;
+  for (int step = 0; step < 1'000; ++step) {
+    now = now + SimDuration::ms(rng.uniform_int(0, 30'000));
+    if (rng.uniform_int(0, 1) == 0) {
+      (void)ch.acquire(now);
+      ++acquires;
+    } else if (ch.state() == SecureChannel::State::kHandshaking) {
+      ch.established(now);
+    }
+    EXPECT_LE(ch.handshakes(), acquires);
+    EXPECT_LE(ch.reuses() + ch.handshakes(), acquires);
+  }
+}
+
+}  // namespace
+}  // namespace dnsctx::netsim

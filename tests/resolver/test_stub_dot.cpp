@@ -1,0 +1,266 @@
+// Unit tests for the stub resolver's encrypted transports (DoT/DoH):
+// handshake sequencing, channel reuse, RFC 8467 padded message sizes,
+// idle teardown, and failover — all through the packet-capturing
+// harness, playing the resolver side by hand.
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "netsim/transport.hpp"
+#include "resolver/stub.hpp"
+
+namespace dnsctx::resolver {
+namespace {
+
+constexpr Ipv4Addr kDevice{192, 168, 1, 10};
+constexpr Ipv4Addr kResolverA{100, 66, 250, 1};
+constexpr Ipv4Addr kResolverB{8, 8, 8, 8};
+
+class StubDotTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] StubResolver make_stub(netsim::Transport transport,
+                                       std::vector<Ipv4Addr> resolvers = {kResolverA}) {
+    StubConfig cfg;
+    cfg.resolver_addrs = std::move(resolvers);
+    cfg.transport = transport;
+    transport_ = transport;
+    return StubResolver{sim, kDevice, std::move(cfg), 77,
+                        [this](netsim::Packet p) { sent.push_back(std::move(p)); }};
+  }
+
+  [[nodiscard]] const netsim::TransportTraits& traits() const {
+    return netsim::traits_for(transport_);
+  }
+
+  /// Resolver side of the TCP+TLS handshake, replying to the client's
+  /// packet at `sent[idx]`.
+  [[nodiscard]] netsim::Packet synack(std::size_t idx) const {
+    netsim::Packet p = reverse(idx);
+    p.tcp = netsim::TcpFlags{.syn = true, .ack = true};
+    return p;
+  }
+
+  [[nodiscard]] netsim::Packet server_hello(std::size_t idx) const {
+    netsim::Packet p = reverse(idx);
+    p.tcp = netsim::TcpFlags{.ack = true};
+    p.payload_bytes = traits().server_hello_bytes;
+    return p;
+  }
+
+  /// Encrypted DNS response to the query carried by `sent[idx]`.
+  [[nodiscard]] netsim::Packet respond(std::size_t idx,
+                                       dns::Rcode rcode = dns::Rcode::kNoError) const {
+    const dns::DnsMessage* q = sent[idx].dns.message();
+    EXPECT_TRUE(q != nullptr);
+    std::vector<dns::ResourceRecord> answers;
+    if (rcode == dns::Rcode::kNoError) {
+      answers.push_back(dns::ResourceRecord::a(q->questions[0].qname,
+                                               Ipv4Addr{1, 2, 3, 4}, 300));
+    }
+    netsim::Packet p = reverse(idx);
+    p.tcp = netsim::TcpFlags{.ack = true};
+    p.dns = dns::DnsPayload::from_message(
+        dns::DnsMessage::response(*q, std::move(answers), rcode));
+    return p;
+  }
+
+  /// Run the whole cold-channel exchange for the newest SYN and deliver
+  /// queued queries; returns the index of the first data packet flushed.
+  std::size_t complete_handshake(StubResolver& stub, std::size_t syn_idx) {
+    stub.on_secure(synack(syn_idx));          // elicits the ClientHello
+    const std::size_t hello_idx = sent.size() - 1;
+    stub.on_secure(server_hello(hello_idx));  // flushes queued queries
+    return hello_idx + 1;
+  }
+
+  [[nodiscard]] netsim::Packet reverse(std::size_t idx) const {
+    const netsim::Packet& out = sent[idx];
+    netsim::Packet p;
+    p.src_ip = out.dst_ip;
+    p.dst_ip = out.src_ip;
+    p.src_port = out.dst_port;
+    p.dst_port = out.src_port;
+    p.proto = Proto::kTcp;
+    return p;
+  }
+
+  netsim::Simulator sim;
+  std::vector<netsim::Packet> sent;
+  netsim::Transport transport_ = netsim::Transport::kDoT;
+};
+
+TEST_F(StubDotTest, ColdQueryOpensTcp853) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].proto, Proto::kTcp);
+  EXPECT_EQ(sent[0].dst_port, 853);
+  EXPECT_TRUE(sent[0].tcp.syn);
+  EXPECT_TRUE(sent[0].dns.empty());  // no cleartext query leaves the stub
+  EXPECT_EQ(stub.secure_handshakes(), 1u);
+}
+
+TEST_F(StubDotTest, SynAckElicitsClientHello) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  stub.on_secure(synack(0));
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].payload_bytes, traits().client_hello_bytes);
+  EXPECT_TRUE(sent[1].dns.empty());
+}
+
+TEST_F(StubDotTest, ServerHelloFlushesPaddedQuery) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  const std::size_t data = complete_handshake(stub, 0);
+  ASSERT_EQ(sent.size(), data + 1);
+  const netsim::Packet& q = sent[data];
+  ASSERT_TRUE(q.dns.message() != nullptr);
+  // The tap-observable ciphertext size (payload padding + DNS wire
+  // bytes) lands exactly on an RFC 8467 query block plus framing.
+  const std::uint64_t observable =
+      q.payload_bytes + static_cast<std::uint64_t>(q.dns.wire_size());
+  EXPECT_GT(observable, traits().per_message_overhead);
+  EXPECT_EQ((observable - traits().per_message_overhead) % traits().query_pad_block, 0u);
+}
+
+TEST_F(StubDotTest, ResponseOverChannelCompletesResolve) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  ResolveResult result;
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult& r) {
+    result = r;
+    ++calls;
+  });
+  const std::size_t data = complete_handshake(stub, 0);
+  stub.on_secure(respond(data));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.from_cache);
+  EXPECT_EQ(result.resolver, kResolverA);
+}
+
+TEST_F(StubDotTest, WarmChannelIsReusedWithoutHandshake) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  const std::size_t data = complete_handshake(stub, 0);
+  stub.on_secure(respond(data));
+
+  const std::size_t before = sent.size();
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("b.com"), [&](const ResolveResult&) { ++calls; });
+  // One new packet: the query itself, straight onto the warm channel.
+  ASSERT_EQ(sent.size(), before + 1);
+  EXPECT_FALSE(sent[before].tcp.syn);
+  ASSERT_TRUE(sent[before].dns.message() != nullptr);
+  EXPECT_EQ(stub.secure_handshakes(), 1u);
+  EXPECT_EQ(stub.secure_reuses(), 1u);
+  stub.on_secure(respond(before));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(StubDotTest, ConcurrentQueriesShareOneHandshake) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  stub.resolve(dns::DomainName::must("b.com"), [&](const ResolveResult&) { ++calls; });
+  ASSERT_EQ(sent.size(), 1u);  // one SYN covers both queued queries
+  const std::size_t data = complete_handshake(stub, 0);
+  ASSERT_EQ(sent.size(), data + 2);  // both queries flushed together
+  stub.on_secure(respond(data));
+  stub.on_secure(respond(data + 1));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(stub.secure_handshakes(), 1u);
+}
+
+TEST_F(StubDotTest, IdleTimeoutTearsTheChannelDown) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  const std::size_t data = complete_handshake(stub, 0);
+  stub.on_secure(respond(data));
+  const std::uint16_t port = sent[0].src_port;
+  EXPECT_TRUE(stub.owns_secure_port(port));
+
+  sim.run_until(sim.now() + traits().idle_timeout + SimDuration::sec(1));
+  const netsim::Packet& fin = sent.back();
+  EXPECT_TRUE(fin.tcp.fin);
+  EXPECT_EQ(fin.dst_port, 853);
+
+  // Next lookup needs a fresh TCP+TLS handshake.
+  const std::size_t before = sent.size();
+  stub.resolve(dns::DomainName::must("c.com"), [](const ResolveResult&) {});
+  ASSERT_EQ(sent.size(), before + 1);
+  EXPECT_TRUE(sent[before].tcp.syn);
+  EXPECT_EQ(stub.secure_handshakes(), 2u);
+}
+
+TEST_F(StubDotTest, PeerFinReleasesThePortMapping) {
+  auto stub = make_stub(netsim::Transport::kDoT);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  const std::size_t data = complete_handshake(stub, 0);
+  stub.on_secure(respond(data));
+  const std::uint16_t port = sent[0].src_port;
+  netsim::Packet fin = reverse(0);
+  fin.tcp = netsim::TcpFlags{.ack = true, .fin = true};
+  stub.on_secure(fin);
+  EXPECT_FALSE(stub.owns_secure_port(port));
+}
+
+TEST_F(StubDotTest, ServfailFailsOverToNextResolverChannel) {
+  auto stub = make_stub(netsim::Transport::kDoT, {kResolverA, kResolverB});
+  int calls = 0;
+  stub.resolve(dns::DomainName::must("a.com"), [&](const ResolveResult&) { ++calls; });
+  const std::size_t data = complete_handshake(stub, 0);
+  stub.on_secure(respond(data, dns::Rcode::kServFail));
+  EXPECT_EQ(calls, 0);
+  // The retry opened a second channel — SYN to resolver B on 853.
+  const netsim::Packet& syn = sent.back();
+  EXPECT_TRUE(syn.tcp.syn);
+  EXPECT_EQ(syn.dst_ip, kResolverB);
+  EXPECT_EQ(stub.servfail_failovers(), 1u);
+
+  const std::size_t data_b = complete_handshake(stub, sent.size() - 1);
+  stub.on_secure(respond(data_b));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(StubDotTest, DohRidesPort443WithItsOwnHello) {
+  auto stub = make_stub(netsim::Transport::kDoH);
+  stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].dst_port, 443);
+  stub.on_secure(synack(0));
+  EXPECT_EQ(sent[1].payload_bytes,
+            netsim::traits_for(netsim::Transport::kDoH).client_hello_bytes);
+}
+
+TEST_F(StubDotTest, CleartextTransportsNeverOpenChannels) {
+  for (const auto t : {netsim::Transport::kDo53, netsim::Transport::kResolverless}) {
+    sent.clear();
+    auto stub = make_stub(t);
+    stub.resolve(dns::DomainName::must("a.com"), [](const ResolveResult&) {});
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0].proto, Proto::kUdp);
+    EXPECT_EQ(sent[0].dst_port, 53);
+    EXPECT_EQ(stub.secure_handshakes(), 0u);
+  }
+}
+
+TEST_F(StubDotTest, PushedRecordsServeWithoutAnyPacket) {
+  auto stub = make_stub(netsim::Transport::kResolverless);
+  stub.insert_pushed(dns::DomainName::must("asset.cdn.com"),
+                     {dns::ResourceRecord::a(dns::DomainName::must("asset.cdn.com"),
+                                             Ipv4Addr{9, 9, 9, 9}, 300)},
+                     sim.now());
+  EXPECT_EQ(stub.pushed_inserts(), 1u);
+  ResolveResult result;
+  stub.resolve(dns::DomainName::must("asset.cdn.com"),
+               [&](const ResolveResult& r) { result = r; });
+  sim.run_to_completion();
+  EXPECT_TRUE(sent.empty());  // no lookup ever hit the wire
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.from_cache);
+  EXPECT_EQ(result.origin, dns::CacheOrigin::kPushed);
+}
+
+}  // namespace
+}  // namespace dnsctx::resolver

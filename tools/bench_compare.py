@@ -33,6 +33,7 @@ from pathlib import Path
 WATCHED_METRICS = {
     "Table 1": [
         "study_sec",
+        "enc_classify_sec",
         "peak_rss_bytes",
         "metrics.pairing_candidates_scanned_total",
         "metrics.sim_event_queue_peak",
@@ -133,9 +134,12 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
             key = f"micro/{name}"
             metrics = {"real_time_ns": real_time}
         else:
-            key = "{}/houses={} hours={} seed={} threads={} shards={}".format(
+            # transport defaults to do53 so pre-transport baselines keep
+            # their keys; a `--transport dot` run is a distinct scenario.
+            key = "{}/houses={} hours={} seed={} threads={} shards={} transport={}".format(
                 bench, rec.get("houses"), rec.get("hours"), rec.get("seed"),
-                rec.get("threads", 1), rec.get("shards", 1))
+                rec.get("threads", 1), rec.get("shards", 1),
+                rec.get("transport", "do53"))
             metrics = {}
             watched = WATCHED_METRICS.get(bench, []) + HIGHER_IS_BETTER_METRICS.get(
                 bench, [])

@@ -58,12 +58,15 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/encdns.hpp"
 #include "analysis/export.hpp"
 #include "analysis/failures.hpp"
 #include "analysis/perhouse.hpp"
 #include "analysis/report.hpp"
 #include "analysis/timeseries.hpp"
+#include "analysis/truth.hpp"
 #include "capture/logio.hpp"
+#include "netsim/transport.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/config_io.hpp"
@@ -98,7 +101,7 @@ const std::set<std::string> kSimOptions = {
     "config",        "houses",        "hours",   "seed",
     "start-hour",    "shards",        "threads", "loss",
     "dup",           "reorder",       "servfail-rate", "nxdomain-rate",
-    "resolver-outage", "backoff",     "faults",
+    "resolver-outage", "backoff",     "faults",  "transport",
     "metrics-out",   "progress"};
 
 /// Wall-clock progress reporter: prints to stderr (never stdout — golden
@@ -170,6 +173,15 @@ class ProgressReporter {
   // scenario is produced for any --threads value.
   if (args.option("threads") && !args.option("shards") && cfg.shards <= 1) {
     cfg.shards = std::min<std::size_t>(cfg.houses, 16);
+  }
+  if (const auto t = args.option("transport")) {
+    const auto parsed = netsim::parse_transport(*t);
+    if (!parsed) {
+      throw std::runtime_error{strfmt(
+          "unknown transport '%s' (expected do53, dot, doh, or resolverless)",
+          t->c_str())};
+    }
+    cfg.transport = *parsed;
   }
   // Fault plan: --faults replaces the config file's plan wholesale, the
   // individual flags then override single fields on top of it.
@@ -298,6 +310,10 @@ int cmd_simulate(const CliArgs& args) {
                 static_cast<unsigned long long>(writer.conns_written()),
                 static_cast<unsigned long long>(writer.dns_written()),
                 writer.segments_written(), out_dir->c_str());
+    if (writer.encflows_written() > 0) {
+      std::printf("wrote %llu encrypted-flow metadata records alongside\n",
+                  static_cast<unsigned long long>(writer.encflows_written()));
+    }
     std::printf("peak reorder buffer: %zu records\n", feed.peak_buffered());
     std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
     print_fault_stats(town);
@@ -326,6 +342,19 @@ int cmd_simulate(const CliArgs& args) {
   std::printf("wrote %zu conns → %s\n", town.dataset().conns.size(), conn_path.c_str());
   std::printf("wrote %zu DNS transactions → %s\n", town.dataset().dns.size(),
               dns_path.c_str());
+  if (!town.dataset().encflows.empty()) {
+    // Encrypted transports only: cleartext runs never create this file,
+    // so classic output directories stay byte-identical.
+    const std::string enc_path = *out_dir + "/encflow.log";
+    std::ofstream enc_os{enc_path};
+    if (!enc_os) {
+      std::fprintf(stderr, "simulate: cannot open %s\n", enc_path.c_str());
+      return 1;
+    }
+    capture::write_encflow_log(enc_os, town.dataset().encflows);
+    std::printf("wrote %zu encrypted flows → %s\n", town.dataset().encflows.size(),
+                enc_path.c_str());
+  }
   std::printf("wrote scenario snapshot → %s/scenario.conf\n", out_dir->c_str());
   print_fault_stats(town);
   return 0;
@@ -441,7 +470,10 @@ int cmd_sweep(const CliArgs& args) {
 
 int cmd_validate(const CliArgs& args) {
   if (reject_unknown(args, "validate", with_sim_options({}))) return 2;
-  const auto cfg = config_from_args(args);
+  auto cfg = config_from_args(args);
+  // Validation is exactly where ground truth is wanted: ride the
+  // TruthTap beside the monitor (observation-only, no RNG impact).
+  cfg.collect_truth = true;
   std::printf("simulating %zu houses for %s...\n", cfg.houses,
               to_string(cfg.duration).c_str());
   scenario::Town town{cfg};
@@ -461,6 +493,17 @@ int cmd_validate(const CliArgs& args) {
       static_cast<double>(truth.fetch_cache_hits));
   row("DNS-less flows (N)", static_cast<double>(c.n),
       static_cast<double>(truth.no_dns_conns));
+
+  // Per-connection taxonomy vs ground truth: the contingency table shows
+  // exactly which classes collapse when the transport goes dark.
+  const auto flows = town.truth_flows();
+  const auto tc = analysis::compare_with_truth(town.dataset(), study.classified, flows);
+  std::printf("\n%s", analysis::render_truth_report(tc).c_str());
+  if (!town.dataset().encflows.empty()) {
+    const auto confusion = analysis::evaluate_enc_classifier(
+        town.dataset().encflows, town.resolver_service_addrs());
+    std::printf("\n%s", analysis::render_enc_report(confusion).c_str());
+  }
   return 0;
 }
 
@@ -587,7 +630,8 @@ int cmd_stream(const CliArgs& args) {
     const auto listing = stream::list_spool(*spool);
     std::size_t segments = 0;
     std::uint64_t last_ack = 0;
-    for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
+    for (const auto* paths :
+         {&listing.conn_segments, &listing.dns_segments, &listing.enc_segments}) {
       for (const auto& path : *paths) {
         client.send_segment(read_file_bytes(path));
         ++segments;
@@ -642,7 +686,8 @@ int cmd_stream(const CliArgs& args) {
     for (long long idle = 0; idle < idle_exit;) {
       const auto listing = stream::list_spool(*spool);
       bool progressed = false;
-      for (const auto* paths : {&listing.conn_segments, &listing.dns_segments}) {
+      for (const auto* paths :
+           {&listing.conn_segments, &listing.dns_segments, &listing.enc_segments}) {
         for (const auto& path : *paths) {
           if (!seen.insert(path).second) continue;
           // Zero-copy: the segment stays mmap'd while its records stream
@@ -652,14 +697,16 @@ int cmd_stream(const CliArgs& args) {
           view.deliver(feed);
           if (h.kind == stream::RecordKind::kConn) {
             conns += h.record_count;
-          } else {
+          } else if (h.kind == stream::RecordKind::kDns) {
             dns += h.record_count;
           }
+          // Enc metadata rides the feed but never advances the conn/dns
+          // watermark fronts that gate draining (it is optional).
           if (h.record_count > 0) {
             if (h.kind == stream::RecordKind::kConn) {
               conn_front = std::max(conn_front, h.last_ts);
               any_conn = true;
-            } else {
+            } else if (h.kind == stream::RecordKind::kDns) {
               dns_front = std::max(dns_front, h.last_ts);
               any_dns = true;
             }
@@ -761,11 +808,14 @@ void usage() {
                "           [--loss P] [--dup P] [--reorder P] [--servfail-rate P]\n"
                "           [--nxdomain-rate P] [--resolver-outage T:B-E[,...]]\n"
                "           [--backoff F] [--faults SPEC]\n"
+               "           [--transport do53|dot|doh|resolverless]\n"
                "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
                "           [--threads N] [--baseline DIR]\n"
                "  sweep    --key K --values a,b,c [--config F | sim options]\n"
                "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
-               "           [--shards N] [--threads N]\n"
+               "           [--shards N] [--threads N] [--transport T]\n"
+               "           (prints truth-vs-inferred taxonomy + encrypted-flow\n"
+               "           classifier confusion when the transport is encrypted)\n"
                "  stream   --spool DIR [--follow [--idle-exit N] [--poll-ms MS]]\n"
                "           | --import TEXTDIR --spool DIR | --export TEXTDIR --spool DIR\n"
                "           | --convert SRCSPOOL --spool DSTDIR\n"

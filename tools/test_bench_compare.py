@@ -201,6 +201,35 @@ class LoadRecordsTest(unittest.TestCase):
         self.assertEqual(self._run_main(base, slow_import), 1)
         self.assertEqual(self._run_main(base, better), 0)
 
+    def test_transport_is_part_of_the_record_key(self):
+        # A do53 record and a dot record of the same scale are distinct
+        # scenarios; records without the field key as do53 so old
+        # baselines still match new do53 runs.
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "transport": "dot", "study_sec": 1.4, "enc_classify_sec": 0.2},
+        ])
+        records = bench_compare.load_records(path)
+        self.assertEqual(len(records), 2)
+        keys = sorted(records)
+        self.assertTrue(keys[0].endswith("transport=do53"))
+        self.assertTrue(keys[1].endswith("transport=dot"))
+        self.assertEqual(records[keys[1]],
+                         {"study_sec": 1.4, "enc_classify_sec": 0.2})
+
+    def test_enc_classify_regression_detected(self):
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "transport": "dot", "enc_classify_sec": 0.10},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "transport": "dot", "enc_classify_sec": 0.25},
+        ])
+        self.assertEqual(self._run_main(base, curr), 1)
+
     def test_compare_with_partial_baseline_passes(self):
         base = write_lines(self.dir, "base.json", [
             {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
