@@ -9,7 +9,11 @@
 // caches), not by the record count.
 //
 //   bench_city [--houses N] [--hours H] [--seed S] [--shards N]
-//              [--max-rss-mib M] [--json PATH]
+//              [--pack FILE] [--max-rss-mib M] [--json PATH]
+//
+// `--pack FILE` loads a scenario pack (examples/packs/) so the city runs
+// heterogeneous, non-web-centric load — the record key in the JSON line
+// carries the pack name, keeping default baselines distinct.
 //
 // `--max-rss-mib M` turns the bench into a pass/fail memory check: the
 // process exits nonzero if peak RSS exceeds M MiB (the CI perf-smoke job
@@ -36,6 +40,8 @@ struct CityScale {
   std::size_t shards = 1;
   std::uint64_t max_rss_mib = 0;  ///< 0 = report only, no bound asserted
   std::string json_path;
+  std::string pack_file;          ///< scenario pack ("" = default composition)
+  std::string pack = "default";   ///< pack name for the JSON record key
 };
 
 CityScale parse_args(int argc, char** argv) {
@@ -55,6 +61,8 @@ CityScale parse_args(int argc, char** argv) {
       s.max_rss_mib = static_cast<std::uint64_t>(std::atoll(value(i)));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       s.json_path = value(i);
+    } else if (std::strcmp(argv[i], "--pack") == 0) {
+      s.pack_file = value(i);
     } else {
       std::fprintf(stderr, "bench_city: unknown argument %s\n", argv[i]);
       std::exit(2);
@@ -75,13 +83,22 @@ struct CountingSink final : capture::RecordSink {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CityScale scale = parse_args(argc, argv);
-  std::printf("== bench_city — city-scale simulation, streaming capture ==\n");
-  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %zu shard(s)\n",
-              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
-              scale.shards);
+  CityScale scale = parse_args(argc, argv);
 
   scenario::ScenarioConfig cfg;
+  if (!scale.pack_file.empty()) {
+    try {
+      scale.pack = scenario::apply_pack_file(scale.pack_file, &cfg).name;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  std::printf("== bench_city — city-scale simulation, streaming capture ==\n");
+  std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %zu shard(s), pack %s\n",
+              scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
+              scale.shards, scale.pack.c_str());
+
   cfg.houses = scale.houses;
   cfg.duration = SimDuration::hours(scale.hours);
   cfg.seed = scale.seed;
@@ -131,15 +148,16 @@ int main(int argc, char** argv) {
   if (!scale.json_path.empty()) {
     std::ofstream os{scale.json_path, std::ios::app};
     if (os) {
-      char buf[512];
+      char buf[640];
       std::snprintf(buf, sizeof buf,
                     "{\"bench\":\"bench_city\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
-                    "\"shards\":%zu,\"gen_sec\":%.3f,\"build_sec\":%.3f,"
+                    "\"shards\":%zu,\"pack\":\"%s\",\"gen_sec\":%.3f,\"build_sec\":%.3f,"
                     "\"conns\":%llu,\"dns\":%llu,\"records_per_sec\":%.0f,"
                     "\"peak_rss_bytes\":%llu,\"rss_limit_mib\":%llu,"
                     "\"within_rss_bound\":%s}",
                     scale.houses, scale.hours,
-                    static_cast<unsigned long long>(scale.seed), scale.shards, gen_sec,
+                    static_cast<unsigned long long>(scale.seed), scale.shards,
+                    scale.pack.c_str(), gen_sec,
                     build_sec, static_cast<unsigned long long>(sink.conns),
                     static_cast<unsigned long long>(sink.dns),
                     gen_sec > 0.0 ? static_cast<double>(records) / gen_sec : 0.0,

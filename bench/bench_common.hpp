@@ -8,7 +8,7 @@
 //   bench_tableX [houses] [hours] [seed] [csv_dir]
 //               [--shards N] [--threads N] [--json PATH]
 //               [--transport do53|dot|doh|resolverless]
-//               [--metrics] [--metrics-out FILE]
+//               [--pack FILE] [--metrics] [--metrics-out FILE]
 //
 // `--threads N` runs both the simulation shards and the analysis
 // map-reduce on N workers (0 = hardware concurrency); results are
@@ -35,6 +35,7 @@
 #include "analysis/report.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "scenario/pack.hpp"
 #include "scenario/scenario.hpp"
 
 namespace dnsctx::bench {
@@ -58,6 +59,9 @@ struct BenchScale {
   std::string json_path;  ///< when non-empty, append a one-line JSON timing record
   std::string faults;     ///< fault plan spec ("" = unimpaired baseline)
   std::string transport = "do53";  ///< DNS transport scenario (see scenario.hpp)
+  bool transport_given = false;    ///< --transport on the command line
+  std::string pack_file;  ///< scenario-pack file ("" = default composition)
+  std::string pack = "default";  ///< pack name for the JSON record key
   bool metrics = false;   ///< enable the obs registry for this run (default off)
   std::string metrics_out;  ///< when non-empty, also write a scrape file on exit
 };
@@ -88,6 +92,11 @@ struct BenchScale {
     }
     if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
       s.transport = argv[++i];
+      s.transport_given = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--pack") == 0 && i + 1 < argc) {
+      s.pack_file = argv[++i];
       continue;
     }
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -117,21 +126,38 @@ struct BenchScale {
   return s;
 }
 
-[[nodiscard]] inline scenario::ScenarioConfig scenario_for(const BenchScale& s) {
+/// Build the scenario for a bench scale. Applies the pack file first
+/// (recording its name in s.pack for the JSON record), then the scale
+/// knobs on top — so `--houses` etc. always win over pack contents.
+[[nodiscard]] inline scenario::ScenarioConfig scenario_for(BenchScale& s) {
   scenario::ScenarioConfig cfg;
+  if (!s.pack_file.empty()) {
+    try {
+      s.pack = scenario::apply_pack_file(s.pack_file, &cfg).name;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+  }
   cfg.houses = s.houses;
   cfg.duration = SimDuration::hours(s.hours);
   cfg.seed = s.seed;
   cfg.shards = s.shards;
   cfg.threads = s.threads;
   if (!s.faults.empty()) cfg.faults = faults::FaultPlan::parse(s.faults);
-  if (const auto t = netsim::parse_transport(s.transport)) {
-    cfg.transport = *t;
+  if (s.transport_given || s.pack_file.empty()) {
+    if (const auto t = netsim::parse_transport(s.transport)) {
+      cfg.transport = *t;
+    } else {
+      std::fprintf(stderr,
+                   "unknown transport '%s' (expected do53, dot, doh, or resolverless)\n",
+                   s.transport.c_str());
+      std::exit(2);
+    }
   } else {
-    std::fprintf(stderr,
-                 "unknown transport '%s' (expected do53, dot, doh, or resolverless)\n",
-                 s.transport.c_str());
-    std::exit(2);
+    // Pack without an explicit --transport: keep the pack's default and
+    // reflect it into the record so the JSON key matches reality.
+    s.transport = netsim::to_string(cfg.transport);
   }
   return cfg;
 }
@@ -163,10 +189,10 @@ inline void append_json_record(const std::string& path, const char* bench_name,
   const analysis::FailureReport failures =
       analysis::build_failure_report(run.town().dataset());
   const analysis::FailureCounts& fc = failures.counts;
-  char buf[1280];
+  char buf[1536];
   std::snprintf(buf, sizeof buf,
                 "{\"bench\":\"%s\",\"houses\":%zu,\"hours\":%d,\"seed\":%llu,"
-                "\"threads\":%u,\"shards\":%zu,\"faults\":\"%s\","
+                "\"threads\":%u,\"shards\":%zu,\"faults\":\"%s\",\"pack\":\"%s\","
                 "\"transport\":\"%s\",\"encflows\":%zu,\"enc_classify_sec\":%.3f,"
                 "\"gen_sec\":%.3f,\"study_sec\":%.3f,"
                 "\"total_sec\":%.3f,\"conns\":%zu,\"dns\":%zu,\"records_per_sec\":%.0f,"
@@ -174,7 +200,8 @@ inline void append_json_record(const std::string& path, const char* bench_name,
                 "\"recovered_chains\":%llu,\"failed_chains\":%llu,\"s0_conns\":%llu,"
                 "\"peak_rss_bytes\":%llu}",
                 bench_name, s.houses, s.hours, static_cast<unsigned long long>(s.seed),
-                s.threads, s.shards, s.faults.c_str(), s.transport.c_str(), encflows,
+                s.threads, s.shards, s.faults.c_str(), s.pack.c_str(),
+                s.transport.c_str(), encflows,
                 run.enc_classify_sec, run.gen_sec, run.study_sec,
                 total_sec, conns, dns, records_per_sec,
                 static_cast<unsigned long long>(fc.unanswered + fc.servfail +
@@ -199,17 +226,18 @@ inline void append_json_record(const std::string& path, const char* bench_name,
 /// timing for the generation and study halves.
 [[nodiscard]] inline BenchRun run_default(const char* bench_name, int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
-  const BenchScale scale = parse_scale(argc, argv);
+  BenchScale scale = parse_scale(argc, argv);
   if (scale.metrics) obs::set_enabled(true);
+  const scenario::ScenarioConfig cfg = scenario_for(scale);  // may set scale.pack
   std::printf("== %s — dnsctx reproduction of \"Putting DNS in Context\" (IMC'20) ==\n",
               bench_name);
   std::printf("scenario: %zu houses, %d h of traffic, seed %llu, %u thread(s), "
-              "transport %s (paper: ~100 houses, 7 days)\n",
+              "transport %s, pack %s (paper: ~100 houses, 7 days)\n",
               scale.houses, scale.hours, static_cast<unsigned long long>(scale.seed),
-              scale.threads, scale.transport.c_str());
+              scale.threads, scale.transport.c_str(), scale.pack.c_str());
   BenchRun run;
   const auto t0 = Clock::now();
-  run.town_ptr = std::make_unique<scenario::Town>(scenario_for(scale));
+  run.town_ptr = std::make_unique<scenario::Town>(cfg);
   run.town().run();
   const auto t1 = Clock::now();
   run.gen_sec = std::chrono::duration<double>(t1 - t0).count();

@@ -1,10 +1,12 @@
 #include "scenario/config_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <ostream>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 
 #include "util/strings.hpp"
@@ -21,15 +23,123 @@ namespace {
   return s;
 }
 
+/// Strict numeric parse: the whole token must be consumed, values must
+/// be representable, and doubles must be finite (std::from_chars'
+/// general format happily accepts "inf"/"nan" — reject those here, a
+/// NaN probability would silently disable every bernoulli draw).
+/// Errors carry no location; the dispatch loop wraps them with
+/// file + line + key.
 template <typename T>
-[[nodiscard]] T parse_number(std::string_view v, std::size_t line_no) {
+[[nodiscard]] T parse_number(std::string_view v) {
   T out{};
   const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::runtime_error{
+        strfmt("number '%.*s' is out of range", static_cast<int>(v.size()), v.data())};
+  }
   if (ec != std::errc{} || ptr != v.data() + v.size()) {
-    throw std::runtime_error{strfmt("config line %zu: bad number '%.*s'", line_no,
-                                    static_cast<int>(v.size()), v.data())};
+    throw std::runtime_error{
+        strfmt("bad number '%.*s'", static_cast<int>(v.size()), v.data())};
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(out)) {
+      throw std::runtime_error{strfmt("number '%.*s' must be finite",
+                                      static_cast<int>(v.size()), v.data())};
+    }
   }
   return out;
+}
+
+/// 24 comma-separated hour multipliers (diurnal tables).
+[[nodiscard]] double parse_prob(std::string_view v) {
+  const double p = parse_number<double>(v);
+  if (p < 0.0 || p > 1.0) {
+    throw std::runtime_error{
+        strfmt("probability '%.*s' must be in [0, 1]", static_cast<int>(v.size()),
+               v.data())};
+  }
+  return p;
+}
+
+[[nodiscard]] double parse_positive(std::string_view v) {
+  const double x = parse_number<double>(v);
+  if (!(x > 0.0)) {
+    throw std::runtime_error{
+        strfmt("value '%.*s' must be > 0", static_cast<int>(v.size()), v.data())};
+  }
+  return x;
+}
+
+[[nodiscard]] double parse_non_negative(std::string_view v) {
+  const double x = parse_number<double>(v);
+  if (x < 0.0) {
+    throw std::runtime_error{
+        strfmt("value '%.*s' must be >= 0", static_cast<int>(v.size()), v.data())};
+  }
+  return x;
+}
+
+[[nodiscard]] std::array<double, 24> parse_hours(std::string_view v) {
+  std::array<double, 24> out{};
+  std::size_t idx = 0;
+  while (true) {
+    const auto comma = v.find(',');
+    const std::string_view tok = trim(v.substr(0, comma));
+    if (idx >= out.size()) throw std::runtime_error{"expected exactly 24 hour values"};
+    out[idx++] = parse_number<double>(tok);
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  if (idx != out.size()) throw std::runtime_error{"expected exactly 24 hour values"};
+  return out;
+}
+
+void save_tuning(std::ostream& os, const traffic::TrafficTuning& t) {
+  // Written only when changed so pre-pack configs stay byte-identical.
+  const traffic::TrafficTuning def{};
+  const auto num = [&os](const char* key, auto value, auto def_value) {
+    if (value != def_value) os << "tuning." << key << " = " << value << "\n";
+  };
+  const auto flt = [&os](const char* key, double value, double def_value) {
+    if (value != def_value) os << strfmt("tuning.%s = %g\n", key, value);
+  };
+  num("computers_min", t.computers_min, def.computers_min);
+  num("computers_max", t.computers_max, def.computers_max);
+  num("computers_light", t.computers_light, def.computers_light);
+  flt("android_extra_prob", t.android_extra_prob, def.android_extra_prob);
+  flt("apple_prob", t.apple_prob, def.apple_prob);
+  flt("apple_prob_light", t.apple_prob_light, def.apple_prob_light);
+  flt("tv_prob", t.tv_prob, def.tv_prob);
+  flt("tv_prob_light", t.tv_prob_light, def.tv_prob_light);
+  num("iot_min", t.iot_min, def.iot_min);
+  num("iot_max", t.iot_max, def.iot_max);
+  flt("alarm_prob", t.alarm_prob, def.alarm_prob);
+  flt("browser_session_scale", t.browser_session_scale, def.browser_session_scale);
+  flt("video_session_scale", t.video_session_scale, def.video_session_scale);
+  flt("background_poll_scale", t.background_poll_scale, def.background_poll_scale);
+  flt("pages_per_session_scale", t.pages_per_session_scale, def.pages_per_session_scale);
+  flt("conncheck_scale", t.conncheck_scale, def.conncheck_scale);
+  flt("prefetch_prob", t.prefetch_prob, def.prefetch_prob);
+  flt("household_site_prob", t.household_site_prob, def.household_site_prob);
+  flt("junk_probe_prob", t.junk_probe_prob, def.junk_probe_prob);
+  flt("junk_queries_per_hour", t.junk_queries_per_hour, def.junk_queries_per_hour);
+  num("web_cdn_min", t.web.cdn_min, def.web.cdn_min);
+  num("web_cdn_max", t.web.cdn_max, def.web.cdn_max);
+  num("web_ad_min", t.web.ad_min, def.web.ad_min);
+  num("web_ad_max", t.web.ad_max, def.web.ad_max);
+  num("web_tracker_min", t.web.tracker_min, def.web.tracker_min);
+  num("web_tracker_max", t.web.tracker_max, def.web.tracker_max);
+  num("web_api_min", t.web.api_min, def.web.api_min);
+  num("web_api_max", t.web.api_max, def.web.api_max);
+  num("web_links_min", t.web.links_min, def.web.links_min);
+  num("web_links_max", t.web.links_max, def.web.links_max);
+  if (t.diurnal_hours != def.diurnal_hours) {
+    os << "tuning.diurnal_hours =";
+    for (std::size_t h = 0; h < t.diurnal_hours.size(); ++h) {
+      os << strfmt("%s%g", h == 0 ? " " : ",", t.diurnal_hours[h]);
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace
@@ -55,6 +165,7 @@ void save_config(std::ostream& os, const ScenarioConfig& cfg) {
     os << "transport = " << netsim::to_string(cfg.transport) << "\n";
   }
   if (cfg.collect_truth) os << "collect_truth = 1\n";
+  if (cfg.pack != "default") os << "pack = " << cfg.pack << "\n";
   os << strfmt("mix.isp_only = %g\n", cfg.mix.isp_only);
   os << strfmt("mix.cloudflare = %g\n", cfg.mix.cloudflare);
   os << strfmt("mix.no_isp = %g\n", cfg.mix.no_isp);
@@ -69,6 +180,7 @@ void save_config(std::ostream& os, const ScenarioConfig& cfg) {
   os << strfmt("zones.zipf_exponent = %g\n", cfg.zones.zipf_exponent);
   os << "zones.edges_per_cdn = " << cfg.zones.edges_per_cdn << "\n";
   os << "zones.hosting_pool_ips = " << cfg.zones.hosting_pool_ips << "\n";
+  save_tuning(os, cfg.tuning);
 }
 
 void save_config_file(const std::string& path, const ScenarioConfig& cfg) {
@@ -77,76 +189,122 @@ void save_config_file(const std::string& path, const ScenarioConfig& cfg) {
   save_config(os, cfg);
 }
 
-ScenarioConfig load_config(std::istream& is) {
+ScenarioConfig load_config(std::istream& is, const std::string& source) {
   ScenarioConfig cfg;
-  using Setter = std::function<void(std::string_view, std::size_t)>;
+  using Setter = std::function<void(std::string_view)>;
   const std::unordered_map<std::string, Setter> setters = {
-      {"seed", [&](auto v, auto n) { cfg.seed = parse_number<std::uint64_t>(v, n); }},
-      {"houses", [&](auto v, auto n) { cfg.houses = parse_number<std::size_t>(v, n); }},
+      {"seed", [&](auto v) { cfg.seed = parse_number<std::uint64_t>(v); }},
+      {"houses", [&](auto v) { cfg.houses = parse_number<std::size_t>(v); }},
       {"duration_hours",
-       [&](auto v, auto n) { cfg.duration = SimDuration::hours(parse_number<int>(v, n)); }},
-      {"start_hour", [&](auto v, auto n) { cfg.start_hour = parse_number<int>(v, n); }},
-      {"shards", [&](auto v, auto n) { cfg.shards = parse_number<std::size_t>(v, n); }},
-      {"threads", [&](auto v, auto n) { cfg.threads = parse_number<unsigned>(v, n); }},
-      {"activity_scale",
-       [&](auto v, auto n) { cfg.activity_scale = parse_number<double>(v, n); }},
+       [&](auto v) { cfg.duration = SimDuration::hours(parse_number<int>(v)); }},
+      {"start_hour", [&](auto v) { cfg.start_hour = parse_number<int>(v); }},
+      {"shards", [&](auto v) { cfg.shards = parse_number<std::size_t>(v); }},
+      {"threads", [&](auto v) { cfg.threads = parse_number<unsigned>(v); }},
+      {"activity_scale", [&](auto v) { cfg.activity_scale = parse_positive(v); }},
       {"ttl_violation_prob",
-       [&](auto v, auto n) { cfg.ttl_violation_prob = parse_number<double>(v, n); }},
-      {"dead_ntp_frac",
-       [&](auto v, auto n) { cfg.dead_ntp_frac = parse_number<double>(v, n); }},
-      {"p2p_house_frac",
-       [&](auto v, auto n) { cfg.p2p_house_frac = parse_number<double>(v, n); }},
+       [&](auto v) { cfg.ttl_violation_prob = parse_prob(v); }},
+      {"dead_ntp_frac", [&](auto v) { cfg.dead_ntp_frac = parse_prob(v); }},
+      {"p2p_house_frac", [&](auto v) { cfg.p2p_house_frac = parse_prob(v); }},
       {"encrypted_dns_device_frac",
-       [&](auto v, auto n) { cfg.encrypted_dns_device_frac = parse_number<double>(v, n); }},
+       [&](auto v) { cfg.encrypted_dns_device_frac = parse_prob(v); }},
       {"whole_house_cache_frac",
-       [&](auto v, auto n) { cfg.whole_house_cache_frac = parse_number<double>(v, n); }},
-      {"faults",
-       [&](auto v, auto n) {
-         try {
-           cfg.faults = faults::FaultPlan::parse(v);
-         } catch (const std::exception& e) {
-           throw std::runtime_error{strfmt("config line %zu: %s", n, e.what())};
-         }
-       }},
+       [&](auto v) { cfg.whole_house_cache_frac = parse_prob(v); }},
+      {"faults", [&](auto v) { cfg.faults = faults::FaultPlan::parse(v); }},
       {"transport",
-       [&](auto v, auto n) {
+       [&](auto v) {
          const auto t = netsim::parse_transport(v);
          if (!t) {
-           throw std::runtime_error{strfmt(
-               "config line %zu: unknown transport '%.*s' (expected do53, dot, doh, "
-               "or resolverless)",
-               n, static_cast<int>(v.size()), v.data())};
+           throw std::runtime_error{
+               strfmt("unknown transport '%.*s' (expected do53, dot, doh, or "
+                      "resolverless)",
+                      static_cast<int>(v.size()), v.data())};
          }
          cfg.transport = *t;
        }},
-      {"collect_truth",
-       [&](auto v, auto n) { cfg.collect_truth = parse_number<int>(v, n) != 0; }},
-      {"mix.isp_only", [&](auto v, auto n) { cfg.mix.isp_only = parse_number<double>(v, n); }},
-      {"mix.cloudflare",
-       [&](auto v, auto n) { cfg.mix.cloudflare = parse_number<double>(v, n); }},
-      {"mix.no_isp", [&](auto v, auto n) { cfg.mix.no_isp = parse_number<double>(v, n); }},
+      {"collect_truth", [&](auto v) { cfg.collect_truth = parse_number<int>(v) != 0; }},
+      {"pack", [&](auto v) { cfg.pack = std::string{v}; }},
+      {"mix.isp_only", [&](auto v) { cfg.mix.isp_only = parse_prob(v); }},
+      {"mix.cloudflare", [&](auto v) { cfg.mix.cloudflare = parse_prob(v); }},
+      {"mix.no_isp", [&](auto v) { cfg.mix.no_isp = parse_prob(v); }},
       {"mix.opendns_in_mixed",
-       [&](auto v, auto n) { cfg.mix.opendns_in_mixed = parse_number<double>(v, n); }},
+       [&](auto v) { cfg.mix.opendns_in_mixed = parse_prob(v); }},
       {"zones.web_sites",
-       [&](auto v, auto n) { cfg.zones.web_sites = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.web_sites = parse_number<std::size_t>(v); }},
       {"zones.cdn_domains",
-       [&](auto v, auto n) { cfg.zones.cdn_domains = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.cdn_domains = parse_number<std::size_t>(v); }},
       {"zones.ad_domains",
-       [&](auto v, auto n) { cfg.zones.ad_domains = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.ad_domains = parse_number<std::size_t>(v); }},
       {"zones.tracker_domains",
-       [&](auto v, auto n) { cfg.zones.tracker_domains = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.tracker_domains = parse_number<std::size_t>(v); }},
       {"zones.api_domains",
-       [&](auto v, auto n) { cfg.zones.api_domains = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.api_domains = parse_number<std::size_t>(v); }},
       {"zones.video_sites",
-       [&](auto v, auto n) { cfg.zones.video_sites = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.video_sites = parse_number<std::size_t>(v); }},
       {"zones.other_names",
-       [&](auto v, auto n) { cfg.zones.other_names = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.other_names = parse_number<std::size_t>(v); }},
       {"zones.zipf_exponent",
-       [&](auto v, auto n) { cfg.zones.zipf_exponent = parse_number<double>(v, n); }},
+       [&](auto v) { cfg.zones.zipf_exponent = parse_positive(v); }},
       {"zones.edges_per_cdn",
-       [&](auto v, auto n) { cfg.zones.edges_per_cdn = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.edges_per_cdn = parse_number<std::size_t>(v); }},
       {"zones.hosting_pool_ips",
-       [&](auto v, auto n) { cfg.zones.hosting_pool_ips = parse_number<std::size_t>(v, n); }},
+       [&](auto v) { cfg.zones.hosting_pool_ips = parse_number<std::size_t>(v); }},
+      {"tuning.computers_min",
+       [&](auto v) { cfg.tuning.computers_min = parse_number<std::size_t>(v); }},
+      {"tuning.computers_max",
+       [&](auto v) { cfg.tuning.computers_max = parse_number<std::size_t>(v); }},
+      {"tuning.computers_light",
+       [&](auto v) { cfg.tuning.computers_light = parse_number<std::size_t>(v); }},
+      {"tuning.android_extra_prob",
+       [&](auto v) { cfg.tuning.android_extra_prob = parse_prob(v); }},
+      {"tuning.apple_prob", [&](auto v) { cfg.tuning.apple_prob = parse_prob(v); }},
+      {"tuning.apple_prob_light",
+       [&](auto v) { cfg.tuning.apple_prob_light = parse_prob(v); }},
+      {"tuning.tv_prob", [&](auto v) { cfg.tuning.tv_prob = parse_prob(v); }},
+      {"tuning.tv_prob_light",
+       [&](auto v) { cfg.tuning.tv_prob_light = parse_prob(v); }},
+      {"tuning.iot_min", [&](auto v) { cfg.tuning.iot_min = parse_number<std::size_t>(v); }},
+      {"tuning.iot_max", [&](auto v) { cfg.tuning.iot_max = parse_number<std::size_t>(v); }},
+      {"tuning.alarm_prob", [&](auto v) { cfg.tuning.alarm_prob = parse_prob(v); }},
+      {"tuning.browser_session_scale",
+       [&](auto v) { cfg.tuning.browser_session_scale = parse_positive(v); }},
+      {"tuning.video_session_scale",
+       [&](auto v) { cfg.tuning.video_session_scale = parse_positive(v); }},
+      {"tuning.background_poll_scale",
+       [&](auto v) { cfg.tuning.background_poll_scale = parse_positive(v); }},
+      {"tuning.pages_per_session_scale",
+       [&](auto v) { cfg.tuning.pages_per_session_scale = parse_positive(v); }},
+      {"tuning.conncheck_scale",
+       [&](auto v) { cfg.tuning.conncheck_scale = parse_positive(v); }},
+      {"tuning.prefetch_prob",
+       [&](auto v) { cfg.tuning.prefetch_prob = parse_prob(v); }},
+      {"tuning.household_site_prob",
+       [&](auto v) { cfg.tuning.household_site_prob = parse_prob(v); }},
+      {"tuning.junk_probe_prob",
+       [&](auto v) { cfg.tuning.junk_probe_prob = parse_prob(v); }},
+      {"tuning.junk_queries_per_hour",
+       [&](auto v) { cfg.tuning.junk_queries_per_hour = parse_non_negative(v); }},
+      {"tuning.web_cdn_min",
+       [&](auto v) { cfg.tuning.web.cdn_min = parse_number<std::size_t>(v); }},
+      {"tuning.web_cdn_max",
+       [&](auto v) { cfg.tuning.web.cdn_max = parse_number<std::size_t>(v); }},
+      {"tuning.web_ad_min",
+       [&](auto v) { cfg.tuning.web.ad_min = parse_number<std::size_t>(v); }},
+      {"tuning.web_ad_max",
+       [&](auto v) { cfg.tuning.web.ad_max = parse_number<std::size_t>(v); }},
+      {"tuning.web_tracker_min",
+       [&](auto v) { cfg.tuning.web.tracker_min = parse_number<std::size_t>(v); }},
+      {"tuning.web_tracker_max",
+       [&](auto v) { cfg.tuning.web.tracker_max = parse_number<std::size_t>(v); }},
+      {"tuning.web_api_min",
+       [&](auto v) { cfg.tuning.web.api_min = parse_number<std::size_t>(v); }},
+      {"tuning.web_api_max",
+       [&](auto v) { cfg.tuning.web.api_max = parse_number<std::size_t>(v); }},
+      {"tuning.web_links_min",
+       [&](auto v) { cfg.tuning.web.links_min = parse_number<std::size_t>(v); }},
+      {"tuning.web_links_max",
+       [&](auto v) { cfg.tuning.web.links_max = parse_number<std::size_t>(v); }},
+      {"tuning.diurnal_hours",
+       [&](auto v) { cfg.tuning.diurnal_hours = parse_hours(v); }},
   };
 
   std::string line;
@@ -157,16 +315,22 @@ ScenarioConfig load_config(std::istream& is) {
     if (stripped.empty() || stripped.front() == '#') continue;
     const auto eq = stripped.find('=');
     if (eq == std::string_view::npos) {
-      throw std::runtime_error{strfmt("config line %zu: expected key = value", line_no)};
+      throw std::runtime_error{
+          strfmt("%s line %zu: expected key = value", source.c_str(), line_no)};
     }
     const std::string key{trim(stripped.substr(0, eq))};
     const std::string_view value = trim(stripped.substr(eq + 1));
     const auto it = setters.find(key);
     if (it == setters.end()) {
-      throw std::runtime_error{strfmt("config line %zu: unknown key '%s'", line_no,
-                                      key.c_str())};
+      throw std::runtime_error{
+          strfmt("%s line %zu: unknown key '%s'", source.c_str(), line_no, key.c_str())};
     }
-    it->second(value, line_no);
+    try {
+      it->second(value);
+    } catch (const std::exception& e) {
+      throw std::runtime_error{strfmt("%s line %zu: key '%s': %s", source.c_str(),
+                                      line_no, key.c_str(), e.what())};
+    }
   }
   return cfg;
 }
@@ -174,7 +338,7 @@ ScenarioConfig load_config(std::istream& is) {
 ScenarioConfig load_config_file(const std::string& path) {
   std::ifstream is{path};
   if (!is) throw std::runtime_error{"load_config_file: cannot open " + path};
-  return load_config(is);
+  return load_config(is, path);
 }
 
 }  // namespace dnsctx::scenario

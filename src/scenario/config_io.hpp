@@ -12,14 +12,19 @@
 
 namespace dnsctx::scenario {
 
-/// Serialise a config as key = value lines (stable order, all knobs).
+/// Serialise a config as key = value lines (stable order). Tuning and
+/// pack keys are written only when they differ from the defaults, so
+/// classic (pre-pack) configs round-trip byte-identically.
 void save_config(std::ostream& os, const ScenarioConfig& cfg);
 void save_config_file(const std::string& path, const ScenarioConfig& cfg);
 
 /// Parse a config. Unknown keys and malformed values throw
-/// std::runtime_error with the offending line number. Keys not present
+/// std::runtime_error naming `source`, the line number and the key.
+/// Out-of-range numbers ("1e999"), non-finite doubles ("inf", "nan")
+/// and trailing garbage are rejected, never clamped. Keys not present
 /// keep their defaults.
-[[nodiscard]] ScenarioConfig load_config(std::istream& is);
+[[nodiscard]] ScenarioConfig load_config(std::istream& is,
+                                         const std::string& source = "config");
 [[nodiscard]] ScenarioConfig load_config_file(const std::string& path);
 
 }  // namespace dnsctx::scenario

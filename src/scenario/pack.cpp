@@ -1,0 +1,359 @@
+#include "scenario/pack.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace dnsctx::scenario {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+template <typename T>
+[[nodiscard]] T parse_number(std::string_view v) {
+  T out{};
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::runtime_error{
+        strfmt("number '%.*s' is out of range", static_cast<int>(v.size()), v.data())};
+  }
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw std::runtime_error{
+        strfmt("bad number '%.*s'", static_cast<int>(v.size()), v.data())};
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(out)) {
+      throw std::runtime_error{strfmt("number '%.*s' must be finite",
+                                      static_cast<int>(v.size()), v.data())};
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] double parse_prob(std::string_view v) {
+  const double p = parse_number<double>(v);
+  if (p < 0.0 || p > 1.0) {
+    throw std::runtime_error{
+        strfmt("probability '%.*s' must be in [0, 1]", static_cast<int>(v.size()),
+               v.data())};
+  }
+  return p;
+}
+
+[[nodiscard]] double parse_positive(std::string_view v) {
+  const double x = parse_number<double>(v);
+  if (!(x > 0.0)) {
+    throw std::runtime_error{
+        strfmt("value '%.*s' must be > 0", static_cast<int>(v.size()), v.data())};
+  }
+  return x;
+}
+
+[[nodiscard]] double parse_non_negative(std::string_view v) {
+  const double x = parse_number<double>(v);
+  if (x < 0.0) {
+    throw std::runtime_error{
+        strfmt("value '%.*s' must be >= 0", static_cast<int>(v.size()), v.data())};
+  }
+  return x;
+}
+
+[[nodiscard]] std::size_t parse_count(std::string_view v) {
+  return parse_number<std::size_t>(v);
+}
+
+[[nodiscard]] std::size_t parse_count_min1(std::string_view v) {
+  const std::size_t n = parse_count(v);
+  if (n == 0) {
+    throw std::runtime_error{
+        strfmt("value '%.*s' must be >= 1", static_cast<int>(v.size()), v.data())};
+  }
+  return n;
+}
+
+/// Optionally double-quoted string (quotes required when the value
+/// could be mistaken for syntax; bare tokens are fine otherwise).
+[[nodiscard]] std::string parse_string(std::string_view v) {
+  if (!v.empty() && v.front() == '"') {
+    if (v.size() < 2 || v.back() != '"') {
+      throw std::runtime_error{"unterminated quoted string"};
+    }
+    const std::string_view inner = v.substr(1, v.size() - 2);
+    if (inner.find('"') != std::string_view::npos) {
+      throw std::runtime_error{"stray '\"' inside quoted string"};
+    }
+    return std::string{inner};
+  }
+  if (v.find('"') != std::string_view::npos) {
+    throw std::runtime_error{"stray '\"' in unquoted value"};
+  }
+  return std::string{v};
+}
+
+[[nodiscard]] std::array<double, 24> parse_hours(std::string_view v) {
+  std::array<double, 24> out{};
+  std::size_t idx = 0;
+  while (true) {
+    const auto comma = v.find(',');
+    const std::string_view tok = trim(v.substr(0, comma));
+    if (idx >= out.size()) throw std::runtime_error{"expected exactly 24 hour values"};
+    out[idx++] = parse_number<double>(tok);
+    if (comma == std::string_view::npos) break;
+    v.remove_prefix(comma + 1);
+  }
+  if (idx != out.size()) throw std::runtime_error{"expected exactly 24 hour values"};
+  return out;
+}
+
+[[nodiscard]] bool valid_pack_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PackInfo apply_pack(std::string_view text, const std::string& source,
+                    ScenarioConfig* cfg) {
+  PackInfo info;
+  auto& tun = cfg->tuning;
+
+  // Dispatch table keyed "section.key". Setters parse + range-check the
+  // value and throw location-free messages; the line loop adds
+  // source + line + key. Cross-key constraints (min <= max, mix sums)
+  // are checked once at end of file.
+  using Setter = std::function<void(std::string_view)>;
+  const std::unordered_map<std::string, Setter> setters = {
+      // [pack]
+      {"pack.name",
+       [&](auto v) {
+         const std::string name = parse_string(v);
+         if (!valid_pack_name(name)) {
+           throw std::runtime_error{
+               "pack name must be 1-64 chars of [A-Za-z0-9._-]"};
+         }
+         info.name = name;
+       }},
+      {"pack.description", [&](auto v) { info.description = parse_string(v); }},
+      // [mix]
+      {"mix.isp_only", [&](auto v) { cfg->mix.isp_only = parse_prob(v); }},
+      {"mix.cloudflare", [&](auto v) { cfg->mix.cloudflare = parse_prob(v); }},
+      {"mix.no_isp", [&](auto v) { cfg->mix.no_isp = parse_prob(v); }},
+      {"mix.opendns_in_mixed",
+       [&](auto v) { cfg->mix.opendns_in_mixed = parse_prob(v); }},
+      // [scenario] — composition-side ScenarioConfig knobs only; run
+      // shape (seed/houses/duration/shards/threads) stays with the CLI.
+      {"scenario.activity_scale",
+       [&](auto v) { cfg->activity_scale = parse_positive(v); }},
+      {"scenario.ttl_violation_prob",
+       [&](auto v) { cfg->ttl_violation_prob = parse_prob(v); }},
+      {"scenario.dead_ntp_frac", [&](auto v) { cfg->dead_ntp_frac = parse_prob(v); }},
+      {"scenario.p2p_house_frac",
+       [&](auto v) { cfg->p2p_house_frac = parse_prob(v); }},
+      {"scenario.encrypted_dns_device_frac",
+       [&](auto v) { cfg->encrypted_dns_device_frac = parse_prob(v); }},
+      {"scenario.whole_house_cache_frac",
+       [&](auto v) { cfg->whole_house_cache_frac = parse_prob(v); }},
+      {"scenario.start_hour",
+       [&](auto v) {
+         const auto h = parse_number<int>(v);
+         if (h < 0 || h > 23) throw std::runtime_error{"start_hour must be in [0, 23]"};
+         cfg->start_hour = h;
+       }},
+      // [zones]
+      {"zones.web_sites",
+       [&](auto v) { cfg->zones.web_sites = parse_count_min1(v); }},
+      {"zones.cdn_domains",
+       [&](auto v) { cfg->zones.cdn_domains = parse_count_min1(v); }},
+      {"zones.ad_domains", [&](auto v) { cfg->zones.ad_domains = parse_count(v); }},
+      {"zones.tracker_domains",
+       [&](auto v) { cfg->zones.tracker_domains = parse_count(v); }},
+      {"zones.api_domains", [&](auto v) { cfg->zones.api_domains = parse_count(v); }},
+      {"zones.video_sites",
+       [&](auto v) { cfg->zones.video_sites = parse_count_min1(v); }},
+      {"zones.other_names", [&](auto v) { cfg->zones.other_names = parse_count(v); }},
+      {"zones.zipf_exponent",
+       [&](auto v) { cfg->zones.zipf_exponent = parse_positive(v); }},
+      {"zones.edges_per_cdn",
+       [&](auto v) { cfg->zones.edges_per_cdn = parse_count_min1(v); }},
+      {"zones.hosting_pool_ips",
+       [&](auto v) { cfg->zones.hosting_pool_ips = parse_count_min1(v); }},
+      // [devices]
+      {"devices.computers_min",
+       [&](auto v) { tun.computers_min = parse_count_min1(v); }},
+      {"devices.computers_max", [&](auto v) { tun.computers_max = parse_count(v); }},
+      {"devices.computers_light",
+       [&](auto v) { tun.computers_light = parse_count_min1(v); }},
+      {"devices.android_extra_prob",
+       [&](auto v) { tun.android_extra_prob = parse_prob(v); }},
+      {"devices.apple_prob", [&](auto v) { tun.apple_prob = parse_prob(v); }},
+      {"devices.apple_prob_light",
+       [&](auto v) { tun.apple_prob_light = parse_prob(v); }},
+      {"devices.tv_prob", [&](auto v) { tun.tv_prob = parse_prob(v); }},
+      {"devices.tv_prob_light", [&](auto v) { tun.tv_prob_light = parse_prob(v); }},
+      {"devices.iot_min", [&](auto v) { tun.iot_min = parse_count(v); }},
+      {"devices.iot_max", [&](auto v) { tun.iot_max = parse_count(v); }},
+      {"devices.alarm_prob", [&](auto v) { tun.alarm_prob = parse_prob(v); }},
+      // [apps]
+      {"apps.browser_session_scale",
+       [&](auto v) { tun.browser_session_scale = parse_positive(v); }},
+      {"apps.video_session_scale",
+       [&](auto v) { tun.video_session_scale = parse_positive(v); }},
+      {"apps.background_poll_scale",
+       [&](auto v) { tun.background_poll_scale = parse_positive(v); }},
+      {"apps.pages_per_session_scale",
+       [&](auto v) { tun.pages_per_session_scale = parse_positive(v); }},
+      {"apps.conncheck_scale",
+       [&](auto v) { tun.conncheck_scale = parse_positive(v); }},
+      {"apps.prefetch_prob", [&](auto v) { tun.prefetch_prob = parse_prob(v); }},
+      {"apps.household_site_prob",
+       [&](auto v) { tun.household_site_prob = parse_prob(v); }},
+      {"apps.junk_probe_prob", [&](auto v) { tun.junk_probe_prob = parse_prob(v); }},
+      {"apps.junk_queries_per_hour",
+       [&](auto v) { tun.junk_queries_per_hour = parse_non_negative(v); }},
+      // [web]
+      {"web.cdn_min", [&](auto v) { tun.web.cdn_min = parse_count(v); }},
+      {"web.cdn_max", [&](auto v) { tun.web.cdn_max = parse_count(v); }},
+      {"web.ad_min", [&](auto v) { tun.web.ad_min = parse_count(v); }},
+      {"web.ad_max", [&](auto v) { tun.web.ad_max = parse_count(v); }},
+      {"web.tracker_min", [&](auto v) { tun.web.tracker_min = parse_count(v); }},
+      {"web.tracker_max", [&](auto v) { tun.web.tracker_max = parse_count(v); }},
+      {"web.api_min", [&](auto v) { tun.web.api_min = parse_count(v); }},
+      {"web.api_max", [&](auto v) { tun.web.api_max = parse_count(v); }},
+      {"web.links_min", [&](auto v) { tun.web.links_min = parse_count(v); }},
+      {"web.links_max", [&](auto v) { tun.web.links_max = parse_count(v); }},
+      // [diurnal]
+      {"diurnal.profile",
+       [&](auto v) {
+         const std::string p = parse_string(v);
+         if (p == "residential") {
+           tun.diurnal_hours = traffic::kResidentialHours;
+         } else if (p == "office") {
+           tun.diurnal_hours = traffic::kOfficeHours;
+         } else if (p == "flat") {
+           tun.diurnal_hours.fill(1.0);
+         } else {
+           throw std::runtime_error{
+               "unknown diurnal profile '" + p +
+               "' (expected residential, flat, or office)"};
+         }
+       }},
+      {"diurnal.hours",
+       [&](auto v) {
+         tun.diurnal_hours = parse_hours(v);
+         (void)traffic::DiurnalProfile::custom(tun.diurnal_hours);
+       }},
+      // [faults]
+      {"faults.plan",
+       [&](auto v) { cfg->faults = faults::FaultPlan::parse(parse_string(v)); }},
+      // [transport]
+      {"transport.default",
+       [&](auto v) {
+         const std::string name = parse_string(v);
+         const auto t = netsim::parse_transport(name);
+         if (!t) {
+           throw std::runtime_error{
+               "unknown transport '" + name +
+               "' (expected do53, dot, doh, or resolverless)"};
+         }
+         cfg->transport = *t;
+       }},
+  };
+
+  static const std::unordered_set<std::string> kSections = {
+      "pack", "mix",     "scenario", "zones",  "devices",
+      "apps", "web",     "diurnal",  "faults", "transport"};
+
+  const auto fail = [&source](std::size_t line_no, const std::string& msg) {
+    throw std::runtime_error{
+        strfmt("%s line %zu: %s", source.c_str(), line_no, msg.c_str())};
+  };
+
+  std::string section;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::string_view stripped = trim(raw);
+    if (stripped.empty() || stripped.front() == '#' || stripped.front() == ';') {
+      continue;
+    }
+    if (stripped.front() == '[') {
+      if (stripped.back() != ']') {
+        fail(line_no, "malformed section header (expected [name])");
+      }
+      const std::string name{trim(stripped.substr(1, stripped.size() - 2))};
+      if (kSections.find(name) == kSections.end()) {
+        fail(line_no, "unknown section '[" + name + "]'");
+      }
+      section = name;
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected key = value");
+    }
+    const std::string key{trim(stripped.substr(0, eq))};
+    const std::string_view value = trim(stripped.substr(eq + 1));
+    if (section.empty()) {
+      fail(line_no, "key '" + key + "' appears before any [section]");
+    }
+    const auto it = setters.find(section + "." + key);
+    if (it == setters.end()) {
+      fail(line_no, "unknown key '" + key + "' in section [" + section + "]");
+    }
+    try {
+      it->second(value);
+    } catch (const std::exception& e) {
+      fail(line_no, "key '" + key + "': " + e.what());
+    }
+  }
+
+  if (info.name.empty()) {
+    throw std::runtime_error{source + ": pack is missing required [pack] name"};
+  }
+  // Cross-key constraints last, so they see the final state no matter
+  // the key order in the file.
+  try {
+    cfg->mix.validate();
+    cfg->tuning.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error{source + ": " + e.what()};
+  }
+  cfg->pack = info.name;
+  return info;
+}
+
+PackInfo apply_pack_file(const std::string& path, ScenarioConfig* cfg) {
+  std::ifstream is{path};
+  if (!is) throw std::runtime_error{"pack: cannot open " + path};
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return apply_pack(buf.str(), path, cfg);
+}
+
+}  // namespace dnsctx::scenario

@@ -125,17 +125,39 @@ std::vector<Ipv4Addr> resolve_outage_target(const std::string& target) {
   throw std::runtime_error{"fault plan: unknown outage target '" + target + "'"};
 }
 
+void HouseProfileMix::validate() const {
+  const auto prob = [](double v, const char* name) {
+    if (!(v >= 0.0 && v <= 1.0)) {  // negated comparison also rejects NaN
+      throw std::runtime_error{std::string{"HouseProfileMix: "} + name +
+                               " must be in [0, 1]"};
+    }
+  };
+  prob(isp_only, "isp_only");
+  prob(cloudflare, "cloudflare");
+  prob(no_isp, "no_isp");
+  prob(opendns_in_mixed, "opendns_in_mixed");
+  const double sum = isp_only + cloudflare + no_isp;
+  if (sum > 1.0 + 1e-9) {
+    throw std::runtime_error{
+        "HouseProfileMix: isp_only + cloudflare + no_isp = " + std::to_string(sum) +
+        " exceeds 1.0 (the remainder is the mixed-profile share)"};
+  }
+}
+
 Town::Town(const ScenarioConfig& cfg)
     : cfg_{cfg}, rng_{derive_seed(cfg.seed, "town")} {
+  cfg_.mix.validate();
+  cfg_.tuning.validate();
   cfg_.shards = std::clamp<std::size_t>(cfg_.shards, 1, std::max<std::size_t>(cfg_.houses, 1));
 
   resolver::ZoneDbConfig zone_cfg = cfg_.zones;
   if (zone_cfg.seed == resolver::ZoneDbConfig{}.seed) zone_cfg.seed = cfg_.seed;
   zones_ = std::make_unique<resolver::ZoneDb>(zone_cfg);
-  web_ = std::make_unique<traffic::WebModel>(*zones_, cfg_.seed);
+  web_ = std::make_unique<traffic::WebModel>(*zones_, cfg_.seed, cfg_.tuning.web);
   world_ = std::make_unique<traffic::AppWorld>(traffic::AppWorld{
       *zones_, *web_,
-      traffic::DiurnalProfile::residential().with_start_hour(cfg_.start_hour)});
+      traffic::DiurnalProfile::custom(cfg_.tuning.diurnal_hours)
+          .with_start_hour(cfg_.start_hour)});
 
   // Endpoints every device polls (push hubs, vendor clouds): the three
   // most popular API names.
@@ -330,24 +352,37 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
   };
   std::vector<Plan> plans;
   // Public-DNS-only households skew light and phone-centric; everyone
-  // else gets the full inventory.
+  // else gets the full inventory. All population knobs come from the
+  // tuning block; the defaults collapse to the historical draws (same
+  // bounded() arguments, same bernoulli draw count) so the default RNG
+  // stream — and every golden — is untouched.
+  const traffic::TrafficTuning& tun = cfg_.tuning;
   const bool light = info.profile == "no_isp";
-  const std::size_t computers = light ? 1 : 1 + house_rng.bounded(2);
+  const std::size_t computers =
+      light ? tun.computers_light
+            : tun.computers_min +
+                  house_rng.bounded(tun.computers_max - tun.computers_min + 1);
   for (std::size_t i = 0; i < computers; ++i) plans.push_back({DeviceKind::kComputer});
   if (info.profile != "isp_only") {
-    const std::size_t androids = 1 + (house_rng.bernoulli(0.25) ? 1 : 0);
+    const std::size_t androids =
+        1 + (house_rng.bernoulli(tun.android_extra_prob) ? 1 : 0);
     for (std::size_t i = 0; i < androids; ++i) plans.push_back({DeviceKind::kAndroid});
     info.has_android = true;
   }
-  if (house_rng.bernoulli(light ? 0.3 : 0.5)) plans.push_back({DeviceKind::kAppleMobile});
-  if (house_rng.bernoulli(light ? 0.5 : 0.65)) plans.push_back({DeviceKind::kTv});
-  const std::size_t iots = house_rng.bounded(2);
+  if (house_rng.bernoulli(light ? tun.apple_prob_light : tun.apple_prob)) {
+    plans.push_back({DeviceKind::kAppleMobile});
+  }
+  if (house_rng.bernoulli(light ? tun.tv_prob_light : tun.tv_prob)) {
+    plans.push_back({DeviceKind::kTv});
+  }
+  const std::size_t iots =
+      tun.iot_min + house_rng.bounded(tun.iot_max - tun.iot_min + 1);
   for (std::size_t i = 0; i < iots; ++i) {
     Plan p{DeviceKind::kIot};
     p.dead_ntp = house_rng.bernoulli(cfg_.dead_ntp_frac);
     plans.push_back(p);
   }
-  if (house_rng.bernoulli(0.25)) {
+  if (house_rng.bernoulli(tun.alarm_prob)) {
     Plan p{DeviceKind::kIot};
     p.alarm = true;
     plans.push_back(p);
@@ -426,14 +461,21 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
         traffic::BrowserConfig bc;
         bc.household_sites = household_sites;
         bc.server_push = cfg_.transport == netsim::Transport::kResolverless;
-        bc.session_gap_mean_sec /= scale;
+        bc.session_gap_mean_sec /= scale * tun.browser_session_scale;
+        bc.pages_per_session_mean *= tun.pages_per_session_scale;
+        bc.household_site_prob = tun.household_site_prob;
+        bc.junk_probe_prob = tun.junk_probe_prob;
         // OpenDNS-configured machines belong to privacy-minded users who
         // commonly disable speculative prefetching.
-        if (plan.opendns) bc.prefetch_prob = 0.2;
+        bc.prefetch_prob = plan.opendns ? 0.2 : tun.prefetch_prob;
         add_app(std::make_unique<traffic::BrowserApp>(*device, *world_, bc,
                                                       derive_seed(dev_seed, "browser")));
         traffic::BackgroundConfig bg;
         bg.universal_services = universal_services_;
+        bg.universal_period_min_sec /= tun.background_poll_scale;
+        bg.universal_period_max_sec /= tun.background_poll_scale;
+        bg.period_min_sec /= tun.background_poll_scale;
+        bg.period_max_sec /= tun.background_poll_scale;
         add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
                                                          derive_seed(dev_seed, "bg")));
         if (plan.p2p) {
@@ -447,35 +489,45 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
         traffic::BrowserConfig bc;
         bc.household_sites = household_sites;
         bc.server_push = cfg_.transport == netsim::Transport::kResolverless;
-        bc.session_gap_mean_sec = bc.session_gap_mean_sec * 5.0 / scale;
-        bc.pages_per_session_mean = 3.0;
+        bc.session_gap_mean_sec =
+            bc.session_gap_mean_sec * 5.0 / (scale * tun.browser_session_scale);
+        bc.pages_per_session_mean = 3.0 * tun.pages_per_session_scale;
+        bc.household_site_prob = tun.household_site_prob;
+        bc.junk_probe_prob = tun.junk_probe_prob;
+        bc.prefetch_prob = tun.prefetch_prob;
         add_app(std::make_unique<traffic::BrowserApp>(*device, *world_, bc,
                                                       derive_seed(dev_seed, "browser")));
         traffic::BackgroundConfig bg;
         bg.universal_services = universal_services_;
         bg.services_min = 1;
         bg.services_max = 2;
-        bg.period_min_sec = 400;
-        bg.period_max_sec = 2'400;
+        bg.period_min_sec = 400 / tun.background_poll_scale;
+        bg.period_max_sec = 2'400 / tun.background_poll_scale;
+        bg.universal_period_min_sec /= tun.background_poll_scale;
+        bg.universal_period_max_sec /= tun.background_poll_scale;
         add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
                                                          derive_seed(dev_seed, "bg")));
         if (plan.kind == DeviceKind::kAndroid) {
-          add_app(std::make_unique<traffic::ConnCheckApp>(*device, *world_,
-                                                          traffic::ConnCheckConfig{},
+          traffic::ConnCheckConfig cc;
+          cc.period_mean_sec /= tun.conncheck_scale;
+          add_app(std::make_unique<traffic::ConnCheckApp>(*device, *world_, cc,
                                                           derive_seed(dev_seed, "cc")));
         }
         break;
       }
       case DeviceKind::kTv: {
         traffic::VideoConfig vc;
-        vc.session_gap_mean_sec /= scale;
+        vc.session_gap_mean_sec /= scale * tun.video_session_scale;
         add_app(std::make_unique<traffic::VideoApp>(*device, *world_, vc,
                                                     derive_seed(dev_seed, "video")));
         traffic::BackgroundConfig bg;
         bg.universal_services = universal_services_;
         bg.services_min = 1;
         bg.services_max = 2;
-        bg.period_min_sec = 600;
+        bg.period_min_sec = 600 / tun.background_poll_scale;
+        bg.universal_period_min_sec /= tun.background_poll_scale;
+        bg.universal_period_max_sec /= tun.background_poll_scale;
+        bg.period_max_sec /= tun.background_poll_scale;
         add_app(std::make_unique<traffic::BackgroundApp>(*device, *world_, bg,
                                                          derive_seed(dev_seed, "bg")));
         break;
@@ -499,6 +551,16 @@ void Town::build_house(Shard& shard, std::size_t index, const std::string& profi
                                                   derive_seed(dev_seed, "iot")));
         break;
       }
+    }
+    // Junk/NXDOMAIN composition (B-Root-style storms, junk_storm pack).
+    // Lives under its own derive label and is only constructed when the
+    // knob is on, so default scenarios draw nothing new.
+    if (tun.junk_queries_per_hour > 0.0 && plan.kind != DeviceKind::kIot &&
+        plan.kind != DeviceKind::kTv) {
+      traffic::JunkConfig jc;
+      jc.queries_per_hour = tun.junk_queries_per_hour;
+      add_app(std::make_unique<traffic::JunkApp>(*device, *world_, jc,
+                                                 derive_seed(dev_seed, "junk")));
     }
     house->devices.push_back(std::move(device));
     ++dev_idx;
@@ -553,7 +615,15 @@ capture::Dataset Town::harvest() {
     parts[s] = shards_[s]->monitor->harvest(shards_[s]->sim->now());
   });
   refresh_truth();
-  return merge_shard_datasets(std::move(parts));
+  capture::Dataset fresh = merge_shard_datasets(std::move(parts));
+  // run() drains the monitors into dataset_ itself, so the natural
+  // run()-then-harvest() sequence used to hit already-empty monitors
+  // and silently return nothing. Hand the stored capture out instead;
+  // dataset() afterwards reflects that it was taken.
+  if (fresh.conns.empty() && fresh.dns.empty() && fresh.encflows.empty()) {
+    return std::move(dataset_);
+  }
+  return fresh;
 }
 
 FaultStats Town::fault_stats() const {

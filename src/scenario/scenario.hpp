@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "capture/monitor.hpp"
@@ -24,6 +25,7 @@
 #include "resolver/recursive.hpp"
 #include "traffic/apps.hpp"
 #include "traffic/farm.hpp"
+#include "traffic/tuning.hpp"
 
 namespace dnsctx::scenario {
 
@@ -33,6 +35,13 @@ struct HouseProfileMix {
   double no_isp = 0.05;      ///< public-DNS-only households
   /// Probability a mixed house has an OpenDNS-configured computer.
   double opendns_in_mixed = 0.38;
+
+  /// Throws std::runtime_error when a fraction is outside [0, 1] or the
+  /// three exclusive profiles claim more than the whole population
+  /// (their sum must leave a non-negative remainder for "mixed").
+  /// Called by the Town constructor so a broken mix fails loudly at
+  /// build time instead of silently skewing assign_profiles' quotas.
+  void validate() const;
 };
 
 struct ScenarioConfig {
@@ -86,6 +95,13 @@ struct ScenarioConfig {
   /// with its ground-truth class (truth_flows()). Observation-only: the
   /// packet stream, datasets, and all RNG draws are unchanged.
   bool collect_truth = false;
+  /// Query-composition tuning (device population, app rates, web fanout,
+  /// junk rate, diurnal table). The default reproduces the classic
+  /// household mix byte for byte; scenario packs (pack.hpp) override it.
+  traffic::TrafficTuning tuning;
+  /// Scenario-pack name for bench records and report labelling
+  /// ("default" = no pack applied).
+  std::string pack = "default";
 };
 
 /// Ground truth the monitor cannot see (defined beside Device, which

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <string_view>
 
 namespace dnsctx::traffic {
 
@@ -404,6 +406,46 @@ void IotApp::ntp_tick() {
   device_.send_udp(cfg_.ntp_server, 123, 123, 48, intent);
   device_.sim().after(SimDuration::from_sec(cfg_.ntp_period_sec * rng_.uniform(0.9, 1.1)),
                       [this]() { ntp_tick(); });
+}
+
+// ---------------------------------------------------------------- JunkApp
+
+double JunkApp::gap_mean_sec() const {
+  // Each storm issues 1..burst_max lookups (mean 1 + (burst_max-1)/2),
+  // so the tick gap is stretched to keep queries_per_hour the per-hour
+  // lookup rate, not the per-hour storm rate.
+  const double mean_burst =
+      1.0 + (static_cast<double>(std::max<std::size_t>(cfg_.burst_max, 1)) - 1.0) / 2.0;
+  return 3'600.0 / cfg_.queries_per_hour * mean_burst;
+}
+
+void JunkApp::start() {
+  if (cfg_.queries_per_hour <= 0.0) return;
+  schedule_next(gap_mean_sec() * 0.5, [this]() { storm(); });
+}
+
+void JunkApp::storm() {
+  // Names mimic the B-Root junk taxonomy: random typo-like labels, a
+  // fraction carrying a leaked private suffix. All are NXDOMAIN at the
+  // resolver (the ZoneDb only answers its generated population).
+  static constexpr std::string_view kSuffixes[] = {".local", ".lan", ".home",
+                                                   ".corp", ".internal"};
+  static constexpr std::string_view kChars = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const std::size_t n = 1 + rng_.bounded(std::max<std::size_t>(cfg_.burst_max, 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string junk;
+    junk.push_back(static_cast<char>('a' + rng_.bounded(26)));
+    const std::size_t len = 5 + rng_.bounded(10);
+    for (std::size_t c = 0; c < len; ++c) {
+      junk.push_back(kChars[rng_.bounded(kChars.size())]);
+    }
+    if (rng_.bernoulli(cfg_.dotted_prob)) {
+      junk.append(kSuffixes[rng_.bounded(std::size(kSuffixes))]);
+    }
+    device_.stub().resolve(dns::DomainName::must(junk),
+                           [](const resolver::ResolveResult&) {});
+  }
+  schedule_next(gap_mean_sec(), [this]() { storm(); });
 }
 
 void IotApp::alarm_tick() {

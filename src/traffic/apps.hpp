@@ -209,6 +209,31 @@ class P2pApp : public App {
 
 // ---------------------------------------------------------------------------
 
+/// B-Root-style junk/NXDOMAIN composition (scenario packs only — no
+/// instance exists unless TrafficTuning::junk_queries_per_hour > 0, so
+/// the default scenario's RNG streams are untouched). Models leaked
+/// suffix-search queries, typo'd hostnames, and misconfigured clients
+/// hammering names that can never resolve.
+struct JunkConfig {
+  double queries_per_hour = 60.0;  ///< mean junk lookups per device-hour
+  std::size_t burst_max = 3;       ///< each tick fires 1..burst_max lookups
+  double dotted_prob = 0.55;       ///< leaked private suffix vs bare label
+};
+
+class JunkApp : public App {
+ public:
+  JunkApp(Device& device, const AppWorld& world, JunkConfig cfg, std::uint64_t seed)
+      : App{device, world, seed}, cfg_{cfg} {}
+  void start() override;
+
+ private:
+  void storm();
+  [[nodiscard]] double gap_mean_sec() const;
+  JunkConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
 struct IotConfig {
   bool ntp = true;
   double ntp_period_sec = 1'200;

@@ -6,18 +6,30 @@
 #pragma once
 
 #include <array>
+#include <cmath>
+#include <stdexcept>
 
 #include "util/time.hpp"
 
 namespace dnsctx::traffic {
 
+/// The residential 24-hour multiplier table, exposed so scenario packs
+/// can default to it and serializers can detect "unchanged".
+inline constexpr std::array<double, 24> kResidentialHours{
+    0.35, 0.25, 0.2,  0.15, 0.15, 0.2, 0.35, 0.55, 0.7, 0.75, 0.8, 0.85,
+    0.9,  0.9,  0.9,  0.95, 1.1,  1.3, 1.6,  1.8,  1.8, 1.6,  1.2, 0.7};
+
+/// Office-hours profile: ramp 07:00, plateau 09:00–17:00, near-dead
+/// overnight. Used by the enterprise_fanout scenario pack.
+inline constexpr std::array<double, 24> kOfficeHours{
+    0.1, 0.1, 0.1, 0.1, 0.15, 0.25, 0.5, 0.9, 1.4, 1.7, 1.8, 1.7,
+    1.5, 1.6, 1.7, 1.6, 1.4,  1.0,  0.6, 0.4, 0.3, 0.2, 0.15, 0.1};
+
 class DiurnalProfile {
  public:
   /// Residential default: trough ~04:00, peak 19:00–22:00.
   [[nodiscard]] static DiurnalProfile residential() {
-    return DiurnalProfile{{0.35, 0.25, 0.2, 0.15, 0.15, 0.2, 0.35, 0.55,
-                           0.7, 0.75, 0.8, 0.85, 0.9, 0.9, 0.9, 0.95,
-                           1.1, 1.3, 1.6, 1.8, 1.8, 1.6, 1.2, 0.7}};
+    return DiurnalProfile{kResidentialHours};
   }
 
   /// Flat profile (IoT heartbeats do not sleep).
@@ -27,12 +39,41 @@ class DiurnalProfile {
     return p;
   }
 
+  /// Office-hours profile (enterprise scenarios).
+  [[nodiscard]] static DiurnalProfile office() {
+    return DiurnalProfile{kOfficeHours};
+  }
+
+  /// Profile from an arbitrary 24-hour multiplier table. Every entry
+  /// must be finite and non-negative and at least one must be positive,
+  /// otherwise every gap in the scenario would collapse to the 0.05
+  /// floor (or worse, a negative mean) — reject loudly instead.
+  [[nodiscard]] static DiurnalProfile custom(
+      const std::array<double, 24>& hours) {
+    bool any_positive = false;
+    for (const double h : hours) {
+      if (!std::isfinite(h) || h < 0.0) {
+        throw std::invalid_argument{
+            "DiurnalProfile: hour multipliers must be finite and >= 0"};
+      }
+      any_positive = any_positive || h > 0.0;
+    }
+    if (!any_positive) {
+      throw std::invalid_argument{
+          "DiurnalProfile: at least one hour multiplier must be > 0"};
+    }
+    return DiurnalProfile{hours};
+  }
+
   /// Activity multiplier at a simulated instant. t = 0 corresponds to
-  /// local `start_hour` o'clock (set via with_start_hour).
+  /// local `start_hour` o'clock (set via with_start_hour). Negative
+  /// times (apps scheduling "just before" the epoch after a clamp) use
+  /// a floored modulus so the index stays in [0, 24) instead of the
+  /// truncated `%` going negative and casting to a huge size_t.
   [[nodiscard]] double factor(SimTime t) const {
-    const auto hour = static_cast<std::size_t>(
-        (start_hour_ + t.count_us() / 3'600'000'000LL) % 24);
-    return hours_[hour];
+    const long long raw = start_hour_ + t.count_us() / 3'600'000'000LL;
+    const long long wrapped = ((raw % 24) + 24) % 24;
+    return hours_[static_cast<std::size_t>(wrapped)];
   }
 
   /// Shift the phase: simulations usually start mid-afternoon so short
@@ -41,6 +82,11 @@ class DiurnalProfile {
     DiurnalProfile p = *this;
     p.start_hour_ = ((hour % 24) + 24) % 24;
     return p;
+  }
+
+  /// The underlying multiplier table (pack serialization + tests).
+  [[nodiscard]] const std::array<double, 24>& hours() const {
+    return hours_;
   }
 
  private:

@@ -7,8 +7,21 @@ namespace dnsctx::traffic {
 using resolver::NameId;
 using resolver::ServiceClass;
 
-WebModel::WebModel(const resolver::ZoneDb& zones, std::uint64_t seed) : zones_{zones} {
+WebModel::WebModel(const resolver::ZoneDb& zones, std::uint64_t seed,
+                   const WebFanout& fanout)
+    : zones_{zones} {
+  if (fanout.cdn_min > fanout.cdn_max || fanout.ad_min > fanout.ad_max ||
+      fanout.tracker_min > fanout.tracker_max || fanout.api_min > fanout.api_max ||
+      fanout.links_min > fanout.links_max) {
+    throw std::invalid_argument{"WebModel: fanout min exceeds max"};
+  }
   Rng rng{derive_seed(seed, "webmodel")};
+  // Inclusive-range draw. With the default fanout each call collapses to
+  // the historical literal (e.g. cdn: 2 + bounded(4)), keeping the RNG
+  // stream — and therefore every golden output — byte-identical.
+  auto draw = [&rng](std::size_t lo, std::size_t hi) {
+    return lo + rng.bounded(hi - lo + 1);
+  };
   const auto& webs = zones.ids_of(ServiceClass::kWebOrigin);
   const auto& cdns = zones.ids_of(ServiceClass::kCdnAsset);
   const auto& ads = zones.ids_of(ServiceClass::kAdNetwork);
@@ -36,12 +49,12 @@ WebModel::WebModel(const resolver::ZoneDb& zones, std::uint64_t seed) : zones_{z
         if (!dup) prof.asset_hosts.push_back(candidate);
       }
     };
-    add_from(cdns, cdn_pick, 2 + rng.bounded(4));       // 2–5 CDN hosts
-    add_from(ads, ad_pick, 1 + rng.bounded(3));         // 1–3 ad networks
-    add_from(trackers, tracker_pick, 1 + rng.bounded(2)); // 1–2 trackers
-    add_from(apis, api_pick, rng.bounded(3));           // 0–2 APIs
+    add_from(cdns, cdn_pick, draw(fanout.cdn_min, fanout.cdn_max));
+    add_from(ads, ad_pick, draw(fanout.ad_min, fanout.ad_max));
+    add_from(trackers, tracker_pick, draw(fanout.tracker_min, fanout.tracker_max));
+    add_from(apis, api_pick, draw(fanout.api_min, fanout.api_max));
 
-    const std::size_t n_links = 4 + rng.bounded(7);     // 4–10 outbound links
+    const std::size_t n_links = draw(fanout.links_min, fanout.links_max);
     for (std::size_t i = 0; i < n_links; ++i) {
       // Half the links follow global popularity, half are arbitrary —
       // pages link to the long tail too, which is what makes so many

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "resolver/zonedb.hpp"
+#include "traffic/tuning.hpp"
 
 namespace dnsctx::traffic {
 
@@ -22,7 +23,10 @@ struct PageProfile {
 
 class WebModel {
  public:
-  WebModel(const resolver::ZoneDb& zones, std::uint64_t seed);
+  /// The default fanout reproduces the pre-pack literals (2–5 CDN,
+  /// 1–3 ads, 1–2 trackers, 0–2 APIs, 4–10 links) draw for draw.
+  WebModel(const resolver::ZoneDb& zones, std::uint64_t seed,
+           const WebFanout& fanout = {});
 
   /// Profile for a web-site NameId (must come from the kWebOrigin set).
   [[nodiscard]] const PageProfile& page(resolver::NameId origin) const;

@@ -1,0 +1,44 @@
+// libFuzzer target for the scenario-pack parser. The contract: any
+// byte sequence either applies cleanly or is rejected with a
+// std::runtime_error naming the source — never a crash, never a
+// sanitizer fault. Accepted packs must additionally leave the config
+// in a state the scenario layer itself validates (mix + tuning), and
+// the config-file layer must be able to snapshot the result.
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "scenario/config_io.hpp"
+#include "scenario/pack.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+  dnsctx::scenario::ScenarioConfig cfg;
+  dnsctx::scenario::PackInfo info;
+  try {
+    info = dnsctx::scenario::apply_pack(text, "fuzz.pack", &cfg);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejection with a diagnostic is the contract
+  } catch (const std::invalid_argument&) {
+    return 0;  // tuning/diurnal validation surfaces this way
+  }
+  // Accepted: the pack name was recorded and the combined state passed
+  // the scenario layer's own validators (apply_pack runs them last, so
+  // a second validate() must agree).
+  if (info.name.empty() || cfg.pack != info.name) std::abort();
+  try {
+    cfg.mix.validate();
+    cfg.tuning.validate();
+  } catch (...) {
+    std::abort();  // accepted pack left an invalid config behind
+  }
+  // The snapshot writer must be able to round-trip the tuning overrides.
+  std::stringstream snapshot;
+  dnsctx::scenario::save_config(snapshot, cfg);
+  const dnsctx::scenario::ScenarioConfig back =
+      dnsctx::scenario::load_config(snapshot, "snapshot");
+  if (!(back.tuning == cfg.tuning)) std::abort();
+  return 0;
+}

@@ -89,6 +89,73 @@ TEST(ConfigIo, MissingEqualsRejected) {
   EXPECT_THROW((void)load_config(ss), std::runtime_error);
 }
 
+/// Rejection table: every malformed numeric value must be refused with
+/// an error naming the source, the line, and the offending key — never
+/// silently clamped, wrapped, or parsed as a prefix.
+TEST(ConfigIo, NumericRejectionTable) {
+  struct Row {
+    const char* line;     ///< the config line under test
+    const char* key;      ///< key expected in the error message
+    const char* why;      ///< fragment expected in the error message
+  };
+  const Row rows[] = {
+      {"houses = 1e999", "houses", "bad number"},  // ints take no exponent
+      {"seed = 99999999999999999999999999", "seed", "out of range"},
+      {"activity_scale = 1e999", "activity_scale", "out of range"},
+      {"activity_scale = inf", "activity_scale", "finite"},
+      {"activity_scale = -inf", "activity_scale", "finite"},
+      {"ttl_violation_prob = nan", "ttl_violation_prob", "finite"},
+      {"houses = 1.5x", "houses", "bad number"},
+      {"houses = 12 extra", "houses", "bad number"},
+      {"activity_scale = 0.5garbage", "activity_scale", "bad number"},
+      {"duration_hours = 2h", "duration_hours", "bad number"},
+      {"mix.cloudflare = 1.01", "mix.cloudflare", "[0, 1]"},
+      {"activity_scale = 0", "activity_scale", "> 0"},
+      {"seed = 0x10", "seed", "bad number"},
+      {"houses = ", "houses", "bad number"},
+      {"tuning.prefetch_prob = 1.5", "tuning.prefetch_prob", "[0, 1]"},
+      {"tuning.junk_queries_per_hour = nan", "tuning.junk_queries_per_hour",
+       "finite"},
+      {"tuning.diurnal_hours = 1,2,3", "tuning.diurnal_hours", "24"},
+  };
+  for (const Row& row : rows) {
+    std::stringstream ss{std::string{row.line} + "\n"};
+    try {
+      (void)load_config(ss, "knobs.conf");
+      FAIL() << "accepted: " << row.line;
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("knobs.conf line 1"), std::string::npos)
+          << row.line << " → " << msg;
+      EXPECT_NE(msg.find(row.key), std::string::npos) << row.line << " → " << msg;
+      EXPECT_NE(msg.find(row.why), std::string::npos) << row.line << " → " << msg;
+    }
+  }
+}
+
+TEST(ConfigIo, TuningRoundTripPreservesOverrides) {
+  ScenarioConfig cfg;
+  cfg.tuning.iot_max = 7;
+  cfg.tuning.background_poll_scale = 2.5;
+  cfg.tuning.junk_queries_per_hour = 120.0;
+  cfg.tuning.web.links_max = 15;
+  cfg.tuning.diurnal_hours = traffic::kOfficeHours;
+  cfg.pack = "custom_pack";
+
+  std::stringstream ss;
+  save_config(ss, cfg);
+  const ScenarioConfig back = load_config(ss);
+  EXPECT_EQ(back.tuning, cfg.tuning);
+  EXPECT_EQ(back.pack, "custom_pack");
+
+  // Default tuning writes no tuning.* keys at all, keeping snapshots of
+  // pre-pack configs byte-stable.
+  std::stringstream plain;
+  save_config(plain, ScenarioConfig{});
+  EXPECT_EQ(plain.str().find("tuning."), std::string::npos);
+  EXPECT_EQ(plain.str().find("pack"), std::string::npos);
+}
+
 TEST(ConfigIo, FileRoundTrip) {
   ScenarioConfig cfg;
   cfg.houses = 13;

@@ -3,7 +3,9 @@
 // profile assignment, dual-stack lookups and junk probes.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
+#include <stdexcept>
 
 #include "analysis/study.hpp"
 #include "scenario/scenario.hpp"
@@ -130,6 +132,84 @@ TEST_P(SeedStabilityTest, Table2SharesStayInBand) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedStabilityTest, ::testing::Values(101u, 202u, 303u));
+
+TEST(ScenarioKnobs, BrokenProfileMixFailsAtBuildTime) {
+  // Regression: probabilities that individually pass but jointly claim
+  // more than the whole population used to produce a negative "mixed"
+  // remainder and a nonsense stratification. The Town constructor must
+  // refuse before building anything.
+  ScenarioConfig cfg = base_config();
+  cfg.mix.isp_only = 0.6;
+  cfg.mix.cloudflare = 0.3;
+  cfg.mix.no_isp = 0.2;  // sum 1.1 > 1.0
+  EXPECT_THROW((Town{cfg}), std::runtime_error);
+
+  cfg = base_config();
+  cfg.mix.cloudflare = 1.2;  // single field out of [0, 1]
+  EXPECT_THROW((Town{cfg}), std::runtime_error);
+
+  cfg = base_config();
+  cfg.mix.opendns_in_mixed = -0.1;
+  EXPECT_THROW((Town{cfg}), std::runtime_error);
+
+  // Exactly 1.0 is legal: a town with no mixed houses at all.
+  cfg = base_config();
+  cfg.houses = 4;
+  cfg.mix.isp_only = 0.5;
+  cfg.mix.cloudflare = 0.3;
+  cfg.mix.no_isp = 0.2;
+  EXPECT_NO_THROW((Town{cfg}));
+}
+
+TEST(ScenarioKnobs, BrokenTuningFailsAtBuildTime) {
+  ScenarioConfig cfg = base_config();
+  cfg.tuning.iot_min = 5;
+  cfg.tuning.iot_max = 2;  // inverted range
+  EXPECT_THROW((Town{cfg}), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.tuning.computers_min = 0;  // every house needs a computer
+  EXPECT_THROW((Town{cfg}), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.tuning.background_poll_scale = 0.0;  // divides a poll period
+  EXPECT_THROW((Town{cfg}), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.tuning.prefetch_prob = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((Town{cfg}), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.tuning.diurnal_hours.fill(0.0);  // would stall every app forever
+  EXPECT_THROW((Town{cfg}), std::invalid_argument);
+}
+
+TEST(ScenarioKnobs, SingleDeviceHousesRun) {
+  // The smallest legal population: one computer, nothing else. (Only
+  // isp_only houses can be android-free, so pin the whole mix there.)
+  // The traffic layer must not assume TVs/phones/IoT exist.
+  ScenarioConfig cfg = base_config();
+  cfg.houses = 3;
+  cfg.duration = SimDuration::hours(1);
+  cfg.mix.isp_only = 1.0;
+  cfg.mix.cloudflare = 0.0;
+  cfg.mix.no_isp = 0.0;
+  cfg.tuning.computers_min = 1;
+  cfg.tuning.computers_max = 1;
+  cfg.tuning.computers_light = 1;
+  cfg.tuning.android_extra_prob = 0.0;
+  cfg.tuning.apple_prob = 0.0;
+  cfg.tuning.apple_prob_light = 0.0;
+  cfg.tuning.tv_prob = 0.0;
+  cfg.tuning.tv_prob_light = 0.0;
+  cfg.tuning.iot_min = 0;
+  cfg.tuning.iot_max = 0;
+  cfg.tuning.alarm_prob = 0.0;
+  Town town{cfg};
+  town.run();
+  for (const auto& h : town.houses()) EXPECT_EQ(h.devices, 1u);
+  EXPECT_FALSE(town.dataset().dns.empty());
+}
 
 }  // namespace
 }  // namespace dnsctx::scenario

@@ -1,7 +1,10 @@
 // Unit tests for the web page structure model and diurnal profile.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "traffic/diurnal.hpp"
 #include "traffic/webmodel.hpp"
@@ -130,6 +133,119 @@ TEST(Diurnal, FlatIsFlat) {
   const auto flat = DiurnalProfile::flat();
   for (int h = 0; h < 24; ++h) {
     EXPECT_DOUBLE_EQ(flat.factor(SimTime::origin() + SimDuration::hours(h)), 1.0);
+  }
+}
+
+TEST(Diurnal, HourBoundariesAreExact) {
+  const auto prof = DiurnalProfile::residential();
+  // One microsecond before an hour boundary still reads the old hour;
+  // the boundary itself reads the new one — including the 23 → 0 wrap.
+  for (int h = 1; h <= 24; ++h) {
+    const SimTime boundary = SimTime::origin() + SimDuration::hours(h);
+    EXPECT_DOUBLE_EQ(prof.factor(boundary - SimDuration::us(1)),
+                     prof.factor(SimTime::origin() + SimDuration::hours(h - 1)))
+        << "hour " << h;
+    EXPECT_DOUBLE_EQ(prof.factor(boundary),
+                     prof.factor(SimTime::origin() + SimDuration::hours(h % 24)))
+        << "hour " << h;
+  }
+}
+
+TEST(Diurnal, LateStartHoursWrapForDaysOnEnd) {
+  // start_hour 23 + long runs: the lookup index must stay in [0, 24)
+  // no matter how far the clock advances (floored, not truncated, mod).
+  const auto prof = DiurnalProfile::residential().with_start_hour(23);
+  const auto base = DiurnalProfile::residential();
+  for (int h = 0; h < 24 * 8; ++h) {
+    EXPECT_DOUBLE_EQ(prof.factor(SimTime::origin() + SimDuration::hours(h)),
+                     base.factor(SimTime::origin() + SimDuration::hours((h + 23) % 24)))
+        << "hour " << h;
+  }
+}
+
+TEST(Diurnal, OfficePeaksMiddayNotEvening) {
+  const auto prof = DiurnalProfile::office();
+  const auto at_hour = [&](int h) {
+    return prof.factor(SimTime::origin() + SimDuration::hours(h));
+  };
+  EXPECT_GT(at_hour(10), at_hour(20));  // work hours >> evening
+  EXPECT_GT(at_hour(10), at_hour(3));
+  EXPECT_LT(at_hour(23), 0.2);
+}
+
+TEST(Diurnal, CustomValidatesTheTable) {
+  std::array<double, 24> hours{};
+  hours.fill(1.0);
+  EXPECT_NO_THROW(DiurnalProfile::custom(hours));
+
+  // Zero-weight hours are legitimate (quiet periods) as long as some
+  // hour carries load...
+  hours[3] = 0.0;
+  hours[4] = 0.0;
+  EXPECT_NO_THROW(DiurnalProfile::custom(hours));
+  const auto prof = DiurnalProfile::custom(hours);
+  EXPECT_DOUBLE_EQ(prof.factor(SimTime::origin() + SimDuration::hours(3)), 0.0);
+
+  // ...but an all-zero table would stall every app forever.
+  std::array<double, 24> dead{};
+  EXPECT_THROW(DiurnalProfile::custom(dead), std::invalid_argument);
+
+  std::array<double, 24> negative{};
+  negative.fill(1.0);
+  negative[7] = -0.1;
+  EXPECT_THROW(DiurnalProfile::custom(negative), std::invalid_argument);
+
+  std::array<double, 24> infinite{};
+  infinite.fill(1.0);
+  infinite[12] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(DiurnalProfile::custom(infinite), std::invalid_argument);
+
+  std::array<double, 24> notanumber{};
+  notanumber.fill(1.0);
+  notanumber[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(DiurnalProfile::custom(notanumber), std::invalid_argument);
+}
+
+TEST(WebModel, CustomFanoutBoundsAreRespected) {
+  const resolver::ZoneDb zones{zone_config()};
+  WebFanout fanout;
+  fanout.cdn_min = fanout.cdn_max = 1;   // degenerate min == max draws
+  fanout.ad_min = fanout.ad_max = 0;     // a category can be absent
+  fanout.tracker_min = fanout.tracker_max = 0;
+  fanout.api_min = fanout.api_max = 0;
+  fanout.links_min = 2;
+  fanout.links_max = 3;
+  const WebModel model{zones, 11, fanout};
+  for (std::size_t id = 0; id < zones.size(); ++id) {
+    const auto nid = static_cast<resolver::NameId>(id);
+    if (zones.record(nid).service != resolver::ServiceClass::kWebOrigin) continue;
+    const PageProfile& page = model.page(nid);
+    // Exactly one CDN asset, nothing else (duplicates collapse, so "at
+    // most" for the upper bound and the single-CDN case is exact).
+    EXPECT_EQ(page.asset_hosts.size(), 1u);
+    EXPECT_LE(page.links.size(), 3u);  // self-links are dropped: no lower bound
+  }
+}
+
+TEST(WebModel, InvertedFanoutIsRejected) {
+  const resolver::ZoneDb zones{zone_config()};
+  WebFanout bad;
+  bad.cdn_min = 5;
+  bad.cdn_max = 2;
+  EXPECT_THROW((WebModel{zones, 11, bad}), std::invalid_argument);
+}
+
+TEST(WebModel, DefaultFanoutMatchesDefaultConstructedArgument) {
+  // The default argument must reproduce the historical literals: same
+  // seed + explicit default fanout ⇒ identical pages.
+  const resolver::ZoneDb zones{zone_config()};
+  const WebModel a{zones, 6};
+  const WebModel b{zones, 6, WebFanout{}};
+  for (std::size_t id = 0; id < zones.size(); ++id) {
+    const auto nid = static_cast<resolver::NameId>(id);
+    if (zones.record(nid).service != resolver::ServiceClass::kWebOrigin) continue;
+    EXPECT_EQ(a.page(nid).asset_hosts, b.page(nid).asset_hosts);
+    EXPECT_EQ(a.page(nid).links, b.page(nid).links);
   }
 }
 

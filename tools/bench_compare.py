@@ -134,12 +134,15 @@ def load_records(path: Path) -> dict[str, dict[str, float]]:
             key = f"micro/{name}"
             metrics = {"real_time_ns": real_time}
         else:
-            # transport defaults to do53 so pre-transport baselines keep
-            # their keys; a `--transport dot` run is a distinct scenario.
-            key = "{}/houses={} hours={} seed={} threads={} shards={} transport={}".format(
+            # transport defaults to do53 and pack to "default" so older
+            # baselines (recorded before those fields existed) keep their
+            # keys; a `--transport dot` or `--pack iot_heavy` run is a
+            # distinct scenario.
+            key = ("{}/houses={} hours={} seed={} threads={} shards={} transport={} "
+                   "pack={}").format(
                 bench, rec.get("houses"), rec.get("hours"), rec.get("seed"),
                 rec.get("threads", 1), rec.get("shards", 1),
-                rec.get("transport", "do53"))
+                rec.get("transport", "do53"), rec.get("pack", "default"))
             metrics = {}
             watched = WATCHED_METRICS.get(bench, []) + HIGHER_IS_BETTER_METRICS.get(
                 bench, [])

@@ -70,6 +70,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/config_io.hpp"
+#include "scenario/pack.hpp"
 #include "serve/push.hpp"
 #include "serve/server.hpp"
 #include "stream/feed.hpp"
@@ -102,7 +103,7 @@ const std::set<std::string> kSimOptions = {
     "start-hour",    "shards",        "threads", "loss",
     "dup",           "reorder",       "servfail-rate", "nxdomain-rate",
     "resolver-outage", "backoff",     "faults",  "transport",
-    "metrics-out",   "progress"};
+    "pack",          "metrics-out",   "progress"};
 
 /// Wall-clock progress reporter: prints to stderr (never stdout — golden
 /// outputs must stay byte-identical) at most once per `interval_sec`.
@@ -156,6 +157,11 @@ class ProgressReporter {
   scenario::ScenarioConfig cfg;
   if (const auto file = args.option("config")) {
     cfg = scenario::load_config_file(*file);
+  }
+  // Pack after --config, before individual flags: a pack is a preset
+  // the explicit flags can still override.
+  if (const auto pack = args.option("pack")) {
+    scenario::apply_pack_file(*pack, &cfg);
   }
   cfg.houses = static_cast<std::size_t>(
       args.int_option_or("houses", static_cast<long long>(cfg.houses)));
@@ -803,8 +809,8 @@ int cmd_serve(const CliArgs& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: dnsctx <simulate|analyze|sweep|validate|stream|serve> [options]\n"
-               "  simulate --out DIR [--config F] [--houses N] [--hours H] [--seed S]\n"
-               "           [--shards N] [--threads N] [--binary-logs]\n"
+               "  simulate --out DIR [--config F] [--pack F] [--houses N] [--hours H]\n"
+               "           [--seed S] [--shards N] [--threads N] [--binary-logs]\n"
                "           [--loss P] [--dup P] [--reorder P] [--servfail-rate P]\n"
                "           [--nxdomain-rate P] [--resolver-outage T:B-E[,...]]\n"
                "           [--backoff F] [--faults SPEC]\n"
@@ -812,7 +818,7 @@ void usage() {
                "  analyze  --dir DIR | (--conn F --dns F) [--section S] [--csv DIR]\n"
                "           [--threads N] [--baseline DIR]\n"
                "  sweep    --key K --values a,b,c [--config F | sim options]\n"
-               "  validate [--config F] [--houses N] [--hours H] [--seed S]\n"
+               "  validate [--config F] [--pack F] [--houses N] [--hours H] [--seed S]\n"
                "           [--shards N] [--threads N] [--transport T]\n"
                "           (prints truth-vs-inferred taxonomy + encrypted-flow\n"
                "           classifier confusion when the transport is encrypted)\n"

@@ -214,10 +214,44 @@ class LoadRecordsTest(unittest.TestCase):
         records = bench_compare.load_records(path)
         self.assertEqual(len(records), 2)
         keys = sorted(records)
-        self.assertTrue(keys[0].endswith("transport=do53"))
-        self.assertTrue(keys[1].endswith("transport=dot"))
+        self.assertIn("transport=do53", keys[0])
+        self.assertIn("transport=dot", keys[1])
         self.assertEqual(records[keys[1]],
                          {"study_sec": 1.4, "enc_classify_sec": 0.2})
+
+    def test_pack_is_part_of_the_record_key(self):
+        # A default run and a `--pack iot_heavy` run of the same scale are
+        # distinct scenarios; records without the field key as "default"
+        # so pre-pack baselines still match new default runs.
+        path = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "pack": "iot_heavy", "study_sec": 2.1},
+        ])
+        records = bench_compare.load_records(path)
+        self.assertEqual(len(records), 2)
+        keys = sorted(records)
+        self.assertTrue(keys[0].endswith("pack=default"))
+        self.assertTrue(keys[1].endswith("pack=iot_heavy"))
+        self.assertEqual(records[keys[1]], {"study_sec": 2.1})
+
+    def test_pre_pack_baseline_matches_new_default_run(self):
+        base = write_lines(self.dir, "base.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "study_sec": 1.0},
+        ])
+        curr = write_lines(self.dir, "curr.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "pack": "default", "study_sec": 1.0},
+        ])
+        self.assertEqual(self._run_main(base, curr), 0)
+        # ...and a regression in the default pack is still caught.
+        worse = write_lines(self.dir, "worse.json", [
+            {"bench": "Table 1", "houses": 4, "hours": 1, "seed": 42,
+             "pack": "default", "study_sec": 5.0},
+        ])
+        self.assertEqual(self._run_main(base, worse), 1)
 
     def test_enc_classify_regression_detected(self):
         base = write_lines(self.dir, "base.json", [
